@@ -1,0 +1,87 @@
+//! Criterion benchmarks for the design-choice ablations DESIGN.md calls
+//! out: the best-effort admission threshold `a`, the L2 black-out length,
+//! the PAR/NAR buffer split, and the signaling accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fh_core::{ProtocolConfig, Scheme};
+use fh_net::ServiceClass;
+use fh_scenarios::experiments;
+use fh_scenarios::{HmipConfig, HmipScenario, MovementPlan};
+use fh_sim::SimTime;
+
+const SEED: u64 = 2003;
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_threshold_a");
+    g.sample_size(10);
+    g.bench_function("three_values", |b| {
+        b.iter(|| black_box(experiments::threshold_sweep(&[0, 10, 19], SEED)))
+    });
+    g.finish();
+}
+
+fn bench_blackout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_blackout");
+    g.sample_size(10);
+    g.bench_function("60_200_400ms", |b| {
+        b.iter(|| black_box(experiments::blackout_sweep(&[60, 200, 400], SEED)))
+    });
+    g.finish();
+}
+
+fn bench_signaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_signaling");
+    g.sample_size(10);
+    g.bench_function("one_handover", |b| {
+        b.iter(|| black_box(experiments::signaling_overhead(SEED)))
+    });
+    g.finish();
+}
+
+/// Buffer split: how drops change if the dual scheme biased its request
+/// toward the PAR or the NAR instead of an even split. Implemented by
+/// varying the total request against asymmetric capacities.
+fn bench_buffer_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_buffer_split");
+    g.sample_size(10);
+    for (name, capacity) in [("tight_10", 10usize), ("even_20", 20), ("roomy_40", 40)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut protocol = ProtocolConfig::with_scheme(Scheme::PROPOSED);
+                protocol.buffer_request = 40;
+                let cfg = HmipConfig {
+                    protocol,
+                    n_mhs: 1,
+                    buffer_capacity: capacity,
+                    movement: MovementPlan::OneWay,
+                    seed: SEED,
+                    ..HmipConfig::default()
+                };
+                let mut scenario = HmipScenario::build(cfg);
+                let f1 = scenario.add_audio_128k(0, ServiceClass::RealTime);
+                let f2 = scenario.add_audio_128k(0, ServiceClass::HighPriority);
+                let f3 = scenario.add_audio_128k(0, ServiceClass::BestEffort);
+                scenario
+                    .set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(13));
+                scenario.run_until(SimTime::from_secs(15));
+                black_box((
+                    scenario.flow_losses(f1),
+                    scenario.flow_losses(f2),
+                    scenario.flow_losses(f3),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_threshold,
+    bench_blackout,
+    bench_signaling,
+    bench_buffer_split
+);
+criterion_main!(ablations);

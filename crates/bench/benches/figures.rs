@@ -1,0 +1,100 @@
+//! Criterion benchmarks: one per evaluation figure.
+//!
+//! Each benchmark regenerates (a size-reduced slice of) the corresponding
+//! figure, so `cargo bench` both times the simulator and acts as a smoke
+//! check that every experiment still runs. The `repro` binary produces
+//! the full-size tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fh_core::Scheme;
+use fh_scenarios::experiments::{self, BufferUtilizationParams};
+use fh_sim::SimDuration;
+
+const SEED: u64 = 2003;
+
+fn bench_fig4_2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_2_buffer_utilization");
+    g.sample_size(10);
+    g.bench_function("mhs_1_to_6", |b| {
+        b.iter(|| {
+            let params = BufferUtilizationParams {
+                max_mhs: 6,
+                ..BufferUtilizationParams::default()
+            };
+            black_box(experiments::buffer_utilization(params))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig4_3_to_4_5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_3_4_5_qos_drops");
+    g.sample_size(10);
+    for (name, scheme, capacity) in [
+        ("fig4_3_nar_only", Scheme::NarOnly, 40usize),
+        ("fig4_4_dual_classless", Scheme::Dual { classify: false }, 20),
+        ("fig4_5_dual_classified", Scheme::Dual { classify: true }, 20),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(experiments::qos_drops(scheme, capacity, 40, 10, SEED)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4_6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_6_rate_sweep");
+    g.sample_size(10);
+    g.bench_function("three_rates", |b| {
+        b.iter(|| black_box(experiments::rate_sweep(&[64.0, 128.0, 256.0], 20, 40, SEED)))
+    });
+    g.finish();
+}
+
+fn bench_fig4_7_to_4_10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_7_to_4_10_delay_traces");
+    g.sample_size(10);
+    for (name, scheme, capacity, delay_ms) in [
+        ("fig4_7_fh_buffer40", Scheme::NarOnly, 40usize, 2u64),
+        ("fig4_8_dual_classless", Scheme::Dual { classify: false }, 20, 2),
+        ("fig4_9_classified_2ms", Scheme::Dual { classify: true }, 20, 2),
+        ("fig4_10_classified_50ms", Scheme::Dual { classify: true }, 20, 50),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(experiments::delay_trace(
+                    scheme,
+                    capacity,
+                    40,
+                    SimDuration::from_millis(delay_ms),
+                    SEED,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4_12_to_4_14(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_12_to_4_14_tcp_handoff");
+    g.sample_size(10);
+    g.bench_function("fig4_12_no_buffering", |b| {
+        b.iter(|| black_box(experiments::tcp_l2_handoff(false, SEED)))
+    });
+    g.bench_function("fig4_13_proposed", |b| {
+        b.iter(|| black_box(experiments::tcp_l2_handoff(true, SEED)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig4_2,
+    bench_fig4_3_to_4_5,
+    bench_fig4_6,
+    bench_fig4_7_to_4_10,
+    bench_fig4_12_to_4_14
+);
+criterion_main!(figures);

@@ -1,0 +1,120 @@
+//! Microbenchmarks of the simulator substrate: event queue throughput,
+//! buffer-pool operations, routing computation, and end-to-end simulated
+//! events per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fh_core::{AdmissionLimit, BufferPool};
+use fh_net::{doc_subnet, FlowId, LinkSpec, Packet, ServiceClass, Topology};
+use fh_scenarios::{HmipConfig, HmipScenario, MovementPlan};
+use fh_sim::{EventQueue, Rng64, SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            let mut rng = Rng64::seed_from(1);
+            let times: Vec<SimTime> = (0..n)
+                .map(|_| SimTime::from_nanos(rng.gen_range_u64(1_000_000_000)))
+                .collect();
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(t, i);
+                }
+                let mut sink = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    sink ^= e;
+                }
+                black_box(sink)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffer_pool");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("admit_drain_cycle", |b| {
+        let key = "2001:db8::1".parse().unwrap();
+        let pkt = Packet::data(
+            FlowId(1),
+            0,
+            "2001:db8::2".parse().unwrap(),
+            "2001:db8::3".parse().unwrap(),
+            ServiceClass::HighPriority,
+            160,
+            SimTime::ZERO,
+        );
+        b.iter(|| {
+            let mut pool = BufferPool::new(64);
+            pool.grant(key, 64);
+            for _ in 0..10_000 / 64 {
+                for _ in 0..64 {
+                    let _ = pool.try_buffer(key, pkt.clone(), AdmissionLimit::Grant);
+                }
+                black_box(pool.drain(key).len());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    for n in [10usize, 50] {
+        g.bench_with_input(BenchmarkId::new("compute_routes", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut topo = Topology::new();
+                let nodes: Vec<_> = (0..n).map(|i| topo.add_node(format!("n{i}"))).collect();
+                let spec = LinkSpec::new(10_000_000, SimDuration::from_millis(1), 50);
+                for w in nodes.windows(2) {
+                    topo.add_link(w[0], w[1], spec);
+                }
+                // A few cross links.
+                for i in (0..n).step_by(7) {
+                    let j = (i + n / 2) % n;
+                    if i != j {
+                        topo.add_link(nodes[i], nodes[j], spec);
+                    }
+                }
+                for (i, &node) in nodes.iter().enumerate() {
+                    topo.add_prefix(doc_subnet(i as u16), node);
+                }
+                topo.compute_routes();
+                black_box(topo.route(nodes[0], doc_subnet((n - 1) as u16).host(1)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scenario_event_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(10);
+    g.bench_function("one_handover_16s_sim", |b| {
+        b.iter(|| {
+            let mut scenario = HmipScenario::build(HmipConfig {
+                movement: MovementPlan::OneWay,
+                ..HmipConfig::default()
+            });
+            let f = scenario.add_audio_64k(0, ServiceClass::RealTime);
+            scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(14));
+            scenario.run_until(SimTime::from_secs(16));
+            black_box((scenario.flow_losses(f), scenario.sim.events_processed()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_event_queue,
+    bench_buffer_pool,
+    bench_routing,
+    bench_scenario_event_rate
+);
+criterion_main!(micro);

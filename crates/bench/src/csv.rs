@@ -1,0 +1,167 @@
+//! CSV rendering of experiment results, for plotting.
+//!
+//! `repro --csv <figure>` emits the figure's series as comma-separated
+//! values with a header row — ready for gnuplot/matplotlib — instead of
+//! the human-readable table.
+
+use std::fmt::Write as _;
+
+use fh_core::Scheme;
+use fh_scenarios::experiments::{self, BufferUtilizationParams, FIG_4_6_RATES};
+use fh_sim::SimDuration;
+
+use crate::params;
+
+/// Fig 4.2 as CSV: `mhs,nar,par,dual,fh`.
+#[must_use]
+pub fn fig4_2_csv() -> String {
+    let series = experiments::buffer_utilization(BufferUtilizationParams::default());
+    let mut out = String::from("mhs");
+    for s in &series {
+        let _ = write!(out, ",{}", s.label.to_lowercase());
+    }
+    let _ = writeln!(out);
+    for i in 0..series[0].points.len() {
+        let _ = write!(out, "{}", series[0].points[i].0);
+        for s in &series {
+            let _ = write!(out, ",{}", s.points[i].1);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Figs 4.3–4.5 as CSV: `handoff,f1_rt,f2_hp,f3_be` for the given scheme.
+#[must_use]
+pub fn qos_csv(scheme: Scheme, capacity: usize) -> String {
+    let r = experiments::qos_drops(scheme, capacity, params::REQUEST, params::HANDOFFS, params::SEED);
+    let mut out = String::from("handoff,f1_rt,f2_hp,f3_be\n");
+    for h in 0..r.drops[0].len() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            h + 1,
+            r.drops[0][h],
+            r.drops[1][h],
+            r.drops[2][h]
+        );
+    }
+    out
+}
+
+/// Fig 4.6 as CSV: `kbps,f1_rt,f2_hp,f3_be`.
+#[must_use]
+pub fn fig4_6_csv() -> String {
+    let r = experiments::rate_sweep(
+        &FIG_4_6_RATES,
+        params::PROPOSED_CAPACITY,
+        params::REQUEST,
+        params::SEED,
+    );
+    let mut out = String::from("kbps,f1_rt,f2_hp,f3_be\n");
+    for (i, &rate) in r.rates_kbps.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{rate},{},{},{}",
+            r.drops[0][i], r.drops[1][i], r.drops[2][i]
+        );
+    }
+    out
+}
+
+/// Figs 4.7–4.10 as CSV: `seq,f1_rt_ms,f2_hp_ms,f3_be_ms` (empty cell =
+/// packet lost).
+#[must_use]
+pub fn delay_csv(scheme: Scheme, capacity: usize, link_ms: u64) -> String {
+    let r = experiments::delay_trace(
+        scheme,
+        capacity,
+        params::REQUEST,
+        SimDuration::from_millis(link_ms),
+        params::SEED,
+    );
+    let mut out = String::from("seq,f1_rt_ms,f2_hp_ms,f3_be_ms\n");
+    let max_seq = r
+        .series
+        .iter()
+        .flat_map(|s| s.iter().map(|&(seq, _)| seq))
+        .max()
+        .unwrap_or(0);
+    for seq in 0..=max_seq {
+        let _ = write!(out, "{seq}");
+        for k in 0..3 {
+            match r.series[k].iter().find(|&&(s, _)| s == seq) {
+                Some(&(_, d)) => {
+                    let _ = write!(out, ",{:.3}", d * 1e3);
+                }
+                None => out.push(','),
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Fig 4.14 as CSV: `t_s,buffered_mbps,unbuffered_mbps`.
+#[must_use]
+pub fn fig4_14_csv() -> String {
+    let with = experiments::tcp_l2_handoff(true, params::SEED);
+    let without = experiments::tcp_l2_handoff(false, params::SEED);
+    let mut out = String::from("t_s,buffered_mbps,unbuffered_mbps\n");
+    for (i, &(t, mbps)) in with.throughput.iter().enumerate() {
+        let none = without.throughput.get(i).map_or(0.0, |&(_, m)| m);
+        let _ = writeln!(out, "{t:.1},{mbps:.3},{none:.3}");
+    }
+    out
+}
+
+/// Resolves a CSV writer by figure id.
+#[must_use]
+pub fn csv_for(figure: &str) -> Option<String> {
+    match figure {
+        "fig4.2" => Some(fig4_2_csv()),
+        "fig4.3" => Some(qos_csv(Scheme::NarOnly, params::FH_CAPACITY)),
+        "fig4.4" => Some(qos_csv(Scheme::Dual { classify: false }, params::PROPOSED_CAPACITY)),
+        "fig4.5" => Some(qos_csv(Scheme::Dual { classify: true }, params::PROPOSED_CAPACITY)),
+        "fig4.6" => Some(fig4_6_csv()),
+        "fig4.7" => Some(delay_csv(Scheme::NarOnly, params::FH_CAPACITY, 2)),
+        "fig4.8" => Some(delay_csv(
+            Scheme::Dual { classify: false },
+            params::PROPOSED_CAPACITY,
+            2,
+        )),
+        "fig4.9" => Some(delay_csv(
+            Scheme::Dual { classify: true },
+            params::PROPOSED_CAPACITY,
+            2,
+        )),
+        "fig4.10" => Some(delay_csv(
+            Scheme::Dual { classify: true },
+            params::PROPOSED_CAPACITY,
+            50,
+        )),
+        "fig4.14" => Some(fig4_14_csv()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_2_csv_is_well_formed() {
+        let csv = fig4_2_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("mhs,nar,par,dual,fh"));
+        let first = lines.next().expect("data row");
+        assert_eq!(first.split(',').count(), 5);
+        assert_eq!(csv.lines().count(), 21, "header + 20 rows");
+    }
+
+    #[test]
+    fn unknown_figure_yields_none() {
+        assert!(csv_for("fig9.9").is_none());
+        assert!(csv_for("fig4.2").is_some());
+    }
+}

@@ -1,0 +1,410 @@
+//! # fh-bench — figure regeneration library
+//!
+//! Each `fig*` function runs the corresponding experiment from
+//! [`fh_scenarios::experiments`] with the thesis' parameters and renders
+//! the series as a plain-text table (the same rows the paper's figures
+//! plot). The `repro` binary prints them; the Criterion benches in
+//! `benches/` time them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+
+use std::fmt::Write as _;
+
+use fh_core::Scheme;
+use fh_scenarios::experiments::{self, BufferUtilizationParams, FIG_4_6_RATES};
+use fh_sim::SimDuration;
+
+/// Parameters shared by the QoS / delay experiments (§4.2.2–4.2.3).
+pub mod params {
+    /// Buffer capacity per router for the proposed scheme (Figs 4.4/4.5).
+    pub const PROPOSED_CAPACITY: usize = 20;
+    /// Buffer capacity for the original fast handover (Figs 4.3/4.7):
+    /// "double the size of our proposed method".
+    pub const FH_CAPACITY: usize = 40;
+    /// The per-handover buffer request used in those figures.
+    pub const REQUEST: u32 = 40;
+    /// Handoffs simulated in Figs 4.3–4.5.
+    pub const HANDOFFS: u64 = 100;
+    /// Seed used by the `repro` binary.
+    pub const SEED: u64 = 2003;
+}
+
+/// Fig 4.2 — buffer utilization of different handoff mechanisms.
+#[must_use]
+pub fn fig4_2() -> String {
+    let series = experiments::buffer_utilization(BufferUtilizationParams::default());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 4.2 — packet drops vs simultaneous handoffs (64 kb/s per host)"
+    );
+    let _ = write!(out, "{:>5}", "MHs");
+    for s in &series {
+        let _ = write!(out, "{:>8}", s.label);
+    }
+    let _ = writeln!(out);
+    let n_points = series[0].points.len();
+    for i in 0..n_points {
+        let _ = write!(out, "{:>5}", series[0].points[i].0);
+        for s in &series {
+            let _ = write!(out, "{:>8}", s.points[i].1);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn render_qos(result: &experiments::QosDropsResult, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>9}{:>10}{:>10}{:>10}",
+        "handoffs", "F1(RT)", "F2(HP)", "F3(BE)"
+    );
+    let n = result.drops[0].len();
+    let mut idx = 9; // print handoff 10, 20, …
+    while idx < n {
+        let _ = writeln!(
+            out,
+            "{:>9}{:>10}{:>10}{:>10}",
+            idx + 1,
+            result.drops[0][idx],
+            result.drops[1][idx],
+            result.drops[2][idx]
+        );
+        idx += 10;
+    }
+    out
+}
+
+/// Fig 4.3 — drops per flow, original fast handover, buffer = 40.
+#[must_use]
+pub fn fig4_3() -> String {
+    let r = experiments::qos_drops(
+        Scheme::NarOnly,
+        params::FH_CAPACITY,
+        params::REQUEST,
+        params::HANDOFFS,
+        params::SEED,
+    );
+    render_qos(
+        &r,
+        "Fig 4.3 — cumulative drops, original fast handover (buffer 40)",
+    )
+}
+
+/// Fig 4.4 — drops per flow, proposed method, classification disabled.
+#[must_use]
+pub fn fig4_4() -> String {
+    let r = experiments::qos_drops(
+        Scheme::Dual { classify: false },
+        params::PROPOSED_CAPACITY,
+        params::REQUEST,
+        params::HANDOFFS,
+        params::SEED,
+    );
+    render_qos(
+        &r,
+        "Fig 4.4 — cumulative drops, proposed method (buffer 20, class disabled)",
+    )
+}
+
+/// Fig 4.5 — drops per flow, proposed method, classification enabled.
+#[must_use]
+pub fn fig4_5() -> String {
+    let r = experiments::qos_drops(
+        Scheme::Dual { classify: true },
+        params::PROPOSED_CAPACITY,
+        params::REQUEST,
+        params::HANDOFFS,
+        params::SEED,
+    );
+    render_qos(
+        &r,
+        "Fig 4.5 — cumulative drops, proposed method (buffer 20, class enabled)",
+    )
+}
+
+/// Fig 4.6 — drops vs per-flow data rate, one handoff, proposed method.
+#[must_use]
+pub fn fig4_6() -> String {
+    let r = experiments::rate_sweep(
+        &FIG_4_6_RATES,
+        params::PROPOSED_CAPACITY,
+        params::REQUEST,
+        params::SEED,
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 4.6 — drops vs data rate (one handoff, class enabled)");
+    let _ = writeln!(
+        out,
+        "{:>10}{:>10}{:>10}{:>10}",
+        "kb/s", "F1(RT)", "F2(HP)", "F3(BE)"
+    );
+    for (i, &rate) in r.rates_kbps.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>10.1}{:>10}{:>10}{:>10}",
+            rate, r.drops[0][i], r.drops[1][i], r.drops[2][i]
+        );
+    }
+    out
+}
+
+fn render_delay(r: &experiments::DelayTraceResult, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let Some(spike) = r.spike_start else {
+        let _ = writeln!(out, "  (no delay spike found)");
+        return out;
+    };
+    let from = spike.saturating_sub(3);
+    let to = spike + 27;
+    let _ = writeln!(
+        out,
+        "{:>6}{:>12}{:>12}{:>12}   (delays in ms; '-' = lost)",
+        "seq", "F1(RT)", "F2(HP)", "F3(BE)"
+    );
+    for seq in from..to {
+        let _ = write!(out, "{seq:>6}");
+        for k in 0..3 {
+            match r.series[k].iter().find(|&&(s, _)| s == seq) {
+                Some(&(_, d)) => {
+                    let _ = write!(out, "{:>12.1}", d * 1e3);
+                }
+                None => {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Fig 4.7 — end-to-end delay, original fast handover (buffer 40).
+#[must_use]
+pub fn fig4_7() -> String {
+    let r = experiments::delay_trace(
+        Scheme::NarOnly,
+        params::FH_CAPACITY,
+        params::REQUEST,
+        SimDuration::from_millis(2),
+        params::SEED,
+    );
+    render_delay(&r, "Fig 4.7 — e2e delay, fast handover (buffer 40)")
+}
+
+/// Fig 4.8 — end-to-end delay, proposed (buffer 20, class disabled).
+#[must_use]
+pub fn fig4_8() -> String {
+    let r = experiments::delay_trace(
+        Scheme::Dual { classify: false },
+        params::PROPOSED_CAPACITY,
+        params::REQUEST,
+        SimDuration::from_millis(2),
+        params::SEED,
+    );
+    render_delay(&r, "Fig 4.8 — e2e delay, proposed (buffer 20, class disabled)")
+}
+
+/// Fig 4.9 — delay with classification, PAR↔NAR link delay 2 ms.
+#[must_use]
+pub fn fig4_9() -> String {
+    let r = experiments::delay_trace(
+        Scheme::Dual { classify: true },
+        params::PROPOSED_CAPACITY,
+        params::REQUEST,
+        SimDuration::from_millis(2),
+        params::SEED,
+    );
+    render_delay(&r, "Fig 4.9 — e2e delay, proposed + class (AR link 2 ms)")
+}
+
+/// Fig 4.10 — delay with classification, PAR↔NAR link delay 50 ms.
+#[must_use]
+pub fn fig4_10() -> String {
+    let r = experiments::delay_trace(
+        Scheme::Dual { classify: true },
+        params::PROPOSED_CAPACITY,
+        params::REQUEST,
+        SimDuration::from_millis(50),
+        params::SEED,
+    );
+    render_delay(&r, "Fig 4.10 — e2e delay, proposed + class (AR link 50 ms)")
+}
+
+fn render_tcp(r: &experiments::TcpHandoffResult, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if let Some((down, up)) = r.blackout {
+        let _ = writeln!(out, "  black-out: {down:.3} s → {up:.3} s");
+    }
+    let _ = writeln!(out, "  timeouts: {:?}", r.timeouts);
+    let _ = writeln!(out, "  bytes delivered in order: {}", r.bytes_delivered);
+    // Sequence trace around the black-out.
+    if let Some((down, up)) = r.blackout {
+        let lo = down - 0.3;
+        let hi = up + 2.0;
+        let _ = writeln!(out, "  sender transmissions (t, seg) in window:");
+        let picks: Vec<_> = r
+            .sent
+            .iter()
+            .filter(|&&(t, _)| t >= lo && t <= hi)
+            .collect();
+        for chunk in picks.chunks(6) {
+            let _ = write!(out, "   ");
+            for &&(t, s) in chunk {
+                let _ = write!(out, " ({t:.3},{s})");
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "  receiver arrivals (t, seg) in window:");
+        let picks: Vec<_> = r
+            .received
+            .iter()
+            .filter(|&&(t, _)| t >= lo && t <= hi)
+            .collect();
+        for chunk in picks.chunks(6) {
+            let _ = write!(out, "   ");
+            for &&(t, s) in chunk {
+                let _ = write!(out, " ({t:.3},{s})");
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Fig 4.12 — TCP sequence trace through an L2 handoff, no buffering.
+#[must_use]
+pub fn fig4_12() -> String {
+    let r = experiments::tcp_l2_handoff(false, params::SEED);
+    render_tcp(&r, "Fig 4.12 — TCP through L2 handoff (no buffering)")
+}
+
+/// Fig 4.13 — TCP sequence trace through an L2 handoff, proposed method.
+#[must_use]
+pub fn fig4_13() -> String {
+    let r = experiments::tcp_l2_handoff(true, params::SEED);
+    render_tcp(&r, "Fig 4.13 — TCP through L2 handoff (proposed method)")
+}
+
+/// Fig 4.14 — TCP throughput during the L2 handoff, both runs.
+#[must_use]
+pub fn fig4_14() -> String {
+    let with = experiments::tcp_l2_handoff(true, params::SEED);
+    let without = experiments::tcp_l2_handoff(false, params::SEED);
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 4.14 — TCP throughput during L2 handoff (Mbit/s per 100 ms)");
+    let _ = writeln!(out, "{:>8}{:>10}{:>10}", "t (s)", "buffer", "none");
+    let lo = with.blackout.map_or(2.0, |(d, _)| d - 0.5);
+    for (i, &(t, mbps)) in with.throughput.iter().enumerate() {
+        if t < lo || t > lo + 3.5 {
+            continue;
+        }
+        let none = without.throughput.get(i).map_or(0.0, |&(_, m)| m);
+        let _ = writeln!(out, "{t:>8.1}{mbps:>10.2}{none:>10.2}");
+    }
+    let _ = writeln!(
+        out,
+        "totals: {} bytes (buffer) vs {} bytes (none)",
+        with.bytes_delivered, without.bytes_delivered
+    );
+    out
+}
+
+/// Ablation — best-effort admission threshold `a`.
+#[must_use]
+pub fn ablation_threshold() -> String {
+    let r = experiments::threshold_sweep(&[0, 1, 2, 4, 8, 12, 16, 19], params::SEED);
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation — threshold a (case 1c/3c admission)");
+    let _ = writeln!(out, "{:>5}{:>10}{:>10}", "a", "BE drops", "HP drops");
+    for (i, &a) in r.thresholds.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>5}{:>10}{:>10}",
+            a, r.best_effort_drops[i], r.high_priority_drops[i]
+        );
+    }
+    out
+}
+
+/// Ablation — black-out duration (60–400 ms measured 802.11 range).
+#[must_use]
+pub fn ablation_blackout() -> String {
+    let r = experiments::blackout_sweep(&[60, 100, 200, 300, 400], params::SEED);
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation — L2 black-out duration vs total drops");
+    let _ = writeln!(out, "{:>8}{:>12}{:>12}", "ms", "proposed", "no buffer");
+    for (i, &ms) in r.blackout_ms.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>8}{:>12}{:>12}",
+            ms, r.with_buffering[i], r.without_buffering[i]
+        );
+    }
+    out
+}
+
+/// Ablation — per-packet flush processing cost (§4.2.3 observation).
+#[must_use]
+pub fn ablation_pacing() -> String {
+    let r = experiments::flush_pacing_sweep(&[0, 500, 1_000, 2_000, 5_000], params::SEED);
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation — flush pacing vs worst-case delay (HP flow)");
+    let _ = writeln!(out, "{:>12}{:>14}{:>10}", "spacing (us)", "p99 delay ms", "losses");
+    for (i, &us) in r.spacing_us.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>12}{:>14.1}{:>10}",
+            us, r.p99_delay_ms[i], r.hp_losses[i]
+        );
+    }
+    out
+}
+
+/// Ablation — handover quality while a neighbor saturates the cell.
+#[must_use]
+pub fn ablation_background() -> String {
+    let r = experiments::background_load(&[64.0, 256.0, 512.0, 1024.0], params::SEED);
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation — background cell load vs handover quality");
+    let _ = writeln!(
+        out,
+        "{:>10}{:>10}{:>12}{:>10}",
+        "bg kb/s", "HP lost", "HP p99 ms", "BG lost"
+    );
+    for (i, &k) in r.bg_kbps.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>10.0}{:>10}{:>12.1}{:>10}",
+            k, r.hp_losses[i], r.hp_p99_ms[i], r.bg_losses[i]
+        );
+    }
+    out
+}
+
+/// Ablation — signaling accounting for one proposed-scheme handover.
+#[must_use]
+pub fn ablation_signaling() -> String {
+    let r = experiments::signaling_overhead(params::SEED);
+    let mut out = String::new();
+    let _ = writeln!(out, "Signaling — control messages for one handover (§3.3)");
+    for (kind, count) in &r.by_kind {
+        if *count > 0 {
+            let _ = writeln!(out, "{kind:>12}: {count}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "total={} piggybacked={} control_bytes={}",
+        r.total, r.piggybacked, r.control_bytes
+    );
+    out
+}

@@ -1,0 +1,51 @@
+//! `repro` — regenerate every table and figure of the evaluation.
+//!
+//! ```sh
+//! cargo run -p fh-bench --bin repro --release                   # everything
+//! cargo run -p fh-bench --bin repro --release -- fig4.2         # one figure
+//! cargo run -p fh-bench --bin repro --release -- --csv fig4.2   # CSV series
+//! ```
+
+use std::env;
+
+type Figure = (&'static str, fn() -> String);
+
+fn main() {
+    let mut filters: Vec<String> = env::args().skip(1).collect();
+    if filters.first().map(String::as_str) == Some("--csv") {
+        filters.remove(0);
+        for figure in &filters {
+            match fh_bench::csv::csv_for(figure) {
+                Some(csv) => print!("{csv}"),
+                None => eprintln!("no CSV writer for {figure}"),
+            }
+        }
+        return;
+    }
+    let figures: Vec<Figure> = vec![
+        ("fig4.2", fh_bench::fig4_2),
+        ("fig4.3", fh_bench::fig4_3),
+        ("fig4.4", fh_bench::fig4_4),
+        ("fig4.5", fh_bench::fig4_5),
+        ("fig4.6", fh_bench::fig4_6),
+        ("fig4.7", fh_bench::fig4_7),
+        ("fig4.8", fh_bench::fig4_8),
+        ("fig4.9", fh_bench::fig4_9),
+        ("fig4.10", fh_bench::fig4_10),
+        ("fig4.12", fh_bench::fig4_12),
+        ("fig4.13", fh_bench::fig4_13),
+        ("fig4.14", fh_bench::fig4_14),
+        ("threshold", fh_bench::ablation_threshold),
+        ("pacing", fh_bench::ablation_pacing),
+        ("background", fh_bench::ablation_background),
+        ("blackout", fh_bench::ablation_blackout),
+        ("signaling", fh_bench::ablation_signaling),
+    ];
+    for (name, f) in figures {
+        if !filters.is_empty() && !filters.iter().any(|x| name.contains(x.as_str())) {
+            continue;
+        }
+        println!("==== {name} ====");
+        println!("{}", f());
+    }
+}

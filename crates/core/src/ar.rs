@@ -1,0 +1,1189 @@
+//! The access-router agent: PAR and NAR roles of the enhanced fast
+//! handover protocol.
+//!
+//! One [`ArAgent`] runs on every access router and plays **both** roles,
+//! per handover session:
+//!
+//! * **PAR role** (the router the host is leaving) — answers RtSolPr+BI,
+//!   reserves local buffer space, negotiates with the NAR through HI+BR /
+//!   HAck+BA, advertises the outcome in PrRtAdv, and on FBU redirects every
+//!   packet for the departing host according to the Table 3.3 operation
+//!   matrix ([`crate::policy`]). On BufferForward it flushes its buffer
+//!   through the inter-router tunnel.
+//! * **NAR role** (the router the host is joining) — grants or denies
+//!   buffer space, installs a host route for the previous care-of address,
+//!   buffers or immediately delivers tunneled packets, reports BufferFull
+//!   so the PAR can take over high-priority traffic, and on FNA+BF flushes
+//!   its buffer over the air and relays BF to the PAR.
+//!
+//! A handover within the router's own cell set (the pure link-layer
+//! handoff of Fig 3.5) short-circuits the negotiation: the router grants
+//! from its own pool and answers PrRtAdv directly.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use fh_sim::SimDuration;
+
+use fh_net::{
+    msg::{AckStatus, AuthToken, BufferAck, BufferInit, BufferRequest},
+    send_from, transmit_on, ApId, ControlMsg, DropReason, LinkId, NetCtx, NetMsg, NodeId,
+    Packet, Payload, Prefix, ServiceClass, TimerKind,
+};
+use fh_wireless::{send_downlink, RadioWorld};
+
+use crate::buffer::{AdmissionLimit, BufferPool};
+use crate::policy::{nar_action, nar_overflow, par_action, AvailabilityCase, NarAction, NarOverflow, ParAction};
+use crate::scheme::ProtocolConfig;
+
+/// Counters an access router keeps about its protocol activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArMetrics {
+    /// Handover sessions served in the PAR role.
+    pub par_sessions: u64,
+    /// Handover sessions served in the NAR role.
+    pub nar_sessions: u64,
+    /// Pure link-layer (intra-router) handovers served.
+    pub intra_sessions: u64,
+    /// BufferFull notifications sent (NAR role).
+    pub buffer_full_sent: u64,
+    /// Buffer flushes performed (both roles).
+    pub flushes: u64,
+    /// Sessions whose reservation lifetime expired.
+    pub expired_sessions: u64,
+    /// FNAs rejected by the authentication check.
+    pub auth_rejections: u64,
+    /// Guard-buffering sessions served (standalone BI, §3.3 link-quality
+    /// buffering / smooth-handover draft).
+    pub guard_sessions: u64,
+    /// Finalized handover sessions per Table 3.2 availability case
+    /// (`[both, nar-only, par-only, none]`).
+    pub case_counts: [u64; 4],
+}
+
+/// Index of an [`AvailabilityCase`] into [`ArMetrics::case_counts`].
+fn case_index(case: AvailabilityCase) -> usize {
+    match case {
+        AvailabilityCase::BothAvailable => 0,
+        AvailabilityCase::NarOnly => 1,
+        AvailabilityCase::ParOnly => 2,
+        AvailabilityCase::NoneAvailable => 3,
+    }
+}
+
+/// Where a paced flush sends its packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushTarget {
+    /// Through the inter-router tunnel toward this NAR address.
+    Tunnel(Ipv6Addr),
+    /// Over the air to this host.
+    Radio(NodeId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParState {
+    /// HI sent, waiting for the NAR's HAck.
+    AwaitHAck,
+    /// PrRtAdv sent; waiting for the FBU.
+    Ready,
+    /// FBU received: redirection active.
+    Redirecting,
+    /// Buffer flushed; tunnel stays up for stragglers.
+    Released,
+}
+
+#[derive(Debug)]
+struct ParSession {
+    mh: NodeId,
+    ncoa: Option<Ipv6Addr>,
+    /// `None` for a pure link-layer (intra-router) handover.
+    nar_addr: Option<Ipv6Addr>,
+    /// `true` if the host piggybacked a BI on its RtSolPr.
+    wants_buffer: bool,
+    state: ParState,
+    case: AvailabilityCase,
+    nar_full: bool,
+    lifetime_token: u64,
+    auth: Option<AuthToken>,
+}
+
+#[derive(Debug)]
+struct NarSession {
+    mh_l2: NodeId,
+    par_addr: Ipv6Addr,
+    granted: u32,
+    /// `true` until the host attaches and the buffer is flushed.
+    buffering: bool,
+    full_notified: bool,
+    lifetime_token: u64,
+    auth: Option<AuthToken>,
+}
+
+/// The access-router protocol agent (PAR + NAR roles).
+#[derive(Debug)]
+pub struct ArAgent {
+    /// The node this agent runs on.
+    pub node: NodeId,
+    /// The router's own address.
+    pub addr: Ipv6Addr,
+    /// The on-link prefix mobile hosts form care-of addresses from.
+    pub prefix: Prefix,
+    /// Access points belonging to this router.
+    pub aps: Vec<ApId>,
+    /// The MAP advertised in router advertisements.
+    pub map_addr: Ipv6Addr,
+    /// Protocol parameters.
+    pub config: ProtocolConfig,
+    /// The handover buffer pool.
+    pub pool: BufferPool,
+    /// Activity counters.
+    pub metrics: ArMetrics,
+    ap_directory: HashMap<ApId, Ipv6Addr>,
+    peer_links: HashMap<Ipv6Addr, LinkId>,
+    neighbors: HashMap<Ipv6Addr, NodeId>,
+    par_sessions: HashMap<Ipv6Addr, ParSession>,
+    nar_sessions: HashMap<Ipv6Addr, NarSession>,
+    flushing: HashMap<Ipv6Addr, (FlushTarget, u64)>,
+    timer_sessions: HashMap<u64, Ipv6Addr>,
+    next_token: u64,
+    auth_seed: u64,
+}
+
+impl ArAgent {
+    /// Creates an access-router agent.
+    #[must_use]
+    pub fn new(
+        node: NodeId,
+        addr: Ipv6Addr,
+        prefix: Prefix,
+        aps: Vec<ApId>,
+        map_addr: Ipv6Addr,
+        config: ProtocolConfig,
+        pool_capacity: usize,
+    ) -> Self {
+        assert!(prefix.contains(addr), "router address must be on-link");
+        ArAgent {
+            node,
+            addr,
+            prefix,
+            aps,
+            map_addr,
+            config,
+            pool: BufferPool::new(pool_capacity),
+            metrics: ArMetrics::default(),
+            ap_directory: HashMap::new(),
+            peer_links: HashMap::new(),
+            neighbors: HashMap::new(),
+            par_sessions: HashMap::new(),
+            nar_sessions: HashMap::new(),
+            flushing: HashMap::new(),
+            timer_sessions: HashMap::new(),
+            next_token: 1,
+            auth_seed: 0x5eed,
+        }
+    }
+
+    /// Teaches this router which address serves a (foreign) access point,
+    /// so RtSolPr targets can be resolved to the right NAR.
+    pub fn learn_ap(&mut self, ap: ApId, router_addr: Ipv6Addr) {
+        self.ap_directory.insert(ap, router_addr);
+    }
+
+    /// Pins traffic toward `peer` to a specific link — the FMIPv6
+    /// bidirectional tunnel is a point-to-point interface between the two
+    /// access routers, not subject to shortest-path routing.
+    pub fn learn_peer_link(&mut self, peer: Ipv6Addr, link: LinkId) {
+        self.peer_links.insert(peer, link);
+    }
+
+    /// Sends a packet toward another router, preferring a pinned peer link.
+    fn send_wired<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pkt: Packet) {
+        if let Some(&link) = self.peer_links.get(&pkt.dst) {
+            let node = self.node;
+            let _ = transmit_on(ctx, link, node, pkt);
+            return;
+        }
+        let node = self.node;
+        let _ = send_from(ctx, node, pkt);
+    }
+
+    /// Builds, accounts and sends a control message to another router.
+    fn send_control_wired<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        dst: Ipv6Addr,
+        msg: ControlMsg,
+    ) {
+        fh_net::record_control(ctx, &msg);
+        let pkt = Packet::control(self.addr, dst, msg, ctx.now());
+        self.send_wired(ctx, pkt);
+    }
+
+    /// The registered on-link neighbor for `addr`, if any.
+    #[must_use]
+    pub fn neighbor(&self, addr: Ipv6Addr) -> Option<NodeId> {
+        self.neighbors.get(&addr).copied()
+    }
+
+    /// `true` if `ap` belongs to this router.
+    #[must_use]
+    pub fn owns_ap(&self, ap: ApId) -> bool {
+        self.aps.contains(&ap)
+    }
+
+    fn fresh_token(&mut self, key: Ipv6Addr) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timer_sessions.insert(token, key);
+        token
+    }
+
+    // ------------------------------------------------------------------
+    // Event entry point
+    // ------------------------------------------------------------------
+
+    /// Handles one simulator event for this router.
+    pub fn handle<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, msg: NetMsg) {
+        match msg {
+            NetMsg::Start => {
+                let jitter = SimDuration::from_micros(ctx.rng.gen_range_u64(1000));
+                ctx.send_self(
+                    jitter,
+                    NetMsg::Timer {
+                        kind: TimerKind::RouterAdvertisement,
+                        token: 0,
+                    },
+                );
+            }
+            NetMsg::Timer { kind, token } => self.on_timer(ctx, kind, token),
+            NetMsg::LinkPacket { pkt, .. } => {
+                let node = self.node;
+                if let Some(local) = send_from(ctx, node, pkt) {
+                    self.handle_local(ctx, local);
+                }
+            }
+            NetMsg::RadioPacket { from, pkt, .. } => self.handle_uplink(ctx, from, pkt),
+            NetMsg::L2(_) => {}
+        }
+    }
+
+    fn on_timer<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, kind: TimerKind, token: u64) {
+        match kind {
+            TimerKind::RouterAdvertisement => {
+                self.broadcast_ra(ctx);
+                ctx.send_self(
+                    self.config.ra_interval,
+                    NetMsg::Timer {
+                        kind: TimerKind::RouterAdvertisement,
+                        token: 0,
+                    },
+                );
+            }
+            TimerKind::BufferStart => {
+                // One-shot: reclaim the token so long-running routers do
+                // not accumulate stale entries.
+                if let Some(pcoa) = self.timer_sessions.remove(&token) {
+                    if let Some(sess) = self.par_sessions.get_mut(&pcoa) {
+                        if sess.state == ParState::Ready {
+                            // Auto-start buffering: the host vanished without
+                            // managing to send its FBU (BI start-time field).
+                            sess.state = ParState::Redirecting;
+                        }
+                    }
+                }
+            }
+            TimerKind::BufferLifetime => {
+                if let Some(pcoa) = self.timer_sessions.remove(&token) {
+                    self.expire_session(ctx, pcoa, token);
+                }
+            }
+            TimerKind::FlushStep => self.flush_step(ctx, token),
+            _ => {}
+        }
+    }
+
+    fn expire_session<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr, token: u64) {
+        let par_match = self
+            .par_sessions
+            .get(&pcoa)
+            .is_some_and(|s| s.lifetime_token == token);
+        if par_match {
+            self.par_sessions.remove(&pcoa);
+            for pkt in self.pool.expire(pcoa) {
+                fh_net::record_drop(ctx, pkt.flow, DropReason::LifetimeExpired);
+            }
+            self.metrics.expired_sessions += 1;
+        }
+        let nar_match = self
+            .nar_sessions
+            .get(&pcoa)
+            .is_some_and(|s| s.lifetime_token == token);
+        if nar_match {
+            self.nar_sessions.remove(&pcoa);
+            for pkt in self.pool.expire(pcoa) {
+                fh_net::record_drop(ctx, pkt.flow, DropReason::LifetimeExpired);
+            }
+            self.metrics.expired_sessions += 1;
+        }
+    }
+
+    fn broadcast_ra<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        let ra = ControlMsg::RouterAdvertisement {
+            prefix: self.prefix,
+            router: self.addr,
+            map: Some(self.map_addr),
+            buffering: self.config.scheme.buffers(),
+        };
+        for &ap in &self.aps.clone() {
+            let mhs = ctx.shared.radio().attached_mhs(ap);
+            for mh in mhs {
+                fh_net::record_control(ctx, &ra);
+                let pkt = Packet::control(self.addr, self.prefix.host(0xffff), ra.clone(), ctx.now());
+                send_downlink(ctx, ap, mh, pkt);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Uplink (radio) handling
+    // ------------------------------------------------------------------
+
+    fn handle_uplink<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, from: NodeId, pkt: Packet) {
+        if pkt.dst == self.addr {
+            if let Payload::Control(msg) = pkt.payload.clone() {
+                self.handle_mh_control(ctx, from, pkt.src, msg);
+                return;
+            }
+        }
+        // Anything else from a host is forwarded into the network (or to an
+        // on-link neighbor).
+        self.deliver_or_forward(ctx, pkt);
+    }
+
+    fn handle_mh_control<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        from: NodeId,
+        src: Ipv6Addr,
+        msg: ControlMsg,
+    ) {
+        match msg {
+            ControlMsg::RtSolPr { target_ap, bi } => {
+                self.on_rtsolpr(ctx, from, src, target_ap, bi);
+            }
+            ControlMsg::FastBindingUpdate { pcoa, ncoa } => {
+                self.on_fbu(ctx, pcoa, ncoa);
+            }
+            ControlMsg::FastNeighborAdvertisement {
+                ncoa,
+                pcoa,
+                bf,
+                auth,
+            } => {
+                self.on_fna(ctx, from, ncoa, pcoa, bf, auth);
+            }
+            ControlMsg::BufferForward { pcoa } => {
+                // Standalone BF from the host: pure-L2 flush (Fig 3.5) or
+                // the end of a guard-buffering episode.
+                self.flush_par(ctx, pcoa);
+            }
+            ControlMsg::BufferInit(bi) => {
+                // Standalone BI (smooth-handover draft, Fig 2.4): the host
+                // asks its current router to buffer — e.g. because it
+                // detected poor link quality (§3.3). Buffering starts at
+                // once and releases on a standalone BF.
+                self.on_guard_buffer_init(ctx, from, src, bi);
+            }
+            ControlMsg::RouterSolicitation => {
+                let ra = ControlMsg::RouterAdvertisement {
+                    prefix: self.prefix,
+                    router: self.addr,
+                    map: Some(self.map_addr),
+                    buffering: self.config.scheme.buffers(),
+                };
+                if let Some(ap) = ctx.shared.radio().attachment(from) {
+                    if self.owns_ap(ap) {
+                        fh_net::record_control(ctx, &ra);
+                        let pkt = Packet::control(self.addr, src, ra, ctx.now());
+                        send_downlink(ctx, ap, from, pkt);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Handover initiation, PAR side (Fig 3.3).
+    fn on_rtsolpr<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        mh: NodeId,
+        pcoa: Ipv6Addr,
+        target_ap: ApId,
+        bi: Option<BufferInit>,
+    ) {
+        // Cancel request: zero start time and lifetime (§3.2.2.1).
+        if bi.as_ref().is_some_and(BufferInit::is_cancel) {
+            if self.par_sessions.remove(&pcoa).is_some() {
+                self.pool.release(pcoa);
+            }
+            return;
+        }
+        let lifetime = bi
+            .as_ref()
+            .map_or(self.config.reservation_lifetime, |b| b.lifetime);
+        let wants_buffer = bi.is_some();
+        // Split the request between the two routers: the proposed scheme
+        // uses *both* buffer spaces (§3.1.2 "maximize buffer utilization"),
+        // so each router is asked for half; the baselines put everything on
+        // their single router.
+        let requested = bi.as_ref().map_or(0, |b| b.size);
+        let scheme = self.config.scheme;
+        let (par_request, nar_request) = match (scheme.uses_par_buffer(), scheme.uses_nar_buffer())
+        {
+            (true, true) => (requested.div_ceil(2), requested / 2),
+            (true, false) => (requested, 0),
+            (false, true) => (0, requested),
+            (false, false) => (0, 0),
+        };
+        // Reserve locally first so the availability case is known in full
+        // once the HAck returns.
+        let par_granted = if wants_buffer && par_request > 0 {
+            self.pool.grant(pcoa, par_request)
+        } else {
+            self.pool.open_unreserved(pcoa);
+            0
+        };
+        let auth = self.config.auth_required.then(|| {
+            self.auth_seed = self.auth_seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+            AuthToken(self.auth_seed)
+        });
+        let lifetime_token = self.fresh_token(pcoa);
+        if !lifetime.is_zero() && lifetime != SimDuration::MAX {
+            ctx.send_self(
+                lifetime,
+                NetMsg::Timer {
+                    kind: TimerKind::BufferLifetime,
+                    token: lifetime_token,
+                },
+            );
+        }
+
+        if self.owns_ap(target_ap) {
+            // Pure link-layer handoff (Fig 3.5): there is no NAR to share
+            // with, so the whole request lands in our own pool.
+            let par_granted = if wants_buffer && self.config.scheme.buffers() {
+                self.pool.grant(pcoa, requested)
+            } else {
+                par_granted
+            };
+            self.metrics.intra_sessions += 1;
+            self.par_sessions.insert(
+                pcoa,
+                ParSession {
+                    mh,
+                    ncoa: Some(pcoa),
+                    nar_addr: None,
+                    wants_buffer,
+                    state: ParState::Ready,
+                    case: AvailabilityCase::from_grants(false, par_granted > 0),
+                    nar_full: false,
+                    lifetime_token,
+                    auth,
+                },
+            );
+            self.schedule_buffer_start(ctx, pcoa, bi.as_ref());
+            let reply = ControlMsg::PrRtAdv {
+                target_ap,
+                nar_prefix: self.prefix,
+                nar_addr: self.addr,
+                ba: wants_buffer.then_some(BufferAck {
+                    nar_granted: 0,
+                    par_granted,
+                }),
+                auth,
+            };
+            self.send_to_mh(ctx, mh, pcoa, reply);
+            return;
+        }
+
+        let Some(&nar_addr) = self.ap_directory.get(&target_ap) else {
+            // Unknown target AP: nothing we can do but ignore (the host
+            // will hand off without anticipation).
+            return;
+        };
+        self.metrics.par_sessions += 1;
+        self.par_sessions.insert(
+            pcoa,
+            ParSession {
+                mh,
+                ncoa: None,
+                nar_addr: Some(nar_addr),
+                wants_buffer,
+                state: ParState::AwaitHAck,
+                case: AvailabilityCase::from_grants(false, par_granted > 0),
+                nar_full: false,
+                lifetime_token,
+                auth,
+            },
+        );
+        self.schedule_buffer_start(ctx, pcoa, bi.as_ref());
+        let br = (wants_buffer && nar_request > 0).then_some(BufferRequest {
+            size: nar_request,
+            lifetime,
+        });
+        let per_class = self.config.precise_negotiation.then(|| {
+            // Even split between real-time, high-priority and best effort.
+            [nar_request / 3, nar_request.div_ceil(3), nar_request / 3]
+        });
+        let hi = ControlMsg::HandoverInitiate {
+            pcoa,
+            mh_l2: mh,
+            ncoa: None,
+            br,
+            per_class,
+            auth,
+        };
+        self.send_control_wired(ctx, nar_addr, hi);
+    }
+
+    /// Standalone BI: open (or cancel) a guard-buffering session keyed by
+    /// the host's current address. The session looks like an intra-router
+    /// handover already in the redirecting state, so the Table 3.3 policy
+    /// applies with the PAR-only availability case.
+    fn on_guard_buffer_init<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        mh: NodeId,
+        addr: Ipv6Addr,
+        bi: BufferInit,
+    ) {
+        if bi.is_cancel() {
+            if self.par_sessions.remove(&addr).is_some() {
+                for pkt in self.pool.release(addr) {
+                    // Cancelled with packets queued: deliver what we have.
+                    self.radio_deliver(ctx, mh, pkt);
+                }
+            }
+            return;
+        }
+        let granted = self.pool.grant(addr, bi.size);
+        self.metrics.guard_sessions += 1;
+        let lifetime_token = self.fresh_token(addr);
+        if !bi.lifetime.is_zero() && bi.lifetime != SimDuration::MAX {
+            ctx.send_self(
+                bi.lifetime,
+                NetMsg::Timer {
+                    kind: TimerKind::BufferLifetime,
+                    token: lifetime_token,
+                },
+            );
+        }
+        let case = AvailabilityCase::from_grants(false, granted > 0);
+        self.metrics.case_counts[case_index(case)] += 1;
+        self.par_sessions.insert(
+            addr,
+            ParSession {
+                mh,
+                ncoa: Some(addr),
+                nar_addr: None,
+                wants_buffer: true,
+                state: ParState::Redirecting,
+                case,
+                nar_full: false,
+                lifetime_token,
+                auth: None,
+            },
+        );
+        let ba = ControlMsg::BufferAck(BufferAck {
+            nar_granted: 0,
+            par_granted: granted,
+        });
+        self.send_to_mh(ctx, mh, addr, ba);
+    }
+
+    fn schedule_buffer_start<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        pcoa: Ipv6Addr,
+        bi: Option<&BufferInit>,
+    ) {
+        if let Some(bi) = bi {
+            if !bi.start_time.is_zero() {
+                let token = self.fresh_token(pcoa);
+                ctx.send_self(
+                    bi.start_time,
+                    NetMsg::Timer {
+                        kind: TimerKind::BufferStart,
+                        token,
+                    },
+                );
+            }
+        }
+    }
+
+    /// FBU: start redirecting (packet redirection phase, §3.2.2.2).
+    fn on_fbu<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr, ncoa: Ipv6Addr) {
+        let (mh, nar_addr, status) = match self.par_sessions.get_mut(&pcoa) {
+            Some(sess) => {
+                sess.ncoa = Some(ncoa);
+                if matches!(sess.state, ParState::AwaitHAck | ParState::Ready) {
+                    sess.state = ParState::Redirecting;
+                }
+                (sess.mh, sess.nar_addr, AckStatus::Accepted)
+            }
+            None => {
+                // FBU without prior RtSolPr (no anticipation): redirect
+                // unbuffered to the router owning the NCoA's subnet — we
+                // know nothing better. A session with no grants anywhere.
+                let mh = self.neighbors.get(&pcoa).copied();
+                let Some(mh) = mh else {
+                    return;
+                };
+                self.pool.open_unreserved(pcoa);
+                let lifetime_token = self.fresh_token(pcoa);
+                ctx.send_self(
+                    self.config.reservation_lifetime,
+                    NetMsg::Timer {
+                        kind: TimerKind::BufferLifetime,
+                        token: lifetime_token,
+                    },
+                );
+                self.par_sessions.insert(
+                    pcoa,
+                    ParSession {
+                        mh,
+                        ncoa: Some(ncoa),
+                        nar_addr: None,
+                        wants_buffer: false,
+                        state: ParState::Redirecting,
+                        case: AvailabilityCase::NoneAvailable,
+                        nar_full: false,
+                        lifetime_token,
+                        auth: None,
+                    },
+                );
+                (mh, None, AckStatus::Accepted)
+            }
+        };
+        // FBAck to the host on the old link (usually already gone) …
+        let fback = ControlMsg::FastBindingAck { pcoa, status };
+        self.send_to_mh(ctx, mh, pcoa, fback.clone());
+        // … and to the NAR.
+        if let Some(nar) = nar_addr {
+            self.send_control_wired(ctx, nar, fback);
+        }
+    }
+
+    /// FNA (+BF): the host arrived on our link (buffer release, §3.2.2.3).
+    fn on_fna<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        from: NodeId,
+        ncoa: Ipv6Addr,
+        pcoa: Ipv6Addr,
+        bf: bool,
+        auth: Option<AuthToken>,
+    ) {
+        if let Some(sess) = self.nar_sessions.get(&pcoa) {
+            if self.config.auth_required && sess.auth != auth {
+                self.metrics.auth_rejections += 1;
+                return;
+            }
+        } else if self.config.auth_required && pcoa != ncoa {
+            // An inter-router arrival we never agreed to.
+            self.metrics.auth_rejections += 1;
+            return;
+        }
+        // Install neighbor entries: the new address, and the previous one
+        // (the host keeps receiving tunneled PCoA traffic until the MAP
+        // binding update completes).
+        self.neighbors.insert(ncoa, from);
+        self.neighbors.insert(pcoa, from);
+        if let Some(sess) = self.nar_sessions.get_mut(&pcoa) {
+            sess.buffering = false;
+            let par_addr = sess.par_addr;
+            if bf {
+                self.flush_nar(ctx, pcoa, from);
+                let bf_msg = ControlMsg::BufferForward { pcoa };
+                self.send_control_wired(ctx, par_addr, bf_msg);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Wired-side handling
+    // ------------------------------------------------------------------
+
+    /// Processes a packet that terminates at this router (after routing).
+    pub fn handle_local<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pkt: Packet) {
+        if pkt.dst == self.addr {
+            match pkt.payload.clone() {
+                Payload::Encap(inner) => {
+                    // Tunnel terminates here: NAR-side processing.
+                    self.on_tunneled(ctx, *inner);
+                }
+                Payload::Control(msg) => self.on_wired_control(ctx, pkt.src, msg),
+                _ => {}
+            }
+            return;
+        }
+        self.deliver_or_forward(ctx, pkt);
+    }
+
+    fn on_wired_control<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        src: Ipv6Addr,
+        msg: ControlMsg,
+    ) {
+        match msg {
+            ControlMsg::HandoverInitiate {
+                pcoa,
+                mh_l2,
+                br,
+                auth,
+                per_class,
+                ..
+            } => {
+                self.on_hi(ctx, src, pcoa, mh_l2, br, per_class, auth);
+            }
+            ControlMsg::HandoverAck { pcoa, status, ba } => {
+                self.on_hack(ctx, pcoa, status, ba);
+            }
+            ControlMsg::BufferFull { pcoa } => {
+                if let Some(sess) = self.par_sessions.get_mut(&pcoa) {
+                    sess.nar_full = true;
+                }
+            }
+            ControlMsg::BufferForward { pcoa } => {
+                self.flush_par(ctx, pcoa);
+            }
+            ControlMsg::FastBindingUpdate { pcoa, ncoa } => {
+                // Forwarded FBU (host attached to the NAR before sending it).
+                self.on_fbu(ctx, pcoa, ncoa);
+            }
+            ControlMsg::FastBindingAck { .. } => {}
+            _ => {}
+        }
+    }
+
+    /// HI, NAR side: grant space, install the host route, acknowledge.
+    #[allow(clippy::too_many_arguments)] // mirrors the HI wire format
+    fn on_hi<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        par_addr: Ipv6Addr,
+        pcoa: Ipv6Addr,
+        mh_l2: NodeId,
+        br: Option<BufferRequest>,
+        per_class: Option<[u32; 3]>,
+        auth: Option<AuthToken>,
+    ) {
+        let requested = br.as_ref().map_or(0, |b| b.size);
+        let granted = if requested > 0 && self.config.scheme.uses_nar_buffer() {
+            match (self.config.precise_negotiation, per_class) {
+                (true, Some(pc)) => {
+                    // Precise extension (future work §5): per-class shares,
+                    // granted partially in priority order and enforced at
+                    // admission time.
+                    self.pool.grant_per_class(pcoa, pc).iter().sum()
+                }
+                (true, None) => {
+                    // Precise mode against a legacy peer: grant what fits.
+                    let fit = requested.min(self.pool.unreserved() as u32);
+                    if fit > 0 {
+                        self.pool.grant(pcoa, fit)
+                    } else {
+                        self.pool.open_unreserved(pcoa);
+                        0
+                    }
+                }
+                (false, _) => self.pool.grant(pcoa, requested),
+            }
+        } else {
+            self.pool.open_unreserved(pcoa);
+            0
+        };
+        self.metrics.nar_sessions += 1;
+        let lifetime = br.as_ref().map_or(self.config.reservation_lifetime, |b| b.lifetime);
+        let lifetime_token = self.fresh_token(pcoa);
+        if !lifetime.is_zero() && lifetime != SimDuration::MAX {
+            ctx.send_self(
+                lifetime,
+                NetMsg::Timer {
+                    kind: TimerKind::BufferLifetime,
+                    token: lifetime_token,
+                },
+            );
+        }
+        // Host route: deliveries for the PCoA now go over our radio.
+        self.neighbors.insert(pcoa, mh_l2);
+        self.nar_sessions.insert(
+            pcoa,
+            NarSession {
+                mh_l2,
+                par_addr,
+                granted,
+                buffering: true,
+                full_notified: false,
+                lifetime_token,
+                auth,
+            },
+        );
+        let hack = ControlMsg::HandoverAck {
+            pcoa,
+            status: AckStatus::Accepted,
+            ba: br.is_some().then_some(BufferAck {
+                nar_granted: granted,
+                par_granted: 0,
+            }),
+        };
+        self.send_control_wired(ctx, par_addr, hack);
+    }
+
+    /// HAck, PAR side: finish the negotiation and tell the host.
+    fn on_hack<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        pcoa: Ipv6Addr,
+        status: AckStatus,
+        ba: Option<BufferAck>,
+    ) {
+        let Some(sess) = self.par_sessions.get_mut(&pcoa) else {
+            return;
+        };
+        let nar_granted = ba.map_or(0, |b| b.nar_granted);
+        let par_granted = self.pool.granted(pcoa);
+        sess.case = AvailabilityCase::from_grants(
+            status.is_accepted() && nar_granted > 0,
+            par_granted > 0,
+        );
+        self.metrics.case_counts[case_index(sess.case)] += 1;
+        if sess.state == ParState::AwaitHAck {
+            sess.state = ParState::Ready;
+        }
+        let mh = sess.mh;
+        let auth = sess.auth;
+        let wants_buffer = sess.wants_buffer;
+        let nar_addr = sess.nar_addr.unwrap_or(self.addr);
+        let target_ap = self
+            .ap_directory
+            .iter()
+            .find(|&(_, &a)| a == nar_addr)
+            .map(|(&ap, _)| ap)
+            .unwrap_or(ApId(u32::MAX));
+        let (nar_prefix, nar_router) = (self.peer_prefix(nar_addr), nar_addr);
+        let adv = ControlMsg::PrRtAdv {
+            target_ap,
+            nar_prefix,
+            nar_addr: nar_router,
+            ba: wants_buffer.then_some(BufferAck {
+                nar_granted,
+                par_granted,
+            }),
+            auth,
+        };
+        self.send_to_mh(ctx, mh, pcoa, adv);
+    }
+
+    /// The advertised prefix of a peer router. Real FMIPv6 carries this in
+    /// the HAck/PrRtAdv exchange; we derive it from the peer's address.
+    fn peer_prefix(&self, router_addr: Ipv6Addr) -> Prefix {
+        Prefix::new(router_addr, self.prefix.len())
+    }
+
+    /// A packet tunneled to us for a handover host (NAR role).
+    fn on_tunneled<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, inner: Packet) {
+        let pcoa = inner.dst;
+        let class = inner.effective_class();
+        let scheme = self.config.scheme;
+        let Some(sess) = self.nar_sessions.get(&pcoa) else {
+            // No session (stragglers after release, or no-anticipation):
+            // plain delivery attempt.
+            self.deliver_or_forward(ctx, inner);
+            return;
+        };
+        let mh = sess.mh_l2;
+        let par_addr = sess.par_addr;
+        let granted = sess.granted;
+        if !sess.buffering {
+            self.deliver_or_forward(ctx, inner);
+            return;
+        }
+        let case = AvailabilityCase::from_grants(granted > 0, false);
+        match nar_action(scheme, case, class) {
+            NarAction::Deliver => {
+                self.radio_deliver(ctx, mh, inner);
+            }
+            NarAction::Buffer => {
+                let overflow = nar_overflow(scheme, class);
+                match overflow {
+                    NarOverflow::DropOldestRealtime => {
+                        match self.pool.buffer_realtime_dropfront(pcoa, inner) {
+                            Ok(None) => {}
+                            Ok(Some(evicted)) => {
+                                fh_net::record_drop(ctx, evicted.flow, DropReason::BufferOverflow);
+                            }
+                            Err(rejected) => {
+                                fh_net::record_drop(ctx, rejected.flow, DropReason::BufferOverflow);
+                            }
+                        }
+                    }
+                    NarOverflow::NotifyPar => {
+                        if let Err(rejected) =
+                            self.pool.try_buffer(pcoa, inner, AdmissionLimit::Grant)
+                        {
+                            let already = self
+                                .nar_sessions
+                                .get(&pcoa)
+                                .is_some_and(|s| s.full_notified);
+                            if !already {
+                                // Case 1.b: tell the PAR to buffer the rest,
+                                // and send the packet that did not fit back
+                                // through the reverse tunnel so the PAR can
+                                // buffer it too (the notification travels
+                                // the same link and arrives first).
+                                if let Some(s) = self.nar_sessions.get_mut(&pcoa) {
+                                    s.full_notified = true;
+                                }
+                                self.metrics.buffer_full_sent += 1;
+                                let addr = self.addr;
+                                self.send_control_wired(
+                                    ctx,
+                                    par_addr,
+                                    ControlMsg::BufferFull { pcoa },
+                                );
+                                let back = rejected.encapsulate(addr, par_addr);
+                                self.send_wired(ctx, back);
+                            } else {
+                                // Already spilling: last-ditch delivery
+                                // attempt (bounces are not allowed to loop).
+                                self.radio_deliver(ctx, mh, rejected);
+                            }
+                        }
+                    }
+                    NarOverflow::TailDrop => {
+                        if let Err(rejected) =
+                            self.pool.try_buffer(pcoa, inner, AdmissionLimit::Grant)
+                        {
+                            fh_net::record_drop(ctx, rejected.flow, DropReason::BufferOverflow);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Redirection of a packet addressed to a departing host (PAR role).
+    fn redirect<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr, pkt: Packet) {
+        let Some(sess) = self.par_sessions.get(&pcoa) else {
+            return;
+        };
+        let class = pkt.effective_class();
+        let scheme = self.config.scheme;
+        let action = if sess.state == ParState::Released {
+            // After the flush the tunnel stays up for stragglers.
+            match sess.nar_addr {
+                Some(_) => ParAction::TunnelUnbuffered,
+                None => ParAction::TunnelUnbuffered, // intra: deliver below
+            }
+        } else {
+            par_action(scheme, sess.case, class, sess.nar_full)
+        };
+        let mh = sess.mh;
+        let nar_addr = sess.nar_addr;
+        match action {
+            ParAction::TunnelBuffer | ParAction::TunnelUnbuffered => match nar_addr {
+                Some(nar) => {
+                    let outer = pkt.encapsulate(self.addr, nar);
+                    self.send_wired(ctx, outer);
+                }
+                None => {
+                    // Intra-router handoff: nowhere to tunnel; attempt radio
+                    // delivery (lost while the host is detached).
+                    self.radio_deliver(ctx, mh, pkt);
+                }
+            },
+            ParAction::BufferLocal => {
+                let limit = match (scheme.classifies(), class) {
+                    (true, ServiceClass::BestEffort | ServiceClass::Unspecified) => {
+                        AdmissionLimit::Threshold(self.config.threshold_a)
+                    }
+                    (true, _) => AdmissionLimit::Grant,
+                    // Class-blind schemes use the session grant when present,
+                    // otherwise whatever the pool will take.
+                    (false, _) => {
+                        if self.pool.granted(pcoa) > 0 {
+                            AdmissionLimit::Grant
+                        } else {
+                            AdmissionLimit::PoolOnly
+                        }
+                    }
+                };
+                if let Err(rejected) = self.pool.try_buffer(pcoa, pkt, limit) {
+                    match (class, nar_addr) {
+                        // Rejected high-priority: tunnel unbuffered rather
+                        // than drop — the drop-rate promise matters most.
+                        (ServiceClass::HighPriority, Some(nar)) => {
+                            let outer = rejected.encapsulate(self.addr, nar);
+                            self.send_wired(ctx, outer);
+                        }
+                        _ => {
+                            fh_net::record_drop(ctx, rejected.flow, DropReason::BufferOverflow);
+                        }
+                    }
+                }
+            }
+            ParAction::Drop => {
+                fh_net::record_drop(ctx, pkt.flow, DropReason::Policy);
+            }
+        }
+    }
+
+    /// Flushes the PAR buffer (BF received): tunnel everything to the NAR,
+    /// or straight over the air for an intra-router handoff.
+    fn flush_par<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr) {
+        let Some(sess) = self.par_sessions.get_mut(&pcoa) else {
+            return;
+        };
+        let nar_addr = sess.nar_addr;
+        let mh = sess.mh;
+        sess.state = ParState::Released;
+        if nar_addr.is_some() {
+            // The host now lives behind the NAR; drop the stale neighbor
+            // entry (kept for intra-router handoffs, where it stays valid).
+            self.neighbors.remove(&pcoa);
+        }
+        self.metrics.flushes += 1;
+        let target = match nar_addr {
+            Some(nar) => FlushTarget::Tunnel(nar),
+            None => FlushTarget::Radio(mh),
+        };
+        self.start_flush(ctx, pcoa, target);
+    }
+
+    /// Flushes the NAR buffer over the air (FNA+BF received).
+    fn flush_nar<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr, mh: NodeId) {
+        self.metrics.flushes += 1;
+        self.start_flush(ctx, pcoa, FlushTarget::Radio(mh));
+    }
+
+    /// Dispatches a flush: everything at once with zero spacing, or one
+    /// packet per [`ProtocolConfig::flush_spacing`] tick to model the
+    /// router's per-packet forwarding cost (§4.2.3).
+    fn start_flush<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        pcoa: Ipv6Addr,
+        target: FlushTarget,
+    ) {
+        if self.config.flush_spacing.is_zero() {
+            for pkt in self.pool.drain(pcoa) {
+                self.flush_one(ctx, target, pkt);
+            }
+            return;
+        }
+        let token = self.fresh_token(pcoa);
+        self.flushing.insert(pcoa, (target, token));
+        ctx.send_self(
+            SimDuration::ZERO,
+            NetMsg::Timer {
+                kind: TimerKind::FlushStep,
+                token,
+            },
+        );
+    }
+
+    /// One step of a paced flush.
+    fn flush_step<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, token: u64) {
+        let Some(&pcoa) = self.timer_sessions.get(&token) else {
+            return;
+        };
+        let Some(&(target, active)) = self.flushing.get(&pcoa) else {
+            return;
+        };
+        if active != token {
+            return; // superseded by a newer flush
+        }
+        let Some(first) = self.pool.pop_front(pcoa) else {
+            self.flushing.remove(&pcoa);
+            self.timer_sessions.remove(&token);
+            return;
+        };
+        self.flush_one(ctx, target, first);
+        ctx.send_self(
+            self.config.flush_spacing,
+            NetMsg::Timer {
+                kind: TimerKind::FlushStep,
+                token,
+            },
+        );
+    }
+
+    fn flush_one<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, target: FlushTarget, pkt: Packet) {
+        match target {
+            FlushTarget::Tunnel(nar) => {
+                let outer = pkt.encapsulate(self.addr, nar);
+                self.send_wired(ctx, outer);
+            }
+            FlushTarget::Radio(mh) => self.radio_deliver(ctx, mh, pkt),
+        }
+    }
+
+    /// Delivers on-link (radio) or forwards into the wired network.
+    ///
+    /// Order matters: an active PAR-role redirection wins (the host left),
+    /// then FMIPv6 host routes (the NAR serves the PCoA even though the
+    /// address is topologically foreign), then plain prefix delivery, then
+    /// wired forwarding.
+    fn deliver_or_forward<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pkt: Packet) {
+        let redirecting = self
+            .par_sessions
+            .get(&pkt.dst)
+            .is_some_and(|s| matches!(s.state, ParState::Redirecting | ParState::Released));
+        if redirecting {
+            self.redirect(ctx, pkt.dst, pkt);
+            return;
+        }
+        if let Some(&mh) = self.neighbors.get(&pkt.dst) {
+            self.radio_deliver(ctx, mh, pkt);
+            return;
+        }
+        if self.prefix.contains(pkt.dst) {
+            // On-link address with no neighbor entry: undeliverable.
+            fh_net::record_drop(ctx, pkt.flow, DropReason::Unroutable);
+            return;
+        }
+        let node = self.node;
+        if let Some(local) = send_from(ctx, node, pkt) {
+            // Routing bounced it back to us without matching our prefix:
+            // nothing sensible to do.
+            fh_net::record_drop(ctx, local.flow, DropReason::Unroutable);
+        }
+    }
+
+    fn radio_deliver<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, mh: NodeId, pkt: Packet) {
+        // Pick the AP the host is actually attached to, if it is one of
+        // ours; otherwise use our first AP (the attempt will be counted as
+        // a radio drop).
+        let attached = ctx.shared.radio().attachment(mh);
+        let ap = match attached {
+            Some(ap) if self.owns_ap(ap) => ap,
+            _ => self.aps[0],
+        };
+        send_downlink(ctx, ap, mh, pkt);
+    }
+
+    fn send_to_mh<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        mh: NodeId,
+        dst: Ipv6Addr,
+        msg: ControlMsg,
+    ) {
+        fh_net::record_control(ctx, &msg);
+        let pkt = Packet::control(self.addr, dst, msg, ctx.now());
+        self.radio_deliver(ctx, mh, pkt);
+    }
+}

@@ -1,0 +1,662 @@
+//! The per-router handover buffer pool.
+//!
+//! Every access router owns one [`BufferPool`] with a fixed total capacity
+//! (in packets — "the buffer size in a router is 50 packets" is how the
+//! thesis counts, §3.1.1). Handover sessions, keyed by the mobile host's
+//! previous care-of address, reserve space through the HI+BR / HAck+BA
+//! negotiation: a **grant** is all-or-nothing (Table 3.2 is a yes/no
+//! matrix) and reduces what later sessions can reserve.
+//!
+//! Admission is two-level: a packet enters only if the whole pool has room
+//! **and** its session-level rule passes — the session's grant for
+//! reserved traffic, or the administrator threshold `a` for best-effort
+//! spill-over at the PAR ("buffer at PAR when PAR > a", Table 3.3).
+//!
+//! Real-time overflow uses drop-front within the session
+//! ([`BufferPool::buffer_realtime_dropfront`]): the oldest real-time packet
+//! is evicted so the freshest samples survive.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv6Addr;
+
+use fh_net::{Packet, ServiceClass};
+use serde::{Deserialize, Serialize};
+
+/// Session-level admission rule for [`BufferPool::try_buffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionLimit {
+    /// Admit while the session holds fewer packets than its grant.
+    Grant,
+    /// Admit while the pool's free space exceeds the threshold `a`
+    /// (best-effort spill-over).
+    Threshold(u32),
+    /// Admit while the pool has any free space (class-blind schemes).
+    PoolOnly,
+}
+
+/// Counters the pool maintains across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// Packets admitted into the pool.
+    pub admitted: u64,
+    /// Packets handed back out by `drain` / `release`.
+    pub flushed: u64,
+    /// Packets rejected at admission.
+    pub rejected: u64,
+    /// Real-time packets evicted by drop-front.
+    pub evicted_realtime: u64,
+    /// Packets discarded because their session expired.
+    pub expired: u64,
+}
+
+/// Index of an effective class into per-class arrays: `[RT, HP, BE]`.
+fn class_index(class: ServiceClass) -> usize {
+    match class.effective() {
+        ServiceClass::RealTime => 0,
+        ServiceClass::HighPriority => 1,
+        _ => 2,
+    }
+}
+
+#[derive(Debug, Default)]
+struct SessionBuffer {
+    granted: u32,
+    /// Per-class shares when the precise-negotiation extension is active.
+    class_grants: Option<[u32; 3]>,
+    /// Packets currently queued, per class (`[RT, HP, BE]`).
+    class_counts: [u32; 3],
+    queue: VecDeque<Packet>,
+}
+
+impl SessionBuffer {
+    fn note_admit(&mut self, pkt: &Packet) {
+        self.class_counts[class_index(pkt.class)] += 1;
+    }
+    fn note_remove(&mut self, pkt: &Packet) {
+        self.class_counts[class_index(pkt.class)] -= 1;
+    }
+    /// `true` if the session-level rule admits one more packet of `class`.
+    fn class_has_room(&self, class: ServiceClass) -> bool {
+        match self.class_grants {
+            Some(grants) => {
+                let k = class_index(class);
+                self.class_counts[k] < grants[k]
+            }
+            None => self.queue.len() < self.granted as usize,
+        }
+    }
+}
+
+/// A fixed-capacity handover buffer shared by all sessions at one router.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    used: usize,
+    granted_total: usize,
+    sessions: HashMap<Ipv6Addr, SessionBuffer>,
+    /// Lifetime counters.
+    pub stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` packets.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            capacity,
+            used: 0,
+            granted_total: 0,
+            sessions: HashMap::new(),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Total capacity in packets.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Packets currently queued across all sessions.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Capacity not currently occupied by queued packets.
+    #[must_use]
+    pub fn free_space(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Capacity not yet promised to any session.
+    #[must_use]
+    pub fn unreserved(&self) -> usize {
+        self.capacity.saturating_sub(self.granted_total)
+    }
+
+    /// Attempts to reserve `requested` packets for a new session.
+    ///
+    /// Grants are all-or-nothing, mirroring the yes/no negotiation of
+    /// Table 3.2: the full request if enough unreserved capacity remains,
+    /// otherwise zero. Either way the session is created (a zero-grant
+    /// session can still receive threshold-governed spill-over).
+    ///
+    /// Re-granting an existing session replaces its reservation.
+    pub fn grant(&mut self, key: Ipv6Addr, requested: u32) -> u32 {
+        if let Some(old) = self.sessions.get(&key) {
+            self.granted_total -= old.granted as usize;
+        }
+        let granted = if requested as usize <= self.unreserved() {
+            requested
+        } else {
+            0
+        };
+        self.granted_total += granted as usize;
+        let entry = self.sessions.entry(key).or_default();
+        entry.granted = granted;
+        entry.class_grants = None;
+        granted
+    }
+
+    /// Reserves per-class shares for a session (the precise-negotiation
+    /// extension). Classes are granted in priority order — high priority,
+    /// real time, best effort — each receiving as much of its request as
+    /// the unreserved capacity still allows.
+    ///
+    /// Returns the granted shares, `[RT, HP, BE]`.
+    pub fn grant_per_class(&mut self, key: Ipv6Addr, requested: [u32; 3]) -> [u32; 3] {
+        if let Some(old) = self.sessions.get(&key) {
+            self.granted_total -= old.granted as usize;
+        }
+        let mut granted = [0u32; 3];
+        let mut unreserved = self.capacity.saturating_sub(self.granted_total) as u32;
+        // Priority order: HP (1), RT (0), BE (2).
+        for &k in &[1usize, 0, 2] {
+            let g = requested[k].min(unreserved);
+            granted[k] = g;
+            unreserved -= g;
+        }
+        let total: u32 = granted.iter().sum();
+        self.granted_total += total as usize;
+        let entry = self.sessions.entry(key).or_default();
+        entry.granted = total;
+        entry.class_grants = Some(granted);
+        granted
+    }
+
+    /// Opens a session with no reservation (for pure spill-over buffering).
+    /// No-op if the session already exists.
+    pub fn open_unreserved(&mut self, key: Ipv6Addr) {
+        self.sessions.entry(key).or_default();
+    }
+
+    /// `true` if a session exists for `key`.
+    #[must_use]
+    pub fn has_session(&self, key: Ipv6Addr) -> bool {
+        self.sessions.contains_key(&key)
+    }
+
+    /// The session's reservation (0 if none or no session).
+    #[must_use]
+    pub fn granted(&self, key: Ipv6Addr) -> u32 {
+        self.sessions.get(&key).map_or(0, |s| s.granted)
+    }
+
+    /// Packets currently queued for `key`.
+    #[must_use]
+    pub fn session_len(&self, key: Ipv6Addr) -> usize {
+        self.sessions.get(&key).map_or(0, |s| s.queue.len())
+    }
+
+    /// Tries to queue `pkt` for `key` under the given admission rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back if there is no session, the pool is full,
+    /// or the session rule rejects it.
+    #[allow(clippy::result_large_err)] // the Err *is* the rejected packet
+    pub fn try_buffer(
+        &mut self,
+        key: Ipv6Addr,
+        pkt: Packet,
+        limit: AdmissionLimit,
+    ) -> Result<(), Packet> {
+        let free = self.free_space();
+        let Some(session) = self.sessions.get_mut(&key) else {
+            self.stats.rejected += 1;
+            return Err(pkt);
+        };
+        let ok = free > 0
+            && match limit {
+                AdmissionLimit::Grant => session.class_has_room(pkt.class),
+                AdmissionLimit::Threshold(a) => free > a as usize,
+                AdmissionLimit::PoolOnly => true,
+            };
+        if !ok {
+            self.stats.rejected += 1;
+            return Err(pkt);
+        }
+        session.note_admit(&pkt);
+        session.queue.push_back(pkt);
+        self.used += 1;
+        self.stats.admitted += 1;
+        Ok(())
+    }
+
+    /// Admits a real-time packet, evicting the oldest buffered real-time
+    /// packet of the same session if the session is out of space
+    /// (Table 3.3 cases 1.a / 2.a).
+    ///
+    /// Returns the evicted packet, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns the incoming packet back if it cannot be admitted even by
+    /// eviction (no session, or no real-time packet to evict while full).
+    #[allow(clippy::result_large_err)] // the Err *is* the rejected packet
+    pub fn buffer_realtime_dropfront(
+        &mut self,
+        key: Ipv6Addr,
+        pkt: Packet,
+    ) -> Result<Option<Packet>, Packet> {
+        match self.try_buffer(key, pkt, AdmissionLimit::Grant) {
+            Ok(()) => Ok(None),
+            Err(pkt) => {
+                let Some(session) = self.sessions.get_mut(&key) else {
+                    return Err(pkt);
+                };
+                let oldest_rt = session
+                    .queue
+                    .iter()
+                    .position(|p| p.effective_class() == ServiceClass::RealTime);
+                match oldest_rt {
+                    Some(idx) => {
+                        let evicted = session.queue.remove(idx).expect("index in range");
+                        session.note_remove(&evicted);
+                        session.note_admit(&pkt);
+                        session.queue.push_back(pkt);
+                        // Rejection was counted inside try_buffer; the packet
+                        // did get admitted after all, so reclassify it.
+                        self.stats.rejected -= 1;
+                        self.stats.admitted += 1;
+                        self.stats.evicted_realtime += 1;
+                        Ok(Some(evicted))
+                    }
+                    None => Err(pkt),
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the oldest queued packet of the session (one
+    /// step of a paced flush). Counts as flushed.
+    pub fn pop_front(&mut self, key: Ipv6Addr) -> Option<Packet> {
+        let session = self.sessions.get_mut(&key)?;
+        let pkt = session.queue.pop_front()?;
+        session.note_remove(&pkt);
+        self.used -= 1;
+        self.stats.flushed += 1;
+        Some(pkt)
+    }
+
+    /// Empties the session's queue (the BF flush), keeping the session and
+    /// its reservation alive.
+    pub fn drain(&mut self, key: Ipv6Addr) -> Vec<Packet> {
+        let Some(session) = self.sessions.get_mut(&key) else {
+            return Vec::new();
+        };
+        let pkts: Vec<Packet> = session.queue.drain(..).collect();
+        session.class_counts = [0; 3];
+        self.used -= pkts.len();
+        self.stats.flushed += pkts.len() as u64;
+        pkts
+    }
+
+    /// Flushes and closes the session, releasing its reservation.
+    pub fn release(&mut self, key: Ipv6Addr) -> Vec<Packet> {
+        let pkts = self.drain(key);
+        if let Some(session) = self.sessions.remove(&key) {
+            self.granted_total -= session.granted as usize;
+        }
+        pkts
+    }
+
+    /// Closes the session discarding its contents (reservation lifetime
+    /// expiry). Returns the discarded packets so the caller can attribute
+    /// the losses to their flows.
+    pub fn expire(&mut self, key: Ipv6Addr) -> Vec<Packet> {
+        let Some(session) = self.sessions.remove(&key) else {
+            return Vec::new();
+        };
+        let pkts: Vec<Packet> = session.queue.into_iter().collect();
+        self.used -= pkts.len();
+        self.granted_total -= session.granted as usize;
+        self.stats.expired += pkts.len() as u64;
+        pkts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fh_net::FlowId;
+    use fh_sim::SimTime;
+
+    fn key(n: u16) -> Ipv6Addr {
+        Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, n)
+    }
+
+    fn pkt(class: ServiceClass, seq: u64) -> Packet {
+        Packet::data(
+            FlowId(1),
+            seq,
+            key(100),
+            key(200),
+            class,
+            160,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn grants_are_all_or_nothing() {
+        let mut pool = BufferPool::new(20);
+        assert_eq!(pool.grant(key(1), 10), 10);
+        assert_eq!(pool.grant(key(2), 10), 10);
+        assert_eq!(pool.grant(key(3), 1), 0, "capacity fully reserved");
+        assert_eq!(pool.unreserved(), 0);
+        assert!(pool.has_session(key(3)));
+        assert_eq!(pool.granted(key(3)), 0);
+    }
+
+    #[test]
+    fn release_frees_reservation() {
+        let mut pool = BufferPool::new(10);
+        assert_eq!(pool.grant(key(1), 10), 10);
+        assert_eq!(pool.grant(key(2), 5), 0);
+        pool.release(key(1));
+        assert_eq!(pool.grant(key(2), 5), 5);
+    }
+
+    #[test]
+    fn grant_admission_respects_session_cap() {
+        let mut pool = BufferPool::new(10);
+        pool.grant(key(1), 2);
+        assert!(pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, 0), AdmissionLimit::Grant).is_ok());
+        assert!(pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, 1), AdmissionLimit::Grant).is_ok());
+        let rejected =
+            pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, 2), AdmissionLimit::Grant);
+        assert!(rejected.is_err());
+        assert_eq!(rejected.unwrap_err().seq, 2);
+        assert_eq!(pool.session_len(key(1)), 2);
+        assert_eq!(pool.stats.admitted, 2);
+        assert_eq!(pool.stats.rejected, 1);
+    }
+
+    #[test]
+    fn threshold_admission_uses_pool_free_space() {
+        let mut pool = BufferPool::new(5);
+        pool.open_unreserved(key(1));
+        // a = 2: admit while free > 2, i.e. first 3 packets (free 5,4,3).
+        for seq in 0..3 {
+            assert!(
+                pool.try_buffer(key(1), pkt(ServiceClass::BestEffort, seq), AdmissionLimit::Threshold(2)).is_ok(),
+                "seq {seq}"
+            );
+        }
+        assert!(pool
+            .try_buffer(key(1), pkt(ServiceClass::BestEffort, 3), AdmissionLimit::Threshold(2))
+            .is_err());
+        assert_eq!(pool.used(), 3);
+    }
+
+    #[test]
+    fn pool_capacity_is_a_hard_ceiling() {
+        let mut pool = BufferPool::new(3);
+        pool.grant(key(1), 3);
+        pool.open_unreserved(key(2));
+        for seq in 0..3 {
+            assert!(pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, seq), AdmissionLimit::Grant).is_ok());
+        }
+        // Pool is full: even PoolOnly admission fails for the other session.
+        assert!(pool
+            .try_buffer(key(2), pkt(ServiceClass::BestEffort, 0), AdmissionLimit::PoolOnly)
+            .is_err());
+        assert_eq!(pool.free_space(), 0);
+    }
+
+    #[test]
+    fn realtime_dropfront_evicts_oldest_rt() {
+        let mut pool = BufferPool::new(10);
+        pool.grant(key(1), 3);
+        for seq in 0..3 {
+            assert!(pool
+                .buffer_realtime_dropfront(key(1), pkt(ServiceClass::RealTime, seq))
+                .unwrap()
+                .is_none());
+        }
+        // Full: admitting seq 3 must evict seq 0.
+        let evicted = pool
+            .buffer_realtime_dropfront(key(1), pkt(ServiceClass::RealTime, 3))
+            .unwrap()
+            .expect("eviction");
+        assert_eq!(evicted.seq, 0);
+        assert_eq!(pool.session_len(key(1)), 3);
+        assert_eq!(pool.stats.evicted_realtime, 1);
+        let drained = pool.drain(key(1));
+        assert_eq!(drained.iter().map(|p| p.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn realtime_dropfront_skips_other_classes() {
+        let mut pool = BufferPool::new(10);
+        pool.grant(key(1), 2);
+        assert!(pool
+            .try_buffer(key(1), pkt(ServiceClass::HighPriority, 0), AdmissionLimit::Grant)
+            .is_ok());
+        assert!(pool
+            .try_buffer(key(1), pkt(ServiceClass::HighPriority, 1), AdmissionLimit::Grant)
+            .is_ok());
+        // No RT packet to evict: the incoming RT packet bounces.
+        let err = pool.buffer_realtime_dropfront(key(1), pkt(ServiceClass::RealTime, 9));
+        assert!(err.is_err());
+        assert_eq!(pool.session_len(key(1)), 2);
+    }
+
+    #[test]
+    fn drain_keeps_session_release_closes_it() {
+        let mut pool = BufferPool::new(10);
+        pool.grant(key(1), 5);
+        for seq in 0..4 {
+            pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, seq), AdmissionLimit::Grant)
+                .unwrap();
+        }
+        let first = pool.drain(key(1));
+        assert_eq!(first.len(), 4);
+        assert!(pool.has_session(key(1)));
+        assert_eq!(pool.used(), 0);
+        pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, 9), AdmissionLimit::Grant)
+            .unwrap();
+        let rest = pool.release(key(1));
+        assert_eq!(rest.len(), 1);
+        assert!(!pool.has_session(key(1)));
+        assert_eq!(pool.stats.flushed, 5);
+        assert_eq!(pool.unreserved(), 10);
+    }
+
+    #[test]
+    fn expire_discards_and_counts() {
+        let mut pool = BufferPool::new(10);
+        pool.grant(key(1), 5);
+        for seq in 0..3 {
+            pool.try_buffer(key(1), pkt(ServiceClass::BestEffort, seq), AdmissionLimit::Grant)
+                .unwrap();
+        }
+        assert_eq!(pool.expire(key(1)).len(), 3);
+        assert_eq!(pool.stats.expired, 3);
+        assert_eq!(pool.used(), 0);
+        assert!(pool.expire(key(1)).is_empty());
+    }
+
+    #[test]
+    fn unknown_session_rejects() {
+        let mut pool = BufferPool::new(10);
+        assert!(pool
+            .try_buffer(key(9), pkt(ServiceClass::HighPriority, 0), AdmissionLimit::PoolOnly)
+            .is_err());
+        assert!(pool.buffer_realtime_dropfront(key(9), pkt(ServiceClass::RealTime, 0)).is_err());
+        assert!(pool.drain(key(9)).is_empty());
+        assert!(pool.release(key(9)).is_empty());
+    }
+
+    #[test]
+    fn regrant_replaces_reservation() {
+        let mut pool = BufferPool::new(10);
+        assert_eq!(pool.grant(key(1), 8), 8);
+        // Re-grant smaller: frees reservation for others.
+        assert_eq!(pool.grant(key(1), 4), 4);
+        assert_eq!(pool.grant(key(2), 6), 6);
+    }
+
+    /// Conservation: admitted == flushed + expired + still queued.
+    #[test]
+    fn packet_conservation_across_random_ops() {
+        use fh_sim::Rng64;
+        let mut rng = Rng64::seed_from(99);
+        let mut pool = BufferPool::new(16);
+        let keys: Vec<Ipv6Addr> = (0..4).map(key).collect();
+        for &k in &keys {
+            pool.grant(k, 4);
+        }
+        let classes = [
+            ServiceClass::RealTime,
+            ServiceClass::HighPriority,
+            ServiceClass::BestEffort,
+        ];
+        for step in 0..10_000 {
+            let k = keys[rng.gen_range_u64(4) as usize];
+            match rng.gen_range_u64(10) {
+                0..=5 => {
+                    let class = classes[rng.gen_range_u64(3) as usize];
+                    if class == ServiceClass::RealTime {
+                        let _ = pool.buffer_realtime_dropfront(k, pkt(class, step));
+                    } else {
+                        let _ = pool.try_buffer(k, pkt(class, step), AdmissionLimit::Grant);
+                    }
+                }
+                6..=7 => {
+                    let _ = pool.drain(k);
+                }
+                8 => {
+                    let _ = pool.release(k);
+                    pool.grant(k, 2);
+                }
+                _ => {
+                    let _ = pool.expire(k);
+                    pool.grant(k, 2);
+                }
+            }
+            assert!(pool.used() <= pool.capacity(), "capacity violated");
+        }
+        let queued: u64 = keys.iter().map(|&k| pool.session_len(k) as u64).sum();
+        assert_eq!(
+            pool.stats.admitted,
+            pool.stats.flushed + pool.stats.expired + pool.stats.evicted_realtime + queued,
+            "conservation violated: {:?}",
+            pool.stats
+        );
+    }
+}
+
+#[cfg(test)]
+mod per_class_tests {
+    use super::*;
+    use fh_net::FlowId;
+    use fh_sim::SimTime;
+
+    fn key(n: u16) -> Ipv6Addr {
+        Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, n)
+    }
+
+    fn pkt(class: ServiceClass, seq: u64) -> Packet {
+        Packet::data(FlowId(1), seq, key(100), key(200), class, 160, SimTime::ZERO)
+    }
+
+    #[test]
+    fn per_class_grants_are_partial_in_priority_order() {
+        let mut pool = BufferPool::new(10);
+        // Request [RT=6, HP=6, BE=6] against capacity 10: HP first (6),
+        // then RT (4), BE starves.
+        let granted = pool.grant_per_class(key(1), [6, 6, 6]);
+        assert_eq!(granted, [4, 6, 0]);
+        assert_eq!(pool.granted(key(1)), 10);
+        assert_eq!(pool.unreserved(), 0);
+    }
+
+    #[test]
+    fn class_shares_are_enforced_at_admission() {
+        let mut pool = BufferPool::new(10);
+        let granted = pool.grant_per_class(key(1), [2, 3, 1]);
+        assert_eq!(granted, [2, 3, 1]);
+        // RT may take exactly 2 slots even though the session grant is 6.
+        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 0), AdmissionLimit::Grant).is_ok());
+        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 1), AdmissionLimit::Grant).is_ok());
+        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 2), AdmissionLimit::Grant).is_err());
+        // HP's share is untouched by the RT flood.
+        for seq in 10..13 {
+            assert!(
+                pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, seq), AdmissionLimit::Grant).is_ok(),
+                "HP seq {seq} must fit"
+            );
+        }
+        assert!(pool
+            .try_buffer(key(1), pkt(ServiceClass::HighPriority, 13), AdmissionLimit::Grant)
+            .is_err());
+        // BE gets its single slot; unspecified folds into BE and is now out.
+        assert!(pool.try_buffer(key(1), pkt(ServiceClass::BestEffort, 20), AdmissionLimit::Grant).is_ok());
+        assert!(pool
+            .try_buffer(key(1), pkt(ServiceClass::Unspecified, 21), AdmissionLimit::Grant)
+            .is_err());
+    }
+
+    #[test]
+    fn class_shares_recover_after_flush() {
+        let mut pool = BufferPool::new(10);
+        pool.grant_per_class(key(1), [1, 1, 1]);
+        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 0), AdmissionLimit::Grant).is_ok());
+        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 1), AdmissionLimit::Grant).is_err());
+        let _ = pool.pop_front(key(1));
+        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 2), AdmissionLimit::Grant).is_ok());
+        let _ = pool.drain(key(1));
+        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 3), AdmissionLimit::Grant).is_ok());
+    }
+
+    #[test]
+    fn dropfront_respects_the_rt_share() {
+        let mut pool = BufferPool::new(10);
+        pool.grant_per_class(key(1), [2, 2, 0]);
+        assert!(pool.buffer_realtime_dropfront(key(1), pkt(ServiceClass::RealTime, 0)).unwrap().is_none());
+        assert!(pool.buffer_realtime_dropfront(key(1), pkt(ServiceClass::RealTime, 1)).unwrap().is_none());
+        // Share full: the next RT evicts the oldest RT, never an HP packet.
+        assert!(pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, 5), AdmissionLimit::Grant).is_ok());
+        let evicted = pool
+            .buffer_realtime_dropfront(key(1), pkt(ServiceClass::RealTime, 2))
+            .unwrap()
+            .expect("eviction");
+        assert_eq!(evicted.seq, 0);
+        assert_eq!(pool.session_len(key(1)), 3);
+    }
+
+    #[test]
+    fn plain_regrant_clears_class_shares() {
+        let mut pool = BufferPool::new(10);
+        pool.grant_per_class(key(1), [1, 1, 1]);
+        pool.grant(key(1), 5);
+        // Back to a class-blind session cap of 5.
+        for seq in 0..5 {
+            assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, seq), AdmissionLimit::Grant).is_ok());
+        }
+        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 5), AdmissionLimit::Grant).is_err());
+    }
+}

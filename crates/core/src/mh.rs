@@ -1,0 +1,644 @@
+//! The mobile host's fast-handover protocol engine.
+//!
+//! [`MhAgent`] glues together the link layer ([`fh_wireless::MhRadio`]),
+//! the mobility client ([`fh_mip::MipClient`]) and the fast-handover
+//! message exchange of Figs 3.2–3.5:
+//!
+//! 1. **L2 source trigger** → RtSolPr+BI to the current router.
+//! 2. **PrRtAdv** → form the NCoA, send FBU, start the L2 handoff.
+//! 3. **LinkUp on the new AP** → FNA+BF (flush the NAR buffer; the NAR
+//!    relays BF to the PAR), adopt the NCoA, and send the HMIPv6 local
+//!    binding update to the MAP.
+//!
+//! A PrRtAdv naming the host's *current* router (same prefix) means the
+//! move is a pure link-layer handoff (Fig 3.5): the host sends FBU, hands
+//! off, and releases the buffer with a standalone BF.
+//!
+//! The agent is a component: the owning actor forwards events to
+//! [`MhAgent::handle`] and receives application-bound packets back.
+
+use std::net::Ipv6Addr;
+
+use fh_sim::{SimDuration, SimTime};
+
+use fh_net::{
+    msg::{AuthToken, BufferInit},
+    ApId, ControlMsg, L2Event, NetCtx, NetMsg, NodeId, Packet, Payload, Prefix, TimerKind,
+};
+use fh_mip::MipClient;
+use fh_wireless::{send_uplink, MhRadio, RadioWorld};
+
+use crate::scheme::ProtocolConfig;
+
+/// `TimerKind::App` discriminator for the FBAck fallback timer.
+const FBU_FALLBACK: u32 = 1;
+
+/// Timeline entries recorded by the host (one list across all handoffs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoffPhase {
+    /// L2 source trigger received.
+    Trigger,
+    /// RtSolPr(+BI) sent.
+    SolicitSent,
+    /// PrRtAdv received (negotiation result known).
+    AdvReceived,
+    /// FBU sent; leaving the old link.
+    FbuSent,
+    /// Radio detached (black-out begins).
+    LinkDown,
+    /// Radio attached on the new AP (black-out ends).
+    LinkUp,
+    /// FNA(+BF) or standalone BF sent.
+    FnaSent,
+    /// MAP binding update acknowledged; handover fully complete.
+    BindingComplete,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MhState {
+    /// Attached, no handover in progress.
+    Idle,
+    /// RtSolPr sent, waiting for PrRtAdv.
+    Soliciting,
+    /// FBU sent; still on the old link waiting for FBAck (Fig 3.2 shows
+    /// the FBAck arriving on the old link before the radio switches).
+    AwaitFback,
+    /// Radio switching.
+    InBlackout,
+}
+
+/// Where the host currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Attachment {
+    ap: ApId,
+    router: Ipv6Addr,
+    prefix: Prefix,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingHandoff {
+    target_ap: ApId,
+    nar_addr: Ipv6Addr,
+    nar_prefix: Prefix,
+    ncoa: Ipv6Addr,
+    auth: Option<AuthToken>,
+    intra: bool,
+}
+
+/// The mobile host protocol agent.
+#[derive(Debug)]
+pub struct MhAgent {
+    /// The host's node id.
+    pub node: NodeId,
+    /// Link-layer radio process.
+    pub radio: MhRadio,
+    /// Mobile IPv6 / HMIPv6 client.
+    pub mip: MipClient,
+    /// Protocol parameters.
+    pub config: ProtocolConfig,
+    /// Interface identifier used to form care-of addresses.
+    pub iid: u64,
+    state: MhState,
+    current: Option<Attachment>,
+    pending: Option<PendingHandoff>,
+    booted: bool,
+    fbu_seq: u64,
+    guard_active: bool,
+    /// Completed handovers.
+    pub handoffs: u64,
+    /// Event timeline `(time, phase)`.
+    pub log: Vec<(SimTime, HandoffPhase)>,
+}
+
+impl MhAgent {
+    /// Creates a host agent.
+    #[must_use]
+    pub fn new(
+        node: NodeId,
+        radio: MhRadio,
+        mip: MipClient,
+        config: ProtocolConfig,
+        iid: u64,
+    ) -> Self {
+        MhAgent {
+            node,
+            radio,
+            mip,
+            config,
+            iid,
+            state: MhState::Idle,
+            current: None,
+            pending: None,
+            booted: false,
+            fbu_seq: 0,
+            guard_active: false,
+            handoffs: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Pre-configures the initial attachment so the host need not wait a
+    /// full RA interval at simulation start. `router`/`prefix` must match
+    /// the AP the mobility model starts under.
+    pub fn configure_initial(&mut self, ap: ApId, router: Ipv6Addr, prefix: Prefix) {
+        self.current = Some(Attachment { ap, router, prefix });
+        self.mip.set_lcoa(prefix.host(self.iid));
+    }
+
+    /// The host's current on-link care-of address.
+    #[must_use]
+    pub fn lcoa(&self) -> Option<Ipv6Addr> {
+        self.mip.lcoa()
+    }
+
+    /// The current default router's address.
+    #[must_use]
+    pub fn router(&self) -> Option<Ipv6Addr> {
+        self.current.map(|a| a.router)
+    }
+
+    /// Sends an application packet upstream (returns `false` during the
+    /// black-out, when the radio cannot transmit).
+    pub fn send_data<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pkt: Packet) -> bool {
+        send_uplink(ctx, self.node, pkt)
+    }
+
+    /// Asks the current access router to start guard-buffering: a
+    /// standalone Buffer Initialization (Fig 2.4), used when the host
+    /// anticipates a disruption the fast-handover protocol cannot see —
+    /// poor link quality, a suspend, an application-level pause (§3.3).
+    ///
+    /// Returns `false` if the host is not attached or not configured.
+    pub fn request_guard_buffering<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        size: u32,
+        lifetime: SimDuration,
+    ) -> bool {
+        let (Some(att), Some(lcoa)) = (self.current, self.mip.lcoa()) else {
+            return false;
+        };
+        let bi = ControlMsg::BufferInit(BufferInit {
+            size,
+            start_time: SimDuration::ZERO,
+            lifetime,
+        });
+        self.send_control_up(ctx, lcoa, att.router, bi);
+        true
+    }
+
+    /// Releases a guard-buffering episode: the router flushes everything
+    /// it parked (standalone BF).
+    pub fn release_guard_buffering<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) -> bool {
+        let (Some(att), Some(lcoa)) = (self.current, self.mip.lcoa()) else {
+            return false;
+        };
+        self.guard_active = false;
+        let bf = ControlMsg::BufferForward { pcoa: lcoa };
+        self.send_control_up(ctx, lcoa, att.router, bf);
+        true
+    }
+
+    /// The full §3.3 episode in one call: ask the router to guard-buffer,
+    /// then suspend the radio for `duration`. When the radio comes back,
+    /// the buffer is released automatically and every parked packet is
+    /// delivered — a planned outage with zero loss.
+    pub fn pause_with_guard<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        duration: SimDuration,
+        buffer_size: u32,
+    ) -> bool {
+        if !self.request_guard_buffering(ctx, buffer_size, duration + SimDuration::from_secs(5)) {
+            return false;
+        }
+        self.guard_active = true;
+        self.radio.suspend(ctx, duration);
+        true
+    }
+
+    /// Handles one simulator event. Application-bound packets (UDP/TCP
+    /// payloads that survived decapsulation) are returned to the caller.
+    pub fn handle<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, msg: NetMsg) -> Option<Packet> {
+        match msg {
+            NetMsg::Start => {
+                self.radio.start(ctx);
+                None
+            }
+            NetMsg::Timer { kind, token } => {
+                if kind == TimerKind::App(FBU_FALLBACK) {
+                    if token == self.fbu_seq {
+                        self.detach_now(ctx);
+                    }
+                } else {
+                    let _ = self.radio.on_timer(ctx, kind, token);
+                }
+                None
+            }
+            NetMsg::L2(ev) => {
+                self.on_l2(ctx, ev);
+                None
+            }
+            NetMsg::RadioPacket { pkt, .. } => self.on_radio_packet(ctx, pkt),
+            NetMsg::LinkPacket { .. } => None,
+        }
+    }
+
+    fn on_l2<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, ev: L2Event) {
+        match ev {
+            L2Event::SourceTrigger { current, next } => {
+                self.log.push((ctx.now(), HandoffPhase::Trigger));
+                if self.state != MhState::Idle {
+                    return;
+                }
+                let Some(att) = self.current else { return };
+                if att.ap != current {
+                    return;
+                }
+                let bi = self.config.scheme.buffers().then_some(BufferInit {
+                    size: self.config.buffer_request,
+                    start_time: self.config.buffer_start_time,
+                    lifetime: self.config.reservation_lifetime,
+                });
+                let pcoa = self.mip.lcoa().expect("attached host has an LCoA");
+                let msg = ControlMsg::RtSolPr {
+                    target_ap: next,
+                    bi,
+                };
+                self.send_control_up(ctx, pcoa, att.router, msg);
+                self.state = MhState::Soliciting;
+                self.log.push((ctx.now(), HandoffPhase::SolicitSent));
+            }
+            L2Event::LinkDown { .. } => {
+                self.log.push((ctx.now(), HandoffPhase::LinkDown));
+            }
+            L2Event::LinkUp { ap } => {
+                self.log.push((ctx.now(), HandoffPhase::LinkUp));
+                self.on_link_up(ctx, ap);
+            }
+        }
+    }
+
+    fn on_link_up<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, ap: ApId) {
+        if let Some(p) = self.pending {
+            if p.target_ap == ap {
+                // Anticipated handover completed.
+                self.pending = None;
+                self.state = MhState::Idle;
+                self.handoffs += 1;
+                let pcoa = self.mip.lcoa().expect("had an address before moving");
+                self.current = Some(Attachment {
+                    ap,
+                    router: p.nar_addr,
+                    prefix: p.nar_prefix,
+                });
+                if p.intra {
+                    // Pure L2 handoff: release the buffer with a plain BF.
+                    if self.config.scheme.buffers() {
+                        let msg = ControlMsg::BufferForward { pcoa };
+                        self.send_control_up(ctx, pcoa, p.nar_addr, msg);
+                    }
+                    self.log.push((ctx.now(), HandoffPhase::FnaSent));
+                    return;
+                }
+                let fna = ControlMsg::FastNeighborAdvertisement {
+                    ncoa: p.ncoa,
+                    pcoa,
+                    bf: self.config.scheme.buffers(),
+                    auth: p.auth,
+                };
+                self.send_control_up(ctx, p.ncoa, p.nar_addr, fna);
+                self.log.push((ctx.now(), HandoffPhase::FnaSent));
+                // Adopt the new address and update the MAP binding.
+                self.mip.set_lcoa(p.ncoa);
+                let bu = self.mip.make_map_bu(ctx.now());
+                fh_net::record_control(ctx, bu.as_control().expect("binding update is control"),
+                );
+                let node = self.node;
+                let _ = send_uplink(ctx, node, bu);
+                return;
+            }
+        }
+        if !self.booted {
+            // First attach: register with the router and the MAP.
+            self.booted = true;
+            if let Some(att) = self.current {
+                let lcoa = self.mip.lcoa().expect("configure_initial sets the LCoA");
+                let fna = ControlMsg::FastNeighborAdvertisement {
+                    ncoa: lcoa,
+                    pcoa: lcoa,
+                    bf: false,
+                    auth: None,
+                };
+                self.send_control_up(ctx, lcoa, att.router, fna);
+                let bu = self.mip.make_map_bu(ctx.now());
+                fh_net::record_control(ctx, bu.as_control().expect("binding update is control"),
+                );
+                let node = self.node;
+                let _ = send_uplink(ctx, node, bu);
+                // Hosts with a real home (home address distinct from the
+                // RCoA) also register the RCoA with their home agent.
+                if self.mip.rcoa() != Some(self.mip.home_addr) {
+                    let ha_bu = self.mip.make_ha_bu(ctx.now());
+                    fh_net::record_control(ctx, ha_bu.as_control().expect("control"));
+                    let _ = send_uplink(ctx, node, ha_bu);
+                }
+                self.send_correspondent_bus(ctx);
+            }
+            return;
+        }
+        if self.guard_active {
+            // Resuming from a guarded radio pause: flush the parked packets.
+            let _ = self.release_guard_buffering(ctx);
+            return;
+        }
+        // Unanticipated attach (handoff without anticipation): wait for the
+        // next router advertisement to learn where we are; handled in
+        // `on_router_advertisement`.
+        self.state = MhState::Idle;
+        self.pending = None;
+    }
+
+    fn on_radio_packet<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        pkt: Packet,
+    ) -> Option<Packet> {
+        // Unwrap MAP (and any nested) tunnels addressed to us.
+        let pkt = match pkt.payload {
+            Payload::Encap(_) => pkt.decapsulate().expect("checked encap"),
+            _ => pkt,
+        };
+        let pkt = match pkt.payload {
+            Payload::Encap(_) => pkt.decapsulate().expect("checked encap"),
+            _ => pkt,
+        };
+        match &pkt.payload {
+            Payload::Control(msg) => {
+                let msg = msg.clone();
+                self.on_control(ctx, pkt.src, msg);
+                None
+            }
+            _ => Some(pkt),
+        }
+    }
+
+    fn on_control<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        _src: Ipv6Addr,
+        msg: ControlMsg,
+    ) {
+        if self.mip.on_control(ctx.now(), &msg) {
+            if self.mip.map_registered() {
+                self.log.push((ctx.now(), HandoffPhase::BindingComplete));
+            }
+            return;
+        }
+        match msg {
+            ControlMsg::PrRtAdv {
+                target_ap,
+                nar_prefix,
+                nar_addr,
+                auth,
+                ..
+            } => self.on_prrtadv(ctx, target_ap, nar_prefix, nar_addr, auth),
+            ControlMsg::RouterAdvertisement {
+                prefix,
+                router,
+                map,
+                ..
+            } => {
+                self.on_router_advertisement(ctx, prefix, router, map);
+            }
+            ControlMsg::FastBindingAck { .. } => {
+                self.detach_now(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_prrtadv<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        target_ap: ApId,
+        nar_prefix: Prefix,
+        nar_addr: Ipv6Addr,
+        auth: Option<AuthToken>,
+    ) {
+        if self.state != MhState::Soliciting {
+            return;
+        }
+        let Some(att) = self.current else { return };
+        self.log.push((ctx.now(), HandoffPhase::AdvReceived));
+        let intra = nar_addr == att.router;
+        let pcoa = self.mip.lcoa().expect("attached host has an LCoA");
+        let ncoa = if intra { pcoa } else { nar_prefix.host(self.iid) };
+        self.pending = Some(PendingHandoff {
+            target_ap,
+            nar_addr,
+            nar_prefix,
+            ncoa,
+            auth,
+            intra,
+        });
+        // FBU before disconnecting (§2.3.2 packet forwarding). The radio
+        // stays on the old link until the FBAck confirms the PAR has begun
+        // redirecting — after that nothing more is in flight over the old
+        // air interface. A fallback timer bounds the wait in case the
+        // FBAck is lost.
+        let fbu = ControlMsg::FastBindingUpdate { pcoa, ncoa };
+        self.send_control_up(ctx, pcoa, att.router, fbu);
+        self.log.push((ctx.now(), HandoffPhase::FbuSent));
+        self.state = MhState::AwaitFback;
+        self.fbu_seq += 1;
+        ctx.send_self(
+            SimDuration::from_millis(50),
+            NetMsg::Timer {
+                kind: TimerKind::App(FBU_FALLBACK),
+                token: self.fbu_seq,
+            },
+        );
+    }
+
+    /// The FBAck arrived (or its wait timed out): actually switch links.
+    fn detach_now<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        if self.state != MhState::AwaitFback {
+            return;
+        }
+        let Some(p) = self.pending else { return };
+        self.state = MhState::InBlackout;
+        self.radio.begin_handoff(ctx, p.target_ap);
+    }
+
+    fn on_router_advertisement<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        prefix: Prefix,
+        router: Ipv6Addr,
+        map: Option<Ipv6Addr>,
+    ) {
+        let Some(ap) = self.radio.current_ap() else {
+            return;
+        };
+        match self.current {
+            Some(att) if att.prefix == prefix => {
+                // Periodic RA from the current network: refresh router info.
+                self.current = Some(Attachment {
+                    ap,
+                    router,
+                    prefix,
+                });
+                self.adopt_map_if_new(ctx, map);
+            }
+            _ => {
+                // New network discovered after an unanticipated move:
+                // configure, register, redirect, and update the MAP.
+                let old = self.mip.lcoa();
+                let ncoa = prefix.host(self.iid);
+                self.current = Some(Attachment { ap, router, prefix });
+                let fna = ControlMsg::FastNeighborAdvertisement {
+                    ncoa,
+                    pcoa: old.unwrap_or(ncoa),
+                    bf: false,
+                    auth: None,
+                };
+                self.send_control_up(ctx, ncoa, router, fna);
+                if let Some(pcoa) = old {
+                    // FBU to the previous router, relayed through the wired
+                    // network (no-anticipation path of §2.3.2).
+                    if let Some(prev_router) = self.previous_router(pcoa) {
+                        let fbu = ControlMsg::FastBindingUpdate { pcoa, ncoa };
+                        self.send_control_up(ctx, ncoa, prev_router, fbu);
+                    }
+                }
+                self.mip.set_lcoa(ncoa);
+                let bu = self.mip.make_map_bu(ctx.now());
+                fh_net::record_control(ctx, bu.as_control().expect("binding update is control"),
+                );
+                let node = self.node;
+                let _ = send_uplink(ctx, node, bu);
+                self.handoffs += 1;
+                self.adopt_map_if_new(ctx, map);
+            }
+        }
+    }
+
+    /// Macro mobility (§2.2.1): a router advertisement naming a *different*
+    /// MAP means the host crossed a MAP-domain boundary. It forms a new
+    /// RCoA on the advertised MAP's subnet, registers locally, and updates
+    /// its home agent (the only time the HA hears about local movement).
+    fn adopt_map_if_new<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, map: Option<Ipv6Addr>) {
+        let Some(map_addr) = map else { return };
+        if self.mip.map_addr() == Some(map_addr) {
+            return;
+        }
+        // The RCoA is formed from the MAP's /48, as LCoAs are from ARs'.
+        let rcoa = Prefix::new(map_addr, 48).host(self.iid);
+        self.mip.enter_map_domain(map_addr, rcoa);
+        let node = self.node;
+        let bu = self.mip.make_map_bu(ctx.now());
+        fh_net::record_control(ctx, bu.as_control().expect("control"));
+        let _ = send_uplink(ctx, node, bu);
+        let ha_bu = self.mip.make_ha_bu(ctx.now());
+        fh_net::record_control(ctx, ha_bu.as_control().expect("control"));
+        let _ = send_uplink(ctx, node, ha_bu);
+        self.send_correspondent_bus(ctx);
+    }
+
+    /// Route optimization (§2.2.1 step 2): tell every registered
+    /// correspondent the current RCoA so it can bypass the home agent.
+    fn send_correspondent_bus<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        let node = self.node;
+        for bu in self.mip.make_correspondent_bus(ctx.now()) {
+            fh_net::record_control(ctx, bu.as_control().expect("control"));
+            let _ = send_uplink(ctx, node, bu);
+        }
+    }
+
+    /// The router that owns `pcoa` — derived from the address, as a real
+    /// host would from its destroyed attachment state.
+    fn previous_router(&self, pcoa: Ipv6Addr) -> Option<Ipv6Addr> {
+        let att = self.current?;
+        let prev_prefix = Prefix::new(pcoa, att.prefix.len());
+        Some(prev_prefix.host(1))
+    }
+
+    fn send_control_up<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        msg: ControlMsg,
+    ) {
+        fh_net::record_control(ctx, &msg);
+        let pkt = Packet::control(src, dst, msg, ctx.now());
+        let node = self.node;
+        let _ = send_uplink(ctx, node, pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fh_sim::SimDuration;
+
+    // MhAgent construction helpers are exercised end-to-end in the
+    // scenarios crate; here we test the pure pieces.
+
+    #[test]
+    fn previous_router_derives_from_prefix() {
+        let radio = MhRadio::new(
+            fh_net::Topology::new().add_node("mh"),
+            fh_wireless::Mobility::Stationary(fh_wireless::Position::new(0.0, 0.0)),
+            fh_wireless::RadioConfig::default(),
+        );
+        let mip = MipClient::new(
+            "2001:db8:100::9".parse().unwrap(),
+            "2001:db8:100::1".parse().unwrap(),
+            SimDuration::from_secs(60),
+        );
+        let mut agent = MhAgent::new(
+            fh_net::Topology::new().add_node("mh2"),
+            radio,
+            mip,
+            ProtocolConfig::default(),
+            9,
+        );
+        agent.configure_initial(
+            ApId(0),
+            "2001:db8:2::1".parse().unwrap(),
+            fh_net::doc_subnet(2),
+        );
+        let prev = agent.previous_router("2001:db8:1::9".parse().unwrap());
+        assert_eq!(prev, Some("2001:db8:1::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn configure_initial_sets_lcoa() {
+        let radio = MhRadio::new(
+            fh_net::Topology::new().add_node("mh"),
+            fh_wireless::Mobility::Stationary(fh_wireless::Position::new(0.0, 0.0)),
+            fh_wireless::RadioConfig::default(),
+        );
+        let mip = MipClient::new(
+            "2001:db8:100::9".parse().unwrap(),
+            "2001:db8:100::1".parse().unwrap(),
+            SimDuration::from_secs(60),
+        );
+        let mut agent = MhAgent::new(
+            fh_net::Topology::new().add_node("x"),
+            radio,
+            mip,
+            ProtocolConfig::default(),
+            0x42,
+        );
+        agent.configure_initial(
+            ApId(1),
+            "2001:db8:5::1".parse().unwrap(),
+            fh_net::doc_subnet(5),
+        );
+        assert_eq!(agent.lcoa(), Some("2001:db8:5::42".parse().unwrap()));
+        assert_eq!(agent.router(), Some("2001:db8:5::1".parse().unwrap()));
+    }
+}

@@ -1,0 +1,426 @@
+//! The buffering operation matrix — Tables 3.2 and 3.3 of the thesis.
+//!
+//! During packet redirection the PAR decides, per packet, whether to tunnel
+//! it to the NAR (to be buffered there or delivered on arrival), buffer it
+//! locally, or drop it. The decision depends on:
+//!
+//! * the **availability case** (Table 3.2) — which of the two routers
+//!   granted buffer space in the HI+BR / HAck+BA negotiation;
+//! * the packet's **effective class** (Table 3.1);
+//! * whether the NAR has reported **BufferFull** (case 1.b spill-back);
+//! * the active [`Scheme`] (the baselines are class-blind).
+//!
+//! The functions here are pure so the matrix can be tested exhaustively and
+//! property-checked; the access-router agent merely executes the returned
+//! actions.
+
+use fh_net::ServiceClass;
+use serde::{Deserialize, Serialize};
+
+use crate::scheme::Scheme;
+
+/// Which routers have buffer space for this handover (Table 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AvailabilityCase {
+    /// Case 1 — both the NAR and the PAR granted space.
+    BothAvailable,
+    /// Case 2 — only the NAR granted space.
+    NarOnly,
+    /// Case 3 — only the PAR granted space.
+    ParOnly,
+    /// Case 4 — neither router has space.
+    NoneAvailable,
+}
+
+impl AvailabilityCase {
+    /// Derives the case from the negotiation outcome.
+    #[must_use]
+    pub fn from_grants(nar_granted: bool, par_granted: bool) -> Self {
+        match (nar_granted, par_granted) {
+            (true, true) => AvailabilityCase::BothAvailable,
+            (true, false) => AvailabilityCase::NarOnly,
+            (false, true) => AvailabilityCase::ParOnly,
+            (false, false) => AvailabilityCase::NoneAvailable,
+        }
+    }
+
+    /// `true` if the NAR granted space.
+    #[must_use]
+    pub fn nar(self) -> bool {
+        matches!(
+            self,
+            AvailabilityCase::BothAvailable | AvailabilityCase::NarOnly
+        )
+    }
+
+    /// `true` if the PAR granted space.
+    #[must_use]
+    pub fn par(self) -> bool {
+        matches!(
+            self,
+            AvailabilityCase::BothAvailable | AvailabilityCase::ParOnly
+        )
+    }
+}
+
+/// What the PAR does with a packet arriving for a redirecting mobile host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParAction {
+    /// Tunnel to the NAR; the NAR will buffer it.
+    TunnelBuffer,
+    /// Buffer in the PAR's own pool (best effort additionally subject to
+    /// the free-space threshold `a`).
+    BufferLocal,
+    /// Tunnel to the NAR without buffering anywhere; the NAR attempts
+    /// immediate radio delivery (lost while the host is detached).
+    TunnelUnbuffered,
+    /// Drop at the PAR (Table 3.3 case 4, best effort).
+    Drop,
+}
+
+/// What the NAR does with a tunneled packet while the host is detached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NarAction {
+    /// Queue in the NAR's pool.
+    Buffer,
+    /// Attempt radio delivery immediately (lost during the black-out).
+    Deliver,
+}
+
+/// How the NAR reacts when its buffer cannot admit a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NarOverflow {
+    /// Real time, Table 3.3 case 1.a / 2.a: drop the **oldest buffered
+    /// real-time packet** and admit the new one (fresh samples are worth
+    /// more than stale ones for media).
+    DropOldestRealtime,
+    /// High priority (and the class-blind proposed scheme), case 1.b:
+    /// notify the PAR with a BufferFull message — it buffers the rest —
+    /// and attempt delivery of the overflowing packet.
+    NotifyPar,
+    /// Plain tail drop (the NAR-only baseline has nobody to spill to).
+    TailDrop,
+}
+
+/// The PAR-side row of Table 3.3.
+///
+/// `nar_full` is `true` once the NAR has reported BufferFull for this
+/// session (case 1.b: "the PAR buffers the rest of the packets").
+#[must_use]
+pub fn par_action(
+    scheme: Scheme,
+    case: AvailabilityCase,
+    class: ServiceClass,
+    nar_full: bool,
+) -> ParAction {
+    match scheme {
+        Scheme::NoBuffer => ParAction::TunnelUnbuffered,
+        Scheme::NarOnly => {
+            if case.nar() && !nar_full {
+                ParAction::TunnelBuffer
+            } else {
+                ParAction::TunnelUnbuffered
+            }
+        }
+        Scheme::ParOnly => {
+            if case.par() {
+                ParAction::BufferLocal
+            } else {
+                ParAction::TunnelUnbuffered
+            }
+        }
+        Scheme::Dual { classify: false } => {
+            // Class-blind dual buffering: fill the NAR, spill to the PAR.
+            match case {
+                AvailabilityCase::BothAvailable => {
+                    if nar_full {
+                        ParAction::BufferLocal
+                    } else {
+                        ParAction::TunnelBuffer
+                    }
+                }
+                AvailabilityCase::NarOnly => {
+                    if nar_full {
+                        ParAction::TunnelUnbuffered
+                    } else {
+                        ParAction::TunnelBuffer
+                    }
+                }
+                AvailabilityCase::ParOnly => ParAction::BufferLocal,
+                AvailabilityCase::NoneAvailable => ParAction::TunnelUnbuffered,
+            }
+        }
+        Scheme::Dual { classify: true } => {
+            match (case, class.effective()) {
+                // Case 1: NAR yes, PAR yes.
+                (AvailabilityCase::BothAvailable, ServiceClass::RealTime) => {
+                    ParAction::TunnelBuffer
+                }
+                (AvailabilityCase::BothAvailable, ServiceClass::HighPriority) => {
+                    if nar_full {
+                        ParAction::BufferLocal
+                    } else {
+                        ParAction::TunnelBuffer
+                    }
+                }
+                (AvailabilityCase::BothAvailable, _) => ParAction::BufferLocal,
+                // Case 2: NAR yes, PAR no.
+                (AvailabilityCase::NarOnly, ServiceClass::RealTime) => ParAction::TunnelBuffer,
+                (AvailabilityCase::NarOnly, ServiceClass::HighPriority) => {
+                    ParAction::TunnelBuffer
+                }
+                (AvailabilityCase::NarOnly, _) => ParAction::TunnelUnbuffered,
+                // Case 3: NAR no, PAR yes.
+                (AvailabilityCase::ParOnly, ServiceClass::RealTime) => {
+                    ParAction::TunnelUnbuffered
+                }
+                (AvailabilityCase::ParOnly, _) => ParAction::BufferLocal,
+                // Case 4: NAR no, PAR no.
+                (AvailabilityCase::NoneAvailable, ServiceClass::RealTime)
+                | (AvailabilityCase::NoneAvailable, ServiceClass::HighPriority) => {
+                    ParAction::TunnelUnbuffered
+                }
+                (AvailabilityCase::NoneAvailable, _) => ParAction::Drop,
+            }
+        }
+    }
+}
+
+/// The NAR-side decision for a tunneled packet during the black-out.
+#[must_use]
+pub fn nar_action(scheme: Scheme, case: AvailabilityCase, class: ServiceClass) -> NarAction {
+    if !case.nar() {
+        return NarAction::Deliver;
+    }
+    match scheme {
+        Scheme::NoBuffer | Scheme::ParOnly => NarAction::Deliver,
+        Scheme::NarOnly | Scheme::Dual { classify: false } => NarAction::Buffer,
+        Scheme::Dual { classify: true } => match class.effective() {
+            ServiceClass::RealTime | ServiceClass::HighPriority => NarAction::Buffer,
+            _ => NarAction::Deliver,
+        },
+    }
+}
+
+/// The NAR's overflow reaction for a packet it decided to buffer.
+#[must_use]
+pub fn nar_overflow(scheme: Scheme, class: ServiceClass) -> NarOverflow {
+    match scheme {
+        Scheme::Dual { classify: true } => match class.effective() {
+            ServiceClass::RealTime => NarOverflow::DropOldestRealtime,
+            ServiceClass::HighPriority => NarOverflow::NotifyPar,
+            _ => NarOverflow::TailDrop,
+        },
+        Scheme::Dual { classify: false } => NarOverflow::NotifyPar,
+        _ => NarOverflow::TailDrop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AvailabilityCase::*;
+    use ServiceClass::*;
+
+    const PROPOSED: Scheme = Scheme::Dual { classify: true };
+
+    #[test]
+    fn table_3_2_grants() {
+        assert_eq!(AvailabilityCase::from_grants(true, true), BothAvailable);
+        assert_eq!(AvailabilityCase::from_grants(true, false), NarOnly);
+        assert_eq!(AvailabilityCase::from_grants(false, true), ParOnly);
+        assert_eq!(AvailabilityCase::from_grants(false, false), NoneAvailable);
+        assert!(BothAvailable.nar() && BothAvailable.par());
+        assert!(NarOnly.nar() && !NarOnly.par());
+        assert!(!ParOnly.nar() && ParOnly.par());
+        assert!(!NoneAvailable.nar() && !NoneAvailable.par());
+    }
+
+    /// The full Table 3.3, row by row.
+    #[test]
+    fn table_3_3_case_1() {
+        assert_eq!(par_action(PROPOSED, BothAvailable, RealTime, false), ParAction::TunnelBuffer);
+        assert_eq!(
+            par_action(PROPOSED, BothAvailable, HighPriority, false),
+            ParAction::TunnelBuffer
+        );
+        // 1.b spill-back after BufferFull.
+        assert_eq!(
+            par_action(PROPOSED, BothAvailable, HighPriority, true),
+            ParAction::BufferLocal
+        );
+        assert_eq!(
+            par_action(PROPOSED, BothAvailable, BestEffort, false),
+            ParAction::BufferLocal
+        );
+    }
+
+    #[test]
+    fn table_3_3_case_2() {
+        assert_eq!(par_action(PROPOSED, NarOnly, RealTime, false), ParAction::TunnelBuffer);
+        assert_eq!(
+            par_action(PROPOSED, NarOnly, HighPriority, false),
+            ParAction::TunnelBuffer
+        );
+        assert_eq!(
+            par_action(PROPOSED, NarOnly, BestEffort, false),
+            ParAction::TunnelUnbuffered
+        );
+    }
+
+    #[test]
+    fn table_3_3_case_3() {
+        assert_eq!(
+            par_action(PROPOSED, ParOnly, RealTime, false),
+            ParAction::TunnelUnbuffered
+        );
+        assert_eq!(
+            par_action(PROPOSED, ParOnly, HighPriority, false),
+            ParAction::BufferLocal
+        );
+        assert_eq!(
+            par_action(PROPOSED, ParOnly, BestEffort, false),
+            ParAction::BufferLocal
+        );
+    }
+
+    #[test]
+    fn table_3_3_case_4() {
+        assert_eq!(
+            par_action(PROPOSED, NoneAvailable, RealTime, false),
+            ParAction::TunnelUnbuffered
+        );
+        assert_eq!(
+            par_action(PROPOSED, NoneAvailable, HighPriority, false),
+            ParAction::TunnelUnbuffered
+        );
+        assert_eq!(par_action(PROPOSED, NoneAvailable, BestEffort, false), ParAction::Drop);
+    }
+
+    #[test]
+    fn unspecified_class_follows_best_effort_row() {
+        for case in [BothAvailable, NarOnly, ParOnly, NoneAvailable] {
+            assert_eq!(
+                par_action(PROPOSED, case, Unspecified, false),
+                par_action(PROPOSED, case, BestEffort, false)
+            );
+            assert_eq!(
+                nar_action(PROPOSED, case, Unspecified),
+                nar_action(PROPOSED, case, BestEffort)
+            );
+        }
+    }
+
+    #[test]
+    fn nar_never_buffers_best_effort_when_classifying() {
+        for case in [BothAvailable, NarOnly, ParOnly, NoneAvailable] {
+            assert_eq!(nar_action(PROPOSED, case, BestEffort), NarAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn nar_buffers_rt_and_hp_when_granted() {
+        for class in [RealTime, HighPriority] {
+            assert_eq!(nar_action(PROPOSED, BothAvailable, class), NarAction::Buffer);
+            assert_eq!(nar_action(PROPOSED, NarOnly, class), NarAction::Buffer);
+            assert_eq!(nar_action(PROPOSED, ParOnly, class), NarAction::Deliver);
+            assert_eq!(nar_action(PROPOSED, NoneAvailable, class), NarAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn high_priority_is_never_policy_dropped() {
+        // The scheme's core QoS promise: no ParAction::Drop for HP (or RT)
+        // under any case/scheme combination.
+        for scheme in [
+            Scheme::NoBuffer,
+            Scheme::NarOnly,
+            Scheme::ParOnly,
+            Scheme::Dual { classify: false },
+            PROPOSED,
+        ] {
+            for case in [BothAvailable, NarOnly, ParOnly, NoneAvailable] {
+                for full in [false, true] {
+                    for class in [RealTime, HighPriority] {
+                        assert_ne!(
+                            par_action(scheme, case, class, full),
+                            ParAction::Drop,
+                            "{scheme:?} {case:?} {class:?} full={full}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn baselines_are_class_blind() {
+        for scheme in [Scheme::NoBuffer, Scheme::NarOnly, Scheme::ParOnly, Scheme::Dual { classify: false }] {
+            for case in [BothAvailable, NarOnly, ParOnly, NoneAvailable] {
+                for full in [false, true] {
+                    let reference = par_action(scheme, case, RealTime, full);
+                    for class in [HighPriority, BestEffort, Unspecified] {
+                        assert_eq!(
+                            par_action(scheme, case, class, full),
+                            reference,
+                            "{scheme:?} must not classify"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nar_only_baseline_matches_original_fmipv6() {
+        // All traffic to the NAR buffer while granted, tail-drop overflow.
+        assert_eq!(
+            par_action(Scheme::NarOnly, NarOnly, BestEffort, false),
+            ParAction::TunnelBuffer
+        );
+        assert_eq!(
+            par_action(Scheme::NarOnly, NoneAvailable, BestEffort, false),
+            ParAction::TunnelUnbuffered
+        );
+        assert_eq!(nar_overflow(Scheme::NarOnly, RealTime), NarOverflow::TailDrop);
+        assert_eq!(nar_action(Scheme::NarOnly, BothAvailable, BestEffort), NarAction::Buffer);
+    }
+
+    #[test]
+    fn par_only_baseline_never_uses_the_nar() {
+        for case in [BothAvailable, NarOnly, ParOnly, NoneAvailable] {
+            for class in [RealTime, HighPriority, BestEffort] {
+                assert_eq!(nar_action(Scheme::ParOnly, case, class), NarAction::Deliver);
+            }
+        }
+        assert_eq!(
+            par_action(Scheme::ParOnly, ParOnly, BestEffort, false),
+            ParAction::BufferLocal
+        );
+    }
+
+    #[test]
+    fn overflow_reactions_follow_class() {
+        assert_eq!(nar_overflow(PROPOSED, RealTime), NarOverflow::DropOldestRealtime);
+        assert_eq!(nar_overflow(PROPOSED, HighPriority), NarOverflow::NotifyPar);
+        assert_eq!(nar_overflow(PROPOSED, BestEffort), NarOverflow::TailDrop);
+        assert_eq!(nar_overflow(PROPOSED, Unspecified), NarOverflow::TailDrop);
+        assert_eq!(
+            nar_overflow(Scheme::Dual { classify: false }, BestEffort),
+            NarOverflow::NotifyPar
+        );
+    }
+
+    #[test]
+    fn no_buffer_scheme_always_tunnels_unbuffered() {
+        for case in [BothAvailable, NarOnly, ParOnly, NoneAvailable] {
+            for class in [RealTime, HighPriority, BestEffort, Unspecified] {
+                assert_eq!(
+                    par_action(Scheme::NoBuffer, case, class, false),
+                    ParAction::TunnelUnbuffered
+                );
+                assert_eq!(nar_action(Scheme::NoBuffer, case, class), NarAction::Deliver);
+            }
+        }
+    }
+}

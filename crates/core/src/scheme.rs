@@ -1,0 +1,196 @@
+//! Buffering schemes and protocol configuration.
+//!
+//! [`Scheme`] selects which handover buffer management the network runs —
+//! the proposed dual-router scheme or one of the baselines the thesis
+//! compares against in Fig 4.2:
+//!
+//! | Scheme | Fig 4.2 line | Meaning |
+//! |---|---|---|
+//! | [`Scheme::NoBuffer`] | FH   | fast handover without any buffering |
+//! | [`Scheme::NarOnly`]  | NAR  | the original FMIPv6: buffer at the new access router only |
+//! | [`Scheme::ParOnly`]  | PAR  | the smooth-handover draft: buffer at the previous router only |
+//! | [`Scheme::Dual`]     | DUAL | the proposed scheme; `classify` switches Table 3.3 on/off |
+
+use fh_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Which buffer management scheme the network runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Fast handover with no buffering at all (the `FH` baseline).
+    NoBuffer,
+    /// Original fast handover: all packets buffered at the NAR.
+    NarOnly,
+    /// Smooth-handover draft: all packets buffered at the PAR.
+    ParOnly,
+    /// The proposed enhanced scheme: both routers' buffers cooperate.
+    Dual {
+        /// `true` enables the class-aware operation matrix (Table 3.3);
+        /// `false` treats every packet the same (Figs 4.4 / 4.8).
+        classify: bool,
+    },
+}
+
+impl Scheme {
+    /// The thesis' proposal with classification enabled.
+    pub const PROPOSED: Scheme = Scheme::Dual { classify: true };
+
+    /// `true` if the mobile host should request buffering at the NAR.
+    #[must_use]
+    pub fn uses_nar_buffer(self) -> bool {
+        matches!(self, Scheme::NarOnly | Scheme::Dual { .. })
+    }
+
+    /// `true` if the mobile host should request buffering at the PAR.
+    #[must_use]
+    pub fn uses_par_buffer(self) -> bool {
+        matches!(self, Scheme::ParOnly | Scheme::Dual { .. })
+    }
+
+    /// `true` if the Table 3.3 class-aware matrix is active.
+    #[must_use]
+    pub fn classifies(self) -> bool {
+        matches!(self, Scheme::Dual { classify: true })
+    }
+
+    /// `true` if any buffering happens at all.
+    #[must_use]
+    pub fn buffers(self) -> bool {
+        !matches!(self, Scheme::NoBuffer)
+    }
+
+    /// Short label used in experiment tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::NoBuffer => "FH",
+            Scheme::NarOnly => "NAR",
+            Scheme::ParOnly => "PAR",
+            Scheme::Dual { classify: false } => "DUAL",
+            Scheme::Dual { classify: true } => "DUAL+class",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Tunable protocol parameters shared by mobile hosts and access routers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Active buffering scheme.
+    pub scheme: Scheme,
+    /// Buffer space (packets) a mobile host requests per handover.
+    pub buffer_request: u32,
+    /// Reservation lifetime the host asks for.
+    pub reservation_lifetime: SimDuration,
+    /// BI start-time: the PAR auto-starts buffering this long after the
+    /// request even if no FBU arrives (protection against fast movers).
+    /// Zero disables auto-start.
+    pub buffer_start_time: SimDuration,
+    /// The administrator constant `a` (Table 3.3 case 1.c / 3.c): best
+    /// effort is buffered at the PAR only while free space exceeds this.
+    pub threshold_a: u32,
+    /// Require the handover authentication token (thesis future work).
+    pub auth_required: bool,
+    /// Enable the precise per-class negotiation extension (thesis future
+    /// work): HI carries per-class packet counts instead of one total.
+    pub precise_negotiation: bool,
+    /// Router-advertisement beacon interval (1 s in the thesis).
+    pub ra_interval: SimDuration,
+    /// Spacing between packets of a buffer flush. Zero hands the whole
+    /// buffer to the interface at once (it still serializes on the
+    /// channel); a positive value models the per-packet processing delay
+    /// the thesis observes when a router "cannot dump all the buffered
+    /// packets at the same time" (§4.2.3).
+    pub flush_spacing: SimDuration,
+}
+
+impl ProtocolConfig {
+    /// The thesis' simulation defaults (§4.1) with the proposed scheme.
+    #[must_use]
+    pub fn proposed() -> Self {
+        ProtocolConfig {
+            scheme: Scheme::PROPOSED,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    /// Same defaults with a different scheme.
+    #[must_use]
+    pub fn with_scheme(scheme: Scheme) -> Self {
+        ProtocolConfig {
+            scheme,
+            ..ProtocolConfig::default()
+        }
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            scheme: Scheme::PROPOSED,
+            buffer_request: 20,
+            reservation_lifetime: SimDuration::from_secs(5),
+            buffer_start_time: SimDuration::from_millis(1500),
+            threshold_a: 10,
+            auth_required: false,
+            precise_negotiation: false,
+            ra_interval: SimDuration::from_secs(1),
+            flush_spacing: SimDuration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_capabilities() {
+        assert!(!Scheme::NoBuffer.buffers());
+        assert!(!Scheme::NoBuffer.uses_nar_buffer());
+        assert!(!Scheme::NoBuffer.uses_par_buffer());
+
+        assert!(Scheme::NarOnly.uses_nar_buffer());
+        assert!(!Scheme::NarOnly.uses_par_buffer());
+
+        assert!(!Scheme::ParOnly.uses_nar_buffer());
+        assert!(Scheme::ParOnly.uses_par_buffer());
+
+        assert!(Scheme::PROPOSED.uses_nar_buffer());
+        assert!(Scheme::PROPOSED.uses_par_buffer());
+    }
+
+    #[test]
+    fn classification_only_in_dual_classify() {
+        assert!(Scheme::PROPOSED.classifies());
+        assert!(!Scheme::Dual { classify: false }.classifies());
+        assert!(!Scheme::NarOnly.classifies());
+        assert!(!Scheme::ParOnly.classifies());
+        assert!(!Scheme::NoBuffer.classifies());
+    }
+
+    #[test]
+    fn labels_are_figure_legends() {
+        assert_eq!(Scheme::NoBuffer.label(), "FH");
+        assert_eq!(Scheme::NarOnly.label(), "NAR");
+        assert_eq!(Scheme::ParOnly.label(), "PAR");
+        assert_eq!(Scheme::Dual { classify: false }.to_string(), "DUAL");
+        assert_eq!(Scheme::PROPOSED.to_string(), "DUAL+class");
+    }
+
+    #[test]
+    fn default_config_matches_thesis_parameters() {
+        let c = ProtocolConfig::default();
+        assert_eq!(c.ra_interval, SimDuration::from_secs(1));
+        assert!(c.buffer_request > 0);
+        assert!(!c.auth_required);
+        let p = ProtocolConfig::with_scheme(Scheme::NarOnly);
+        assert_eq!(p.scheme, Scheme::NarOnly);
+        assert_eq!(ProtocolConfig::proposed().scheme, Scheme::PROPOSED);
+    }
+}

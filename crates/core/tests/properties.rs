@@ -1,0 +1,223 @@
+//! Property tests for the buffer manager and the Table 3.3 policy.
+
+use std::net::Ipv6Addr;
+
+use fh_core::{AdmissionLimit, BufferPool, ProtocolConfig, Scheme};
+use fh_core::policy::{nar_action, nar_overflow, par_action, AvailabilityCase, NarAction, NarOverflow, ParAction};
+use fh_net::{FlowId, Packet, ServiceClass};
+use fh_sim::SimTime;
+use proptest::prelude::*;
+
+fn key(n: u16) -> Ipv6Addr {
+    Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, n)
+}
+
+fn pkt(class: ServiceClass, seq: u64) -> Packet {
+    Packet::data(FlowId(1), seq, key(100), key(200), class, 160, SimTime::ZERO)
+}
+
+fn arb_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::NoBuffer),
+        Just(Scheme::NarOnly),
+        Just(Scheme::ParOnly),
+        Just(Scheme::Dual { classify: false }),
+        Just(Scheme::Dual { classify: true }),
+    ]
+}
+
+fn arb_case() -> impl Strategy<Value = AvailabilityCase> {
+    prop_oneof![
+        Just(AvailabilityCase::BothAvailable),
+        Just(AvailabilityCase::NarOnly),
+        Just(AvailabilityCase::ParOnly),
+        Just(AvailabilityCase::NoneAvailable),
+    ]
+}
+
+fn arb_class() -> impl Strategy<Value = ServiceClass> {
+    (0u8..4).prop_map(ServiceClass::from_field)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Buffer(u16, u8, u64),
+    BufferRt(u16, u64),
+    Drain(u16),
+    Release(u16),
+    Expire(u16),
+    Regrant(u16, u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..5, 0u8..4, any::<u64>()).prop_map(|(k, c, s)| Op::Buffer(k, c, s)),
+        (0u16..5, any::<u64>()).prop_map(|(k, s)| Op::BufferRt(k, s)),
+        (0u16..5).prop_map(Op::Drain),
+        (0u16..5).prop_map(Op::Release),
+        (0u16..5).prop_map(Op::Expire),
+        (0u16..5, 0u32..12).prop_map(|(k, g)| Op::Regrant(k, g)),
+    ]
+}
+
+proptest! {
+    /// Conservation: every admitted packet leaves the pool exactly once —
+    /// flushed, expired, or evicted — and capacity is never exceeded.
+    #[test]
+    fn buffer_pool_conserves_packets(
+        capacity in 1usize..32,
+        ops in prop::collection::vec(arb_op(), 1..400)
+    ) {
+        let mut pool = BufferPool::new(capacity);
+        for k in 0..5 {
+            pool.grant(key(k), 4);
+        }
+        for op in ops {
+            match op {
+                Op::Buffer(k, c, s) => {
+                    let class = ServiceClass::from_field(c);
+                    let _ = pool.try_buffer(key(k), pkt(class, s), AdmissionLimit::Grant);
+                }
+                Op::BufferRt(k, s) => {
+                    let _ = pool.buffer_realtime_dropfront(key(k), pkt(ServiceClass::RealTime, s));
+                }
+                Op::Drain(k) => { let _ = pool.drain(key(k)); }
+                Op::Release(k) => { let _ = pool.release(key(k)); }
+                Op::Expire(k) => { let _ = pool.expire(key(k)); }
+                Op::Regrant(k, g) => {
+                    if !pool.has_session(key(k)) || pool.session_len(key(k)) == 0 {
+                        let _ = pool.grant(key(k), g);
+                    }
+                }
+            }
+            prop_assert!(pool.used() <= pool.capacity());
+        }
+        let queued: u64 = (0..5).map(|k| pool.session_len(key(k)) as u64).sum();
+        let s = pool.stats;
+        prop_assert_eq!(
+            s.admitted,
+            s.flushed + s.expired + s.evicted_realtime + queued,
+            "conservation violated: {:?}", s
+        );
+    }
+
+    /// Grants never over-commit the pool.
+    #[test]
+    fn grants_never_exceed_capacity(
+        capacity in 0usize..64,
+        requests in prop::collection::vec((0u16..8, 0u32..40), 1..50)
+    ) {
+        let mut pool = BufferPool::new(capacity);
+        for (k, r) in requests {
+            let _ = pool.grant(key(k), r);
+            prop_assert!(pool.unreserved() <= capacity);
+            // Sum of outstanding grants is capacity - unreserved ≥ 0.
+        }
+    }
+
+    /// Drain returns packets in FIFO order of admission.
+    #[test]
+    fn drain_preserves_fifo(seqs in prop::collection::vec(any::<u64>(), 1..30)) {
+        let mut pool = BufferPool::new(64);
+        pool.grant(key(1), 64);
+        let mut admitted = Vec::new();
+        for &s in &seqs {
+            if pool
+                .try_buffer(key(1), pkt(ServiceClass::HighPriority, s), AdmissionLimit::Grant)
+                .is_ok()
+            {
+                admitted.push(s);
+            }
+        }
+        let drained: Vec<u64> = pool.drain(key(1)).iter().map(|p| p.seq).collect();
+        prop_assert_eq!(drained, admitted);
+    }
+
+    /// Drop-front only ever evicts the oldest real-time packet, and the
+    /// session never exceeds its grant.
+    #[test]
+    fn dropfront_evicts_oldest_rt_only(
+        grant in 1u32..8,
+        n in 1usize..40
+    ) {
+        let mut pool = BufferPool::new(64);
+        pool.grant(key(1), grant);
+        let mut oldest_alive = 0u64;
+        for s in 0..n as u64 {
+            match pool.buffer_realtime_dropfront(key(1), pkt(ServiceClass::RealTime, s)) {
+                Ok(Some(evicted)) => {
+                    prop_assert_eq!(evicted.seq, oldest_alive, "must evict the oldest");
+                    oldest_alive += 1;
+                }
+                Ok(None) => {}
+                Err(_) => unreachable!("an RT packet is always evictable here"),
+            }
+            prop_assert!(pool.session_len(key(1)) <= grant as usize);
+        }
+        let drained: Vec<u64> = pool.drain(key(1)).iter().map(|p| p.seq).collect();
+        let expect: Vec<u64> = (n as u64 - u64::from(grant).min(n as u64)..n as u64).collect();
+        prop_assert_eq!(drained, expect, "survivors are the newest packets");
+    }
+
+    /// Policy totality and the scheme's two hard promises, over the whole
+    /// input space: RT/HP are never policy-dropped at the PAR, and the NAR
+    /// never buffers without a grant.
+    #[test]
+    fn policy_promises_hold_everywhere(
+        scheme in arb_scheme(),
+        case in arb_case(),
+        class in arb_class(),
+        nar_full in any::<bool>()
+    ) {
+        let p = par_action(scheme, case, class, nar_full);
+        if matches!(class.effective(), ServiceClass::RealTime | ServiceClass::HighPriority) {
+            prop_assert_ne!(p, ParAction::Drop);
+        }
+        if p == ParAction::Drop {
+            // Only the classifying scheme drops by policy, only in case 4.
+            prop_assert_eq!(scheme, Scheme::Dual { classify: true });
+            prop_assert_eq!(case, AvailabilityCase::NoneAvailable);
+        }
+        let n = nar_action(scheme, case, class);
+        if !case.nar() {
+            prop_assert_eq!(n, NarAction::Deliver, "no grant, no buffering");
+        }
+        if n == NarAction::Buffer {
+            prop_assert!(scheme.buffers());
+        }
+        // Overflow handling total and consistent with the scheme.
+        let o = nar_overflow(scheme, class);
+        if o == NarOverflow::DropOldestRealtime {
+            prop_assert_eq!(class.effective(), ServiceClass::RealTime);
+            prop_assert_eq!(scheme, Scheme::Dual { classify: true });
+        }
+    }
+
+    /// BufferLocal at the PAR implies the PAR actually promised space
+    /// (or the packet is best effort spilling under the threshold rule).
+    #[test]
+    fn buffer_local_requires_par_grant_or_best_effort(
+        scheme in arb_scheme(),
+        case in arb_case(),
+        class in arb_class(),
+        nar_full in any::<bool>()
+    ) {
+        if par_action(scheme, case, class, nar_full) == ParAction::BufferLocal {
+            prop_assert!(
+                case.par(),
+                "{scheme:?} buffered locally in {case:?} without a PAR grant"
+            );
+        }
+    }
+
+    /// Config invariants: the request split covers the whole request.
+    #[test]
+    fn dual_request_split_covers_everything(request in 0u32..1000) {
+        let par = request.div_ceil(2);
+        let nar = request / 2;
+        prop_assert_eq!(par + nar, request);
+        // And the defaults stay sane.
+        let cfg = ProtocolConfig::default();
+        prop_assert!(cfg.buffer_request > 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! The mobile host's Mobile IPv6 / HMIPv6 client state.
+//!
+//! In HMIPv6 a mobile host holds three addresses (§2.2.1): its permanent
+//! **home address**, a **regional care-of address** (RCoA) on the MAP's
+//! subnet, and an **on-link care-of address** (LCoA) on the current access
+//! router's subnet. While roaming inside one MAP domain only the LCoA
+//! changes, and only the MAP needs a binding update.
+//!
+//! [`MipClient`] tracks those addresses and registration state. It *builds*
+//! binding-update packets and *consumes* acknowledgements; the owning actor
+//! decides how to transmit (over the air, through a tunnel, …), which keeps
+//! this crate independent of the radio layer.
+//!
+//! # Examples
+//!
+//! ```
+//! use fh_mip::MipClient;
+//! use fh_sim::{SimDuration, SimTime};
+//!
+//! let home = "2001:db8:100::9".parse().unwrap();
+//! let ha = "2001:db8:100::1".parse().unwrap();
+//! let mut client = MipClient::new(home, ha, SimDuration::from_secs(60));
+//! client.enter_map_domain("2001:db8:10::1".parse().unwrap(), "2001:db8:10::9".parse().unwrap());
+//! client.set_lcoa("2001:db8:1::9".parse().unwrap());
+//! let bu = client.make_map_bu(SimTime::ZERO);
+//! assert_eq!(bu.dst, "2001:db8:10::1".parse::<std::net::Ipv6Addr>().unwrap());
+//! assert!(!client.map_registered());
+//! ```
+
+use std::net::Ipv6Addr;
+
+use fh_sim::{SimDuration, SimTime};
+
+use fh_net::{msg::BindingKind, ControlMsg, Packet};
+
+/// Mobile-host-side Mobile IPv6 / HMIPv6 state machine.
+#[derive(Debug, Clone)]
+pub struct MipClient {
+    /// Permanent home address.
+    pub home_addr: Ipv6Addr,
+    /// The home agent's address.
+    pub ha_addr: Ipv6Addr,
+    map_addr: Option<Ipv6Addr>,
+    rcoa: Option<Ipv6Addr>,
+    lcoa: Option<Ipv6Addr>,
+    lifetime: SimDuration,
+    map_registered: bool,
+    ha_registered: bool,
+    correspondents: Vec<Ipv6Addr>,
+    bu_sent_at: Option<(BindingKind, SimTime)>,
+    /// Measured binding-registration delays `(kind, round trip)`.
+    pub registration_delays: Vec<(BindingKind, SimDuration)>,
+}
+
+impl MipClient {
+    /// Creates a client for a host with the given home address and agent.
+    #[must_use]
+    pub fn new(home_addr: Ipv6Addr, ha_addr: Ipv6Addr, lifetime: SimDuration) -> Self {
+        MipClient {
+            home_addr,
+            ha_addr,
+            map_addr: None,
+            rcoa: None,
+            lcoa: None,
+            lifetime,
+            map_registered: false,
+            ha_registered: false,
+            correspondents: Vec::new(),
+            bu_sent_at: None,
+            registration_delays: Vec::new(),
+        }
+    }
+
+    /// Enters a MAP domain: adopts the advertised MAP and forms an RCoA.
+    /// Resets both registrations (the home agent must learn the new RCoA).
+    pub fn enter_map_domain(&mut self, map_addr: Ipv6Addr, rcoa: Ipv6Addr) {
+        self.map_addr = Some(map_addr);
+        self.rcoa = Some(rcoa);
+        self.map_registered = false;
+        self.ha_registered = false;
+    }
+
+    /// Adopts a new on-link care-of address (after moving to a new access
+    /// router inside the same MAP domain). Only the MAP registration is
+    /// invalidated — the point of the hierarchical scheme.
+    pub fn set_lcoa(&mut self, lcoa: Ipv6Addr) {
+        if self.lcoa != Some(lcoa) {
+            self.lcoa = Some(lcoa);
+            self.map_registered = false;
+        }
+    }
+
+    /// Current on-link care-of address.
+    #[must_use]
+    pub fn lcoa(&self) -> Option<Ipv6Addr> {
+        self.lcoa
+    }
+
+    /// Current regional care-of address.
+    #[must_use]
+    pub fn rcoa(&self) -> Option<Ipv6Addr> {
+        self.rcoa
+    }
+
+    /// The current MAP's address.
+    #[must_use]
+    pub fn map_addr(&self) -> Option<Ipv6Addr> {
+        self.map_addr
+    }
+
+    /// `true` once the MAP holds a fresh RCoA→LCoA binding.
+    #[must_use]
+    pub fn map_registered(&self) -> bool {
+        self.map_registered
+    }
+
+    /// `true` once the home agent holds a fresh home→RCoA binding.
+    #[must_use]
+    pub fn ha_registered(&self) -> bool {
+        self.ha_registered
+    }
+
+    /// Builds the local (MAP) binding update: RCoA ↔ LCoA.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`MipClient::enter_map_domain`] and
+    /// [`MipClient::set_lcoa`] have been called.
+    #[must_use]
+    pub fn make_map_bu(&mut self, now: SimTime) -> Packet {
+        let map = self.map_addr.expect("no MAP adopted");
+        let rcoa = self.rcoa.expect("no RCoA formed");
+        let lcoa = self.lcoa.expect("no LCoA configured");
+        self.bu_sent_at = Some((BindingKind::Map, now));
+        Packet::control(
+            lcoa,
+            map,
+            ControlMsg::BindingUpdate {
+                kind: BindingKind::Map,
+                home: rcoa,
+                coa: lcoa,
+                lifetime: self.lifetime,
+            },
+            now,
+        )
+    }
+
+    /// Registers a correspondent node for route optimization: the host
+    /// will send it binding updates whenever the RCoA changes, so the
+    /// correspondent can address traffic directly to the region instead of
+    /// detouring through the home agent (§2.2.1 step 2).
+    pub fn add_correspondent(&mut self, cn: Ipv6Addr) {
+        if !self.correspondents.contains(&cn) {
+            self.correspondents.push(cn);
+        }
+    }
+
+    /// The registered correspondents.
+    #[must_use]
+    pub fn correspondents(&self) -> &[Ipv6Addr] {
+        &self.correspondents
+    }
+
+    /// Builds the route-optimization binding updates (home address ↔ RCoA)
+    /// for every registered correspondent.
+    ///
+    /// Returns an empty vector when no RCoA is formed yet.
+    #[must_use]
+    pub fn make_correspondent_bus(&mut self, now: SimTime) -> Vec<Packet> {
+        let Some(rcoa) = self.rcoa else {
+            return Vec::new();
+        };
+        let home = self.home_addr;
+        let lifetime = self.lifetime;
+        self.correspondents
+            .iter()
+            .map(|&cn| {
+                Packet::control(
+                    rcoa,
+                    cn,
+                    ControlMsg::BindingUpdate {
+                        kind: BindingKind::Correspondent,
+                        home,
+                        coa: rcoa,
+                        lifetime,
+                    },
+                    now,
+                )
+            })
+            .collect()
+    }
+
+    /// Builds the home-agent binding update: home address ↔ RCoA.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless an RCoA has been formed.
+    #[must_use]
+    pub fn make_ha_bu(&mut self, now: SimTime) -> Packet {
+        let rcoa = self.rcoa.expect("no RCoA formed");
+        self.bu_sent_at = Some((BindingKind::HomeAgent, now));
+        Packet::control(
+            rcoa,
+            self.ha_addr,
+            ControlMsg::BindingUpdate {
+                kind: BindingKind::HomeAgent,
+                home: self.home_addr,
+                coa: rcoa,
+                lifetime: self.lifetime,
+            },
+            now,
+        )
+    }
+
+    /// Consumes a control message if it is a binding acknowledgement for
+    /// this host. Returns `true` when consumed.
+    pub fn on_control(&mut self, now: SimTime, msg: &ControlMsg) -> bool {
+        let ControlMsg::BindingAck { kind, home, status } = msg else {
+            return false;
+        };
+        let ours = match kind {
+            BindingKind::Map => Some(*home) == self.rcoa,
+            BindingKind::HomeAgent => *home == self.home_addr,
+            BindingKind::Correspondent => *home == self.home_addr,
+        };
+        if !ours {
+            return false;
+        }
+        if status.is_accepted() {
+            match kind {
+                BindingKind::Map => self.map_registered = true,
+                BindingKind::HomeAgent => self.ha_registered = true,
+                BindingKind::Correspondent => {}
+            }
+            if let Some((sent_kind, at)) = self.bu_sent_at.take() {
+                if sent_kind == *kind {
+                    self.registration_delays.push((*kind, now - at));
+                } else {
+                    self.bu_sent_at = Some((sent_kind, at));
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fh_net::msg::AckStatus;
+
+    fn client() -> MipClient {
+        let mut c = MipClient::new(
+            "2001:db8:100::9".parse().unwrap(),
+            "2001:db8:100::1".parse().unwrap(),
+            SimDuration::from_secs(60),
+        );
+        c.enter_map_domain(
+            "2001:db8:10::1".parse().unwrap(),
+            "2001:db8:10::9".parse().unwrap(),
+        );
+        c.set_lcoa("2001:db8:1::9".parse().unwrap());
+        c
+    }
+
+    #[test]
+    fn map_bu_round_trip_registers_and_measures_delay() {
+        let mut c = client();
+        let bu = c.make_map_bu(SimTime::from_millis(100));
+        assert!(matches!(
+            bu.as_control(),
+            Some(ControlMsg::BindingUpdate {
+                kind: BindingKind::Map,
+                ..
+            })
+        ));
+        let ack = ControlMsg::BindingAck {
+            kind: BindingKind::Map,
+            home: c.rcoa().unwrap(),
+            status: AckStatus::Accepted,
+        };
+        assert!(c.on_control(SimTime::from_millis(108), &ack));
+        assert!(c.map_registered());
+        assert_eq!(
+            c.registration_delays,
+            vec![(BindingKind::Map, SimDuration::from_millis(8))]
+        );
+    }
+
+    #[test]
+    fn new_lcoa_invalidates_only_map_registration() {
+        let mut c = client();
+        let _ = c.make_map_bu(SimTime::ZERO);
+        c.on_control(
+            SimTime::from_millis(5),
+            &ControlMsg::BindingAck {
+                kind: BindingKind::Map,
+                home: c.rcoa().unwrap(),
+                status: AckStatus::Accepted,
+            },
+        );
+        let _ = c.make_ha_bu(SimTime::from_millis(10));
+        c.on_control(
+            SimTime::from_millis(40),
+            &ControlMsg::BindingAck {
+                kind: BindingKind::HomeAgent,
+                home: c.home_addr,
+                status: AckStatus::Accepted,
+            },
+        );
+        assert!(c.map_registered() && c.ha_registered());
+        c.set_lcoa("2001:db8:2::9".parse().unwrap());
+        assert!(!c.map_registered(), "LCoA change must re-register at MAP");
+        assert!(c.ha_registered(), "HA binding survives local movement");
+    }
+
+    #[test]
+    fn same_lcoa_is_a_no_op() {
+        let mut c = client();
+        let _ = c.make_map_bu(SimTime::ZERO);
+        c.on_control(
+            SimTime::from_millis(1),
+            &ControlMsg::BindingAck {
+                kind: BindingKind::Map,
+                home: c.rcoa().unwrap(),
+                status: AckStatus::Accepted,
+            },
+        );
+        c.set_lcoa(c.lcoa().unwrap());
+        assert!(c.map_registered());
+    }
+
+    #[test]
+    fn foreign_acks_are_ignored() {
+        let mut c = client();
+        let foreign = ControlMsg::BindingAck {
+            kind: BindingKind::Map,
+            home: "2001:db8:10::77".parse().unwrap(),
+            status: AckStatus::Accepted,
+        };
+        assert!(!c.on_control(SimTime::ZERO, &foreign));
+        assert!(!c.map_registered());
+        assert!(!c.on_control(SimTime::ZERO, &ControlMsg::RouterSolicitation));
+    }
+
+    #[test]
+    fn rejected_ack_does_not_register() {
+        let mut c = client();
+        let _ = c.make_map_bu(SimTime::ZERO);
+        let nack = ControlMsg::BindingAck {
+            kind: BindingKind::Map,
+            home: c.rcoa().unwrap(),
+            status: AckStatus::Rejected,
+        };
+        assert!(c.on_control(SimTime::from_millis(1), &nack));
+        assert!(!c.map_registered());
+        assert!(c.registration_delays.is_empty());
+    }
+
+    #[test]
+    fn entering_new_map_domain_resets_everything() {
+        let mut c = client();
+        let _ = c.make_map_bu(SimTime::ZERO);
+        c.on_control(
+            SimTime::from_millis(1),
+            &ControlMsg::BindingAck {
+                kind: BindingKind::Map,
+                home: c.rcoa().unwrap(),
+                status: AckStatus::Accepted,
+            },
+        );
+        c.enter_map_domain(
+            "2001:db8:20::1".parse().unwrap(),
+            "2001:db8:20::9".parse().unwrap(),
+        );
+        assert!(!c.map_registered());
+        assert!(!c.ha_registered());
+        assert_eq!(c.map_addr(), Some("2001:db8:20::1".parse().unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no LCoA")]
+    fn map_bu_without_lcoa_panics() {
+        let mut c = MipClient::new(
+            "2001:db8:100::9".parse().unwrap(),
+            "2001:db8:100::1".parse().unwrap(),
+            SimDuration::from_secs(60),
+        );
+        c.enter_map_domain(
+            "2001:db8:10::1".parse().unwrap(),
+            "2001:db8:10::9".parse().unwrap(),
+        );
+        let _ = c.make_map_bu(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,178 @@
+//! Traffic classes — Table 3.1 of the thesis.
+//!
+//! The proposed scheme reads a packet's priority from the IPv6 *class of
+//! service* (traffic class) field. The thesis defines the field values in
+//! Table 3.1; value 0 (unspecified) is treated as best effort.
+//!
+//! As the thesis' future-work section suggests, the classes also map onto
+//! DiffServ per-hop behaviours so the scheme can run inside a DiffServ
+//! domain: see [`ServiceClass::phb`].
+//!
+//! # Examples
+//!
+//! ```
+//! use fh_net::ServiceClass;
+//!
+//! assert_eq!(ServiceClass::from_field(1), ServiceClass::RealTime);
+//! assert_eq!(ServiceClass::from_field(0).effective(), ServiceClass::BestEffort);
+//! assert_eq!(ServiceClass::RealTime.field(), 1);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// A packet's class of service (IPv6 traffic-class field, Table 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub enum ServiceClass {
+    /// Field value 0 — no class specified; treated as best effort.
+    #[default]
+    Unspecified,
+    /// Field value 1 — delay-sensitive packets; useless if they arrive late,
+    /// never retransmitted.
+    RealTime,
+    /// Field value 2 — the most important packets; drop rate must be
+    /// minimized.
+    HighPriority,
+    /// Field value 3 — low-priority packets; may be delayed or dropped when
+    /// buffers run out.
+    BestEffort,
+}
+
+/// DiffServ per-hop behaviour groups, for running the scheme inside a
+/// DiffServ domain (thesis §3.3 / future work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PerHopBehavior {
+    /// Expedited forwarding — low delay, low jitter.
+    Expedited,
+    /// Assured forwarding — low loss.
+    Assured,
+    /// Default forwarding.
+    Default,
+}
+
+impl ServiceClass {
+    /// All four field values, in Table 3.1 order.
+    pub const ALL: [ServiceClass; 4] = [
+        ServiceClass::Unspecified,
+        ServiceClass::RealTime,
+        ServiceClass::HighPriority,
+        ServiceClass::BestEffort,
+    ];
+
+    /// Decodes the IPv6 class-of-service field (Table 3.1). Unknown values
+    /// decode to [`ServiceClass::Unspecified`].
+    #[must_use]
+    pub fn from_field(value: u8) -> Self {
+        match value {
+            1 => ServiceClass::RealTime,
+            2 => ServiceClass::HighPriority,
+            3 => ServiceClass::BestEffort,
+            _ => ServiceClass::Unspecified,
+        }
+    }
+
+    /// Encodes this class as the IPv6 class-of-service field value.
+    #[must_use]
+    pub fn field(self) -> u8 {
+        match self {
+            ServiceClass::Unspecified => 0,
+            ServiceClass::RealTime => 1,
+            ServiceClass::HighPriority => 2,
+            ServiceClass::BestEffort => 3,
+        }
+    }
+
+    /// The class the buffer manager actually applies: `Unspecified` is
+    /// "treated as best effort packets" (Table 3.1).
+    #[must_use]
+    pub fn effective(self) -> Self {
+        match self {
+            ServiceClass::Unspecified => ServiceClass::BestEffort,
+            other => other,
+        }
+    }
+
+    /// Maps the class to a DiffServ per-hop behaviour.
+    #[must_use]
+    pub fn phb(self) -> PerHopBehavior {
+        match self.effective() {
+            ServiceClass::RealTime => PerHopBehavior::Expedited,
+            ServiceClass::HighPriority => PerHopBehavior::Assured,
+            _ => PerHopBehavior::Default,
+        }
+    }
+
+    /// Maps a DiffServ per-hop behaviour back onto a buffering class.
+    #[must_use]
+    pub fn from_phb(phb: PerHopBehavior) -> Self {
+        match phb {
+            PerHopBehavior::Expedited => ServiceClass::RealTime,
+            PerHopBehavior::Assured => ServiceClass::HighPriority,
+            PerHopBehavior::Default => ServiceClass::BestEffort,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ServiceClass::Unspecified => "unspecified",
+            ServiceClass::RealTime => "real-time",
+            ServiceClass::HighPriority => "high-priority",
+            ServiceClass::BestEffort => "best-effort",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_3_1_round_trip() {
+        for class in ServiceClass::ALL {
+            assert_eq!(ServiceClass::from_field(class.field()), class);
+        }
+    }
+
+    #[test]
+    fn unknown_field_values_are_unspecified() {
+        for v in 4..=255u8 {
+            assert_eq!(ServiceClass::from_field(v), ServiceClass::Unspecified);
+        }
+    }
+
+    #[test]
+    fn unspecified_is_best_effort_in_effect() {
+        assert_eq!(
+            ServiceClass::Unspecified.effective(),
+            ServiceClass::BestEffort
+        );
+        assert_eq!(ServiceClass::RealTime.effective(), ServiceClass::RealTime);
+        assert_eq!(
+            ServiceClass::HighPriority.effective(),
+            ServiceClass::HighPriority
+        );
+    }
+
+    #[test]
+    fn diffserv_mapping_is_consistent() {
+        assert_eq!(ServiceClass::RealTime.phb(), PerHopBehavior::Expedited);
+        assert_eq!(ServiceClass::HighPriority.phb(), PerHopBehavior::Assured);
+        assert_eq!(ServiceClass::BestEffort.phb(), PerHopBehavior::Default);
+        assert_eq!(ServiceClass::Unspecified.phb(), PerHopBehavior::Default);
+        for phb in [
+            PerHopBehavior::Expedited,
+            PerHopBehavior::Assured,
+            PerHopBehavior::Default,
+        ] {
+            assert_eq!(ServiceClass::from_phb(phb).phb(), phb);
+        }
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(ServiceClass::RealTime.to_string(), "real-time");
+        assert_eq!(ServiceClass::HighPriority.to_string(), "high-priority");
+    }
+}

@@ -1,0 +1,512 @@
+//! The shared-world contract and the network message vocabulary.
+//!
+//! Every simulation in this repository instantiates
+//! `fh_sim::Simulator<NetMsg, S>` where `S` implements [`NetWorld`] (and
+//! usually richer traits from higher crates). This module defines:
+//!
+//! * [`NetMsg`] — everything a node actor can receive: wired packet
+//!   arrivals, radio packet arrivals, timers, link-layer trigger events.
+//! * [`NetWorld`] — access to the [`Topology`] and the [`NetStats`] hub.
+//! * transmission helpers ([`transmit_on`], [`send_from`], [`send_control`])
+//!   that do the link math, statistics accounting and event scheduling.
+//!
+//! # Examples
+//!
+//! See the crate-level documentation for a two-node end-to-end example.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use fh_sim::{Ctx, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::link::LinkId;
+use crate::msg::{ApId, ControlMsg};
+use crate::packet::{FlowId, Packet};
+use crate::topology::{NodeId, RouteDecision, Topology};
+
+/// Convenience alias for the dispatch context every node actor sees.
+pub type NetCtx<'a, S> = Ctx<'a, NetMsg, S>;
+
+/// Link-layer events delivered to a mobile host (and mirrored to interested
+/// routers by the radio environment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Event {
+    /// L2 source trigger (L2-ST): the radio predicts a handoff toward
+    /// `next`, typically on entering the coverage overlap.
+    SourceTrigger {
+        /// The AP the MH is currently attached to.
+        current: ApId,
+        /// The AP the MH is about to move to.
+        next: ApId,
+    },
+    /// The radio lost its association (start of the L2 black-out).
+    LinkDown {
+        /// The AP the MH detached from.
+        ap: ApId,
+    },
+    /// The radio (re)associated with `ap` (end of the L2 black-out).
+    LinkUp {
+        /// The AP the MH attached to.
+        ap: ApId,
+    },
+}
+
+/// What a timer event means to its receiving actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerKind {
+    /// Periodic router advertisement beacon.
+    RouterAdvertisement,
+    /// Mobility-model position update.
+    Mobility,
+    /// CBR source: emit the next packet.
+    CbrSend,
+    /// TCP coarse clock tick (500 ms in the reproduction, as in BSD/ns-2).
+    TcpTick,
+    /// Application-level custom timer.
+    App(u32),
+    /// The radio completes a detach at this instant.
+    Detach,
+    /// The radio completes an attach at this instant.
+    Attach,
+    /// Buffer reservation: auto-start buffering (BI start-time field).
+    BufferStart,
+    /// Buffer reservation: lifetime expired, release resources.
+    BufferLifetime,
+    /// Paced flush of a handover buffer: send the next buffered packet.
+    FlushStep,
+    /// Mobile IP binding lifetime expiry.
+    BindingLifetime,
+}
+
+/// Every event a network node actor can receive.
+#[derive(Debug, Clone)]
+pub enum NetMsg {
+    /// A packet arrived over a wired link.
+    LinkPacket {
+        /// The link it arrived on.
+        link: LinkId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A packet arrived over the air.
+    RadioPacket {
+        /// The AP whose cell carried the frame.
+        ap: ApId,
+        /// The transmitting node (the 802.11 source-address analog):
+        /// the mobile host on the uplink, the AP's router on the downlink.
+        from: NodeId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A scheduled timer fired. `token` disambiguates timer instances
+    /// (flow ids, session numbers, …) and lets stale timers be ignored.
+    Timer {
+        /// What the timer means.
+        kind: TimerKind,
+        /// Caller-chosen discriminator.
+        token: u64,
+    },
+    /// A link-layer event from the radio environment.
+    L2(L2Event),
+    /// Kick-off event sent once to every actor at simulation start.
+    Start,
+}
+
+/// Why a packet was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Drop-tail queue overflow on a wired link.
+    QueueOverflow,
+    /// Sent over the air while the MH was detached (L2 black-out).
+    RadioDetached,
+    /// A handover buffer had no space left.
+    BufferOverflow,
+    /// The buffering policy chose to drop (e.g. Table 3.3 case 4 best
+    /// effort, or the best-effort `a` threshold).
+    Policy,
+    /// No route to the destination.
+    Unroutable,
+    /// A buffer reservation expired with packets still queued.
+    LifetimeExpired,
+    /// The IPv6 hop limit reached zero (a forwarding loop or an absurdly
+    /// long path).
+    HopLimitExceeded,
+}
+
+/// Global statistics hub, one per simulation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Optional protocol event trace (off by default).
+    #[serde(skip)]
+    pub trace: crate::trace::TraceLog,
+    drops: HashMap<DropReason, u64>,
+    per_flow_drops: HashMap<FlowId, u64>,
+    /// Data packets delivered to their final destination.
+    pub delivered: u64,
+    /// Control messages sent, by kind name.
+    control_sent: HashMap<String, u64>,
+    /// Total control bytes sent (bodies + IPv6 headers).
+    pub control_bytes: u64,
+    /// Control messages that carried a piggybacked buffer option.
+    pub piggybacked: u64,
+}
+
+impl NetStats {
+    /// Creates an empty hub.
+    #[must_use]
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Records the loss of a data packet. Control-plane losses are counted
+    /// under flow 0.
+    pub fn record_drop(&mut self, now: SimTime, flow: FlowId, reason: DropReason) {
+        *self.drops.entry(reason).or_insert(0) += 1;
+        *self.per_flow_drops.entry(flow).or_insert(0) += 1;
+        self.trace
+            .push(now, crate::trace::TraceEvent::Drop { flow, reason });
+    }
+
+    /// Records a sent control message.
+    pub fn record_control(&mut self, now: SimTime, msg: &ControlMsg) {
+        *self
+            .control_sent
+            .entry(msg.kind_name().to_owned())
+            .or_insert(0) += 1;
+        self.control_bytes += u64::from(msg.wire_size()) + u64::from(Packet::IPV6_HEADER);
+        if msg.has_piggyback() {
+            self.piggybacked += 1;
+        }
+        self.trace.push(
+            now,
+            crate::trace::TraceEvent::ControlSent {
+                kind: msg.kind_name(),
+                bytes: msg.wire_size() + Packet::IPV6_HEADER,
+                piggybacked: msg.has_piggyback(),
+            },
+        );
+    }
+
+    /// Total drops for one reason.
+    #[must_use]
+    pub fn drops(&self, reason: DropReason) -> u64 {
+        self.drops.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Total drops across all reasons.
+    #[must_use]
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
+    }
+
+    /// Drops attributed to one flow.
+    #[must_use]
+    pub fn flow_drops(&self, flow: FlowId) -> u64 {
+        self.per_flow_drops.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Number of control messages of the given kind sent so far.
+    #[must_use]
+    pub fn control_count(&self, kind: &str) -> u64 {
+        self.control_sent.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total control messages sent.
+    #[must_use]
+    pub fn control_total(&self) -> u64 {
+        self.control_sent.values().sum()
+    }
+}
+
+/// Shared-state contract required by the network layer.
+pub trait NetWorld: 'static {
+    /// The network graph.
+    fn topology(&self) -> &Topology;
+    /// Mutable network graph (links mutate on transmission).
+    fn topology_mut(&mut self) -> &mut Topology;
+    /// The statistics hub.
+    fn stats(&self) -> &NetStats;
+    /// Mutable statistics hub.
+    fn stats_mut(&mut self) -> &mut NetStats;
+}
+
+/// Transmits `pkt` from `from` on the given link, scheduling its arrival at
+/// the peer. Returns `false` (and records the drop) on queue overflow.
+pub fn transmit_on<S: NetWorld>(
+    ctx: &mut NetCtx<'_, S>,
+    link_id: LinkId,
+    from: NodeId,
+    pkt: Packet,
+) -> bool {
+    let now = ctx.now();
+    let link = ctx.shared.topology_mut().link_mut(link_id);
+    let peer = link
+        .peer(from)
+        .expect("transmit_on: node not attached to link");
+    match link.try_transmit(now, from, pkt.size) {
+        Ok(arrival) => {
+            ctx.send_at(peer, arrival, NetMsg::LinkPacket { link: link_id, pkt });
+            true
+        }
+        Err(_) => {
+            record_drop(ctx, pkt.flow, DropReason::QueueOverflow);
+            false
+        }
+    }
+}
+
+/// Routes and transmits `pkt` from node `from`.
+///
+/// Returns `Some(pkt)` when the destination is local to `from` (the caller
+/// must consume it); `None` when the packet was forwarded or dropped
+/// (drops are recorded in the statistics hub).
+#[must_use]
+pub fn send_from<S: NetWorld>(
+    ctx: &mut NetCtx<'_, S>,
+    from: NodeId,
+    mut pkt: Packet,
+) -> Option<Packet> {
+    match ctx.shared.topology().route(from, pkt.dst) {
+        RouteDecision::Local => Some(pkt),
+        RouteDecision::Forward(link) => {
+            match pkt.hop_limit.checked_sub(1) {
+                Some(h) if h > 0 => pkt.hop_limit = h,
+                _ => {
+                    record_drop(ctx, pkt.flow, DropReason::HopLimitExceeded);
+                    return None;
+                }
+            }
+            transmit_on(ctx, link, from, pkt);
+            None
+        }
+        RouteDecision::Unroutable => {
+            record_drop(ctx, pkt.flow, DropReason::Unroutable);
+            None
+        }
+    }
+}
+
+/// Builds a control packet, accounts it, and routes it from node `from`.
+///
+/// Returns `Some(pkt)` if the destination is local (loopback control, which
+/// callers usually treat as an immediate self-delivery).
+pub fn send_control<S: NetWorld>(
+    ctx: &mut NetCtx<'_, S>,
+    from: NodeId,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    msg: ControlMsg,
+) -> Option<Packet> {
+    record_control(ctx, &msg);
+    let pkt = Packet::control(src, dst, msg, ctx.now());
+    send_from(ctx, from, pkt)
+}
+
+/// Schedules a timer for the current actor.
+pub fn start_timer<S>(ctx: &mut NetCtx<'_, S>, delay: SimDuration, kind: TimerKind, token: u64) {
+    ctx.send_self(delay, NetMsg::Timer { kind, token });
+}
+
+/// Records a drop with the current simulation time (avoids the borrow
+/// dance at call sites).
+pub fn record_drop<S: NetWorld>(ctx: &mut NetCtx<'_, S>, flow: FlowId, reason: DropReason) {
+    let now = ctx.now();
+    ctx.shared.stats_mut().record_drop(now, flow, reason);
+}
+
+/// Records a sent control message with the current simulation time.
+pub fn record_control<S: NetWorld>(ctx: &mut NetCtx<'_, S>, msg: &ControlMsg) {
+    let now = ctx.now();
+    ctx.shared.stats_mut().record_control(now, msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::doc_subnet;
+    use crate::class::ServiceClass;
+    use crate::link::LinkSpec;
+    use fh_sim::{Actor, SimTime, Simulator};
+
+    /// Minimal world for tests.
+    #[derive(Default)]
+    struct World {
+        topo: Topology,
+        stats: NetStats,
+    }
+
+    impl NetWorld for World {
+        fn topology(&self) -> &Topology {
+            &self.topo
+        }
+        fn topology_mut(&mut self) -> &mut Topology {
+            &mut self.topo
+        }
+        fn stats(&self) -> &NetStats {
+            &self.stats
+        }
+        fn stats_mut(&mut self) -> &mut NetStats {
+            &mut self.stats
+        }
+    }
+
+    /// A node that forwards anything not local and counts local deliveries.
+    struct Node {
+        delivered: u64,
+    }
+
+    impl Actor<NetMsg, World> for Node {
+        fn handle(&mut self, ctx: &mut NetCtx<'_, World>, msg: NetMsg) {
+            if let NetMsg::LinkPacket { pkt, .. } = msg {
+                let me = ctx.self_id();
+                if let Some(local) = send_from(ctx, me, pkt) {
+                    let _ = local;
+                    self.delivered += 1;
+                    ctx.shared.stats_mut().delivered += 1;
+                }
+            }
+        }
+    }
+
+    fn build_chain(n: usize) -> (Simulator<NetMsg, World>, Vec<NodeId>) {
+        let mut sim = Simulator::new(World::default(), 7);
+        let ids: Vec<NodeId> = (0..n)
+            .map(|_| sim.add_actor(Box::new(Node { delivered: 0 })))
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            sim.shared.topo.register_node(id, format!("n{i}"));
+        }
+        let spec = LinkSpec::new(8_000_000, SimDuration::from_millis(2), 50);
+        for w in ids.windows(2) {
+            sim.shared.topo.add_link(w[0], w[1], spec);
+        }
+        sim.shared.topo.add_prefix(doc_subnet(0), ids[0]);
+        sim.shared
+            .topo
+            .add_prefix(doc_subnet((n - 1) as u16), ids[n - 1]);
+        sim.shared.topo.compute_routes();
+        (sim, ids)
+    }
+
+    fn data_packet(n: usize) -> Packet {
+        Packet::data(
+            FlowId(1),
+            0,
+            doc_subnet(0).host(1),
+            doc_subnet((n - 1) as u16).host(1),
+            ServiceClass::BestEffort,
+            1000,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn packet_crosses_a_three_hop_chain() {
+        let (mut sim, ids) = build_chain(4);
+        let pkt = data_packet(4);
+        // Inject at node 0 as if it had arrived on a link.
+        sim.schedule(
+            SimTime::ZERO,
+            ids[0],
+            NetMsg::LinkPacket {
+                link: LinkId(0),
+                pkt,
+            },
+        );
+        sim.run();
+        assert_eq!(sim.shared.stats.delivered, 1);
+        assert_eq!(sim.actor::<Node>(ids[3]).unwrap().delivered, 1);
+        // 3 hops * (1 ms serialization + 2 ms propagation).
+        assert_eq!(sim.now(), SimTime::from_millis(9));
+    }
+
+    #[test]
+    fn unroutable_packets_are_counted() {
+        let (mut sim, ids) = build_chain(2);
+        let mut pkt = data_packet(2);
+        pkt.dst = "fd00::1".parse().unwrap();
+        sim.schedule(
+            SimTime::ZERO,
+            ids[0],
+            NetMsg::LinkPacket {
+                link: LinkId(0),
+                pkt,
+            },
+        );
+        sim.run();
+        assert_eq!(sim.shared.stats.drops(DropReason::Unroutable), 1);
+        assert_eq!(sim.shared.stats.flow_drops(FlowId(1)), 1);
+        assert_eq!(sim.shared.stats.delivered, 0);
+    }
+
+    #[test]
+    fn queue_overflow_is_counted() {
+        let (mut sim, ids) = build_chain(2);
+        // Shrink the queue to zero and saturate it.
+        sim.shared.topo.link_mut(LinkId(0)).spec.queue_limit = 0;
+        for _ in 0..3 {
+            let pkt = data_packet(2);
+            sim.schedule(
+                SimTime::ZERO,
+                ids[0],
+                NetMsg::LinkPacket {
+                    link: LinkId(0),
+                    pkt,
+                },
+            );
+        }
+        sim.run();
+        assert_eq!(sim.shared.stats.drops(DropReason::QueueOverflow), 2);
+        assert_eq!(sim.shared.stats.delivered, 1);
+    }
+
+    #[test]
+    fn control_accounting() {
+        let (mut sim, ids) = build_chain(2);
+        struct Sender;
+        impl Actor<NetMsg, World> for Sender {
+            fn handle(&mut self, ctx: &mut NetCtx<'_, World>, msg: NetMsg) {
+                if let NetMsg::Start = msg {
+                    let me = ctx.self_id();
+                    let _ = send_control(
+                        ctx,
+                        me,
+                        doc_subnet(0).host(9),
+                        doc_subnet(1).host(1),
+                        ControlMsg::RouterSolicitation,
+                    );
+                }
+            }
+        }
+        // Sender shares node 0's position by registering its own node id.
+        let s = sim.add_actor(Box::new(Sender));
+        sim.shared.topo.register_node(s, "sender");
+        let spec = LinkSpec::new(8_000_000, SimDuration::from_millis(1), 10);
+        sim.shared.topo.add_link(s, ids[0], spec);
+        sim.shared.topo.compute_routes();
+        sim.schedule(SimTime::ZERO, s, NetMsg::Start);
+        sim.run();
+        assert_eq!(sim.shared.stats.control_count("RS"), 1);
+        assert_eq!(sim.shared.stats.control_total(), 1);
+        assert!(sim.shared.stats.control_bytes >= 48);
+        assert_eq!(sim.shared.stats.piggybacked, 0);
+    }
+
+    #[test]
+    fn local_destination_is_returned_to_caller() {
+        let (mut sim, ids) = build_chain(2);
+        let mut pkt = data_packet(2);
+        pkt.dst = doc_subnet(0).host(5); // owned by node 0 itself
+        sim.schedule(
+            SimTime::ZERO,
+            ids[0],
+            NetMsg::LinkPacket {
+                link: LinkId(0),
+                pkt,
+            },
+        );
+        sim.run();
+        assert_eq!(sim.actor::<Node>(ids[0]).unwrap().delivered, 1);
+    }
+}

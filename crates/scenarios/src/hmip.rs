@@ -1,0 +1,479 @@
+//! The Fig 4.1 scenario: a hierarchical Mobile IPv6 access network.
+//!
+//! ```text
+//!                 CN
+//!                  |
+//!                 MAP          (HMIPv6 anchor, RCoA prefix)
+//!                /   \
+//!             PAR --- NAR      (fast-handover access routers)
+//!              |       |
+//!            (AP0)   (AP1)     x = 0 m      x = 212 m, radius 112 m
+//!                 MH(s) →      10 m/s
+//! ```
+//!
+//! Parameters follow §4.1 of the thesis: 212 m AP separation, 112 m
+//! coverage (12 m overlap), 1 s router advertisements, 200 ms link-layer
+//! black-out, 10 m/s hosts. Everything else (link speeds, buffer sizes,
+//! the PAR↔NAR delay that Figs 4.9/4.10 sweep) is configurable.
+
+use std::net::Ipv6Addr;
+
+use fh_sim::{SimDuration, SimTime, Simulator};
+
+use fh_core::{ArAgent, MhAgent, ProtocolConfig};
+use fh_mip::{MipClient, MobilityAnchor};
+use fh_net::{doc_subnet, ApId, FlowId, LinkSpec, NetMsg, NodeId, ServiceClass};
+use fh_traffic::{CbrSource, UdpSink};
+use fh_wireless::{MhRadio, Mobility, Position, RadioConfig, WirelessSpec};
+
+use crate::nodes::{ArNode, CnNode, MapNode, MhNode};
+use crate::world::World;
+
+/// How the mobile hosts move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MovementPlan {
+    /// One PAR→NAR crossing: start near the PAR, park under the NAR.
+    OneWay,
+    /// Shuttle between the two cells forever (repeated handovers).
+    PingPong,
+    /// Stay parked under the PAR (no handover; control runs).
+    Parked,
+    /// Hosts cross in opposite directions: even-indexed hosts walk
+    /// PAR→NAR, odd-indexed hosts walk NAR→PAR at the same time, so each
+    /// router plays both roles simultaneously.
+    Crossing,
+}
+
+/// Configuration of the Fig 4.1 scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct HmipConfig {
+    /// Protocol parameters (scheme, buffer request, threshold `a`, …).
+    pub protocol: ProtocolConfig,
+    /// Number of mobile hosts.
+    pub n_mhs: usize,
+    /// Handover buffer capacity per access router, in packets.
+    pub buffer_capacity: usize,
+    /// PAR↔NAR link propagation delay (2 ms default; Fig 4.10 uses 50 ms).
+    pub ar_link_delay: SimDuration,
+    /// Wireless channel parameters.
+    pub wireless: WirelessSpec,
+    /// L2 black-out duration (200 ms in the thesis).
+    pub l2_handoff_delay: SimDuration,
+    /// Host movement pattern.
+    pub movement: MovementPlan,
+    /// Host speed in m/s.
+    pub speed: f64,
+    /// RNG seed for the run.
+    pub seed: u64,
+}
+
+impl Default for HmipConfig {
+    fn default() -> Self {
+        HmipConfig {
+            protocol: ProtocolConfig::proposed(),
+            n_mhs: 1,
+            buffer_capacity: 20,
+            ar_link_delay: SimDuration::from_millis(2),
+            wireless: WirelessSpec {
+                bandwidth_bps: 2_000_000,
+                delay: SimDuration::from_millis(1),
+            },
+            l2_handoff_delay: SimDuration::from_millis(200),
+            movement: MovementPlan::OneWay,
+            speed: 10.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Geometry constants of the thesis topology (§4.1).
+pub mod geometry {
+    /// Distance between the two access points, in meters.
+    pub const AP_SEPARATION: f64 = 212.0;
+    /// Coverage radius of each access point, in meters.
+    pub const COVERAGE_RADIUS: f64 = 112.0;
+    /// One-way walk start (inside PAR coverage, short lead-in).
+    pub const WALK_START: f64 = 88.0;
+    /// Ping-pong turnaround points.
+    pub const PP_LEFT: f64 = 60.0;
+    /// Right ping-pong turnaround (well inside NAR coverage).
+    pub const PP_RIGHT: f64 = 152.0;
+}
+
+/// A flow registered in the scenario.
+#[derive(Debug, Clone, Copy)]
+struct FlowEntry {
+    flow: FlowId,
+    cbr_index: usize,
+    mh_index: usize,
+    sink_index: usize,
+}
+
+/// The built Fig 4.1 scenario.
+pub struct HmipScenario {
+    /// The simulator, ready to run.
+    pub sim: Simulator<NetMsg, World>,
+    /// Correspondent node.
+    pub cn: NodeId,
+    /// The MAP router.
+    pub map: NodeId,
+    /// Previous access router (hosts start here).
+    pub par: NodeId,
+    /// New access router.
+    pub nar: NodeId,
+    /// Mobile host nodes.
+    pub mhs: Vec<NodeId>,
+    /// Each host's regional care-of address (traffic destination).
+    pub rcoas: Vec<Ipv6Addr>,
+    /// The PAR's address.
+    pub par_addr: Ipv6Addr,
+    /// The NAR's address.
+    pub nar_addr: Ipv6Addr,
+    /// The MAP's address.
+    pub map_addr: Ipv6Addr,
+    /// The PAR-side AP.
+    pub par_ap: ApId,
+    /// The NAR-side AP.
+    pub nar_ap: ApId,
+    flows: Vec<FlowEntry>,
+    next_flow: u32,
+}
+
+impl HmipScenario {
+    /// Builds the scenario.
+    #[must_use]
+    pub fn build(cfg: HmipConfig) -> Self {
+        let mut sim: Simulator<NetMsg, World> = Simulator::new(World::new(cfg.wireless), cfg.seed);
+
+        // Prefixes and addresses.
+        let cn_prefix = doc_subnet(0);
+        let par_prefix = doc_subnet(1);
+        let nar_prefix = doc_subnet(2);
+        let map_prefix = doc_subnet(10);
+        let cn_addr = cn_prefix.host(1);
+        let par_addr = par_prefix.host(1);
+        let nar_addr = nar_prefix.host(1);
+        let map_addr = map_prefix.host(1);
+
+        // Actors.
+        let cn = sim.add_actor(Box::new(CnNode::new(
+            // placeholder id, patched right below (actor ids are assigned
+            // by the simulator at insertion).
+            fh_net::Topology::new().add_node("tmp"),
+        )));
+        sim.actor_mut::<CnNode>(cn).expect("cn").node = cn;
+
+        let map_anchor_node = sim.add_actor(Box::new(MapNode {
+            anchor: MobilityAnchor::map(
+                fh_net::Topology::new().add_node("tmp"),
+                map_addr,
+                map_prefix,
+            ),
+        }));
+        sim.actor_mut::<MapNode>(map_anchor_node)
+            .expect("map")
+            .anchor
+            .node = map_anchor_node;
+
+        // Radio environment first (AP ids needed by the AR agents).
+        let par_node = sim.add_actor(Box::new(ArNode {
+            agent: ArAgent::new(
+                fh_net::Topology::new().add_node("tmp"),
+                par_addr,
+                par_prefix,
+                Vec::new(),
+                map_addr,
+                cfg.protocol,
+                cfg.buffer_capacity,
+            ),
+        }));
+        let nar_node = sim.add_actor(Box::new(ArNode {
+            agent: ArAgent::new(
+                fh_net::Topology::new().add_node("tmp"),
+                nar_addr,
+                nar_prefix,
+                Vec::new(),
+                map_addr,
+                cfg.protocol,
+                cfg.buffer_capacity,
+            ),
+        }));
+        let par_ap = sim
+            .shared
+            .radio
+            .add_ap(par_node, Position::new(0.0, 0.0), geometry::COVERAGE_RADIUS);
+        let nar_ap = sim.shared.radio.add_ap(
+            nar_node,
+            Position::new(geometry::AP_SEPARATION, 0.0),
+            geometry::COVERAGE_RADIUS,
+        );
+        {
+            let par_agent = &mut sim.actor_mut::<ArNode>(par_node).expect("par").agent;
+            par_agent.node = par_node;
+            par_agent.aps = vec![par_ap];
+            par_agent.learn_ap(nar_ap, nar_addr);
+        }
+        {
+            let nar_agent = &mut sim.actor_mut::<ArNode>(nar_node).expect("nar").agent;
+            nar_agent.node = nar_node;
+            nar_agent.aps = vec![nar_ap];
+            nar_agent.learn_ap(par_ap, par_addr);
+        }
+
+        // Mobile hosts.
+        let mut mhs = Vec::new();
+        let mut rcoas = Vec::new();
+        for i in 0..cfg.n_mhs {
+            let iid = 0x100 + i as u64;
+            let rcoa = map_prefix.host(iid);
+            let eastbound = i % 2 == 0;
+            let mobility = match cfg.movement {
+                MovementPlan::OneWay => Mobility::linear(
+                    Position::new(geometry::WALK_START, 0.0),
+                    Position::new(geometry::AP_SEPARATION, 0.0),
+                    cfg.speed,
+                ),
+                MovementPlan::PingPong => Mobility::ping_pong(
+                    Position::new(geometry::PP_LEFT, 0.0),
+                    Position::new(geometry::PP_RIGHT, 0.0),
+                    cfg.speed,
+                ),
+                MovementPlan::Parked => Mobility::Stationary(Position::new(0.0, 0.0)),
+                MovementPlan::Crossing => {
+                    if eastbound {
+                        Mobility::linear(
+                            Position::new(geometry::WALK_START, 0.0),
+                            Position::new(geometry::AP_SEPARATION, 0.0),
+                            cfg.speed,
+                        )
+                    } else {
+                        // The mirror walk, starting under the NAR.
+                        Mobility::linear(
+                            Position::new(geometry::AP_SEPARATION - geometry::WALK_START, 0.0),
+                            Position::new(0.0, 0.0),
+                            cfg.speed,
+                        )
+                    }
+                }
+            };
+            let mh_node = sim.add_actor(Box::new(MhNode::new(MhAgent::new(
+                fh_net::Topology::new().add_node("tmp"),
+                MhRadio::new(
+                    fh_net::Topology::new().add_node("tmp"),
+                    mobility.clone(),
+                    RadioConfig {
+                        l2_handoff_delay: cfg.l2_handoff_delay,
+                        ..RadioConfig::default()
+                    },
+                ),
+                MipClient::new(rcoa, map_addr, SimDuration::from_secs(600)),
+                cfg.protocol,
+                iid,
+            ))));
+            {
+                let node = &mut sim.actor_mut::<MhNode>(mh_node).expect("mh").agent;
+                node.node = mh_node;
+                node.radio = MhRadio::new(
+                    mh_node,
+                    mobility,
+                    RadioConfig {
+                        l2_handoff_delay: cfg.l2_handoff_delay,
+                        ..RadioConfig::default()
+                    },
+                );
+                node.mip.enter_map_domain(map_addr, rcoa);
+                if cfg.movement == MovementPlan::Crossing && i % 2 == 1 {
+                    // Westbound hosts start under the NAR.
+                    node.configure_initial(nar_ap, nar_addr, nar_prefix);
+                } else {
+                    node.configure_initial(par_ap, par_addr, par_prefix);
+                }
+            }
+            mhs.push(mh_node);
+            rcoas.push(rcoa);
+        }
+
+        // Wired topology.
+        let inter_ar_link;
+        {
+            let topo = &mut sim.shared.topo;
+            topo.register_node(cn, "cn");
+            topo.register_node(map_anchor_node, "map");
+            topo.register_node(par_node, "par");
+            topo.register_node(nar_node, "nar");
+            for (i, &mh) in mhs.iter().enumerate() {
+                topo.register_node(mh, format!("mh{i}"));
+            }
+            let backbone = LinkSpec::new(10_000_000, SimDuration::from_millis(10), 100);
+            let distribution = LinkSpec::new(10_000_000, SimDuration::from_millis(5), 100);
+            let inter_ar = LinkSpec::new(10_000_000, cfg.ar_link_delay, 100);
+            topo.add_link(cn, map_anchor_node, backbone);
+            topo.add_link(map_anchor_node, par_node, distribution);
+            topo.add_link(map_anchor_node, nar_node, distribution);
+            let ar_link = topo.add_link(par_node, nar_node, inter_ar);
+            inter_ar_link = Some(ar_link);
+            topo.add_prefix(cn_prefix, cn);
+            topo.add_prefix(map_prefix, map_anchor_node);
+            topo.add_prefix(par_prefix, par_node);
+            topo.add_prefix(nar_prefix, nar_node);
+            topo.compute_routes();
+        }
+
+        // The FMIPv6 tunnel rides the direct inter-AR link regardless of
+        // shortest-path routing (Figs 4.9/4.10 sweep its delay).
+        if let Some(link) = inter_ar_link {
+            sim.actor_mut::<ArNode>(par_node)
+                .expect("par")
+                .agent
+                .learn_peer_link(nar_addr, link);
+            sim.actor_mut::<ArNode>(nar_node)
+                .expect("nar")
+                .agent
+                .learn_peer_link(par_addr, link);
+        }
+
+        // CN address bookkeeping and kick-off events.
+        {
+            let cn_node = sim.actor_mut::<CnNode>(cn).expect("cn");
+            cn_node.node = cn;
+        }
+        for id in [cn, map_anchor_node, par_node, nar_node]
+            .into_iter()
+            .chain(mhs.iter().copied())
+        {
+            sim.schedule(SimTime::ZERO, id, NetMsg::Start);
+        }
+
+        let _ = cn_addr;
+        HmipScenario {
+            sim,
+            cn,
+            map: map_anchor_node,
+            par: par_node,
+            nar: nar_node,
+            mhs,
+            rcoas,
+            par_addr,
+            nar_addr,
+            map_addr,
+            par_ap,
+            nar_ap,
+            flows: Vec::new(),
+            next_flow: 1,
+        }
+    }
+
+    /// The correspondent node's address.
+    #[must_use]
+    pub fn cn_addr(&self) -> Ipv6Addr {
+        doc_subnet(0).host(1)
+    }
+
+    /// Adds a CBR flow from the CN to mobile host `mh_index`.
+    ///
+    /// Returns the flow id; counters are read back with
+    /// [`HmipScenario::flow_sent`] and [`HmipScenario::flow_sink`].
+    pub fn add_cbr_flow(
+        &mut self,
+        mh_index: usize,
+        class: ServiceClass,
+        size: u32,
+        interval: SimDuration,
+    ) -> FlowId {
+        let flow = FlowId(self.next_flow);
+        self.next_flow += 1;
+        let src = self.cn_addr();
+        let dst = self.rcoas[mh_index];
+        let cbr = CbrSource::new(flow, src, dst, class, size, interval);
+        let cn = self.sim.actor_mut::<CnNode>(self.cn).expect("cn");
+        let cbr_index = cn.cbr.len();
+        cn.cbr.push(cbr);
+        let mh = self.sim.actor_mut::<MhNode>(self.mhs[mh_index]).expect("mh");
+        let sink_index = mh.sinks.len();
+        mh.sinks.push(UdpSink::new(flow));
+        self.flows.push(FlowEntry {
+            flow,
+            cbr_index,
+            mh_index,
+            sink_index,
+        });
+        flow
+    }
+
+    /// The thesis' 64 kb/s audio flow (160 B @ 20 ms).
+    pub fn add_audio_64k(&mut self, mh_index: usize, class: ServiceClass) -> FlowId {
+        self.add_cbr_flow(mh_index, class, 160, SimDuration::from_millis(20))
+    }
+
+    /// The thesis' 128 kb/s audio flow (160 B @ 10 ms).
+    pub fn add_audio_128k(&mut self, mh_index: usize, class: ServiceClass) -> FlowId {
+        self.add_cbr_flow(mh_index, class, 160, SimDuration::from_millis(10))
+    }
+
+    /// Sets the window in which CBR sources generate.
+    pub fn set_traffic_window(&mut self, start: SimTime, stop: SimTime) {
+        let cn = self.sim.actor_mut::<CnNode>(self.cn).expect("cn");
+        cn.cbr_start = start;
+        cn.cbr_stop = stop;
+    }
+
+    fn entry(&self, flow: FlowId) -> &FlowEntry {
+        self.flows
+            .iter()
+            .find(|e| e.flow == flow)
+            .expect("unknown flow id")
+    }
+
+    /// Packets the CN emitted on `flow`.
+    #[must_use]
+    pub fn flow_sent(&self, flow: FlowId) -> u64 {
+        let e = self.entry(flow);
+        self.sim.actor::<CnNode>(self.cn).expect("cn").cbr[e.cbr_index].sent()
+    }
+
+    /// The sink of `flow` (received counts, delays).
+    #[must_use]
+    pub fn flow_sink(&self, flow: FlowId) -> &UdpSink {
+        let e = self.entry(flow);
+        &self
+            .sim
+            .actor::<MhNode>(self.mhs[e.mh_index])
+            .expect("mh")
+            .sinks[e.sink_index]
+    }
+
+    /// Losses on `flow` so far (sent − received).
+    #[must_use]
+    pub fn flow_losses(&self, flow: FlowId) -> u64 {
+        self.flow_sink(flow).losses(self.flow_sent(flow))
+    }
+
+    /// The mobile-host agent of host `i` (handoff counts, timeline).
+    #[must_use]
+    pub fn mh_agent(&self, i: usize) -> &MhAgent {
+        &self.sim.actor::<MhNode>(self.mhs[i]).expect("mh").agent
+    }
+
+    /// The PAR's protocol agent.
+    #[must_use]
+    pub fn par_agent(&self) -> &ArAgent {
+        &self.sim.actor::<ArNode>(self.par).expect("par").agent
+    }
+
+    /// The NAR's protocol agent.
+    #[must_use]
+    pub fn nar_agent(&self) -> &ArAgent {
+        &self.sim.actor::<ArNode>(self.nar).expect("nar").agent
+    }
+
+    /// The MAP anchor.
+    #[must_use]
+    pub fn map_anchor(&self) -> &MobilityAnchor {
+        &self.sim.actor::<MapNode>(self.map).expect("map").anchor
+    }
+
+    /// Runs the simulation until `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+}

@@ -1,0 +1,44 @@
+//! # fh-scenarios — composed simulations and experiment runners
+//!
+//! This crate assembles the substrates (`fh-sim`, `fh-net`, `fh-wireless`,
+//! `fh-mip`, `fh-tcp`, `fh-traffic`) and the paper's contribution
+//! (`fh-core`) into runnable scenarios:
+//!
+//! * [`HmipScenario`] — the thesis' Fig 4.1 network: CN → MAP → {PAR, NAR}
+//!   with 802.11-style cells 212 m apart and mobile hosts walking between
+//!   them.
+//! * [`WlanScenario`] — the Fig 4.11 network: one router, two cells, a
+//!   pure link-layer handoff under a TCP download.
+//! * [`experiments`] — one runner per evaluation figure (4.2 through 4.14)
+//!   plus ablations (threshold `a` sweep, black-out sweep, signaling
+//!   accounting).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fh_net::ServiceClass;
+//! use fh_scenarios::{HmipConfig, HmipScenario};
+//! use fh_sim::SimTime;
+//!
+//! let mut scenario = HmipScenario::build(HmipConfig::default());
+//! let flow = scenario.add_audio_64k(0, ServiceClass::RealTime);
+//! scenario.run_until(SimTime::from_secs(16));
+//! assert_eq!(scenario.mh_agent(0).handoffs, 1, "one PAR→NAR handover");
+//! assert!(scenario.flow_sink(flow).received() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod hmip;
+mod nodes;
+mod roaming;
+mod wlan;
+mod world;
+
+pub use hmip::{geometry, HmipConfig, HmipScenario, MovementPlan};
+pub use roaming::{RoamingConfig, RoamingScenario};
+pub use nodes::{ArNode, CnNode, MapNode, MhNode};
+pub use wlan::{WlanConfig, WlanScenario};
+pub use world::World;

@@ -1,0 +1,337 @@
+//! Macro-mobility scenario: roaming across two MAP domains.
+//!
+//! Chapter 2 of the thesis describes the full Mobile IPv6 hierarchy: a
+//! home agent handles global (macro) mobility while MAPs hide local
+//! movement. The fast-handover experiments stay inside one MAP domain;
+//! this scenario exercises the rest of the stack — a host whose traffic
+//! is addressed to its **home address**, crossing from one MAP domain
+//! into another:
+//!
+//! ```text
+//!   CN ── HA ──┬── MAP1 ── AR1 (AP0, x = 0)
+//!              └── MAP2 ── AR2 (AP1, x = 212)
+//!                     AR1 ───── AR2   (inter-AR tunnel link)
+//! ```
+//!
+//! The handover itself is ordinary FMIPv6 with the enhanced buffering;
+//! what is new is the aftermath: the host discovers the new MAP from the
+//! first router advertisement, forms a fresh RCoA, registers locally, and
+//! sends its home agent the only binding update macro movement requires.
+//! Until those bindings land, traffic keeps flowing through the *old*
+//! chain (HA → MAP1 → the stale LCoA → the PAR's tunnel) — so the
+//! crossing is seamless.
+
+use std::net::Ipv6Addr;
+
+use fh_sim::{SimDuration, SimTime, Simulator};
+
+use fh_core::{ArAgent, MhAgent, ProtocolConfig};
+use fh_mip::{MipClient, MobilityAnchor};
+use fh_net::{doc_subnet, FlowId, LinkSpec, NetMsg, NodeId, ServiceClass};
+use fh_traffic::{CbrSource, UdpSink};
+use fh_wireless::{MhRadio, Mobility, Position, RadioConfig, WirelessSpec};
+
+use crate::nodes::{ArNode, CnNode, MapNode, MhNode};
+use crate::world::World;
+
+/// Configuration for the two-domain roaming scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct RoamingConfig {
+    /// Protocol parameters for the fast handover in the middle.
+    pub protocol: ProtocolConfig,
+    /// Buffer capacity per access router.
+    pub buffer_capacity: usize,
+    /// L2 black-out duration.
+    pub l2_handoff_delay: SimDuration,
+    /// Enable route optimization: the host sends the correspondent binding
+    /// updates so traffic bypasses the home agent (§2.2.1 step 2).
+    pub route_optimization: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RoamingConfig {
+    fn default() -> Self {
+        RoamingConfig {
+            protocol: ProtocolConfig::proposed(),
+            buffer_capacity: 20,
+            l2_handoff_delay: SimDuration::from_millis(200),
+            route_optimization: false,
+            seed: 23,
+        }
+    }
+}
+
+/// The built two-MAP-domain network.
+pub struct RoamingScenario {
+    /// The simulator, ready to run.
+    pub sim: Simulator<NetMsg, World>,
+    /// Correspondent node.
+    pub cn: NodeId,
+    /// Home agent node.
+    pub ha: NodeId,
+    /// First (starting) mobility anchor point.
+    pub map1: NodeId,
+    /// Second (destination) mobility anchor point.
+    pub map2: NodeId,
+    /// Access router in domain 1.
+    pub ar1: NodeId,
+    /// Access router in domain 2.
+    pub ar2: NodeId,
+    /// The mobile host.
+    pub mh: NodeId,
+    /// The host's permanent home address — where the CN sends.
+    pub home_addr: Ipv6Addr,
+    /// The flow from the CN to the home address.
+    pub flow: FlowId,
+}
+
+impl RoamingScenario {
+    /// Builds the scenario with one 64 kb/s high-priority flow addressed
+    /// to the host's home address.
+    #[must_use]
+    pub fn build(cfg: RoamingConfig) -> Self {
+        let mut sim: Simulator<NetMsg, World> = Simulator::new(
+            World::new(WirelessSpec {
+                bandwidth_bps: 2_000_000,
+                delay: SimDuration::from_millis(1),
+            }),
+            cfg.seed,
+        );
+
+        let cn_prefix = doc_subnet(0);
+        let home_prefix = doc_subnet(100);
+        let map1_prefix = doc_subnet(10);
+        let map2_prefix = doc_subnet(20);
+        let ar1_prefix = doc_subnet(1);
+        let ar2_prefix = doc_subnet(2);
+        let cn_addr = cn_prefix.host(1);
+        let ha_addr = home_prefix.host(1);
+        let map1_addr = map1_prefix.host(1);
+        let map2_addr = map2_prefix.host(1);
+        let ar1_addr = ar1_prefix.host(1);
+        let ar2_addr = ar2_prefix.host(1);
+        let iid = 0x77;
+        let home_addr = home_prefix.host(iid);
+        let rcoa1 = map1_prefix.host(iid);
+        let flow = FlowId(1);
+
+        // Nodes.
+        let cn = sim.add_actor(Box::new(CnNode::new(
+            fh_net::Topology::new().add_node("tmp"),
+        )));
+        let ha = sim.add_actor(Box::new(MapNode {
+            anchor: MobilityAnchor::home_agent(
+                fh_net::Topology::new().add_node("tmp"),
+                ha_addr,
+                home_prefix,
+            ),
+        }));
+        let map1 = sim.add_actor(Box::new(MapNode {
+            anchor: MobilityAnchor::map(
+                fh_net::Topology::new().add_node("tmp"),
+                map1_addr,
+                map1_prefix,
+            ),
+        }));
+        let map2 = sim.add_actor(Box::new(MapNode {
+            anchor: MobilityAnchor::map(
+                fh_net::Topology::new().add_node("tmp"),
+                map2_addr,
+                map2_prefix,
+            ),
+        }));
+        let ar1 = sim.add_actor(Box::new(ArNode {
+            agent: ArAgent::new(
+                fh_net::Topology::new().add_node("tmp"),
+                ar1_addr,
+                ar1_prefix,
+                Vec::new(),
+                map1_addr,
+                cfg.protocol,
+                cfg.buffer_capacity,
+            ),
+        }));
+        let ar2 = sim.add_actor(Box::new(ArNode {
+            agent: ArAgent::new(
+                fh_net::Topology::new().add_node("tmp"),
+                ar2_addr,
+                ar2_prefix,
+                Vec::new(),
+                map2_addr,
+                cfg.protocol,
+                cfg.buffer_capacity,
+            ),
+        }));
+        sim.actor_mut::<MapNode>(ha).expect("ha").anchor.node = ha;
+        sim.actor_mut::<MapNode>(map1).expect("map1").anchor.node = map1;
+        sim.actor_mut::<MapNode>(map2).expect("map2").anchor.node = map2;
+
+        let ap0 = sim.shared.radio.add_ap(ar1, Position::new(0.0, 0.0), 112.0);
+        let ap1 = sim
+            .shared
+            .radio
+            .add_ap(ar2, Position::new(212.0, 0.0), 112.0);
+        {
+            let a = &mut sim.actor_mut::<ArNode>(ar1).expect("ar1").agent;
+            a.node = ar1;
+            a.aps = vec![ap0];
+            a.learn_ap(ap1, ar2_addr);
+        }
+        {
+            let a = &mut sim.actor_mut::<ArNode>(ar2).expect("ar2").agent;
+            a.node = ar2;
+            a.aps = vec![ap1];
+            a.learn_ap(ap0, ar1_addr);
+        }
+
+        // The mobile host: a real home address, starting in domain 1.
+        let mh = sim.add_actor(Box::new(MhNode::new(MhAgent::new(
+            fh_net::Topology::new().add_node("tmp"),
+            MhRadio::new(
+                fh_net::Topology::new().add_node("tmp"),
+                Mobility::linear(Position::new(88.0, 0.0), Position::new(212.0, 0.0), 10.0),
+                RadioConfig {
+                    l2_handoff_delay: cfg.l2_handoff_delay,
+                    ..RadioConfig::default()
+                },
+            ),
+            MipClient::new(home_addr, ha_addr, SimDuration::from_secs(600)),
+            cfg.protocol,
+            iid,
+        ))));
+        {
+            let node = sim.actor_mut::<MhNode>(mh).expect("mh");
+            node.agent.node = mh;
+            node.agent.radio = MhRadio::new(
+                mh,
+                Mobility::linear(Position::new(88.0, 0.0), Position::new(212.0, 0.0), 10.0),
+                RadioConfig {
+                    l2_handoff_delay: cfg.l2_handoff_delay,
+                    ..RadioConfig::default()
+                },
+            );
+            node.agent.mip.enter_map_domain(map1_addr, rcoa1);
+            node.agent.configure_initial(ap0, ar1_addr, ar1_prefix);
+            if cfg.route_optimization {
+                node.agent.mip.add_correspondent(cn_addr);
+            }
+            node.sinks.push(UdpSink::new(flow));
+        }
+
+        // Wired topology.
+        let inter_ar_link;
+        {
+            let topo = &mut sim.shared.topo;
+            topo.register_node(cn, "cn");
+            topo.register_node(ha, "ha");
+            topo.register_node(map1, "map1");
+            topo.register_node(map2, "map2");
+            topo.register_node(ar1, "ar1");
+            topo.register_node(ar2, "ar2");
+            topo.register_node(mh, "mh");
+            let backbone = LinkSpec::new(10_000_000, SimDuration::from_millis(10), 100);
+            let distribution = LinkSpec::new(10_000_000, SimDuration::from_millis(5), 100);
+            let inter_ar = LinkSpec::new(10_000_000, SimDuration::from_millis(2), 100);
+            topo.add_link(cn, ha, backbone);
+            topo.add_link(ha, map1, backbone);
+            topo.add_link(ha, map2, backbone);
+            topo.add_link(map1, ar1, distribution);
+            topo.add_link(map2, ar2, distribution);
+            inter_ar_link = topo.add_link(ar1, ar2, inter_ar);
+            topo.add_prefix(cn_prefix, cn);
+            topo.add_prefix(home_prefix, ha);
+            topo.add_prefix(map1_prefix, map1);
+            topo.add_prefix(map2_prefix, map2);
+            topo.add_prefix(ar1_prefix, ar1);
+            topo.add_prefix(ar2_prefix, ar2);
+            topo.compute_routes();
+        }
+        sim.actor_mut::<ArNode>(ar1)
+            .expect("ar1")
+            .agent
+            .learn_peer_link(ar2_addr, inter_ar_link);
+        sim.actor_mut::<ArNode>(ar2)
+            .expect("ar2")
+            .agent
+            .learn_peer_link(ar1_addr, inter_ar_link);
+
+        // CN traffic to the home address.
+        {
+            let cn_node = sim.actor_mut::<CnNode>(cn).expect("cn");
+            cn_node.node = cn;
+            cn_node.addr = Some(cn_addr);
+            cn_node.cbr.push(CbrSource::audio_64k(
+                flow,
+                cn_addr,
+                home_addr,
+                ServiceClass::HighPriority,
+            ));
+        }
+
+        for id in [cn, ha, map1, map2, ar1, ar2, mh] {
+            sim.schedule(SimTime::ZERO, id, NetMsg::Start);
+        }
+
+        RoamingScenario {
+            sim,
+            cn,
+            ha,
+            map1,
+            map2,
+            ar1,
+            ar2,
+            mh,
+            home_addr,
+            flow,
+        }
+    }
+
+    /// Sets the CBR generation window.
+    pub fn set_traffic_window(&mut self, start: SimTime, stop: SimTime) {
+        let cn = self.sim.actor_mut::<CnNode>(self.cn).expect("cn");
+        cn.cbr_start = start;
+        cn.cbr_stop = stop;
+    }
+
+    /// Packets sent on the home-address flow.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.sim.actor::<CnNode>(self.cn).expect("cn").cbr[0].sent()
+    }
+
+    /// The sink at the mobile host.
+    #[must_use]
+    pub fn sink(&self) -> &UdpSink {
+        &self.sim.actor::<MhNode>(self.mh).expect("mh").sinks[0]
+    }
+
+    /// The host agent.
+    #[must_use]
+    pub fn mh_agent(&self) -> &MhAgent {
+        &self.sim.actor::<MhNode>(self.mh).expect("mh").agent
+    }
+
+    /// The home agent anchor.
+    #[must_use]
+    pub fn home_anchor(&self) -> &MobilityAnchor {
+        &self.sim.actor::<MapNode>(self.ha).expect("ha").anchor
+    }
+
+    /// The first domain's MAP anchor.
+    #[must_use]
+    pub fn map1_anchor(&self) -> &MobilityAnchor {
+        &self.sim.actor::<MapNode>(self.map1).expect("map1").anchor
+    }
+
+    /// The second domain's MAP anchor.
+    #[must_use]
+    pub fn map2_anchor(&self) -> &MobilityAnchor {
+        &self.sim.actor::<MapNode>(self.map2).expect("map2").anchor
+    }
+
+    /// Runs until `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+}

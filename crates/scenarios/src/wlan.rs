@@ -1,0 +1,236 @@
+//! The Fig 4.11 scenario: a simple WLAN for pure link-layer handoffs.
+//!
+//! ```text
+//!    CN ——— AR ——— (AP0)   (AP1)
+//!                    ↑  MH  →      same subnet, two cells
+//! ```
+//!
+//! One access router, two access points under the *same prefix*: moving
+//! between them is a pure L2 handoff — no new care-of address, no binding
+//! update, just a 200 ms black-out. The original fast-handover protocol
+//! offers no buffering here; the thesis' scheme does (Fig 3.5), which is
+//! what rescues the TCP connection in Figs 4.12–4.14.
+
+use std::net::Ipv6Addr;
+
+use fh_sim::{SimDuration, SimTime, Simulator};
+
+use fh_core::{ArAgent, MhAgent, ProtocolConfig};
+use fh_mip::MipClient;
+use fh_net::{
+    doc_subnet, ApId, ConnId, FlowId, LinkSpec, NetMsg, NodeId, ServiceClass,
+};
+use fh_tcp::{TcpConfig, TcpReceiver, TcpSender};
+use fh_wireless::{MhRadio, Mobility, Position, RadioConfig, WirelessSpec};
+
+use crate::nodes::{ArNode, CnNode, MhNode};
+use crate::world::World;
+
+/// Configuration of the Fig 4.11 scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct WlanConfig {
+    /// Protocol parameters; `scheme.buffers()` decides whether the AR
+    /// buffers during the L2 handoff.
+    pub protocol: ProtocolConfig,
+    /// AR buffer capacity in packets.
+    pub buffer_capacity: usize,
+    /// L2 black-out duration.
+    pub l2_handoff_delay: SimDuration,
+    /// Wireless channel (11 Mb/s 802.11b by default).
+    pub wireless: WirelessSpec,
+    /// TCP parameters (Reno, 500 ms ticks).
+    pub tcp: TcpConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WlanConfig {
+    fn default() -> Self {
+        WlanConfig {
+            protocol: ProtocolConfig::proposed(),
+            buffer_capacity: 40,
+            l2_handoff_delay: SimDuration::from_millis(200),
+            wireless: WirelessSpec::default_80211b(),
+            tcp: TcpConfig::default(),
+            seed: 7,
+        }
+    }
+}
+
+/// The built Fig 4.11 scenario.
+pub struct WlanScenario {
+    /// The simulator, ready to run.
+    pub sim: Simulator<NetMsg, World>,
+    /// Correspondent node (the FTP server).
+    pub cn: NodeId,
+    /// The access router.
+    pub ar: NodeId,
+    /// The mobile host (the FTP client).
+    pub mh: NodeId,
+    /// First access point (start cell).
+    pub ap0: ApId,
+    /// Second access point (destination cell).
+    pub ap1: ApId,
+    /// The TCP flow id.
+    pub flow: FlowId,
+    /// The MH's (fixed) address.
+    pub mh_addr: Ipv6Addr,
+}
+
+impl WlanScenario {
+    /// Builds the scenario with an FTP/TCP transfer from CN to MH.
+    #[must_use]
+    pub fn build(cfg: WlanConfig) -> Self {
+        let mut sim: Simulator<NetMsg, World> = Simulator::new(World::new(cfg.wireless), cfg.seed);
+
+        let cn_prefix = doc_subnet(0);
+        let ar_prefix = doc_subnet(1);
+        let cn_addr = cn_prefix.host(1);
+        let ar_addr = ar_prefix.host(1);
+        let iid = 0x99;
+        let mh_addr = ar_prefix.host(iid);
+        let flow = FlowId(1);
+        let conn = ConnId(1);
+
+        let cn = sim.add_actor(Box::new(CnNode::new(
+            fh_net::Topology::new().add_node("tmp"),
+        )));
+        let ar = sim.add_actor(Box::new(ArNode {
+            agent: ArAgent::new(
+                fh_net::Topology::new().add_node("tmp"),
+                ar_addr,
+                ar_prefix,
+                Vec::new(),
+                ar_addr, // no MAP in this flat network
+                cfg.protocol,
+                cfg.buffer_capacity,
+            ),
+        }));
+
+        // Two cells 100 m apart with 70 m radius: overlap x ∈ [30, 70].
+        let ap0 = sim.shared.radio.add_ap(ar, Position::new(0.0, 0.0), 70.0);
+        let ap1 = sim.shared.radio.add_ap(ar, Position::new(100.0, 0.0), 70.0);
+        {
+            let agent = &mut sim.actor_mut::<ArNode>(ar).expect("ar").agent;
+            agent.node = ar;
+            agent.aps = vec![ap0, ap1];
+        }
+
+        // The mobile host walks from cell 0 into cell 1.
+        let mobility = Mobility::linear(Position::new(0.0, 0.0), Position::new(100.0, 0.0), 10.0);
+        let mh = sim.add_actor(Box::new(MhNode::new(MhAgent::new(
+            fh_net::Topology::new().add_node("tmp"),
+            MhRadio::new(
+                fh_net::Topology::new().add_node("tmp"),
+                mobility.clone(),
+                RadioConfig {
+                    l2_handoff_delay: cfg.l2_handoff_delay,
+                    ..RadioConfig::default()
+                },
+            ),
+            MipClient::new(mh_addr, ar_addr, SimDuration::from_secs(600)),
+            cfg.protocol,
+            iid,
+        ))));
+        {
+            let node = sim.actor_mut::<MhNode>(mh).expect("mh");
+            node.agent.node = mh;
+            node.agent.radio = MhRadio::new(
+                mh,
+                mobility,
+                RadioConfig {
+                    l2_handoff_delay: cfg.l2_handoff_delay,
+                    ..RadioConfig::default()
+                },
+            );
+            node.agent.mip.enter_map_domain(ar_addr, mh_addr);
+            node.agent.configure_initial(ap0, ar_addr, ar_prefix);
+            node.tcp_rx = Some(TcpReceiver::new(
+                conn,
+                flow,
+                mh_addr,
+                cn_addr,
+                ServiceClass::BestEffort,
+            ));
+        }
+
+        {
+            let topo = &mut sim.shared.topo;
+            topo.register_node(cn, "cn");
+            topo.register_node(ar, "ar");
+            topo.register_node(mh, "mh");
+            topo.add_link(
+                cn,
+                ar,
+                LinkSpec::new(100_000_000, SimDuration::from_millis(5), 100),
+            );
+            topo.add_prefix(cn_prefix, cn);
+            topo.add_prefix(ar_prefix, ar);
+            topo.compute_routes();
+        }
+
+        {
+            let cn_node = sim.actor_mut::<CnNode>(cn).expect("cn");
+            cn_node.node = cn;
+            let mut tx = TcpSender::new(conn, flow, cn_addr, mh_addr, ServiceClass::BestEffort, cfg.tcp);
+            // Greedy FTP: unlimited data.
+            tx.set_dst(mh_addr);
+            cn_node.tcp = Some(tx);
+            cn_node.tcp_start = SimTime::from_millis(500);
+        }
+
+        for id in [cn, ar, mh] {
+            sim.schedule(SimTime::ZERO, id, NetMsg::Start);
+        }
+
+        WlanScenario {
+            sim,
+            cn,
+            ar,
+            mh,
+            ap0,
+            ap1,
+            flow,
+            mh_addr,
+        }
+    }
+
+    /// The TCP sender (trace access).
+    #[must_use]
+    pub fn tcp_sender(&self) -> &TcpSender {
+        self.sim
+            .actor::<CnNode>(self.cn)
+            .expect("cn")
+            .tcp
+            .as_ref()
+            .expect("tcp configured")
+    }
+
+    /// The TCP receiver (trace access).
+    #[must_use]
+    pub fn tcp_receiver(&self) -> &TcpReceiver {
+        self.sim
+            .actor::<MhNode>(self.mh)
+            .expect("mh")
+            .tcp_rx
+            .as_ref()
+            .expect("tcp configured")
+    }
+
+    /// The mobile host's protocol agent.
+    #[must_use]
+    pub fn mh_agent(&self) -> &MhAgent {
+        &self.sim.actor::<MhNode>(self.mh).expect("mh").agent
+    }
+
+    /// The access router's protocol agent.
+    #[must_use]
+    pub fn ar_agent(&self) -> &ArAgent {
+        &self.sim.actor::<ArNode>(self.ar).expect("ar").agent
+    }
+
+    /// Runs the simulation until `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+}

@@ -1,0 +1,51 @@
+//! The concrete shared world used by every scenario.
+
+use fh_net::{NetStats, NetWorld, Topology};
+use fh_wireless::{RadioEnv, RadioWorld, WirelessSpec};
+
+/// Shared simulation state: wired topology, radio environment, statistics.
+#[derive(Debug)]
+pub struct World {
+    /// The wired network graph and routing.
+    pub topo: Topology,
+    /// Global statistics hub.
+    pub stats: NetStats,
+    /// Access points, attachments, and the air interface.
+    pub radio: RadioEnv,
+}
+
+impl World {
+    /// Creates an empty world with the given wireless channel parameters.
+    #[must_use]
+    pub fn new(wireless: WirelessSpec) -> Self {
+        World {
+            topo: Topology::new(),
+            stats: NetStats::new(),
+            radio: RadioEnv::new(wireless),
+        }
+    }
+}
+
+impl NetWorld for World {
+    fn topology(&self) -> &Topology {
+        &self.topo
+    }
+    fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+    fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+}
+
+impl RadioWorld for World {
+    fn radio(&self) -> &RadioEnv {
+        &self.radio
+    }
+    fn radio_mut(&mut self) -> &mut RadioEnv {
+        &mut self.radio
+    }
+}

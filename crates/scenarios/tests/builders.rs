@@ -1,0 +1,184 @@
+//! Builder invariants for the composed scenarios.
+
+use fh_core::{ProtocolConfig, Scheme};
+use fh_net::{RouteDecision, ServiceClass};
+use fh_scenarios::{
+    geometry, HmipConfig, HmipScenario, MovementPlan, RoamingConfig, RoamingScenario, WlanConfig,
+    WlanScenario,
+};
+use fh_sim::{SimDuration, SimTime};
+
+#[test]
+fn hmip_topology_is_fully_routable() {
+    let s = HmipScenario::build(HmipConfig::default());
+    let topo = &s.sim.shared.topo;
+    // Every node reaches every prefix owner.
+    for &from in &[s.cn, s.map, s.par, s.nar] {
+        for n in [0u16, 1, 2, 10] {
+            let dst = fh_net::doc_subnet(n).host(1);
+            assert_ne!(
+                topo.route(from, dst),
+                RouteDecision::Unroutable,
+                "node {from} cannot reach subnet {n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hmip_geometry_matches_the_thesis() {
+    let s = HmipScenario::build(HmipConfig::default());
+    let radio = &s.sim.shared.radio;
+    let par_ap = radio.ap(s.par_ap);
+    let nar_ap = radio.ap(s.nar_ap);
+    assert_eq!(par_ap.pos.distance(nar_ap.pos), geometry::AP_SEPARATION);
+    assert_eq!(par_ap.radius, geometry::COVERAGE_RADIUS);
+    // The 12 m overlap of §4.1.
+    let overlap = 2.0 * geometry::COVERAGE_RADIUS - geometry::AP_SEPARATION;
+    assert!((overlap - 12.0).abs() < 1e-9);
+}
+
+#[test]
+fn mobile_hosts_start_attached_to_the_par() {
+    let mut s = HmipScenario::build(HmipConfig {
+        n_mhs: 5,
+        ..HmipConfig::default()
+    });
+    s.run_until(SimTime::from_millis(10));
+    for &mh in &s.mhs {
+        assert_eq!(s.sim.shared.radio.attachment(mh), Some(s.par_ap));
+    }
+}
+
+#[test]
+fn flows_route_to_distinct_hosts() {
+    let mut s = HmipScenario::build(HmipConfig {
+        n_mhs: 3,
+        movement: MovementPlan::Parked,
+        ..HmipConfig::default()
+    });
+    let flows: Vec<_> = (0..3)
+        .map(|i| s.add_audio_64k(i, ServiceClass::RealTime))
+        .collect();
+    s.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(3));
+    s.run_until(SimTime::from_secs(5));
+    for (i, &f) in flows.iter().enumerate() {
+        assert!(
+            s.flow_sink(f).received() > 100,
+            "host {i} should have received its flow"
+        );
+        assert_eq!(s.flow_losses(f), 0, "parked hosts lose nothing");
+    }
+}
+
+#[test]
+fn parked_hosts_never_hand_over() {
+    let mut s = HmipScenario::build(HmipConfig {
+        movement: MovementPlan::Parked,
+        ..HmipConfig::default()
+    });
+    s.run_until(SimTime::from_secs(10));
+    assert_eq!(s.mh_agent(0).handoffs, 0);
+    assert_eq!(s.par_agent().metrics.par_sessions, 0);
+}
+
+#[test]
+fn wlan_scenario_serves_tcp_from_the_start() {
+    let mut s = WlanScenario::build(WlanConfig::default());
+    s.run_until(SimTime::from_secs(2));
+    assert!(
+        s.tcp_receiver().bytes_in_order() > 100_000,
+        "transfer must be under way"
+    );
+    assert_eq!(s.sim.shared.radio.attachment(s.mh), Some(s.ap0));
+}
+
+#[test]
+fn wlan_aps_share_one_router_and_prefix() {
+    let s = WlanScenario::build(WlanConfig::default());
+    let radio = &s.sim.shared.radio;
+    assert_eq!(radio.ap(s.ap0).router, s.ar);
+    assert_eq!(radio.ap(s.ap1).router, s.ar);
+    assert!(fh_net::doc_subnet(1).contains(s.mh_addr));
+}
+
+#[test]
+fn roaming_scenario_has_working_home_route() {
+    let mut s = RoamingScenario::build(RoamingConfig::default());
+    s.set_traffic_window(SimTime::from_millis(200), SimTime::from_millis(1_000));
+    // The walk triggers the handover at ≈1.2 s; stop just before it.
+    s.run_until(SimTime::from_millis(1_100));
+    // Pre-handover: the HA intercepts and traffic arrives via MAP1 only.
+    assert!(s.sink().received() > 30);
+    assert!(s.home_anchor().tunneled > 30);
+    assert!(s.map1_anchor().tunneled > 30);
+    assert_eq!(s.map2_anchor().tunneled, 0);
+}
+
+#[test]
+fn scheme_capacity_is_respected_by_builders() {
+    for capacity in [0usize, 5, 100] {
+        let s = HmipScenario::build(HmipConfig {
+            buffer_capacity: capacity,
+            ..HmipConfig::default()
+        });
+        assert_eq!(s.par_agent().pool.capacity(), capacity);
+        assert_eq!(s.nar_agent().pool.capacity(), capacity);
+    }
+}
+
+#[test]
+fn custom_blackout_and_link_delay_are_applied() {
+    let cfg = HmipConfig {
+        l2_handoff_delay: SimDuration::from_millis(321),
+        ar_link_delay: SimDuration::from_millis(17),
+        ..HmipConfig::default()
+    };
+    let mut s = HmipScenario::build(cfg);
+    let _ = s.add_audio_64k(0, ServiceClass::HighPriority);
+    s.run_until(SimTime::from_secs(5));
+    // The blackout is visible in the host's log.
+    let log = &s.mh_agent(0).log;
+    let down = log
+        .iter()
+        .find(|(_, p)| *p == fh_core::HandoffPhase::LinkDown)
+        .map(|&(t, _)| t)
+        .expect("link down");
+    let up = log
+        .iter()
+        .find(|&&(t, p)| p == fh_core::HandoffPhase::LinkUp && t > down)
+        .map(|&(t, _)| t)
+        .expect("link up");
+    assert_eq!(up - down, SimDuration::from_millis(321));
+    // And the inter-AR link runs at the configured delay.
+    assert_eq!(
+        s.sim.shared.topo.link(fh_net::LinkId(3)).spec.delay,
+        SimDuration::from_millis(17)
+    );
+}
+
+#[test]
+fn all_schemes_build_and_run() {
+    for scheme in [
+        Scheme::NoBuffer,
+        Scheme::NarOnly,
+        Scheme::ParOnly,
+        Scheme::Dual { classify: false },
+        Scheme::Dual { classify: true },
+    ] {
+        let mut s = HmipScenario::build(HmipConfig {
+            protocol: ProtocolConfig::with_scheme(scheme),
+            ..HmipConfig::default()
+        });
+        let f = s.add_audio_64k(0, ServiceClass::HighPriority);
+        s.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(14));
+        s.run_until(SimTime::from_secs(16));
+        assert_eq!(s.mh_agent(0).handoffs, 1, "{scheme}: handover expected");
+        let sent = s.flow_sent(f);
+        assert!(sent > 600, "{scheme}: source must have run");
+        assert!(
+            s.flow_sink(f).received() > sent - 20,
+            "{scheme}: most traffic must arrive"
+        );
+    }
+}

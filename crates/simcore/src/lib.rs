@@ -1,0 +1,56 @@
+//! # fh-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the foundation of the *Enhanced Buffer Management for Fast
+//! Handover* reproduction: a small, single-threaded, fully deterministic
+//! discrete-event simulator in the spirit of the ns-2 core that the original
+//! thesis used. Everything above it (links, radios, Mobile IPv6, TCP, the
+//! buffer-management scheme under study) is expressed as [`Actor`]s exchanging
+//! time-stamped messages.
+//!
+//! ## Design
+//!
+//! * **Virtual time** — integer nanoseconds ([`SimTime`] / [`SimDuration`]);
+//!   no floating-point clock drift, exact event ordering.
+//! * **Determinism** — one global event queue with FIFO tie-breaking, and a
+//!   self-contained xoshiro256++ RNG ([`Rng64`]) so identical seeds replay
+//!   identical runs on every platform.
+//! * **Actors + shared world** — protocol entities are actors; topology,
+//!   radio environment and statistics live in a shared state value every
+//!   actor can reach through its [`Ctx`].
+//!
+//! ## Example
+//!
+//! ```
+//! use fh_sim::{Actor, Ctx, SimDuration, SimTime, Simulator};
+//!
+//! struct Counter;
+//! impl Actor<(), u64> for Counter {
+//!     fn handle(&mut self, ctx: &mut Ctx<'_, (), u64>, _msg: ()) {
+//!         *ctx.shared += 1;
+//!         if *ctx.shared < 3 {
+//!             ctx.send_self(SimDuration::from_secs(1), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulator::new(0u64, 7);
+//! let id = sim.add_actor(Box::new(Counter));
+//! sim.schedule(SimTime::ZERO, id, ());
+//! sim.run();
+//! assert_eq!(sim.shared, 3);
+//! assert_eq!(sim.now(), SimTime::from_secs(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actor;
+mod queue;
+mod rng;
+pub mod stats;
+mod time;
+
+pub use actor::{Actor, ActorId, AsAny, Ctx, Simulator};
+pub use queue::EventQueue;
+pub use rng::Rng64;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,118 @@
+//! Property tests for the simulation kernel.
+
+use fh_sim::stats::{TimeSeries, Welford};
+use fh_sim::{EventQueue, Rng64, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in nondecreasing time order, FIFO within a timestamp.
+    #[test]
+    fn event_queue_pops_sorted_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort(); // stable by (time, insertion index)
+        let mut got = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            got.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Interleaved push/pop never yields an event earlier than one already
+    /// delivered.
+    #[test]
+    fn event_queue_monotone_under_interleaving(
+        ops in prop::collection::vec((0u64..1_000, prop::bool::ANY), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        let mut last = 0u64;
+        let mut clock = 0u64;
+        for (jitter, pop) in ops {
+            if pop {
+                if let Some((t, ())) = q.pop() {
+                    prop_assert!(t.as_nanos() >= last);
+                    last = t.as_nanos();
+                    clock = clock.max(last);
+                }
+            } else {
+                // Schedule relative to the "current" time so the past is
+                // never injected (mirrors Ctx::send).
+                q.push(SimTime::from_nanos(clock + jitter), ());
+            }
+        }
+    }
+
+    /// `gen_range_u64` stays in bounds and the stream is seed-determined.
+    #[test]
+    fn rng_in_bounds_and_deterministic(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut a = Rng64::seed_from(seed);
+        let mut b = Rng64::seed_from(seed);
+        for _ in 0..100 {
+            let x = a.gen_range_u64(n);
+            prop_assert!(x < n);
+            prop_assert_eq!(x, b.gen_range_u64(n));
+        }
+    }
+
+    /// Welford merging any split equals processing the whole stream.
+    #[test]
+    fn welford_merge_is_split_invariant(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..300),
+        cut in 0usize..300
+    ) {
+        let cut = cut.min(xs.len());
+        let mut whole = Welford::new();
+        for &x in &xs { whole.add(x); }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..cut] { left.add(x); }
+        for &x in &xs[cut..] { right.add(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-3);
+    }
+
+    /// Windowed rates conserve mass: Σ rate·bin = Σ in-range samples.
+    #[test]
+    fn windowed_rate_conserves_mass(
+        samples in prop::collection::vec((0u64..10_000_000u64, 0.0f64..100.0), 0..200),
+        bin_ms in 1u64..500
+    ) {
+        let mut sorted = samples.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut ts = TimeSeries::new();
+        for &(t, v) in &sorted {
+            ts.push(SimTime::from_micros(t), v);
+        }
+        let end = SimTime::from_secs(10);
+        let rates = ts.windowed_rate(SimTime::ZERO, end, SimDuration::from_millis(bin_ms));
+        let mass: f64 = rates.iter().map(|&(_, r)| r * (bin_ms as f64 / 1e3)).sum();
+        let expected: f64 = sorted.iter().map(|&(_, v)| v).sum();
+        prop_assert!((mass - expected).abs() < 1e-6 * (1.0 + expected.abs()),
+                     "mass {} vs {}", mass, expected);
+    }
+
+    /// Instant/duration arithmetic round-trips.
+    #[test]
+    fn time_arithmetic_round_trips(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(a);
+        let d = SimDuration::from_nanos(b);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+    }
+
+    /// Forked RNG children never mirror the parent stream.
+    #[test]
+    fn forked_rng_diverges(seed in any::<u64>()) {
+        let mut parent = Rng64::seed_from(seed);
+        let mut child = parent.fork();
+        let same = (0..32).filter(|_| parent.next_u64() == child.next_u64()).count();
+        prop_assert!(same < 2);
+    }
+}

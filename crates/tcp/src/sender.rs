@@ -1,0 +1,543 @@
+//! The TCP Reno sender.
+//!
+//! A faithful-to-ns-2 Reno sender with BSD-style **coarse-grained timers**:
+//! the retransmission clock advances in 500 ms ticks and the retransmission
+//! timeout is bounded below by 1 s, which is why a 200 ms link-layer
+//! black-out costs a TCP connection 1–1.5 s of idleness (thesis §4.2.4) —
+//! unless the access router buffers the packets, in which case nothing is
+//! lost and no timeout fires.
+//!
+//! The sender is sans-I/O: it *returns* packets to transmit; the owning
+//! actor decides how they travel. Drive it with:
+//!
+//! * [`TcpSender::on_start`] once,
+//! * [`TcpSender::on_tick`] every [`TcpConfig::tick`],
+//! * [`TcpSender::on_ack`] for every ACK segment that arrives.
+//!
+//! # Examples
+//!
+//! ```
+//! use fh_net::{ConnId, FlowId, ServiceClass};
+//! use fh_sim::SimTime;
+//! use fh_tcp::{TcpConfig, TcpSender};
+//!
+//! let src = "2001:db8::1".parse().unwrap();
+//! let dst = "2001:db8::2".parse().unwrap();
+//! let mut tx = TcpSender::new(ConnId(1), FlowId(1), src, dst,
+//!                             ServiceClass::BestEffort, TcpConfig::default());
+//! let initial = tx.on_start(SimTime::ZERO);
+//! assert_eq!(initial.len(), 1, "slow start begins with one segment");
+//! ```
+
+use std::net::Ipv6Addr;
+
+use fh_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use fh_net::{ConnId, FlowId, Packet, ServiceClass, TcpFlags, TcpSegment};
+
+/// TCP parameters (ns-2 flavoured defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size in bytes.
+    pub mss: u32,
+    /// Receiver window in segments.
+    pub window: u32,
+    /// Coarse timer granularity (500 ms, as in most BSD implementations).
+    pub tick: SimDuration,
+    /// Minimum retransmission timeout in ticks (2 ticks = 1 s).
+    pub min_rto_ticks: u32,
+    /// Maximum retransmission timeout in ticks.
+    pub max_rto_ticks: u32,
+    /// Initial slow-start threshold in segments.
+    pub initial_ssthresh: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1000,
+            window: 20,
+            tick: SimDuration::from_millis(500),
+            min_rto_ticks: 2,
+            max_rto_ticks: 128,
+            initial_ssthresh: 64,
+        }
+    }
+}
+
+/// Sender-side trace for sequence/throughput plots (Figs 4.12–4.14).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SenderTrace {
+    /// `(time, segment number)` for every data transmission (including
+    /// retransmissions).
+    pub sent: Vec<(SimTime, u64)>,
+    /// `(time, cumulative ack in segments)` for every ACK processed.
+    pub acked: Vec<(SimTime, u64)>,
+    /// Times at which an RTO fired.
+    pub timeouts: Vec<SimTime>,
+    /// Times at which a fast retransmit fired.
+    pub fast_retransmits: Vec<SimTime>,
+}
+
+/// A TCP Reno sender.
+#[derive(Debug)]
+pub struct TcpSender {
+    conn: ConnId,
+    flow: FlowId,
+    src: Ipv6Addr,
+    /// Current destination address (a mobile peer may move; the owner can
+    /// retarget the connection with [`TcpSender::set_dst`]).
+    dst: Ipv6Addr,
+    class: ServiceClass,
+    config: TcpConfig,
+    /// Next new sequence number (bytes).
+    next_seq: u64,
+    /// Oldest unacknowledged byte.
+    snd_una: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    dupacks: u32,
+    /// End of the window at the time fast recovery was entered.
+    recover: u64,
+    in_fast_recovery: bool,
+    /// Bytes the application still wants to send (`None` = unlimited FTP).
+    app_limit: Option<u64>,
+    // --- coarse timers ---
+    rto_ticks: u32,
+    backoff: u32,
+    /// Ticks remaining until the retransmission timer fires.
+    countdown: Option<u32>,
+    /// RTT estimation in ticks (srtt scaled by 8, rttvar scaled by 4,
+    /// exactly as 4.3BSD).
+    srtt8: i64,
+    rttvar4: i64,
+    /// The one timed segment (Karn's algorithm): `(first byte, tick sent)`.
+    timed: Option<(u64, u64)>,
+    tick_count: u64,
+    /// Transmission/ack trace.
+    pub trace: SenderTrace,
+}
+
+impl TcpSender {
+    /// Creates a sender for one connection.
+    #[must_use]
+    pub fn new(
+        conn: ConnId,
+        flow: FlowId,
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        class: ServiceClass,
+        config: TcpConfig,
+    ) -> Self {
+        TcpSender {
+            conn,
+            flow,
+            src,
+            dst,
+            class,
+            config,
+            next_seq: 0,
+            snd_una: 0,
+            cwnd: 1.0,
+            ssthresh: f64::from(config.initial_ssthresh),
+            dupacks: 0,
+            recover: 0,
+            in_fast_recovery: false,
+            app_limit: None,
+            rto_ticks: 6, // 3 s initial RTO, as classic BSD
+            backoff: 1,
+            countdown: None,
+            srtt8: 0,
+            rttvar4: 3 * 4, // 1.5 s initial variance, scaled
+            timed: None,
+            tick_count: 0,
+            trace: SenderTrace::default(),
+        }
+    }
+
+    /// Limits the transfer to `bytes` in total (default: unlimited).
+    pub fn set_app_limit(&mut self, bytes: u64) {
+        self.app_limit = Some(bytes);
+    }
+
+    /// Retargets the connection to a new peer address (Mobile IP keeps the
+    /// connection identity; only routing changes).
+    pub fn set_dst(&mut self, dst: Ipv6Addr) {
+        self.dst = dst;
+    }
+
+    /// Current congestion window in segments.
+    #[must_use]
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Bytes acknowledged so far.
+    #[must_use]
+    pub fn acked_bytes(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// `true` once the (finite) transfer is fully acknowledged.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.app_limit.is_some_and(|limit| self.snd_una >= limit)
+    }
+
+    /// Opens the connection: returns the initial window of segments.
+    pub fn on_start(&mut self, now: SimTime) -> Vec<Packet> {
+        self.fill_window(now)
+    }
+
+    /// Advances the coarse clock by one tick; may return a timeout
+    /// retransmission. Call every [`TcpConfig::tick`].
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<Packet> {
+        self.tick_count += 1;
+        let Some(cd) = self.countdown else {
+            return Vec::new();
+        };
+        if self.next_seq <= self.snd_una {
+            // Nothing outstanding: a stale timer, disarm instead of firing.
+            self.countdown = None;
+            return Vec::new();
+        }
+        if cd > 1 {
+            self.countdown = Some(cd - 1);
+            return Vec::new();
+        }
+        // Retransmission timeout.
+        self.trace.timeouts.push(now);
+        let flight = (self.next_seq - self.snd_una) / u64::from(self.config.mss);
+        self.ssthresh = (flight as f64 / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.dupacks = 0;
+        self.in_fast_recovery = false;
+        self.backoff = (self.backoff * 2).min(64);
+        self.timed = None; // Karn: do not time retransmissions
+        self.arm_timer();
+        let pkt = self.make_segment(now, self.snd_una);
+        // Go-back-N, as BSD: everything after the hole will be resent as
+        // the window reopens in slow start.
+        self.next_seq = self.snd_una + u64::from(self.config.mss);
+        vec![pkt]
+    }
+
+    /// Processes an acknowledgement; returns any segments released.
+    pub fn on_ack(&mut self, now: SimTime, seg: &TcpSegment) -> Vec<Packet> {
+        if seg.conn != self.conn || !seg.flags.ack {
+            return Vec::new();
+        }
+        let mss = u64::from(self.config.mss);
+        if seg.ack > self.snd_una {
+            // New data acknowledged.
+            self.snd_una = seg.ack;
+            // After a go-back-N reset an old in-flight ACK can overtake
+            // the resend point; never send below the acknowledged edge.
+            self.next_seq = self.next_seq.max(self.snd_una);
+            self.trace.acked.push((now, seg.ack / mss));
+            self.backoff = 1;
+            // RTT sample (Karn: only for the timed, un-retransmitted seg).
+            if let Some((timed_seq, sent_tick)) = self.timed {
+                if seg.ack > timed_seq {
+                    let sample = (self.tick_count - sent_tick) as i64;
+                    self.update_rtt(sample);
+                    self.timed = None;
+                }
+            }
+            if self.in_fast_recovery {
+                if seg.ack >= self.recover {
+                    self.in_fast_recovery = false;
+                    self.cwnd = self.ssthresh;
+                    self.dupacks = 0;
+                } else {
+                    // Reno partial ack: retransmit next hole, deflate.
+                    let pkt = self.make_segment(now, self.snd_una);
+                    self.cwnd = (self.cwnd - (seg.ack as f64 / mss as f64)).max(1.0);
+                    self.arm_or_disarm();
+                    let mut out = vec![pkt];
+                    out.extend(self.fill_window(now));
+                    return out;
+                }
+            } else if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0; // slow start
+            } else {
+                self.cwnd += 1.0 / self.cwnd; // congestion avoidance
+            }
+            self.dupacks = 0;
+            self.arm_or_disarm();
+            self.fill_window(now)
+        } else if seg.ack == self.snd_una && self.next_seq > self.snd_una {
+            // Duplicate ack.
+            self.dupacks += 1;
+            if self.in_fast_recovery {
+                self.cwnd += 1.0;
+                return self.fill_window(now);
+            }
+            if self.dupacks == 3 {
+                // Fast retransmit + fast recovery.
+                self.trace.fast_retransmits.push(now);
+                let flight = (self.next_seq - self.snd_una) as f64 / mss as f64;
+                self.ssthresh = (flight / 2.0).max(2.0);
+                self.cwnd = self.ssthresh + 3.0;
+                self.recover = self.next_seq;
+                self.in_fast_recovery = true;
+                self.arm_timer();
+                return vec![self.make_segment(now, self.snd_una)];
+            }
+            Vec::new()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn update_rtt(&mut self, sample_ticks: i64) {
+        // 4.3BSD integer RTT filter.
+        if self.srtt8 == 0 {
+            self.srtt8 = sample_ticks * 8;
+            self.rttvar4 = sample_ticks * 2;
+        } else {
+            let err = sample_ticks - self.srtt8 / 8;
+            self.srtt8 = (self.srtt8 + err).max(0);
+            // Ceiling division in the decay term so the variance can reach
+            // zero on a stable sub-tick path (plain `/4` wedges at 3 and
+            // inflates every timeout by 1.5 s).
+            self.rttvar4 += err.abs() - (self.rttvar4 + 3) / 4;
+            self.rttvar4 = self.rttvar4.max(0);
+        }
+        let rto = (self.srtt8 / 8 + self.rttvar4) as u32;
+        self.rto_ticks = rto.clamp(self.config.min_rto_ticks, self.config.max_rto_ticks);
+    }
+
+    fn arm_timer(&mut self) {
+        // +1 tick because arming happens between ticks (BSD coarse grain):
+        // the effective timeout lies in [rto, rto + tick).
+        self.countdown = Some(self.rto_ticks * self.backoff + 1);
+    }
+
+    fn arm_or_disarm(&mut self) {
+        if self.next_seq > self.snd_una {
+            self.arm_timer();
+        } else {
+            self.countdown = None;
+        }
+    }
+
+    fn window_bytes(&self) -> u64 {
+        let w = self.cwnd.min(f64::from(self.config.window));
+        (w as u64) * u64::from(self.config.mss)
+    }
+
+    fn fill_window(&mut self, now: SimTime) -> Vec<Packet> {
+        let mut out = Vec::new();
+        let mss = u64::from(self.config.mss);
+        loop {
+            if self.next_seq >= self.snd_una + self.window_bytes() {
+                break;
+            }
+            if let Some(limit) = self.app_limit {
+                if self.next_seq >= limit {
+                    break;
+                }
+            }
+            let pkt = self.make_segment(now, self.next_seq);
+            if self.timed.is_none() {
+                self.timed = Some((self.next_seq, self.tick_count));
+            }
+            self.next_seq += mss;
+            out.push(pkt);
+        }
+        if !out.is_empty() && self.countdown.is_none() {
+            self.arm_timer();
+        }
+        out
+    }
+
+    fn make_segment(&mut self, now: SimTime, seq: u64) -> Packet {
+        let mss = u64::from(self.config.mss);
+        self.trace.sent.push((now, seq / mss));
+        let seg = TcpSegment {
+            conn: self.conn,
+            seq,
+            ack: 0,
+            len: self.config.mss,
+            flags: TcpFlags::default(),
+        };
+        Packet::tcp(self.flow, self.src, self.dst, self.class, seg, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sender() -> TcpSender {
+        TcpSender::new(
+            ConnId(1),
+            FlowId(1),
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            ServiceClass::BestEffort,
+            TcpConfig::default(),
+        )
+    }
+
+    fn ack(n_segs: u64) -> TcpSegment {
+        TcpSegment {
+            conn: ConnId(1),
+            seq: 0,
+            ack: n_segs * 1000,
+            len: 0,
+            flags: TcpFlags {
+                ack: true,
+                ..TcpFlags::default()
+            },
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_per_flight() {
+        let mut tx = sender();
+        let w0 = tx.on_start(SimTime::ZERO);
+        assert_eq!(w0.len(), 1);
+        let w1 = tx.on_ack(SimTime::from_millis(10), &ack(1));
+        assert_eq!(w1.len(), 2, "cwnd 2 after first ack");
+        let mut released = 0;
+        released += tx.on_ack(SimTime::from_millis(20), &ack(2)).len();
+        released += tx.on_ack(SimTime::from_millis(21), &ack(3)).len();
+        assert_eq!(released, 4, "cwnd 4 after two more acks");
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_linearly() {
+        let mut tx = sender();
+        tx.ssthresh = 2.0;
+        let _ = tx.on_start(SimTime::ZERO);
+        let _ = tx.on_ack(SimTime::from_millis(1), &ack(1));
+        let _ = tx.on_ack(SimTime::from_millis(2), &ack(2));
+        let before = tx.cwnd();
+        assert!(before >= 2.0);
+        let _ = tx.on_ack(SimTime::from_millis(3), &ack(3));
+        let growth = tx.cwnd() - before;
+        assert!(growth > 0.0 && growth < 1.0, "sub-linear growth {growth}");
+    }
+
+    #[test]
+    fn three_dupacks_trigger_fast_retransmit() {
+        let mut tx = sender();
+        tx.cwnd = 8.0;
+        let _ = tx.on_start(SimTime::ZERO);
+        assert!(tx.trace.sent.len() >= 8);
+        // Receiver saw a hole at 0: duplicate acks for 0.
+        let dup = TcpSegment {
+            conn: ConnId(1),
+            seq: 0,
+            ack: 0,
+            len: 0,
+            flags: TcpFlags {
+                ack: true,
+                ..TcpFlags::default()
+            },
+        };
+        assert!(tx.on_ack(SimTime::from_millis(1), &dup).is_empty());
+        assert!(tx.on_ack(SimTime::from_millis(2), &dup).is_empty());
+        let rtx = tx.on_ack(SimTime::from_millis(3), &dup);
+        assert_eq!(rtx.len(), 1, "fast retransmit");
+        assert_eq!(rtx[0].seq, 0);
+        assert_eq!(tx.trace.fast_retransmits.len(), 1);
+        // Recovery exit on full ack.
+        let _ = tx.on_ack(SimTime::from_millis(5), &ack(8));
+        assert!(!tx.in_fast_recovery);
+        assert_eq!(tx.cwnd(), tx.ssthresh);
+    }
+
+    #[test]
+    fn coarse_timeout_fires_between_rto_and_rto_plus_tick() {
+        let mut tx = sender();
+        let _ = tx.on_start(SimTime::ZERO);
+        // No acks at all: RTO = 6 ticks (3 s init) + 1 arming tick.
+        let mut fired_at_tick = None;
+        for tick in 1..=10 {
+            let t = SimTime::from_millis(500 * tick);
+            if !tx.on_tick(t).is_empty() {
+                fired_at_tick = Some(tick);
+                break;
+            }
+        }
+        assert_eq!(fired_at_tick, Some(7));
+        assert_eq!(tx.trace.timeouts.len(), 1);
+        assert_eq!(tx.cwnd(), 1.0);
+        assert_eq!(tx.backoff, 2, "exponential backoff engaged");
+    }
+
+    #[test]
+    fn min_rto_is_one_second() {
+        let mut tx = sender();
+        let _ = tx.on_start(SimTime::ZERO);
+        // Instant ack → tiny RTT sample; RTO must clamp to 2 ticks.
+        let _ = tx.on_ack(SimTime::from_millis(1), &ack(1));
+        assert_eq!(tx.rto_ticks, 2);
+        // After the ack releases data, a timeout needs 2+1 ticks.
+        let mut ticks_to_fire = 0;
+        for tick in 1..=10 {
+            ticks_to_fire = tick;
+            if !tx.on_tick(SimTime::from_millis(500 * tick)).is_empty() {
+                break;
+            }
+        }
+        assert_eq!(ticks_to_fire, 3, "1 s min RTO + arming tick");
+    }
+
+    #[test]
+    fn timer_disarms_when_all_data_acked() {
+        let mut tx = sender();
+        tx.set_app_limit(2000);
+        let w = tx.on_start(SimTime::ZERO);
+        assert_eq!(w.len(), 1);
+        let more = tx.on_ack(SimTime::from_millis(1), &ack(1));
+        assert_eq!(more.len(), 1);
+        let done = tx.on_ack(SimTime::from_millis(2), &ack(2));
+        assert!(done.is_empty());
+        assert!(tx.is_complete());
+        // No timeout ever fires.
+        for tick in 1..=20 {
+            assert!(tx.on_tick(SimTime::from_millis(500 * tick)).is_empty());
+        }
+        assert!(tx.trace.timeouts.is_empty());
+    }
+
+    #[test]
+    fn window_is_bounded_by_receiver_window() {
+        let mut tx = sender();
+        tx.cwnd = 100.0;
+        let w = tx.on_start(SimTime::ZERO);
+        assert_eq!(w.len(), 20, "receiver window caps the burst");
+    }
+
+    #[test]
+    fn foreign_connection_acks_are_ignored() {
+        let mut tx = sender();
+        let _ = tx.on_start(SimTime::ZERO);
+        let foreign = TcpSegment {
+            conn: ConnId(9),
+            seq: 0,
+            ack: 1000,
+            len: 0,
+            flags: TcpFlags {
+                ack: true,
+                ..TcpFlags::default()
+            },
+        };
+        assert!(tx.on_ack(SimTime::ZERO, &foreign).is_empty());
+        assert_eq!(tx.acked_bytes(), 0);
+    }
+
+    #[test]
+    fn retarget_changes_destination() {
+        let mut tx = sender();
+        let _ = tx.on_start(SimTime::ZERO);
+        tx.set_dst("2001:db8::9".parse().unwrap());
+        let pkts = tx.on_ack(SimTime::from_millis(1), &ack(1));
+        assert!(pkts.iter().all(|p| p.dst == "2001:db8::9".parse::<Ipv6Addr>().unwrap()));
+    }
+}

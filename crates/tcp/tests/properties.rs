@@ -1,0 +1,194 @@
+//! Property tests: TCP Reno delivers a gapless stream over arbitrary loss.
+//!
+//! A sender and receiver are joined by a scripted channel that drops
+//! packets according to an arbitrary boolean pattern and delivers the rest
+//! with a fixed small delay. Whatever the loss pattern, the receiver's
+//! in-order stream must be a gapless prefix, and once losses stop the
+//! transfer must complete.
+
+use std::collections::VecDeque;
+
+use fh_net::{ConnId, FlowId, Packet, Payload, ServiceClass, TcpSegment};
+use fh_sim::{SimDuration, SimTime};
+use fh_tcp::{TcpConfig, TcpReceiver, TcpSender};
+use proptest::prelude::*;
+
+struct Channel {
+    /// In-flight packets as (arrival time, packet).
+    queue: VecDeque<(SimTime, Packet)>,
+    delay: SimDuration,
+}
+
+impl Channel {
+    fn new() -> Self {
+        Channel {
+            queue: VecDeque::new(),
+            delay: SimDuration::from_millis(10),
+        }
+    }
+    fn send(&mut self, now: SimTime, pkt: Packet, drop: bool) {
+        if !drop {
+            self.queue.push_back((now + self.delay, pkt));
+        }
+    }
+    fn deliveries(&mut self, now: SimTime) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Some(&(t, _)) = self.queue.front() {
+            if t <= now {
+                out.push(self.queue.pop_front().expect("front").1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+fn seg_of(pkt: &Packet) -> TcpSegment {
+    match &pkt.payload {
+        Payload::Tcp(seg) => *seg,
+        _ => panic!("non-TCP packet in TCP test"),
+    }
+}
+
+/// Drives sender/receiver over the lossy channel for up to `ticks`
+/// half-second steps (stopping early once the transfer completes);
+/// returns (receiver bytes in order, sender acked bytes).
+fn drive(total_bytes: u64, losses: &[bool], ticks: usize) -> (u64, u64, TcpReceiver, TcpSender) {
+    let src = "2001:db8::1".parse().unwrap();
+    let dst = "2001:db8::2".parse().unwrap();
+    let mut tx = TcpSender::new(
+        ConnId(1),
+        FlowId(1),
+        src,
+        dst,
+        ServiceClass::BestEffort,
+        TcpConfig::default(),
+    );
+    tx.set_app_limit(total_bytes);
+    let mut rx = TcpReceiver::new(ConnId(1), FlowId(1), dst, src, ServiceClass::BestEffort);
+    let mut down = Channel::new(); // data
+    let mut up = Channel::new(); // acks
+    let mut loss_iter = losses.iter().copied().chain(std::iter::repeat(false));
+
+    let mut now = SimTime::ZERO;
+    for p in tx.on_start(now) {
+        down.send(now, p, loss_iter.next().expect("infinite"));
+    }
+    for step in 0..ticks {
+        if tx.is_complete() {
+            break;
+        }
+        // Sub-steps: deliver, ack, tick — 10 ms granularity.
+        for _ in 0..50 {
+            now += SimDuration::from_millis(10);
+            for pkt in down.deliveries(now) {
+                if let Some(ack) = rx.on_segment(now, &seg_of(&pkt)) {
+                    up.send(now, ack, false); // acks ride a clean path
+                }
+            }
+            for pkt in up.deliveries(now) {
+                for out in tx.on_ack(now, &seg_of(&pkt)) {
+                    down.send(now, out, loss_iter.next().expect("infinite"));
+                }
+            }
+        }
+        let _ = step;
+        for out in tx.on_tick(now) {
+            down.send(now, out, loss_iter.next().expect("infinite"));
+        }
+    }
+    (rx.bytes_in_order(), tx.acked_bytes(), rx, tx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the loss pattern, the receiver's stream is a gapless
+    /// prefix and the sender never believes more than was delivered.
+    #[test]
+    fn stream_is_gapless_under_arbitrary_loss(
+        losses in prop::collection::vec(any::<bool>(), 0..120),
+        kb in 5u64..60
+    ) {
+        let total = kb * 1000;
+        let (delivered, acked, rx, _tx) = drive(total, &losses, 20);
+        prop_assert_eq!(delivered % 1000, 0);
+        prop_assert!(acked <= delivered);
+        prop_assert!(delivered <= total);
+        // No duplicate delivery beyond what retransmission implies: the
+        // in-order stream equals rcv_nxt, out-of-order set drains.
+        prop_assert!(rx.out_of_order_len() <= 20);
+    }
+
+    /// Once losses stop, the whole transfer completes.
+    #[test]
+    fn transfer_completes_after_losses_cease(
+        losses in prop::collection::vec(any::<bool>(), 0..60),
+        kb in 5u64..40
+    ) {
+        let total = kb * 1000;
+        // Horizon: consecutive losses of one segment cost exponentially
+        // backed-off RTOs (3.5, 6.5, 12.5, … s, capped at ~192 s), exactly
+        // as in real TCP — budget for the worst pattern generated.
+        let horizon_ticks = 800 + losses.len() * 400;
+        let (delivered, acked, _rx, tx) = drive(total, &losses, horizon_ticks);
+        prop_assert_eq!(delivered, total, "receiver must get everything");
+        prop_assert_eq!(acked, total, "sender must learn it");
+        prop_assert!(tx.is_complete());
+    }
+
+    /// A loss-free path never times out and never retransmits.
+    #[test]
+    fn clean_path_never_retransmits(kb in 5u64..80) {
+        let total = kb * 1000;
+        let (delivered, _acked, rx, tx) = drive(total, &[], 200);
+        prop_assert_eq!(delivered, total);
+        prop_assert!(tx.trace.timeouts.is_empty());
+        prop_assert!(tx.trace.fast_retransmits.is_empty());
+        prop_assert_eq!(rx.dupacks_sent, 0);
+        // Exactly total/mss transmissions.
+        prop_assert_eq!(tx.trace.sent.len() as u64, total / 1000);
+    }
+
+    /// The congestion window never exceeds the receiver window bound and
+    /// in-flight data never exceeds the advertised window.
+    #[test]
+    fn window_bound_respected(losses in prop::collection::vec(any::<bool>(), 0..80)) {
+        let src = "2001:db8::1".parse().unwrap();
+        let dst = "2001:db8::2".parse().unwrap();
+        let cfg = TcpConfig::default();
+        let mut tx = TcpSender::new(ConnId(1), FlowId(1), src, dst, ServiceClass::BestEffort, cfg);
+        let mut rx = TcpReceiver::new(ConnId(1), FlowId(1), dst, src, ServiceClass::BestEffort);
+        let mut chan = Channel::new();
+        let mut up = Channel::new();
+        let mut loss = losses.iter().copied().chain(std::iter::repeat(false));
+        let mut now = SimTime::ZERO;
+        let mut in_flight_max = 0u64;
+        for p in tx.on_start(now) {
+            chan.send(now, p, loss.next().expect("inf"));
+        }
+        for _ in 0..100 {
+            for _ in 0..50 {
+                now += SimDuration::from_millis(10);
+                for pkt in chan.deliveries(now) {
+                    if let Some(ack) = rx.on_segment(now, &seg_of(&pkt)) {
+                        up.send(now, ack, false);
+                    }
+                }
+                for pkt in up.deliveries(now) {
+                    for out in tx.on_ack(now, &seg_of(&pkt)) {
+                        chan.send(now, out, loss.next().expect("inf"));
+                    }
+                }
+            }
+            for out in tx.on_tick(now) {
+                chan.send(now, out, loss.next().expect("inf"));
+            }
+            in_flight_max = in_flight_max.max(chan.queue.len() as u64);
+            prop_assert!(tx.cwnd() >= 1.0, "cwnd floor");
+        }
+        // Window 20 segments + retransmission in the same tick.
+        prop_assert!(in_flight_max <= u64::from(cfg.window) + 1);
+    }
+}

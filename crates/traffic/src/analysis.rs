@@ -1,0 +1,253 @@
+//! Flow-quality analysis: jitter, loss bursts, delay percentiles.
+//!
+//! [`FlowReport`] condenses a [`UdpSink`](crate::UdpSink)'s raw samples
+//! into the numbers a media-quality evaluation reports: RFC 3550
+//! interarrival jitter, the longest consecutive loss burst (what a codec's
+//! concealment actually has to survive), and delay percentiles.
+//!
+//! # Examples
+//!
+//! ```
+//! use fh_net::{FlowId, ServiceClass};
+//! use fh_sim::{SimDuration, SimTime};
+//! use fh_traffic::{CbrSource, FlowReport, UdpSink};
+//!
+//! let src = "2001:db8::1".parse().unwrap();
+//! let dst = "2001:db8::2".parse().unwrap();
+//! let mut cbr = CbrSource::audio_64k(FlowId(1), src, dst, ServiceClass::RealTime);
+//! let mut sink = UdpSink::new(FlowId(1));
+//! for i in 0..50 {
+//!     let p = cbr.next_packet(SimTime::from_millis(i * 20));
+//!     if i != 7 && i != 8 {               // a 2-packet loss burst
+//!         sink.on_packet(SimTime::from_millis(i * 20 + 15), &p);
+//!     }
+//! }
+//! let report = FlowReport::from_sink(&sink, cbr.sent());
+//! assert_eq!(report.lost, 2);
+//! assert_eq!(report.longest_loss_burst, 2);
+//! assert!(report.jitter < SimDuration::from_millis(1)); // perfectly regular
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use fh_sim::SimDuration;
+
+use crate::UdpSink;
+
+/// A condensed quality report for one flow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Packets the source emitted.
+    pub sent: u64,
+    /// Distinct packets that arrived.
+    pub received: u64,
+    /// Packets lost.
+    pub lost: u64,
+    /// Longest run of consecutive sequence numbers lost.
+    pub longest_loss_burst: u64,
+    /// Number of distinct loss episodes (maximal runs of missing seqs).
+    pub loss_bursts: u64,
+    /// Mean end-to-end delay.
+    pub mean_delay: SimDuration,
+    /// Median end-to-end delay.
+    pub p50_delay: SimDuration,
+    /// 99th-percentile end-to-end delay.
+    pub p99_delay: SimDuration,
+    /// Largest end-to-end delay.
+    pub max_delay: SimDuration,
+    /// RFC 3550 §6.4.1 interarrival jitter (smoothed |ΔD|).
+    pub jitter: SimDuration,
+}
+
+impl FlowReport {
+    /// Builds a report from a sink and the source's emitted count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sent` is smaller than the number the sink received (the
+    /// caller paired the wrong source and sink).
+    #[must_use]
+    pub fn from_sink(sink: &UdpSink, sent: u64) -> Self {
+        let received = sink.received();
+        let lost = sink.losses(sent);
+
+        // Loss bursts over the sequence space [0, sent).
+        let mut seen = vec![false; sent as usize];
+        for &(seq, _) in &sink.delays {
+            if let Some(slot) = seen.get_mut(seq as usize) {
+                *slot = true;
+            }
+        }
+        let mut longest = 0u64;
+        let mut bursts = 0u64;
+        let mut run = 0u64;
+        for got in seen {
+            if got {
+                if run > 0 {
+                    bursts += 1;
+                    longest = longest.max(run);
+                }
+                run = 0;
+            } else {
+                run += 1;
+            }
+        }
+        if run > 0 {
+            bursts += 1;
+            longest = longest.max(run);
+        }
+
+        // Delay percentiles (delays are recorded in arrival order; sort a
+        // copy of the raw nanosecond values).
+        let mut delays: Vec<u64> = sink.delays.iter().map(|&(_, d)| d.as_nanos()).collect();
+        delays.sort_unstable();
+        let pick = |q: f64| -> SimDuration {
+            if delays.is_empty() {
+                return SimDuration::ZERO;
+            }
+            let idx = ((delays.len() - 1) as f64 * q).round() as usize;
+            SimDuration::from_nanos(delays[idx])
+        };
+        let mean = if delays.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(delays.iter().sum::<u64>() / delays.len() as u64)
+        };
+
+        // RFC 3550 interarrival jitter: J += (|D(i-1, i)| - J) / 16, with
+        // D the difference of one-way delays of consecutive arrivals.
+        let mut jitter_ns: f64 = 0.0;
+        let mut prev: Option<u64> = None;
+        for &(_, d) in &sink.delays {
+            let d = d.as_nanos();
+            if let Some(p) = prev {
+                let diff = p.abs_diff(d) as f64;
+                jitter_ns += (diff - jitter_ns) / 16.0;
+            }
+            prev = Some(d);
+        }
+
+        FlowReport {
+            sent,
+            received,
+            lost,
+            longest_loss_burst: longest,
+            loss_bursts: bursts,
+            mean_delay: mean,
+            p50_delay: pick(0.50),
+            p99_delay: pick(0.99),
+            max_delay: pick(1.0),
+            jitter: SimDuration::from_nanos(jitter_ns.round() as u64),
+        }
+    }
+
+    /// Loss ratio in `[0, 1]`.
+    #[must_use]
+    pub fn loss_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent as f64
+        }
+    }
+}
+
+impl std::fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sent {} lost {} ({:.2}%), worst burst {}, delay p50/p99/max {}/{}/{}, jitter {}",
+            self.sent,
+            self.lost,
+            self.loss_ratio() * 100.0,
+            self.longest_loss_burst,
+            self.p50_delay,
+            self.p99_delay,
+            self.max_delay,
+            self.jitter
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fh_net::{FlowId, ServiceClass};
+    use fh_sim::SimTime;
+
+    use crate::CbrSource;
+
+    fn addrs() -> (std::net::Ipv6Addr, std::net::Ipv6Addr) {
+        ("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap())
+    }
+
+    fn run(loss: &[u64], delay_ms: impl Fn(u64) -> u64, n: u64) -> FlowReport {
+        let (s, d) = addrs();
+        let mut cbr = CbrSource::audio_64k(FlowId(1), s, d, ServiceClass::RealTime);
+        let mut sink = UdpSink::new(FlowId(1));
+        for i in 0..n {
+            let p = cbr.next_packet(SimTime::from_millis(i * 20));
+            if !loss.contains(&i) {
+                sink.on_packet(SimTime::from_millis(i * 20 + delay_ms(i)), &p);
+            }
+        }
+        FlowReport::from_sink(&sink, cbr.sent())
+    }
+
+    #[test]
+    fn clean_flow_has_zero_everything() {
+        let r = run(&[], |_| 15, 100);
+        assert_eq!(r.lost, 0);
+        assert_eq!(r.loss_bursts, 0);
+        assert_eq!(r.longest_loss_burst, 0);
+        assert_eq!(r.mean_delay, SimDuration::from_millis(15));
+        assert_eq!(r.p50_delay, SimDuration::from_millis(15));
+        assert_eq!(r.p99_delay, SimDuration::from_millis(15));
+        assert_eq!(r.jitter, SimDuration::ZERO);
+        assert_eq!(r.loss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn burst_accounting() {
+        // Two bursts: {3}, {10, 11, 12}.
+        let r = run(&[3, 10, 11, 12], |_| 15, 50);
+        assert_eq!(r.lost, 4);
+        assert_eq!(r.loss_bursts, 2);
+        assert_eq!(r.longest_loss_burst, 3);
+    }
+
+    #[test]
+    fn tail_loss_counts_as_a_burst() {
+        let r = run(&[48, 49], |_| 15, 50);
+        assert_eq!(r.loss_bursts, 1);
+        assert_eq!(r.longest_loss_burst, 2);
+    }
+
+    #[test]
+    fn percentiles_order_correctly() {
+        // One packet in a hundred suffers a 200 ms buffering delay.
+        let r = run(&[], |i| if i == 42 { 200 } else { 15 }, 100);
+        assert_eq!(r.p50_delay, SimDuration::from_millis(15));
+        assert_eq!(r.max_delay, SimDuration::from_millis(200));
+        assert!(r.p99_delay <= r.max_delay);
+        assert!(r.mean_delay > SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn jitter_tracks_delay_variation() {
+        let steady = run(&[], |_| 15, 200);
+        let wobbly = run(&[], |i| 15 + (i % 2) * 10, 200);
+        assert!(wobbly.jitter > steady.jitter);
+        // The RFC filter converges toward the mean |ΔD| = 10 ms.
+        assert!(wobbly.jitter > SimDuration::from_millis(5));
+        assert!(wobbly.jitter < SimDuration::from_millis(11));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = run(&[5], |_| 15, 10);
+        let s = r.to_string();
+        assert!(s.contains("lost 1"));
+        assert!(s.contains("burst 1"));
+    }
+}

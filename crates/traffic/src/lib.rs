@@ -1,0 +1,332 @@
+//! # fh-traffic — workload generators and sinks
+//!
+//! The traffic the thesis evaluates with (§4.1–§4.2): constant-bit-rate
+//! UDP "audio" flows (160-byte packets every 20 ms for 64 kb/s, every
+//! 10 ms for 128 kb/s) and sinks that account per-packet end-to-end delay
+//! and per-flow loss. FTP-over-TCP workloads reuse `fh-tcp` directly.
+//!
+//! Sources and sinks are sans-I/O: the source mints packets on demand and
+//! the owning actor schedules/transmits them; the sink consumes arrivals.
+//!
+//! ## Example
+//!
+//! ```
+//! use fh_net::{FlowId, ServiceClass};
+//! use fh_sim::{SimDuration, SimTime};
+//! use fh_traffic::{CbrSource, UdpSink};
+//!
+//! let src = "2001:db8::1".parse().unwrap();
+//! let dst = "2001:db8::2".parse().unwrap();
+//! let mut cbr = CbrSource::audio_64k(FlowId(1), src, dst, ServiceClass::RealTime);
+//! let mut sink = UdpSink::new(FlowId(1));
+//!
+//! let t0 = SimTime::ZERO;
+//! let pkt = cbr.next_packet(t0);
+//! sink.on_packet(t0 + SimDuration::from_millis(7), &pkt);
+//! assert_eq!(sink.received(), 1);
+//! assert_eq!(cbr.interval, SimDuration::from_millis(20));
+//! assert_eq!(sink.losses(cbr.sent()), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+
+pub use analysis::FlowReport;
+
+use std::net::Ipv6Addr;
+
+use serde::{Deserialize, Serialize};
+
+use fh_net::{FlowId, Packet, ServiceClass};
+use fh_sim::{SimDuration, SimTime};
+
+/// A constant-bit-rate UDP source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CbrSource {
+    /// The flow this source feeds.
+    pub flow: FlowId,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address (typically a mobile host's RCoA).
+    pub dst: Ipv6Addr,
+    /// Class-of-service field stamped on every packet.
+    pub class: ServiceClass,
+    /// Packet size in bytes (on-wire, headers included).
+    pub size: u32,
+    /// Inter-packet interval.
+    pub interval: SimDuration,
+    next_seq: u64,
+}
+
+impl CbrSource {
+    /// Creates a CBR source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero or `size` is zero.
+    #[must_use]
+    pub fn new(
+        flow: FlowId,
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        class: ServiceClass,
+        size: u32,
+        interval: SimDuration,
+    ) -> Self {
+        assert!(!interval.is_zero(), "interval must be positive");
+        assert!(size > 0, "size must be positive");
+        CbrSource {
+            flow,
+            src,
+            dst,
+            class,
+            size,
+            interval,
+            next_seq: 0,
+        }
+    }
+
+    /// The thesis' 64 kb/s audio flow: 160-byte packets every 20 ms.
+    #[must_use]
+    pub fn audio_64k(flow: FlowId, src: Ipv6Addr, dst: Ipv6Addr, class: ServiceClass) -> Self {
+        CbrSource::new(flow, src, dst, class, 160, SimDuration::from_millis(20))
+    }
+
+    /// The thesis' 128 kb/s audio flow: 160-byte packets every 10 ms.
+    #[must_use]
+    pub fn audio_128k(flow: FlowId, src: Ipv6Addr, dst: Ipv6Addr, class: ServiceClass) -> Self {
+        CbrSource::new(flow, src, dst, class, 160, SimDuration::from_millis(10))
+    }
+
+    /// A CBR flow with the given rate in kilobits/second, using 160-byte
+    /// packets (the Fig 4.6 rate sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kbps` is not finite and positive.
+    #[must_use]
+    pub fn audio_rate(
+        flow: FlowId,
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        class: ServiceClass,
+        kbps: f64,
+    ) -> Self {
+        assert!(kbps.is_finite() && kbps > 0.0, "rate must be positive");
+        let bits_per_pkt = 160.0 * 8.0;
+        let pps = kbps * 1000.0 / bits_per_pkt;
+        let interval = SimDuration::from_secs_f64(1.0 / pps);
+        CbrSource::new(flow, src, dst, class, 160, interval)
+    }
+
+    /// Mints the next packet.
+    pub fn next_packet(&mut self, now: SimTime) -> Packet {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Packet::data(self.flow, seq, self.src, self.dst, self.class, self.size, now)
+    }
+
+    /// Packets emitted so far.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Retargets the flow (e.g. after the peer obtained a new address).
+    pub fn set_dst(&mut self, dst: Ipv6Addr) {
+        self.dst = dst;
+    }
+}
+
+/// A UDP sink with delay and loss accounting for one flow.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UdpSink {
+    /// The flow this sink terminates.
+    pub flow: FlowId,
+    received: u64,
+    duplicate: u64,
+    highest_seq: Option<u64>,
+    /// `(sequence, end-to-end delay)` per received packet, in arrival
+    /// order — the raw material of the Fig 4.7–4.10 delay plots.
+    pub delays: Vec<(u64, SimDuration)>,
+    /// `(arrival time, bytes)` per received packet, for throughput plots.
+    pub bytes: Vec<(SimTime, u64)>,
+    seen: std::collections::HashSet<u64>,
+}
+
+impl UdpSink {
+    /// Creates a sink for `flow`.
+    #[must_use]
+    pub fn new(flow: FlowId) -> Self {
+        UdpSink {
+            flow,
+            ..UdpSink::default()
+        }
+    }
+
+    /// Consumes an arrival. Packets of other flows are ignored; duplicate
+    /// sequence numbers are counted separately.
+    pub fn on_packet(&mut self, now: SimTime, pkt: &Packet) {
+        if pkt.flow != self.flow {
+            return;
+        }
+        if !self.seen.insert(pkt.seq) {
+            self.duplicate += 1;
+            return;
+        }
+        self.received += 1;
+        self.highest_seq = Some(self.highest_seq.map_or(pkt.seq, |h| h.max(pkt.seq)));
+        self.delays.push((pkt.seq, now.saturating_since(pkt.created)));
+        self.bytes.push((now, u64::from(pkt.size)));
+    }
+
+    /// Distinct packets received.
+    #[must_use]
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Duplicate arrivals (should stay zero in a correct run).
+    #[must_use]
+    pub fn duplicates(&self) -> u64 {
+        self.duplicate
+    }
+
+    /// Losses given how many packets the source emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sent` is smaller than the number received (accounting
+    /// mismatch — the caller paired the wrong source and sink).
+    #[must_use]
+    pub fn losses(&self, sent: u64) -> u64 {
+        assert!(
+            sent >= self.received,
+            "sink saw more packets than the source sent"
+        );
+        sent - self.received
+    }
+
+    /// Mean end-to-end delay over everything received.
+    #[must_use]
+    pub fn mean_delay(&self) -> Option<SimDuration> {
+        if self.delays.is_empty() {
+            return None;
+        }
+        let total: u64 = self.delays.iter().map(|&(_, d)| d.as_nanos()).sum();
+        Some(SimDuration::from_nanos(total / self.delays.len() as u64))
+    }
+
+    /// Largest observed end-to-end delay.
+    #[must_use]
+    pub fn max_delay(&self) -> Option<SimDuration> {
+        self.delays.iter().map(|&(_, d)| d).max()
+    }
+
+    /// Delay of the packet with sequence number `seq`, if it arrived.
+    #[must_use]
+    pub fn delay_of(&self, seq: u64) -> Option<SimDuration> {
+        self.delays.iter().find(|&&(s, _)| s == seq).map(|&(_, d)| d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (Ipv6Addr, Ipv6Addr) {
+        ("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap())
+    }
+
+    #[test]
+    fn audio_presets_match_the_thesis() {
+        let (s, d) = addrs();
+        let a = CbrSource::audio_64k(FlowId(1), s, d, ServiceClass::RealTime);
+        assert_eq!(a.size, 160);
+        assert_eq!(a.interval, SimDuration::from_millis(20));
+        let b = CbrSource::audio_128k(FlowId(2), s, d, ServiceClass::RealTime);
+        assert_eq!(b.interval, SimDuration::from_millis(10));
+        // 64 kb/s through the generic constructor.
+        let c = CbrSource::audio_rate(FlowId(3), s, d, ServiceClass::RealTime, 64.0);
+        assert_eq!(c.interval, SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn sequence_numbers_are_consecutive() {
+        let (s, d) = addrs();
+        let mut src = CbrSource::audio_64k(FlowId(1), s, d, ServiceClass::BestEffort);
+        for i in 0..10 {
+            let p = src.next_packet(SimTime::from_millis(i * 20));
+            assert_eq!(p.seq, i);
+            assert_eq!(p.size, 160);
+        }
+        assert_eq!(src.sent(), 10);
+    }
+
+    #[test]
+    fn sink_counts_losses_by_difference() {
+        let (s, d) = addrs();
+        let mut src = CbrSource::audio_64k(FlowId(1), s, d, ServiceClass::BestEffort);
+        let mut sink = UdpSink::new(FlowId(1));
+        for i in 0..10u64 {
+            let p = src.next_packet(SimTime::from_millis(i * 20));
+            if i % 3 != 0 {
+                sink.on_packet(SimTime::from_millis(i * 20 + 5), &p);
+            }
+        }
+        assert_eq!(sink.received(), 6);
+        assert_eq!(sink.losses(src.sent()), 4);
+    }
+
+    #[test]
+    fn delay_accounting() {
+        let (s, d) = addrs();
+        let mut src = CbrSource::audio_64k(FlowId(1), s, d, ServiceClass::RealTime);
+        let mut sink = UdpSink::new(FlowId(1));
+        let p = src.next_packet(SimTime::from_millis(100));
+        sink.on_packet(SimTime::from_millis(112), &p);
+        assert_eq!(sink.delay_of(0), Some(SimDuration::from_millis(12)));
+        assert_eq!(sink.mean_delay(), Some(SimDuration::from_millis(12)));
+        assert_eq!(sink.max_delay(), Some(SimDuration::from_millis(12)));
+        assert_eq!(sink.delay_of(99), None);
+    }
+
+    #[test]
+    fn duplicates_and_foreign_flows_filtered() {
+        let (s, d) = addrs();
+        let mut src = CbrSource::audio_64k(FlowId(1), s, d, ServiceClass::RealTime);
+        let mut other = CbrSource::audio_64k(FlowId(2), s, d, ServiceClass::RealTime);
+        let mut sink = UdpSink::new(FlowId(1));
+        let p = src.next_packet(SimTime::ZERO);
+        sink.on_packet(SimTime::from_millis(1), &p);
+        sink.on_packet(SimTime::from_millis(2), &p); // duplicate
+        sink.on_packet(SimTime::from_millis(3), &other.next_packet(SimTime::ZERO));
+        assert_eq!(sink.received(), 1);
+        assert_eq!(sink.duplicates(), 1);
+    }
+
+    #[test]
+    fn rate_sweep_intervals_shrink() {
+        let (s, d) = addrs();
+        let rates = [51.2, 85.3, 142.2, 426.7];
+        let mut last = SimDuration::MAX;
+        for (i, &r) in rates.iter().enumerate() {
+            let src = CbrSource::audio_rate(FlowId(i as u32), s, d, ServiceClass::RealTime, r);
+            assert!(src.interval < last, "interval must shrink as rate grows");
+            last = src.interval;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more packets")]
+    fn loss_accounting_mismatch_panics() {
+        let (s, d) = addrs();
+        let mut src = CbrSource::audio_64k(FlowId(1), s, d, ServiceClass::RealTime);
+        let mut sink = UdpSink::new(FlowId(1));
+        let p = src.next_packet(SimTime::ZERO);
+        sink.on_packet(SimTime::ZERO, &p);
+        let _ = sink.losses(0);
+    }
+}

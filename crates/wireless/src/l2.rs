@@ -1,0 +1,590 @@
+//! The mobile host's link-layer process: coverage sampling, handoff
+//! triggers and the L2 black-out.
+//!
+//! [`MhRadio`] is a component embedded in a mobile-host actor. It samples
+//! the mobility model on a timer and raises [`L2Event`]s to its owner:
+//!
+//! * **`SourceTrigger` (L2-ST)** — the signal from the current AP is
+//!   degrading (distance increasing) while another AP covers the host:
+//!   the cue for the Fast Handover protocol to start anticipating
+//!   (thesis §3.2.2.1).
+//! * **`LinkDown` / `LinkUp`** — bracket the L2 black-out. Between them the
+//!   host can neither send nor receive; the black-out length is
+//!   configurable (60–400 ms per the 802.11 measurement study the thesis
+//!   cites; 200 ms in its simulations).
+//!
+//! The *protocol* decides when to actually switch by calling
+//! [`MhRadio::begin_handoff`]; if the host runs out of coverage first, the
+//! radio detaches on its own and re-attaches to the best AP it finds —
+//! modelling a handoff without anticipation.
+
+use fh_sim::{SimDuration, SimTime};
+
+use fh_net::{ApId, L2Event, NetCtx, NetMsg, NodeId, TimerKind};
+
+/// Emits an L2 event to the owning actor and mirrors it into the protocol
+/// trace (when tracing is enabled).
+fn emit_l2<S: RadioWorld>(ctx: &mut NetCtx<'_, S>, mh: NodeId, event: L2Event) {
+    let now = ctx.now();
+    ctx.shared
+        .stats_mut()
+        .trace
+        .push(now, fh_net::trace::TraceEvent::L2 { mh, event });
+    ctx.send_at(mh, now, NetMsg::L2(event));
+}
+
+use crate::position::{Mobility, Position};
+use crate::radio::RadioWorld;
+
+/// Configuration for a mobile host's radio process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioConfig {
+    /// How often the radio samples position/signal.
+    pub sample_every: SimDuration,
+    /// Length of the L2 black-out between detach and attach (200 ms in the
+    /// thesis' simulations).
+    pub l2_handoff_delay: SimDuration,
+    /// When set, triggers use received signal strength with hysteresis
+    /// (the way real stations decide) instead of the geometric
+    /// signal-degrading rule. Association limits stay geometric.
+    pub signal: Option<crate::SignalModel>,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            sample_every: SimDuration::from_millis(50),
+            l2_handoff_delay: SimDuration::from_millis(200),
+            signal: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RadioState {
+    /// Not started yet.
+    Off,
+    /// Associated with an AP.
+    Attached { ap: ApId, triggered: bool },
+    /// In the L2 black-out, will associate with `target`.
+    BlackOut { target: ApId },
+    /// Detached with no target; scanning for coverage.
+    Searching,
+}
+
+/// The link-layer radio component of one mobile host.
+#[derive(Debug)]
+pub struct MhRadio {
+    mh: NodeId,
+    mobility: Mobility,
+    config: RadioConfig,
+    state: RadioState,
+    handoff_seq: u64,
+    prev_dist: Option<f64>,
+    /// Completed handoffs (LinkUp count after the initial attach).
+    pub handoffs_completed: u64,
+}
+
+impl MhRadio {
+    /// Creates a radio for mobile host `mh` following `mobility`.
+    #[must_use]
+    pub fn new(mh: NodeId, mobility: Mobility, config: RadioConfig) -> Self {
+        MhRadio {
+            mh,
+            mobility,
+            config,
+            state: RadioState::Off,
+            handoff_seq: 0,
+            prev_dist: None,
+            handoffs_completed: 0,
+        }
+    }
+
+    /// The host's position at `t`.
+    #[must_use]
+    pub fn position_at(&self, t: SimTime) -> Position {
+        self.mobility.position_at(t)
+    }
+
+    /// The AP the radio is currently associated with.
+    #[must_use]
+    pub fn current_ap(&self) -> Option<ApId> {
+        match self.state {
+            RadioState::Attached { ap, .. } => Some(ap),
+            _ => None,
+        }
+    }
+
+    /// `true` while associated.
+    #[must_use]
+    pub fn is_attached(&self) -> bool {
+        matches!(self.state, RadioState::Attached { .. })
+    }
+
+    /// Brings the radio up: associates with the nearest covering AP (if
+    /// any), emits `LinkUp`, and starts the sampling timer. Call once, from
+    /// the owner's `Start` handler.
+    pub fn start<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        let pos = self.position_at(ctx.now());
+        if let Some(&ap) = ctx.shared.radio().aps_covering(pos).first() {
+            ctx.shared.radio_mut().attach(self.mh, ap);
+            self.state = RadioState::Attached {
+                ap,
+                triggered: false,
+            };
+            emit_l2(ctx, self.mh, L2Event::LinkUp { ap });
+        } else {
+            self.state = RadioState::Searching;
+        }
+        ctx.send_self(
+            self.config.sample_every,
+            NetMsg::Timer {
+                kind: TimerKind::Mobility,
+                token: 0,
+            },
+        );
+    }
+
+    /// Starts a handoff toward `target`: detaches (emitting `LinkDown`) and
+    /// schedules the attach after the configured black-out. No-op if a
+    /// handoff is already in progress or the radio is already on `target`.
+    pub fn begin_handoff<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, target: ApId) {
+        let RadioState::Attached { ap, .. } = self.state else {
+            return;
+        };
+        if ap == target {
+            return;
+        }
+        ctx.shared.radio_mut().detach(self.mh);
+        self.state = RadioState::BlackOut { target };
+        self.handoff_seq += 1;
+        emit_l2(ctx, self.mh, L2Event::LinkDown { ap });
+        ctx.send_self(
+            self.config.l2_handoff_delay,
+            NetMsg::Timer {
+                kind: TimerKind::Attach,
+                token: self.handoff_seq,
+            },
+        );
+    }
+
+    /// Suspends the radio for `duration` and re-associates with the same
+    /// AP afterwards — a firmware scan pause or an interference burst, the
+    /// "poor connection quality" episode of thesis §3.3. Emits `LinkDown`
+    /// now and `LinkUp` at resume. No-op while detached.
+    pub fn suspend<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, duration: SimDuration) {
+        let RadioState::Attached { ap, .. } = self.state else {
+            return;
+        };
+        ctx.shared.radio_mut().detach(self.mh);
+        self.state = RadioState::BlackOut { target: ap };
+        self.handoff_seq += 1;
+        emit_l2(ctx, self.mh, L2Event::LinkDown { ap });
+        ctx.send_self(
+            duration,
+            NetMsg::Timer {
+                kind: TimerKind::Attach,
+                token: self.handoff_seq,
+            },
+        );
+    }
+
+    /// Feeds a timer event to the radio. Returns `true` if the event was
+    /// consumed (owners must not interpret consumed timers themselves).
+    pub fn on_timer<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        kind: TimerKind,
+        token: u64,
+    ) -> bool {
+        match kind {
+            TimerKind::Mobility => {
+                self.sample(ctx);
+                ctx.send_self(
+                    self.config.sample_every,
+                    NetMsg::Timer {
+                        kind: TimerKind::Mobility,
+                        token: 0,
+                    },
+                );
+                true
+            }
+            TimerKind::Attach => {
+                if token != self.handoff_seq {
+                    return true; // stale attach from a superseded handoff
+                }
+                if let RadioState::BlackOut { target } = self.state {
+                    ctx.shared.radio_mut().attach(self.mh, target);
+                    self.state = RadioState::Attached {
+                        ap: target,
+                        triggered: false,
+                    };
+                    self.prev_dist = None;
+                    self.handoffs_completed += 1;
+                    emit_l2(ctx, self.mh, L2Event::LinkUp { ap: target });
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn sample<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        let now = ctx.now();
+        let pos = self.position_at(now);
+        match self.state {
+            RadioState::Off | RadioState::BlackOut { .. } => {}
+            RadioState::Searching => {
+                // Scan: associate with the best covering AP after a full
+                // black-out (scan + associate, no anticipation possible).
+                if let Some(&ap) = ctx.shared.radio().aps_covering(pos).first() {
+                    self.state = RadioState::BlackOut { target: ap };
+                    self.handoff_seq += 1;
+                    ctx.send_self(
+                        self.config.l2_handoff_delay,
+                        NetMsg::Timer {
+                            kind: TimerKind::Attach,
+                            token: self.handoff_seq,
+                        },
+                    );
+                }
+            }
+            RadioState::Attached { ap, triggered } => {
+                let ap_info = *ctx.shared.radio().ap(ap);
+                let dist = ap_info.pos.distance(pos);
+                let degrading = self.prev_dist.is_some_and(|prev| dist > prev + 1e-9);
+                self.prev_dist = Some(dist);
+                if !ap_info.covers(pos) {
+                    // Walked out of coverage before the protocol reacted.
+                    ctx.shared.radio_mut().detach(self.mh);
+                    emit_l2(ctx, self.mh, L2Event::LinkDown { ap });
+                    let next = ctx
+                        .shared
+                        .radio()
+                        .aps_covering(pos)
+                        .into_iter()
+                        .find(|&c| c != ap);
+                    if let Some(target) = next {
+                        self.state = RadioState::BlackOut { target };
+                        self.handoff_seq += 1;
+                        ctx.send_self(
+                            self.config.l2_handoff_delay,
+                            NetMsg::Timer {
+                                kind: TimerKind::Attach,
+                                token: self.handoff_seq,
+                            },
+                        );
+                    } else {
+                        self.state = RadioState::Searching;
+                    }
+                    return;
+                }
+                let trigger_candidate = if let Some(model) = self.config.signal {
+                    // Signal mode: a neighbor must beat the serving AP by
+                    // the hysteresis margin.
+                    let serving = model.rssi_at(dist);
+                    ctx.shared
+                        .radio()
+                        .aps_covering(pos)
+                        .into_iter()
+                        .filter(|&c| c != ap)
+                        .find(|&c| {
+                            let d = ctx.shared.radio().ap(c).pos.distance(pos);
+                            let candidate = model.rssi_at(d);
+                            model.is_usable(candidate) && model.should_switch(serving, candidate)
+                        })
+                } else if degrading {
+                    ctx.shared
+                        .radio()
+                        .aps_covering(pos)
+                        .into_iter()
+                        .find(|&c| c != ap)
+                } else {
+                    None
+                };
+                if !triggered {
+                    if let Some(next) = trigger_candidate {
+                        self.state = RadioState::Attached {
+                            ap,
+                            triggered: true,
+                        };
+                        emit_l2(ctx, self.mh, L2Event::SourceTrigger { current: ap, next });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::{RadioEnv, WirelessSpec};
+    use fh_net::{NetStats, NetWorld, Topology};
+    use fh_sim::{Actor, Simulator};
+
+    struct World {
+        topo: Topology,
+        stats: NetStats,
+        radio: RadioEnv,
+    }
+    impl NetWorld for World {
+        fn topology(&self) -> &Topology {
+            &self.topo
+        }
+        fn topology_mut(&mut self) -> &mut Topology {
+            &mut self.topo
+        }
+        fn stats(&self) -> &NetStats {
+            &self.stats
+        }
+        fn stats_mut(&mut self) -> &mut NetStats {
+            &mut self.stats
+        }
+    }
+    impl RadioWorld for World {
+        fn radio(&self) -> &RadioEnv {
+            &self.radio
+        }
+        fn radio_mut(&mut self) -> &mut RadioEnv {
+            &mut self.radio
+        }
+    }
+
+    /// A mobile host that records its L2 events and (optionally) reacts to
+    /// triggers by switching immediately — a degenerate "protocol".
+    struct Mh {
+        radio: Option<MhRadio>,
+        events: Vec<(SimTime, L2Event)>,
+        switch_on_trigger: bool,
+    }
+
+    impl Actor<NetMsg, World> for Mh {
+        fn handle(&mut self, ctx: &mut NetCtx<'_, World>, msg: NetMsg) {
+            let mut radio = self.radio.take().expect("radio installed");
+            match msg {
+                NetMsg::Start => radio.start(ctx),
+                NetMsg::Timer { kind, token } => {
+                    let _ = radio.on_timer(ctx, kind, token);
+                }
+                NetMsg::L2(ev) => {
+                    self.events.push((ctx.now(), ev));
+                    if self.switch_on_trigger {
+                        if let L2Event::SourceTrigger { next, .. } = ev {
+                            radio.begin_handoff(ctx, next);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            self.radio = Some(radio);
+        }
+    }
+
+    struct Nop;
+    impl Actor<NetMsg, World> for Nop {
+        fn handle(&mut self, _: &mut NetCtx<'_, World>, _: NetMsg) {}
+    }
+
+    /// Two APs in the thesis geometry: centres 212 m apart, radius 112 m.
+    fn thesis_world(switch_on_trigger: bool, mobility: Mobility) -> (Simulator<NetMsg, World>, fh_sim::ActorId) {
+        let mut sim = Simulator::new(
+            World {
+                topo: Topology::new(),
+                stats: NetStats::new(),
+                radio: RadioEnv::new(WirelessSpec::default_80211b()),
+            },
+            5,
+        );
+        let ar1 = sim.add_actor(Box::new(Nop));
+        let ar2 = sim.add_actor(Box::new(Nop));
+        sim.shared.radio.add_ap(ar1, Position::new(0.0, 0.0), 112.0);
+        sim.shared.radio.add_ap(ar2, Position::new(212.0, 0.0), 112.0);
+        let mh = sim.add_actor(Box::new(Mh {
+            radio: None,
+            events: vec![],
+            switch_on_trigger,
+        }));
+        let radio = MhRadio::new(mh, mobility, RadioConfig::default());
+        sim.actor_mut::<Mh>(mh).unwrap().radio = Some(radio);
+        sim.schedule(SimTime::ZERO, mh, NetMsg::Start);
+        (sim, mh)
+    }
+
+    fn walk() -> Mobility {
+        Mobility::linear(Position::new(0.0, 0.0), Position::new(212.0, 0.0), 10.0)
+    }
+
+    #[test]
+    fn initial_attach_emits_link_up() {
+        let (mut sim, mh) = thesis_world(false, Mobility::Stationary(Position::new(0.0, 0.0)));
+        sim.run_until(SimTime::from_secs(1));
+        let events = &sim.actor::<Mh>(mh).unwrap().events;
+        assert!(matches!(events[0].1, L2Event::LinkUp { ap } if ap == ApId(0)));
+    }
+
+    #[test]
+    fn trigger_fires_inside_the_overlap() {
+        let (mut sim, mh) = thesis_world(false, walk());
+        sim.run_until(SimTime::from_secs(15));
+        let events = &sim.actor::<Mh>(mh).unwrap().events;
+        let trig = events
+            .iter()
+            .find(|(_, e)| matches!(e, L2Event::SourceTrigger { .. }))
+            .expect("trigger expected");
+        // Overlap spans x in [100, 112] → t in [10 s, 11.2 s].
+        assert!(trig.0 >= SimTime::from_secs(10), "at {}", trig.0);
+        assert!(trig.0 <= SimTime::from_millis(11_300), "at {}", trig.0);
+        match trig.1 {
+            L2Event::SourceTrigger { current, next } => {
+                assert_eq!(current, ApId(0));
+                assert_eq!(next, ApId(1));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn protocol_driven_handoff_completes_after_blackout() {
+        let (mut sim, mh) = thesis_world(true, walk());
+        sim.run_until(SimTime::from_secs(15));
+        let m = sim.actor::<Mh>(mh).unwrap();
+        let down = m
+            .events
+            .iter()
+            .find(|(_, e)| matches!(e, L2Event::LinkDown { .. }))
+            .expect("link down");
+        let up = m
+            .events
+            .iter()
+            .find(|(t, e)| matches!(e, L2Event::LinkUp { ap } if *ap == ApId(1)) && *t > down.0)
+            .expect("link up on new AP");
+        let blackout = up.0 - down.0;
+        assert_eq!(blackout, SimDuration::from_millis(200));
+        assert_eq!(sim.shared.radio.attachment(mh), Some(ApId(1)));
+    }
+
+    #[test]
+    fn unanticipated_handoff_happens_on_coverage_loss() {
+        // No protocol reaction: the radio must save itself at x > 112.
+        let (mut sim, mh) = thesis_world(false, walk());
+        sim.run_until(SimTime::from_secs(15));
+        let m = sim.actor::<Mh>(mh).unwrap();
+        let down = m
+            .events
+            .iter()
+            .find(|(_, e)| matches!(e, L2Event::LinkDown { .. }))
+            .expect("link down");
+        // Coverage ends at x = 112 → t = 11.2 s.
+        assert!(down.0 >= SimTime::from_millis(11_200));
+        assert!(down.0 <= SimTime::from_millis(11_400));
+        assert_eq!(sim.shared.radio.attachment(mh), Some(ApId(1)));
+        assert_eq!(m.radio.as_ref().unwrap().handoffs_completed, 1);
+    }
+
+    #[test]
+    fn ping_pong_triggers_on_both_directions() {
+        let mobility = Mobility::ping_pong(
+            Position::new(20.0, 0.0),
+            Position::new(192.0, 0.0),
+            10.0,
+        );
+        let (mut sim, mh) = thesis_world(true, mobility);
+        // One full period is 2 * 172 m / 10 m/s = 34.4 s.
+        sim.run_until(SimTime::from_secs(70));
+        let m = sim.actor::<Mh>(mh).unwrap();
+        let handoffs = m.radio.as_ref().unwrap().handoffs_completed;
+        assert!(handoffs >= 4, "expected ≥4 handoffs, got {handoffs}");
+        // Alternating attachment directions.
+        let ups: Vec<ApId> = m
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                L2Event::LinkUp { ap } => Some(*ap),
+                _ => None,
+            })
+            .collect();
+        for w in ups.windows(2) {
+            assert_ne!(w[0], w[1], "consecutive attaches must alternate");
+        }
+    }
+
+    #[test]
+    fn no_trigger_while_approaching_the_ap() {
+        // Walking toward AP0's centre from the overlap: signal improves,
+        // no trigger even though AP1 also covers the start.
+        let mobility = Mobility::linear(Position::new(105.0, 0.0), Position::new(10.0, 0.0), 10.0);
+        let (mut sim, mh) = thesis_world(false, mobility);
+        sim.run_until(SimTime::from_secs(12));
+        let m = sim.actor::<Mh>(mh).unwrap();
+        assert!(
+            !m.events
+                .iter()
+                .any(|(_, e)| matches!(e, L2Event::SourceTrigger { .. })),
+            "no trigger expected: {:?}",
+            m.events
+        );
+    }
+
+    #[test]
+    fn signal_mode_triggers_later_than_geometry() {
+        // With discs sized to the signal model's usable range (≈132 m),
+        // the geometric rule triggers as soon as the far AP covers the
+        // host; the 5 dB hysteresis rule waits until the NAR is decisively
+        // stronger (x ≈ 124 m — well past the midpoint).
+        let model = crate::SignalModel::default();
+        let radius = model.usable_range_m();
+        let walk = Mobility::linear(Position::new(88.0, 0.0), Position::new(212.0, 0.0), 10.0);
+        let trigger_time = |signal: Option<crate::SignalModel>| -> SimTime {
+            let mut sim = Simulator::new(
+                World {
+                    topo: Topology::new(),
+                    stats: NetStats::new(),
+                    radio: RadioEnv::new(WirelessSpec::default_80211b()),
+                },
+                5,
+            );
+            let ar1 = sim.add_actor(Box::new(Nop));
+            let ar2 = sim.add_actor(Box::new(Nop));
+            sim.shared.radio.add_ap(ar1, Position::new(0.0, 0.0), radius);
+            sim.shared.radio.add_ap(ar2, Position::new(212.0, 0.0), radius);
+            let mh = sim.add_actor(Box::new(Mh {
+                radio: None,
+                events: vec![],
+                switch_on_trigger: false,
+            }));
+            let config = RadioConfig {
+                signal,
+                ..RadioConfig::default()
+            };
+            let radio = MhRadio::new(mh, walk.clone(), config);
+            sim.actor_mut::<Mh>(mh).unwrap().radio = Some(radio);
+            sim.schedule(SimTime::ZERO, mh, NetMsg::Start);
+            sim.run_until(SimTime::from_secs(15));
+            sim.actor::<Mh>(mh)
+                .unwrap()
+                .events
+                .iter()
+                .find(|(_, e)| matches!(e, L2Event::SourceTrigger { .. }))
+                .map(|&(t, _)| t)
+                .expect("trigger expected")
+        };
+        let geometric = trigger_time(None);
+        let signal = trigger_time(Some(model));
+        assert!(
+            signal > geometric + SimDuration::from_millis(1_000),
+            "hysteresis must delay the trigger: {geometric} vs {signal}"
+        );
+        // But it still fires inside the coverage (x ≤ 132 → t ≤ 4.45 s).
+        assert!(signal <= SimTime::from_millis(4_450), "at {signal}");
+    }
+
+    #[test]
+    fn searching_host_attaches_when_coverage_appears() {
+        // Starts outside all coverage, walks into AP0.
+        let mobility = Mobility::linear(Position::new(-200.0, 0.0), Position::new(0.0, 0.0), 10.0);
+        let (mut sim, mh) = thesis_world(false, mobility);
+        sim.run_until(SimTime::from_secs(30));
+        assert_eq!(sim.shared.radio.attachment(mh), Some(ApId(0)));
+    }
+}

@@ -1,0 +1,466 @@
+//! The radio environment: access points, attachments and the shared
+//! wireless channel.
+//!
+//! Each access point (AP) sits on an access router's node and covers a disc
+//! of configurable radius. A mobile host is attached to at most one AP at a
+//! time — the thesis' key constraint ("currently available IEEE 802.11
+//! wireless LAN cards can only access one access point at a time", §2.4) —
+//! and all frames through one AP share a single half-duplex channel, so
+//! buffer flushes serialize naturally instead of arriving as an impossible
+//! burst.
+//!
+//! Frames sent to a detached host are lost and recorded under
+//! [`DropReason::RadioDetached`]: this is exactly the loss the buffer
+//! management scheme exists to prevent.
+
+use std::collections::HashMap;
+
+use fh_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use fh_net::{ApId, DropReason, NetCtx, NetMsg, NetWorld, NodeId, Packet};
+
+use crate::position::Position;
+
+/// Static parameters of the shared wireless channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WirelessSpec {
+    /// Channel capacity in bits per second (11 Mb/s by default, as 802.11b).
+    pub bandwidth_bps: u64,
+    /// Over-the-air propagation plus MAC access delay.
+    pub delay: SimDuration,
+}
+
+impl WirelessSpec {
+    /// 802.11b-flavoured defaults: 11 Mb/s, 1 ms access+propagation delay.
+    #[must_use]
+    pub fn default_80211b() -> Self {
+        WirelessSpec {
+            bandwidth_bps: 11_000_000,
+            delay: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Serialization time of `bytes` on the channel (never zero).
+    #[must_use]
+    pub fn tx_time(&self, bytes: u32) -> SimDuration {
+        let bits = u64::from(bytes) * 8;
+        SimDuration::from_nanos((bits * 1_000_000_000).div_ceil(self.bandwidth_bps).max(1))
+    }
+}
+
+impl Default for WirelessSpec {
+    fn default() -> Self {
+        WirelessSpec::default_80211b()
+    }
+}
+
+/// One WLAN access point, co-located with an access router node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessPoint {
+    /// Link-layer identifier.
+    pub id: ApId,
+    /// The access-router actor this AP hangs off.
+    pub router: NodeId,
+    /// Centre of the coverage disc.
+    pub pos: Position,
+    /// Coverage radius in meters (112 m in the thesis topology).
+    pub radius: f64,
+}
+
+impl AccessPoint {
+    /// `true` if `p` lies inside this AP's coverage disc.
+    #[must_use]
+    pub fn covers(&self, p: Position) -> bool {
+        self.pos.distance(p) <= self.radius
+    }
+}
+
+/// The shared radio world: APs, attachments and per-AP channel state.
+#[derive(Debug, Default)]
+pub struct RadioEnv {
+    aps: Vec<AccessPoint>,
+    spec: WirelessSpec,
+    attachments: HashMap<NodeId, ApId>,
+    busy_until: Vec<SimTime>,
+    /// Frames lost to detached receivers, per mobile host.
+    pub airtime_frames: u64,
+}
+
+impl RadioEnv {
+    /// Creates an empty environment with the given channel parameters.
+    #[must_use]
+    pub fn new(spec: WirelessSpec) -> Self {
+        RadioEnv {
+            spec,
+            ..RadioEnv::default()
+        }
+    }
+
+    /// The channel parameters.
+    #[must_use]
+    pub fn spec(&self) -> WirelessSpec {
+        self.spec
+    }
+
+    /// Registers an access point and returns its id.
+    pub fn add_ap(&mut self, router: NodeId, pos: Position, radius: f64) -> ApId {
+        assert!(radius > 0.0, "coverage radius must be positive");
+        let id = ApId(self.aps.len() as u32);
+        self.aps.push(AccessPoint {
+            id,
+            router,
+            pos,
+            radius,
+        });
+        self.busy_until.push(SimTime::ZERO);
+        id
+    }
+
+    /// Access-point lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    #[must_use]
+    pub fn ap(&self, id: ApId) -> &AccessPoint {
+        &self.aps[id.0 as usize]
+    }
+
+    /// All registered APs.
+    #[must_use]
+    pub fn aps(&self) -> &[AccessPoint] {
+        &self.aps
+    }
+
+    /// The AP co-located with `router`, if any.
+    #[must_use]
+    pub fn ap_of_router(&self, router: NodeId) -> Option<ApId> {
+        self.aps.iter().find(|ap| ap.router == router).map(|ap| ap.id)
+    }
+
+    /// APs whose coverage disc contains `p`, nearest first.
+    #[must_use]
+    pub fn aps_covering(&self, p: Position) -> Vec<ApId> {
+        let mut v: Vec<&AccessPoint> = self.aps.iter().filter(|ap| ap.covers(p)).collect();
+        v.sort_by(|a, b| {
+            a.pos
+                .distance(p)
+                .partial_cmp(&b.pos.distance(p))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v.into_iter().map(|ap| ap.id).collect()
+    }
+
+    /// Associates `mh` with `ap`, replacing any previous association (a
+    /// card can talk to only one AP at a time).
+    pub fn attach(&mut self, mh: NodeId, ap: ApId) {
+        assert!((ap.0 as usize) < self.aps.len(), "unknown AP");
+        self.attachments.insert(mh, ap);
+    }
+
+    /// Drops `mh`'s association. Returns the AP it was attached to.
+    pub fn detach(&mut self, mh: NodeId) -> Option<ApId> {
+        self.attachments.remove(&mh)
+    }
+
+    /// The AP `mh` is currently associated with.
+    #[must_use]
+    pub fn attachment(&self, mh: NodeId) -> Option<ApId> {
+        self.attachments.get(&mh).copied()
+    }
+
+    /// Mobile hosts currently associated with `ap`, in unspecified order.
+    #[must_use]
+    pub fn attached_mhs(&self, ap: ApId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .attachments
+            .iter()
+            .filter(|&(_, &a)| a == ap)
+            .map(|(&mh, _)| mh)
+            .collect();
+        v.sort(); // deterministic order
+        v
+    }
+
+    /// Reserves airtime for one frame of `bytes` on `ap`'s channel and
+    /// returns the arrival instant at the receiver.
+    fn reserve_airtime(&mut self, now: SimTime, ap: ApId, bytes: u32) -> SimTime {
+        let tx = self.spec.tx_time(bytes);
+        let idx = ap.0 as usize;
+        let start = self.busy_until[idx].max(now);
+        self.busy_until[idx] = start + tx;
+        self.airtime_frames += 1;
+        self.busy_until[idx] + self.spec.delay
+    }
+
+    /// When `ap`'s channel next becomes idle.
+    #[must_use]
+    pub fn channel_idle_at(&self, ap: ApId) -> SimTime {
+        self.busy_until[ap.0 as usize]
+    }
+}
+
+/// Shared-state contract for worlds with a radio environment.
+pub trait RadioWorld: NetWorld {
+    /// The radio environment.
+    fn radio(&self) -> &RadioEnv;
+    /// Mutable radio environment.
+    fn radio_mut(&mut self) -> &mut RadioEnv;
+}
+
+/// Sends `pkt` from `ap` down to mobile host `mh`.
+///
+/// The frame is lost (and recorded as [`DropReason::RadioDetached`]) unless
+/// `mh` is currently attached to `ap` — this is the black-out loss the
+/// buffering scheme protects against.
+pub fn send_downlink<S: RadioWorld>(
+    ctx: &mut NetCtx<'_, S>,
+    ap: ApId,
+    mh: NodeId,
+    pkt: Packet,
+) -> bool {
+    if ctx.shared.radio().attachment(mh) != Some(ap) {
+        fh_net::record_drop(ctx, pkt.flow, DropReason::RadioDetached);
+        return false;
+    }
+    let now = ctx.now();
+    let router = ctx.shared.radio().ap(ap).router;
+    let arrival = ctx.shared.radio_mut().reserve_airtime(now, ap, pkt.size);
+    ctx.send_at(
+        mh,
+        arrival,
+        NetMsg::RadioPacket {
+            ap,
+            from: router,
+            pkt,
+        },
+    );
+    true
+}
+
+/// Sends `pkt` from mobile host `mh` up to its current AP's router.
+///
+/// Returns `false` (recording the drop) if the host is detached.
+pub fn send_uplink<S: RadioWorld>(ctx: &mut NetCtx<'_, S>, mh: NodeId, pkt: Packet) -> bool {
+    let Some(ap) = ctx.shared.radio().attachment(mh) else {
+        fh_net::record_drop(ctx, pkt.flow, DropReason::RadioDetached);
+        return false;
+    };
+    let router = ctx.shared.radio().ap(ap).router;
+    let now = ctx.now();
+    let arrival = ctx.shared.radio_mut().reserve_airtime(now, ap, pkt.size);
+    ctx.send_at(
+        router,
+        arrival,
+        NetMsg::RadioPacket { ap, from: mh, pkt },
+    );
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fh_net::{NetStats, Topology};
+    use fh_sim::{Actor, Simulator};
+
+    struct World {
+        topo: Topology,
+        stats: NetStats,
+        radio: RadioEnv,
+    }
+
+    impl NetWorld for World {
+        fn topology(&self) -> &Topology {
+            &self.topo
+        }
+        fn topology_mut(&mut self) -> &mut Topology {
+            &mut self.topo
+        }
+        fn stats(&self) -> &NetStats {
+            &self.stats
+        }
+        fn stats_mut(&mut self) -> &mut NetStats {
+            &mut self.stats
+        }
+    }
+
+    impl RadioWorld for World {
+        fn radio(&self) -> &RadioEnv {
+            &self.radio
+        }
+        fn radio_mut(&mut self) -> &mut RadioEnv {
+            &mut self.radio
+        }
+    }
+
+    struct Sink {
+        got: Vec<(SimTime, u64)>,
+    }
+    impl Actor<NetMsg, World> for Sink {
+        fn handle(&mut self, ctx: &mut NetCtx<'_, World>, msg: NetMsg) {
+            if let NetMsg::RadioPacket { pkt, .. } = msg {
+                self.got.push((ctx.now(), pkt.seq));
+            }
+        }
+    }
+
+    fn world() -> Simulator<NetMsg, World> {
+        Simulator::new(
+            World {
+                topo: Topology::new(),
+                stats: NetStats::new(),
+                radio: RadioEnv::new(WirelessSpec {
+                    bandwidth_bps: 8_000_000,
+                    delay: SimDuration::from_millis(1),
+                }),
+            },
+            3,
+        )
+    }
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::data(
+            fh_net::FlowId(1),
+            seq,
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            fh_net::ServiceClass::RealTime,
+            1000,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn coverage_geometry() {
+        let mut env = RadioEnv::default();
+        let r = Topology::new(); // unused, ids come from a simulator normally
+        drop(r);
+        let mut sim = world();
+        let ar = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let ap = env.add_ap(ar, Position::new(0.0, 0.0), 112.0);
+        assert!(env.ap(ap).covers(Position::new(111.9, 0.0)));
+        assert!(!env.ap(ap).covers(Position::new(112.1, 0.0)));
+        assert_eq!(env.ap_of_router(ar), Some(ap));
+    }
+
+    #[test]
+    fn nearest_ap_sorts_first() {
+        let mut sim = world();
+        let ar1 = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let ar2 = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let env = sim.shared.radio_mut();
+        let a = env.add_ap(ar1, Position::new(0.0, 0.0), 112.0);
+        let b = env.add_ap(ar2, Position::new(212.0, 0.0), 112.0);
+        // In the 12 m overlap, closer to B.
+        let covering = env.aps_covering(Position::new(108.0, 0.0));
+        assert_eq!(covering, vec![b, a]);
+        // Outside both.
+        assert!(env.aps_covering(Position::new(500.0, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn downlink_to_attached_host_arrives_serialized() {
+        let mut sim = world();
+        let ar = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let mh = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let ap = sim.shared.radio.add_ap(ar, Position::default(), 100.0);
+        sim.shared.radio.attach(mh, ap);
+
+        struct Driver {
+            ap: ApId,
+            mh: NodeId,
+        }
+        impl Actor<NetMsg, World> for Driver {
+            fn handle(&mut self, ctx: &mut NetCtx<'_, World>, msg: NetMsg) {
+                if let NetMsg::Start = msg {
+                    for seq in 0..3 {
+                        send_downlink(ctx, self.ap, self.mh, pkt(seq));
+                    }
+                }
+            }
+        }
+        let d = sim.add_actor(Box::new(Driver { ap, mh }));
+        sim.schedule(SimTime::ZERO, d, NetMsg::Start);
+        sim.run();
+        let got = &sim.actor::<Sink>(mh).unwrap().got;
+        // 1000 B at 8 Mb/s = 1 ms each, +1 ms delay: arrivals at 2, 3, 4 ms.
+        assert_eq!(
+            got.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![
+                SimTime::from_millis(2),
+                SimTime::from_millis(3),
+                SimTime::from_millis(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn downlink_to_detached_host_is_dropped() {
+        let mut sim = world();
+        let ar = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let mh = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let ap = sim.shared.radio.add_ap(ar, Position::default(), 100.0);
+
+        struct Driver {
+            ap: ApId,
+            mh: NodeId,
+        }
+        impl Actor<NetMsg, World> for Driver {
+            fn handle(&mut self, ctx: &mut NetCtx<'_, World>, msg: NetMsg) {
+                if let NetMsg::Start = msg {
+                    assert!(!send_downlink(ctx, self.ap, self.mh, pkt(0)));
+                }
+            }
+        }
+        let d = sim.add_actor(Box::new(Driver { ap, mh }));
+        sim.schedule(SimTime::ZERO, d, NetMsg::Start);
+        sim.run();
+        assert!(sim.actor::<Sink>(mh).unwrap().got.is_empty());
+        assert_eq!(sim.shared.stats.drops(DropReason::RadioDetached), 1);
+    }
+
+    #[test]
+    fn uplink_reaches_the_router() {
+        let mut sim = world();
+        let ar = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let mh = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let ap = sim.shared.radio.add_ap(ar, Position::default(), 100.0);
+        sim.shared.radio.attach(mh, ap);
+
+        struct Driver {
+            mh: NodeId,
+        }
+        impl Actor<NetMsg, World> for Driver {
+            fn handle(&mut self, ctx: &mut NetCtx<'_, World>, msg: NetMsg) {
+                if let NetMsg::Start = msg {
+                    assert!(send_uplink(ctx, self.mh, pkt(7)));
+                }
+            }
+        }
+        let d = sim.add_actor(Box::new(Driver { mh }));
+        sim.schedule(SimTime::ZERO, d, NetMsg::Start);
+        sim.run();
+        assert_eq!(sim.actor::<Sink>(ar).unwrap().got.len(), 1);
+        assert_eq!(sim.actor::<Sink>(ar).unwrap().got[0].1, 7);
+    }
+
+    #[test]
+    fn reattachment_replaces_association() {
+        let mut sim = world();
+        let ar1 = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let ar2 = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let mh = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let env = &mut sim.shared.radio;
+        let a = env.add_ap(ar1, Position::new(0.0, 0.0), 100.0);
+        let b = env.add_ap(ar2, Position::new(50.0, 0.0), 100.0);
+        env.attach(mh, a);
+        assert_eq!(env.attachment(mh), Some(a));
+        env.attach(mh, b);
+        assert_eq!(env.attachment(mh), Some(b));
+        assert_eq!(env.attached_mhs(a), vec![]);
+        assert_eq!(env.attached_mhs(b), vec![mh]);
+        assert_eq!(env.detach(mh), Some(b));
+        assert_eq!(env.attachment(mh), None);
+    }
+}

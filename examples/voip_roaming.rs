@@ -1,0 +1,94 @@
+//! VoIP roaming: the paper's motivating workload.
+//!
+//! A commuter on a 36 km/h ride takes a voice call (real-time class, the
+//! 64 kb/s audio model of §4.1) together with a messaging sync flow
+//! (high priority) and a background download (best effort). The host
+//! shuttles between two access routers, handing over again and again.
+//!
+//! The demo runs the same journey twice — once with the original fast
+//! handover (NAR-only buffering) and once with the proposed enhanced
+//! scheme — and compares what each flow experienced.
+//!
+//! ```sh
+//! cargo run --example voip_roaming
+//! ```
+
+use fh_core::{ProtocolConfig, Scheme};
+use fh_net::{FlowId, ServiceClass};
+use fh_scenarios::{HmipConfig, HmipScenario, MovementPlan};
+use fh_sim::{SimDuration, SimTime};
+use fh_traffic::FlowReport;
+
+struct Outcome {
+    scheme: &'static str,
+    handoffs: u64,
+    per_flow: Vec<(&'static str, FlowReport)>,
+}
+
+fn ride(scheme: Scheme) -> Outcome {
+    let mut protocol = ProtocolConfig::with_scheme(scheme);
+    protocol.buffer_request = 40;
+    let cfg = HmipConfig {
+        protocol,
+        n_mhs: 1,
+        // The thesis compares the baseline with double the per-router
+        // buffer (it uses only one router) against the proposed scheme
+        // with half at each (§4.2.2).
+        buffer_capacity: if scheme == Scheme::NarOnly { 40 } else { 20 },
+        movement: MovementPlan::PingPong,
+        seed: 7,
+        ..HmipConfig::default()
+    };
+    let mut scenario = HmipScenario::build(cfg);
+    let flows: Vec<(&'static str, FlowId)> = vec![
+        ("voice (RT)", scenario.add_audio_128k(0, ServiceClass::RealTime)),
+        ("sync  (HP)", scenario.add_audio_128k(0, ServiceClass::HighPriority)),
+        ("bulk  (BE)", scenario.add_audio_128k(0, ServiceClass::BestEffort)),
+    ];
+    // Six minutes of riding; stop sources early so the tail drains.
+    let end = SimTime::from_secs(180);
+    scenario.set_traffic_window(SimTime::from_millis(500), end - SimDuration::from_secs(2));
+    scenario.run_until(end);
+
+    let per_flow = flows
+        .iter()
+        .map(|&(name, f)| {
+            (
+                name,
+                FlowReport::from_sink(scenario.flow_sink(f), scenario.flow_sent(f)),
+            )
+        })
+        .collect();
+    Outcome {
+        scheme: scheme.label(),
+        handoffs: scenario.mh_agent(0).handoffs,
+        per_flow,
+    }
+}
+
+fn main() {
+    println!("VoIP roaming: 3 flows x 128 kb/s, ping-pong handovers, 180 s\n");
+    for scheme in [Scheme::NarOnly, Scheme::PROPOSED] {
+        let o = ride(scheme);
+        println!("== {} ({} handovers) ==", o.scheme, o.handoffs);
+        println!(
+            "{:>12} {:>8} {:>8} {:>7} {:>9} {:>9} {:>9}",
+            "flow", "sent", "lost", "burst", "p50(ms)", "p99(ms)", "max(ms)"
+        );
+        for (name, r) in &o.per_flow {
+            println!(
+                "{name:>12} {:>8} {:>8} {:>7} {:>9.1} {:>9.1} {:>9.1}",
+                r.sent,
+                r.lost,
+                r.longest_loss_burst,
+                r.p50_delay.as_millis_f64(),
+                r.p99_delay.as_millis_f64(),
+                r.max_delay.as_millis_f64()
+            );
+        }
+        println!();
+    }
+    println!("The proposed scheme protects the high-priority sync flow across");
+    println!("every handover and keeps voice delay bounded by buffering the");
+    println!("real-time stream at the *new* router only.");
+}

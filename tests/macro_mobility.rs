@@ -1,0 +1,128 @@
+//! Macro mobility: crossing MAP domains under home-agent traffic
+//! (thesis chapter 2 — Mobile IPv6 + HMIPv6 working together).
+
+use fh_core::{ProtocolConfig, Scheme};
+use fh_net::doc_subnet;
+use fh_scenarios::{RoamingConfig, RoamingScenario};
+use fh_sim::SimTime;
+
+fn run(cfg: RoamingConfig) -> RoamingScenario {
+    let mut s = RoamingScenario::build(cfg);
+    s.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(14));
+    s.run_until(SimTime::from_secs(16));
+    s
+}
+
+#[test]
+fn domain_crossing_is_lossless_with_the_proposed_scheme() {
+    let s = run(RoamingConfig::default());
+    assert_eq!(s.mh_agent().handoffs, 1);
+    assert_eq!(s.sink().losses(s.sent()), 0, "no loss across the domains");
+    assert_eq!(s.sink().duplicates(), 0);
+}
+
+#[test]
+fn home_agent_rebinds_to_the_new_regional_address() {
+    let s = run(RoamingConfig::default());
+    let anchor = s.home_anchor();
+    // Boot registration + post-crossing registration.
+    assert_eq!(anchor.cache.registrations, 2);
+    let rcoa = anchor
+        .cache
+        .lookup(s.home_addr, s.sim.now())
+        .expect("binding alive");
+    assert!(
+        doc_subnet(20).contains(rcoa),
+        "the RCoA must live in MAP2's prefix, got {rcoa}"
+    );
+}
+
+#[test]
+fn both_maps_serve_the_host_in_turn() {
+    let s = run(RoamingConfig::default());
+    // MAP1: boot binding + the post-handover LCoA refresh before the host
+    // discovers MAP2.
+    assert!(s.map1_anchor().cache.registrations >= 2);
+    assert_eq!(s.map2_anchor().cache.registrations, 1);
+    assert!(s.map1_anchor().tunneled > 0, "MAP1 carried the early traffic");
+    assert!(s.map2_anchor().tunneled > 0, "MAP2 carried the late traffic");
+}
+
+#[test]
+fn interim_traffic_rides_the_old_chain() {
+    // Freeze the run right after the handover but before the 1 Hz RA can
+    // reveal MAP2: traffic to the home address must still arrive, via
+    // HA → MAP1 → (stale LCoA) → AR1's tunnel → AR2.
+    let mut s = RoamingScenario::build(RoamingConfig::default());
+    s.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(14));
+    // Handover completes ≈1.41 s; run to 1.6 s.
+    s.run_until(SimTime::from_millis(1_600));
+    assert_eq!(s.mh_agent().handoffs, 1, "handover done");
+    assert_eq!(
+        s.map2_anchor().cache.registrations,
+        0,
+        "MAP2 not yet discovered"
+    );
+    let received_early = s.sink().received();
+    assert!(received_early > 40, "traffic must keep flowing: {received_early}");
+    // "Losses" at a frozen instant are just in-flight packets: the
+    // CN→HA→MAP1→AR1→tunnel→AR2 chain is ≈35 ms ≈ 2 packets deep.
+    assert!(s.sink().losses(s.sent()) <= 3);
+}
+
+#[test]
+fn crossing_without_buffering_loses_the_blackout() {
+    let cfg = RoamingConfig {
+        protocol: ProtocolConfig::with_scheme(Scheme::NoBuffer),
+        ..RoamingConfig::default()
+    };
+    let s = run(cfg);
+    let lost = s.sink().losses(s.sent());
+    assert!(
+        (8..=13).contains(&lost),
+        "expected ≈10 black-out losses, got {lost}"
+    );
+}
+
+#[test]
+fn macro_crossing_is_deterministic() {
+    let a = run(RoamingConfig::default());
+    let b = run(RoamingConfig::default());
+    assert_eq!(a.sink().received(), b.sink().received());
+    assert_eq!(
+        a.sim.events_processed(),
+        b.sim.events_processed()
+    );
+}
+
+#[test]
+fn route_optimization_bypasses_the_home_agent() {
+    let cfg = RoamingConfig {
+        route_optimization: true,
+        ..RoamingConfig::default()
+    };
+    let s = run(cfg);
+    assert_eq!(s.sink().losses(s.sent()), 0, "still lossless");
+    // After the correspondent learned the RCoA, traffic goes straight to
+    // the MAP: the HA carries only the pre-binding trickle.
+    let via_ha = s.home_anchor().tunneled;
+    let direct = s.map1_anchor().tunneled + s.map2_anchor().tunneled;
+    assert!(
+        via_ha < direct / 10,
+        "HA should carry almost nothing with RO: ha={via_ha}, maps={direct}"
+    );
+    // The CN holds a live binding pointing into MAP2's region.
+    let cn = s.sim.actor::<fh_scenarios::CnNode>(s.cn).expect("cn");
+    let coa = cn
+        .bindings
+        .lookup(s.home_addr, s.sim.now())
+        .expect("correspondent binding");
+    assert!(doc_subnet(20).contains(coa));
+}
+
+#[test]
+fn without_route_optimization_everything_rides_the_home_agent() {
+    let s = run(RoamingConfig::default());
+    // Every data packet is intercepted at home.
+    assert!(s.home_anchor().tunneled >= s.sink().received());
+}

@@ -1,0 +1,251 @@
+//! QoS invariants of the enhanced buffer management scheme, verified on
+//! full scenario runs (the Table 3.3 promises, §3.1.2 design goals).
+
+use fh_core::{ProtocolConfig, Scheme};
+use fh_net::{FlowId, ServiceClass};
+use fh_scenarios::{experiments, HmipConfig, HmipScenario, MovementPlan};
+use fh_sim::{SimDuration, SimTime};
+
+/// Builds an overloaded single-handover run: three 128 kb/s flows against
+/// `capacity`-packet buffers, returning per-flow losses `(RT, HP, BE)`.
+fn overloaded_losses(scheme: Scheme, capacity: usize, threshold_a: u32) -> (u64, u64, u64) {
+    let mut protocol = ProtocolConfig::with_scheme(scheme);
+    protocol.buffer_request = 40;
+    protocol.threshold_a = threshold_a;
+    let cfg = HmipConfig {
+        protocol,
+        n_mhs: 1,
+        buffer_capacity: capacity,
+        movement: MovementPlan::OneWay,
+        seed: 5,
+        ..HmipConfig::default()
+    };
+    let mut scenario = HmipScenario::build(cfg);
+    let flows: Vec<FlowId> = [
+        ServiceClass::RealTime,
+        ServiceClass::HighPriority,
+        ServiceClass::BestEffort,
+    ]
+    .iter()
+    .map(|&c| scenario.add_audio_128k(0, c))
+    .collect();
+    scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(14));
+    scenario.run_until(SimTime::from_secs(16));
+    (
+        scenario.flow_losses(flows[0]),
+        scenario.flow_losses(flows[1]),
+        scenario.flow_losses(flows[2]),
+    )
+}
+
+#[test]
+fn high_priority_survives_overload_with_classification() {
+    let (rt, hp, be) = overloaded_losses(Scheme::PROPOSED, 20, 10);
+    assert_eq!(hp, 0, "high priority must not drop (rt={rt}, be={be})");
+    assert!(rt > 0, "the overload must be real");
+    assert!(be > 0, "best effort absorbs losses");
+}
+
+#[test]
+fn classification_does_not_change_total_losses() {
+    let (rt_on, hp_on, be_on) = overloaded_losses(Scheme::PROPOSED, 20, 10);
+    let (rt_off, hp_off, be_off) = overloaded_losses(Scheme::Dual { classify: false }, 20, 10);
+    let total_on = rt_on + hp_on + be_on;
+    let total_off = rt_off + hp_off + be_off;
+    let diff = total_on.abs_diff(total_off);
+    // §4.2.2: "the QoS function does not result in additional packet
+    // drops" — allow a few packets of slack for timing edges.
+    assert!(
+        diff <= 4,
+        "classification changed totals: {total_on} vs {total_off}"
+    );
+}
+
+#[test]
+fn class_blind_schemes_lose_evenly() {
+    let (rt, hp, be) = overloaded_losses(Scheme::Dual { classify: false }, 20, 10);
+    let max = rt.max(hp).max(be);
+    let min = rt.min(hp).min(be);
+    assert!(
+        max - min <= max / 4 + 3,
+        "class-blind losses should be even: rt={rt} hp={hp} be={be}"
+    );
+}
+
+#[test]
+fn unspecified_class_is_treated_as_best_effort() {
+    let run = |class| {
+        let mut protocol = ProtocolConfig::proposed();
+        protocol.buffer_request = 40;
+        let cfg = HmipConfig {
+            protocol,
+            buffer_capacity: 20,
+            movement: MovementPlan::OneWay,
+            seed: 5,
+            ..HmipConfig::default()
+        };
+        let mut scenario = HmipScenario::build(cfg);
+        let rt = scenario.add_audio_128k(0, ServiceClass::RealTime);
+        let hp = scenario.add_audio_128k(0, ServiceClass::HighPriority);
+        let probe = scenario.add_audio_128k(0, class);
+        scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(14));
+        scenario.run_until(SimTime::from_secs(16));
+        let _ = (rt, hp);
+        scenario.flow_losses(probe)
+    };
+    assert_eq!(
+        run(ServiceClass::Unspecified),
+        run(ServiceClass::BestEffort),
+        "unspecified must behave exactly like best effort (Table 3.1)"
+    );
+}
+
+#[test]
+fn case4_drops_best_effort_at_the_par_only() {
+    // Capacity 0: neither router can grant (Table 3.2 case 4).
+    let (rt, hp, be) = overloaded_losses(Scheme::PROPOSED, 0, 0);
+    assert!(rt > 0 && hp > 0 && be > 0, "nothing is protected in case 4");
+    // BE is dropped at the PAR by policy, RT/HP are forwarded unbuffered
+    // and die at the radio — so BE losses are at least comparable.
+    assert!(
+        be + 5 >= rt.min(hp),
+        "case 4 BE must not fare better: rt={rt} hp={hp} be={be}"
+    );
+}
+
+#[test]
+fn dual_buffering_doubles_lossless_capacity() {
+    // The Fig 4.2 knee: the largest N with zero drops, per scheme.
+    let series = experiments::buffer_utilization(experiments::BufferUtilizationParams {
+        max_mhs: 10,
+        buffer_capacity: 42,
+        buffer_request: 12,
+        seed: 42,
+    });
+    let knee = |label: &str| -> usize {
+        series
+            .iter()
+            .find(|s| s.label == label)
+            .expect("series present")
+            .points
+            .iter()
+            .take_while(|&&(_, drops)| drops == 0)
+            .count()
+    };
+    let nar = knee("NAR");
+    let dual = knee("DUAL");
+    let fh = knee("FH");
+    assert_eq!(fh, 0, "no buffering always drops");
+    assert!(nar >= 2, "single-router buffering serves a few hosts");
+    assert!(
+        dual >= 2 * nar,
+        "dual buffering must at least double capacity: NAR={nar}, DUAL={dual}"
+    );
+}
+
+#[test]
+fn par_and_nar_only_baselines_are_symmetric() {
+    let series = experiments::buffer_utilization(experiments::BufferUtilizationParams {
+        max_mhs: 8,
+        buffer_capacity: 42,
+        buffer_request: 12,
+        seed: 42,
+    });
+    let find = |label: &str| {
+        &series
+            .iter()
+            .find(|s| s.label == label)
+            .expect("series present")
+            .points
+    };
+    let nar = find("NAR");
+    let par = find("PAR");
+    for (&(n, a), &(_, b)) in nar.iter().zip(par.iter()) {
+        assert!(
+            a.abs_diff(b) <= 3,
+            "NAR/PAR asymmetric at n={n}: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn threshold_a_trades_best_effort_for_high_priority() {
+    let r = experiments::threshold_sweep(&[0, 19], 5);
+    // With a=0, BE grabs the whole PAR pool; with a=19 it gets nothing.
+    assert!(
+        r.best_effort_drops[1] > r.best_effort_drops[0],
+        "a=19 must hurt best effort: {:?}",
+        r.best_effort_drops
+    );
+    assert!(
+        r.high_priority_drops[1] <= r.high_priority_drops[0],
+        "a=19 must not hurt high priority: {:?}",
+        r.high_priority_drops
+    );
+}
+
+#[test]
+fn blackout_length_scales_unbuffered_losses_only() {
+    let r = experiments::blackout_sweep(&[60, 400], 5);
+    assert!(
+        r.without_buffering[1] > r.without_buffering[0] * 3,
+        "unbuffered losses must scale with the black-out: {:?}",
+        r.without_buffering
+    );
+    assert!(
+        r.with_buffering[1] <= 2,
+        "the proposed scheme should stay lossless even at 400 ms: {:?}",
+        r.with_buffering
+    );
+}
+
+#[test]
+fn realtime_delay_is_insensitive_to_the_inter_ar_link() {
+    let fast = experiments::delay_trace(
+        Scheme::PROPOSED,
+        20,
+        40,
+        SimDuration::from_millis(2),
+        5,
+    );
+    let slow = experiments::delay_trace(
+        Scheme::PROPOSED,
+        20,
+        40,
+        SimDuration::from_millis(50),
+        5,
+    );
+    let max_delay = |r: &experiments::DelayTraceResult, k: usize| {
+        r.series[k]
+            .iter()
+            .map(|&(_, d)| d)
+            .fold(0.0f64, f64::max)
+    };
+    // RT (k=0) is buffered at the NAR: the AR-link delay must not move it
+    // by more than the link delta itself.
+    let rt_delta = max_delay(&slow, 0) - max_delay(&fast, 0);
+    assert!(
+        rt_delta < 0.06,
+        "real-time delay grew {rt_delta:.3}s with the slow AR link"
+    );
+    // BE (k=2) is buffered at the PAR and must pay the extra tunnel trip.
+    let be_delta = max_delay(&slow, 2) - max_delay(&fast, 2);
+    assert!(
+        be_delta > 0.05,
+        "best effort should feel the 50 ms link: delta {be_delta:.3}s"
+    );
+}
+
+#[test]
+fn high_priority_survives_a_saturated_cell() {
+    let r = experiments::background_load(&[64.0, 1024.0], 5);
+    assert_eq!(r.hp_losses, vec![0, 0], "HP must stay lossless under load");
+    // Tail delay barely moves (< 10 ms drift across a 16× load increase).
+    assert!(
+        (r.hp_p99_ms[1] - r.hp_p99_ms[0]).abs() < 10.0,
+        "HP tail delay must stay flat: {:?}",
+        r.hp_p99_ms
+    );
+    // The background flow pays for the contention instead.
+    assert!(r.bg_losses[1] > r.bg_losses[0]);
+}
