@@ -17,7 +17,7 @@ fn bench_threshold(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_threshold_a");
     g.sample_size(10);
     g.bench_function("three_values", |b| {
-        b.iter(|| black_box(experiments::threshold_sweep(&[0, 10, 19], SEED)))
+        b.iter(|| black_box(experiments::threshold_sweep(&[0, 10, 19], SEED, 1)))
     });
     g.finish();
 }
@@ -26,7 +26,7 @@ fn bench_blackout(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_blackout");
     g.sample_size(10);
     g.bench_function("60_200_400ms", |b| {
-        b.iter(|| black_box(experiments::blackout_sweep(&[60, 200, 400], SEED)))
+        b.iter(|| black_box(experiments::blackout_sweep(&[60, 200, 400], SEED, 1)))
     });
     g.finish();
 }
@@ -63,8 +63,7 @@ fn bench_buffer_split(c: &mut Criterion) {
                 let f1 = scenario.add_audio_128k(0, ServiceClass::RealTime);
                 let f2 = scenario.add_audio_128k(0, ServiceClass::HighPriority);
                 let f3 = scenario.add_audio_128k(0, ServiceClass::BestEffort);
-                scenario
-                    .set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(13));
+                scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(13));
                 scenario.run_until(SimTime::from_secs(15));
                 black_box((
                     scenario.flow_losses(f1),

@@ -23,7 +23,7 @@ fn bench_fig4_2(c: &mut Criterion) {
                 max_mhs: 6,
                 ..BufferUtilizationParams::default()
             };
-            black_box(experiments::buffer_utilization(params))
+            black_box(experiments::buffer_utilization(params, 1))
         })
     });
     g.finish();
@@ -34,8 +34,16 @@ fn bench_fig4_3_to_4_5(c: &mut Criterion) {
     g.sample_size(10);
     for (name, scheme, capacity) in [
         ("fig4_3_nar_only", Scheme::NarOnly, 40usize),
-        ("fig4_4_dual_classless", Scheme::Dual { classify: false }, 20),
-        ("fig4_5_dual_classified", Scheme::Dual { classify: true }, 20),
+        (
+            "fig4_4_dual_classless",
+            Scheme::Dual { classify: false },
+            20,
+        ),
+        (
+            "fig4_5_dual_classified",
+            Scheme::Dual { classify: true },
+            20,
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| black_box(experiments::qos_drops(scheme, capacity, 40, 10, SEED)))
@@ -48,7 +56,15 @@ fn bench_fig4_6(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_6_rate_sweep");
     g.sample_size(10);
     g.bench_function("three_rates", |b| {
-        b.iter(|| black_box(experiments::rate_sweep(&[64.0, 128.0, 256.0], 20, 40, SEED)))
+        b.iter(|| {
+            black_box(experiments::rate_sweep(
+                &[64.0, 128.0, 256.0],
+                20,
+                40,
+                SEED,
+                1,
+            ))
+        })
     });
     g.finish();
 }
@@ -58,9 +74,24 @@ fn bench_fig4_7_to_4_10(c: &mut Criterion) {
     g.sample_size(10);
     for (name, scheme, capacity, delay_ms) in [
         ("fig4_7_fh_buffer40", Scheme::NarOnly, 40usize, 2u64),
-        ("fig4_8_dual_classless", Scheme::Dual { classify: false }, 20, 2),
-        ("fig4_9_classified_2ms", Scheme::Dual { classify: true }, 20, 2),
-        ("fig4_10_classified_50ms", Scheme::Dual { classify: true }, 20, 50),
+        (
+            "fig4_8_dual_classless",
+            Scheme::Dual { classify: false },
+            20,
+            2,
+        ),
+        (
+            "fig4_9_classified_2ms",
+            Scheme::Dual { classify: true },
+            20,
+            2,
+        ),
+        (
+            "fig4_10_classified_50ms",
+            Scheme::Dual { classify: true },
+            20,
+            50,
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {

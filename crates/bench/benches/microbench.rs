@@ -35,6 +35,38 @@ fn bench_event_queue(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cancellation cost must stay flat per element as the queue grows: a
+/// cancel is one slot write (O(1)); the heap entry is purged lazily when
+/// it surfaces. Compare per-element throughput at 1k vs 100k to see the
+/// amortized behaviour.
+fn bench_event_queue_cancel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue_cancel");
+    for n in [1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("push_cancel_half_pop", n), &n, |b, &n| {
+            let mut rng = Rng64::seed_from(7);
+            let times: Vec<SimTime> = (0..n)
+                .map(|_| SimTime::from_nanos(rng.gen_range_u64(1_000_000_000)))
+                .collect();
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let keys: Vec<_> = times.iter().map(|&t| q.push(t, 0u64)).collect();
+                // Cancel every other timer — the dominant pattern in the
+                // simulator (timers armed, then disarmed by progress).
+                for key in keys.iter().step_by(2) {
+                    black_box(q.cancel(*key));
+                }
+                let mut sink = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    sink ^= e;
+                }
+                black_box(sink)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_buffer_pool(c: &mut Criterion) {
     let mut g = c.benchmark_group("buffer_pool");
     g.throughput(Throughput::Elements(10_000));
@@ -113,6 +145,7 @@ fn bench_scenario_event_rate(c: &mut Criterion) {
 criterion_group!(
     micro,
     bench_event_queue,
+    bench_event_queue_cancel,
     bench_buffer_pool,
     bench_routing,
     bench_scenario_event_rate

@@ -14,8 +14,9 @@ use crate::params;
 
 /// Fig 4.2 as CSV: `mhs,nar,par,dual,fh`.
 #[must_use]
-pub fn fig4_2_csv() -> String {
-    let series = experiments::buffer_utilization(BufferUtilizationParams::default());
+pub fn fig4_2_csv(threads: usize) -> String {
+    let series =
+        experiments::buffer_utilization(BufferUtilizationParams::default(), threads).series;
     let mut out = String::from("mhs");
     for s in &series {
         let _ = write!(out, ",{}", s.label.to_lowercase());
@@ -34,7 +35,13 @@ pub fn fig4_2_csv() -> String {
 /// Figs 4.3–4.5 as CSV: `handoff,f1_rt,f2_hp,f3_be` for the given scheme.
 #[must_use]
 pub fn qos_csv(scheme: Scheme, capacity: usize) -> String {
-    let r = experiments::qos_drops(scheme, capacity, params::REQUEST, params::HANDOFFS, params::SEED);
+    let r = experiments::qos_drops(
+        scheme,
+        capacity,
+        params::REQUEST,
+        params::HANDOFFS,
+        params::SEED,
+    );
     let mut out = String::from("handoff,f1_rt,f2_hp,f3_be\n");
     for h in 0..r.drops[0].len() {
         let _ = writeln!(
@@ -51,12 +58,13 @@ pub fn qos_csv(scheme: Scheme, capacity: usize) -> String {
 
 /// Fig 4.6 as CSV: `kbps,f1_rt,f2_hp,f3_be`.
 #[must_use]
-pub fn fig4_6_csv() -> String {
+pub fn fig4_6_csv(threads: usize) -> String {
     let r = experiments::rate_sweep(
         &FIG_4_6_RATES,
         params::PROPOSED_CAPACITY,
         params::REQUEST,
         params::SEED,
+        threads,
     );
     let mut out = String::from("kbps,f1_rt,f2_hp,f3_be\n");
     for (i, &rate) in r.rates_kbps.iter().enumerate() {
@@ -115,15 +123,22 @@ pub fn fig4_14_csv() -> String {
     out
 }
 
-/// Resolves a CSV writer by figure id.
+/// Resolves a CSV writer by figure id, fanning sweep points across
+/// `threads` workers (the CSV bytes are identical at any value).
 #[must_use]
-pub fn csv_for(figure: &str) -> Option<String> {
+pub fn csv_for(figure: &str, threads: usize) -> Option<String> {
     match figure {
-        "fig4.2" => Some(fig4_2_csv()),
+        "fig4.2" => Some(fig4_2_csv(threads)),
         "fig4.3" => Some(qos_csv(Scheme::NarOnly, params::FH_CAPACITY)),
-        "fig4.4" => Some(qos_csv(Scheme::Dual { classify: false }, params::PROPOSED_CAPACITY)),
-        "fig4.5" => Some(qos_csv(Scheme::Dual { classify: true }, params::PROPOSED_CAPACITY)),
-        "fig4.6" => Some(fig4_6_csv()),
+        "fig4.4" => Some(qos_csv(
+            Scheme::Dual { classify: false },
+            params::PROPOSED_CAPACITY,
+        )),
+        "fig4.5" => Some(qos_csv(
+            Scheme::Dual { classify: true },
+            params::PROPOSED_CAPACITY,
+        )),
+        "fig4.6" => Some(fig4_6_csv(threads)),
         "fig4.7" => Some(delay_csv(Scheme::NarOnly, params::FH_CAPACITY, 2)),
         "fig4.8" => Some(delay_csv(
             Scheme::Dual { classify: false },
@@ -151,7 +166,7 @@ mod tests {
 
     #[test]
     fn fig4_2_csv_is_well_formed() {
-        let csv = fig4_2_csv();
+        let csv = fig4_2_csv(2);
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some("mhs,nar,par,dual,fh"));
         let first = lines.next().expect("data row");
@@ -161,7 +176,7 @@ mod tests {
 
     #[test]
     fn unknown_figure_yields_none() {
-        assert!(csv_for("fig9.9").is_none());
-        assert!(csv_for("fig4.2").is_some());
+        assert!(csv_for("fig9.9", 1).is_none());
+        assert!(csv_for("fig4.2", 2).is_some());
     }
 }

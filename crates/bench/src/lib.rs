@@ -5,6 +5,13 @@
 //! the series as a plain-text table (the same rows the paper's figures
 //! plot). The `repro` binary prints them; the Criterion benches in
 //! `benches/` time them.
+//!
+//! Every figure function takes a thread count, forwarded to the
+//! deterministic sweep engine ([`fh_scenarios::sweep`]): the rendered
+//! table is bit-identical at any value. Single-run figures ignore it.
+//! Alongside the text, a [`FigureRun`] reports how many simulator events
+//! the figure processed, which the `repro` binary turns into the
+//! events/second column of `BENCH_sweeps.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,7 +22,17 @@ use std::fmt::Write as _;
 
 use fh_core::Scheme;
 use fh_scenarios::experiments::{self, BufferUtilizationParams, FIG_4_6_RATES};
+use fh_scenarios::sweep::parallel_map;
 use fh_sim::SimDuration;
+
+/// One regenerated figure: the rendered table plus run accounting.
+#[derive(Debug, Clone)]
+pub struct FigureRun {
+    /// The plain-text table, exactly as `repro` prints it.
+    pub text: String,
+    /// Total simulator events processed while regenerating the figure.
+    pub events: u64,
+}
 
 /// Parameters shared by the QoS / delay experiments (§4.2.2–4.2.3).
 pub mod params {
@@ -34,27 +51,30 @@ pub mod params {
 
 /// Fig 4.2 — buffer utilization of different handoff mechanisms.
 #[must_use]
-pub fn fig4_2() -> String {
-    let series = experiments::buffer_utilization(BufferUtilizationParams::default());
+pub fn fig4_2(threads: usize) -> FigureRun {
+    let r = experiments::buffer_utilization(BufferUtilizationParams::default(), threads);
     let mut out = String::new();
     let _ = writeln!(
         out,
         "Fig 4.2 — packet drops vs simultaneous handoffs (64 kb/s per host)"
     );
     let _ = write!(out, "{:>5}", "MHs");
-    for s in &series {
+    for s in &r.series {
         let _ = write!(out, "{:>8}", s.label);
     }
     let _ = writeln!(out);
-    let n_points = series[0].points.len();
+    let n_points = r.series[0].points.len();
     for i in 0..n_points {
-        let _ = write!(out, "{:>5}", series[0].points[i].0);
-        for s in &series {
+        let _ = write!(out, "{:>5}", r.series[0].points[i].0);
+        for s in &r.series {
             let _ = write!(out, "{:>8}", s.points[i].1);
         }
         let _ = writeln!(out);
     }
-    out
+    FigureRun {
+        text: out,
+        events: r.events,
+    }
 }
 
 fn render_qos(result: &experiments::QosDropsResult, title: &str) -> String {
@@ -83,7 +103,7 @@ fn render_qos(result: &experiments::QosDropsResult, title: &str) -> String {
 
 /// Fig 4.3 — drops per flow, original fast handover, buffer = 40.
 #[must_use]
-pub fn fig4_3() -> String {
+pub fn fig4_3(_threads: usize) -> FigureRun {
     let r = experiments::qos_drops(
         Scheme::NarOnly,
         params::FH_CAPACITY,
@@ -91,15 +111,18 @@ pub fn fig4_3() -> String {
         params::HANDOFFS,
         params::SEED,
     );
-    render_qos(
-        &r,
-        "Fig 4.3 — cumulative drops, original fast handover (buffer 40)",
-    )
+    FigureRun {
+        text: render_qos(
+            &r,
+            "Fig 4.3 — cumulative drops, original fast handover (buffer 40)",
+        ),
+        events: r.events,
+    }
 }
 
 /// Fig 4.4 — drops per flow, proposed method, classification disabled.
 #[must_use]
-pub fn fig4_4() -> String {
+pub fn fig4_4(_threads: usize) -> FigureRun {
     let r = experiments::qos_drops(
         Scheme::Dual { classify: false },
         params::PROPOSED_CAPACITY,
@@ -107,15 +130,18 @@ pub fn fig4_4() -> String {
         params::HANDOFFS,
         params::SEED,
     );
-    render_qos(
-        &r,
-        "Fig 4.4 — cumulative drops, proposed method (buffer 20, class disabled)",
-    )
+    FigureRun {
+        text: render_qos(
+            &r,
+            "Fig 4.4 — cumulative drops, proposed method (buffer 20, class disabled)",
+        ),
+        events: r.events,
+    }
 }
 
 /// Fig 4.5 — drops per flow, proposed method, classification enabled.
 #[must_use]
-pub fn fig4_5() -> String {
+pub fn fig4_5(_threads: usize) -> FigureRun {
     let r = experiments::qos_drops(
         Scheme::Dual { classify: true },
         params::PROPOSED_CAPACITY,
@@ -123,23 +149,30 @@ pub fn fig4_5() -> String {
         params::HANDOFFS,
         params::SEED,
     );
-    render_qos(
-        &r,
-        "Fig 4.5 — cumulative drops, proposed method (buffer 20, class enabled)",
-    )
+    FigureRun {
+        text: render_qos(
+            &r,
+            "Fig 4.5 — cumulative drops, proposed method (buffer 20, class enabled)",
+        ),
+        events: r.events,
+    }
 }
 
 /// Fig 4.6 — drops vs per-flow data rate, one handoff, proposed method.
 #[must_use]
-pub fn fig4_6() -> String {
+pub fn fig4_6(threads: usize) -> FigureRun {
     let r = experiments::rate_sweep(
         &FIG_4_6_RATES,
         params::PROPOSED_CAPACITY,
         params::REQUEST,
         params::SEED,
+        threads,
     );
     let mut out = String::new();
-    let _ = writeln!(out, "Fig 4.6 — drops vs data rate (one handoff, class enabled)");
+    let _ = writeln!(
+        out,
+        "Fig 4.6 — drops vs data rate (one handoff, class enabled)"
+    );
     let _ = writeln!(
         out,
         "{:>10}{:>10}{:>10}{:>10}",
@@ -152,7 +185,10 @@ pub fn fig4_6() -> String {
             rate, r.drops[0][i], r.drops[1][i], r.drops[2][i]
         );
     }
-    out
+    FigureRun {
+        text: out,
+        events: r.events,
+    }
 }
 
 fn render_delay(r: &experiments::DelayTraceResult, title: &str) -> String {
@@ -188,7 +224,7 @@ fn render_delay(r: &experiments::DelayTraceResult, title: &str) -> String {
 
 /// Fig 4.7 — end-to-end delay, original fast handover (buffer 40).
 #[must_use]
-pub fn fig4_7() -> String {
+pub fn fig4_7(_threads: usize) -> FigureRun {
     let r = experiments::delay_trace(
         Scheme::NarOnly,
         params::FH_CAPACITY,
@@ -196,12 +232,15 @@ pub fn fig4_7() -> String {
         SimDuration::from_millis(2),
         params::SEED,
     );
-    render_delay(&r, "Fig 4.7 — e2e delay, fast handover (buffer 40)")
+    FigureRun {
+        text: render_delay(&r, "Fig 4.7 — e2e delay, fast handover (buffer 40)"),
+        events: r.events,
+    }
 }
 
 /// Fig 4.8 — end-to-end delay, proposed (buffer 20, class disabled).
 #[must_use]
-pub fn fig4_8() -> String {
+pub fn fig4_8(_threads: usize) -> FigureRun {
     let r = experiments::delay_trace(
         Scheme::Dual { classify: false },
         params::PROPOSED_CAPACITY,
@@ -209,12 +248,18 @@ pub fn fig4_8() -> String {
         SimDuration::from_millis(2),
         params::SEED,
     );
-    render_delay(&r, "Fig 4.8 — e2e delay, proposed (buffer 20, class disabled)")
+    FigureRun {
+        text: render_delay(
+            &r,
+            "Fig 4.8 — e2e delay, proposed (buffer 20, class disabled)",
+        ),
+        events: r.events,
+    }
 }
 
 /// Fig 4.9 — delay with classification, PAR↔NAR link delay 2 ms.
 #[must_use]
-pub fn fig4_9() -> String {
+pub fn fig4_9(_threads: usize) -> FigureRun {
     let r = experiments::delay_trace(
         Scheme::Dual { classify: true },
         params::PROPOSED_CAPACITY,
@@ -222,12 +267,15 @@ pub fn fig4_9() -> String {
         SimDuration::from_millis(2),
         params::SEED,
     );
-    render_delay(&r, "Fig 4.9 — e2e delay, proposed + class (AR link 2 ms)")
+    FigureRun {
+        text: render_delay(&r, "Fig 4.9 — e2e delay, proposed + class (AR link 2 ms)"),
+        events: r.events,
+    }
 }
 
 /// Fig 4.10 — delay with classification, PAR↔NAR link delay 50 ms.
 #[must_use]
-pub fn fig4_10() -> String {
+pub fn fig4_10(_threads: usize) -> FigureRun {
     let r = experiments::delay_trace(
         Scheme::Dual { classify: true },
         params::PROPOSED_CAPACITY,
@@ -235,7 +283,10 @@ pub fn fig4_10() -> String {
         SimDuration::from_millis(50),
         params::SEED,
     );
-    render_delay(&r, "Fig 4.10 — e2e delay, proposed + class (AR link 50 ms)")
+    FigureRun {
+        text: render_delay(&r, "Fig 4.10 — e2e delay, proposed + class (AR link 50 ms)"),
+        events: r.events,
+    }
 }
 
 fn render_tcp(r: &experiments::TcpHandoffResult, title: &str) -> String {
@@ -282,25 +333,38 @@ fn render_tcp(r: &experiments::TcpHandoffResult, title: &str) -> String {
 
 /// Fig 4.12 — TCP sequence trace through an L2 handoff, no buffering.
 #[must_use]
-pub fn fig4_12() -> String {
+pub fn fig4_12(_threads: usize) -> FigureRun {
     let r = experiments::tcp_l2_handoff(false, params::SEED);
-    render_tcp(&r, "Fig 4.12 — TCP through L2 handoff (no buffering)")
+    FigureRun {
+        text: render_tcp(&r, "Fig 4.12 — TCP through L2 handoff (no buffering)"),
+        events: r.events,
+    }
 }
 
 /// Fig 4.13 — TCP sequence trace through an L2 handoff, proposed method.
 #[must_use]
-pub fn fig4_13() -> String {
+pub fn fig4_13(_threads: usize) -> FigureRun {
     let r = experiments::tcp_l2_handoff(true, params::SEED);
-    render_tcp(&r, "Fig 4.13 — TCP through L2 handoff (proposed method)")
+    FigureRun {
+        text: render_tcp(&r, "Fig 4.13 — TCP through L2 handoff (proposed method)"),
+        events: r.events,
+    }
 }
 
-/// Fig 4.14 — TCP throughput during the L2 handoff, both runs.
+/// Fig 4.14 — TCP throughput during the L2 handoff, both runs (fanned
+/// across the worker pool — they are independent simulations).
 #[must_use]
-pub fn fig4_14() -> String {
-    let with = experiments::tcp_l2_handoff(true, params::SEED);
-    let without = experiments::tcp_l2_handoff(false, params::SEED);
+pub fn fig4_14(threads: usize) -> FigureRun {
+    let mut runs = parallel_map(threads, &[true, false], |_, &buffering| {
+        experiments::tcp_l2_handoff(buffering, params::SEED)
+    });
+    let without = runs.pop().expect("two runs");
+    let with = runs.pop().expect("two runs");
     let mut out = String::new();
-    let _ = writeln!(out, "Fig 4.14 — TCP throughput during L2 handoff (Mbit/s per 100 ms)");
+    let _ = writeln!(
+        out,
+        "Fig 4.14 — TCP throughput during L2 handoff (Mbit/s per 100 ms)"
+    );
     let _ = writeln!(out, "{:>8}{:>10}{:>10}", "t (s)", "buffer", "none");
     let lo = with.blackout.map_or(2.0, |(d, _)| d - 0.5);
     for (i, &(t, mbps)) in with.throughput.iter().enumerate() {
@@ -315,13 +379,16 @@ pub fn fig4_14() -> String {
         "totals: {} bytes (buffer) vs {} bytes (none)",
         with.bytes_delivered, without.bytes_delivered
     );
-    out
+    FigureRun {
+        text: out,
+        events: with.events + without.events,
+    }
 }
 
 /// Ablation — best-effort admission threshold `a`.
 #[must_use]
-pub fn ablation_threshold() -> String {
-    let r = experiments::threshold_sweep(&[0, 1, 2, 4, 8, 12, 16, 19], params::SEED);
+pub fn ablation_threshold(threads: usize) -> FigureRun {
+    let r = experiments::threshold_sweep(&[0, 1, 2, 4, 8, 12, 16, 19], params::SEED, threads);
     let mut out = String::new();
     let _ = writeln!(out, "Ablation — threshold a (case 1c/3c admission)");
     let _ = writeln!(out, "{:>5}{:>10}{:>10}", "a", "BE drops", "HP drops");
@@ -332,13 +399,16 @@ pub fn ablation_threshold() -> String {
             a, r.best_effort_drops[i], r.high_priority_drops[i]
         );
     }
-    out
+    FigureRun {
+        text: out,
+        events: r.events,
+    }
 }
 
 /// Ablation — black-out duration (60–400 ms measured 802.11 range).
 #[must_use]
-pub fn ablation_blackout() -> String {
-    let r = experiments::blackout_sweep(&[60, 100, 200, 300, 400], params::SEED);
+pub fn ablation_blackout(threads: usize) -> FigureRun {
+    let r = experiments::blackout_sweep(&[60, 100, 200, 300, 400], params::SEED, threads);
     let mut out = String::new();
     let _ = writeln!(out, "Ablation — L2 black-out duration vs total drops");
     let _ = writeln!(out, "{:>8}{:>12}{:>12}", "ms", "proposed", "no buffer");
@@ -349,16 +419,23 @@ pub fn ablation_blackout() -> String {
             ms, r.with_buffering[i], r.without_buffering[i]
         );
     }
-    out
+    FigureRun {
+        text: out,
+        events: r.events,
+    }
 }
 
 /// Ablation — per-packet flush processing cost (§4.2.3 observation).
 #[must_use]
-pub fn ablation_pacing() -> String {
-    let r = experiments::flush_pacing_sweep(&[0, 500, 1_000, 2_000, 5_000], params::SEED);
+pub fn ablation_pacing(threads: usize) -> FigureRun {
+    let r = experiments::flush_pacing_sweep(&[0, 500, 1_000, 2_000, 5_000], params::SEED, threads);
     let mut out = String::new();
     let _ = writeln!(out, "Ablation — flush pacing vs worst-case delay (HP flow)");
-    let _ = writeln!(out, "{:>12}{:>14}{:>10}", "spacing (us)", "p99 delay ms", "losses");
+    let _ = writeln!(
+        out,
+        "{:>12}{:>14}{:>10}",
+        "spacing (us)", "p99 delay ms", "losses"
+    );
     for (i, &us) in r.spacing_us.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -366,13 +443,16 @@ pub fn ablation_pacing() -> String {
             us, r.p99_delay_ms[i], r.hp_losses[i]
         );
     }
-    out
+    FigureRun {
+        text: out,
+        events: r.events,
+    }
 }
 
 /// Ablation — handover quality while a neighbor saturates the cell.
 #[must_use]
-pub fn ablation_background() -> String {
-    let r = experiments::background_load(&[64.0, 256.0, 512.0, 1024.0], params::SEED);
+pub fn ablation_background(threads: usize) -> FigureRun {
+    let r = experiments::background_load(&[64.0, 256.0, 512.0, 1024.0], params::SEED, threads);
     let mut out = String::new();
     let _ = writeln!(out, "Ablation — background cell load vs handover quality");
     let _ = writeln!(
@@ -387,12 +467,15 @@ pub fn ablation_background() -> String {
             k, r.hp_losses[i], r.hp_p99_ms[i], r.bg_losses[i]
         );
     }
-    out
+    FigureRun {
+        text: out,
+        events: r.events,
+    }
 }
 
 /// Ablation — signaling accounting for one proposed-scheme handover.
 #[must_use]
-pub fn ablation_signaling() -> String {
+pub fn ablation_signaling(_threads: usize) -> FigureRun {
     let r = experiments::signaling_overhead(params::SEED);
     let mut out = String::new();
     let _ = writeln!(out, "Signaling — control messages for one handover (§3.3)");
@@ -406,5 +489,8 @@ pub fn ablation_signaling() -> String {
         "total={} piggybacked={} control_bytes={}",
         r.total, r.piggybacked, r.control_bytes
     );
-    out
+    FigureRun {
+        text: out,
+        events: r.events,
+    }
 }

@@ -2,27 +2,89 @@
 //!
 //! ```sh
 //! cargo run -p fh-bench --bin repro --release                   # everything
+//! cargo run -p fh-bench --bin repro --release -- --threads 4    # parallel
 //! cargo run -p fh-bench --bin repro --release -- fig4.2         # one figure
 //! cargo run -p fh-bench --bin repro --release -- --csv fig4.2   # CSV series
 //! ```
+//!
+//! `--threads N` sizes the deterministic sweep worker pool (0 = one per
+//! core, default 1). Figures fan out across the pool and each sweep
+//! figure additionally fans its grid points, so stdout is **byte-identical
+//! at any thread count** — results are printed in figure order after all
+//! runs complete. A full (unfiltered) table run also writes
+//! `BENCH_sweeps.json`: per-figure wall time, simulator events, and
+//! events/second, plus the thread count, for machine consumption.
 
 use std::env;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
 
-type Figure = (&'static str, fn() -> String);
+use fh_scenarios::sweep::{parallel_map, resolve_threads};
 
-fn main() {
+type FigureFn = fn(usize) -> fh_bench::FigureRun;
+
+/// Per-figure measurement destined for `BENCH_sweeps.json`.
+struct Timing {
+    name: &'static str,
+    wall_s: f64,
+    events: u64,
+}
+
+fn render_json(threads: usize, total_wall_s: f64, timings: &[Timing]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"total_wall_s\": {total_wall_s:.3},");
+    let total_events: u64 = timings.iter().map(|t| t.events).sum();
+    let _ = writeln!(out, "  \"total_events\": {total_events},");
+    let _ = writeln!(
+        out,
+        "  \"total_events_per_sec\": {:.0},",
+        total_events as f64 / total_wall_s.max(1e-9)
+    );
+    let _ = writeln!(out, "  \"figures\": [");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}{comma}",
+            t.name,
+            t.wall_s,
+            t.events,
+            t.events as f64 / t.wall_s.max(1e-9)
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
     let mut filters: Vec<String> = env::args().skip(1).collect();
+
+    let mut threads = 1usize;
+    if let Some(pos) = filters.iter().position(|a| a == "--threads") {
+        filters.remove(pos);
+        let Some(n) = filters.get(pos).and_then(|v| v.parse().ok()) else {
+            eprintln!("--threads needs a number (0 = one per core)");
+            return ExitCode::FAILURE;
+        };
+        threads = n;
+        filters.remove(pos);
+    }
+    let threads = resolve_threads(threads);
+
     if filters.first().map(String::as_str) == Some("--csv") {
         filters.remove(0);
         for figure in &filters {
-            match fh_bench::csv::csv_for(figure) {
+            match fh_bench::csv::csv_for(figure, threads) {
                 Some(csv) => print!("{csv}"),
                 None => eprintln!("no CSV writer for {figure}"),
             }
         }
-        return;
+        return ExitCode::SUCCESS;
     }
-    let figures: Vec<Figure> = vec![
+
+    let figures: Vec<(&'static str, FigureFn)> = vec![
         ("fig4.2", fh_bench::fig4_2),
         ("fig4.3", fh_bench::fig4_3),
         ("fig4.4", fh_bench::fig4_4),
@@ -41,11 +103,40 @@ fn main() {
         ("blackout", fh_bench::ablation_blackout),
         ("signaling", fh_bench::ablation_signaling),
     ];
-    for (name, f) in figures {
-        if !filters.is_empty() && !filters.iter().any(|x| name.contains(x.as_str())) {
-            continue;
-        }
-        println!("==== {name} ====");
-        println!("{}", f());
+    let all = filters.is_empty();
+    let selected: Vec<(&'static str, FigureFn)> = figures
+        .into_iter()
+        .filter(|(name, _)| all || filters.iter().any(|x| name.contains(x.as_str())))
+        .collect();
+
+    // Figure-level fan-out: independent figures run concurrently on the
+    // same pool size as their internal point fan-out. Output is collected
+    // and printed in figure order, so stdout does not depend on `threads`.
+    let t0 = Instant::now();
+    let runs = parallel_map(threads, &selected, |_, &(name, f)| {
+        let start = Instant::now();
+        let run = f(threads);
+        let timing = Timing {
+            name,
+            wall_s: start.elapsed().as_secs_f64(),
+            events: run.events,
+        };
+        (timing, run.text)
+    });
+    let total_wall_s = t0.elapsed().as_secs_f64();
+
+    for (timing, text) in &runs {
+        println!("==== {} ====", timing.name);
+        println!("{text}");
     }
+
+    if all {
+        let timings: Vec<Timing> = runs.into_iter().map(|(t, _)| t).collect();
+        let json = render_json(threads, total_wall_s, &timings);
+        match std::fs::write("BENCH_sweeps.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_sweeps.json ({threads} threads, {total_wall_s:.1}s)"),
+            Err(e) => eprintln!("could not write BENCH_sweeps.json: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
 }

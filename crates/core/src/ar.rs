@@ -27,13 +27,15 @@ use fh_sim::SimDuration;
 
 use fh_net::{
     msg::{AckStatus, AuthToken, BufferAck, BufferInit, BufferRequest},
-    send_from, transmit_on, ApId, ControlMsg, DropReason, LinkId, NetCtx, NetMsg, NodeId,
-    Packet, Payload, Prefix, ServiceClass, TimerKind,
+    send_from, transmit_on, ApId, ControlMsg, DropReason, LinkId, NetCtx, NetMsg, NodeId, Packet,
+    Payload, Prefix, ServiceClass, TimerKind,
 };
 use fh_wireless::{send_downlink, RadioWorld};
 
 use crate::buffer::{AdmissionLimit, BufferPool};
-use crate::policy::{nar_action, nar_overflow, par_action, AvailabilityCase, NarAction, NarOverflow, ParAction};
+use crate::policy::{
+    nar_action, nar_overflow, par_action, AvailabilityCase, NarAction, NarOverflow, ParAction,
+};
 use crate::scheme::ProtocolConfig;
 
 /// Counters an access router keeps about its protocol activity.
@@ -302,7 +304,12 @@ impl ArAgent {
         }
     }
 
-    fn expire_session<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr, token: u64) {
+    fn expire_session<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        pcoa: Ipv6Addr,
+        token: u64,
+    ) {
         let par_match = self
             .par_sessions
             .get(&pcoa)
@@ -338,7 +345,8 @@ impl ArAgent {
             let mhs = ctx.shared.radio().attached_mhs(ap);
             for mh in mhs {
                 fh_net::record_control(ctx, &ra);
-                let pkt = Packet::control(self.addr, self.prefix.host(0xffff), ra.clone(), ctx.now());
+                let pkt =
+                    Packet::control(self.addr, self.prefix.host(0xffff), ra.clone(), ctx.now());
                 send_downlink(ctx, ap, mh, pkt);
             }
         }
@@ -350,7 +358,8 @@ impl ArAgent {
 
     fn handle_uplink<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, from: NodeId, pkt: Packet) {
         if pkt.dst == self.addr {
-            if let Payload::Control(msg) = pkt.payload.clone() {
+            if let Payload::Control(msg) = &pkt.payload {
+                let msg = (**msg).clone();
                 self.handle_mh_control(ctx, from, pkt.src, msg);
                 return;
             }
@@ -723,7 +732,7 @@ impl ArAgent {
                     // Tunnel terminates here: NAR-side processing.
                     self.on_tunneled(ctx, *inner);
                 }
-                Payload::Control(msg) => self.on_wired_control(ctx, pkt.src, msg),
+                Payload::Control(msg) => self.on_wired_control(ctx, pkt.src, *msg),
                 _ => {}
             }
             return;
@@ -806,7 +815,9 @@ impl ArAgent {
             0
         };
         self.metrics.nar_sessions += 1;
-        let lifetime = br.as_ref().map_or(self.config.reservation_lifetime, |b| b.lifetime);
+        let lifetime = br
+            .as_ref()
+            .map_or(self.config.reservation_lifetime, |b| b.lifetime);
         let lifetime_token = self.fresh_token(pcoa);
         if !lifetime.is_zero() && lifetime != SimDuration::MAX {
             ctx.send_self(
@@ -855,10 +866,8 @@ impl ArAgent {
         };
         let nar_granted = ba.map_or(0, |b| b.nar_granted);
         let par_granted = self.pool.granted(pcoa);
-        sess.case = AvailabilityCase::from_grants(
-            status.is_accepted() && nar_granted > 0,
-            par_granted > 0,
-        );
+        sess.case =
+            AvailabilityCase::from_grants(status.is_accepted() && nar_granted > 0, par_granted > 0);
         self.metrics.case_counts[case_index(sess.case)] += 1;
         if sess.state == ParState::AwaitHAck {
             sess.state = ParState::Ready;
@@ -1121,7 +1130,12 @@ impl ArAgent {
         );
     }
 
-    fn flush_one<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, target: FlushTarget, pkt: Packet) {
+    fn flush_one<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        target: FlushTarget,
+        pkt: Packet,
+    ) {
         match target {
             FlushTarget::Tunnel(nar) => {
                 let outer = pkt.encapsulate(self.addr, nar);

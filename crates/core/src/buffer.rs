@@ -383,10 +383,25 @@ mod tests {
     fn grant_admission_respects_session_cap() {
         let mut pool = BufferPool::new(10);
         pool.grant(key(1), 2);
-        assert!(pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, 0), AdmissionLimit::Grant).is_ok());
-        assert!(pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, 1), AdmissionLimit::Grant).is_ok());
-        let rejected =
-            pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, 2), AdmissionLimit::Grant);
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::HighPriority, 0),
+                AdmissionLimit::Grant
+            )
+            .is_ok());
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::HighPriority, 1),
+                AdmissionLimit::Grant
+            )
+            .is_ok());
+        let rejected = pool.try_buffer(
+            key(1),
+            pkt(ServiceClass::HighPriority, 2),
+            AdmissionLimit::Grant,
+        );
         assert!(rejected.is_err());
         assert_eq!(rejected.unwrap_err().seq, 2);
         assert_eq!(pool.session_len(key(1)), 2);
@@ -401,12 +416,21 @@ mod tests {
         // a = 2: admit while free > 2, i.e. first 3 packets (free 5,4,3).
         for seq in 0..3 {
             assert!(
-                pool.try_buffer(key(1), pkt(ServiceClass::BestEffort, seq), AdmissionLimit::Threshold(2)).is_ok(),
+                pool.try_buffer(
+                    key(1),
+                    pkt(ServiceClass::BestEffort, seq),
+                    AdmissionLimit::Threshold(2)
+                )
+                .is_ok(),
                 "seq {seq}"
             );
         }
         assert!(pool
-            .try_buffer(key(1), pkt(ServiceClass::BestEffort, 3), AdmissionLimit::Threshold(2))
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::BestEffort, 3),
+                AdmissionLimit::Threshold(2)
+            )
             .is_err());
         assert_eq!(pool.used(), 3);
     }
@@ -417,11 +441,21 @@ mod tests {
         pool.grant(key(1), 3);
         pool.open_unreserved(key(2));
         for seq in 0..3 {
-            assert!(pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, seq), AdmissionLimit::Grant).is_ok());
+            assert!(pool
+                .try_buffer(
+                    key(1),
+                    pkt(ServiceClass::HighPriority, seq),
+                    AdmissionLimit::Grant
+                )
+                .is_ok());
         }
         // Pool is full: even PoolOnly admission fails for the other session.
         assert!(pool
-            .try_buffer(key(2), pkt(ServiceClass::BestEffort, 0), AdmissionLimit::PoolOnly)
+            .try_buffer(
+                key(2),
+                pkt(ServiceClass::BestEffort, 0),
+                AdmissionLimit::PoolOnly
+            )
             .is_err());
         assert_eq!(pool.free_space(), 0);
     }
@@ -445,7 +479,10 @@ mod tests {
         assert_eq!(pool.session_len(key(1)), 3);
         assert_eq!(pool.stats.evicted_realtime, 1);
         let drained = pool.drain(key(1));
-        assert_eq!(drained.iter().map(|p| p.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            drained.iter().map(|p| p.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]
@@ -453,10 +490,18 @@ mod tests {
         let mut pool = BufferPool::new(10);
         pool.grant(key(1), 2);
         assert!(pool
-            .try_buffer(key(1), pkt(ServiceClass::HighPriority, 0), AdmissionLimit::Grant)
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::HighPriority, 0),
+                AdmissionLimit::Grant
+            )
             .is_ok());
         assert!(pool
-            .try_buffer(key(1), pkt(ServiceClass::HighPriority, 1), AdmissionLimit::Grant)
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::HighPriority, 1),
+                AdmissionLimit::Grant
+            )
             .is_ok());
         // No RT packet to evict: the incoming RT packet bounces.
         let err = pool.buffer_realtime_dropfront(key(1), pkt(ServiceClass::RealTime, 9));
@@ -469,15 +514,23 @@ mod tests {
         let mut pool = BufferPool::new(10);
         pool.grant(key(1), 5);
         for seq in 0..4 {
-            pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, seq), AdmissionLimit::Grant)
-                .unwrap();
+            pool.try_buffer(
+                key(1),
+                pkt(ServiceClass::HighPriority, seq),
+                AdmissionLimit::Grant,
+            )
+            .unwrap();
         }
         let first = pool.drain(key(1));
         assert_eq!(first.len(), 4);
         assert!(pool.has_session(key(1)));
         assert_eq!(pool.used(), 0);
-        pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, 9), AdmissionLimit::Grant)
-            .unwrap();
+        pool.try_buffer(
+            key(1),
+            pkt(ServiceClass::HighPriority, 9),
+            AdmissionLimit::Grant,
+        )
+        .unwrap();
         let rest = pool.release(key(1));
         assert_eq!(rest.len(), 1);
         assert!(!pool.has_session(key(1)));
@@ -490,8 +543,12 @@ mod tests {
         let mut pool = BufferPool::new(10);
         pool.grant(key(1), 5);
         for seq in 0..3 {
-            pool.try_buffer(key(1), pkt(ServiceClass::BestEffort, seq), AdmissionLimit::Grant)
-                .unwrap();
+            pool.try_buffer(
+                key(1),
+                pkt(ServiceClass::BestEffort, seq),
+                AdmissionLimit::Grant,
+            )
+            .unwrap();
         }
         assert_eq!(pool.expire(key(1)).len(), 3);
         assert_eq!(pool.stats.expired, 3);
@@ -503,9 +560,15 @@ mod tests {
     fn unknown_session_rejects() {
         let mut pool = BufferPool::new(10);
         assert!(pool
-            .try_buffer(key(9), pkt(ServiceClass::HighPriority, 0), AdmissionLimit::PoolOnly)
+            .try_buffer(
+                key(9),
+                pkt(ServiceClass::HighPriority, 0),
+                AdmissionLimit::PoolOnly
+            )
             .is_err());
-        assert!(pool.buffer_realtime_dropfront(key(9), pkt(ServiceClass::RealTime, 0)).is_err());
+        assert!(pool
+            .buffer_realtime_dropfront(key(9), pkt(ServiceClass::RealTime, 0))
+            .is_err());
         assert!(pool.drain(key(9)).is_empty());
         assert!(pool.release(key(9)).is_empty());
     }
@@ -580,7 +643,15 @@ mod per_class_tests {
     }
 
     fn pkt(class: ServiceClass, seq: u64) -> Packet {
-        Packet::data(FlowId(1), seq, key(100), key(200), class, 160, SimTime::ZERO)
+        Packet::data(
+            FlowId(1),
+            seq,
+            key(100),
+            key(200),
+            class,
+            160,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -600,23 +671,60 @@ mod per_class_tests {
         let granted = pool.grant_per_class(key(1), [2, 3, 1]);
         assert_eq!(granted, [2, 3, 1]);
         // RT may take exactly 2 slots even though the session grant is 6.
-        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 0), AdmissionLimit::Grant).is_ok());
-        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 1), AdmissionLimit::Grant).is_ok());
-        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 2), AdmissionLimit::Grant).is_err());
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::RealTime, 0),
+                AdmissionLimit::Grant
+            )
+            .is_ok());
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::RealTime, 1),
+                AdmissionLimit::Grant
+            )
+            .is_ok());
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::RealTime, 2),
+                AdmissionLimit::Grant
+            )
+            .is_err());
         // HP's share is untouched by the RT flood.
         for seq in 10..13 {
             assert!(
-                pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, seq), AdmissionLimit::Grant).is_ok(),
+                pool.try_buffer(
+                    key(1),
+                    pkt(ServiceClass::HighPriority, seq),
+                    AdmissionLimit::Grant
+                )
+                .is_ok(),
                 "HP seq {seq} must fit"
             );
         }
         assert!(pool
-            .try_buffer(key(1), pkt(ServiceClass::HighPriority, 13), AdmissionLimit::Grant)
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::HighPriority, 13),
+                AdmissionLimit::Grant
+            )
             .is_err());
         // BE gets its single slot; unspecified folds into BE and is now out.
-        assert!(pool.try_buffer(key(1), pkt(ServiceClass::BestEffort, 20), AdmissionLimit::Grant).is_ok());
         assert!(pool
-            .try_buffer(key(1), pkt(ServiceClass::Unspecified, 21), AdmissionLimit::Grant)
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::BestEffort, 20),
+                AdmissionLimit::Grant
+            )
+            .is_ok());
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::Unspecified, 21),
+                AdmissionLimit::Grant
+            )
             .is_err());
     }
 
@@ -624,22 +732,58 @@ mod per_class_tests {
     fn class_shares_recover_after_flush() {
         let mut pool = BufferPool::new(10);
         pool.grant_per_class(key(1), [1, 1, 1]);
-        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 0), AdmissionLimit::Grant).is_ok());
-        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 1), AdmissionLimit::Grant).is_err());
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::RealTime, 0),
+                AdmissionLimit::Grant
+            )
+            .is_ok());
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::RealTime, 1),
+                AdmissionLimit::Grant
+            )
+            .is_err());
         let _ = pool.pop_front(key(1));
-        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 2), AdmissionLimit::Grant).is_ok());
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::RealTime, 2),
+                AdmissionLimit::Grant
+            )
+            .is_ok());
         let _ = pool.drain(key(1));
-        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 3), AdmissionLimit::Grant).is_ok());
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::RealTime, 3),
+                AdmissionLimit::Grant
+            )
+            .is_ok());
     }
 
     #[test]
     fn dropfront_respects_the_rt_share() {
         let mut pool = BufferPool::new(10);
         pool.grant_per_class(key(1), [2, 2, 0]);
-        assert!(pool.buffer_realtime_dropfront(key(1), pkt(ServiceClass::RealTime, 0)).unwrap().is_none());
-        assert!(pool.buffer_realtime_dropfront(key(1), pkt(ServiceClass::RealTime, 1)).unwrap().is_none());
+        assert!(pool
+            .buffer_realtime_dropfront(key(1), pkt(ServiceClass::RealTime, 0))
+            .unwrap()
+            .is_none());
+        assert!(pool
+            .buffer_realtime_dropfront(key(1), pkt(ServiceClass::RealTime, 1))
+            .unwrap()
+            .is_none());
         // Share full: the next RT evicts the oldest RT, never an HP packet.
-        assert!(pool.try_buffer(key(1), pkt(ServiceClass::HighPriority, 5), AdmissionLimit::Grant).is_ok());
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::HighPriority, 5),
+                AdmissionLimit::Grant
+            )
+            .is_ok());
         let evicted = pool
             .buffer_realtime_dropfront(key(1), pkt(ServiceClass::RealTime, 2))
             .unwrap()
@@ -655,8 +799,20 @@ mod per_class_tests {
         pool.grant(key(1), 5);
         // Back to a class-blind session cap of 5.
         for seq in 0..5 {
-            assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, seq), AdmissionLimit::Grant).is_ok());
+            assert!(pool
+                .try_buffer(
+                    key(1),
+                    pkt(ServiceClass::RealTime, seq),
+                    AdmissionLimit::Grant
+                )
+                .is_ok());
         }
-        assert!(pool.try_buffer(key(1), pkt(ServiceClass::RealTime, 5), AdmissionLimit::Grant).is_err());
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::RealTime, 5),
+                AdmissionLimit::Grant
+            )
+            .is_err());
     }
 }

@@ -21,11 +21,11 @@ use std::net::Ipv6Addr;
 
 use fh_sim::{SimDuration, SimTime};
 
+use fh_mip::MipClient;
 use fh_net::{
     msg::{AuthToken, BufferInit},
     ApId, ControlMsg, L2Event, NetCtx, NetMsg, NodeId, Packet, Payload, Prefix, TimerKind,
 };
-use fh_mip::MipClient;
 use fh_wireless::{send_uplink, MhRadio, RadioWorld};
 
 use crate::scheme::ProtocolConfig;
@@ -219,7 +219,11 @@ impl MhAgent {
 
     /// Handles one simulator event. Application-bound packets (UDP/TCP
     /// payloads that survived decapsulation) are returned to the caller.
-    pub fn handle<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, msg: NetMsg) -> Option<Packet> {
+    pub fn handle<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        msg: NetMsg,
+    ) -> Option<Packet> {
         match msg {
             NetMsg::Start => {
                 self.radio.start(ctx);
@@ -312,8 +316,7 @@ impl MhAgent {
                 // Adopt the new address and update the MAP binding.
                 self.mip.set_lcoa(p.ncoa);
                 let bu = self.mip.make_map_bu(ctx.now());
-                fh_net::record_control(ctx, bu.as_control().expect("binding update is control"),
-                );
+                fh_net::record_control(ctx, bu.as_control().expect("binding update is control"));
                 let node = self.node;
                 let _ = send_uplink(ctx, node, bu);
                 return;
@@ -332,8 +335,7 @@ impl MhAgent {
                 };
                 self.send_control_up(ctx, lcoa, att.router, fna);
                 let bu = self.mip.make_map_bu(ctx.now());
-                fh_net::record_control(ctx, bu.as_control().expect("binding update is control"),
-                );
+                fh_net::record_control(ctx, bu.as_control().expect("binding update is control"));
                 let node = self.node;
                 let _ = send_uplink(ctx, node, bu);
                 // Hosts with a real home (home address distinct from the
@@ -375,7 +377,7 @@ impl MhAgent {
         };
         match &pkt.payload {
             Payload::Control(msg) => {
-                let msg = msg.clone();
+                let msg = (**msg).clone();
                 self.on_control(ctx, pkt.src, msg);
                 None
             }
@@ -433,7 +435,11 @@ impl MhAgent {
         self.log.push((ctx.now(), HandoffPhase::AdvReceived));
         let intra = nar_addr == att.router;
         let pcoa = self.mip.lcoa().expect("attached host has an LCoA");
-        let ncoa = if intra { pcoa } else { nar_prefix.host(self.iid) };
+        let ncoa = if intra {
+            pcoa
+        } else {
+            nar_prefix.host(self.iid)
+        };
         self.pending = Some(PendingHandoff {
             target_ap,
             nar_addr,
@@ -484,11 +490,7 @@ impl MhAgent {
         match self.current {
             Some(att) if att.prefix == prefix => {
                 // Periodic RA from the current network: refresh router info.
-                self.current = Some(Attachment {
-                    ap,
-                    router,
-                    prefix,
-                });
+                self.current = Some(Attachment { ap, router, prefix });
                 self.adopt_map_if_new(ctx, map);
             }
             _ => {
@@ -514,8 +516,7 @@ impl MhAgent {
                 }
                 self.mip.set_lcoa(ncoa);
                 let bu = self.mip.make_map_bu(ctx.now());
-                fh_net::record_control(ctx, bu.as_control().expect("binding update is control"),
-                );
+                fh_net::record_control(ctx, bu.as_control().expect("binding update is control"));
                 let node = self.node;
                 let _ = send_uplink(ctx, node, bu);
                 self.handoffs += 1;

@@ -166,14 +166,10 @@ pub fn par_action(
                 (AvailabilityCase::BothAvailable, _) => ParAction::BufferLocal,
                 // Case 2: NAR yes, PAR no.
                 (AvailabilityCase::NarOnly, ServiceClass::RealTime) => ParAction::TunnelBuffer,
-                (AvailabilityCase::NarOnly, ServiceClass::HighPriority) => {
-                    ParAction::TunnelBuffer
-                }
+                (AvailabilityCase::NarOnly, ServiceClass::HighPriority) => ParAction::TunnelBuffer,
                 (AvailabilityCase::NarOnly, _) => ParAction::TunnelUnbuffered,
                 // Case 3: NAR no, PAR yes.
-                (AvailabilityCase::ParOnly, ServiceClass::RealTime) => {
-                    ParAction::TunnelUnbuffered
-                }
+                (AvailabilityCase::ParOnly, ServiceClass::RealTime) => ParAction::TunnelUnbuffered,
                 (AvailabilityCase::ParOnly, _) => ParAction::BufferLocal,
                 // Case 4: NAR no, PAR no.
                 (AvailabilityCase::NoneAvailable, ServiceClass::RealTime)
@@ -239,7 +235,10 @@ mod tests {
     /// The full Table 3.3, row by row.
     #[test]
     fn table_3_3_case_1() {
-        assert_eq!(par_action(PROPOSED, BothAvailable, RealTime, false), ParAction::TunnelBuffer);
+        assert_eq!(
+            par_action(PROPOSED, BothAvailable, RealTime, false),
+            ParAction::TunnelBuffer
+        );
         assert_eq!(
             par_action(PROPOSED, BothAvailable, HighPriority, false),
             ParAction::TunnelBuffer
@@ -257,7 +256,10 @@ mod tests {
 
     #[test]
     fn table_3_3_case_2() {
-        assert_eq!(par_action(PROPOSED, NarOnly, RealTime, false), ParAction::TunnelBuffer);
+        assert_eq!(
+            par_action(PROPOSED, NarOnly, RealTime, false),
+            ParAction::TunnelBuffer
+        );
         assert_eq!(
             par_action(PROPOSED, NarOnly, HighPriority, false),
             ParAction::TunnelBuffer
@@ -294,7 +296,10 @@ mod tests {
             par_action(PROPOSED, NoneAvailable, HighPriority, false),
             ParAction::TunnelUnbuffered
         );
-        assert_eq!(par_action(PROPOSED, NoneAvailable, BestEffort, false), ParAction::Drop);
+        assert_eq!(
+            par_action(PROPOSED, NoneAvailable, BestEffort, false),
+            ParAction::Drop
+        );
     }
 
     #[test]
@@ -321,10 +326,16 @@ mod tests {
     #[test]
     fn nar_buffers_rt_and_hp_when_granted() {
         for class in [RealTime, HighPriority] {
-            assert_eq!(nar_action(PROPOSED, BothAvailable, class), NarAction::Buffer);
+            assert_eq!(
+                nar_action(PROPOSED, BothAvailable, class),
+                NarAction::Buffer
+            );
             assert_eq!(nar_action(PROPOSED, NarOnly, class), NarAction::Buffer);
             assert_eq!(nar_action(PROPOSED, ParOnly, class), NarAction::Deliver);
-            assert_eq!(nar_action(PROPOSED, NoneAvailable, class), NarAction::Deliver);
+            assert_eq!(
+                nar_action(PROPOSED, NoneAvailable, class),
+                NarAction::Deliver
+            );
         }
     }
 
@@ -355,7 +366,12 @@ mod tests {
 
     #[test]
     fn baselines_are_class_blind() {
-        for scheme in [Scheme::NoBuffer, Scheme::NarOnly, Scheme::ParOnly, Scheme::Dual { classify: false }] {
+        for scheme in [
+            Scheme::NoBuffer,
+            Scheme::NarOnly,
+            Scheme::ParOnly,
+            Scheme::Dual { classify: false },
+        ] {
             for case in [BothAvailable, NarOnly, ParOnly, NoneAvailable] {
                 for full in [false, true] {
                     let reference = par_action(scheme, case, RealTime, full);
@@ -382,8 +398,14 @@ mod tests {
             par_action(Scheme::NarOnly, NoneAvailable, BestEffort, false),
             ParAction::TunnelUnbuffered
         );
-        assert_eq!(nar_overflow(Scheme::NarOnly, RealTime), NarOverflow::TailDrop);
-        assert_eq!(nar_action(Scheme::NarOnly, BothAvailable, BestEffort), NarAction::Buffer);
+        assert_eq!(
+            nar_overflow(Scheme::NarOnly, RealTime),
+            NarOverflow::TailDrop
+        );
+        assert_eq!(
+            nar_action(Scheme::NarOnly, BothAvailable, BestEffort),
+            NarAction::Buffer
+        );
     }
 
     #[test]
@@ -401,7 +423,10 @@ mod tests {
 
     #[test]
     fn overflow_reactions_follow_class() {
-        assert_eq!(nar_overflow(PROPOSED, RealTime), NarOverflow::DropOldestRealtime);
+        assert_eq!(
+            nar_overflow(PROPOSED, RealTime),
+            NarOverflow::DropOldestRealtime
+        );
         assert_eq!(nar_overflow(PROPOSED, HighPriority), NarOverflow::NotifyPar);
         assert_eq!(nar_overflow(PROPOSED, BestEffort), NarOverflow::TailDrop);
         assert_eq!(nar_overflow(PROPOSED, Unspecified), NarOverflow::TailDrop);
@@ -419,7 +444,10 @@ mod tests {
                     par_action(Scheme::NoBuffer, case, class, false),
                     ParAction::TunnelUnbuffered
                 );
-                assert_eq!(nar_action(Scheme::NoBuffer, case, class), NarAction::Deliver);
+                assert_eq!(
+                    nar_action(Scheme::NoBuffer, case, class),
+                    NarAction::Deliver
+                );
             }
         }
     }

@@ -99,21 +99,34 @@ impl Rig {
             agent: None,
             delivered: vec![],
         }));
-        let par_ap = sim
-            .shared
-            .radio
-            .add_ap(par, Position::new(0.0, 0.0), 112.0);
+        let par_ap = sim.shared.radio.add_ap(par, Position::new(0.0, 0.0), 112.0);
         let nar_ap = sim
             .shared
             .radio
             .add_ap(nar, Position::new(212.0, 0.0), 112.0);
         {
-            let mut agent = ArAgent::new(par, par_addr, par_prefix, vec![par_ap], par_addr, config, capacity);
+            let mut agent = ArAgent::new(
+                par,
+                par_addr,
+                par_prefix,
+                vec![par_ap],
+                par_addr,
+                config,
+                capacity,
+            );
             agent.learn_ap(nar_ap, nar_addr);
             sim.actor_mut::<ArHost>(par).expect("par").agent = Some(agent);
         }
         {
-            let mut agent = ArAgent::new(nar, nar_addr, nar_prefix, vec![nar_ap], nar_addr, config, capacity);
+            let mut agent = ArAgent::new(
+                nar,
+                nar_addr,
+                nar_prefix,
+                vec![nar_ap],
+                nar_addr,
+                config,
+                capacity,
+            );
             agent.learn_ap(par_ap, par_addr);
             sim.actor_mut::<ArHost>(nar).expect("nar").agent = Some(agent);
         }
@@ -212,10 +225,7 @@ fn full_handover_through_the_rig() {
     assert_eq!(rig.mh_agent().handoffs, 1);
     assert_eq!(rig.par_agent().metrics.par_sessions, 1);
     assert_eq!(rig.nar_agent().metrics.nar_sessions, 1);
-    assert_eq!(
-        rig.sim.shared.radio.attachment(rig.mh),
-        Some(rig.nar_ap)
-    );
+    assert_eq!(rig.sim.shared.radio.attachment(rig.mh), Some(rig.nar_ap));
 }
 
 #[test]
@@ -453,7 +463,13 @@ fn oversized_binary_request_degenerates_to_no_grant() {
     // All-or-nothing negotiation granted nothing: every black-out packet
     // was forwarded unbuffered and died at the radio.
     assert_eq!(rig.nar_agent().pool.stats.admitted, 0);
-    assert!(rig.sim.shared.stats.drops(fh_net::DropReason::RadioDetached) > 0);
+    assert!(
+        rig.sim
+            .shared
+            .stats
+            .drops(fh_net::DropReason::RadioDetached)
+            > 0
+    );
 }
 
 #[test]
@@ -525,11 +541,7 @@ fn guard_buffering_parks_and_flushes_on_demand() {
     rig.sim.run_until(SimTime::from_millis(400));
     assert_eq!(rig.par_agent().pool.used(), 0);
     assert_eq!(
-        rig.sim
-            .actor::<MhHost>(rig.mh)
-            .expect("mh")
-            .delivered
-            .len(),
+        rig.sim.actor::<MhHost>(rig.mh).expect("mh").delivered.len(),
         5,
         "flush delivers all parked packets"
     );
@@ -580,11 +592,7 @@ fn guard_buffering_cancel_delivers_what_was_parked() {
     assert_eq!(rig.par_agent().pool.used(), 0);
     assert!(!rig.par_agent().pool.has_session(pcoa));
     assert_eq!(
-        rig.sim
-            .actor::<MhHost>(rig.mh)
-            .expect("mh")
-            .delivered
-            .len(),
+        rig.sim.actor::<MhHost>(rig.mh).expect("mh").delivered.len(),
         1,
         "cancellation must not lose the parked packet"
     );

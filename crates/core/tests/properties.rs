@@ -2,8 +2,10 @@
 
 use std::net::Ipv6Addr;
 
+use fh_core::policy::{
+    nar_action, nar_overflow, par_action, AvailabilityCase, NarAction, NarOverflow, ParAction,
+};
 use fh_core::{AdmissionLimit, BufferPool, ProtocolConfig, Scheme};
-use fh_core::policy::{nar_action, nar_overflow, par_action, AvailabilityCase, NarAction, NarOverflow, ParAction};
 use fh_net::{FlowId, Packet, ServiceClass};
 use fh_sim::SimTime;
 use proptest::prelude::*;
@@ -13,7 +15,15 @@ fn key(n: u16) -> Ipv6Addr {
 }
 
 fn pkt(class: ServiceClass, seq: u64) -> Packet {
-    Packet::data(FlowId(1), seq, key(100), key(200), class, 160, SimTime::ZERO)
+    Packet::data(
+        FlowId(1),
+        seq,
+        key(100),
+        key(200),
+        class,
+        160,
+        SimTime::ZERO,
+    )
 }
 
 fn arb_scheme() -> impl Strategy<Value = Scheme> {

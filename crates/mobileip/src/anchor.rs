@@ -16,8 +16,7 @@ use std::net::Ipv6Addr;
 
 use fh_net::{
     msg::{AckStatus, BindingKind},
-    send_control, send_from, ControlMsg, DropReason, NetCtx, NetWorld, NodeId, Packet, Payload,
-    Prefix,
+    send_control, send_from, ControlMsg, DropReason, NetCtx, NetWorld, NodeId, Packet, Prefix,
 };
 
 use crate::binding::BindingCache;
@@ -87,12 +86,12 @@ impl MobilityAnchor {
     ) -> Option<Packet> {
         // Binding updates addressed to the anchor itself.
         if pkt.dst == self.addr {
-            if let Payload::Control(ControlMsg::BindingUpdate {
+            if let Some(ControlMsg::BindingUpdate {
                 kind,
                 home,
                 coa,
                 lifetime,
-            }) = &pkt.payload
+            }) = pkt.as_control()
             {
                 if *kind == self.kind {
                     self.cache.update(*home, *coa, *lifetime, ctx.now());
@@ -134,9 +133,7 @@ impl MobilityAnchor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fh_net::{
-        doc_subnet, FlowId, LinkId, LinkSpec, NetMsg, NetStats, ServiceClass, Topology,
-    };
+    use fh_net::{doc_subnet, FlowId, LinkId, LinkSpec, NetMsg, NetStats, ServiceClass, Topology};
     use fh_sim::{Actor, SimDuration, SimTime, Simulator};
 
     struct World {
@@ -279,10 +276,7 @@ mod tests {
             .anchor
             .as_ref()
             .unwrap();
-        assert_eq!(
-            anchor.cache.lookup(net.rcoa, net.sim.now()),
-            Some(net.lcoa)
-        );
+        assert_eq!(anchor.cache.lookup(net.rcoa, net.sim.now()), Some(net.lcoa));
         // The MH leaf received a BindingAck.
         let got = &net.sim.actor::<Leaf>(net.mh).unwrap().got;
         assert_eq!(got.len(), 1);

@@ -152,7 +152,12 @@ mod tests {
     fn reregistration_returns_old_coa() {
         let mut c = BindingCache::new();
         c.update(a(100), a(1), SimDuration::from_secs(10), SimTime::ZERO);
-        let old = c.update(a(100), a(2), SimDuration::from_secs(10), SimTime::from_secs(1));
+        let old = c.update(
+            a(100),
+            a(2),
+            SimDuration::from_secs(10),
+            SimTime::from_secs(1),
+        );
         assert_eq!(old, Some(a(1)));
         assert_eq!(c.lookup(a(100), SimTime::from_secs(2)), Some(a(2)));
     }
@@ -160,7 +165,12 @@ mod tests {
     #[test]
     fn lifetime_expiry_is_lazy() {
         let mut c = BindingCache::new();
-        c.update(a(100), a(1), SimDuration::from_secs(10), SimTime::from_secs(5));
+        c.update(
+            a(100),
+            a(1),
+            SimDuration::from_secs(10),
+            SimTime::from_secs(5),
+        );
         assert_eq!(c.lookup(a(100), SimTime::from_secs(14)), Some(a(1)));
         assert_eq!(c.lookup(a(100), SimTime::from_secs(15)), None);
         assert_eq!(c.len(), 1); // still stored

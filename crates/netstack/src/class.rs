@@ -21,7 +21,9 @@
 use serde::{Deserialize, Serialize};
 
 /// A packet's class of service (IPv6 traffic-class field, Table 3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum ServiceClass {
     /// Field value 0 — no class specified; treated as best effort.
     #[default]

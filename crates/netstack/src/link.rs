@@ -25,9 +25,7 @@ use serde::{Deserialize, Serialize};
 use crate::topology::NodeId;
 
 /// Identifies a link within a [`crate::Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LinkId(pub usize);
 
 impl std::fmt::Display for LinkId {
@@ -248,7 +246,11 @@ mod tests {
     #[test]
     fn idle_link_delivers_after_tx_plus_delay() {
         let (a, b, _) = nodes();
-        let mut l = Link::new(a, b, LinkSpec::new(mbps(8), SimDuration::from_millis(2), 10));
+        let mut l = Link::new(
+            a,
+            b,
+            LinkSpec::new(mbps(8), SimDuration::from_millis(2), 10),
+        );
         let arr = l.try_transmit(SimTime::ZERO, a, 1000).unwrap();
         assert_eq!(arr, SimTime::from_millis(3));
     }
@@ -256,7 +258,11 @@ mod tests {
     #[test]
     fn back_to_back_packets_serialize() {
         let (a, b, _) = nodes();
-        let mut l = Link::new(a, b, LinkSpec::new(mbps(8), SimDuration::from_millis(2), 10));
+        let mut l = Link::new(
+            a,
+            b,
+            LinkSpec::new(mbps(8), SimDuration::from_millis(2), 10),
+        );
         let t0 = SimTime::ZERO;
         let first = l.try_transmit(t0, a, 1000).unwrap();
         let second = l.try_transmit(t0, a, 1000).unwrap();
@@ -267,7 +273,11 @@ mod tests {
     #[test]
     fn directions_are_independent() {
         let (a, b, _) = nodes();
-        let mut l = Link::new(a, b, LinkSpec::new(mbps(8), SimDuration::from_millis(2), 10));
+        let mut l = Link::new(
+            a,
+            b,
+            LinkSpec::new(mbps(8), SimDuration::from_millis(2), 10),
+        );
         let t0 = SimTime::ZERO;
         let ab = l.try_transmit(t0, a, 1000).unwrap();
         let ba = l.try_transmit(t0, b, 1000).unwrap();
@@ -293,7 +303,7 @@ mod tests {
         let mut l = Link::new(a, b, LinkSpec::new(mbps(8), SimDuration::ZERO, 0));
         assert!(l.try_transmit(SimTime::ZERO, a, 1000).is_ok());
         assert!(l.try_transmit(SimTime::ZERO, a, 1000).is_err()); // zero queue
-        // After the first finishes (1 ms), the link is free again.
+                                                                  // After the first finishes (1 ms), the link is free again.
         assert!(l.try_transmit(SimTime::from_millis(1), a, 1000).is_ok());
     }
 

@@ -84,7 +84,13 @@ pub enum Payload {
     Tcp(TcpSegment),
     /// A signaling message (router advertisements, FMIPv6, HMIPv6, buffer
     /// management).
-    Control(ControlMsg),
+    ///
+    /// Boxed: `ControlMsg` is by far the largest variant, and packets are
+    /// cloned per hop through link queues and AR buffers. Keeping it behind
+    /// a pointer roughly halves `size_of::<Packet>()` (see the layout
+    /// regression test) so the data-plane clone path stops copying the full
+    /// signaling enum.
+    Control(Box<ControlMsg>),
     /// An IPv6-in-IPv6 encapsulated inner packet (tunnel).
     Encap(Box<Packet>),
 }
@@ -159,7 +165,7 @@ impl Packet {
             size,
             created,
             hop_limit: Packet::DEFAULT_HOP_LIMIT,
-            payload: Payload::Control(msg),
+            payload: Payload::Control(Box::new(msg)),
         }
     }
 
@@ -235,7 +241,7 @@ impl Packet {
     #[must_use]
     pub fn as_control(&self) -> Option<&ControlMsg> {
         match &self.payload {
-            Payload::Control(msg) => Some(msg),
+            Payload::Control(msg) => Some(msg.as_ref()),
             _ => None,
         }
     }
@@ -333,5 +339,30 @@ mod tests {
         let mut pkt = sample();
         pkt.class = ServiceClass::Unspecified;
         assert_eq!(pkt.effective_class(), ServiceClass::BestEffort);
+    }
+
+    #[test]
+    fn packet_layout_stays_small() {
+        // Layout regression pins. Packets are cloned on every hop (link
+        // queues, AR buffers, tunnels), so their size is a hot-path
+        // constant. The seed laid ControlMsg (104 bytes) inline in Payload,
+        // making every Packet 168 bytes; boxing the control variant brought
+        // it down. Raising either bound needs a deliberate decision, not a
+        // drive-by field.
+        assert!(
+            std::mem::size_of::<Payload>() <= 40,
+            "Payload grew to {} bytes",
+            std::mem::size_of::<Payload>()
+        );
+        assert!(
+            std::mem::size_of::<Packet>() < 168,
+            "Packet grew back to seed size ({} bytes)",
+            std::mem::size_of::<Packet>()
+        );
+        assert!(
+            std::mem::size_of::<Packet>() <= 104,
+            "Packet grew to {} bytes",
+            std::mem::size_of::<Packet>()
+        );
     }
 }

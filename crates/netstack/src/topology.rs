@@ -113,9 +113,7 @@ impl Topology {
     /// The registered name of a node (empty if unknown).
     #[must_use]
     pub fn node_name(&self, id: NodeId) -> &str {
-        self.nodes
-            .get(id.index())
-            .map_or("", |n| n.name.as_str())
+        self.nodes.get(id.index()).map_or("", |n| n.name.as_str())
     }
 
     /// Number of registered nodes.
@@ -248,7 +246,10 @@ impl Topology {
     /// change.
     #[must_use]
     pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
-        assert!(self.routes_fresh, "call compute_routes() after building the topology");
+        assert!(
+            self.routes_fresh,
+            "call compute_routes() after building the topology"
+        );
         self.fwd
             .get(from.index())
             .and_then(|row| row.get(to.index()))
@@ -384,10 +385,7 @@ mod tests {
         t.add_link(a, b, spec_ms(1));
         t.add_prefix(doc_subnet(9), island);
         t.compute_routes();
-        assert_eq!(
-            t.route(a, doc_subnet(9).host(1)),
-            RouteDecision::Unroutable
-        );
+        assert_eq!(t.route(a, doc_subnet(9).host(1)), RouteDecision::Unroutable);
         assert_eq!(t.next_hop(a, island), None);
     }
 

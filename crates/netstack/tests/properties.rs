@@ -2,9 +2,7 @@
 
 use std::net::Ipv6Addr;
 
-use fh_net::{
-    FlowId, Link, LinkSpec, Packet, Prefix, RouteDecision, ServiceClass, Topology,
-};
+use fh_net::{FlowId, Link, LinkSpec, Packet, Prefix, RouteDecision, ServiceClass, Topology};
 use fh_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
 

@@ -4,14 +4,26 @@
 //! result struct with exactly the series the corresponding figure plots.
 //! The `fh-bench` crate wraps these in Criterion benchmarks and in the
 //! `repro` binary that regenerates EXPERIMENTS.md.
+//!
+//! Sweep-shaped runners (grids of independent simulation points) take a
+//! `threads` argument and fan their points across the
+//! [`crate::sweep::parallel_map`] worker pool. Each point's RNG stream is
+//! derived from the sweep's base seed and the point's **x-axis index** via
+//! [`fh_sim::derive_seed`], so (a) results are bit-identical at any thread
+//! count, and (b) every series of one figure (the four schemes of Fig 4.2,
+//! the with/without pair of the black-out ablation) faces the *same*
+//! workload at the same x — the curves stay comparable, as in the paper.
+//! Every result struct also reports the total simulator `events`
+//! processed, which `fh-bench` turns into events/second.
 
 use serde::{Deserialize, Serialize};
 
 use fh_core::{ProtocolConfig, Scheme};
 use fh_net::{FlowId, ServiceClass};
-use fh_sim::{SimDuration, SimTime};
+use fh_sim::{derive_seed, SimDuration, SimTime};
 
 use crate::hmip::{HmipConfig, HmipScenario, MovementPlan};
+use crate::sweep::parallel_map;
 use crate::wlan::{WlanConfig, WlanScenario};
 
 /// Classes of the three flows F1/F2/F3 used throughout §4.2.
@@ -58,50 +70,76 @@ impl Default for BufferUtilizationParams {
     }
 }
 
+/// The Fig 4.2 series plus run accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BufferUtilizationResult {
+    /// One series per scheme (`NAR`, `PAR`, `DUAL`, `FH`), scheme-major.
+    pub series: Vec<SchemeSeries>,
+    /// Total simulator events processed across all points.
+    pub events: u64,
+}
+
 /// Fig 4.2: packet drops vs number of simultaneously-handing-off hosts,
-/// for the four buffering schemes.
+/// for the four buffering schemes. The `scheme × n` grid fans out across
+/// `threads` workers; all four schemes at the same `n` share a seed so
+/// they face an identical workload.
 #[must_use]
-pub fn buffer_utilization(params: BufferUtilizationParams) -> Vec<SchemeSeries> {
+pub fn buffer_utilization(
+    params: BufferUtilizationParams,
+    threads: usize,
+) -> BufferUtilizationResult {
     let schemes = [
         Scheme::NarOnly,
         Scheme::ParOnly,
         Scheme::Dual { classify: false },
         Scheme::NoBuffer,
     ];
-    schemes
+    let mut grid = Vec::with_capacity(schemes.len() * params.max_mhs);
+    for &scheme in &schemes {
+        for n in 1..=params.max_mhs {
+            grid.push((scheme, n));
+        }
+    }
+    let runs = parallel_map(threads, &grid, |_, &(scheme, n)| {
+        let mut protocol = ProtocolConfig::with_scheme(scheme);
+        protocol.buffer_request = params.buffer_request;
+        let cfg = HmipConfig {
+            protocol,
+            n_mhs: n,
+            buffer_capacity: params.buffer_capacity,
+            movement: MovementPlan::OneWay,
+            seed: derive_seed(params.seed, (n - 1) as u64),
+            ..HmipConfig::default()
+        };
+        let mut scenario = HmipScenario::build(cfg);
+        let mut flows = Vec::new();
+        for i in 0..n {
+            flows.push(scenario.add_audio_64k(i, ServiceClass::Unspecified));
+        }
+        scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_millis(13_000));
+        scenario.run_until(SimTime::from_secs(16));
+        let drops: u64 = flows.iter().map(|&f| scenario.flow_losses(f)).sum();
+        (drops, scenario.sim.events_processed())
+    });
+    let mut events = 0;
+    let series = schemes
         .iter()
-        .map(|&scheme| {
-            let mut points = Vec::new();
-            for n in 1..=params.max_mhs {
-                let mut protocol = ProtocolConfig::with_scheme(scheme);
-                protocol.buffer_request = params.buffer_request;
-                let cfg = HmipConfig {
-                    protocol,
-                    n_mhs: n,
-                    buffer_capacity: params.buffer_capacity,
-                    movement: MovementPlan::OneWay,
-                    seed: params.seed,
-                    ..HmipConfig::default()
-                };
-                let mut scenario = HmipScenario::build(cfg);
-                let mut flows = Vec::new();
-                for i in 0..n {
-                    flows.push(scenario.add_audio_64k(i, ServiceClass::Unspecified));
-                }
-                scenario.set_traffic_window(
-                    SimTime::from_millis(500),
-                    SimTime::from_millis(13_000),
-                );
-                scenario.run_until(SimTime::from_secs(16));
-                let drops: u64 = flows.iter().map(|&f| scenario.flow_losses(f)).sum();
-                points.push((n, drops));
-            }
+        .enumerate()
+        .map(|(s_idx, &scheme)| {
+            let points = (1..=params.max_mhs)
+                .map(|n| {
+                    let (drops, ev) = runs[s_idx * params.max_mhs + (n - 1)];
+                    events += ev;
+                    (n, drops)
+                })
+                .collect();
             SchemeSeries {
                 label: scheme.label().to_owned(),
                 points,
             }
         })
-        .collect()
+        .collect();
+    BufferUtilizationResult { series, events }
 }
 
 // ---------------------------------------------------------------------
@@ -118,6 +156,8 @@ pub struct QosDropsResult {
     /// `drops[k][h]` = cumulative drops of flow k (F1..F3) after handoff
     /// `h+1`.
     pub drops: [Vec<u64>; 3],
+    /// Total simulator events processed by the run.
+    pub events: u64,
 }
 
 /// Figs 4.3–4.5: one host shuttling between the routers; three audio
@@ -172,6 +212,7 @@ pub fn qos_drops(
         label: scheme.label().to_owned(),
         buffer_capacity,
         drops,
+        events: scenario.sim.events_processed(),
     }
 }
 
@@ -186,6 +227,8 @@ pub struct RateSweepResult {
     pub rates_kbps: Vec<f64>,
     /// `drops[k][r]` = drops of flow k at rate index r during one handoff.
     pub drops: [Vec<u64>; 3],
+    /// Total simulator events processed across all points.
+    pub events: u64,
 }
 
 /// The x-axis of Fig 4.6.
@@ -201,12 +244,14 @@ pub fn rate_sweep(
     buffer_capacity: usize,
     buffer_request: u32,
     seed: u64,
+    threads: usize,
 ) -> RateSweepResult {
     let mut result = RateSweepResult {
         rates_kbps: rates_kbps.to_vec(),
         drops: Default::default(),
+        events: 0,
     };
-    for &rate in rates_kbps {
+    let runs = parallel_map(threads, rates_kbps, |idx, &rate| {
         let mut protocol = ProtocolConfig::proposed();
         protocol.buffer_request = buffer_request;
         let cfg = HmipConfig {
@@ -214,7 +259,7 @@ pub fn rate_sweep(
             n_mhs: 1,
             buffer_capacity,
             movement: MovementPlan::OneWay,
-            seed,
+            seed: derive_seed(seed, idx as u64),
             ..HmipConfig::default()
         };
         let mut scenario = HmipScenario::build(cfg);
@@ -226,9 +271,14 @@ pub fn rate_sweep(
             .collect();
         scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_millis(13_000));
         scenario.run_until(SimTime::from_secs(16));
-        for (k, &f) in flows.iter().enumerate() {
-            result.drops[k].push(scenario.flow_losses(f));
+        let drops: Vec<u64> = flows.iter().map(|&f| scenario.flow_losses(f)).collect();
+        (drops, scenario.sim.events_processed())
+    });
+    for (drops, events) in runs {
+        for (k, d) in drops.into_iter().enumerate() {
+            result.drops[k].push(d);
         }
+        result.events += events;
     }
     result
 }
@@ -250,6 +300,8 @@ pub struct DelayTraceResult {
     /// The first sequence number affected by the handoff (delay spike),
     /// if any — the window Figs 4.7–4.10 zoom into.
     pub spike_start: Option<u64>,
+    /// Total simulator events processed by the run.
+    pub events: u64,
 }
 
 /// Figs 4.7–4.10: one host, one handoff, three 128 kb/s flows; per-packet
@@ -306,6 +358,7 @@ pub fn delay_trace(
         ar_link_delay_ms: ar_link_delay.as_millis_f64(),
         series,
         spike_start,
+        events: scenario.sim.events_processed(),
     }
 }
 
@@ -332,6 +385,8 @@ pub struct TcpHandoffResult {
     pub throughput: Vec<(f64, f64)>,
     /// Total bytes delivered in order.
     pub bytes_delivered: u64,
+    /// Total simulator events processed by the run.
+    pub events: u64,
 }
 
 /// Figs 4.12/4.13: TCP sequence trace through a pure L2 handoff, with or
@@ -390,12 +445,8 @@ pub fn tcp_l2_handoff(buffering: bool, seed: u64) -> TcpHandoffResult {
 
     // Throughput: in-order goodput per 100 ms bin.
     let bin = SimDuration::from_millis(100);
-    let series: fh_sim::stats::TimeSeries = rx
-        .trace
-        .bytes
-        .iter()
-        .map(|&(t, b)| (t, b as f64))
-        .collect();
+    let series: fh_sim::stats::TimeSeries =
+        rx.trace.bytes.iter().map(|&(t, b)| (t, b as f64)).collect();
     let throughput = series
         .windowed_rate(SimTime::ZERO, SimTime::from_secs(12), bin)
         .into_iter()
@@ -411,6 +462,7 @@ pub fn tcp_l2_handoff(buffering: bool, seed: u64) -> TcpHandoffResult {
         blackout,
         throughput,
         bytes_delivered: rx.bytes_in_order(),
+        events: scenario.sim.events_processed(),
     }
 }
 
@@ -427,17 +479,20 @@ pub struct ThresholdSweepResult {
     pub best_effort_drops: Vec<u64>,
     /// High-priority drops at each threshold (should stay flat).
     pub high_priority_drops: Vec<u64>,
+    /// Total simulator events processed across all points.
+    pub events: u64,
 }
 
 /// Ablation: sweep the administrator constant `a` (Table 3.3 case 1.c).
 #[must_use]
-pub fn threshold_sweep(thresholds: &[u32], seed: u64) -> ThresholdSweepResult {
+pub fn threshold_sweep(thresholds: &[u32], seed: u64, threads: usize) -> ThresholdSweepResult {
     let mut result = ThresholdSweepResult {
         thresholds: thresholds.to_vec(),
         best_effort_drops: Vec::new(),
         high_priority_drops: Vec::new(),
+        events: 0,
     };
-    for &a in thresholds {
+    let runs = parallel_map(threads, thresholds, |idx, &a| {
         let mut protocol = ProtocolConfig::proposed();
         protocol.buffer_request = 40;
         protocol.threshold_a = a;
@@ -446,7 +501,7 @@ pub fn threshold_sweep(thresholds: &[u32], seed: u64) -> ThresholdSweepResult {
             n_mhs: 1,
             buffer_capacity: 20,
             movement: MovementPlan::OneWay,
-            seed,
+            seed: derive_seed(seed, idx as u64),
             ..HmipConfig::default()
         };
         let mut scenario = HmipScenario::build(cfg);
@@ -456,8 +511,16 @@ pub fn threshold_sweep(thresholds: &[u32], seed: u64) -> ThresholdSweepResult {
             .collect();
         scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_millis(13_000));
         scenario.run_until(SimTime::from_secs(16));
-        result.high_priority_drops.push(scenario.flow_losses(flows[1]));
-        result.best_effort_drops.push(scenario.flow_losses(flows[2]));
+        (
+            scenario.flow_losses(flows[1]),
+            scenario.flow_losses(flows[2]),
+            scenario.sim.events_processed(),
+        )
+    });
+    for (hp, be, events) in runs {
+        result.high_priority_drops.push(hp);
+        result.best_effort_drops.push(be);
+        result.events += events;
     }
     result
 }
@@ -471,50 +534,63 @@ pub struct BlackoutSweepResult {
     pub with_buffering: Vec<u64>,
     /// Total drops without buffering.
     pub without_buffering: Vec<u64>,
+    /// Total simulator events processed across all points.
+    pub events: u64,
 }
 
 /// Ablation: the 802.11 handoff measurement range (60–400 ms) as black-out
-/// duration, with and without the proposed scheme.
+/// duration, with and without the proposed scheme. The with/without pair
+/// at each duration shares a seed, so the buffered and unbuffered runs
+/// see the same traffic.
 #[must_use]
-pub fn blackout_sweep(blackout_ms: &[u64], seed: u64) -> BlackoutSweepResult {
+pub fn blackout_sweep(blackout_ms: &[u64], seed: u64, threads: usize) -> BlackoutSweepResult {
     let mut result = BlackoutSweepResult {
         blackout_ms: blackout_ms.to_vec(),
         with_buffering: Vec::new(),
         without_buffering: Vec::new(),
+        events: 0,
     };
-    for &ms in blackout_ms {
+    let mut grid = Vec::with_capacity(blackout_ms.len() * 2);
+    for (idx, &ms) in blackout_ms.iter().enumerate() {
         for buffering in [true, false] {
-            let mut protocol = if buffering {
-                ProtocolConfig::proposed()
-            } else {
-                ProtocolConfig::with_scheme(Scheme::NoBuffer)
-            };
-            // Provision for the longest black-out tested: 400 ms at
-            // 150 packets/s needs ≈60 buffered packets plus slack.
-            protocol.buffer_request = 140;
-            let cfg = HmipConfig {
-                protocol,
-                n_mhs: 1,
-                buffer_capacity: 70,
-                l2_handoff_delay: SimDuration::from_millis(ms),
-                movement: MovementPlan::OneWay,
-                seed,
-                ..HmipConfig::default()
-            };
-            let mut scenario = HmipScenario::build(cfg);
-            let flows: Vec<FlowId> = FLOW_CLASSES
-                .iter()
-                .map(|&class| scenario.add_audio_64k(0, class))
-                .collect();
-            scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_millis(13_000));
-            scenario.run_until(SimTime::from_secs(16));
-            let total: u64 = flows.iter().map(|&f| scenario.flow_losses(f)).sum();
-            if buffering {
-                result.with_buffering.push(total);
-            } else {
-                result.without_buffering.push(total);
-            }
+            grid.push((idx, ms, buffering));
         }
+    }
+    let runs = parallel_map(threads, &grid, |_, &(idx, ms, buffering)| {
+        let mut protocol = if buffering {
+            ProtocolConfig::proposed()
+        } else {
+            ProtocolConfig::with_scheme(Scheme::NoBuffer)
+        };
+        // Provision for the longest black-out tested: 400 ms at
+        // 150 packets/s needs ≈60 buffered packets plus slack.
+        protocol.buffer_request = 140;
+        let cfg = HmipConfig {
+            protocol,
+            n_mhs: 1,
+            buffer_capacity: 70,
+            l2_handoff_delay: SimDuration::from_millis(ms),
+            movement: MovementPlan::OneWay,
+            seed: derive_seed(seed, idx as u64),
+            ..HmipConfig::default()
+        };
+        let mut scenario = HmipScenario::build(cfg);
+        let flows: Vec<FlowId> = FLOW_CLASSES
+            .iter()
+            .map(|&class| scenario.add_audio_64k(0, class))
+            .collect();
+        scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_millis(13_000));
+        scenario.run_until(SimTime::from_secs(16));
+        let total: u64 = flows.iter().map(|&f| scenario.flow_losses(f)).sum();
+        (total, scenario.sim.events_processed())
+    });
+    for (&(_, _, buffering), &(total, events)) in grid.iter().zip(runs.iter()) {
+        if buffering {
+            result.with_buffering.push(total);
+        } else {
+            result.without_buffering.push(total);
+        }
+        result.events += events;
     }
     result
 }
@@ -529,19 +605,22 @@ pub struct FlushPacingResult {
     pub p99_delay_ms: Vec<f64>,
     /// Losses on the high-priority flow (should stay 0 throughout).
     pub hp_losses: Vec<u64>,
+    /// Total simulator events processed across all points.
+    pub events: u64,
 }
 
 /// Ablation: the thesis notes a flushing router "cannot dump all the
 /// buffered packets at the same time" (§4.2.3). Sweep that per-packet
 /// processing cost and measure the delay it adds to the buffered burst.
 #[must_use]
-pub fn flush_pacing_sweep(spacing_us: &[u64], seed: u64) -> FlushPacingResult {
+pub fn flush_pacing_sweep(spacing_us: &[u64], seed: u64, threads: usize) -> FlushPacingResult {
     let mut result = FlushPacingResult {
         spacing_us: spacing_us.to_vec(),
         p99_delay_ms: Vec::new(),
         hp_losses: Vec::new(),
+        events: 0,
     };
-    for &us in spacing_us {
+    let runs = parallel_map(threads, spacing_us, |idx, &us| {
         let mut protocol = ProtocolConfig::proposed();
         protocol.buffer_request = 40;
         protocol.flush_spacing = SimDuration::from_micros(us);
@@ -550,7 +629,7 @@ pub fn flush_pacing_sweep(spacing_us: &[u64], seed: u64) -> FlushPacingResult {
             n_mhs: 1,
             buffer_capacity: 20,
             movement: MovementPlan::OneWay,
-            seed,
+            seed: derive_seed(seed, idx as u64),
             ..HmipConfig::default()
         };
         let mut scenario = HmipScenario::build(cfg);
@@ -559,8 +638,16 @@ pub fn flush_pacing_sweep(spacing_us: &[u64], seed: u64) -> FlushPacingResult {
         scenario.run_until(SimTime::from_secs(16));
         let report =
             fh_traffic::FlowReport::from_sink(scenario.flow_sink(hp), scenario.flow_sent(hp));
-        result.p99_delay_ms.push(report.p99_delay.as_millis_f64());
-        result.hp_losses.push(report.lost);
+        (
+            report.p99_delay.as_millis_f64(),
+            report.lost,
+            scenario.sim.events_processed(),
+        )
+    });
+    for (p99, lost, events) in runs {
+        result.p99_delay_ms.push(p99);
+        result.hp_losses.push(lost);
+        result.events += events;
     }
     result
 }
@@ -576,20 +663,23 @@ pub struct BackgroundLoadResult {
     pub hp_p99_ms: Vec<f64>,
     /// Losses of the (parked) background flow itself.
     pub bg_losses: Vec<u64>,
+    /// Total simulator events processed across all points.
+    pub events: u64,
 }
 
 /// Ablation: a parked neighbor saturates the PAR's cell with best-effort
 /// traffic while another host hands over. The handover's high-priority
 /// protection must survive contention for the shared air interface.
 #[must_use]
-pub fn background_load(bg_kbps: &[f64], seed: u64) -> BackgroundLoadResult {
+pub fn background_load(bg_kbps: &[f64], seed: u64, threads: usize) -> BackgroundLoadResult {
     let mut result = BackgroundLoadResult {
         bg_kbps: bg_kbps.to_vec(),
         hp_losses: Vec::new(),
         hp_p99_ms: Vec::new(),
         bg_losses: Vec::new(),
+        events: 0,
     };
-    for &kbps in bg_kbps {
+    let runs = parallel_map(threads, bg_kbps, |idx, &kbps| {
         let mut protocol = ProtocolConfig::proposed();
         protocol.buffer_request = 40;
         let cfg = HmipConfig {
@@ -597,7 +687,7 @@ pub fn background_load(bg_kbps: &[f64], seed: u64) -> BackgroundLoadResult {
             n_mhs: 2,
             buffer_capacity: 40,
             movement: MovementPlan::OneWay,
-            seed,
+            seed: derive_seed(seed, idx as u64),
             ..HmipConfig::default()
         };
         let mut scenario = HmipScenario::build(cfg);
@@ -614,9 +704,18 @@ pub fn background_load(bg_kbps: &[f64], seed: u64) -> BackgroundLoadResult {
         scenario.run_until(SimTime::from_secs(16));
         let report =
             fh_traffic::FlowReport::from_sink(scenario.flow_sink(hp), scenario.flow_sent(hp));
-        result.hp_losses.push(report.lost);
-        result.hp_p99_ms.push(report.p99_delay.as_millis_f64());
-        result.bg_losses.push(scenario.flow_losses(bg));
+        (
+            report.lost,
+            report.p99_delay.as_millis_f64(),
+            scenario.flow_losses(bg),
+            scenario.sim.events_processed(),
+        )
+    });
+    for (hp_lost, hp_p99, bg_lost, events) in runs {
+        result.hp_losses.push(hp_lost);
+        result.hp_p99_ms.push(hp_p99);
+        result.bg_losses.push(bg_lost);
+        result.events += events;
     }
     result
 }
@@ -632,6 +731,8 @@ pub struct SignalingResult {
     pub piggybacked: u64,
     /// Total control messages.
     pub total: u64,
+    /// Total simulator events processed by the run.
+    pub events: u64,
 }
 
 /// Ablation: signaling overhead of one proposed-scheme handover — how much
@@ -652,8 +753,21 @@ pub fn signaling_overhead(seed: u64) -> SignalingResult {
     scenario.run_until(SimTime::from_secs(16));
     let stats = &scenario.sim.shared.stats;
     let kinds = [
-        "RA", "RS", "RtSolPr", "PrRtAdv", "HI", "HAck", "FBU", "FBAck", "FNA", "BI", "BA", "BF",
-        "BufferFull", "BU", "BAck",
+        "RA",
+        "RS",
+        "RtSolPr",
+        "PrRtAdv",
+        "HI",
+        "HAck",
+        "FBU",
+        "FBAck",
+        "FNA",
+        "BI",
+        "BA",
+        "BF",
+        "BufferFull",
+        "BU",
+        "BAck",
     ];
     SignalingResult {
         by_kind: kinds
@@ -663,5 +777,6 @@ pub fn signaling_overhead(seed: u64) -> SignalingResult {
         control_bytes: stats.control_bytes,
         piggybacked: stats.piggybacked,
         total: stats.control_total(),
+        events: scenario.sim.events_processed(),
     }
 }

@@ -198,10 +198,10 @@ impl HmipScenario {
                 cfg.buffer_capacity,
             ),
         }));
-        let par_ap = sim
-            .shared
-            .radio
-            .add_ap(par_node, Position::new(0.0, 0.0), geometry::COVERAGE_RADIUS);
+        let par_ap =
+            sim.shared
+                .radio
+                .add_ap(par_node, Position::new(0.0, 0.0), geometry::COVERAGE_RADIUS);
         let nar_ap = sim.shared.radio.add_ap(
             nar_node,
             Position::new(geometry::AP_SEPARATION, 0.0),
@@ -388,7 +388,10 @@ impl HmipScenario {
         let cn = self.sim.actor_mut::<CnNode>(self.cn).expect("cn");
         let cbr_index = cn.cbr.len();
         cn.cbr.push(cbr);
-        let mh = self.sim.actor_mut::<MhNode>(self.mhs[mh_index]).expect("mh");
+        let mh = self
+            .sim
+            .actor_mut::<MhNode>(self.mhs[mh_index])
+            .expect("mh");
         let sink_index = mh.sinks.len();
         mh.sinks.push(UdpSink::new(flow));
         self.flows.push(FlowEntry {

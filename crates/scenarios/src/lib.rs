@@ -34,11 +34,12 @@ pub mod experiments;
 mod hmip;
 mod nodes;
 mod roaming;
+pub mod sweep;
 mod wlan;
 mod world;
 
 pub use hmip::{geometry, HmipConfig, HmipScenario, MovementPlan};
-pub use roaming::{RoamingConfig, RoamingScenario};
 pub use nodes::{ArNode, CnNode, MapNode, MhNode};
+pub use roaming::{RoamingConfig, RoamingScenario};
 pub use wlan::{WlanConfig, WlanScenario};
 pub use world::World;

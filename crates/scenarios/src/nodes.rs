@@ -155,25 +155,28 @@ impl Actor<NetMsg, World> for CnNode {
                                 }
                             }
                         }
-                        Payload::Control(ControlMsg::BindingUpdate {
-                            kind: BindingKind::Correspondent,
-                            home,
-                            coa,
-                            lifetime,
-                        }) => {
-                            // Route optimization: accept and acknowledge.
-                            let (home, coa, lifetime) = (*home, *coa, *lifetime);
-                            let now = ctx.now();
-                            self.bindings.update(home, coa, lifetime, now);
-                            if let Some(my_addr) = self.addr {
-                                let ack = ControlMsg::BindingAck {
-                                    kind: BindingKind::Correspondent,
-                                    home,
-                                    status: AckStatus::Accepted,
-                                };
-                                fh_net::record_control(ctx, &ack);
-                                let reply = Packet::control(my_addr, local.src, ack, now);
-                                self.transmit(ctx, reply);
+                        Payload::Control(msg) => {
+                            if let ControlMsg::BindingUpdate {
+                                kind: BindingKind::Correspondent,
+                                home,
+                                coa,
+                                lifetime,
+                            } = msg.as_ref()
+                            {
+                                // Route optimization: accept and acknowledge.
+                                let (home, coa, lifetime) = (*home, *coa, *lifetime);
+                                let now = ctx.now();
+                                self.bindings.update(home, coa, lifetime, now);
+                                if let Some(my_addr) = self.addr {
+                                    let ack = ControlMsg::BindingAck {
+                                        kind: BindingKind::Correspondent,
+                                        home,
+                                        status: AckStatus::Accepted,
+                                    };
+                                    fh_net::record_control(ctx, &ack);
+                                    let reply = Packet::control(my_addr, local.src, ack, now);
+                                    self.transmit(ctx, reply);
+                                }
                             }
                         }
                         _ => {}

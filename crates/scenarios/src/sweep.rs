@@ -1,0 +1,170 @@
+//! Deterministic parallel sweep engine.
+//!
+//! Every multi-point experiment in [`crate::experiments`] is a *sweep*: a
+//! grid of independent `(scenario-builder, run_until)` points whose results
+//! are read off in grid order. Points share nothing — each builds its own
+//! [`crate::HmipScenario`] and derives its own RNG stream via
+//! [`fh_sim::derive_seed`] — so they can run on any number of worker
+//! threads and still produce **bit-identical** tables: the output vector is
+//! indexed by point position, never by completion order.
+//!
+//! The pool is built on [`std::thread::scope`] — no runtime dependency,
+//! no global state, workers borrow the grid directly. Work is handed out
+//! through a single atomic cursor, so long points (a 20-host run) do not
+//! convoy short ones behind a static partition.
+//!
+//! # Examples
+//!
+//! ```
+//! use fh_scenarios::sweep::parallel_map;
+//!
+//! let xs = [1u64, 2, 3, 4, 5];
+//! let seq = parallel_map(1, &xs, |i, &x| x * x + i as u64);
+//! let par = parallel_map(8, &xs, |i, &x| x * x + i as u64);
+//! assert_eq!(seq, par);
+//! ```
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested thread count: `0` means "one worker per available
+/// core", anything else is taken literally.
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    }
+}
+
+/// Applies `f` to every item and returns the results **in item order**,
+/// fanning the calls across up to `threads` scoped worker threads.
+///
+/// `f` receives `(index, &item)`; deriving any per-point randomness from
+/// `index` (not from shared mutable state) is what makes the output
+/// independent of the thread count. `threads == 0` resolves to the number
+/// of available cores; `threads <= 1` runs inline with no pool at all, so
+/// the sequential path stays trivially equivalent.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic on the calling thread (the scope joins
+/// all workers first), so a failing point behaves like it would in a plain
+/// sequential loop.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = resolve_threads(threads);
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let workers = threads.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(i, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(cause) => panic::resume_unwind(cause),
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|r| r.expect("sweep worker pool covered every point"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_item_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(threads, &items, |_, &x| x * 3 + 1);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn passes_the_point_index_through() {
+        let items = ["a", "b", "c", "d"];
+        let got = parallel_map(3, &items, |i, &s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c", "3d"]);
+    }
+
+    #[test]
+    fn visits_every_point_exactly_once() {
+        let items: Vec<usize> = (0..50).collect();
+        let calls = AtomicU64::new(0);
+        let got = parallel_map(7, &items, |i, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 50);
+        let distinct: HashSet<usize> = got.iter().copied().collect();
+        assert_eq!(distinct.len(), 50);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[9u8], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [1u32, 2, 3];
+        assert_eq!(parallel_map(100, &items, |_, &x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(5), 5);
+        let items: Vec<u32> = (0..10).collect();
+        let got = parallel_map(0, &items, |_, &x| x + 1);
+        assert_eq!(got, (1..=10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "point 3 exploded")]
+    fn worker_panics_propagate_to_the_caller() {
+        let items: Vec<usize> = (0..8).collect();
+        let _ = parallel_map(2, &items, |i, _| {
+            assert!(i != 3, "point {i} exploded");
+            i
+        });
+    }
+}

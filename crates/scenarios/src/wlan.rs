@@ -17,9 +17,7 @@ use fh_sim::{SimDuration, SimTime, Simulator};
 
 use fh_core::{ArAgent, MhAgent, ProtocolConfig};
 use fh_mip::MipClient;
-use fh_net::{
-    doc_subnet, ApId, ConnId, FlowId, LinkSpec, NetMsg, NodeId, ServiceClass,
-};
+use fh_net::{doc_subnet, ApId, ConnId, FlowId, LinkSpec, NetMsg, NodeId, ServiceClass};
 use fh_tcp::{TcpConfig, TcpReceiver, TcpSender};
 use fh_wireless::{MhRadio, Mobility, Position, RadioConfig, WirelessSpec};
 
@@ -172,7 +170,14 @@ impl WlanScenario {
         {
             let cn_node = sim.actor_mut::<CnNode>(cn).expect("cn");
             cn_node.node = cn;
-            let mut tx = TcpSender::new(conn, flow, cn_addr, mh_addr, ServiceClass::BestEffort, cfg.tcp);
+            let mut tx = TcpSender::new(
+                conn,
+                flow,
+                cn_addr,
+                mh_addr,
+                ServiceClass::BestEffort,
+                cfg.tcp,
+            );
             // Greedy FTP: unlimited data.
             tx.set_dst(mh_addr);
             cn_node.tcp = Some(tx);

@@ -41,22 +41,13 @@
 use std::any::Any;
 use std::fmt;
 
-use crate::queue::EventQueue;
+use crate::queue::{EventKey, EventQueue};
 use crate::rng::Rng64;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies an actor within one [`Simulator`].
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub struct ActorId(usize);
 
@@ -140,13 +131,35 @@ impl<'a, M, S> Ctx<'a, M, S> {
     ///
     /// Panics if `at` lies in the past.
     pub fn send_at(&mut self, to: ActorId, at: SimTime, msg: M) {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
         self.events.push(at, (to, msg));
     }
 
     /// Schedules `msg` back to the current actor after `delay`.
     pub fn send_self(&mut self, delay: SimDuration, msg: M) {
         self.send(self.self_id, delay, msg);
+    }
+
+    /// Schedules `msg` for `to` after `delay` and returns a key that can
+    /// cancel the delivery until it fires (see [`Ctx::cancel`]).
+    pub fn send_keyed(&mut self, to: ActorId, delay: SimDuration, msg: M) -> EventKey {
+        self.events.push(self.now + delay, (to, msg))
+    }
+
+    /// Schedules a cancellable timer back to the current actor.
+    pub fn send_self_keyed(&mut self, delay: SimDuration, msg: M) -> EventKey {
+        self.send_keyed(self.self_id, delay, msg)
+    }
+
+    /// Cancels a pending delivery in O(1), returning its message.
+    ///
+    /// Returns `None` if the event already fired or was already cancelled.
+    pub fn cancel(&mut self, key: EventKey) -> Option<M> {
+        self.events.cancel(key).map(|(_, msg)| msg)
     }
 }
 
@@ -197,6 +210,16 @@ impl<M: 'static, S: 'static> Simulator<M, S> {
     /// Schedules `msg` for `to` after `delay` from now.
     pub fn schedule_in(&mut self, delay: SimDuration, to: ActorId, msg: M) {
         self.events.push(self.now + delay, (to, msg));
+    }
+
+    /// Schedules `msg` for `to` after `delay`, returning a cancellation key.
+    pub fn schedule_keyed(&mut self, delay: SimDuration, to: ActorId, msg: M) -> EventKey {
+        self.events.push(self.now + delay, (to, msg))
+    }
+
+    /// Cancels a pending delivery in O(1), returning its message.
+    pub fn cancel(&mut self, key: EventKey) -> Option<M> {
+        self.events.cancel(key).map(|(_, msg)| msg)
     }
 
     /// The current simulation time.
@@ -405,6 +428,44 @@ mod tests {
         let id = sim.add_actor(Box::new(Other));
         assert!(sim.actor::<Ticker>(id).is_none());
         assert!(sim.actor::<Other>(id).is_some());
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        struct Arm;
+        impl Actor<Msg, Vec<SimTime>> for Arm {
+            fn handle(&mut self, ctx: &mut Ctx<'_, Msg, Vec<SimTime>>, msg: Msg) {
+                match msg {
+                    Msg::Tick => {
+                        // Arm a timer, then immediately cancel it.
+                        let key = ctx.send_self_keyed(SimDuration::from_millis(10), Msg::Stop);
+                        assert!(matches!(ctx.cancel(key), Some(Msg::Stop)));
+                        assert!(ctx.cancel(key).is_none(), "keys are single-use");
+                    }
+                    Msg::Stop => panic!("cancelled timer fired"),
+                }
+            }
+        }
+        let mut sim: Simulator<Msg, Vec<SimTime>> = Simulator::new(Vec::new(), 1);
+        let a = sim.add_actor(Box::new(Arm));
+        sim.schedule(SimTime::ZERO, a, Msg::Tick);
+        assert_eq!(sim.run(), 1);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn simulator_cancel_prunes_pending_count() {
+        let mut sim: Simulator<Msg, Vec<SimTime>> = Simulator::new(Vec::new(), 1);
+        let t = sim.add_actor(Box::new(Ticker {
+            ticks: 0,
+            period: SimDuration::from_millis(100),
+        }));
+        let key = sim.schedule_keyed(SimDuration::from_millis(5), t, Msg::Stop);
+        assert_eq!(sim.events_pending(), 1);
+        assert!(sim.cancel(key).is_some());
+        assert_eq!(sim.events_pending(), 0);
+        sim.run();
+        assert_eq!(sim.events_processed(), 0);
     }
 
     #[test]

@@ -51,6 +51,6 @@ pub mod stats;
 mod time;
 
 pub use actor::{Actor, ActorId, AsAny, Ctx, Simulator};
-pub use queue::EventQueue;
-pub use rng::Rng64;
+pub use queue::{EventKey, EventQueue};
+pub use rng::{derive_seed, Rng64};
 pub use time::{SimDuration, SimTime};

@@ -1,8 +1,20 @@
-//! The pending-event set: a time-ordered priority queue.
+//! The pending-event set: a time-ordered priority queue with O(1) lazy
+//! cancellation.
 //!
 //! Events scheduled for the same instant are delivered in FIFO order of
 //! scheduling (a monotonically increasing sequence number breaks ties), which
 //! keeps simulations deterministic regardless of heap internals.
+//!
+//! # Design
+//!
+//! The heap itself stores only small `Copy` entries — `(time, seq, slot)`,
+//! 24 bytes — while event payloads live in a slot arena beside it. Sift
+//! operations therefore move fixed-size records instead of whole events,
+//! and [`EventQueue::cancel`] is O(1): it takes the payload out of its slot
+//! and leaves the heap entry behind as a *stale* marker. `pop` (and
+//! `peek_time`) purge stale markers as they surface. The `seq` stamp doubles
+//! as a generation counter, so a recycled slot can never satisfy an old
+//! [`EventKey`].
 //!
 //! # Examples
 //!
@@ -12,9 +24,10 @@
 //! let mut q = EventQueue::new();
 //! q.push(SimTime::from_millis(2), "late");
 //! q.push(SimTime::from_millis(1), "early");
-//! q.push(SimTime::from_millis(1), "early-second");
+//! let key = q.push(SimTime::from_millis(1), "cancelled");
+//! assert_eq!(q.cancel(key), Some("cancelled"));
+//! assert_eq!(q.cancel(key), None); // keys are single-use
 //! assert_eq!(q.pop().unwrap().1, "early");
-//! assert_eq!(q.pop().unwrap().1, "early-second");
 //! assert_eq!(q.pop().unwrap().1, "late");
 //! assert!(q.pop().is_none());
 //! ```
@@ -24,37 +37,60 @@ use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
+/// A single-use handle to a scheduled event, returned by
+/// [`EventQueue::push`] and redeemed by [`EventQueue::cancel`].
+///
+/// Keys are generation-stamped: once the event fires or is cancelled, the
+/// key is dead, and a key never aliases a later event that reuses the same
+/// internal slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey {
+    slot: u32,
+    seq: u64,
+}
+
 /// An event queue ordered by time, then by insertion order.
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<Entry>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
     seq: u64,
+    live: usize,
 }
 
+/// Payload storage for one scheduled event. `seq` identifies the push that
+/// currently owns the slot; a mismatching heap entry or key is stale.
 #[derive(Debug, Clone)]
-struct Entry<E> {
+struct Slot<E> {
+    seq: u64,
+    event: Option<E>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
     time: SimTime,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
 // Min-heap by (time, seq): invert the comparison.
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         (other.time, other.seq).cmp(&(self.time, self.seq))
     }
 }
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
+impl Eq for Entry {}
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
@@ -62,43 +98,114 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             seq: 0,
+            live: 0,
         }
     }
 
-    /// Schedules `event` at absolute time `time`.
-    pub fn push(&mut self, time: SimTime, event: E) {
+    /// Schedules `event` at absolute time `time`, returning a key that can
+    /// cancel it until it fires.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventKey {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Slot {
+                    seq,
+                    event: Some(event),
+                };
+                i
+            }
+            None => {
+                assert!(
+                    self.slots.len() < u32::MAX as usize,
+                    "event queue slot overflow"
+                );
+                self.slots.push(Slot {
+                    seq,
+                    event: Some(event),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.live += 1;
+        self.heap.push(Entry { time, seq, slot });
+        EventKey { slot, seq }
+    }
+
+    /// Cancels a scheduled event in O(1), returning its payload.
+    ///
+    /// Returns `None` if the event already fired, was already cancelled, or
+    /// the key belongs to another queue generation. The heap entry is left
+    /// in place as a stale marker and purged when it reaches the top.
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        let slot = self.slots.get_mut(key.slot as usize)?;
+        if slot.seq != key.seq {
+            return None;
+        }
+        let event = slot.event.take()?;
+        self.free.push(key.slot);
+        self.live -= 1;
+        Some(event)
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
+    ///
+    /// Stale heap entries left behind by [`cancel`](Self::cancel) are purged
+    /// as they surface, so amortized cost stays O(log n) per scheduled event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        while let Some(entry) = self.heap.pop() {
+            let slot = &mut self.slots[entry.slot as usize];
+            if slot.seq != entry.seq {
+                continue; // slot recycled by a later push
+            }
+            let Some(event) = slot.event.take() else {
+                continue; // cancelled, slot not yet recycled
+            };
+            self.free.push(entry.slot);
+            self.live -= 1;
+            return Some((entry.time, event));
+        }
+        None
     }
 
     /// The timestamp of the earliest pending event, if any.
+    ///
+    /// Takes `&mut self` because stale cancelled entries at the top of the
+    /// heap are purged before reading the time.
     #[must_use]
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            let slot = &self.slots[entry.slot as usize];
+            if slot.seq == entry.seq && slot.event.is_some() {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// `true` if no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
     }
 
     /// Removes all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+        // `seq` keeps counting so keys from before the clear stay dead.
     }
 }
 
@@ -165,5 +272,102 @@ mod tests {
         q.push(SimTime::from_millis(20), "b");
         assert_eq!(q.pop().unwrap().1, "b");
         assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn cancel_removes_event_and_returns_payload() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(1), "keep");
+        let key = q.push(SimTime::from_millis(2), "drop");
+        q.push(SimTime::from_millis(3), "also-keep");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.cancel(key), Some("drop"));
+        assert_eq!(q.len(), 2);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["keep", "also-keep"]);
+    }
+
+    #[test]
+    fn cancel_is_single_use() {
+        let mut q = EventQueue::new();
+        let key = q.push(SimTime::from_millis(1), 7);
+        assert_eq!(q.cancel(key), Some(7));
+        assert_eq!(q.cancel(key), None);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn key_does_not_alias_recycled_slot() {
+        let mut q = EventQueue::new();
+        let stale = q.push(SimTime::from_millis(1), "first");
+        assert_eq!(q.cancel(stale), Some("first"));
+        // The slot is recycled by the next push; the old key must stay dead.
+        let fresh = q.push(SimTime::from_millis(2), "second");
+        assert_eq!(q.cancel(stale), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.cancel(fresh), Some("second"));
+    }
+
+    #[test]
+    fn key_dead_after_pop() {
+        let mut q = EventQueue::new();
+        let key = q.push(SimTime::from_millis(1), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), 1)));
+        assert_eq!(q.cancel(key), None);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let early = q.push(SimTime::from_millis(1), "early");
+        q.push(SimTime::from_millis(5), "late");
+        assert_eq!(q.cancel(early), Some("early"));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn cancel_after_clear_is_none() {
+        let mut q = EventQueue::new();
+        let key = q.push(SimTime::from_millis(1), 1);
+        q.clear();
+        assert_eq!(q.cancel(key), None);
+        // New pushes after clear get fresh generations.
+        let k2 = q.push(SimTime::from_millis(1), 2);
+        assert_eq!(q.cancel(key), None);
+        assert_eq!(q.cancel(k2), Some(2));
+    }
+
+    #[test]
+    fn heavy_cancel_churn_stays_consistent() {
+        let mut q = EventQueue::new();
+        let mut keys = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..100u64 {
+                keys.push(q.push(SimTime::from_micros(round * 1000 + i), (round, i)));
+            }
+            // Cancel every other event of this round.
+            for k in keys.drain(..).skip(1).step_by(2) {
+                assert!(q.cancel(k).is_some());
+            }
+        }
+        assert_eq!(q.len(), 50 * 50);
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, (_, i))) = q.pop() {
+            assert!(t >= last, "pop went backwards");
+            assert_eq!(i % 2, 0, "cancelled event escaped");
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, 50 * 50);
+    }
+
+    #[test]
+    fn heap_entry_stays_small() {
+        // The hot path sifts `Entry` records; keep them at 24 bytes even for
+        // large event payloads.
+        assert_eq!(std::mem::size_of::<super::Entry>(), 24);
     }
 }

@@ -268,7 +268,12 @@ impl TimeSeries {
     ///
     /// Panics if `bin` is zero or `end <= start`.
     #[must_use]
-    pub fn windowed_rate(&self, start: SimTime, end: SimTime, bin: SimDuration) -> Vec<(SimTime, f64)> {
+    pub fn windowed_rate(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        bin: SimDuration,
+    ) -> Vec<(SimTime, f64)> {
         assert!(!bin.is_zero(), "bin width must be positive");
         assert!(end > start, "end must be after start");
         let n = (end - start).as_nanos().div_ceil(bin.as_nanos());
@@ -371,11 +376,29 @@ mod tests {
         for i in 0..100 {
             h.add(i as f64 + 0.5);
         }
-        let median = h.quantile(0.5).unwrap();
+        // Guarded lookups: a zero-sample histogram yields None, never panics.
+        let Some(median) = h.quantile(0.5) else {
+            panic!("populated histogram must have a median");
+        };
         assert!((median - 50.0).abs() <= 1.0, "median {median}");
-        let p99 = h.quantile(0.99).unwrap();
+        let Some(p99) = h.quantile(0.99) else {
+            panic!("populated histogram must have a p99");
+        };
         assert!(p99 >= 98.0, "p99 {p99}");
-        assert!(Histogram::new(0.0, 1.0, 1).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn empty_histogram_yields_no_quantiles() {
+        // Regression: a zero-sample run (e.g. a sweep point where every
+        // packet was dropped) must report "no data", not panic downstream.
+        let h = Histogram::new(0.0, 1.0, 1);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+        // Out-of-range-only mass still counts as data.
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        assert_eq!(h.quantile(0.5), Some(0.0), "underflow mass pins to lo");
     }
 
     #[test]
@@ -399,9 +422,7 @@ mod tests {
 
     #[test]
     fn time_series_collect_and_sum() {
-        let ts: TimeSeries = (0..5)
-            .map(|i| (SimTime::from_secs(i), i as f64))
-            .collect();
+        let ts: TimeSeries = (0..5).map(|i| (SimTime::from_secs(i), i as f64)).collect();
         assert_eq!(ts.len(), 5);
         assert_eq!(ts.sum(), 10.0);
         assert!(!ts.is_empty());

@@ -52,22 +52,25 @@ impl SimTime {
         SimTime(ns)
     }
 
-    /// Creates an instant from microseconds since simulation start.
+    /// Creates an instant from microseconds since simulation start,
+    /// saturating at [`SimTime::MAX`] on overflow.
     #[must_use]
     pub const fn from_micros(us: u64) -> Self {
-        SimTime(us * 1_000)
+        SimTime(us.saturating_mul(1_000))
     }
 
-    /// Creates an instant from milliseconds since simulation start.
+    /// Creates an instant from milliseconds since simulation start,
+    /// saturating at [`SimTime::MAX`] on overflow.
     #[must_use]
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        SimTime(ms.saturating_mul(1_000_000))
     }
 
-    /// Creates an instant from whole seconds since simulation start.
+    /// Creates an instant from whole seconds since simulation start,
+    /// saturating at [`SimTime::MAX`] on overflow.
     #[must_use]
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
+        SimTime(s.saturating_mul(1_000_000_000))
     }
 
     /// Creates an instant from fractional seconds since simulation start.
@@ -124,22 +127,25 @@ impl SimDuration {
         SimDuration(ns)
     }
 
-    /// Creates a span from microseconds.
+    /// Creates a span from microseconds, saturating at
+    /// [`SimDuration::MAX`] on overflow.
     #[must_use]
     pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
+        SimDuration(us.saturating_mul(1_000))
     }
 
-    /// Creates a span from milliseconds.
+    /// Creates a span from milliseconds, saturating at
+    /// [`SimDuration::MAX`] on overflow.
     #[must_use]
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
+        SimDuration(ms.saturating_mul(1_000_000))
     }
 
-    /// Creates a span from whole seconds.
+    /// Creates a span from whole seconds, saturating at
+    /// [`SimDuration::MAX`] on overflow.
     #[must_use]
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000_000)
+        SimDuration(s.saturating_mul(1_000_000_000))
     }
 
     /// Creates a span from fractional seconds.
@@ -359,8 +365,12 @@ mod tests {
 
     #[test]
     fn checked_ops_detect_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
-        assert!(SimDuration::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
+        assert!(SimDuration::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
             Some(SimTime::from_secs(1))
@@ -377,6 +387,46 @@ mod tests {
     }
 
     #[test]
+    fn unit_constructors_saturate_at_max() {
+        // One past the largest exactly-representable input saturates instead
+        // of wrapping (release builds would otherwise wrap silently).
+        assert_eq!(SimTime::from_micros(u64::MAX / 1_000 + 1), SimTime::MAX);
+        assert_eq!(SimTime::from_millis(u64::MAX / 1_000_000 + 1), SimTime::MAX);
+        assert_eq!(
+            SimTime::from_secs(u64::MAX / 1_000_000_000 + 1),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimDuration::from_micros(u64::MAX / 1_000 + 1),
+            SimDuration::MAX
+        );
+        assert_eq!(
+            SimDuration::from_millis(u64::MAX / 1_000_000 + 1),
+            SimDuration::MAX
+        );
+        assert_eq!(
+            SimDuration::from_secs(u64::MAX / 1_000_000_000 + 1),
+            SimDuration::MAX
+        );
+        assert_eq!(SimTime::from_micros(u64::MAX), SimTime::MAX);
+        assert_eq!(SimDuration::from_secs(u64::MAX), SimDuration::MAX);
+    }
+
+    #[test]
+    fn unit_constructors_exact_at_boundary() {
+        // The largest input that still fits must not saturate.
+        let us = u64::MAX / 1_000;
+        assert_eq!(SimTime::from_micros(us).as_nanos(), us * 1_000);
+        let ms = u64::MAX / 1_000_000;
+        assert_eq!(SimDuration::from_millis(ms).as_nanos(), ms * 1_000_000);
+        let secs = u64::MAX / 1_000_000_000;
+        assert_eq!(
+            SimDuration::from_secs(secs).as_nanos(),
+            secs * 1_000_000_000
+        );
+    }
+
+    #[test]
     fn ordering_is_chronological() {
         let mut ts = vec![
             SimTime::from_secs(3),
@@ -386,7 +436,11 @@ mod tests {
         ts.sort();
         assert_eq!(
             ts,
-            vec![SimTime::ZERO, SimTime::from_millis(1), SimTime::from_secs(3)]
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+                SimTime::from_secs(3)
+            ]
         );
     }
 }

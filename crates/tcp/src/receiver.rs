@@ -41,7 +41,13 @@ pub struct TcpReceiver {
 impl TcpReceiver {
     /// Creates a receiver answering to `peer`.
     #[must_use]
-    pub fn new(conn: ConnId, flow: FlowId, addr: Ipv6Addr, peer: Ipv6Addr, class: ServiceClass) -> Self {
+    pub fn new(
+        conn: ConnId,
+        flow: FlowId,
+        addr: Ipv6Addr,
+        peer: Ipv6Addr,
+        class: ServiceClass,
+    ) -> Self {
         TcpReceiver {
             conn,
             flow,
@@ -109,7 +115,9 @@ impl TcpReceiver {
                 ..TcpFlags::default()
             },
         };
-        Some(Packet::tcp(self.flow, self.addr, self.peer, self.class, ack, now))
+        Some(Packet::tcp(
+            self.flow, self.addr, self.peer, self.class, ack, now,
+        ))
     }
 }
 
@@ -141,7 +149,9 @@ mod tests {
     fn in_order_stream_advances() {
         let mut r = rx();
         for i in 0..5 {
-            let ack = r.on_segment(SimTime::from_millis(i), &seg(i * 1000)).unwrap();
+            let ack = r
+                .on_segment(SimTime::from_millis(i), &seg(i * 1000))
+                .unwrap();
             match &ack.payload {
                 fh_net::Payload::Tcp(a) => assert_eq!(a.ack, (i + 1) * 1000),
                 _ => panic!("expected tcp ack"),

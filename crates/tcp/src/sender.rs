@@ -538,6 +538,8 @@ mod tests {
         let _ = tx.on_start(SimTime::ZERO);
         tx.set_dst("2001:db8::9".parse().unwrap());
         let pkts = tx.on_ack(SimTime::from_millis(1), &ack(1));
-        assert!(pkts.iter().all(|p| p.dst == "2001:db8::9".parse::<Ipv6Addr>().unwrap()));
+        assert!(pkts
+            .iter()
+            .all(|p| p.dst == "2001:db8::9".parse::<Ipv6Addr>().unwrap()));
     }
 }

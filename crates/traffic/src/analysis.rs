@@ -178,7 +178,10 @@ mod tests {
     use crate::CbrSource;
 
     fn addrs() -> (std::net::Ipv6Addr, std::net::Ipv6Addr) {
-        ("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap())
+        (
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+        )
     }
 
     fn run(loss: &[u64], delay_ms: impl Fn(u64) -> u64, n: u64) -> FlowReport {

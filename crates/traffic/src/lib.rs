@@ -125,7 +125,9 @@ impl CbrSource {
     pub fn next_packet(&mut self, now: SimTime) -> Packet {
         let seq = self.next_seq;
         self.next_seq += 1;
-        Packet::data(self.flow, seq, self.src, self.dst, self.class, self.size, now)
+        Packet::data(
+            self.flow, seq, self.src, self.dst, self.class, self.size, now,
+        )
     }
 
     /// Packets emitted so far.
@@ -178,7 +180,8 @@ impl UdpSink {
         }
         self.received += 1;
         self.highest_seq = Some(self.highest_seq.map_or(pkt.seq, |h| h.max(pkt.seq)));
-        self.delays.push((pkt.seq, now.saturating_since(pkt.created)));
+        self.delays
+            .push((pkt.seq, now.saturating_since(pkt.created)));
         self.bytes.push((now, u64::from(pkt.size)));
     }
 
@@ -228,7 +231,10 @@ impl UdpSink {
     /// Delay of the packet with sequence number `seq`, if it arrived.
     #[must_use]
     pub fn delay_of(&self, seq: u64) -> Option<SimDuration> {
-        self.delays.iter().find(|&&(s, _)| s == seq).map(|&(_, d)| d)
+        self.delays
+            .iter()
+            .find(|&&(s, _)| s == seq)
+            .map(|&(_, d)| d)
     }
 }
 
@@ -237,7 +243,10 @@ mod tests {
     use super::*;
 
     fn addrs() -> (Ipv6Addr, Ipv6Addr) {
-        ("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap())
+        (
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+        )
     }
 
     #[test]

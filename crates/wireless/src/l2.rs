@@ -387,7 +387,10 @@ mod tests {
     }
 
     /// Two APs in the thesis geometry: centres 212 m apart, radius 112 m.
-    fn thesis_world(switch_on_trigger: bool, mobility: Mobility) -> (Simulator<NetMsg, World>, fh_sim::ActorId) {
+    fn thesis_world(
+        switch_on_trigger: bool,
+        mobility: Mobility,
+    ) -> (Simulator<NetMsg, World>, fh_sim::ActorId) {
         let mut sim = Simulator::new(
             World {
                 topo: Topology::new(),
@@ -399,7 +402,9 @@ mod tests {
         let ar1 = sim.add_actor(Box::new(Nop));
         let ar2 = sim.add_actor(Box::new(Nop));
         sim.shared.radio.add_ap(ar1, Position::new(0.0, 0.0), 112.0);
-        sim.shared.radio.add_ap(ar2, Position::new(212.0, 0.0), 112.0);
+        sim.shared
+            .radio
+            .add_ap(ar2, Position::new(212.0, 0.0), 112.0);
         let mh = sim.add_actor(Box::new(Mh {
             radio: None,
             events: vec![],
@@ -484,11 +489,8 @@ mod tests {
 
     #[test]
     fn ping_pong_triggers_on_both_directions() {
-        let mobility = Mobility::ping_pong(
-            Position::new(20.0, 0.0),
-            Position::new(192.0, 0.0),
-            10.0,
-        );
+        let mobility =
+            Mobility::ping_pong(Position::new(20.0, 0.0), Position::new(192.0, 0.0), 10.0);
         let (mut sim, mh) = thesis_world(true, mobility);
         // One full period is 2 * 172 m / 10 m/s = 34.4 s.
         sim.run_until(SimTime::from_secs(70));
@@ -546,8 +548,12 @@ mod tests {
             );
             let ar1 = sim.add_actor(Box::new(Nop));
             let ar2 = sim.add_actor(Box::new(Nop));
-            sim.shared.radio.add_ap(ar1, Position::new(0.0, 0.0), radius);
-            sim.shared.radio.add_ap(ar2, Position::new(212.0, 0.0), radius);
+            sim.shared
+                .radio
+                .add_ap(ar1, Position::new(0.0, 0.0), radius);
+            sim.shared
+                .radio
+                .add_ap(ar2, Position::new(212.0, 0.0), radius);
             let mh = sim.add_actor(Box::new(Mh {
                 radio: None,
                 events: vec![],

@@ -144,7 +144,12 @@ impl Mobility {
                 let f = (elapsed * speed / total).min(1.0);
                 from.lerp(to, f)
             }
-            Mobility::PingPong { a, b, speed, depart } => {
+            Mobility::PingPong {
+                a,
+                b,
+                speed,
+                depart,
+            } => {
                 let elapsed = t.saturating_since(depart).as_secs_f64();
                 let leg = a.distance(b) / speed; // seconds per one-way trip
                 let phase = elapsed % (2.0 * leg);

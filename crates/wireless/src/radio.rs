@@ -136,7 +136,10 @@ impl RadioEnv {
     /// The AP co-located with `router`, if any.
     #[must_use]
     pub fn ap_of_router(&self, router: NodeId) -> Option<ApId> {
-        self.aps.iter().find(|ap| ap.router == router).map(|ap| ap.id)
+        self.aps
+            .iter()
+            .find(|ap| ap.router == router)
+            .map(|ap| ap.id)
     }
 
     /// APs whose coverage disc contains `p`, nearest first.
@@ -250,11 +253,7 @@ pub fn send_uplink<S: RadioWorld>(ctx: &mut NetCtx<'_, S>, mh: NodeId, pkt: Pack
     let router = ctx.shared.radio().ap(ap).router;
     let now = ctx.now();
     let arrival = ctx.shared.radio_mut().reserve_airtime(now, ap, pkt.size);
-    ctx.send_at(
-        router,
-        arrival,
-        NetMsg::RadioPacket { ap, from: mh, pkt },
-    );
+    ctx.send_at(router, arrival, NetMsg::RadioPacket { ap, from: mh, pkt });
     true
 }
 

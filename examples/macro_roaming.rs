@@ -27,7 +27,10 @@ fn main() {
     println!("home address        : {}", s.home_addr);
     println!("handovers completed : {}", s.mh_agent().handoffs);
     println!();
-    println!("home agent bindings : {} registrations", s.home_anchor().cache.registrations);
+    println!(
+        "home agent bindings : {} registrations",
+        s.home_anchor().cache.registrations
+    );
     if let Some(rcoa) = s.home_anchor().cache.lookup(s.home_addr, s.sim.now()) {
         println!("home → RCoA         : {rcoa}  (MAP2's subnet)");
     }

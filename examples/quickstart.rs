@@ -22,7 +22,10 @@ fn main() {
     let config = HmipConfig::default();
     println!("scheme           : {}", config.protocol.scheme);
     println!("blackout         : {}", config.l2_handoff_delay);
-    println!("buffer capacity  : {} packets per router\n", config.buffer_capacity);
+    println!(
+        "buffer capacity  : {} packets per router\n",
+        config.buffer_capacity
+    );
 
     let mut scenario = HmipScenario::build(config);
     // Protocol tracing: the ns-2 trace-file analog (keep the first 64
@@ -42,20 +45,35 @@ fn main() {
     // --- router activity ----------------------------------------------
     let par = scenario.par_agent();
     let nar = scenario.nar_agent();
-    println!("\nPAR: sessions={} flushes={} buffered-stats={:?}",
-        par.metrics.par_sessions, par.metrics.flushes, par.pool.stats);
-    println!("NAR: sessions={} flushes={} buffered-stats={:?}",
-        nar.metrics.nar_sessions, nar.metrics.flushes, nar.pool.stats);
-    println!("MAP: tunneled={} bindings={}",
+    println!(
+        "\nPAR: sessions={} flushes={} buffered-stats={:?}",
+        par.metrics.par_sessions, par.metrics.flushes, par.pool.stats
+    );
+    println!(
+        "NAR: sessions={} flushes={} buffered-stats={:?}",
+        nar.metrics.nar_sessions, nar.metrics.flushes, nar.pool.stats
+    );
+    println!(
+        "MAP: tunneled={} bindings={}",
         scenario.map_anchor().tunneled,
-        scenario.map_anchor().cache.len());
+        scenario.map_anchor().cache.len()
+    );
 
     // --- flow outcome ---------------------------------------------------
     let sent = scenario.flow_sent(flow);
     let sink = scenario.flow_sink(flow);
-    println!("\nflow: sent={} received={} lost={}", sent, sink.received(), sink.losses(sent));
+    println!(
+        "\nflow: sent={} received={} lost={}",
+        sent,
+        sink.received(),
+        sink.losses(sent)
+    );
     if let Some(mean) = sink.mean_delay() {
-        println!("delay: mean={} max={}", mean, sink.max_delay().expect("nonempty"));
+        println!(
+            "delay: mean={} max={}",
+            mean,
+            sink.max_delay().expect("nonempty")
+        );
     }
     println!("handoffs completed: {}", scenario.mh_agent(0).handoffs);
 
@@ -73,5 +91,9 @@ fn main() {
         println!("  {line}");
     }
 
-    assert_eq!(scenario.mh_agent(0).handoffs, 1, "expected exactly one handover");
+    assert_eq!(
+        scenario.mh_agent(0).handoffs,
+        1,
+        "expected exactly one handover"
+    );
 }

@@ -58,7 +58,11 @@ fn transfer(buffering: bool) -> TransferReport {
             .map(|&(t, _)| t.as_secs_f64())
     });
     TransferReport {
-        label: if buffering { "proposed buffering" } else { "no buffering" },
+        label: if buffering {
+            "proposed buffering"
+        } else {
+            "no buffering"
+        },
         bytes: rx.bytes_in_order(),
         timeouts: tx.trace.timeouts.len(),
         blackout: down.zip(up),
@@ -76,7 +80,11 @@ fn main() {
         }
         println!("  RTO timeouts      : {}", r.timeouts);
         println!("  longest stall     : {:.3} s", r.idle);
-        println!("  bytes delivered   : {} ({:.2} MB)", r.bytes, r.bytes as f64 / 1e6);
+        println!(
+            "  bytes delivered   : {} ({:.2} MB)",
+            r.bytes,
+            r.bytes as f64 / 1e6
+        );
         println!();
     }
     let gained = reports[1].bytes.saturating_sub(reports[0].bytes);

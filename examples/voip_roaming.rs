@@ -41,9 +41,18 @@ fn ride(scheme: Scheme) -> Outcome {
     };
     let mut scenario = HmipScenario::build(cfg);
     let flows: Vec<(&'static str, FlowId)> = vec![
-        ("voice (RT)", scenario.add_audio_128k(0, ServiceClass::RealTime)),
-        ("sync  (HP)", scenario.add_audio_128k(0, ServiceClass::HighPriority)),
-        ("bulk  (BE)", scenario.add_audio_128k(0, ServiceClass::BestEffort)),
+        (
+            "voice (RT)",
+            scenario.add_audio_128k(0, ServiceClass::RealTime),
+        ),
+        (
+            "sync  (HP)",
+            scenario.add_audio_128k(0, ServiceClass::HighPriority),
+        ),
+        (
+            "bulk  (BE)",
+            scenario.add_audio_128k(0, ServiceClass::BestEffort),
+        ),
     ];
     // Six minutes of riding; stop sources early so the tail drains.
     let end = SimTime::from_secs(180);

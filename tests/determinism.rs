@@ -80,7 +80,10 @@ fn different_seeds_still_satisfy_invariants() {
             "seed {seed}: high-priority flows should be near-lossless, got {:?}",
             f.losses
         );
-        assert!(f.events > 10_000, "seed {seed}: the run must be substantial");
+        assert!(
+            f.events > 10_000,
+            "seed {seed}: the run must be substantial"
+        );
     }
 }
 
@@ -146,6 +149,47 @@ fn invariants_hold_across_a_seed_sweep() {
             s.par_agent().pool.unreserved(),
             s.par_agent().pool.capacity(),
             "seed {seed}: reservations reclaimed"
+        );
+    }
+}
+
+/// The parallel sweep engine must be a pure reordering of work: the same
+/// grid at 1, 2 and 8 worker threads has to produce byte-identical
+/// results (the Debug rendering pins every field, including the event
+/// counters).
+#[test]
+fn buffer_utilization_sweep_is_thread_count_invariant() {
+    use fh_scenarios::experiments::{buffer_utilization, BufferUtilizationParams};
+    let params = BufferUtilizationParams {
+        max_mhs: 6,
+        buffer_capacity: 42,
+        buffer_request: 12,
+        seed: 42,
+    };
+    let sequential = format!("{:?}", buffer_utilization(params, 1));
+    for threads in [2, 8] {
+        let parallel = format!("{:?}", buffer_utilization(params, threads));
+        assert_eq!(
+            sequential.as_bytes(),
+            parallel.as_bytes(),
+            "buffer_utilization diverged at {threads} threads"
+        );
+    }
+}
+
+/// Same contract for a sweep whose grid mixes two series per x point
+/// (with/without buffering share a derived seed).
+#[test]
+fn blackout_sweep_is_thread_count_invariant() {
+    use fh_scenarios::experiments::blackout_sweep;
+    let grid = [60u64, 120, 240];
+    let sequential = format!("{:?}", blackout_sweep(&grid, 5, 1));
+    for threads in [2, 8] {
+        let parallel = format!("{:?}", blackout_sweep(&grid, 5, threads));
+        assert_eq!(
+            sequential.as_bytes(),
+            parallel.as_bytes(),
+            "blackout_sweep diverged at {threads} threads"
         );
     }
 }

@@ -118,7 +118,11 @@ fn handover_is_lossless_when_buffers_suffice() {
     scenario.run_until(SimTime::from_secs(16));
     assert_eq!(scenario.mh_agent(0).handoffs, 1);
     assert_eq!(scenario.flow_losses(flow), 0, "no packet may be lost");
-    assert_eq!(scenario.flow_sink(flow).duplicates(), 0, "and none duplicated");
+    assert_eq!(
+        scenario.flow_sink(flow).duplicates(),
+        0,
+        "and none duplicated"
+    );
 }
 
 #[test]
@@ -127,8 +131,7 @@ fn buffers_fill_during_blackout_and_drain_completely() {
     let nar = scenario.nar_agent();
     assert!(nar.pool.stats.admitted > 0, "the NAR must have buffered");
     assert_eq!(
-        nar.pool.stats.admitted,
-        nar.pool.stats.flushed,
+        nar.pool.stats.admitted, nar.pool.stats.flushed,
         "everything admitted must be flushed: {:?}",
         nar.pool.stats
     );
@@ -228,7 +231,10 @@ fn protocol_trace_captures_the_fig_3_2_choreography() {
     scenario.run_until(SimTime::from_secs(16));
     let rendered = scenario.sim.shared.stats.trace.render();
     // The Fig 3.2 messages appear, in order.
-    let order = ["RtSolPr", "ctrl HI", "HAck", "PrRtAdv", "ctrl FBU", "FBAck", "LinkDown", "LinkUp", "ctrl FNA", "ctrl BF"];
+    let order = [
+        "RtSolPr", "ctrl HI", "HAck", "PrRtAdv", "ctrl FBU", "FBAck", "LinkDown", "LinkUp",
+        "ctrl FNA", "ctrl BF",
+    ];
     let mut pos = 0;
     for needle in order {
         let found = rendered[pos..]

@@ -44,8 +44,14 @@ fn both_maps_serve_the_host_in_turn() {
     // discovers MAP2.
     assert!(s.map1_anchor().cache.registrations >= 2);
     assert_eq!(s.map2_anchor().cache.registrations, 1);
-    assert!(s.map1_anchor().tunneled > 0, "MAP1 carried the early traffic");
-    assert!(s.map2_anchor().tunneled > 0, "MAP2 carried the late traffic");
+    assert!(
+        s.map1_anchor().tunneled > 0,
+        "MAP1 carried the early traffic"
+    );
+    assert!(
+        s.map2_anchor().tunneled > 0,
+        "MAP2 carried the late traffic"
+    );
 }
 
 #[test]
@@ -64,7 +70,10 @@ fn interim_traffic_rides_the_old_chain() {
         "MAP2 not yet discovered"
     );
     let received_early = s.sink().received();
-    assert!(received_early > 40, "traffic must keep flowing: {received_early}");
+    assert!(
+        received_early > 40,
+        "traffic must keep flowing: {received_early}"
+    );
     // "Losses" at a frozen instant are just in-flight packets: the
     // CN→HA→MAP1→AR1→tunnel→AR2 chain is ≈35 ms ≈ 2 packets deep.
     assert!(s.sink().losses(s.sent()) <= 3);
@@ -89,10 +98,7 @@ fn macro_crossing_is_deterministic() {
     let a = run(RoamingConfig::default());
     let b = run(RoamingConfig::default());
     assert_eq!(a.sink().received(), b.sink().received());
-    assert_eq!(
-        a.sim.events_processed(),
-        b.sim.events_processed()
-    );
+    assert_eq!(a.sim.events_processed(), b.sim.events_processed());
 }
 
 #[test]

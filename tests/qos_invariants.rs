@@ -116,12 +116,16 @@ fn case4_drops_best_effort_at_the_par_only() {
 #[test]
 fn dual_buffering_doubles_lossless_capacity() {
     // The Fig 4.2 knee: the largest N with zero drops, per scheme.
-    let series = experiments::buffer_utilization(experiments::BufferUtilizationParams {
-        max_mhs: 10,
-        buffer_capacity: 42,
-        buffer_request: 12,
-        seed: 42,
-    });
+    let series = experiments::buffer_utilization(
+        experiments::BufferUtilizationParams {
+            max_mhs: 10,
+            buffer_capacity: 42,
+            buffer_request: 12,
+            seed: 42,
+        },
+        4,
+    )
+    .series;
     let knee = |label: &str| -> usize {
         series
             .iter()
@@ -145,12 +149,16 @@ fn dual_buffering_doubles_lossless_capacity() {
 
 #[test]
 fn par_and_nar_only_baselines_are_symmetric() {
-    let series = experiments::buffer_utilization(experiments::BufferUtilizationParams {
-        max_mhs: 8,
-        buffer_capacity: 42,
-        buffer_request: 12,
-        seed: 42,
-    });
+    let series = experiments::buffer_utilization(
+        experiments::BufferUtilizationParams {
+            max_mhs: 8,
+            buffer_capacity: 42,
+            buffer_request: 12,
+            seed: 42,
+        },
+        4,
+    )
+    .series;
     let find = |label: &str| {
         &series
             .iter()
@@ -170,7 +178,7 @@ fn par_and_nar_only_baselines_are_symmetric() {
 
 #[test]
 fn threshold_a_trades_best_effort_for_high_priority() {
-    let r = experiments::threshold_sweep(&[0, 19], 5);
+    let r = experiments::threshold_sweep(&[0, 19], 5, 2);
     // With a=0, BE grabs the whole PAR pool; with a=19 it gets nothing.
     assert!(
         r.best_effort_drops[1] > r.best_effort_drops[0],
@@ -186,7 +194,7 @@ fn threshold_a_trades_best_effort_for_high_priority() {
 
 #[test]
 fn blackout_length_scales_unbuffered_losses_only() {
-    let r = experiments::blackout_sweep(&[60, 400], 5);
+    let r = experiments::blackout_sweep(&[60, 400], 5, 2);
     assert!(
         r.without_buffering[1] > r.without_buffering[0] * 3,
         "unbuffered losses must scale with the black-out: {:?}",
@@ -201,25 +209,10 @@ fn blackout_length_scales_unbuffered_losses_only() {
 
 #[test]
 fn realtime_delay_is_insensitive_to_the_inter_ar_link() {
-    let fast = experiments::delay_trace(
-        Scheme::PROPOSED,
-        20,
-        40,
-        SimDuration::from_millis(2),
-        5,
-    );
-    let slow = experiments::delay_trace(
-        Scheme::PROPOSED,
-        20,
-        40,
-        SimDuration::from_millis(50),
-        5,
-    );
+    let fast = experiments::delay_trace(Scheme::PROPOSED, 20, 40, SimDuration::from_millis(2), 5);
+    let slow = experiments::delay_trace(Scheme::PROPOSED, 20, 40, SimDuration::from_millis(50), 5);
     let max_delay = |r: &experiments::DelayTraceResult, k: usize| {
-        r.series[k]
-            .iter()
-            .map(|&(_, d)| d)
-            .fold(0.0f64, f64::max)
+        r.series[k].iter().map(|&(_, d)| d).fold(0.0f64, f64::max)
     };
     // RT (k=0) is buffered at the NAR: the AR-link delay must not move it
     // by more than the link delta itself.
@@ -238,7 +231,7 @@ fn realtime_delay_is_insensitive_to_the_inter_ar_link() {
 
 #[test]
 fn high_priority_survives_a_saturated_cell() {
-    let r = experiments::background_load(&[64.0, 1024.0], 5);
+    let r = experiments::background_load(&[64.0, 1024.0], 5, 2);
     assert_eq!(r.hp_losses, vec![0, 0], "HP must stay lossless under load");
     // Tail delay barely moves (< 10 ms drift across a 16× load increase).
     assert!(

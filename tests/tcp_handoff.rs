@@ -64,10 +64,7 @@ fn buffering_strictly_improves_goodput() {
     let without = run(false);
     let a = with.tcp_receiver().bytes_in_order();
     let b = without.tcp_receiver().bytes_in_order();
-    assert!(
-        a > b,
-        "buffered run must deliver more: {a} vs {b} bytes"
-    );
+    assert!(a > b, "buffered run must deliver more: {a} vs {b} bytes");
     // The loss is roughly the idle time at link rate: at least half a
     // megabyte over a >1 s stall on a multi-Mb/s path.
     assert!(a - b > 500_000, "gap suspiciously small: {}", a - b);
@@ -105,7 +102,11 @@ fn intra_router_handoff_uses_the_short_protocol() {
     let stats = &scenario.sim.shared.stats;
     assert_eq!(stats.control_count("HI"), 0, "no HI for an intra handoff");
     assert_eq!(stats.control_count("HAck"), 0);
-    assert_eq!(stats.control_count("BF"), 1, "standalone BF releases the buffer");
+    assert_eq!(
+        stats.control_count("BF"),
+        1,
+        "standalone BF releases the buffer"
+    );
 }
 
 #[test]

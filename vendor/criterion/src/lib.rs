@@ -1,0 +1,177 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no reachable crates registry, so this crate
+//! implements the slice of criterion's API the workspace's benches use
+//! (`benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, the `criterion_group!`/`criterion_main!` macros) as a
+//! plain wall-clock harness: each benchmark runs `sample_size` timed samples
+//! after one warm-up iteration and prints mean time per iteration plus
+//! derived element throughput.
+//!
+//! There is no statistical analysis, outlier rejection, or HTML report; the
+//! numbers are honest means, good enough to compare hot-path variants. The
+//! real crate drops in unchanged when a registry is available.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark name, e.g. `push_pop/1000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter into `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Times closures handed to `Bencher::iter`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: u32,
+    /// Mean wall time of one iteration over the timed samples.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` once untimed, then `samples` timed iterations.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.elapsed_per_iter = start.elapsed() / self.samples.max(1);
+    }
+}
+
+/// A named group of benchmarks sharing sample-count and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a work-per-iteration figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.elapsed_per_iter);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.elapsed_per_iter);
+        self
+    }
+
+    /// Ends the group (printing happens per-benchmark; this is a no-op).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, per_iter: Duration) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  {:.3} Melem/s", n as f64 / per_iter.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!(
+                    "  {:.3} MiB/s",
+                    n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0)
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}: {:>12.3?}/iter{}", self.name, id, per_iter, rate);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Bundles bench functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

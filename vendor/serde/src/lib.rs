@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no reachable crates registry, so this crate
+//! supplies just enough of serde's surface for the workspace to compile:
+//! the two marker traits and the (no-op) derive macros. No data format is
+//! wired up yet; when one lands, this stub is replaced by the real crate
+//! without touching any call site.
+
+/// Marker for types that can be serialized (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (no methods in the stub).
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace must build without network access to a crates registry, so
+//! the real `serde_derive` (and its `syn`/`quote` dependency tree) is
+//! replaced by this no-op derive. The workspace uses serde purely as a
+//! forward-compatibility marker — nothing serializes through it yet — so the
+//! derive expands to nothing and `#[serde(...)]` attributes are accepted and
+//! ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
