@@ -123,6 +123,40 @@ pub fn fig4_14_csv() -> String {
     out
 }
 
+/// Chaos sweep as CSV: one row per injected loss probability.
+#[must_use]
+pub fn chaos_csv(threads: usize) -> String {
+    chaos_csv_with_seed(params::SEED, threads)
+}
+
+/// Chaos sweep as CSV for an explicit seed — the CI chaos-determinism
+/// job compares these bytes across thread counts, per seed.
+#[must_use]
+pub fn chaos_csv_with_seed(seed: u64, threads: usize) -> String {
+    let r = experiments::chaos_sweep(&experiments::CHAOS_LOSS_PROBS, seed, threads);
+    let mut out = String::from(
+        "loss,predictive,reactive,failed,recovery_ms,f1_drops,f2_drops,f3_drops,fault_drops,retransmissions,degradations\n",
+    );
+    for p in &r.points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.3},{},{},{},{},{},{}",
+            p.loss,
+            p.predictive,
+            p.reactive,
+            p.failed,
+            p.recovery_ms,
+            p.class_drops[0],
+            p.class_drops[1],
+            p.class_drops[2],
+            p.fault_drops,
+            p.retransmissions,
+            p.degradations
+        );
+    }
+    out
+}
+
 /// Resolves a CSV writer by figure id, fanning sweep points across
 /// `threads` workers (the CSV bytes are identical at any value).
 #[must_use]
@@ -156,6 +190,7 @@ pub fn csv_for(figure: &str, threads: usize) -> Option<String> {
             50,
         )),
         "fig4.14" => Some(fig4_14_csv()),
+        "chaos" => Some(chaos_csv(threads)),
         _ => None,
     }
 }

@@ -473,6 +473,43 @@ pub fn ablation_background(threads: usize) -> FigureRun {
     }
 }
 
+/// Chaos sweep — handover robustness under seeded control-plane loss.
+#[must_use]
+pub fn chaos(threads: usize) -> FigureRun {
+    let r = experiments::chaos_sweep(&experiments::CHAOS_LOSS_PROBS, params::SEED, threads);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Chaos — handover robustness vs injected loss (hardened rtx, ping-pong)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>7}{:>6}{:>6}{:>6}{:>10}{:>7}{:>7}{:>7}{:>8}{:>7}{:>7}",
+        "loss%", "pred", "react", "fail", "recov ms", "F1", "F2", "F3", "faults", "rtx", "degr"
+    );
+    for p in &r.points {
+        let _ = writeln!(
+            out,
+            "{:>7.1}{:>6}{:>6}{:>6}{:>10.1}{:>7}{:>7}{:>7}{:>8}{:>7}{:>7}",
+            p.loss * 100.0,
+            p.predictive,
+            p.reactive,
+            p.failed,
+            p.recovery_ms,
+            p.class_drops[0],
+            p.class_drops[1],
+            p.class_drops[2],
+            p.fault_drops,
+            p.retransmissions,
+            p.degradations
+        );
+    }
+    FigureRun {
+        text: out,
+        events: r.events,
+    }
+}
+
 /// Ablation — signaling accounting for one proposed-scheme handover.
 #[must_use]
 pub fn ablation_signaling(_threads: usize) -> FigureRun {

@@ -102,6 +102,7 @@ fn main() -> ExitCode {
         ("background", fh_bench::ablation_background),
         ("blackout", fh_bench::ablation_blackout),
         ("signaling", fh_bench::ablation_signaling),
+        ("chaos", fh_bench::chaos),
     ];
     let all = filters.is_empty();
     let selected: Vec<(&'static str, FigureFn)> = figures

@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
-use fh_sim::SimDuration;
+use fh_sim::{EventKey, SimDuration};
 
 use fh_net::{
     msg::{AckStatus, AuthToken, BufferAck, BufferInit, BufferRequest},
@@ -58,9 +58,31 @@ pub struct ArMetrics {
     /// Guard-buffering sessions served (standalone BI, §3.3 link-quality
     /// buffering / smooth-handover draft).
     pub guard_sessions: u64,
+    /// HI retransmissions performed (PAR role, hardened mode only).
+    pub retransmissions: u64,
+    /// HI exchanges that exhausted their retry budget and degraded the
+    /// session to PAR-only buffering.
+    pub hi_exhausted: u64,
     /// Finalized handover sessions per Table 3.2 availability case
     /// (`[both, nar-only, par-only, none]`).
     pub case_counts: [u64; 4],
+}
+
+impl ArMetrics {
+    /// Adds these counters into the shared stats registry under `ar.*`
+    /// names (aggregating when called for several routers).
+    pub fn export(&self, stats: &mut fh_net::NetStats) {
+        stats.bump("ar.par_sessions", self.par_sessions);
+        stats.bump("ar.nar_sessions", self.nar_sessions);
+        stats.bump("ar.intra_sessions", self.intra_sessions);
+        stats.bump("ar.buffer_full_sent", self.buffer_full_sent);
+        stats.bump("ar.flushes", self.flushes);
+        stats.bump("ar.expired_sessions", self.expired_sessions);
+        stats.bump("ar.auth_rejections", self.auth_rejections);
+        stats.bump("ar.guard_sessions", self.guard_sessions);
+        stats.bump("ar.retransmissions", 0);
+        stats.bump("ar.hi_exhausted", 0);
+    }
 }
 
 /// Index of an [`AvailabilityCase`] into [`ArMetrics::case_counts`].
@@ -100,6 +122,12 @@ struct ParSession {
     ncoa: Option<Ipv6Addr>,
     /// `None` for a pure link-layer (intra-router) handover.
     nar_addr: Option<Ipv6Addr>,
+    /// The AP the host asked about (kept so the PrRtAdv can be rebuilt
+    /// idempotently on duplicate RtSolPr or after HI-retry exhaustion).
+    target_ap: ApId,
+    /// The NAR's grant from the HAck (zero before it arrives or after a
+    /// degraded finalization).
+    nar_granted: u32,
     /// `true` if the host piggybacked a BI on its RtSolPr.
     wants_buffer: bool,
     state: ParState,
@@ -107,6 +135,18 @@ struct ParSession {
     nar_full: bool,
     lifetime_token: u64,
     auth: Option<AuthToken>,
+}
+
+/// In-flight HI retransmission state (PAR role, hardened mode).
+#[derive(Debug)]
+struct HiRtx {
+    key: EventKey,
+    token: u64,
+    /// Transmissions made so far (the initial send counts).
+    sent: u32,
+    nar_addr: Ipv6Addr,
+    /// The exact HI to replay.
+    hi: ControlMsg,
 }
 
 #[derive(Debug)]
@@ -145,6 +185,7 @@ pub struct ArAgent {
     neighbors: HashMap<Ipv6Addr, NodeId>,
     par_sessions: HashMap<Ipv6Addr, ParSession>,
     nar_sessions: HashMap<Ipv6Addr, NarSession>,
+    hi_rtx: HashMap<Ipv6Addr, HiRtx>,
     flushing: HashMap<Ipv6Addr, (FlushTarget, u64)>,
     timer_sessions: HashMap<u64, Ipv6Addr>,
     next_token: u64,
@@ -178,6 +219,7 @@ impl ArAgent {
             neighbors: HashMap::new(),
             par_sessions: HashMap::new(),
             nar_sessions: HashMap::new(),
+            hi_rtx: HashMap::new(),
             flushing: HashMap::new(),
             timer_sessions: HashMap::new(),
             next_token: 1,
@@ -225,6 +267,13 @@ impl ArAgent {
     #[must_use]
     pub fn neighbor(&self, addr: Ipv6Addr) -> Option<NodeId> {
         self.neighbors.get(&addr).copied()
+    }
+
+    /// Mirrors this router's activity counters into the shared stats
+    /// registry under `ar.*` names, aggregating across routers. Scenarios
+    /// call this once at end of run.
+    pub fn export_metrics(&self, stats: &mut fh_net::NetStats) {
+        self.metrics.export(stats);
     }
 
     /// `true` if `ap` belongs to this router.
@@ -300,8 +349,61 @@ impl ArAgent {
                 }
             }
             TimerKind::FlushStep => self.flush_step(ctx, token),
+            TimerKind::RtxHi => {
+                if let Some(pcoa) = self.timer_sessions.remove(&token) {
+                    self.on_rtx_hi(ctx, pcoa);
+                }
+            }
             _ => {}
         }
+    }
+
+    /// HI retransmission timer fired: the NAR's HAck never came.
+    fn on_rtx_hi<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr) {
+        let Some(mut rtx) = self.hi_rtx.remove(&pcoa) else {
+            return;
+        };
+        if !self.config.rtx.enabled {
+            return;
+        }
+        let still_waiting = self
+            .par_sessions
+            .get(&pcoa)
+            .is_some_and(|s| s.state == ParState::AwaitHAck);
+        if !still_waiting {
+            return;
+        }
+        let bo = self.config.rtx.backoff;
+        if bo.exhausted(rtx.sent) {
+            // The NAR is unreachable: finalize as a PAR-only session so
+            // the host can still anticipate using our buffer alone.
+            let par_granted = self.pool.granted(pcoa);
+            if let Some(sess) = self.par_sessions.get_mut(&pcoa) {
+                sess.state = ParState::Ready;
+                sess.nar_granted = 0;
+                sess.case = AvailabilityCase::from_grants(false, par_granted > 0);
+                self.metrics.case_counts[case_index(sess.case)] += 1;
+            }
+            self.metrics.hi_exhausted += 1;
+            ctx.shared.stats_mut().bump("ar.hi_exhausted", 1);
+            self.send_prrtadv_for(ctx, pcoa);
+            return;
+        }
+        let hi = rtx.hi.clone();
+        self.send_control_wired(ctx, rtx.nar_addr, hi);
+        self.metrics.retransmissions += 1;
+        ctx.shared.stats_mut().bump("ar.retransmissions", 1);
+        let token = self.fresh_token(pcoa);
+        rtx.token = token;
+        rtx.key = ctx.send_self_keyed(
+            bo.delay(rtx.sent),
+            NetMsg::Timer {
+                kind: TimerKind::RtxHi,
+                token,
+            },
+        );
+        rtx.sent += 1;
+        self.hi_rtx.insert(pcoa, rtx);
     }
 
     fn expire_session<S: RadioWorld>(
@@ -438,6 +540,19 @@ impl ArAgent {
             }
             return;
         }
+        if self.config.rtx.enabled {
+            // Idempotency under retransmission: a duplicate RtSolPr must
+            // not re-reserve or restart the negotiation.
+            match self.par_sessions.get(&pcoa).map(|s| s.state) {
+                Some(ParState::AwaitHAck) => return, // HI retry loop owns it
+                Some(ParState::Ready) => {
+                    // The PrRtAdv was lost on the air: answer again.
+                    self.send_prrtadv_for(ctx, pcoa);
+                    return;
+                }
+                _ => {}
+            }
+        }
         let lifetime = bi
             .as_ref()
             .map_or(self.config.reservation_lifetime, |b| b.lifetime);
@@ -493,6 +608,8 @@ impl ArAgent {
                     mh,
                     ncoa: Some(pcoa),
                     nar_addr: None,
+                    target_ap,
+                    nar_granted: 0,
                     wants_buffer,
                     state: ParState::Ready,
                     case: AvailabilityCase::from_grants(false, par_granted > 0),
@@ -528,6 +645,8 @@ impl ArAgent {
                 mh,
                 ncoa: None,
                 nar_addr: Some(nar_addr),
+                target_ap,
+                nar_granted: 0,
                 wants_buffer,
                 state: ParState::AwaitHAck,
                 case: AvailabilityCase::from_grants(false, par_granted > 0),
@@ -553,6 +672,26 @@ impl ArAgent {
             per_class,
             auth,
         };
+        if self.config.rtx.enabled {
+            let token = self.fresh_token(pcoa);
+            let key = ctx.send_self_keyed(
+                self.config.rtx.backoff.delay(0),
+                NetMsg::Timer {
+                    kind: TimerKind::RtxHi,
+                    token,
+                },
+            );
+            self.hi_rtx.insert(
+                pcoa,
+                HiRtx {
+                    key,
+                    token,
+                    sent: 1,
+                    nar_addr,
+                    hi: hi.clone(),
+                },
+            );
+        }
         self.send_control_wired(ctx, nar_addr, hi);
     }
 
@@ -596,6 +735,8 @@ impl ArAgent {
                 mh,
                 ncoa: Some(addr),
                 nar_addr: None,
+                target_ap: ApId(u32::MAX),
+                nar_granted: 0,
                 wants_buffer: true,
                 state: ParState::Redirecting,
                 case,
@@ -664,6 +805,8 @@ impl ArAgent {
                         mh,
                         ncoa: Some(ncoa),
                         nar_addr: None,
+                        target_ap: ApId(u32::MAX),
+                        nar_granted: 0,
                         wants_buffer: false,
                         state: ParState::Redirecting,
                         case: AvailabilityCase::NoneAvailable,
@@ -789,6 +932,23 @@ impl ArAgent {
         per_class: Option<[u32; 3]>,
         auth: Option<AuthToken>,
     ) {
+        if self.config.rtx.enabled {
+            if let Some(sess) = self.nar_sessions.get(&pcoa) {
+                // Duplicate HI (our HAck was lost): keep the existing
+                // session — re-inserting would restart buffering after the
+                // host already attached — and just acknowledge again.
+                let hack = ControlMsg::HandoverAck {
+                    pcoa,
+                    status: AckStatus::Accepted,
+                    ba: br.is_some().then_some(BufferAck {
+                        nar_granted: sess.granted,
+                        par_granted: 0,
+                    }),
+                };
+                self.send_control_wired(ctx, par_addr, hack);
+                return;
+            }
+        }
         let requested = br.as_ref().map_or(0, |b| b.size);
         let granted = if requested > 0 && self.config.scheme.uses_nar_buffer() {
             match (self.config.precise_negotiation, per_class) {
@@ -864,29 +1024,55 @@ impl ArAgent {
         let Some(sess) = self.par_sessions.get_mut(&pcoa) else {
             return;
         };
+        if self.config.rtx.enabled {
+            if sess.state != ParState::AwaitHAck {
+                // Duplicate HAck (or one racing a degraded finalization):
+                // the PrRtAdv already went out.
+                return;
+            }
+            if let Some(rtx) = self.hi_rtx.remove(&pcoa) {
+                let _ = ctx.cancel(rtx.key);
+                self.timer_sessions.remove(&rtx.token);
+            }
+        }
         let nar_granted = ba.map_or(0, |b| b.nar_granted);
         let par_granted = self.pool.granted(pcoa);
         sess.case =
             AvailabilityCase::from_grants(status.is_accepted() && nar_granted > 0, par_granted > 0);
+        sess.nar_granted = nar_granted;
         self.metrics.case_counts[case_index(sess.case)] += 1;
         if sess.state == ParState::AwaitHAck {
             sess.state = ParState::Ready;
         }
+        self.send_prrtadv_for(ctx, pcoa);
+    }
+
+    /// (Re)builds and sends the PrRtAdv for a finalized PAR session — used
+    /// by the HAck path, duplicate-RtSolPr answers and HI-exhaustion
+    /// degradation, all of which must advertise the same result.
+    fn send_prrtadv_for<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr) {
+        let Some(sess) = self.par_sessions.get(&pcoa) else {
+            return;
+        };
         let mh = sess.mh;
         let auth = sess.auth;
         let wants_buffer = sess.wants_buffer;
+        let nar_granted = sess.nar_granted;
         let nar_addr = sess.nar_addr.unwrap_or(self.addr);
-        let target_ap = self
-            .ap_directory
-            .iter()
-            .find(|&(_, &a)| a == nar_addr)
-            .map(|(&ap, _)| ap)
-            .unwrap_or(ApId(u32::MAX));
-        let (nar_prefix, nar_router) = (self.peer_prefix(nar_addr), nar_addr);
+        let target_ap = if sess.target_ap == ApId(u32::MAX) {
+            self.ap_directory
+                .iter()
+                .find(|&(_, &a)| a == nar_addr)
+                .map(|(&ap, _)| ap)
+                .unwrap_or(ApId(u32::MAX))
+        } else {
+            sess.target_ap
+        };
+        let par_granted = self.pool.granted(pcoa);
         let adv = ControlMsg::PrRtAdv {
             target_ap,
-            nar_prefix,
-            nar_addr: nar_router,
+            nar_prefix: self.peer_prefix(nar_addr),
+            nar_addr,
             ba: wants_buffer.then_some(BufferAck {
                 nar_granted,
                 par_granted,

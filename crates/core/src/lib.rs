@@ -49,4 +49,4 @@ mod scheme;
 pub use ar::{ArAgent, ArMetrics};
 pub use buffer::{AdmissionLimit, BufferPool, BufferStats};
 pub use mh::{HandoffPhase, MhAgent};
-pub use scheme::{ProtocolConfig, Scheme};
+pub use scheme::{ProtocolConfig, RetransmitConfig, Scheme};

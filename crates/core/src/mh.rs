@@ -19,12 +19,13 @@
 
 use std::net::Ipv6Addr;
 
-use fh_sim::{SimDuration, SimTime};
+use fh_sim::{EventKey, SimDuration, SimTime};
 
 use fh_mip::MipClient;
 use fh_net::{
     msg::{AuthToken, BufferInit},
-    ApId, ControlMsg, L2Event, NetCtx, NetMsg, NodeId, Packet, Payload, Prefix, TimerKind,
+    ApId, ControlMsg, HandoverOutcome, L2Event, NetCtx, NetMsg, NodeId, Packet, Payload, Prefix,
+    TimerKind,
 };
 use fh_wireless::{send_uplink, MhRadio, RadioWorld};
 
@@ -52,6 +53,10 @@ pub enum HandoffPhase {
     FnaSent,
     /// MAP binding update acknowledged; handover fully complete.
     BindingComplete,
+    /// A signaling exchange exhausted its retransmission budget; the host
+    /// fell back one rung on the degradation ladder (predictive →
+    /// reactive → failed).
+    Degraded,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +90,27 @@ struct PendingHandoff {
     intra: bool,
 }
 
+/// In-flight RtSolPr(+BI) retransmission state.
+#[derive(Debug, Clone, Copy)]
+struct SolicitRtx {
+    key: EventKey,
+    /// Transmissions made so far (the initial send counts).
+    sent: u32,
+    target_ap: ApId,
+}
+
+/// In-flight FNA+BU retransmission state (post-attach registration).
+#[derive(Debug, Clone, Copy)]
+struct FnaRtx {
+    key: EventKey,
+    /// Transmissions made so far (the initial send counts).
+    sent: u32,
+    ncoa: Ipv6Addr,
+    pcoa: Ipv6Addr,
+    nar_addr: Ipv6Addr,
+    auth: Option<AuthToken>,
+}
+
 /// The mobile host protocol agent.
 #[derive(Debug)]
 pub struct MhAgent {
@@ -104,6 +130,19 @@ pub struct MhAgent {
     booted: bool,
     fbu_seq: u64,
     guard_active: bool,
+    rtx_solicit: Option<SolicitRtx>,
+    rtx_fna: Option<FnaRtx>,
+    /// A handover attempt is in flight and has not yet resolved to a
+    /// [`HandoverOutcome`]. Scenarios call [`MhAgent::finalize_outcome`]
+    /// at end of run to classify stragglers as `Failed`.
+    attempt_open: bool,
+    /// With retransmissions on, `Predictive` is only recorded once the
+    /// MAP binding completes (not merely on attach).
+    awaiting_binding: bool,
+    /// Signaling retransmissions performed (all hardened exchanges).
+    pub retransmissions: u64,
+    /// Exchanges that exhausted their retry budget and degraded.
+    pub degradations: u64,
     /// Completed handovers.
     pub handoffs: u64,
     /// Event timeline `(time, phase)`.
@@ -132,9 +171,44 @@ impl MhAgent {
             booted: false,
             fbu_seq: 0,
             guard_active: false,
+            rtx_solicit: None,
+            rtx_fna: None,
+            attempt_open: false,
+            awaiting_binding: false,
+            retransmissions: 0,
+            degradations: 0,
             handoffs: 0,
             log: Vec::new(),
         }
+    }
+
+    /// `true` while a handover attempt has neither completed nor been
+    /// classified — a wedged host at end of run.
+    #[must_use]
+    pub fn unresolved(&self) -> bool {
+        self.attempt_open
+    }
+
+    /// Closes a still-open attempt, returning `true` if one was open.
+    /// The caller records the corresponding `Failed` outcome (split from
+    /// [`MhAgent::finalize_outcome`] for callers that hold the stats hub
+    /// behind the same borrow as the agent).
+    pub fn close_unresolved(&mut self) -> bool {
+        let open = self.attempt_open;
+        self.attempt_open = false;
+        self.awaiting_binding = false;
+        open
+    }
+
+    /// End-of-run classification: an attempt still open when the
+    /// simulation stops is a failed handover. Returns `true` if a
+    /// `Failed` outcome was recorded.
+    pub fn finalize_outcome(&mut self, stats: &mut fh_net::NetStats) -> bool {
+        if self.close_unresolved() {
+            stats.record_outcome(HandoverOutcome::Failed);
+            return true;
+        }
+        false
     }
 
     /// Pre-configures the initial attachment so the host need not wait a
@@ -230,12 +304,17 @@ impl MhAgent {
                 None
             }
             NetMsg::Timer { kind, token } => {
-                if kind == TimerKind::App(FBU_FALLBACK) {
-                    if token == self.fbu_seq {
-                        self.detach_now(ctx);
+                match kind {
+                    TimerKind::App(FBU_FALLBACK) => {
+                        if token == self.fbu_seq {
+                            self.detach_now(ctx);
+                        }
                     }
-                } else {
-                    let _ = self.radio.on_timer(ctx, kind, token);
+                    TimerKind::RtxSolicit => self.on_rtx_solicit(ctx),
+                    TimerKind::RtxFna => self.on_rtx_fna(ctx),
+                    _ => {
+                        let _ = self.radio.on_timer(ctx, kind, token);
+                    }
                 }
                 None
             }
@@ -271,6 +350,21 @@ impl MhAgent {
                 };
                 self.send_control_up(ctx, pcoa, att.router, msg);
                 self.state = MhState::Soliciting;
+                self.attempt_open = true;
+                if self.config.rtx.enabled {
+                    let key = ctx.send_self_keyed(
+                        self.config.rtx.backoff.delay(0),
+                        NetMsg::Timer {
+                            kind: TimerKind::RtxSolicit,
+                            token: 0,
+                        },
+                    );
+                    self.rtx_solicit = Some(SolicitRtx {
+                        key,
+                        sent: 1,
+                        target_ap: next,
+                    });
+                }
                 self.log.push((ctx.now(), HandoffPhase::SolicitSent));
             }
             L2Event::LinkDown { .. } => {
@@ -284,6 +378,8 @@ impl MhAgent {
     }
 
     fn on_link_up<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, ap: ApId) {
+        // Whatever we were waiting for on the old link is moot now.
+        self.cancel_rtx(ctx);
         if let Some(p) = self.pending {
             if p.target_ap == ap {
                 // Anticipated handover completed.
@@ -303,6 +399,7 @@ impl MhAgent {
                         self.send_control_up(ctx, pcoa, p.nar_addr, msg);
                     }
                     self.log.push((ctx.now(), HandoffPhase::FnaSent));
+                    self.resolve_attempt(ctx, HandoverOutcome::Predictive);
                     return;
                 }
                 let fna = ControlMsg::FastNeighborAdvertisement {
@@ -319,6 +416,28 @@ impl MhAgent {
                 fh_net::record_control(ctx, bu.as_control().expect("binding update is control"));
                 let node = self.node;
                 let _ = send_uplink(ctx, node, bu);
+                if self.config.rtx.enabled {
+                    // The handover only counts as predictive once the MAP
+                    // binding completes; keep retrying FNA+BU until then.
+                    self.awaiting_binding = true;
+                    let key = ctx.send_self_keyed(
+                        self.config.rtx.backoff.delay(0),
+                        NetMsg::Timer {
+                            kind: TimerKind::RtxFna,
+                            token: 0,
+                        },
+                    );
+                    self.rtx_fna = Some(FnaRtx {
+                        key,
+                        sent: 1,
+                        ncoa: p.ncoa,
+                        pcoa,
+                        nar_addr: p.nar_addr,
+                        auth: p.auth,
+                    });
+                } else {
+                    self.resolve_attempt(ctx, HandoverOutcome::Predictive);
+                }
                 return;
             }
         }
@@ -394,6 +513,12 @@ impl MhAgent {
         if self.mip.on_control(ctx.now(), &msg) {
             if self.mip.map_registered() {
                 self.log.push((ctx.now(), HandoffPhase::BindingComplete));
+                if self.awaiting_binding {
+                    if let Some(r) = self.rtx_fna.take() {
+                        let _ = ctx.cancel(r.key);
+                    }
+                    self.resolve_attempt(ctx, HandoverOutcome::Predictive);
+                }
             }
             return;
         }
@@ -432,6 +557,9 @@ impl MhAgent {
             return;
         }
         let Some(att) = self.current else { return };
+        if let Some(r) = self.rtx_solicit.take() {
+            let _ = ctx.cancel(r.key);
+        }
         self.log.push((ctx.now(), HandoffPhase::AdvReceived));
         let intra = nar_addr == att.router;
         let pcoa = self.mip.lcoa().expect("attached host has an LCoA");
@@ -465,6 +593,116 @@ impl MhAgent {
                 token: self.fbu_seq,
             },
         );
+    }
+
+    /// Closes the current handover attempt and records its outcome.
+    fn resolve_attempt<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        outcome: HandoverOutcome,
+    ) {
+        self.attempt_open = false;
+        self.awaiting_binding = false;
+        ctx.shared.stats_mut().record_outcome(outcome);
+    }
+
+    /// Cancels any armed retransmission timers (O(1) keyed cancel — the
+    /// queued events vanish without perturbing event counts or ordering).
+    fn cancel_rtx<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        if let Some(r) = self.rtx_solicit.take() {
+            let _ = ctx.cancel(r.key);
+        }
+        if let Some(r) = self.rtx_fna.take() {
+            let _ = ctx.cancel(r.key);
+        }
+    }
+
+    /// RtSolPr retransmission timer fired: the PrRtAdv never came.
+    fn on_rtx_solicit<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        let Some(mut rtx) = self.rtx_solicit.take() else {
+            return;
+        };
+        if self.state != MhState::Soliciting || !self.config.rtx.enabled {
+            return;
+        }
+        let bo = self.config.rtx.backoff;
+        if bo.exhausted(rtx.sent) {
+            // Give up on anticipation. The radio will still hand off on
+            // its own; recovery then rides the reactive RA path.
+            self.state = MhState::Idle;
+            self.degradations += 1;
+            self.log.push((ctx.now(), HandoffPhase::Degraded));
+            ctx.shared.stats_mut().bump("mh.degradations", 1);
+            return;
+        }
+        let Some(att) = self.current else { return };
+        let bi = self.config.scheme.buffers().then_some(BufferInit {
+            size: self.config.buffer_request,
+            start_time: self.config.buffer_start_time,
+            lifetime: self.config.reservation_lifetime,
+        });
+        let pcoa = self.mip.lcoa().expect("attached host has an LCoA");
+        let msg = ControlMsg::RtSolPr {
+            target_ap: rtx.target_ap,
+            bi,
+        };
+        self.send_control_up(ctx, pcoa, att.router, msg);
+        self.retransmissions += 1;
+        ctx.shared.stats_mut().bump("mh.retransmissions", 1);
+        rtx.key = ctx.send_self_keyed(
+            bo.delay(rtx.sent),
+            NetMsg::Timer {
+                kind: TimerKind::RtxSolicit,
+                token: u64::from(rtx.sent),
+            },
+        );
+        rtx.sent += 1;
+        self.rtx_solicit = Some(rtx);
+    }
+
+    /// FNA+BU retransmission timer fired: the MAP binding never completed.
+    fn on_rtx_fna<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        let Some(mut rtx) = self.rtx_fna.take() else {
+            return;
+        };
+        if !self.awaiting_binding || !self.config.rtx.enabled {
+            return;
+        }
+        let bo = self.config.rtx.backoff;
+        if bo.exhausted(rtx.sent) {
+            // In-band registration failed for good. Forget the attachment
+            // so the next router advertisement re-registers from scratch
+            // (reactive fallback); if even the beacon never arrives the
+            // attempt ends the run open and is classified `Failed`.
+            self.awaiting_binding = false;
+            self.current = None;
+            self.degradations += 1;
+            self.log.push((ctx.now(), HandoffPhase::Degraded));
+            ctx.shared.stats_mut().bump("mh.degradations", 1);
+            return;
+        }
+        let fna = ControlMsg::FastNeighborAdvertisement {
+            ncoa: rtx.ncoa,
+            pcoa: rtx.pcoa,
+            bf: self.config.scheme.buffers(),
+            auth: rtx.auth,
+        };
+        self.send_control_up(ctx, rtx.ncoa, rtx.nar_addr, fna);
+        let bu = self.mip.make_map_bu(ctx.now());
+        fh_net::record_control(ctx, bu.as_control().expect("binding update is control"));
+        let node = self.node;
+        let _ = send_uplink(ctx, node, bu);
+        self.retransmissions += 1;
+        ctx.shared.stats_mut().bump("mh.retransmissions", 1);
+        rtx.key = ctx.send_self_keyed(
+            bo.delay(rtx.sent),
+            NetMsg::Timer {
+                kind: TimerKind::RtxFna,
+                token: u64::from(rtx.sent),
+            },
+        );
+        rtx.sent += 1;
+        self.rtx_fna = Some(rtx);
     }
 
     /// The FBAck arrived (or its wait timed out): actually switch links.
@@ -502,7 +740,10 @@ impl MhAgent {
                 let fna = ControlMsg::FastNeighborAdvertisement {
                     ncoa,
                     pcoa: old.unwrap_or(ncoa),
-                    bf: false,
+                    // Hardened mode asks the NAR to flush anything it
+                    // buffered for us under a session whose HAck/PrRtAdv
+                    // leg was lost; without a session the flag is inert.
+                    bf: self.config.rtx.enabled && self.config.scheme.buffers(),
                     auth: None,
                 };
                 self.send_control_up(ctx, ncoa, router, fna);
@@ -512,6 +753,13 @@ impl MhAgent {
                     if let Some(prev_router) = self.previous_router(pcoa) {
                         let fbu = ControlMsg::FastBindingUpdate { pcoa, ncoa };
                         self.send_control_up(ctx, ncoa, prev_router, fbu);
+                        if self.config.rtx.enabled && self.config.scheme.buffers() {
+                            // Hardened degradation: pull whatever the old
+                            // router buffered during the blind spot with a
+                            // standalone BF instead of letting it expire.
+                            let bf = ControlMsg::BufferForward { pcoa };
+                            self.send_control_up(ctx, ncoa, prev_router, bf);
+                        }
                     }
                 }
                 self.mip.set_lcoa(ncoa);
@@ -520,6 +768,9 @@ impl MhAgent {
                 let node = self.node;
                 let _ = send_uplink(ctx, node, bu);
                 self.handoffs += 1;
+                self.state = MhState::Idle;
+                self.pending = None;
+                self.resolve_attempt(ctx, HandoverOutcome::Reactive);
                 self.adopt_map_if_new(ctx, map);
             }
         }

@@ -11,7 +11,7 @@
 //! | [`Scheme::ParOnly`]  | PAR  | the smooth-handover draft: buffer at the previous router only |
 //! | [`Scheme::Dual`]     | DUAL | the proposed scheme; `classify` switches Table 3.3 on/off |
 
-use fh_sim::SimDuration;
+use fh_sim::{Backoff, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// Which buffer management scheme the network runs.
@@ -107,6 +107,54 @@ pub struct ProtocolConfig {
     /// the thesis observes when a router "cannot dump all the buffered
     /// packets at the same time" (§4.2.3).
     pub flush_spacing: SimDuration,
+    /// Signaling retransmission + graceful degradation (off by default —
+    /// the thesis drafts have no retransmissions, and the faithful figures
+    /// depend on that).
+    pub rtx: RetransmitConfig,
+}
+
+/// Retransmission policy for the handover signaling exchanges.
+///
+/// When enabled, the MH retries RtSolPr+BI and FNA/BU, and the PAR retries
+/// HI+BR, each on an exponential-backoff schedule with a retry cap. A
+/// predictive exchange that exhausts its retries degrades to the reactive
+/// path (attach first, FNA+BF after) instead of wedging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetransmitConfig {
+    /// Master switch. `false` reproduces the draft exactly: one shot per
+    /// message, recovery only via the router-advertisement beacon.
+    pub enabled: bool,
+    /// The shared backoff schedule for all hardened exchanges.
+    pub backoff: Backoff,
+}
+
+impl RetransmitConfig {
+    /// Retransmissions enabled with the default schedule
+    /// (200 ms initial, doubling, 2 s cap, 3 retries).
+    #[must_use]
+    pub fn hardened() -> Self {
+        RetransmitConfig {
+            enabled: true,
+            ..RetransmitConfig::default()
+        }
+    }
+}
+
+impl Default for RetransmitConfig {
+    fn default() -> Self {
+        RetransmitConfig {
+            enabled: false,
+            // Initial timeout must exceed the worst-case RtSolPr→PrRtAdv
+            // round trip (wireless + PAR↔NAR RTT, ~110 ms at a 50 ms AR
+            // link) so timers only fire on actual loss.
+            backoff: Backoff::new(
+                SimDuration::from_millis(200),
+                2,
+                SimDuration::from_secs(2),
+                3,
+            ),
+        }
+    }
 }
 
 impl ProtocolConfig {
@@ -141,6 +189,7 @@ impl Default for ProtocolConfig {
             precise_negotiation: false,
             ra_interval: SimDuration::from_secs(1),
             flush_spacing: SimDuration::ZERO,
+            rtx: RetransmitConfig::default(),
         }
     }
 }
@@ -181,6 +230,17 @@ mod tests {
         assert_eq!(Scheme::ParOnly.label(), "PAR");
         assert_eq!(Scheme::Dual { classify: false }.to_string(), "DUAL");
         assert_eq!(Scheme::PROPOSED.to_string(), "DUAL+class");
+    }
+
+    #[test]
+    fn retransmission_is_opt_in() {
+        // The draft-faithful default has no retransmissions; hardening is
+        // explicit so baseline figures stay byte-identical.
+        assert!(!ProtocolConfig::default().rtx.enabled);
+        let hard = RetransmitConfig::hardened();
+        assert!(hard.enabled);
+        assert!(hard.backoff.max_retries > 0);
+        assert!(hard.backoff.initial >= SimDuration::from_millis(150));
     }
 
     #[test]

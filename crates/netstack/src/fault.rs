@@ -1,0 +1,396 @@
+//! Deterministic fault injection for links and radio channels.
+//!
+//! A [`FaultSpec`] describes the impairments of one link *direction* (or one
+//! access point's air interface): independent packet loss, Gilbert–Elliott
+//! burst loss, duplication, bounded extra jitter, and scheduled outage
+//! windows. A [`FaultState`] pairs the spec with its own [`Rng64`] stream,
+//! seeded once when the scenario is built, so fault decisions depend only on
+//! the order of packets entering *that* direction — never on how traffic on
+//! other links interleaves, and never on worker-thread scheduling in
+//! parallel sweeps.
+//!
+//! Faults are applied at the point a packet enters the link; every injected
+//! drop is recorded under [`crate::DropReason::FaultInjected`].
+//!
+//! # Examples
+//!
+//! ```
+//! use fh_net::{FaultSpec, FaultState, FaultVerdict};
+//! use fh_sim::SimTime;
+//!
+//! let spec = FaultSpec::with_loss(1.0); // drop everything
+//! let mut state = FaultState::new(spec, 7);
+//! assert!(matches!(state.decide(SimTime::ZERO), FaultVerdict::Drop));
+//! ```
+
+use fh_sim::{Rng64, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Maximum scheduled outage windows per direction. A fixed-size array keeps
+/// [`FaultSpec`] `Copy`, which scenario configs rely on.
+pub const MAX_OUTAGES: usize = 4;
+
+/// Two-state Gilbert–Elliott burst-loss channel.
+///
+/// The channel flips between a *good* and a *bad* state with the given
+/// per-packet transition probabilities and drops packets with a
+/// state-dependent probability — the standard model for correlated
+/// (bursty) wireless loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// P(good → bad) evaluated per packet.
+    pub p_good_to_bad: f64,
+    /// P(bad → good) evaluated per packet.
+    pub p_bad_to_good: f64,
+    /// Loss probability while in the good state.
+    pub loss_good: f64,
+    /// Loss probability while in the bad state.
+    pub loss_bad: f64,
+}
+
+/// Impairments applied to one link direction (or one AP's air interface).
+///
+/// The default spec is a no-op: no loss, no duplication, no jitter, no
+/// outages. Build real specs with the `with_*` constructors/combinators.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Independent per-packet loss probability (ignored when `burst` is set).
+    pub loss: f64,
+    /// Optional correlated burst-loss channel (overrides `loss`).
+    pub burst: Option<GilbertElliott>,
+    /// Probability a packet is duplicated (second copy right behind).
+    pub duplicate: f64,
+    /// Upper bound on uniformly drawn extra propagation jitter.
+    pub jitter: SimDuration,
+    /// Scheduled outage windows `[start, end)`; all packets entering the
+    /// link inside a window are dropped.
+    pub outages: [Option<(SimTime, SimTime)>; MAX_OUTAGES],
+}
+
+impl FaultSpec {
+    /// A spec that drops each packet independently with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    #[must_use]
+    pub fn with_loss(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss must be in [0, 1], got {p}");
+        FaultSpec {
+            loss: p,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Replaces independent loss with a Gilbert–Elliott burst channel.
+    #[must_use]
+    pub fn burst(mut self, ge: GilbertElliott) -> Self {
+        for p in [
+            ge.p_good_to_bad,
+            ge.p_bad_to_good,
+            ge.loss_good,
+            ge.loss_bad,
+        ] {
+            assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        }
+        self.burst = Some(ge);
+        self
+    }
+
+    /// Duplicates each surviving packet with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    #[must_use]
+    pub fn duplicate(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplicate must be in [0, 1], got {p}"
+        );
+        self.duplicate = p;
+        self
+    }
+
+    /// Adds up to `max` extra uniformly distributed delay per packet.
+    #[must_use]
+    pub fn jitter(mut self, max: SimDuration) -> Self {
+        self.jitter = max;
+        self
+    }
+
+    /// Schedules an outage: every packet entering in `[start, end)` is lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or all [`MAX_OUTAGES`] slots are taken.
+    #[must_use]
+    pub fn outage(mut self, start: SimTime, end: SimTime) -> Self {
+        assert!(start < end, "outage window must be non-empty");
+        let slot = self
+            .outages
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("too many outage windows");
+        *slot = Some((start, end));
+        self
+    }
+
+    /// `true` if this spec injects no faults at all.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        *self == FaultSpec::default()
+    }
+
+    /// `true` if `now` falls inside a scheduled outage window.
+    #[must_use]
+    pub fn in_outage(&self, now: SimTime) -> bool {
+        self.outages
+            .iter()
+            .flatten()
+            .any(|&(s, e)| now >= s && now < e)
+    }
+}
+
+/// What the fault layer decided for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// The packet is lost at link entry.
+    Drop,
+    /// The packet proceeds, possibly delayed and/or duplicated.
+    Pass {
+        /// Extra jitter to add to the arrival time.
+        extra_delay: SimDuration,
+        /// Whether to transmit a second copy right behind this one.
+        duplicate: bool,
+    },
+}
+
+/// A [`FaultSpec`] plus the mutable state that drives it: a private RNG
+/// stream and the Gilbert–Elliott channel state.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    spec: FaultSpec,
+    rng: Rng64,
+    in_bad: bool,
+}
+
+impl FaultState {
+    /// Creates fault state for one direction, with its own RNG stream.
+    ///
+    /// Seed this from the scenario seed via [`fh_sim::derive_seed`] with a
+    /// per-link/per-direction salt so every direction draws independently.
+    #[must_use]
+    pub fn new(spec: FaultSpec, seed: u64) -> Self {
+        FaultState {
+            spec,
+            rng: Rng64::seed_from(seed),
+            in_bad: false,
+        }
+    }
+
+    /// The spec this state was built from.
+    #[must_use]
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Decides the fate of one packet entering the link at `now`.
+    ///
+    /// The number of RNG draws per packet depends only on the spec (burst
+    /// configured → 2, plain loss → 1; +1 each for duplication and jitter
+    /// when enabled), so the stream stays aligned across runs.
+    pub fn decide(&mut self, now: SimTime) -> FaultVerdict {
+        if self.spec.in_outage(now) {
+            return FaultVerdict::Drop;
+        }
+        let lost = if let Some(ge) = self.spec.burst {
+            let flip = self.rng.next_f64();
+            if self.in_bad {
+                if flip < ge.p_bad_to_good {
+                    self.in_bad = false;
+                }
+            } else if flip < ge.p_good_to_bad {
+                self.in_bad = true;
+            }
+            let p = if self.in_bad {
+                ge.loss_bad
+            } else {
+                ge.loss_good
+            };
+            self.rng.gen_bool(p)
+        } else if self.spec.loss > 0.0 {
+            self.rng.gen_bool(self.spec.loss)
+        } else {
+            false
+        };
+        if lost {
+            return FaultVerdict::Drop;
+        }
+        let duplicate = self.spec.duplicate > 0.0 && self.rng.gen_bool(self.spec.duplicate);
+        let extra_delay = if self.spec.jitter > SimDuration::ZERO {
+            SimDuration::from_nanos(self.rng.gen_range_u64(self.spec.jitter.as_nanos() + 1))
+        } else {
+            SimDuration::ZERO
+        };
+        FaultVerdict::Pass {
+            extra_delay,
+            duplicate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_noop_and_passes_everything() {
+        let spec = FaultSpec::default();
+        assert!(spec.is_noop());
+        let mut st = FaultState::new(spec, 1);
+        for i in 0..100 {
+            assert_eq!(
+                st.decide(SimTime::from_millis(i)),
+                FaultVerdict::Pass {
+                    extra_delay: SimDuration::ZERO,
+                    duplicate: false
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut st = FaultState::new(FaultSpec::with_loss(1.0), 2);
+        for i in 0..100 {
+            assert_eq!(st.decide(SimTime::from_millis(i)), FaultVerdict::Drop);
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_the_configured_probability() {
+        let mut st = FaultState::new(FaultSpec::with_loss(0.2), 3);
+        let n = 100_000;
+        let drops = (0..n)
+            .filter(|&i| st.decide(SimTime::from_micros(i)) == FaultVerdict::Drop)
+            .count();
+        let frac = drops as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let spec = FaultSpec::with_loss(0.3)
+            .duplicate(0.1)
+            .jitter(SimDuration::from_micros(500));
+        let mut a = FaultState::new(spec, 99);
+        let mut b = FaultState::new(spec, 99);
+        for i in 0..1000 {
+            assert_eq!(
+                a.decide(SimTime::from_micros(i)),
+                b.decide(SimTime::from_micros(i))
+            );
+        }
+    }
+
+    #[test]
+    fn outage_window_is_total_and_bounded() {
+        let spec = FaultSpec::default().outage(SimTime::from_secs(1), SimTime::from_secs(2));
+        let mut st = FaultState::new(spec, 4);
+        assert!(matches!(
+            st.decide(SimTime::from_millis(999)),
+            FaultVerdict::Pass { .. }
+        ));
+        assert_eq!(st.decide(SimTime::from_secs(1)), FaultVerdict::Drop);
+        assert_eq!(st.decide(SimTime::from_millis(1999)), FaultVerdict::Drop);
+        assert!(matches!(
+            st.decide(SimTime::from_secs(2)),
+            FaultVerdict::Pass { .. }
+        ));
+    }
+
+    #[test]
+    fn burst_loss_is_correlated() {
+        // Long bad bursts with certain loss: drops should come in runs, and
+        // overall loss should sit between loss_good and loss_bad.
+        let ge = GilbertElliott {
+            p_good_to_bad: 0.05,
+            p_bad_to_good: 0.2,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let mut st = FaultState::new(FaultSpec::default().burst(ge), 5);
+        let n = 50_000u64;
+        let mut drops = 0u64;
+        let mut runs = 0u64;
+        let mut prev_drop = false;
+        for i in 0..n {
+            let drop = st.decide(SimTime::from_micros(i)) == FaultVerdict::Drop;
+            drops += u64::from(drop);
+            runs += u64::from(drop && !prev_drop);
+            prev_drop = drop;
+        }
+        // Stationary bad-state share = 0.05 / (0.05 + 0.2) = 0.2.
+        let frac = drops as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.02, "loss fraction {frac}");
+        // Correlation: mean burst length ≈ 1/p_bad_to_good = 5 ≫ 1.
+        let mean_run = drops as f64 / runs as f64;
+        assert!(mean_run > 3.0, "bursts too short: {mean_run}");
+    }
+
+    #[test]
+    fn jitter_stays_within_bound() {
+        let max = SimDuration::from_micros(250);
+        let mut st = FaultState::new(FaultSpec::default().jitter(max), 6);
+        let mut seen_nonzero = false;
+        for i in 0..1000 {
+            match st.decide(SimTime::from_micros(i)) {
+                FaultVerdict::Pass {
+                    extra_delay,
+                    duplicate,
+                } => {
+                    assert!(extra_delay <= max);
+                    assert!(!duplicate);
+                    seen_nonzero |= extra_delay > SimDuration::ZERO;
+                }
+                FaultVerdict::Drop => panic!("jitter-only spec must not drop"),
+            }
+        }
+        assert!(seen_nonzero, "jitter never drew a positive delay");
+    }
+
+    #[test]
+    fn duplication_rate_is_roughly_right() {
+        let mut st = FaultState::new(FaultSpec::default().duplicate(0.5), 8);
+        let n = 10_000;
+        let dups = (0..n)
+            .filter(|&i| {
+                matches!(
+                    st.decide(SimTime::from_micros(i)),
+                    FaultVerdict::Pass {
+                        duplicate: true,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let frac = dups as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "got {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in")]
+    fn out_of_range_loss_panics() {
+        let _ = FaultSpec::with_loss(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many outage windows")]
+    fn outage_overflow_panics() {
+        let mut spec = FaultSpec::default();
+        for i in 0..=MAX_OUTAGES as u64 {
+            spec = spec.outage(SimTime::from_secs(10 * i), SimTime::from_secs(10 * i + 1));
+        }
+    }
+}

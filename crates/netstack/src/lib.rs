@@ -59,6 +59,7 @@
 
 mod addr;
 mod class;
+pub mod fault;
 mod link;
 pub mod msg;
 mod packet;
@@ -68,11 +69,12 @@ mod world;
 
 pub use addr::{doc_subnet, Prefix};
 pub use class::{PerHopBehavior, ServiceClass};
+pub use fault::{FaultSpec, FaultState, FaultVerdict, GilbertElliott};
 pub use link::{Link, LinkError, LinkId, LinkSpec};
 pub use msg::{ApId, ControlMsg};
 pub use packet::{ConnId, FlowId, Packet, Payload, TcpFlags, TcpSegment};
 pub use topology::{NodeId, RouteDecision, Topology};
 pub use world::{
     record_control, record_drop, send_control, send_from, start_timer, transmit_on, DropReason,
-    L2Event, NetCtx, NetMsg, NetStats, NetWorld, TimerKind,
+    FlowAudit, HandoverOutcome, L2Event, NetCtx, NetMsg, NetStats, NetWorld, TimerKind,
 };

@@ -22,6 +22,7 @@
 use fh_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{FaultSpec, FaultState, FaultVerdict};
 use crate::topology::NodeId;
 
 /// Identifies a link within a [`crate::Topology`].
@@ -65,9 +66,12 @@ impl LinkSpec {
     /// nanosecond (so it is never zero for a non-empty packet).
     #[must_use]
     pub fn tx_time(&self, bytes: u32) -> SimDuration {
-        let bits = u64::from(bytes) * 8;
-        let ns = (bits * 1_000_000_000).div_ceil(self.bandwidth_bps);
-        SimDuration::from_nanos(ns.max(1))
+        // Widen to u128: bits * 1e9 overflows u64 for jumbo packets on
+        // kilobit-class links (e.g. 4 GiB-scale bit-counts), and saturating
+        // at SimDuration::MAX is still the right answer there.
+        let bits = u128::from(bytes) * 8;
+        let ns = (bits * 1_000_000_000).div_ceil(u128::from(self.bandwidth_bps));
+        SimDuration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX).max(1))
     }
 }
 
@@ -78,6 +82,8 @@ pub enum LinkError {
     QueueFull,
     /// The sending node is not an endpoint of this link.
     NotAttached,
+    /// The fault-injection layer discarded the packet at link entry.
+    Faulted,
 }
 
 impl std::fmt::Display for LinkError {
@@ -85,6 +91,7 @@ impl std::fmt::Display for LinkError {
         match self {
             LinkError::QueueFull => f.write_str("link queue full"),
             LinkError::NotAttached => f.write_str("node not attached to link"),
+            LinkError::Faulted => f.write_str("packet lost to fault injection"),
         }
     }
 }
@@ -104,6 +111,8 @@ pub struct Link {
     drops: [u64; 2],
     transmitted: [u64; 2],
     fault_drops: [u32; 2],
+    faults: [Option<Box<FaultState>>; 2],
+    pending_dup: [Option<SimTime>; 2],
 }
 
 impl Link {
@@ -118,6 +127,8 @@ impl Link {
             drops: [0; 2],
             transmitted: [0; 2],
             fault_drops: [0; 2],
+            faults: [None, None],
+            pending_dup: [None, None],
         }
     }
 
@@ -131,6 +142,40 @@ impl Link {
     pub fn inject_drops(&mut self, from: NodeId, n: u32) {
         let dir = self.dir_from(from).expect("node attached to link");
         self.fault_drops[dir] += n;
+    }
+
+    /// Installs a seeded fault model on the `from` → peer direction.
+    ///
+    /// Seed per direction via [`fh_sim::derive_seed`] from the scenario seed
+    /// so decisions stay independent of traffic on other links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of this link.
+    pub fn set_fault(&mut self, from: NodeId, spec: FaultSpec, seed: u64) {
+        let dir = self.dir_from(from).expect("node attached to link");
+        self.faults[dir] = if spec.is_noop() {
+            None
+        } else {
+            Some(Box::new(FaultState::new(spec, seed)))
+        };
+    }
+
+    /// The fault spec active on the `from` → peer direction, if any.
+    #[must_use]
+    pub fn fault_spec(&self, from: NodeId) -> Option<&FaultSpec> {
+        let dir = self.dir_from(from)?;
+        self.faults[dir].as_deref().map(FaultState::spec)
+    }
+
+    /// Takes the arrival time of a fault-injected duplicate of the packet
+    /// most recently accepted from `from`, if the fault layer created one.
+    ///
+    /// Callers must drain this after every successful
+    /// [`try_transmit`](Self::try_transmit) and schedule a second delivery.
+    pub fn take_duplicate(&mut self, from: NodeId) -> Option<SimTime> {
+        let dir = self.dir_from(from)?;
+        self.pending_dup[dir].take()
     }
 
     /// The opposite endpoint, or `None` if `node` is not attached.
@@ -163,7 +208,8 @@ impl Link {
     /// # Errors
     ///
     /// [`LinkError::NotAttached`] if `from` is not an endpoint;
-    /// [`LinkError::QueueFull`] if the drop-tail queue overflows.
+    /// [`LinkError::QueueFull`] if the drop-tail queue overflows;
+    /// [`LinkError::Faulted`] if the fault layer discarded the packet.
     pub fn try_transmit(
         &mut self,
         now: SimTime,
@@ -174,8 +220,21 @@ impl Link {
         if self.fault_drops[dir] > 0 {
             self.fault_drops[dir] -= 1;
             self.drops[dir] += 1;
-            return Err(LinkError::QueueFull);
+            return Err(LinkError::Faulted);
         }
+        let (extra_delay, duplicate) = match self.faults[dir].as_mut() {
+            Some(fault) => match fault.decide(now) {
+                FaultVerdict::Drop => {
+                    self.drops[dir] += 1;
+                    return Err(LinkError::Faulted);
+                }
+                FaultVerdict::Pass {
+                    extra_delay,
+                    duplicate,
+                } => (extra_delay, duplicate),
+            },
+            None => (SimDuration::ZERO, false),
+        };
         let tx = self.spec.tx_time(bytes);
         let backlog = self.busy_until[dir].saturating_since(now);
         // Packets currently waiting, in units of this packet's service time.
@@ -191,7 +250,18 @@ impl Link {
         };
         self.busy_until[dir] = start + tx;
         self.transmitted[dir] += 1;
-        Ok(self.busy_until[dir] + self.spec.delay)
+        let arrival = self.busy_until[dir] + self.spec.delay + extra_delay;
+        if duplicate {
+            // The copy serializes right behind the original if the queue
+            // still has room; otherwise the duplication silently fizzles.
+            let dup_backlog = self.busy_until[dir].saturating_since(now);
+            if dup_backlog.as_nanos().div_ceil(tx.as_nanos()) <= self.spec.queue_limit as u64 {
+                self.busy_until[dir] += tx;
+                self.transmitted[dir] += 1;
+                self.pending_dup[dir] = Some(self.busy_until[dir] + self.spec.delay + extra_delay);
+            }
+        }
+        Ok(arrival)
     }
 
     /// Packets dropped at the queue, per direction (`[a→b, b→a]`).
@@ -324,5 +394,93 @@ mod tests {
     #[should_panic(expected = "bandwidth")]
     fn zero_bandwidth_panics() {
         let _ = LinkSpec::new(0, SimDuration::ZERO, 1);
+    }
+
+    #[test]
+    fn tx_time_survives_u64_boundary() {
+        // u32::MAX bytes = ~34.4 Gbit; times 1e9 overflows u64 (~1.8e19).
+        // On a 1 bit/s link the true answer saturates SimDuration::MAX.
+        let slow = LinkSpec::new(1, SimDuration::ZERO, 1);
+        assert_eq!(slow.tx_time(u32::MAX), SimDuration::MAX);
+        // And a representable boundary case stays exact: 4 GiB at 8 Mb/s.
+        let spec = LinkSpec::new(mbps(8), SimDuration::ZERO, 1);
+        let bytes = u32::MAX;
+        let want = (u128::from(bytes) * 8 * 1_000_000_000).div_ceil(8_000_000) as u64;
+        assert_eq!(spec.tx_time(bytes), SimDuration::from_nanos(want));
+    }
+
+    #[test]
+    fn counted_injected_drops_report_faulted() {
+        let (a, b, _) = nodes();
+        let mut l = Link::new(a, b, LinkSpec::new(mbps(8), SimDuration::ZERO, 10));
+        l.inject_drops(a, 1);
+        assert_eq!(
+            l.try_transmit(SimTime::ZERO, a, 100),
+            Err(LinkError::Faulted)
+        );
+        assert!(l.try_transmit(SimTime::ZERO, a, 100).is_ok());
+        assert_eq!(l.drops(), [1, 0]);
+    }
+
+    #[test]
+    fn full_loss_fault_drops_every_packet() {
+        let (a, b, _) = nodes();
+        let mut l = Link::new(a, b, LinkSpec::new(mbps(8), SimDuration::ZERO, 10));
+        l.set_fault(a, crate::FaultSpec::with_loss(1.0), 7);
+        for i in 0..10 {
+            assert_eq!(
+                l.try_transmit(SimTime::from_millis(i), a, 100),
+                Err(LinkError::Faulted)
+            );
+        }
+        assert_eq!(l.drops(), [10, 0]);
+        // The reverse direction is untouched.
+        assert!(l.try_transmit(SimTime::ZERO, b, 100).is_ok());
+    }
+
+    #[test]
+    fn noop_fault_spec_uninstalls() {
+        let (a, b, _) = nodes();
+        let mut l = Link::new(a, b, LinkSpec::new(mbps(8), SimDuration::ZERO, 10));
+        l.set_fault(a, crate::FaultSpec::with_loss(1.0), 7);
+        assert!(l.fault_spec(a).is_some());
+        l.set_fault(a, crate::FaultSpec::default(), 7);
+        assert!(l.fault_spec(a).is_none());
+        assert!(l.try_transmit(SimTime::ZERO, a, 100).is_ok());
+    }
+
+    #[test]
+    fn duplication_schedules_a_second_arrival() {
+        let (a, b, _) = nodes();
+        let mut l = Link::new(
+            a,
+            b,
+            LinkSpec::new(mbps(8), SimDuration::from_millis(2), 10),
+        );
+        l.set_fault(a, crate::FaultSpec::default().duplicate(1.0), 3);
+        let first = l.try_transmit(SimTime::ZERO, a, 1000).unwrap();
+        assert_eq!(first, SimTime::from_millis(3));
+        let dup = l.take_duplicate(a).expect("duplicate scheduled");
+        assert_eq!(dup, SimTime::from_millis(4)); // serialized right behind
+        assert!(l.take_duplicate(a).is_none(), "duplicate is drained once");
+        assert_eq!(l.transmitted(), [2, 0]);
+    }
+
+    #[test]
+    fn jitter_delays_but_never_reorders_service() {
+        let (a, b, _) = nodes();
+        let mut l = Link::new(
+            a,
+            b,
+            LinkSpec::new(mbps(8), SimDuration::from_millis(2), 10),
+        );
+        l.set_fault(
+            a,
+            crate::FaultSpec::default().jitter(SimDuration::from_micros(400)),
+            11,
+        );
+        let base = SimTime::from_millis(3);
+        let arr = l.try_transmit(SimTime::ZERO, a, 1000).unwrap();
+        assert!(arr >= base && arr <= base + SimDuration::from_micros(400));
     }
 }

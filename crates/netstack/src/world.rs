@@ -77,6 +77,13 @@ pub enum TimerKind {
     FlushStep,
     /// Mobile IP binding lifetime expiry.
     BindingLifetime,
+    /// Retransmission timer for an unanswered RtSolPr+BI (mobile host).
+    RtxSolicit,
+    /// Retransmission timer for an unanswered HI+BR (previous AR).
+    RtxHi,
+    /// Retransmission timer for an unacknowledged FNA/binding update
+    /// (mobile host, after attaching to the new AR).
+    RtxFna,
 }
 
 /// Every event a network node actor can receive.
@@ -132,6 +139,39 @@ pub enum DropReason {
     /// The IPv6 hop limit reached zero (a forwarding loop or an absurdly
     /// long path).
     HopLimitExceeded,
+    /// The deterministic fault-injection layer discarded the packet at
+    /// link entry (seeded loss, burst loss, or a scheduled outage).
+    FaultInjected,
+}
+
+/// How one handover attempt resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HandoverOutcome {
+    /// The anticipated FMIPv6 exchange completed: the MH moved with a
+    /// pre-established binding and (where configured) pre-armed buffers.
+    Predictive,
+    /// Anticipation failed (lost signaling, exhausted retries) but the MH
+    /// recovered reactively after attaching: FNA/BF first, bindings after.
+    Reactive,
+    /// The attempt never resolved — the MH ended the run without
+    /// re-establishing connectivity.
+    Failed,
+}
+
+impl HandoverOutcome {
+    const ALL: [HandoverOutcome; 3] = [
+        HandoverOutcome::Predictive,
+        HandoverOutcome::Reactive,
+        HandoverOutcome::Failed,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            HandoverOutcome::Predictive => 0,
+            HandoverOutcome::Reactive => 1,
+            HandoverOutcome::Failed => 2,
+        }
+    }
 }
 
 /// Global statistics hub, one per simulation.
@@ -150,6 +190,43 @@ pub struct NetStats {
     pub control_bytes: u64,
     /// Control messages that carried a piggybacked buffer option.
     pub piggybacked: u64,
+    /// Per-flow data packets entering the network (recorded at the source).
+    per_flow_sent: HashMap<FlowId, u64>,
+    /// Per-flow data packets reaching their application sink.
+    per_flow_delivered: HashMap<FlowId, u64>,
+    /// Per-flow extra copies created by fault-injected duplication.
+    per_flow_duplicated: HashMap<FlowId, u64>,
+    /// Handover outcome tally, indexed by [`HandoverOutcome`].
+    outcomes: [u64; 3],
+    /// Named counters mirrored from node-local components (sorted map so
+    /// iteration order — and any rendering of it — is deterministic).
+    counters: std::collections::BTreeMap<String, u64>,
+}
+
+/// End-of-run packet-conservation snapshot for one flow.
+///
+/// Once all queues and handover buffers have drained, every packet that
+/// entered the network (plus every fault-injected duplicate) must either
+/// have reached its sink or be accounted to a [`DropReason`]:
+/// `sent + duplicated == delivered + dropped`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowAudit {
+    /// Packets the source pushed into the network.
+    pub sent: u64,
+    /// Packets the sink received.
+    pub delivered: u64,
+    /// Extra copies created by fault-injected duplication.
+    pub duplicated: u64,
+    /// Packets accounted to any [`DropReason`].
+    pub dropped: u64,
+}
+
+impl FlowAudit {
+    /// `true` if every packet is accounted for.
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        self.sent + self.duplicated == self.delivered + self.dropped
+    }
 }
 
 impl NetStats {
@@ -217,6 +294,108 @@ impl NetStats {
     pub fn control_total(&self) -> u64 {
         self.control_sent.values().sum()
     }
+
+    /// Records a data packet entering the network on `flow`.
+    pub fn record_sent(&mut self, flow: FlowId) {
+        *self.per_flow_sent.entry(flow).or_insert(0) += 1;
+    }
+
+    /// Records a data packet reaching its application sink on `flow`.
+    pub fn record_delivered(&mut self, flow: FlowId) {
+        self.delivered += 1;
+        *self.per_flow_delivered.entry(flow).or_insert(0) += 1;
+    }
+
+    /// Records a fault-injected duplicate created on `flow`.
+    pub fn record_duplicate(&mut self, flow: FlowId) {
+        *self.per_flow_duplicated.entry(flow).or_insert(0) += 1;
+    }
+
+    /// Packets recorded as sent on `flow`.
+    #[must_use]
+    pub fn flow_sent(&self, flow: FlowId) -> u64 {
+        self.per_flow_sent.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Packets recorded as delivered on `flow`.
+    #[must_use]
+    pub fn flow_delivered(&self, flow: FlowId) -> u64 {
+        self.per_flow_delivered.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// The packet-conservation snapshot for one flow.
+    #[must_use]
+    pub fn flow_audit(&self, flow: FlowId) -> FlowAudit {
+        FlowAudit {
+            sent: self.flow_sent(flow),
+            delivered: self.flow_delivered(flow),
+            duplicated: self.per_flow_duplicated.get(&flow).copied().unwrap_or(0),
+            dropped: self.flow_drops(flow),
+        }
+    }
+
+    /// All flows with recorded sends, sorted (the audit set).
+    #[must_use]
+    pub fn audited_flows(&self) -> Vec<FlowId> {
+        let mut flows: Vec<FlowId> = self.per_flow_sent.keys().copied().collect();
+        flows.sort();
+        flows
+    }
+
+    /// Asserts `sent + duplicated == delivered + Σ drops` for every flow
+    /// with recorded sends. Call only after queues and buffers have
+    /// drained (traffic stopped, reservations expired).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the offending flow's [`FlowAudit`] if conservation is
+    /// violated.
+    pub fn assert_conservation(&self) {
+        for flow in self.audited_flows() {
+            let audit = self.flow_audit(flow);
+            assert!(
+                audit.conserved(),
+                "packet conservation violated on {flow:?}: {audit:?}"
+            );
+        }
+    }
+
+    /// Records the resolution of one handover attempt.
+    pub fn record_outcome(&mut self, outcome: HandoverOutcome) {
+        self.outcomes[outcome.index()] += 1;
+    }
+
+    /// Handover attempts that resolved as `outcome`.
+    #[must_use]
+    pub fn outcome_count(&self, outcome: HandoverOutcome) -> u64 {
+        self.outcomes[outcome.index()]
+    }
+
+    /// The full outcome tally as `(outcome, count)` pairs.
+    #[must_use]
+    pub fn outcomes(&self) -> [(HandoverOutcome, u64); 3] {
+        HandoverOutcome::ALL.map(|o| (o, self.outcomes[o.index()]))
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    ///
+    /// Node-local components mirror their failure counters here — e.g.
+    /// `"map.intercept_failures"` — so runs can assert on shared stats
+    /// instead of reaching into node structs.
+    pub fn bump(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Reads a named counter (zero if never bumped).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All named counters in sorted order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
 }
 
 /// Shared-state contract required by the network layer.
@@ -232,7 +411,10 @@ pub trait NetWorld: 'static {
 }
 
 /// Transmits `pkt` from `from` on the given link, scheduling its arrival at
-/// the peer. Returns `false` (and records the drop) on queue overflow.
+/// the peer. Returns `false` (and records the drop) when the link refused
+/// the packet — queue overflow or an injected fault, each under its own
+/// [`DropReason`]. Fault-injected duplicates are scheduled as a second
+/// arrival of the same packet.
 pub fn transmit_on<S: NetWorld>(
     ctx: &mut NetCtx<'_, S>,
     link_id: LinkId,
@@ -244,10 +426,31 @@ pub fn transmit_on<S: NetWorld>(
     let peer = link
         .peer(from)
         .expect("transmit_on: node not attached to link");
-    match link.try_transmit(now, from, pkt.size) {
+    let result = link.try_transmit(now, from, pkt.size);
+    let dup_arrival = if result.is_ok() {
+        link.take_duplicate(from)
+    } else {
+        None
+    };
+    match result {
         Ok(arrival) => {
+            if let Some(at) = dup_arrival {
+                ctx.shared.stats_mut().record_duplicate(pkt.flow);
+                ctx.send_at(
+                    peer,
+                    at,
+                    NetMsg::LinkPacket {
+                        link: link_id,
+                        pkt: pkt.clone(),
+                    },
+                );
+            }
             ctx.send_at(peer, arrival, NetMsg::LinkPacket { link: link_id, pkt });
             true
+        }
+        Err(crate::link::LinkError::Faulted) => {
+            record_drop(ctx, pkt.flow, DropReason::FaultInjected);
+            false
         }
         Err(_) => {
             record_drop(ctx, pkt.flow, DropReason::QueueOverflow);
@@ -491,6 +694,91 @@ mod tests {
         assert_eq!(sim.shared.stats.control_total(), 1);
         assert!(sim.shared.stats.control_bytes >= 48);
         assert_eq!(sim.shared.stats.piggybacked, 0);
+    }
+
+    #[test]
+    fn fault_injected_drops_have_their_own_reason() {
+        let (mut sim, ids) = build_chain(2);
+        sim.shared
+            .topo
+            .link_mut(LinkId(0))
+            .set_fault(ids[0], crate::FaultSpec::with_loss(1.0), 13);
+        let pkt = data_packet(2);
+        sim.shared.stats.record_sent(pkt.flow);
+        sim.schedule(
+            SimTime::ZERO,
+            ids[0],
+            NetMsg::LinkPacket {
+                link: LinkId(0),
+                pkt,
+            },
+        );
+        sim.run();
+        assert_eq!(sim.shared.stats.drops(DropReason::FaultInjected), 1);
+        assert_eq!(sim.shared.stats.drops(DropReason::QueueOverflow), 0);
+        assert_eq!(sim.shared.stats.delivered, 0);
+        sim.shared.stats.assert_conservation();
+    }
+
+    #[test]
+    fn duplicated_packets_arrive_twice_and_conserve() {
+        let (mut sim, ids) = build_chain(2);
+        sim.shared.topo.link_mut(LinkId(0)).set_fault(
+            ids[0],
+            crate::FaultSpec::default().duplicate(1.0),
+            5,
+        );
+        let pkt = data_packet(2);
+        sim.shared.stats.record_sent(pkt.flow);
+        sim.schedule(
+            SimTime::ZERO,
+            ids[0],
+            NetMsg::LinkPacket {
+                link: LinkId(0),
+                pkt,
+            },
+        );
+        sim.run();
+        // The test Node bumps `delivered` but not the per-flow ledger, so
+        // mirror it here: both copies reached the far node.
+        assert_eq!(sim.actor::<Node>(ids[1]).unwrap().delivered, 2);
+        sim.shared.stats.record_delivered(FlowId(1));
+        sim.shared.stats.record_delivered(FlowId(1));
+        let audit = sim.shared.stats.flow_audit(FlowId(1));
+        assert_eq!(audit.sent, 1);
+        assert_eq!(audit.duplicated, 1);
+        assert_eq!(audit.delivered, 2);
+        assert!(audit.conserved());
+    }
+
+    #[test]
+    fn conservation_audit_catches_a_missing_packet() {
+        let mut stats = NetStats::new();
+        stats.record_sent(FlowId(3));
+        let audit = stats.flow_audit(FlowId(3));
+        assert!(!audit.conserved(), "unaccounted packet must fail the audit");
+        stats.record_drop(SimTime::ZERO, FlowId(3), DropReason::BufferOverflow);
+        assert!(stats.flow_audit(FlowId(3)).conserved());
+        stats.assert_conservation();
+    }
+
+    #[test]
+    fn outcome_tally_and_named_counters() {
+        let mut stats = NetStats::new();
+        stats.record_outcome(HandoverOutcome::Predictive);
+        stats.record_outcome(HandoverOutcome::Predictive);
+        stats.record_outcome(HandoverOutcome::Reactive);
+        assert_eq!(stats.outcome_count(HandoverOutcome::Predictive), 2);
+        assert_eq!(stats.outcome_count(HandoverOutcome::Reactive), 1);
+        assert_eq!(stats.outcome_count(HandoverOutcome::Failed), 0);
+        let tally = stats.outcomes();
+        assert_eq!(tally[0], (HandoverOutcome::Predictive, 2));
+        stats.bump("map.intercept_failures", 1);
+        stats.bump("map.intercept_failures", 2);
+        assert_eq!(stats.counter("map.intercept_failures"), 3);
+        assert_eq!(stats.counter("never.bumped"), 0);
+        let names: Vec<&str> = stats.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["map.intercept_failures"]);
     }
 
     #[test]

@@ -18,8 +18,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use fh_core::{ProtocolConfig, Scheme};
-use fh_net::{FlowId, ServiceClass};
+use fh_core::{HandoffPhase, ProtocolConfig, RetransmitConfig, Scheme};
+use fh_net::{DropReason, FaultSpec, FlowId, ServiceClass};
 use fh_sim::{derive_seed, SimDuration, SimTime};
 
 use crate::hmip::{HmipConfig, HmipScenario, MovementPlan};
@@ -718,6 +718,136 @@ pub fn background_load(bg_kbps: &[f64], seed: u64, threads: usize) -> Background
         result.events += events;
     }
     result
+}
+
+// ---------------------------------------------------------------------
+// Chaos sweep — handover robustness vs control-plane loss
+// ---------------------------------------------------------------------
+
+/// Robustness metrics at one injected loss probability.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosPoint {
+    /// Per-packet loss probability injected on the PAR↔NAR wire and on
+    /// both air interfaces.
+    pub loss: f64,
+    /// Handovers that completed the anticipated (predictive) exchange.
+    pub predictive: u64,
+    /// Handovers that fell back to the reactive path.
+    pub reactive: u64,
+    /// Handovers still unresolved when the run ended (wedged).
+    pub failed: u64,
+    /// Mean LinkDown → MAP-binding-restored latency, in milliseconds
+    /// (grows with every retransmission round the signaling needed).
+    pub recovery_ms: f64,
+    /// Per-class data drops (F1 real-time, F2 high-priority, F3 best
+    /// effort), all reasons combined.
+    pub class_drops: [u64; 3],
+    /// Packets the fault layer itself discarded, control and data.
+    pub fault_drops: u64,
+    /// Control retransmissions spent (host solicit/FNA + router HI).
+    pub retransmissions: u64,
+    /// Degradation-ladder steps taken (exchanges that exhausted their
+    /// retry budget).
+    pub degradations: u64,
+    /// Simulator events processed by this point.
+    pub events: u64,
+}
+
+/// The chaos sweep series plus run accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosSweepResult {
+    /// One point per tested loss probability.
+    pub points: Vec<ChaosPoint>,
+    /// Total simulator events across all points.
+    pub events: u64,
+}
+
+/// The x-axis of the chaos figure: loss up to the 20 % acceptance bound.
+pub const CHAOS_LOSS_PROBS: [f64; 6] = [0.0, 0.025, 0.05, 0.10, 0.15, 0.20];
+
+/// Chaos sweep: seeded fault injection on every control-plane path (the
+/// PAR↔NAR wire plus both air interfaces) with hardened signaling
+/// retransmission, a ping-pong host and three classified 128 kb/s flows.
+/// Each point classifies every handover attempt
+/// (predictive / reactive / failed) and must pass the end-of-run
+/// packet-conservation audit — a wedged scenario panics here rather than
+/// producing a quietly wrong figure.
+#[must_use]
+pub fn chaos_sweep(loss_probs: &[f64], seed: u64, threads: usize) -> ChaosSweepResult {
+    let runs = parallel_map(threads, loss_probs, |idx, &p| {
+        let mut protocol = ProtocolConfig::proposed();
+        protocol.buffer_request = 40;
+        protocol.rtx = RetransmitConfig::hardened();
+        let cfg = HmipConfig {
+            protocol,
+            n_mhs: 1,
+            buffer_capacity: 40,
+            movement: MovementPlan::PingPong,
+            seed: derive_seed(seed, idx as u64),
+            ar_link_fault: FaultSpec::with_loss(p),
+            wireless_fault: FaultSpec::with_loss(p),
+            ..HmipConfig::default()
+        };
+        let mut scenario = HmipScenario::build(cfg);
+        let flows: Vec<FlowId> = FLOW_CLASSES
+            .iter()
+            .map(|&class| scenario.add_audio_128k(0, class))
+            .collect();
+        // Traffic stops well before the horizon so queues and handover
+        // buffers drain — the conservation audit needs a settled network.
+        scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(30));
+        scenario.run_until(SimTime::from_secs(45));
+
+        // Service-restoration latency: each LinkDown paired with the next
+        // MAP BindingComplete (predictive and reactive paths both end
+        // there; attempts with no completion are the `failed` count).
+        let log = &scenario.mh_agent(0).log;
+        let mut gaps_ms = Vec::new();
+        for (i, &(down, phase)) in log.iter().enumerate() {
+            if phase != HandoffPhase::LinkDown {
+                continue;
+            }
+            if let Some(&(done, _)) = log[i + 1..]
+                .iter()
+                .find(|(_, q)| *q == HandoffPhase::BindingComplete)
+            {
+                gaps_ms.push((done.as_secs_f64() - down.as_secs_f64()) * 1e3);
+            }
+        }
+        let recovery_ms = if gaps_ms.is_empty() {
+            0.0
+        } else {
+            gaps_ms.iter().sum::<f64>() / gaps_ms.len() as f64
+        };
+
+        let class_drops = [
+            scenario.flow_losses(flows[0]),
+            scenario.flow_losses(flows[1]),
+            scenario.flow_losses(flows[2]),
+        ];
+        let failed = scenario.finalize();
+        scenario.assert_conservation();
+        let outcomes = scenario.outcomes();
+        let stats = &scenario.sim.shared.stats;
+        ChaosPoint {
+            loss: p,
+            predictive: outcomes[0].1,
+            reactive: outcomes[1].1,
+            failed,
+            recovery_ms,
+            class_drops,
+            fault_drops: stats.drops(DropReason::FaultInjected),
+            retransmissions: stats.counter("mh.retransmissions")
+                + stats.counter("ar.retransmissions"),
+            degradations: stats.counter("mh.degradations") + stats.counter("ar.hi_exhausted"),
+            events: scenario.sim.events_processed(),
+        }
+    });
+    let events = runs.iter().map(|pt| pt.events).sum();
+    ChaosSweepResult {
+        points: runs,
+        events,
+    }
 }
 
 /// Control-plane accounting for one handover (§3.3 signaling argument).

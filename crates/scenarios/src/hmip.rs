@@ -18,11 +18,13 @@
 
 use std::net::Ipv6Addr;
 
-use fh_sim::{SimDuration, SimTime, Simulator};
+use fh_sim::{derive_seed, SimDuration, SimTime, Simulator};
 
 use fh_core::{ArAgent, MhAgent, ProtocolConfig};
 use fh_mip::{MipClient, MobilityAnchor};
-use fh_net::{doc_subnet, ApId, FlowId, LinkSpec, NetMsg, NodeId, ServiceClass};
+use fh_net::{
+    doc_subnet, ApId, FaultSpec, FlowId, HandoverOutcome, LinkSpec, NetMsg, NodeId, ServiceClass,
+};
 use fh_traffic::{CbrSource, UdpSink};
 use fh_wireless::{MhRadio, Mobility, Position, RadioConfig, WirelessSpec};
 
@@ -65,6 +67,13 @@ pub struct HmipConfig {
     pub speed: f64,
     /// RNG seed for the run.
     pub seed: u64,
+    /// Fault injection on the PAR↔NAR wired link, applied to both
+    /// directions (control-plane chaos: HI/HAck/BF and tunneled data all
+    /// ride this link). No-op by default.
+    pub ar_link_fault: FaultSpec,
+    /// Fault injection on both wireless cells (applies to every uplink and
+    /// downlink transmission in the cell). No-op by default.
+    pub wireless_fault: FaultSpec,
 }
 
 impl Default for HmipConfig {
@@ -82,6 +91,8 @@ impl Default for HmipConfig {
             movement: MovementPlan::OneWay,
             speed: 10.0,
             seed: 42,
+            ar_link_fault: FaultSpec::default(),
+            wireless_fault: FaultSpec::default(),
         }
     }
 }
@@ -319,6 +330,37 @@ impl HmipScenario {
             topo.compute_routes();
         }
 
+        // Fault injection (chaos experiments). Every fault stream gets its
+        // own deterministic seed derived from the scenario seed, so runs
+        // are reproducible and independent of thread count.
+        if !cfg.wireless_fault.is_noop() {
+            sim.shared.radio.set_fault(
+                par_ap,
+                cfg.wireless_fault,
+                derive_seed(cfg.seed, 0xFA01_0000),
+            );
+            sim.shared.radio.set_fault(
+                nar_ap,
+                cfg.wireless_fault,
+                derive_seed(cfg.seed, 0xFA02_0000),
+            );
+        }
+        if !cfg.ar_link_fault.is_noop() {
+            if let Some(link) = inter_ar_link {
+                let l = sim.shared.topo.link_mut(link);
+                l.set_fault(
+                    par_node,
+                    cfg.ar_link_fault,
+                    derive_seed(cfg.seed, 0xFA03_0000),
+                );
+                l.set_fault(
+                    nar_node,
+                    cfg.ar_link_fault,
+                    derive_seed(cfg.seed, 0xFA04_0000),
+                );
+            }
+        }
+
         // The FMIPv6 tunnel rides the direct inter-AR link regardless of
         // shortest-path routing (Figs 4.9/4.10 sweep its delay).
         if let Some(link) = inter_ar_link {
@@ -478,5 +520,55 @@ impl HmipScenario {
     /// Runs the simulation until `t`.
     pub fn run_until(&mut self, t: SimTime) {
         self.sim.run_until(t);
+    }
+
+    /// End-of-run bookkeeping: classifies every still-open handover
+    /// attempt as [`HandoverOutcome::Failed`] and mirrors the routers'
+    /// activity counters into the shared stats registry. Call once, after
+    /// the final `run_until`. Returns the number of failed attempts.
+    pub fn finalize(&mut self) -> u64 {
+        let mhs = self.mhs.clone();
+        let mut failed = 0u64;
+        for mh in mhs {
+            let agent = &mut self.sim.actor_mut::<MhNode>(mh).expect("mh").agent;
+            if agent.close_unresolved() {
+                failed += 1;
+            }
+        }
+        for _ in 0..failed {
+            self.sim
+                .shared
+                .stats
+                .record_outcome(HandoverOutcome::Failed);
+        }
+        let pm = self.par_agent().metrics;
+        let nm = self.nar_agent().metrics;
+        pm.export(&mut self.sim.shared.stats);
+        nm.export(&mut self.sim.shared.stats);
+        failed
+    }
+
+    /// Asserts per-flow packet conservation:
+    /// `sent + duplicated == delivered + Σ drops(reason)` for every flow
+    /// whose source was recorded. Panics with the offending flow's audit
+    /// on violation.
+    pub fn assert_conservation(&self) {
+        self.sim.shared.stats.assert_conservation();
+    }
+
+    /// Handover outcome tally `[(Predictive, n), (Reactive, n), (Failed, n)]`.
+    #[must_use]
+    pub fn outcomes(&self) -> [(HandoverOutcome, u64); 3] {
+        self.sim.shared.stats.outcomes()
+    }
+
+    /// Hosts whose current handover attempt has not resolved (should be
+    /// zero after [`HmipScenario::finalize`]).
+    #[must_use]
+    pub fn unresolved_handovers(&self) -> usize {
+        self.mhs
+            .iter()
+            .filter(|&&mh| self.sim.actor::<MhNode>(mh).expect("mh").agent.unresolved())
+            .count()
     }
 }

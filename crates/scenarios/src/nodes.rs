@@ -111,6 +111,9 @@ impl Actor<NetMsg, World> for CnNode {
                 let now = ctx.now();
                 let pkt = self.cbr[i].next_packet(now);
                 let interval = self.cbr[i].interval;
+                // Per-flow source accounting for the end-of-run packet
+                // conservation audit (sent == delivered + Σ drops).
+                ctx.shared.stats.record_sent(pkt.flow);
                 self.transmit(ctx, pkt);
                 start_timer(ctx, interval, TimerKind::CbrSend, token);
             }
@@ -253,6 +256,7 @@ impl Actor<NetMsg, World> for MhNode {
                 }
                 _ => {
                     let now = ctx.now();
+                    ctx.shared.stats.record_delivered(app.flow);
                     for sink in &mut self.sinks {
                         sink.on_packet(now, &app);
                     }

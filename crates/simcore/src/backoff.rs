@@ -1,0 +1,175 @@
+//! Exponential-backoff schedules for protocol retransmission timers.
+//!
+//! Signaling hardening (lost RtSolPr/HI/FNA recovery) needs one small piece
+//! of arithmetic shared by every state machine: *how long to wait before the
+//! n-th retransmission*. [`Backoff`] keeps that arithmetic pure and
+//! deterministic — no RNG, no wall clock — so retry behaviour is identical
+//! across runs and thread counts.
+//!
+//! The schedule is the classic doubling ladder: attempt `n` waits
+//! `initial * factor^n`, clamped to `max_delay`, and a sender gives up after
+//! `max_retries` retransmissions (so `1 + max_retries` transmissions total).
+//!
+//! # Examples
+//!
+//! ```
+//! use fh_sim::{Backoff, SimDuration};
+//!
+//! let b = Backoff::new(SimDuration::from_millis(200), 2, SimDuration::from_secs(2), 3);
+//! assert_eq!(b.delay(0), SimDuration::from_millis(200));
+//! assert_eq!(b.delay(1), SimDuration::from_millis(400));
+//! assert_eq!(b.delay(4), SimDuration::from_secs(2)); // capped
+//! assert!(!b.exhausted(3));
+//! assert!(b.exhausted(4));
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// A deterministic, capped exponential-backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Backoff {
+    /// Delay before the first retransmission.
+    pub initial: SimDuration,
+    /// Multiplier applied per attempt (`2` doubles every retry).
+    pub factor: u32,
+    /// Upper bound on any single delay.
+    pub max_delay: SimDuration,
+    /// Retransmissions allowed before the sender gives up.
+    pub max_retries: u32,
+}
+
+impl Backoff {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero (the schedule would not be monotone) or
+    /// `initial` exceeds `max_delay`.
+    #[must_use]
+    pub fn new(
+        initial: SimDuration,
+        factor: u32,
+        max_delay: SimDuration,
+        max_retries: u32,
+    ) -> Self {
+        assert!(factor >= 1, "backoff factor must be at least 1");
+        assert!(
+            initial <= max_delay,
+            "initial delay must not exceed the cap"
+        );
+        Backoff {
+            initial,
+            factor,
+            max_delay,
+            max_retries,
+        }
+    }
+
+    /// The wait before retransmission `attempt` (zero-based).
+    ///
+    /// `initial * factor^attempt`, saturating, clamped to `max_delay`. The
+    /// sequence is monotone non-decreasing and capped — the two properties
+    /// retry loops rely on for bounded, ordered timer arming.
+    #[must_use]
+    pub fn delay(&self, attempt: u32) -> SimDuration {
+        let scale = u64::from(self.factor).saturating_pow(attempt);
+        let ns = self.initial.as_nanos().saturating_mul(scale);
+        SimDuration::from_nanos(ns).min(self.max_delay)
+    }
+
+    /// `true` once `sent` transmissions have gone unanswered and no retry
+    /// budget remains (`sent` counts the initial transmission too).
+    #[must_use]
+    pub fn exhausted(&self, sent: u32) -> bool {
+        sent > self.max_retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_the_cap() {
+        let b = Backoff::new(
+            SimDuration::from_millis(100),
+            2,
+            SimDuration::from_millis(500),
+            5,
+        );
+        assert_eq!(b.delay(0), SimDuration::from_millis(100));
+        assert_eq!(b.delay(1), SimDuration::from_millis(200));
+        assert_eq!(b.delay(2), SimDuration::from_millis(400));
+        assert_eq!(b.delay(3), SimDuration::from_millis(500));
+        assert_eq!(b.delay(30), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn monotone_and_capped_for_all_attempts() {
+        let b = Backoff::new(
+            SimDuration::from_millis(37),
+            3,
+            SimDuration::from_secs(4),
+            8,
+        );
+        let mut prev = SimDuration::ZERO;
+        for attempt in 0..64 {
+            let d = b.delay(attempt);
+            assert!(d >= prev, "delay must never shrink");
+            assert!(d <= b.max_delay, "delay must respect the cap");
+            prev = d;
+        }
+        assert_eq!(prev, b.max_delay, "large attempts saturate at the cap");
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let b = Backoff::new(
+            SimDuration::from_secs(1),
+            u32::MAX,
+            SimDuration::from_secs(30),
+            2,
+        );
+        assert_eq!(b.delay(u32::MAX), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn exhaustion_counts_the_initial_transmission() {
+        let b = Backoff::new(
+            SimDuration::from_millis(200),
+            2,
+            SimDuration::from_secs(2),
+            3,
+        );
+        // initial + 3 retransmissions = 4 sends allowed.
+        for sent in 0..=3 {
+            assert!(!b.exhausted(sent), "budget remains after {sent} sends");
+        }
+        assert!(b.exhausted(4));
+    }
+
+    #[test]
+    fn zero_retries_gives_up_immediately() {
+        let b = Backoff::new(
+            SimDuration::from_millis(200),
+            2,
+            SimDuration::from_secs(2),
+            0,
+        );
+        assert!(b.exhausted(1), "one unanswered send exhausts the budget");
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn zero_factor_panics() {
+        let _ = Backoff::new(SimDuration::from_millis(1), 0, SimDuration::from_secs(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn initial_beyond_cap_panics() {
+        let _ = Backoff::new(SimDuration::from_secs(2), 2, SimDuration::from_secs(1), 1);
+    }
+}

@@ -45,12 +45,14 @@
 #![warn(missing_docs)]
 
 mod actor;
+mod backoff;
 mod queue;
 mod rng;
 pub mod stats;
 mod time;
 
 pub use actor::{Actor, ActorId, AsAny, Ctx, Simulator};
+pub use backoff::Backoff;
 pub use queue::{EventKey, EventQueue};
 pub use rng::{derive_seed, Rng64};
 pub use time::{SimDuration, SimTime};

@@ -18,7 +18,9 @@ use std::collections::HashMap;
 use fh_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-use fh_net::{ApId, DropReason, NetCtx, NetMsg, NetWorld, NodeId, Packet};
+use fh_net::{
+    ApId, DropReason, FaultSpec, FaultState, FaultVerdict, NetCtx, NetMsg, NetWorld, NodeId, Packet,
+};
 
 use crate::position::Position;
 
@@ -44,8 +46,11 @@ impl WirelessSpec {
     /// Serialization time of `bytes` on the channel (never zero).
     #[must_use]
     pub fn tx_time(&self, bytes: u32) -> SimDuration {
-        let bits = u64::from(bytes) * 8;
-        SimDuration::from_nanos((bits * 1_000_000_000).div_ceil(self.bandwidth_bps).max(1))
+        // Widen to u128: bits * 1e9 overflows u64 for jumbo frame sizes on
+        // slow channels (same boundary as `LinkSpec::tx_time`).
+        let bits = u128::from(bytes) * 8;
+        let ns = (bits * 1_000_000_000).div_ceil(u128::from(self.bandwidth_bps));
+        SimDuration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX).max(1))
     }
 }
 
@@ -83,6 +88,7 @@ pub struct RadioEnv {
     spec: WirelessSpec,
     attachments: HashMap<NodeId, ApId>,
     busy_until: Vec<SimTime>,
+    faults: Vec<Option<Box<FaultState>>>,
     /// Frames lost to detached receivers, per mobile host.
     pub airtime_frames: u64,
 }
@@ -114,7 +120,47 @@ impl RadioEnv {
             radius,
         });
         self.busy_until.push(SimTime::ZERO);
+        self.faults.push(None);
         id
+    }
+
+    /// Installs a seeded fault model on `ap`'s air interface.
+    ///
+    /// Every frame through the AP — uplink and downlink, control and data —
+    /// passes the fault layer. Seed per AP via [`fh_sim::derive_seed`] so
+    /// fault decisions stay independent of other channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown AP id.
+    pub fn set_fault(&mut self, ap: ApId, spec: FaultSpec, seed: u64) {
+        let idx = ap.0 as usize;
+        assert!(idx < self.aps.len(), "unknown AP");
+        self.faults[idx] = if spec.is_noop() {
+            None
+        } else {
+            Some(Box::new(FaultState::new(spec, seed)))
+        };
+    }
+
+    /// The fault spec active on `ap`'s air interface, if any.
+    #[must_use]
+    pub fn fault_spec(&self, ap: ApId) -> Option<&FaultSpec> {
+        self.faults
+            .get(ap.0 as usize)?
+            .as_deref()
+            .map(FaultState::spec)
+    }
+
+    /// Runs the fault layer for one frame entering `ap`'s channel.
+    fn fault_decision(&mut self, now: SimTime, ap: ApId) -> FaultVerdict {
+        match self.faults[ap.0 as usize].as_mut() {
+            Some(state) => state.decide(now),
+            None => FaultVerdict::Pass {
+                extra_delay: SimDuration::ZERO,
+                duplicate: false,
+            },
+        }
     }
 
     /// Access-point lookup.
@@ -228,8 +274,31 @@ pub fn send_downlink<S: RadioWorld>(
         return false;
     }
     let now = ctx.now();
+    let (extra_delay, duplicate) = match ctx.shared.radio_mut().fault_decision(now, ap) {
+        FaultVerdict::Drop => {
+            fh_net::record_drop(ctx, pkt.flow, DropReason::FaultInjected);
+            return false;
+        }
+        FaultVerdict::Pass {
+            extra_delay,
+            duplicate,
+        } => (extra_delay, duplicate),
+    };
     let router = ctx.shared.radio().ap(ap).router;
-    let arrival = ctx.shared.radio_mut().reserve_airtime(now, ap, pkt.size);
+    let arrival = ctx.shared.radio_mut().reserve_airtime(now, ap, pkt.size) + extra_delay;
+    if duplicate {
+        let dup_arrival = ctx.shared.radio_mut().reserve_airtime(now, ap, pkt.size) + extra_delay;
+        ctx.shared.stats_mut().record_duplicate(pkt.flow);
+        ctx.send_at(
+            mh,
+            dup_arrival,
+            NetMsg::RadioPacket {
+                ap,
+                from: router,
+                pkt: pkt.clone(),
+            },
+        );
+    }
     ctx.send_at(
         mh,
         arrival,
@@ -250,9 +319,32 @@ pub fn send_uplink<S: RadioWorld>(ctx: &mut NetCtx<'_, S>, mh: NodeId, pkt: Pack
         fh_net::record_drop(ctx, pkt.flow, DropReason::RadioDetached);
         return false;
     };
-    let router = ctx.shared.radio().ap(ap).router;
     let now = ctx.now();
-    let arrival = ctx.shared.radio_mut().reserve_airtime(now, ap, pkt.size);
+    let (extra_delay, duplicate) = match ctx.shared.radio_mut().fault_decision(now, ap) {
+        FaultVerdict::Drop => {
+            fh_net::record_drop(ctx, pkt.flow, DropReason::FaultInjected);
+            return false;
+        }
+        FaultVerdict::Pass {
+            extra_delay,
+            duplicate,
+        } => (extra_delay, duplicate),
+    };
+    let router = ctx.shared.radio().ap(ap).router;
+    let arrival = ctx.shared.radio_mut().reserve_airtime(now, ap, pkt.size) + extra_delay;
+    if duplicate {
+        let dup_arrival = ctx.shared.radio_mut().reserve_airtime(now, ap, pkt.size) + extra_delay;
+        ctx.shared.stats_mut().record_duplicate(pkt.flow);
+        ctx.send_at(
+            router,
+            dup_arrival,
+            NetMsg::RadioPacket {
+                ap,
+                from: mh,
+                pkt: pkt.clone(),
+            },
+        );
+    }
     ctx.send_at(router, arrival, NetMsg::RadioPacket { ap, from: mh, pkt });
     true
 }
@@ -442,6 +534,79 @@ mod tests {
         sim.run();
         assert_eq!(sim.actor::<Sink>(ar).unwrap().got.len(), 1);
         assert_eq!(sim.actor::<Sink>(ar).unwrap().got[0].1, 7);
+    }
+
+    #[test]
+    fn tx_time_survives_u64_boundary() {
+        // u32::MAX bytes * 8 * 1e9 overflows u64; on a 1 bit/s channel the
+        // result saturates instead of wrapping to a tiny duration.
+        let slow = WirelessSpec {
+            bandwidth_bps: 1,
+            delay: SimDuration::ZERO,
+        };
+        assert_eq!(slow.tx_time(u32::MAX), SimDuration::MAX);
+    }
+
+    #[test]
+    fn faulty_ap_drops_frames_with_fault_reason() {
+        let mut sim = world();
+        let ar = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let mh = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let ap = sim.shared.radio.add_ap(ar, Position::default(), 100.0);
+        sim.shared.radio.attach(mh, ap);
+        sim.shared
+            .radio
+            .set_fault(ap, FaultSpec::with_loss(1.0), 17);
+
+        struct Driver {
+            ap: ApId,
+            mh: NodeId,
+        }
+        impl Actor<NetMsg, World> for Driver {
+            fn handle(&mut self, ctx: &mut NetCtx<'_, World>, msg: NetMsg) {
+                if let NetMsg::Start = msg {
+                    assert!(!send_downlink(ctx, self.ap, self.mh, pkt(0)));
+                    assert!(!send_uplink(ctx, self.mh, pkt(1)));
+                }
+            }
+        }
+        let d = sim.add_actor(Box::new(Driver { ap, mh }));
+        sim.schedule(SimTime::ZERO, d, NetMsg::Start);
+        sim.run();
+        assert!(sim.actor::<Sink>(mh).unwrap().got.is_empty());
+        assert!(sim.actor::<Sink>(ar).unwrap().got.is_empty());
+        assert_eq!(sim.shared.stats.drops(DropReason::FaultInjected), 2);
+        assert_eq!(sim.shared.stats.drops(DropReason::RadioDetached), 0);
+    }
+
+    #[test]
+    fn duplicating_ap_delivers_twice() {
+        let mut sim = world();
+        let ar = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let mh = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let ap = sim.shared.radio.add_ap(ar, Position::default(), 100.0);
+        sim.shared.radio.attach(mh, ap);
+        sim.shared
+            .radio
+            .set_fault(ap, FaultSpec::default().duplicate(1.0), 19);
+
+        struct Driver {
+            ap: ApId,
+            mh: NodeId,
+        }
+        impl Actor<NetMsg, World> for Driver {
+            fn handle(&mut self, ctx: &mut NetCtx<'_, World>, msg: NetMsg) {
+                if let NetMsg::Start = msg {
+                    assert!(send_downlink(ctx, self.ap, self.mh, pkt(0)));
+                }
+            }
+        }
+        let d = sim.add_actor(Box::new(Driver { ap, mh }));
+        sim.schedule(SimTime::ZERO, d, NetMsg::Start);
+        sim.run();
+        let got = &sim.actor::<Sink>(mh).unwrap().got;
+        assert_eq!(got.len(), 2, "original + duplicate");
+        assert!(got[0].0 < got[1].0, "copies serialize back to back");
     }
 
     #[test]

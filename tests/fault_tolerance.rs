@@ -109,8 +109,10 @@ fn lost_bf_relay_expires_the_par_buffer_instead_of_leaking() {
 #[test]
 fn repeated_signaling_loss_never_deadlocks() {
     // Drop the first four packets in each direction: HI, retries, HAck…
-    // the protocol has no retransmissions (faithful to the draft), so the
-    // host must always fall back to the unanticipated path.
+    // the default protocol has no retransmissions (faithful to the draft;
+    // hardening via `RetransmitConfig::hardened()` is opt-in — see
+    // tests/chaos.rs), so the host must always fall back to the
+    // unanticipated path.
     let mut s = scenario();
     let par = s.par;
     let nar = s.nar;
