@@ -157,6 +157,45 @@ pub fn chaos_csv_with_seed(seed: u64, threads: usize) -> String {
     out
 }
 
+/// Storm sweep as CSV: one row per storm size, both schemes side by side.
+#[must_use]
+pub fn storm_csv(threads: usize) -> String {
+    storm_csv_with_seed(params::SEED, threads)
+}
+
+/// Storm sweep as CSV for an explicit seed — the CI storm-leak-audit job
+/// compares these bytes across thread counts, per seed. Every row's run
+/// passed the packet-conservation and resource-leak audits (they panic
+/// otherwise), so these bytes double as the audit's green light.
+#[must_use]
+pub fn storm_csv_with_seed(seed: u64, threads: usize) -> String {
+    let r = experiments::storm_sweep(&experiments::STORM_SIZES, seed, threads);
+    let mut out = String::from(
+        "mhs,scheme,f1_drops,f2_drops,f3_drops,f1_p99_ms,f2_p99_ms,f3_p99_ms,expired,reclaimed,failed,routes_expired\n",
+    );
+    for p in &r.points {
+        for s in [&p.fmipv6, &p.enhanced] {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{:.3},{:.3},{:.3},{},{},{},{}",
+                p.n_mhs,
+                s.label.to_lowercase(),
+                s.class_drops[0],
+                s.class_drops[1],
+                s.class_drops[2],
+                s.class_p99_ms[0],
+                s.class_p99_ms[1],
+                s.class_p99_ms[2],
+                s.expired,
+                s.reclaimed,
+                s.failed,
+                s.routes_expired
+            );
+        }
+    }
+    out
+}
+
 /// Resolves a CSV writer by figure id, fanning sweep points across
 /// `threads` workers (the CSV bytes are identical at any value).
 #[must_use]
@@ -191,6 +230,7 @@ pub fn csv_for(figure: &str, threads: usize) -> Option<String> {
         )),
         "fig4.14" => Some(fig4_14_csv()),
         "chaos" => Some(chaos_csv(threads)),
+        "storm" => Some(storm_csv(threads)),
         _ => None,
     }
 }

@@ -23,12 +23,12 @@
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
-use fh_sim::{EventKey, SimDuration};
+use fh_sim::{EventKey, SimDuration, SimTime};
 
 use fh_net::{
     msg::{AckStatus, AuthToken, BufferAck, BufferInit, BufferRequest},
-    send_from, transmit_on, ApId, ControlMsg, DropReason, LinkId, NetCtx, NetMsg, NodeId, Packet,
-    Payload, Prefix, ServiceClass, TimerKind,
+    send_from, transmit_on, ApId, ControlMsg, DropReason, LinkId, NetCtx, NetMsg, NodeFaultSpec,
+    NodeId, Packet, Payload, Prefix, ServiceClass, TimerKind,
 };
 use fh_wireless::{send_downlink, RadioWorld};
 
@@ -63,6 +63,16 @@ pub struct ArMetrics {
     /// HI exchanges that exhausted their retry budget and degraded the
     /// session to PAR-only buffering.
     pub hi_exhausted: u64,
+    /// Guard-buffering episodes reclaimed by lifetime expiry (the host
+    /// never sent the releasing BF).
+    pub guard_expired: u64,
+    /// Times this router crashed (volatile state lost).
+    pub crashes: u64,
+    /// Soft-state host routes reclaimed by the expiry sweep.
+    pub routes_expired: u64,
+    /// Handover sessions reclaimed because the peer router went silent
+    /// past the dead-peer timeout.
+    pub dead_peer_reclaims: u64,
     /// Finalized handover sessions per Table 3.2 availability case
     /// (`[both, nar-only, par-only, none]`).
     pub case_counts: [u64; 4],
@@ -82,6 +92,69 @@ impl ArMetrics {
         stats.bump("ar.guard_sessions", self.guard_sessions);
         stats.bump("ar.retransmissions", 0);
         stats.bump("ar.hi_exhausted", 0);
+        stats.bump("ar.guard_expired", self.guard_expired);
+        stats.bump("ar.crashes", self.crashes);
+        stats.bump("ar.routes_expired", self.routes_expired);
+        stats.bump("ar.dead_peer_reclaims", self.dead_peer_reclaims);
+    }
+}
+
+/// Snapshot of an access router's live soft state, taken by the end-of-run
+/// resource-leak auditor. After a quiesce period longer than every
+/// reservation lifetime, all session- and buffer-related counts must be
+/// zero; the only state allowed to remain is host routes for hosts still
+/// attached (and, when soft-state routes are enabled, their refresh
+/// timers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArSoftState {
+    /// Live PAR-role handover sessions (includes guard episodes).
+    pub par_sessions: usize,
+    /// Live NAR-role handover sessions.
+    pub nar_sessions: usize,
+    /// Live buffer-pool sessions (reservations or open unreserved slots).
+    pub pool_sessions: usize,
+    /// Packets still queued in the buffer pool.
+    pub buffered_packets: usize,
+    /// Buffer slots still reserved (capacity minus unreserved).
+    pub reserved_slots: usize,
+    /// Keyed timers still registered (lifetime, flush, retransmission,
+    /// and host-route expiry tokens).
+    pub pending_timers: usize,
+    /// Paced flushes still in progress.
+    pub paced_flushes: usize,
+    /// HI retransmission exchanges still in flight.
+    pub pending_hi_rtx: usize,
+    /// Soft-state host routes with a live expiry token.
+    pub route_timers: usize,
+}
+
+impl ArSoftState {
+    /// `true` when nothing but (possibly) refreshed host routes remains:
+    /// every session, reservation, queued packet and flush is gone, and
+    /// the only registered timers are host-route expiry tokens.
+    #[must_use]
+    pub fn quiesced(&self) -> bool {
+        self.par_sessions == 0
+            && self.nar_sessions == 0
+            && self.pool_sessions == 0
+            && self.buffered_packets == 0
+            && self.reserved_slots == 0
+            && self.paced_flushes == 0
+            && self.pending_hi_rtx == 0
+            && self.pending_timers == self.route_timers
+    }
+}
+
+/// Accounts a packet arriving at a crashed node so conservation still
+/// balances: data (including the inner flow of a tunneled packet — the
+/// outer header copies it) is recorded as [`DropReason::Reclaimed`];
+/// signaling rides the unaudited control flow and is silently lost.
+fn reclaim_at_dead_node<S: RadioWorld>(ctx: &mut NetCtx<'_, S>, pkt: &Packet) {
+    match &pkt.payload {
+        Payload::Control(_) => {}
+        Payload::Data | Payload::Tcp(_) | Payload::Encap(_) => {
+            fh_net::record_drop(ctx, pkt.flow, DropReason::Reclaimed);
+        }
     }
 }
 
@@ -180,9 +253,19 @@ pub struct ArAgent {
     pub pool: BufferPool,
     /// Activity counters.
     pub metrics: ArMetrics,
+    /// Scheduled crash / restart fault, if any (noop by default).
+    pub node_fault: NodeFaultSpec,
+    /// `false` while crashed: every event except the restart timer is
+    /// swallowed, and arriving data packets are reclaimed.
+    alive: bool,
     ap_directory: HashMap<ApId, Ipv6Addr>,
     peer_links: HashMap<Ipv6Addr, LinkId>,
     neighbors: HashMap<Ipv6Addr, NodeId>,
+    /// Live expiry token and timer key per soft-state host route (empty
+    /// while `host_route_lifetime` is `MAX`: routes are then hard state).
+    route_tokens: HashMap<Ipv6Addr, (u64, EventKey)>,
+    /// Last time each peer router was heard from (dead-peer discovery).
+    peer_last_heard: HashMap<Ipv6Addr, SimTime>,
     par_sessions: HashMap<Ipv6Addr, ParSession>,
     nar_sessions: HashMap<Ipv6Addr, NarSession>,
     hi_rtx: HashMap<Ipv6Addr, HiRtx>,
@@ -214,9 +297,13 @@ impl ArAgent {
             config,
             pool: BufferPool::new(pool_capacity),
             metrics: ArMetrics::default(),
+            node_fault: NodeFaultSpec::default(),
+            alive: true,
             ap_directory: HashMap::new(),
             peer_links: HashMap::new(),
             neighbors: HashMap::new(),
+            route_tokens: HashMap::new(),
+            peer_last_heard: HashMap::new(),
             par_sessions: HashMap::new(),
             nar_sessions: HashMap::new(),
             hi_rtx: HashMap::new(),
@@ -269,6 +356,38 @@ impl ArAgent {
         self.neighbors.get(&addr).copied()
     }
 
+    /// `false` while the router is crashed.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Snapshot of the router's live soft state for the leak auditor.
+    #[must_use]
+    pub fn soft_state(&self) -> ArSoftState {
+        ArSoftState {
+            par_sessions: self.par_sessions.len(),
+            nar_sessions: self.nar_sessions.len(),
+            pool_sessions: self.pool.live_sessions(),
+            buffered_packets: self.pool.used(),
+            reserved_slots: self.pool.capacity() - self.pool.unreserved(),
+            pending_timers: self.timer_sessions.len(),
+            paced_flushes: self.flushing.len(),
+            pending_hi_rtx: self.hi_rtx.len(),
+            route_timers: self.route_tokens.len(),
+        }
+    }
+
+    /// All installed host routes, sorted by address (HashMap iteration
+    /// order is nondeterministic). The leak auditor cross-checks each
+    /// entry against the radio attachment table.
+    #[must_use]
+    pub fn neighbor_entries(&self) -> Vec<(Ipv6Addr, NodeId)> {
+        let mut v: Vec<(Ipv6Addr, NodeId)> = self.neighbors.iter().map(|(&a, &n)| (a, n)).collect();
+        v.sort();
+        v
+    }
+
     /// Mirrors this router's activity counters into the shared stats
     /// registry under `ar.*` names, aggregating across routers. Scenarios
     /// call this once at end of run.
@@ -289,12 +408,40 @@ impl ArAgent {
         token
     }
 
+    /// Arms a session-lifetime expiry timer when `lifetime` is finite and
+    /// nonzero and returns its token. Returns 0 (a token no timer ever
+    /// fires with) otherwise, so infinite-lifetime sessions leave no
+    /// residue in the timer table.
+    fn arm_session_lifetime<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        key: Ipv6Addr,
+        lifetime: SimDuration,
+    ) -> u64 {
+        if lifetime.is_zero() || lifetime == SimDuration::MAX {
+            return 0;
+        }
+        let token = self.fresh_token(key);
+        ctx.send_self(
+            lifetime,
+            NetMsg::Timer {
+                kind: TimerKind::BufferLifetime,
+                token,
+            },
+        );
+        token
+    }
+
     // ------------------------------------------------------------------
     // Event entry point
     // ------------------------------------------------------------------
 
     /// Handles one simulator event for this router.
     pub fn handle<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, msg: NetMsg) {
+        if !self.alive {
+            self.handle_while_dead(ctx, msg);
+            return;
+        }
         match msg {
             NetMsg::Start => {
                 let jitter = SimDuration::from_micros(ctx.rng.gen_range_u64(1000));
@@ -305,6 +452,18 @@ impl ArAgent {
                         token: 0,
                     },
                 );
+                if let Some(at) = self.node_fault.crash_at {
+                    let me = ctx.self_id();
+                    ctx.send_at(
+                        me,
+                        at,
+                        NetMsg::Timer {
+                            kind: TimerKind::NodeCrash,
+                            token: 0,
+                        },
+                    );
+                }
+                self.arm_dead_peer_sweep(ctx);
             }
             NetMsg::Timer { kind, token } => self.on_timer(ctx, kind, token),
             NetMsg::LinkPacket { pkt, .. } => {
@@ -315,6 +474,182 @@ impl ArAgent {
             }
             NetMsg::RadioPacket { from, pkt, .. } => self.handle_uplink(ctx, from, pkt),
             NetMsg::L2(_) => {}
+        }
+    }
+
+    /// Event handling while crashed: only the restart timer does anything;
+    /// arriving data (wired or radio) is reclaimed so flow conservation
+    /// still balances, and everything else — signaling, stale timers, the
+    /// router-advertisement chain — is silently lost, exactly like a host
+    /// whose default router went dark.
+    fn handle_while_dead<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, msg: NetMsg) {
+        match msg {
+            NetMsg::Timer {
+                kind: TimerKind::NodeRestart,
+                ..
+            } => self.restart(ctx),
+            NetMsg::LinkPacket { pkt, .. } | NetMsg::RadioPacket { pkt, .. } => {
+                reclaim_at_dead_node(ctx, &pkt);
+            }
+            NetMsg::Start | NetMsg::Timer { .. } | NetMsg::L2(_) => {}
+        }
+    }
+
+    /// Scheduled crash: volatile state is lost. Queued packets are
+    /// accounted as [`DropReason::Reclaimed`]; every session, route,
+    /// reservation and pending-timer token is forgotten (outstanding
+    /// keyed timers then no-op when they fire).
+    fn crash<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        if !self.alive {
+            return;
+        }
+        self.alive = false;
+        self.metrics.crashes += 1;
+        for pkt in self.pool.wipe_all() {
+            fh_net::record_drop(ctx, pkt.flow, DropReason::Reclaimed);
+        }
+        self.par_sessions.clear();
+        self.nar_sessions.clear();
+        self.neighbors.clear();
+        self.route_tokens.clear();
+        self.peer_last_heard.clear();
+        self.hi_rtx.clear();
+        self.flushing.clear();
+        self.timer_sessions.clear();
+        if let Some(down) = self.node_fault.restart_after {
+            ctx.send_self(
+                down,
+                NetMsg::Timer {
+                    kind: TimerKind::NodeRestart,
+                    token: 0,
+                },
+            );
+        }
+    }
+
+    /// Restart after a crash: the router comes back with empty tables and
+    /// re-enters the network through its own beacons, like a freshly
+    /// booted node. Attached hosts re-register via the RA path.
+    fn restart<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        if self.alive {
+            return;
+        }
+        self.alive = true;
+        let jitter = SimDuration::from_micros(ctx.rng.gen_range_u64(1000));
+        ctx.send_self(
+            jitter,
+            NetMsg::Timer {
+                kind: TimerKind::RouterAdvertisement,
+                token: 0,
+            },
+        );
+        self.arm_dead_peer_sweep(ctx);
+    }
+
+    /// Arms the periodic dead-peer sweep (only when the timeout is finite).
+    fn arm_dead_peer_sweep<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        let timeout = self.config.dead_peer_timeout;
+        if timeout.is_zero() || timeout == SimDuration::MAX {
+            return;
+        }
+        ctx.send_self(
+            timeout,
+            NetMsg::Timer {
+                kind: TimerKind::DeadPeerSweep,
+                token: 0,
+            },
+        );
+    }
+
+    /// Reclaims every inter-router handover session whose peer has been
+    /// silent longer than the dead-peer timeout, then re-arms the sweep.
+    fn dead_peer_sweep<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        let timeout = self.config.dead_peer_timeout;
+        if timeout.is_zero() || timeout == SimDuration::MAX {
+            return;
+        }
+        let now = ctx.now();
+        let silent = |heard: &HashMap<Ipv6Addr, SimTime>, peer: Ipv6Addr| {
+            heard.get(&peer).copied().unwrap_or(SimTime::ZERO) + timeout <= now
+        };
+        let mut stale: Vec<Ipv6Addr> = self
+            .par_sessions
+            .iter()
+            .filter(|(_, s)| {
+                s.nar_addr
+                    .is_some_and(|nar| silent(&self.peer_last_heard, nar))
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        stale.sort();
+        for pcoa in stale {
+            self.par_sessions.remove(&pcoa);
+            for pkt in self.pool.expire(pcoa) {
+                fh_net::record_drop(ctx, pkt.flow, DropReason::Reclaimed);
+            }
+            self.metrics.dead_peer_reclaims += 1;
+        }
+        let mut stale: Vec<Ipv6Addr> = self
+            .nar_sessions
+            .iter()
+            .filter(|(_, s)| silent(&self.peer_last_heard, s.par_addr))
+            .map(|(&k, _)| k)
+            .collect();
+        stale.sort();
+        for pcoa in stale {
+            self.nar_sessions.remove(&pcoa);
+            for pkt in self.pool.expire(pcoa) {
+                fh_net::record_drop(ctx, pkt.flow, DropReason::Reclaimed);
+            }
+            self.metrics.dead_peer_reclaims += 1;
+        }
+        ctx.send_self(
+            timeout,
+            NetMsg::Timer {
+                kind: TimerKind::DeadPeerSweep,
+                token: 0,
+            },
+        );
+    }
+
+    /// Installs (or refreshes) a host route. While `host_route_lifetime`
+    /// is finite the route is soft state: each install arms a fresh expiry
+    /// token that supersedes the previous one, so only a route that stops
+    /// being refreshed is reclaimed. With the default `MAX` lifetime this
+    /// is a plain map insert — no token, no timer, no extra events.
+    fn install_route<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        addr: Ipv6Addr,
+        mh: NodeId,
+    ) {
+        self.neighbors.insert(addr, mh);
+        let lifetime = self.config.host_route_lifetime;
+        if lifetime.is_zero() || lifetime == SimDuration::MAX {
+            return;
+        }
+        let token = self.fresh_token(addr);
+        let key = ctx.send_self_keyed(
+            lifetime,
+            NetMsg::Timer {
+                kind: TimerKind::HostRouteExpiry,
+                token,
+            },
+        );
+        // A refresh supersedes the previous expiry outright: cancel it and
+        // retire its token so superseded timers never pile up pending.
+        if let Some((old_token, old_key)) = self.route_tokens.insert(addr, (token, key)) {
+            let _ = ctx.cancel(old_key);
+            self.timer_sessions.remove(&old_token);
+        }
+    }
+
+    /// Drops a host route and its expiry timer, if armed.
+    fn drop_route<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, addr: Ipv6Addr) {
+        self.neighbors.remove(&addr);
+        if let Some((token, key)) = self.route_tokens.remove(&addr) {
+            let _ = ctx.cancel(key);
+            self.timer_sessions.remove(&token);
         }
     }
 
@@ -354,6 +689,20 @@ impl ArAgent {
                     self.on_rtx_hi(ctx, pcoa);
                 }
             }
+            TimerKind::NodeCrash => self.crash(ctx),
+            TimerKind::NodeRestart => {} // only meaningful while dead
+            TimerKind::HostRouteExpiry => {
+                if let Some(addr) = self.timer_sessions.remove(&token) {
+                    // Only the latest token is live; a refresh supersedes
+                    // all earlier expiry timers for the same route.
+                    if self.route_tokens.get(&addr).map(|&(t, _)| t) == Some(token) {
+                        self.route_tokens.remove(&addr);
+                        self.neighbors.remove(&addr);
+                        self.metrics.routes_expired += 1;
+                    }
+                }
+            }
+            TimerKind::DeadPeerSweep => self.dead_peer_sweep(ctx),
             _ => {}
         }
     }
@@ -417,9 +766,23 @@ impl ArAgent {
             .get(&pcoa)
             .is_some_and(|s| s.lifetime_token == token);
         if par_match {
-            self.par_sessions.remove(&pcoa);
+            let sess = self.par_sessions.remove(&pcoa).expect("matched above");
+            // A guard episode whose releasing BF never came: its packets
+            // were parked on the host's own request, so their release is a
+            // soft-state expiry (`Expired`), distinct from the reservation
+            // timeout of a real handover session.
+            let guard =
+                sess.target_ap == ApId(u32::MAX) && sess.nar_addr.is_none() && sess.wants_buffer;
+            let reason = if guard {
+                DropReason::Expired
+            } else {
+                DropReason::LifetimeExpired
+            };
             for pkt in self.pool.expire(pcoa) {
-                fh_net::record_drop(ctx, pkt.flow, DropReason::LifetimeExpired);
+                fh_net::record_drop(ctx, pkt.flow, reason);
+            }
+            if guard {
+                self.metrics.guard_expired += 1;
             }
             self.metrics.expired_sessions += 1;
         }
@@ -582,16 +945,7 @@ impl ArAgent {
             self.auth_seed = self.auth_seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
             AuthToken(self.auth_seed)
         });
-        let lifetime_token = self.fresh_token(pcoa);
-        if !lifetime.is_zero() && lifetime != SimDuration::MAX {
-            ctx.send_self(
-                lifetime,
-                NetMsg::Timer {
-                    kind: TimerKind::BufferLifetime,
-                    token: lifetime_token,
-                },
-            );
-        }
+        let lifetime_token = self.arm_session_lifetime(ctx, pcoa, lifetime);
 
         if self.owns_ap(target_ap) {
             // Pure link-layer handoff (Fig 3.5): there is no NAR to share
@@ -717,16 +1071,16 @@ impl ArAgent {
         }
         let granted = self.pool.grant(addr, bi.size);
         self.metrics.guard_sessions += 1;
-        let lifetime_token = self.fresh_token(addr);
-        if !bi.lifetime.is_zero() && bi.lifetime != SimDuration::MAX {
-            ctx.send_self(
-                bi.lifetime,
-                NetMsg::Timer {
-                    kind: TimerKind::BufferLifetime,
-                    token: lifetime_token,
-                },
-            );
-        }
+        // A guard episode must never pin its reservation forever: a BI
+        // with no (or an infinite) lifetime falls back to the router's own
+        // reservation lifetime, so an episode whose releasing BF is lost
+        // is still reclaimed by the expiry sweep.
+        let lifetime = if bi.lifetime.is_zero() || bi.lifetime == SimDuration::MAX {
+            self.config.reservation_lifetime
+        } else {
+            bi.lifetime
+        };
+        let lifetime_token = self.arm_session_lifetime(ctx, addr, lifetime);
         let case = AvailabilityCase::from_grants(false, granted > 0);
         self.metrics.case_counts[case_index(case)] += 1;
         self.par_sessions.insert(
@@ -791,14 +1145,8 @@ impl ArAgent {
                     return;
                 };
                 self.pool.open_unreserved(pcoa);
-                let lifetime_token = self.fresh_token(pcoa);
-                ctx.send_self(
-                    self.config.reservation_lifetime,
-                    NetMsg::Timer {
-                        kind: TimerKind::BufferLifetime,
-                        token: lifetime_token,
-                    },
-                );
+                let lifetime_token =
+                    self.arm_session_lifetime(ctx, pcoa, self.config.reservation_lifetime);
                 self.par_sessions.insert(
                     pcoa,
                     ParSession {
@@ -850,8 +1198,8 @@ impl ArAgent {
         // Install neighbor entries: the new address, and the previous one
         // (the host keeps receiving tunneled PCoA traffic until the MAP
         // binding update completes).
-        self.neighbors.insert(ncoa, from);
-        self.neighbors.insert(pcoa, from);
+        self.install_route(ctx, ncoa, from);
+        self.install_route(ctx, pcoa, from);
         if let Some(sess) = self.nar_sessions.get_mut(&pcoa) {
             sess.buffering = false;
             let par_addr = sess.par_addr;
@@ -889,6 +1237,8 @@ impl ArAgent {
         src: Ipv6Addr,
         msg: ControlMsg,
     ) {
+        // Any signaling from a peer router proves it is alive.
+        self.peer_last_heard.insert(src, ctx.now());
         match msg {
             ControlMsg::HandoverInitiate {
                 pcoa,
@@ -978,18 +1328,9 @@ impl ArAgent {
         let lifetime = br
             .as_ref()
             .map_or(self.config.reservation_lifetime, |b| b.lifetime);
-        let lifetime_token = self.fresh_token(pcoa);
-        if !lifetime.is_zero() && lifetime != SimDuration::MAX {
-            ctx.send_self(
-                lifetime,
-                NetMsg::Timer {
-                    kind: TimerKind::BufferLifetime,
-                    token: lifetime_token,
-                },
-            );
-        }
+        let lifetime_token = self.arm_session_lifetime(ctx, pcoa, lifetime);
         // Host route: deliveries for the PCoA now go over our radio.
-        self.neighbors.insert(pcoa, mh_l2);
+        self.install_route(ctx, pcoa, mh_l2);
         self.nar_sessions.insert(
             pcoa,
             NarSession {
@@ -1248,7 +1589,7 @@ impl ArAgent {
         if nar_addr.is_some() {
             // The host now lives behind the NAR; drop the stale neighbor
             // entry (kept for intra-router handoffs, where it stays valid).
-            self.neighbors.remove(&pcoa);
+            self.drop_route(ctx, pcoa);
         }
         self.metrics.flushes += 1;
         let target = match nar_addr {
@@ -1296,9 +1637,11 @@ impl ArAgent {
             return;
         };
         let Some(&(target, active)) = self.flushing.get(&pcoa) else {
+            self.timer_sessions.remove(&token);
             return;
         };
         if active != token {
+            self.timer_sessions.remove(&token);
             return; // superseded by a newer flush
         }
         let Some(first) = self.pool.pop_front(pcoa) else {

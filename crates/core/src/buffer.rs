@@ -47,6 +47,8 @@ pub struct BufferStats {
     pub evicted_realtime: u64,
     /// Packets discarded because their session expired.
     pub expired: u64,
+    /// Packets discarded by a node fault (router crash wiped the pool).
+    pub reclaimed: u64,
 }
 
 /// Index of an effective class into per-class arrays: `[RT, HP, BE]`.
@@ -335,6 +337,30 @@ impl BufferPool {
         self.stats.expired += pkts.len() as u64;
         pkts
     }
+
+    /// Number of open sessions (reserved or not) — the leak auditor's
+    /// view of live buffer state.
+    #[must_use]
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Crash semantics: closes every session, releases every reservation
+    /// and returns all queued packets so the caller can attribute them as
+    /// reclaimed. Counts into `stats.reclaimed`.
+    pub fn wipe_all(&mut self) -> Vec<Packet> {
+        let mut pkts = Vec::with_capacity(self.used);
+        let mut keys: Vec<Ipv6Addr> = self.sessions.keys().copied().collect();
+        keys.sort();
+        for k in keys {
+            let session = self.sessions.remove(&k).expect("key just listed");
+            pkts.extend(session.queue);
+        }
+        self.used = 0;
+        self.granted_total = 0;
+        self.stats.reclaimed += pkts.len() as u64;
+        pkts
+    }
 }
 
 #[cfg(test)]
@@ -615,6 +641,13 @@ mod tests {
                     let _ = pool.release(k);
                     pool.grant(k, 2);
                 }
+                9 if step % 977 == 0 => {
+                    // Rare crash: wipe everything, then re-grant all keys.
+                    let _ = pool.wipe_all();
+                    for &k in &keys {
+                        pool.grant(k, 4);
+                    }
+                }
                 _ => {
                     let _ = pool.expire(k);
                     pool.grant(k, 2);
@@ -625,10 +658,42 @@ mod tests {
         let queued: u64 = keys.iter().map(|&k| pool.session_len(k) as u64).sum();
         assert_eq!(
             pool.stats.admitted,
-            pool.stats.flushed + pool.stats.expired + pool.stats.evicted_realtime + queued,
+            pool.stats.flushed
+                + pool.stats.expired
+                + pool.stats.evicted_realtime
+                + pool.stats.reclaimed
+                + queued,
             "conservation violated: {:?}",
             pool.stats
         );
+    }
+
+    #[test]
+    fn wipe_all_reclaims_every_session() {
+        let mut pool = BufferPool::new(10);
+        pool.grant(key(1), 3);
+        pool.grant(key(2), 3);
+        for seq in 0..2 {
+            pool.try_buffer(
+                key(1),
+                pkt(ServiceClass::HighPriority, seq),
+                AdmissionLimit::Grant,
+            )
+            .unwrap();
+            pool.try_buffer(
+                key(2),
+                pkt(ServiceClass::BestEffort, seq),
+                AdmissionLimit::Grant,
+            )
+            .unwrap();
+        }
+        let wiped = pool.wipe_all();
+        assert_eq!(wiped.len(), 4);
+        assert_eq!(pool.stats.reclaimed, 4);
+        assert_eq!(pool.used(), 0);
+        assert_eq!(pool.live_sessions(), 0);
+        assert_eq!(pool.unreserved(), pool.capacity());
+        assert!(!pool.has_session(key(1)));
     }
 }
 

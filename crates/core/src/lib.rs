@@ -46,7 +46,7 @@ mod mh;
 pub mod policy;
 mod scheme;
 
-pub use ar::{ArAgent, ArMetrics};
+pub use ar::{ArAgent, ArMetrics, ArSoftState};
 pub use buffer::{AdmissionLimit, BufferPool, BufferStats};
 pub use mh::{HandoffPhase, MhAgent};
 pub use scheme::{ProtocolConfig, RetransmitConfig, Scheme};

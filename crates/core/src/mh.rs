@@ -24,8 +24,8 @@ use fh_sim::{EventKey, SimDuration, SimTime};
 use fh_mip::MipClient;
 use fh_net::{
     msg::{AuthToken, BufferInit},
-    ApId, ControlMsg, HandoverOutcome, L2Event, NetCtx, NetMsg, NodeId, Packet, Payload, Prefix,
-    TimerKind,
+    ApId, ControlMsg, DropReason, HandoverOutcome, L2Event, NetCtx, NetMsg, NodeFaultSpec, NodeId,
+    Packet, Payload, Prefix, TimerKind,
 };
 use fh_wireless::{send_uplink, MhRadio, RadioWorld};
 
@@ -124,6 +124,11 @@ pub struct MhAgent {
     pub config: ProtocolConfig,
     /// Interface identifier used to form care-of addresses.
     pub iid: u64,
+    /// Scheduled power-loss fault, if any (noop by default).
+    pub node_fault: NodeFaultSpec,
+    /// `true` after the power-loss fires: the radio is detached and every
+    /// further event is swallowed (in-flight downlink data is reclaimed).
+    powered_off: bool,
     state: MhState,
     current: Option<Attachment>,
     pending: Option<PendingHandoff>,
@@ -165,6 +170,8 @@ impl MhAgent {
             mip,
             config,
             iid,
+            node_fault: NodeFaultSpec::default(),
+            powered_off: false,
             state: MhState::Idle,
             current: None,
             pending: None,
@@ -298,9 +305,33 @@ impl MhAgent {
         ctx: &mut NetCtx<'_, S>,
         msg: NetMsg,
     ) -> Option<Packet> {
+        if self.powered_off {
+            // A dead host: downlink data already in flight over the air is
+            // reclaimed so conservation balances; everything else is lost.
+            if let NetMsg::RadioPacket { pkt, .. } = msg {
+                match &pkt.payload {
+                    Payload::Control(_) => {}
+                    Payload::Data | Payload::Tcp(_) | Payload::Encap(_) => {
+                        fh_net::record_drop(ctx, pkt.flow, DropReason::Reclaimed);
+                    }
+                }
+            }
+            return None;
+        }
         match msg {
             NetMsg::Start => {
                 self.radio.start(ctx);
+                if let Some(at) = self.node_fault.power_off_at {
+                    let me = ctx.self_id();
+                    ctx.send_at(
+                        me,
+                        at,
+                        NetMsg::Timer {
+                            kind: TimerKind::PowerOff,
+                            token: 0,
+                        },
+                    );
+                }
                 None
             }
             NetMsg::Timer { kind, token } => {
@@ -312,6 +343,7 @@ impl MhAgent {
                     }
                     TimerKind::RtxSolicit => self.on_rtx_solicit(ctx),
                     TimerKind::RtxFna => self.on_rtx_fna(ctx),
+                    TimerKind::PowerOff => self.power_off(ctx),
                     _ => {
                         let _ = self.radio.on_timer(ctx, kind, token);
                     }
@@ -705,6 +737,27 @@ impl MhAgent {
         self.rtx_fna = Some(rtx);
     }
 
+    /// `true` once the scheduled power-loss fault has fired.
+    #[must_use]
+    pub fn is_powered_off(&self) -> bool {
+        self.powered_off
+    }
+
+    /// Scheduled power loss: the host vanishes mid-whatever-it-was-doing.
+    /// The radio detaches at the environment level (downlink attempts then
+    /// count as radio drops), retransmission timers are cancelled, and any
+    /// open handover attempt is left to be classified `Failed` at end of
+    /// run. State the network holds for us — an orphaned NAR buffer, host
+    /// routes — is reclaimed by the routers' own soft-state lifetimes.
+    fn power_off<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        if self.powered_off {
+            return;
+        }
+        self.powered_off = true;
+        self.cancel_rtx(ctx);
+        let _ = ctx.shared.radio_mut().detach(self.node);
+    }
+
     /// The FBAck arrived (or its wait timed out): actually switch links.
     fn detach_now<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
         if self.state != MhState::AwaitFback {
@@ -729,6 +782,23 @@ impl MhAgent {
             Some(att) if att.prefix == prefix => {
                 // Periodic RA from the current network: refresh router info.
                 self.current = Some(Attachment { ap, router, prefix });
+                // With soft-state host routes the beacon doubles as the
+                // refresh trigger: re-announce ourselves so the router
+                // re-arms our route's lifetime (and re-learns it after a
+                // crash wiped its tables). Hard-state routes (the `MAX`
+                // default) need no refresh and send nothing extra.
+                let lifetime = self.config.host_route_lifetime;
+                if !lifetime.is_zero() && lifetime != SimDuration::MAX {
+                    if let Some(lcoa) = self.mip.lcoa() {
+                        let fna = ControlMsg::FastNeighborAdvertisement {
+                            ncoa: lcoa,
+                            pcoa: lcoa,
+                            bf: false,
+                            auth: None,
+                        };
+                        self.send_control_up(ctx, lcoa, router, fna);
+                    }
+                }
                 self.adopt_map_if_new(ctx, map);
             }
             _ => {

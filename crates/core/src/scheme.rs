@@ -111,6 +111,17 @@ pub struct ProtocolConfig {
     /// the thesis drafts have no retransmissions, and the faithful figures
     /// depend on that).
     pub rtx: RetransmitConfig,
+    /// Soft-state lifetime of a host route installed at an access router.
+    /// Routes are refreshed by the host's FNA (re-sent on each router
+    /// advertisement while finite); a route whose refresh never arrives is
+    /// reclaimed by the expiry sweep. `SimDuration::MAX` (the default)
+    /// makes routes hard state, exactly as the faithful figures assume.
+    pub host_route_lifetime: SimDuration,
+    /// Dead-peer timeout for inter-router handover sessions: a PAR
+    /// session whose NAR has been silent this long is reclaimed (its
+    /// buffered packets released as `DropReason::Reclaimed`).
+    /// `SimDuration::MAX` (the default) disables the sweep.
+    pub dead_peer_timeout: SimDuration,
 }
 
 /// Retransmission policy for the handover signaling exchanges.
@@ -190,6 +201,8 @@ impl Default for ProtocolConfig {
             ra_interval: SimDuration::from_secs(1),
             flush_spacing: SimDuration::ZERO,
             rtx: RetransmitConfig::default(),
+            host_route_lifetime: SimDuration::MAX,
+            dead_peer_timeout: SimDuration::MAX,
         }
     }
 }
@@ -241,6 +254,15 @@ mod tests {
         assert!(hard.enabled);
         assert!(hard.backoff.max_retries > 0);
         assert!(hard.backoff.initial >= SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn soft_state_is_hard_by_default() {
+        // The faithful figures assume routes and sessions never time out;
+        // finite lifetimes are an explicit robustness opt-in.
+        let c = ProtocolConfig::default();
+        assert_eq!(c.host_route_lifetime, SimDuration::MAX);
+        assert_eq!(c.dead_peer_timeout, SimDuration::MAX);
     }
 
     #[test]

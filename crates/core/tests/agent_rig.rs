@@ -611,6 +611,64 @@ fn availability_cases_are_counted() {
 }
 
 #[test]
+fn zero_capacity_case4_follows_table_3_3() {
+    // Table 3.2 case 4 — neither router can grant (modeled as zero
+    // capacity). Table 3.3 then says: real-time and high-priority traffic
+    // bypasses the full buffers and rides the tunnel unbuffered, best
+    // effort is dropped at the PAR.
+    let mut rig = Rig::new(ProtocolConfig::proposed(), 0, Rig::walk());
+    rig.sim.run_until(SimTime::from_millis(1_215));
+    let classes = [
+        (FlowId(1), ServiceClass::RealTime),
+        (FlowId(2), ServiceClass::HighPriority),
+        (FlowId(3), ServiceClass::BestEffort),
+    ];
+    let par = rig.par;
+    let pcoa = rig.pcoa;
+    // All packets land inside the black-out (≈1.209–1.409 s), while the
+    // PAR session is redirecting and the host's radio is detached.
+    for i in 0..12u64 {
+        for &(flow, class) in &classes {
+            let at = SimTime::from_millis(1_220 + i * 15);
+            let pkt = Packet::data(flow, i, doc_subnet(0).host(1), pcoa, class, 160, at);
+            rig.sim.shared.stats.record_sent(flow);
+            rig.sim.schedule(
+                at,
+                par,
+                NetMsg::LinkPacket {
+                    link: fh_net::LinkId(0),
+                    pkt,
+                },
+            );
+        }
+    }
+    rig.sim.run_until(SimTime::from_secs(5));
+    assert_eq!(rig.mh_agent().handoffs, 1, "handover must still complete");
+    assert_eq!(rig.par_agent().metrics.case_counts, [0, 0, 0, 1]);
+    // Nothing was admitted to either buffer…
+    assert_eq!(rig.par_agent().pool.stats.admitted, 0);
+    assert_eq!(rig.nar_agent().pool.stats.admitted, 0);
+    let stats = &rig.sim.shared.stats;
+    // …best effort died at the PAR's policy decision, nowhere else…
+    assert_eq!(stats.drops(fh_net::DropReason::Policy), 12);
+    let be = stats.flow_audit(FlowId(3));
+    assert_eq!((be.delivered, be.dropped), (0, 12), "{be:?}");
+    // …while real-time and high-priority crossed the tunnel unbuffered
+    // and died only at the detached radio, never at the buffer or policy.
+    assert!(
+        stats.drops(fh_net::DropReason::RadioDetached) >= 24,
+        "RT/HP must reach the NAR's radio: {:?}",
+        stats.drops_by_reason()
+    );
+    for flow in [FlowId(1), FlowId(2)] {
+        let audit = stats.flow_audit(flow);
+        assert_eq!(audit.delivered, 0, "{flow:?}: {audit:?}");
+        assert!(audit.conserved(), "{flow:?}: {audit:?}");
+    }
+    stats.assert_conservation();
+}
+
+#[test]
 fn paced_flush_spreads_deliveries() {
     // With flush pacing, buffered packets reach the host one per spacing
     // tick instead of back-to-back on the channel.
@@ -767,4 +825,67 @@ fn guarded_radio_pause_is_lossless() {
     assert_eq!(got.len(), 50, "the 400 ms pause must lose nothing: {got:?}");
     assert_eq!(rig.par_agent().metrics.guard_sessions, 1);
     assert_eq!(rig.par_agent().pool.used(), 0, "buffer fully drained");
+}
+
+#[test]
+fn unreleased_guard_episode_expires_and_reclaims() {
+    // A guard episode whose releasing BF never arrives (the host died
+    // mid-nap) must not pin its reservation forever: the lifetime sweep
+    // reclaims it, releasing the parked packets under `Expired`.
+    let mut rig = Rig::new(
+        ProtocolConfig::proposed(),
+        80,
+        Mobility::Stationary(Position::new(0.0, 0.0)),
+    );
+    rig.sim.run_until(SimTime::from_millis(100));
+    // A standalone BI opens the guard episode with a 2 s lifetime…
+    rig.uplink_from_mh(
+        rig.par,
+        ControlMsg::BufferInit(BufferInit {
+            size: 20,
+            start_time: SimDuration::ZERO,
+            lifetime: SimDuration::from_secs(2),
+        }),
+    );
+    // …then the host goes permanently silent.
+    rig.sim.run_until(SimTime::from_millis(200));
+    rig.sim.shared.radio.detach(rig.mh);
+    let par = rig.par;
+    let pcoa = rig.pcoa;
+    for i in 0..8u64 {
+        let at = SimTime::from_millis(300 + i * 50);
+        let pkt = Packet::data(
+            FlowId(7),
+            i,
+            doc_subnet(0).host(1),
+            pcoa,
+            ServiceClass::HighPriority,
+            160,
+            at,
+        );
+        rig.sim.shared.stats.record_sent(FlowId(7));
+        rig.sim.schedule(
+            at,
+            par,
+            NetMsg::LinkPacket {
+                link: fh_net::LinkId(0),
+                pkt,
+            },
+        );
+    }
+    rig.sim.run_until(SimTime::from_secs(1));
+    assert_eq!(
+        rig.par_agent().pool.used(),
+        8,
+        "traffic parked by the guard"
+    );
+    // Past the lifetime: the episode is swept, nothing stays pinned.
+    rig.sim.run_until(SimTime::from_secs(4));
+    let par_agent = rig.par_agent();
+    assert_eq!(par_agent.metrics.guard_expired, 1);
+    assert_eq!(par_agent.pool.used(), 0, "reservation reclaimed");
+    assert!(!par_agent.pool.has_session(pcoa));
+    let stats = &rig.sim.shared.stats;
+    assert_eq!(stats.drops(fh_net::DropReason::Expired), 8);
+    stats.assert_conservation();
 }

@@ -152,6 +152,63 @@ impl FaultSpec {
     }
 }
 
+/// Scheduled whole-node faults: access-router crash (with optional
+/// restart) and mobile-host power loss.
+///
+/// Unlike [`FaultSpec`] these are not per-packet decisions — they fire
+/// once, at a scheduled instant, and take all of a node's volatile state
+/// with them. A crashed router loses every session, reservation, host
+/// route and pending timer; buffered packets are released under
+/// [`crate::DropReason::Reclaimed`]. The default spec is a no-op, so node
+/// faults are opt-in exactly like link faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeFaultSpec {
+    /// The instant the node crashes (access routers) — volatile state lost.
+    pub crash_at: Option<SimTime>,
+    /// How long a crashed router stays down before restarting cold.
+    /// `None` means it never comes back.
+    pub restart_after: Option<SimDuration>,
+    /// The instant a mobile host loses power permanently (the orphaned
+    /// buffer case: the NAR holds packets for a host that never attaches).
+    pub power_off_at: Option<SimTime>,
+}
+
+impl NodeFaultSpec {
+    /// A router crash at `at` with no restart.
+    #[must_use]
+    pub fn crash(at: SimTime) -> Self {
+        NodeFaultSpec {
+            crash_at: Some(at),
+            ..NodeFaultSpec::default()
+        }
+    }
+
+    /// A router crash at `at` followed by a cold restart `down` later.
+    #[must_use]
+    pub fn crash_restart(at: SimTime, down: SimDuration) -> Self {
+        NodeFaultSpec {
+            crash_at: Some(at),
+            restart_after: Some(down),
+            ..NodeFaultSpec::default()
+        }
+    }
+
+    /// A mobile-host power loss at `at` (permanent).
+    #[must_use]
+    pub fn power_off(at: SimTime) -> Self {
+        NodeFaultSpec {
+            power_off_at: Some(at),
+            ..NodeFaultSpec::default()
+        }
+    }
+
+    /// `true` if this spec schedules no node fault at all.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        *self == NodeFaultSpec::default()
+    }
+}
+
 /// What the fault layer decided for one packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultVerdict {
@@ -377,6 +434,16 @@ mod tests {
             .count();
         let frac = dups as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.03, "got {frac}");
+    }
+
+    #[test]
+    fn node_fault_spec_is_noop_by_default() {
+        assert!(NodeFaultSpec::default().is_noop());
+        assert!(!NodeFaultSpec::crash(SimTime::from_secs(1)).is_noop());
+        let cr = NodeFaultSpec::crash_restart(SimTime::from_secs(1), SimDuration::from_secs(2));
+        assert_eq!(cr.crash_at, Some(SimTime::from_secs(1)));
+        assert_eq!(cr.restart_after, Some(SimDuration::from_secs(2)));
+        assert!(!NodeFaultSpec::power_off(SimTime::from_secs(3)).is_noop());
     }
 
     #[test]

@@ -69,7 +69,7 @@ mod world;
 
 pub use addr::{doc_subnet, Prefix};
 pub use class::{PerHopBehavior, ServiceClass};
-pub use fault::{FaultSpec, FaultState, FaultVerdict, GilbertElliott};
+pub use fault::{FaultSpec, FaultState, FaultVerdict, GilbertElliott, NodeFaultSpec};
 pub use link::{Link, LinkError, LinkId, LinkSpec};
 pub use msg::{ApId, ControlMsg};
 pub use packet::{ConnId, FlowId, Packet, Payload, TcpFlags, TcpSegment};

@@ -84,6 +84,18 @@ pub enum TimerKind {
     /// Retransmission timer for an unacknowledged FNA/binding update
     /// (mobile host, after attaching to the new AR).
     RtxFna,
+    /// Scheduled node fault: an access router crashes (volatile state lost).
+    NodeCrash,
+    /// Scheduled node fault: a crashed access router comes back up.
+    NodeRestart,
+    /// Scheduled node fault: a mobile host loses power permanently.
+    PowerOff,
+    /// Soft-state sweep: a host route installed at an access router
+    /// reached its lifetime without a refresh.
+    HostRouteExpiry,
+    /// Soft-state sweep: periodic dead-peer scan over handover sessions
+    /// whose remote router has gone silent.
+    DeadPeerSweep,
 }
 
 /// Every event a network node actor can receive.
@@ -142,6 +154,49 @@ pub enum DropReason {
     /// The deterministic fault-injection layer discarded the packet at
     /// link entry (seeded loss, burst loss, or a scheduled outage).
     FaultInjected,
+    /// A piece of soft state (host route, guard-buffer episode, dead-peer
+    /// session) expired without a refresh and its queued packets were
+    /// released.
+    Expired,
+    /// A node fault reclaimed the packet: it was buffered at a router
+    /// that crashed, or arrived at a node that is down.
+    Reclaimed,
+}
+
+impl DropReason {
+    /// Every drop reason, in declaration order. Audit and CSV code
+    /// iterates this instead of pattern-matching with a `_` arm, so a new
+    /// variant cannot be silently uncounted.
+    pub const ALL: [DropReason; 10] = [
+        DropReason::QueueOverflow,
+        DropReason::RadioDetached,
+        DropReason::BufferOverflow,
+        DropReason::Policy,
+        DropReason::Unroutable,
+        DropReason::LifetimeExpired,
+        DropReason::HopLimitExceeded,
+        DropReason::FaultInjected,
+        DropReason::Expired,
+        DropReason::Reclaimed,
+    ];
+
+    /// Stable short label for tables and CSV columns. Exhaustive on
+    /// purpose — adding a variant without a label is a compile error.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::QueueOverflow => "queue_overflow",
+            DropReason::RadioDetached => "radio_detached",
+            DropReason::BufferOverflow => "buffer_overflow",
+            DropReason::Policy => "policy",
+            DropReason::Unroutable => "unroutable",
+            DropReason::LifetimeExpired => "lifetime_expired",
+            DropReason::HopLimitExceeded => "hop_limit",
+            DropReason::FaultInjected => "fault_injected",
+            DropReason::Expired => "expired",
+            DropReason::Reclaimed => "reclaimed",
+        }
+    }
 }
 
 /// How one handover attempt resolved.
@@ -275,6 +330,14 @@ impl NetStats {
     #[must_use]
     pub fn total_drops(&self) -> u64 {
         self.drops.values().sum()
+    }
+
+    /// The full per-reason drop breakdown, in [`DropReason::ALL`] order.
+    /// Iterating the exhaustive constant (instead of the internal map)
+    /// guarantees every variant shows up in tables, zero or not.
+    #[must_use]
+    pub fn drops_by_reason(&self) -> [(DropReason, u64); DropReason::ALL.len()] {
+        DropReason::ALL.map(|r| (r, self.drops(r)))
     }
 
     /// Drops attributed to one flow.
@@ -760,6 +823,28 @@ mod tests {
         stats.record_drop(SimTime::ZERO, FlowId(3), DropReason::BufferOverflow);
         assert!(stats.flow_audit(FlowId(3)).conserved());
         stats.assert_conservation();
+    }
+
+    #[test]
+    fn every_drop_reason_round_trips_through_the_audit() {
+        // One flow per variant: a packet recorded as sent and then dropped
+        // for that reason must balance the conservation equation, and the
+        // exhaustive breakdown must attribute it to exactly that reason.
+        for (i, reason) in DropReason::ALL.into_iter().enumerate() {
+            let mut stats = NetStats::new();
+            let flow = FlowId(u32::try_from(i).unwrap() + 1);
+            stats.record_sent(flow);
+            stats.record_drop(SimTime::ZERO, flow, reason);
+            assert!(stats.flow_audit(flow).conserved(), "{reason:?}");
+            stats.assert_conservation();
+            for (r, n) in stats.drops_by_reason() {
+                assert_eq!(n, u64::from(r == reason), "{reason:?} vs {r:?}");
+            }
+        }
+        // Labels are unique (no copy-paste aliasing two variants).
+        let labels: std::collections::HashSet<&str> =
+            DropReason::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), DropReason::ALL.len());
     }
 
     #[test]

@@ -850,6 +850,147 @@ pub fn chaos_sweep(loss_probs: &[f64], seed: u64, threads: usize) -> ChaosSweepR
     }
 }
 
+// ---------------------------------------------------------------------
+// Handover storm — admission overload and soft-state survival at scale
+// ---------------------------------------------------------------------
+
+/// One scheme's outcome at one storm size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StormScheme {
+    /// Scheme label (`NAR` = original FMIPv6, the enhanced scheme's label
+    /// for classified dual buffering).
+    pub label: String,
+    /// Per-class data drops (real-time, high-priority, best effort), all
+    /// reasons combined.
+    pub class_drops: [u64; 3],
+    /// Worst per-flow p99 end-to-end delay per class, in milliseconds.
+    pub class_p99_ms: [f64; 3],
+    /// Packets released by soft-state lifetime expiry.
+    pub expired: u64,
+    /// Packets reclaimed from dead or abandoned state.
+    pub reclaimed: u64,
+    /// Handover attempts still unresolved at the end of the run.
+    pub failed: u64,
+    /// Host routes the lifetime sweep expired unrefreshed.
+    pub routes_expired: u64,
+    /// Simulator events processed by the run.
+    pub events: u64,
+}
+
+/// Both schemes' outcomes at one storm size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StormPoint {
+    /// Number of hosts handing over in the storm window.
+    pub n_mhs: usize,
+    /// Original FMIPv6 (NAR-only buffering).
+    pub fmipv6: StormScheme,
+    /// The enhanced scheme (classified dual buffering).
+    pub enhanced: StormScheme,
+}
+
+/// The storm sweep series plus run accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StormSweepResult {
+    /// One point per tested storm size.
+    pub points: Vec<StormPoint>,
+    /// Total simulator events across all points.
+    pub events: u64,
+}
+
+/// The x-axis of the storm figure: hosts handing over in one window.
+pub const STORM_SIZES: [usize; 6] = [4, 8, 12, 16, 20, 24];
+
+/// One storm run: `n` hosts walking into the NAR cell with staggered
+/// starts, one 64 kb/s flow each (classes round-robin), soft-state
+/// lifetimes armed, and the full end-of-run audit battery.
+fn storm_point(n: usize, scheme: Scheme, seed: u64) -> StormScheme {
+    let mut protocol = ProtocolConfig::with_scheme(scheme);
+    protocol.buffer_request = 12;
+    // Soft state on: host routes expire after 2 s unless refreshed by the
+    // periodic router advertisements, and sessions whose peer router has
+    // been silent for 3 s are swept. In a healthy storm both mechanisms
+    // must reclaim nothing the protocol still needs.
+    protocol.host_route_lifetime = SimDuration::from_secs(2);
+    protocol.dead_peer_timeout = SimDuration::from_secs(3);
+    let cfg = HmipConfig {
+        protocol,
+        n_mhs: n,
+        buffer_capacity: 42,
+        movement: MovementPlan::OneWay,
+        storm_stagger: SimDuration::from_millis(500),
+        seed,
+        ..HmipConfig::default()
+    };
+    let mut scenario = HmipScenario::build(cfg);
+    let flows: Vec<(usize, FlowId)> = (0..n)
+        .map(|i| (i % 3, scenario.add_audio_64k(i, FLOW_CLASSES[i % 3])))
+        .collect();
+    // Traffic stops well before the horizon so buffers, reservations and
+    // keyed timers drain — the leak audit needs a quiesced network.
+    scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(13));
+    scenario.run_until(SimTime::from_secs(20));
+    let mut class_drops = [0u64; 3];
+    let mut class_p99_ms = [0f64; 3];
+    for &(k, f) in &flows {
+        class_drops[k] += scenario.flow_losses(f);
+        let report =
+            fh_traffic::FlowReport::from_sink(scenario.flow_sink(f), scenario.flow_sent(f));
+        class_p99_ms[k] = class_p99_ms[k].max(report.p99_delay.as_millis_f64());
+    }
+    let failed = scenario.finalize();
+    scenario.assert_conservation();
+    scenario.assert_no_leaks();
+    let stats = &scenario.sim.shared.stats;
+    StormScheme {
+        label: scheme.label().to_owned(),
+        class_drops,
+        class_p99_ms,
+        expired: stats.drops(DropReason::Expired),
+        reclaimed: stats.drops(DropReason::Reclaimed),
+        failed,
+        routes_expired: stats.counter("ar.routes_expired"),
+        events: scenario.sim.events_processed(),
+    }
+}
+
+/// Handover storm: `n` hosts hand over within a staggered window against
+/// routers provisioned for far fewer, for original FMIPv6 (NAR-only)
+/// versus the enhanced classified dual buffering — Fig 4.2 at scale, with
+/// per-class drops and delays under admission exhaustion. Every point
+/// runs with soft-state lifetimes armed and must pass both the
+/// packet-conservation audit and the resource-leak audit; both schemes at
+/// the same storm size share a seed so they face an identical workload.
+#[must_use]
+pub fn storm_sweep(sizes: &[usize], seed: u64, threads: usize) -> StormSweepResult {
+    let mut grid = Vec::with_capacity(sizes.len() * 2);
+    for (idx, &n) in sizes.iter().enumerate() {
+        for enhanced in [false, true] {
+            grid.push((idx, n, enhanced));
+        }
+    }
+    let runs = parallel_map(threads, &grid, |_, &(idx, n, enhanced)| {
+        let scheme = if enhanced {
+            Scheme::Dual { classify: true }
+        } else {
+            Scheme::NarOnly
+        };
+        storm_point(n, scheme, derive_seed(seed, idx as u64))
+    });
+    let mut points = Vec::with_capacity(sizes.len());
+    let mut events = 0;
+    for (i, &n) in sizes.iter().enumerate() {
+        let fmipv6 = runs[2 * i].clone();
+        let enhanced = runs[2 * i + 1].clone();
+        events += fmipv6.events + enhanced.events;
+        points.push(StormPoint {
+            n_mhs: n,
+            fmipv6,
+            enhanced,
+        });
+    }
+    StormSweepResult { points, events }
+}
+
 /// Control-plane accounting for one handover (§3.3 signaling argument).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SignalingResult {

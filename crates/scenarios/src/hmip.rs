@@ -20,10 +20,11 @@ use std::net::Ipv6Addr;
 
 use fh_sim::{derive_seed, SimDuration, SimTime, Simulator};
 
-use fh_core::{ArAgent, MhAgent, ProtocolConfig};
+use fh_core::{ArAgent, ArSoftState, MhAgent, ProtocolConfig};
 use fh_mip::{MipClient, MobilityAnchor};
 use fh_net::{
-    doc_subnet, ApId, FaultSpec, FlowId, HandoverOutcome, LinkSpec, NetMsg, NodeId, ServiceClass,
+    doc_subnet, ApId, FaultSpec, FlowId, HandoverOutcome, LinkSpec, NetMsg, NodeFaultSpec, NodeId,
+    ServiceClass,
 };
 use fh_traffic::{CbrSource, UdpSink};
 use fh_wireless::{MhRadio, Mobility, Position, RadioConfig, WirelessSpec};
@@ -74,6 +75,18 @@ pub struct HmipConfig {
     /// Fault injection on both wireless cells (applies to every uplink and
     /// downlink transmission in the cell). No-op by default.
     pub wireless_fault: FaultSpec,
+    /// Scheduled crash/restart fault on the PAR. No-op by default.
+    pub par_fault: NodeFaultSpec,
+    /// Scheduled crash/restart fault on the NAR. No-op by default.
+    pub nar_fault: NodeFaultSpec,
+    /// Scheduled power-loss fault on mobile host 0. No-op by default.
+    pub mh_fault: NodeFaultSpec,
+    /// Handover-storm stagger: host `i` starts its one-way walk
+    /// `i × storm_stagger` later (implemented as a start-position offset,
+    /// clamped to stay inside PAR coverage), so N hosts hand over spread
+    /// across a window instead of in lock-step. Zero (the default) keeps
+    /// every host on the classic synchronized walk.
+    pub storm_stagger: SimDuration,
 }
 
 impl Default for HmipConfig {
@@ -93,6 +106,10 @@ impl Default for HmipConfig {
             seed: 42,
             ar_link_fault: FaultSpec::default(),
             wireless_fault: FaultSpec::default(),
+            par_fault: NodeFaultSpec::default(),
+            nar_fault: NodeFaultSpec::default(),
+            mh_fault: NodeFaultSpec::default(),
+            storm_stagger: SimDuration::ZERO,
         }
     }
 }
@@ -223,12 +240,14 @@ impl HmipScenario {
             par_agent.node = par_node;
             par_agent.aps = vec![par_ap];
             par_agent.learn_ap(nar_ap, nar_addr);
+            par_agent.node_fault = cfg.par_fault;
         }
         {
             let nar_agent = &mut sim.actor_mut::<ArNode>(nar_node).expect("nar").agent;
             nar_agent.node = nar_node;
             nar_agent.aps = vec![nar_ap];
             nar_agent.learn_ap(par_ap, par_addr);
+            nar_agent.node_fault = cfg.nar_fault;
         }
 
         // Mobile hosts.
@@ -238,9 +257,16 @@ impl HmipScenario {
             let iid = 0x100 + i as u64;
             let rcoa = map_prefix.host(iid);
             let eastbound = i % 2 == 0;
+            // Storm stagger: push host i's start back along the walk so it
+            // reaches the cell edge i × storm_stagger later. The offset is
+            // clamped to keep the start inside PAR coverage (and outside
+            // the NAR's), so very large storms saturate the window instead
+            // of spawning hosts out of range.
+            let stagger_x = (cfg.speed * cfg.storm_stagger.as_secs_f64() * i as f64)
+                .min(geometry::WALK_START + geometry::COVERAGE_RADIUS - 22.0);
             let mobility = match cfg.movement {
                 MovementPlan::OneWay => Mobility::linear(
-                    Position::new(geometry::WALK_START, 0.0),
+                    Position::new(geometry::WALK_START - stagger_x, 0.0),
                     Position::new(geometry::AP_SEPARATION, 0.0),
                     cfg.speed,
                 ),
@@ -293,6 +319,9 @@ impl HmipScenario {
                     },
                 );
                 node.mip.enter_map_domain(map_addr, rcoa);
+                if i == 0 {
+                    node.node_fault = cfg.mh_fault;
+                }
                 if cfg.movement == MovementPlan::Crossing && i % 2 == 1 {
                     // Westbound hosts start under the NAR.
                     node.configure_initial(nar_ap, nar_addr, nar_prefix);
@@ -570,5 +599,70 @@ impl HmipScenario {
             .iter()
             .filter(|&&mh| self.sim.actor::<MhNode>(mh).expect("mh").agent.unresolved())
             .count()
+    }
+
+    /// End-of-run resource-leak audit: snapshots both routers' soft state
+    /// and cross-checks every installed host route against the radio
+    /// attachment table. Meaningful after a quiesce period longer than
+    /// every reservation lifetime (and, for soft-state routes, the route
+    /// lifetime) with no traffic flowing.
+    #[must_use]
+    pub fn leak_report(&self) -> LeakReport {
+        let mut stale_routes = 0;
+        for agent in [self.par_agent(), self.nar_agent()] {
+            for (_, node) in agent.neighbor_entries() {
+                let attached_here = self
+                    .sim
+                    .shared
+                    .radio
+                    .attachment(node)
+                    .is_some_and(|ap| agent.owns_ap(ap));
+                if !attached_here {
+                    stale_routes += 1;
+                }
+            }
+        }
+        LeakReport {
+            par: self.par_agent().soft_state(),
+            nar: self.nar_agent().soft_state(),
+            stale_routes,
+            unresolved_hosts: self.unresolved_handovers(),
+        }
+    }
+
+    /// Panics unless [`HmipScenario::leak_report`] is clean: no live
+    /// sessions, reservations, buffered packets, paced flushes or pending
+    /// non-route timers on either router, no host route pointing at a
+    /// host that is not attached to that router, and no host wedged in an
+    /// unresolved handover attempt.
+    pub fn assert_no_leaks(&self) {
+        let report = self.leak_report();
+        assert!(report.is_clean(), "resource leak after quiesce: {report:?}");
+    }
+}
+
+/// Combined soft-state audit of a finished run (see
+/// [`HmipScenario::leak_report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeakReport {
+    /// The PAR's soft-state snapshot.
+    pub par: ArSoftState,
+    /// The NAR's soft-state snapshot.
+    pub nar: ArSoftState,
+    /// Host routes whose host is not attached to the owning router.
+    pub stale_routes: usize,
+    /// Hosts still wedged in an open handover attempt.
+    pub unresolved_hosts: usize,
+}
+
+impl LeakReport {
+    /// `true` when nothing leaked: both routers quiesced, every remaining
+    /// host route backs an attached host, and no attempt is wedged.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.par.quiesced()
+            && self.nar.quiesced()
+            && self.stale_routes == 0
+            && self.unresolved_hosts == 0
     }
 }

@@ -38,7 +38,7 @@ pub mod sweep;
 mod wlan;
 mod world;
 
-pub use hmip::{geometry, HmipConfig, HmipScenario, MovementPlan};
+pub use hmip::{geometry, HmipConfig, HmipScenario, LeakReport, MovementPlan};
 pub use nodes::{ArNode, CnNode, MapNode, MhNode};
 pub use roaming::{RoamingConfig, RoamingScenario};
 pub use wlan::{WlanConfig, WlanScenario};

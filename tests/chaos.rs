@@ -139,6 +139,14 @@ fn faults_and_retransmissions_are_opt_in() {
     assert!(cfg.ar_link_fault.is_noop());
     assert!(cfg.wireless_fault.is_noop());
     assert!(!cfg.protocol.rtx.enabled);
+    // Node faults and soft-state lifetimes are opt-in too: by default no
+    // node crashes, host routes are hard state, and no dead-peer sweep
+    // (or any other new timer) perturbs the byte-identical repro runs.
+    assert!(cfg.par_fault.is_noop());
+    assert!(cfg.nar_fault.is_noop());
+    assert!(cfg.mh_fault.is_noop());
+    assert_eq!(cfg.protocol.host_route_lifetime, fh_sim::SimDuration::MAX);
+    assert_eq!(cfg.protocol.dead_peer_timeout, fh_sim::SimDuration::MAX);
 }
 
 proptest! {
