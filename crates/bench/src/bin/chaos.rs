@@ -8,39 +8,8 @@
 //! bytes across `--threads` values: the fault streams, retransmission
 //! schedules and handover outcomes must not depend on the worker count.
 
-use std::env;
 use std::process::ExitCode;
 
-use fh_scenarios::sweep::resolve_threads;
-
 fn main() -> ExitCode {
-    let mut seed = 2003u64;
-    let mut threads = 1usize;
-    let mut args = env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let value = |a: Option<String>| a.and_then(|v| v.parse::<u64>().ok());
-        match arg.as_str() {
-            "--seed" => match value(args.next()) {
-                Some(v) => seed = v,
-                None => {
-                    eprintln!("--seed needs a number");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--threads" => match value(args.next()) {
-                Some(v) => threads = v as usize,
-                None => {
-                    eprintln!("--threads needs a number (0 = one per core)");
-                    return ExitCode::FAILURE;
-                }
-            },
-            other => {
-                eprintln!("unknown argument: {other}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    let threads = resolve_threads(threads);
-    print!("{}", fh_bench::csv::chaos_csv_with_seed(seed, threads));
-    ExitCode::SUCCESS
+    fh_bench::cli::run_seeded(fh_bench::csv::chaos_csv_with_seed)
 }

@@ -1,0 +1,19 @@
+//! `timeline` — export the storm runs as a Chrome-trace timeline.
+//!
+//! ```sh
+//! cargo run -p fh-bench --release --bin timeline -- --seed 2003 --threads 4 > storm.json
+//! ```
+//!
+//! The output is a trace-event-format JSON array, loadable in Perfetto or
+//! `chrome://tracing`: one `pid` per storm point (size × scheme), one
+//! track per simulated actor, handover attempts as spans with per-phase
+//! marks, and buffer/signaling/fault activity as instants. The CI
+//! trace-determinism job runs this at one seed and `cmp`s the bytes
+//! across `--threads` values: the exported timeline must not depend on
+//! the worker count.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    fh_bench::cli::run_seeded(fh_bench::csv::timeline_json_with_seed)
+}

@@ -1,0 +1,112 @@
+//! Shared CLI driver for the seeded determinism bins.
+//!
+//! `chaos`, `storm` and `timeline` all speak the same dialect —
+//! `--seed N --threads N` — because CI runs each of them at several
+//! seeds and `cmp`s the bytes across thread counts. The parsing and
+//! error reporting live here once; each bin supplies only its renderer.
+
+use std::env;
+use std::process::ExitCode;
+
+use fh_scenarios::sweep::resolve_threads;
+
+/// Arguments of a seeded determinism bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeededArgs {
+    /// Base RNG seed (default 2003, the thesis seed).
+    pub seed: u64,
+    /// Worker-pool size, already resolved (`0` → one per core).
+    pub threads: usize,
+}
+
+/// Parses `--seed N --threads N` from an argument iterator (without the
+/// program name). Unknown arguments and missing values are errors.
+///
+/// # Errors
+///
+/// Returns the message to print on stderr.
+pub fn parse_seeded_args<I>(args: I) -> Result<SeededArgs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut seed = crate::params::SEED;
+    let mut threads = 1usize;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let value = |a: Option<String>| a.and_then(|v| v.parse::<u64>().ok());
+        match arg.as_str() {
+            "--seed" => match value(args.next()) {
+                Some(v) => seed = v,
+                None => return Err("--seed needs a number".to_owned()),
+            },
+            "--threads" => match value(args.next()) {
+                Some(v) => threads = v as usize,
+                None => return Err("--threads needs a number (0 = one per core)".to_owned()),
+            },
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(SeededArgs {
+        seed,
+        threads: resolve_threads(threads),
+    })
+}
+
+/// The whole main loop of a seeded determinism bin: parse the process
+/// arguments, call `render(seed, threads)`, print the bytes verbatim.
+pub fn run_seeded(render: impl Fn(u64, usize) -> String) -> ExitCode {
+    match parse_seeded_args(env::args().skip(1)) {
+        Ok(args) => {
+            print!("{}", render(args.seed, args.threads));
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<SeededArgs, String> {
+        parse_seeded_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults_are_the_thesis_seed_and_one_thread() {
+        assert_eq!(
+            parse(&[]),
+            Ok(SeededArgs {
+                seed: 2003,
+                threads: 1
+            })
+        );
+    }
+
+    #[test]
+    fn explicit_seed_and_threads_parse() {
+        assert_eq!(
+            parse(&["--seed", "7", "--threads", "4"]),
+            Ok(SeededArgs {
+                seed: 7,
+                threads: 4
+            })
+        );
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_cores() {
+        let args = parse(&["--threads", "0"]).expect("parses");
+        assert!(args.threads >= 1);
+    }
+
+    #[test]
+    fn missing_values_and_unknown_flags_are_errors() {
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--threads", "x"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+}

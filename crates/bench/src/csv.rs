@@ -2,13 +2,14 @@
 //!
 //! `repro --csv <figure>` emits the figure's series as comma-separated
 //! values with a header row — ready for gnuplot/matplotlib — instead of
-//! the human-readable table.
-
-use std::fmt::Write as _;
+//! the human-readable table. Every writer goes through the shared
+//! [`CsvTable`] builder from `fh-telemetry`, which enforces the column
+//! discipline once instead of per figure.
 
 use fh_core::Scheme;
 use fh_scenarios::experiments::{self, BufferUtilizationParams, FIG_4_6_RATES};
 use fh_sim::SimDuration;
+use fh_telemetry::{Cell, CsvTable};
 
 use crate::params;
 
@@ -17,19 +18,16 @@ use crate::params;
 pub fn fig4_2_csv(threads: usize) -> String {
     let series =
         experiments::buffer_utilization(BufferUtilizationParams::default(), threads).series;
-    let mut out = String::from("mhs");
-    for s in &series {
-        let _ = write!(out, ",{}", s.label.to_lowercase());
-    }
-    let _ = writeln!(out);
+    let labels: Vec<String> = series.iter().map(|s| s.label.to_lowercase()).collect();
+    let mut header: Vec<&str> = vec!["mhs"];
+    header.extend(labels.iter().map(String::as_str));
+    let mut table = CsvTable::new(&header);
     for i in 0..series[0].points.len() {
-        let _ = write!(out, "{}", series[0].points[i].0);
-        for s in &series {
-            let _ = write!(out, ",{}", s.points[i].1);
-        }
-        let _ = writeln!(out);
+        let mut row: Vec<Cell<'_>> = vec![series[0].points[i].0.into()];
+        row.extend(series.iter().map(|s| Cell::from(s.points[i].1)));
+        table.row(&row);
     }
-    out
+    table.finish()
 }
 
 /// Figs 4.3–4.5 as CSV: `handoff,f1_rt,f2_hp,f3_be` for the given scheme.
@@ -42,18 +40,16 @@ pub fn qos_csv(scheme: Scheme, capacity: usize) -> String {
         params::HANDOFFS,
         params::SEED,
     );
-    let mut out = String::from("handoff,f1_rt,f2_hp,f3_be\n");
+    let mut table = CsvTable::new(&["handoff", "f1_rt", "f2_hp", "f3_be"]);
     for h in 0..r.drops[0].len() {
-        let _ = writeln!(
-            out,
-            "{},{},{},{}",
-            h + 1,
-            r.drops[0][h],
-            r.drops[1][h],
-            r.drops[2][h]
-        );
+        table.row(&[
+            (h + 1).into(),
+            r.drops[0][h].into(),
+            r.drops[1][h].into(),
+            r.drops[2][h].into(),
+        ]);
     }
-    out
+    table.finish()
 }
 
 /// Fig 4.6 as CSV: `kbps,f1_rt,f2_hp,f3_be`.
@@ -66,15 +62,16 @@ pub fn fig4_6_csv(threads: usize) -> String {
         params::SEED,
         threads,
     );
-    let mut out = String::from("kbps,f1_rt,f2_hp,f3_be\n");
+    let mut table = CsvTable::new(&["kbps", "f1_rt", "f2_hp", "f3_be"]);
     for (i, &rate) in r.rates_kbps.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "{rate},{},{},{}",
-            r.drops[0][i], r.drops[1][i], r.drops[2][i]
-        );
+        table.row(&[
+            rate.into(),
+            r.drops[0][i].into(),
+            r.drops[1][i].into(),
+            r.drops[2][i].into(),
+        ]);
     }
-    out
+    table.finish()
 }
 
 /// Figs 4.7–4.10 as CSV: `seq,f1_rt_ms,f2_hp_ms,f3_be_ms` (empty cell =
@@ -88,7 +85,7 @@ pub fn delay_csv(scheme: Scheme, capacity: usize, link_ms: u64) -> String {
         SimDuration::from_millis(link_ms),
         params::SEED,
     );
-    let mut out = String::from("seq,f1_rt_ms,f2_hp_ms,f3_be_ms\n");
+    let mut table = CsvTable::new(&["seq", "f1_rt_ms", "f2_hp_ms", "f3_be_ms"]);
     let max_seq = r
         .series
         .iter()
@@ -96,18 +93,16 @@ pub fn delay_csv(scheme: Scheme, capacity: usize, link_ms: u64) -> String {
         .max()
         .unwrap_or(0);
     for seq in 0..=max_seq {
-        let _ = write!(out, "{seq}");
+        let mut row: Vec<Cell<'_>> = vec![seq.into()];
         for k in 0..3 {
-            match r.series[k].iter().find(|&&(s, _)| s == seq) {
-                Some(&(_, d)) => {
-                    let _ = write!(out, ",{:.3}", d * 1e3);
-                }
-                None => out.push(','),
-            }
+            row.push(match r.series[k].iter().find(|&&(s, _)| s == seq) {
+                Some(&(_, d)) => Cell::Fixed(d * 1e3, 3),
+                None => Cell::Empty,
+            });
         }
-        let _ = writeln!(out);
+        table.row(&row);
     }
-    out
+    table.finish()
 }
 
 /// Fig 4.14 as CSV: `t_s,buffered_mbps,unbuffered_mbps`.
@@ -115,12 +110,16 @@ pub fn delay_csv(scheme: Scheme, capacity: usize, link_ms: u64) -> String {
 pub fn fig4_14_csv() -> String {
     let with = experiments::tcp_l2_handoff(true, params::SEED);
     let without = experiments::tcp_l2_handoff(false, params::SEED);
-    let mut out = String::from("t_s,buffered_mbps,unbuffered_mbps\n");
+    let mut table = CsvTable::new(&["t_s", "buffered_mbps", "unbuffered_mbps"]);
     for (i, &(t, mbps)) in with.throughput.iter().enumerate() {
         let none = without.throughput.get(i).map_or(0.0, |&(_, m)| m);
-        let _ = writeln!(out, "{t:.1},{mbps:.3},{none:.3}");
+        table.row(&[
+            Cell::Fixed(t, 1),
+            Cell::Fixed(mbps, 3),
+            Cell::Fixed(none, 3),
+        ]);
     }
-    out
+    table.finish()
 }
 
 /// Chaos sweep as CSV: one row per injected loss probability.
@@ -134,27 +133,35 @@ pub fn chaos_csv(threads: usize) -> String {
 #[must_use]
 pub fn chaos_csv_with_seed(seed: u64, threads: usize) -> String {
     let r = experiments::chaos_sweep(&experiments::CHAOS_LOSS_PROBS, seed, threads);
-    let mut out = String::from(
-        "loss,predictive,reactive,failed,recovery_ms,f1_drops,f2_drops,f3_drops,fault_drops,retransmissions,degradations\n",
-    );
+    let mut table = CsvTable::new(&[
+        "loss",
+        "predictive",
+        "reactive",
+        "failed",
+        "recovery_ms",
+        "f1_drops",
+        "f2_drops",
+        "f3_drops",
+        "fault_drops",
+        "retransmissions",
+        "degradations",
+    ]);
     for p in &r.points {
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{:.3},{},{},{},{},{},{}",
-            p.loss,
-            p.predictive,
-            p.reactive,
-            p.failed,
-            p.recovery_ms,
-            p.class_drops[0],
-            p.class_drops[1],
-            p.class_drops[2],
-            p.fault_drops,
-            p.retransmissions,
-            p.degradations
-        );
+        table.row(&[
+            p.loss.into(),
+            p.predictive.into(),
+            p.reactive.into(),
+            p.failed.into(),
+            Cell::Fixed(p.recovery_ms, 3),
+            p.class_drops[0].into(),
+            p.class_drops[1].into(),
+            p.class_drops[2].into(),
+            p.fault_drops.into(),
+            p.retransmissions.into(),
+            p.degradations.into(),
+        ]);
     }
-    out
+    table.finish()
 }
 
 /// Storm sweep as CSV: one row per storm size, both schemes side by side.
@@ -170,30 +177,47 @@ pub fn storm_csv(threads: usize) -> String {
 #[must_use]
 pub fn storm_csv_with_seed(seed: u64, threads: usize) -> String {
     let r = experiments::storm_sweep(&experiments::STORM_SIZES, seed, threads);
-    let mut out = String::from(
-        "mhs,scheme,f1_drops,f2_drops,f3_drops,f1_p99_ms,f2_p99_ms,f3_p99_ms,expired,reclaimed,failed,routes_expired\n",
-    );
+    let mut table = CsvTable::new(&[
+        "mhs",
+        "scheme",
+        "f1_drops",
+        "f2_drops",
+        "f3_drops",
+        "f1_p99_ms",
+        "f2_p99_ms",
+        "f3_p99_ms",
+        "expired",
+        "reclaimed",
+        "failed",
+        "routes_expired",
+    ]);
     for p in &r.points {
         for s in [&p.fmipv6, &p.enhanced] {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{},{:.3},{:.3},{:.3},{},{},{},{}",
-                p.n_mhs,
-                s.label.to_lowercase(),
-                s.class_drops[0],
-                s.class_drops[1],
-                s.class_drops[2],
-                s.class_p99_ms[0],
-                s.class_p99_ms[1],
-                s.class_p99_ms[2],
-                s.expired,
-                s.reclaimed,
-                s.failed,
-                s.routes_expired
-            );
+            let scheme = s.label.to_lowercase();
+            table.row(&[
+                p.n_mhs.into(),
+                scheme.as_str().into(),
+                s.class_drops[0].into(),
+                s.class_drops[1].into(),
+                s.class_drops[2].into(),
+                Cell::Fixed(s.class_p99_ms[0], 3),
+                Cell::Fixed(s.class_p99_ms[1], 3),
+                Cell::Fixed(s.class_p99_ms[2], 3),
+                s.expired.into(),
+                s.reclaimed.into(),
+                s.failed.into(),
+                s.routes_expired.into(),
+            ]);
         }
     }
-    out
+    table.finish()
+}
+
+/// The storm timeline as Chrome-trace JSON for an explicit seed — the CI
+/// trace-determinism job compares these bytes across thread counts.
+#[must_use]
+pub fn timeline_json_with_seed(seed: u64, threads: usize) -> String {
+    experiments::storm_timeline(&experiments::TIMELINE_SIZES, seed, threads).chrome_json
 }
 
 /// Resolves a CSV writer by figure id, fanning sweep points across

@@ -5,7 +5,12 @@
 //! cargo run -p fh-bench --bin repro --release -- --threads 4    # parallel
 //! cargo run -p fh-bench --bin repro --release -- fig4.2         # one figure
 //! cargo run -p fh-bench --bin repro --release -- --csv fig4.2   # CSV series
+//! cargo run -p fh-bench --bin repro --release -- --trace        # + timeline
 //! ```
+//!
+//! `--trace` additionally writes `TRACE_timeline.json`, the storm runs'
+//! Chrome-trace timeline (the same bytes the `timeline` bin prints) —
+//! byte-identical at any `--threads` value, like everything else here.
 //!
 //! `--threads N` sizes the deterministic sweep worker pool (0 = one per
 //! core, default 1). Figures fan out across the pool and each sweep
@@ -73,6 +78,12 @@ fn main() -> ExitCode {
     }
     let threads = resolve_threads(threads);
 
+    let mut trace = false;
+    if let Some(pos) = filters.iter().position(|a| a == "--trace") {
+        filters.remove(pos);
+        trace = true;
+    }
+
     if filters.first().map(String::as_str) == Some("--csv") {
         filters.remove(0);
         for figure in &filters {
@@ -137,6 +148,18 @@ fn main() -> ExitCode {
         match std::fs::write("BENCH_sweeps.json", &json) {
             Ok(()) => eprintln!("wrote BENCH_sweeps.json ({threads} threads, {total_wall_s:.1}s)"),
             Err(e) => eprintln!("could not write BENCH_sweeps.json: {e}"),
+        }
+    }
+
+    // `--trace`: additionally export the storm runs as a Chrome-trace
+    // timeline (the `timeline` bin's bytes, written to a file). Stdout is
+    // untouched, so the figure tables stay byte-identical with and
+    // without the flag.
+    if trace {
+        let json = fh_bench::csv::timeline_json_with_seed(fh_bench::params::SEED, threads);
+        match std::fs::write("TRACE_timeline.json", &json) {
+            Ok(()) => eprintln!("wrote TRACE_timeline.json ({threads} threads)"),
+            Err(e) => eprintln!("could not write TRACE_timeline.json: {e}"),
         }
     }
     ExitCode::SUCCESS

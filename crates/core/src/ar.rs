@@ -505,8 +505,18 @@ impl ArAgent {
         }
         self.alive = false;
         self.metrics.crashes += 1;
-        for pkt in self.pool.wipe_all() {
+        let node = self.node;
+        fh_net::record_trace(ctx, || fh_net::TraceEvent::FaultFired {
+            node,
+            what: "crash",
+        });
+        let wiped = self.pool.wipe_all();
+        let pkts = wiped.len();
+        for pkt in wiped {
             fh_net::record_drop(ctx, pkt.flow, DropReason::Reclaimed);
+        }
+        if pkts > 0 {
+            fh_net::record_trace(ctx, || fh_net::TraceEvent::StateReclaimed { node, pkts });
         }
         self.par_sessions.clear();
         self.nar_sessions.clear();
@@ -535,6 +545,11 @@ impl ArAgent {
             return;
         }
         self.alive = true;
+        let node = self.node;
+        fh_net::record_trace(ctx, || fh_net::TraceEvent::FaultFired {
+            node,
+            what: "restart",
+        });
         let jitter = SimDuration::from_micros(ctx.rng.gen_range_u64(1000));
         ctx.send_self(
             jitter,
@@ -584,9 +599,13 @@ impl ArAgent {
         stale.sort();
         for pcoa in stale {
             self.par_sessions.remove(&pcoa);
-            for pkt in self.pool.expire(pcoa) {
+            let expired = self.pool.expire(pcoa);
+            let pkts = expired.len();
+            for pkt in expired {
                 fh_net::record_drop(ctx, pkt.flow, DropReason::Reclaimed);
             }
+            let node = self.node;
+            fh_net::record_trace(ctx, || fh_net::TraceEvent::StateReclaimed { node, pkts });
             self.metrics.dead_peer_reclaims += 1;
         }
         let mut stale: Vec<Ipv6Addr> = self
@@ -598,9 +617,13 @@ impl ArAgent {
         stale.sort();
         for pcoa in stale {
             self.nar_sessions.remove(&pcoa);
-            for pkt in self.pool.expire(pcoa) {
+            let expired = self.pool.expire(pcoa);
+            let pkts = expired.len();
+            for pkt in expired {
                 fh_net::record_drop(ctx, pkt.flow, DropReason::Reclaimed);
             }
+            let node = self.node;
+            fh_net::record_trace(ctx, || fh_net::TraceEvent::StateReclaimed { node, pkts });
             self.metrics.dead_peer_reclaims += 1;
         }
         ctx.send_self(
@@ -699,6 +722,11 @@ impl ArAgent {
                         self.route_tokens.remove(&addr);
                         self.neighbors.remove(&addr);
                         self.metrics.routes_expired += 1;
+                        let node = self.node;
+                        fh_net::record_trace(ctx, || fh_net::TraceEvent::StateExpired {
+                            node,
+                            what: "host-route",
+                        });
                     }
                 }
             }
@@ -742,6 +770,11 @@ impl ArAgent {
         self.send_control_wired(ctx, rtx.nar_addr, hi);
         self.metrics.retransmissions += 1;
         ctx.shared.stats_mut().bump("ar.retransmissions", 1);
+        let node = self.node;
+        fh_net::record_trace(ctx, || fh_net::TraceEvent::ControlRetransmit {
+            kind: "HI",
+            by: node,
+        });
         let token = self.fresh_token(pcoa);
         rtx.token = token;
         rtx.key = ctx.send_self_keyed(
@@ -781,6 +814,11 @@ impl ArAgent {
             for pkt in self.pool.expire(pcoa) {
                 fh_net::record_drop(ctx, pkt.flow, reason);
             }
+            let node = self.node;
+            fh_net::record_trace(ctx, || fh_net::TraceEvent::StateExpired {
+                node,
+                what: if guard { "guard" } else { "reservation" },
+            });
             if guard {
                 self.metrics.guard_expired += 1;
             }
@@ -795,6 +833,11 @@ impl ArAgent {
             for pkt in self.pool.expire(pcoa) {
                 fh_net::record_drop(ctx, pkt.flow, DropReason::LifetimeExpired);
             }
+            let node = self.node;
+            fh_net::record_trace(ctx, || fh_net::TraceEvent::StateExpired {
+                node,
+                what: "reservation",
+            });
             self.metrics.expired_sessions += 1;
         }
     }
@@ -841,6 +884,11 @@ impl ArAgent {
         src: Ipv6Addr,
         msg: ControlMsg,
     ) {
+        let node = self.node;
+        fh_net::record_trace(ctx, || fh_net::TraceEvent::ControlReceived {
+            kind: msg.kind_name(),
+            at: node,
+        });
         match msg {
             ControlMsg::RtSolPr { target_ap, bi } => {
                 self.on_rtsolpr(ctx, from, src, target_ap, bi);
@@ -1239,6 +1287,11 @@ impl ArAgent {
     ) {
         // Any signaling from a peer router proves it is alive.
         self.peer_last_heard.insert(src, ctx.now());
+        let node = self.node;
+        fh_net::record_trace(ctx, || fh_net::TraceEvent::ControlReceived {
+            kind: msg.kind_name(),
+            at: node,
+        });
         match msg {
             ControlMsg::HandoverInitiate {
                 pcoa,
@@ -1454,12 +1507,32 @@ impl ArAgent {
             }
             NarAction::Buffer => {
                 let overflow = nar_overflow(scheme, class);
+                let ar = self.node;
+                let flow = inner.flow;
                 match overflow {
                     NarOverflow::DropOldestRealtime => {
                         match self.pool.buffer_realtime_dropfront(pcoa, inner) {
-                            Ok(None) => {}
+                            Ok(None) => {
+                                fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferAdmit {
+                                    ar,
+                                    class,
+                                    flow,
+                                });
+                            }
                             Ok(Some(evicted)) => {
+                                let evicted_flow = evicted.flow;
+                                let evicted_class = evicted.effective_class();
                                 fh_net::record_drop(ctx, evicted.flow, DropReason::BufferOverflow);
+                                fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferEvict {
+                                    ar,
+                                    class: evicted_class,
+                                    flow: evicted_flow,
+                                });
+                                fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferAdmit {
+                                    ar,
+                                    class,
+                                    flow,
+                                });
                             }
                             Err(rejected) => {
                                 fh_net::record_drop(ctx, rejected.flow, DropReason::BufferOverflow);
@@ -1467,43 +1540,57 @@ impl ArAgent {
                         }
                     }
                     NarOverflow::NotifyPar => {
-                        if let Err(rejected) =
-                            self.pool.try_buffer(pcoa, inner, AdmissionLimit::Grant)
-                        {
-                            let already = self
-                                .nar_sessions
-                                .get(&pcoa)
-                                .is_some_and(|s| s.full_notified);
-                            if !already {
-                                // Case 1.b: tell the PAR to buffer the rest,
-                                // and send the packet that did not fit back
-                                // through the reverse tunnel so the PAR can
-                                // buffer it too (the notification travels
-                                // the same link and arrives first).
-                                if let Some(s) = self.nar_sessions.get_mut(&pcoa) {
-                                    s.full_notified = true;
+                        match self.pool.try_buffer(pcoa, inner, AdmissionLimit::Grant) {
+                            Ok(()) => {
+                                fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferAdmit {
+                                    ar,
+                                    class,
+                                    flow,
+                                });
+                            }
+                            Err(rejected) => {
+                                let already = self
+                                    .nar_sessions
+                                    .get(&pcoa)
+                                    .is_some_and(|s| s.full_notified);
+                                if !already {
+                                    // Case 1.b: tell the PAR to buffer the rest,
+                                    // and send the packet that did not fit back
+                                    // through the reverse tunnel so the PAR can
+                                    // buffer it too (the notification travels
+                                    // the same link and arrives first).
+                                    if let Some(s) = self.nar_sessions.get_mut(&pcoa) {
+                                        s.full_notified = true;
+                                    }
+                                    self.metrics.buffer_full_sent += 1;
+                                    let addr = self.addr;
+                                    self.send_control_wired(
+                                        ctx,
+                                        par_addr,
+                                        ControlMsg::BufferFull { pcoa },
+                                    );
+                                    let back = rejected.encapsulate(addr, par_addr);
+                                    self.send_wired(ctx, back);
+                                } else {
+                                    // Already spilling: last-ditch delivery
+                                    // attempt (bounces are not allowed to loop).
+                                    self.radio_deliver(ctx, mh, rejected);
                                 }
-                                self.metrics.buffer_full_sent += 1;
-                                let addr = self.addr;
-                                self.send_control_wired(
-                                    ctx,
-                                    par_addr,
-                                    ControlMsg::BufferFull { pcoa },
-                                );
-                                let back = rejected.encapsulate(addr, par_addr);
-                                self.send_wired(ctx, back);
-                            } else {
-                                // Already spilling: last-ditch delivery
-                                // attempt (bounces are not allowed to loop).
-                                self.radio_deliver(ctx, mh, rejected);
                             }
                         }
                     }
                     NarOverflow::TailDrop => {
-                        if let Err(rejected) =
-                            self.pool.try_buffer(pcoa, inner, AdmissionLimit::Grant)
-                        {
-                            fh_net::record_drop(ctx, rejected.flow, DropReason::BufferOverflow);
+                        match self.pool.try_buffer(pcoa, inner, AdmissionLimit::Grant) {
+                            Ok(()) => {
+                                fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferAdmit {
+                                    ar,
+                                    class,
+                                    flow,
+                                });
+                            }
+                            Err(rejected) => {
+                                fh_net::record_drop(ctx, rejected.flow, DropReason::BufferOverflow);
+                            }
                         }
                     }
                 }
@@ -1557,8 +1644,17 @@ impl ArAgent {
                         }
                     }
                 };
-                if let Err(rejected) = self.pool.try_buffer(pcoa, pkt, limit) {
-                    match (class, nar_addr) {
+                let ar = self.node;
+                let flow = pkt.flow;
+                match self.pool.try_buffer(pcoa, pkt, limit) {
+                    Ok(()) => {
+                        fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferAdmit {
+                            ar,
+                            class,
+                            flow,
+                        });
+                    }
+                    Err(rejected) => match (class, nar_addr) {
                         // Rejected high-priority: tunnel unbuffered rather
                         // than drop — the drop-rate promise matters most.
                         (ServiceClass::HighPriority, Some(nar)) => {
@@ -1568,7 +1664,7 @@ impl ArAgent {
                         _ => {
                             fh_net::record_drop(ctx, rejected.flow, DropReason::BufferOverflow);
                         }
-                    }
+                    },
                 }
             }
             ParAction::Drop => {
@@ -1592,6 +1688,10 @@ impl ArAgent {
             self.drop_route(ctx, pcoa);
         }
         self.metrics.flushes += 1;
+        let ar = self.node;
+        let pkts = self.pool.session_len(pcoa);
+        let path = if nar_addr.is_some() { "par" } else { "local" };
+        fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferFlush { ar, path, pkts });
         let target = match nar_addr {
             Some(nar) => FlushTarget::Tunnel(nar),
             None => FlushTarget::Radio(mh),
@@ -1602,6 +1702,13 @@ impl ArAgent {
     /// Flushes the NAR buffer over the air (FNA+BF received).
     fn flush_nar<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr, mh: NodeId) {
         self.metrics.flushes += 1;
+        let ar = self.node;
+        let pkts = self.pool.session_len(pcoa);
+        fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferFlush {
+            ar,
+            path: "nar",
+            pkts,
+        });
         self.start_flush(ctx, pcoa, FlushTarget::Radio(mh));
     }
 

@@ -59,6 +59,25 @@ pub enum HandoffPhase {
     Degraded,
 }
 
+impl HandoffPhase {
+    /// Stable short label, used as the span-mark name on handover
+    /// timelines (`fh_telemetry` spans).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            HandoffPhase::Trigger => "trigger",
+            HandoffPhase::SolicitSent => "solicit-sent",
+            HandoffPhase::AdvReceived => "adv-received",
+            HandoffPhase::FbuSent => "fbu-sent",
+            HandoffPhase::LinkDown => "link-down",
+            HandoffPhase::LinkUp => "link-up",
+            HandoffPhase::FnaSent => "fna-sent",
+            HandoffPhase::BindingComplete => "binding-complete",
+            HandoffPhase::Degraded => "degraded",
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum MhState {
     /// Attached, no handover in progress.
@@ -152,6 +171,12 @@ pub struct MhAgent {
     pub handoffs: u64,
     /// Event timeline `(time, phase)`.
     pub log: Vec<(SimTime, HandoffPhase)>,
+    /// The telemetry span of the current (or most recent) handover
+    /// attempt; [`fh_telemetry::SpanId::NONE`] while spans are disabled.
+    span: fh_telemetry::SpanId,
+    /// Set at FNA time so the next delivered data packet stamps the
+    /// `first-delivery` mark on the span (FNA→first-delivery latency).
+    await_first_delivery: bool,
 }
 
 impl MhAgent {
@@ -186,7 +211,21 @@ impl MhAgent {
             degradations: 0,
             handoffs: 0,
             log: Vec::new(),
+            span: fh_telemetry::SpanId::NONE,
+            await_first_delivery: false,
         }
+    }
+
+    /// Records a protocol phase: appended to the host's own timeline and
+    /// mirrored as a mark on the current handover span (no-op while
+    /// spans are disabled).
+    fn phase<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, phase: HandoffPhase) {
+        let now = ctx.now();
+        self.log.push((now, phase));
+        ctx.shared
+            .stats_mut()
+            .spans
+            .annotate(self.span, now, phase.label());
     }
 
     /// `true` while a handover attempt has neither completed nor been
@@ -370,6 +409,15 @@ impl MhAgent {
                 if att.ap != current {
                     return;
                 }
+                // One span per handover attempt. A degraded attempt that
+                // re-triggers before resolving stays on its original span.
+                let now = ctx.now();
+                let track = self.node.index() as u64;
+                let spans = &mut ctx.shared.stats_mut().spans;
+                if !spans.is_open(self.span) {
+                    self.span = spans.begin("handover", track, now);
+                }
+                spans.annotate(self.span, now, HandoffPhase::Trigger.label());
                 let bi = self.config.scheme.buffers().then_some(BufferInit {
                     size: self.config.buffer_request,
                     start_time: self.config.buffer_start_time,
@@ -397,13 +445,13 @@ impl MhAgent {
                         target_ap: next,
                     });
                 }
-                self.log.push((ctx.now(), HandoffPhase::SolicitSent));
+                self.phase(ctx, HandoffPhase::SolicitSent);
             }
             L2Event::LinkDown { .. } => {
-                self.log.push((ctx.now(), HandoffPhase::LinkDown));
+                self.phase(ctx, HandoffPhase::LinkDown);
             }
             L2Event::LinkUp { ap } => {
-                self.log.push((ctx.now(), HandoffPhase::LinkUp));
+                self.phase(ctx, HandoffPhase::LinkUp);
                 self.on_link_up(ctx, ap);
             }
         }
@@ -430,7 +478,8 @@ impl MhAgent {
                         let msg = ControlMsg::BufferForward { pcoa };
                         self.send_control_up(ctx, pcoa, p.nar_addr, msg);
                     }
-                    self.log.push((ctx.now(), HandoffPhase::FnaSent));
+                    self.phase(ctx, HandoffPhase::FnaSent);
+                    self.await_first_delivery = true;
                     self.resolve_attempt(ctx, HandoverOutcome::Predictive);
                     return;
                 }
@@ -441,7 +490,8 @@ impl MhAgent {
                     auth: p.auth,
                 };
                 self.send_control_up(ctx, p.ncoa, p.nar_addr, fna);
-                self.log.push((ctx.now(), HandoffPhase::FnaSent));
+                self.phase(ctx, HandoffPhase::FnaSent);
+                self.await_first_delivery = true;
                 // Adopt the new address and update the MAP binding.
                 self.mip.set_lcoa(p.ncoa);
                 let bu = self.mip.make_map_bu(ctx.now());
@@ -532,7 +582,19 @@ impl MhAgent {
                 self.on_control(ctx, pkt.src, msg);
                 None
             }
-            _ => Some(pkt),
+            _ => {
+                if self.await_first_delivery {
+                    // First data packet after the FNA: the tail latency of
+                    // the handover (FNA→first-delivery) is now measurable.
+                    self.await_first_delivery = false;
+                    let now = ctx.now();
+                    ctx.shared
+                        .stats_mut()
+                        .spans
+                        .annotate(self.span, now, "first-delivery");
+                }
+                Some(pkt)
+            }
         }
     }
 
@@ -542,9 +604,14 @@ impl MhAgent {
         _src: Ipv6Addr,
         msg: ControlMsg,
     ) {
+        let node = self.node;
+        fh_net::record_trace(ctx, || fh_net::TraceEvent::ControlReceived {
+            kind: msg.kind_name(),
+            at: node,
+        });
         if self.mip.on_control(ctx.now(), &msg) {
             if self.mip.map_registered() {
-                self.log.push((ctx.now(), HandoffPhase::BindingComplete));
+                self.phase(ctx, HandoffPhase::BindingComplete);
                 if self.awaiting_binding {
                     if let Some(r) = self.rtx_fna.take() {
                         let _ = ctx.cancel(r.key);
@@ -592,7 +659,7 @@ impl MhAgent {
         if let Some(r) = self.rtx_solicit.take() {
             let _ = ctx.cancel(r.key);
         }
-        self.log.push((ctx.now(), HandoffPhase::AdvReceived));
+        self.phase(ctx, HandoffPhase::AdvReceived);
         let intra = nar_addr == att.router;
         let pcoa = self.mip.lcoa().expect("attached host has an LCoA");
         let ncoa = if intra {
@@ -615,7 +682,7 @@ impl MhAgent {
         // FBAck is lost.
         let fbu = ControlMsg::FastBindingUpdate { pcoa, ncoa };
         self.send_control_up(ctx, pcoa, att.router, fbu);
-        self.log.push((ctx.now(), HandoffPhase::FbuSent));
+        self.phase(ctx, HandoffPhase::FbuSent);
         self.state = MhState::AwaitFback;
         self.fbu_seq += 1;
         ctx.send_self(
@@ -635,7 +702,12 @@ impl MhAgent {
     ) {
         self.attempt_open = false;
         self.awaiting_binding = false;
-        ctx.shared.stats_mut().record_outcome(outcome);
+        let now = ctx.now();
+        let stats = ctx.shared.stats_mut();
+        stats.record_outcome(outcome);
+        // The span id is kept so the trailing first-delivery mark still
+        // lands on this attempt (marks after end are allowed).
+        stats.spans.end(self.span, now, outcome.label());
     }
 
     /// Cancels any armed retransmission timers (O(1) keyed cancel — the
@@ -663,7 +735,7 @@ impl MhAgent {
             // its own; recovery then rides the reactive RA path.
             self.state = MhState::Idle;
             self.degradations += 1;
-            self.log.push((ctx.now(), HandoffPhase::Degraded));
+            self.phase(ctx, HandoffPhase::Degraded);
             ctx.shared.stats_mut().bump("mh.degradations", 1);
             return;
         }
@@ -681,6 +753,11 @@ impl MhAgent {
         self.send_control_up(ctx, pcoa, att.router, msg);
         self.retransmissions += 1;
         ctx.shared.stats_mut().bump("mh.retransmissions", 1);
+        let node = self.node;
+        fh_net::record_trace(ctx, || fh_net::TraceEvent::ControlRetransmit {
+            kind: "RtSolPr",
+            by: node,
+        });
         rtx.key = ctx.send_self_keyed(
             bo.delay(rtx.sent),
             NetMsg::Timer {
@@ -709,7 +786,7 @@ impl MhAgent {
             self.awaiting_binding = false;
             self.current = None;
             self.degradations += 1;
-            self.log.push((ctx.now(), HandoffPhase::Degraded));
+            self.phase(ctx, HandoffPhase::Degraded);
             ctx.shared.stats_mut().bump("mh.degradations", 1);
             return;
         }
@@ -726,6 +803,10 @@ impl MhAgent {
         let _ = send_uplink(ctx, node, bu);
         self.retransmissions += 1;
         ctx.shared.stats_mut().bump("mh.retransmissions", 1);
+        fh_net::record_trace(ctx, || fh_net::TraceEvent::ControlRetransmit {
+            kind: "FNA",
+            by: node,
+        });
         rtx.key = ctx.send_self_keyed(
             bo.delay(rtx.sent),
             NetMsg::Timer {
@@ -755,6 +836,11 @@ impl MhAgent {
         }
         self.powered_off = true;
         self.cancel_rtx(ctx);
+        let node = self.node;
+        fh_net::record_trace(ctx, || fh_net::TraceEvent::FaultFired {
+            node,
+            what: "power-off",
+        });
         let _ = ctx.shared.radio_mut().detach(self.node);
     }
 

@@ -74,7 +74,8 @@ pub use link::{Link, LinkError, LinkId, LinkSpec};
 pub use msg::{ApId, ControlMsg};
 pub use packet::{ConnId, FlowId, Packet, Payload, TcpFlags, TcpSegment};
 pub use topology::{NodeId, RouteDecision, Topology};
+pub use trace::{TraceEvent, TraceLog};
 pub use world::{
-    record_control, record_drop, send_control, send_from, start_timer, transmit_on, DropReason,
-    FlowAudit, HandoverOutcome, L2Event, NetCtx, NetMsg, NetStats, NetWorld, TimerKind,
+    record_control, record_drop, record_trace, send_control, send_from, start_timer, transmit_on,
+    DropReason, FlowAudit, HandoverOutcome, L2Event, NetCtx, NetMsg, NetStats, NetWorld, TimerKind,
 };

@@ -1,10 +1,11 @@
 //! Protocol event tracing (the ns-2 trace-file analog).
 //!
-//! When enabled, the [`TraceLog`] inside [`crate::NetStats`] records every
-//! control message sent, every packet drop (with its reason), and the
-//! link-layer events of the mobile hosts — timestamped, in global event
-//! order. Rendering the log reads like a protocol analyzer's view of a
-//! handover:
+//! When enabled, the [`TraceLog`] inside [`crate::NetStats`] records the
+//! structured simulation events — control messages sent / received /
+//! retransmitted, packet drops with their reason, link-layer events,
+//! per-class buffer admissions / evictions / flushes, injected faults
+//! and soft-state expiry — timestamped, in global event order. Rendering
+//! the log reads like a protocol analyzer's view of a handover:
 //!
 //! ```text
 //! 1.200000s  ctrl RtSolPr 60B piggyback
@@ -13,11 +14,18 @@
 //! 1.409422s  l2 actor#4 LinkUp { ap: ap1 }
 //! ```
 //!
-//! Tracing is off by default (zero overhead beyond a branch); enable it
-//! with [`TraceLog::enable`] before the run.
+//! The log is an [`fh_telemetry::FlightRecorder`] ring buffer: when it
+//! fills, the **oldest** events are overwritten (and counted), so the
+//! most recent history is always available. Tracing is off by default
+//! (zero overhead beyond a branch); enable it with [`TraceLog::enable`]
+//! before the run. Each [`TraceEvent`] implements
+//! [`fh_telemetry::TraceInstant`], so a recorded log exports straight to
+//! Chrome-trace or JSONL via `fh_telemetry::export`.
 
 use fh_sim::SimTime;
+use fh_telemetry::{FlightRecorder, TraceInstant};
 
+use crate::class::ServiceClass;
 use crate::packet::FlowId;
 use crate::world::{DropReason, L2Event};
 use crate::NodeId;
@@ -34,6 +42,20 @@ pub enum TraceEvent {
         /// Whether a buffer-management option rode along.
         piggybacked: bool,
     },
+    /// A signaling message reached a protocol agent.
+    ControlReceived {
+        /// Message kind.
+        kind: &'static str,
+        /// The node whose agent consumed it.
+        at: NodeId,
+    },
+    /// A signaling exchange timed out and was retransmitted.
+    ControlRetransmit {
+        /// Message kind being retried.
+        kind: &'static str,
+        /// The node that retransmitted.
+        by: NodeId,
+    },
     /// A data or control packet was lost.
     Drop {
         /// The flow the packet belonged to (0 = control plane).
@@ -48,53 +70,206 @@ pub enum TraceEvent {
         /// The event.
         event: L2Event,
     },
+    /// A handover buffer accepted a packet.
+    BufferAdmit {
+        /// The buffering access router.
+        ar: NodeId,
+        /// Service class of the admitted packet.
+        class: ServiceClass,
+        /// The packet's flow.
+        flow: FlowId,
+    },
+    /// A handover buffer pushed out a queued packet to admit a more
+    /// important one (Table 3.3 drop-front).
+    BufferEvict {
+        /// The buffering access router.
+        ar: NodeId,
+        /// Service class of the *evicted* packet.
+        class: ServiceClass,
+        /// The evicted packet's flow.
+        flow: FlowId,
+    },
+    /// A handover buffer started draining toward the mobile host.
+    BufferFlush {
+        /// The flushing access router.
+        ar: NodeId,
+        /// Which flush path (`"par"`, `"nar"`, `"local"`).
+        path: &'static str,
+        /// Packets queued at flush start.
+        pkts: usize,
+    },
+    /// The fault-injection layer fired a scheduled node fault.
+    FaultFired {
+        /// The faulted node.
+        node: NodeId,
+        /// What happened (`"crash"`, `"restart"`, `"power-off"`).
+        what: &'static str,
+    },
+    /// A piece of soft state reached its lifetime without a refresh.
+    StateExpired {
+        /// The node holding the state.
+        node: NodeId,
+        /// What expired (`"host-route"`, `"reservation"`, …).
+        what: &'static str,
+    },
+    /// Dead-peer or crash cleanup reclaimed buffered state.
+    StateReclaimed {
+        /// The node that reclaimed.
+        node: NodeId,
+        /// Packets released by the reclaim.
+        pkts: usize,
+    },
 }
 
-/// A bounded, timestamped protocol event log.
+impl TraceEvent {
+    /// The node a timeline should attribute the event to (`None` for
+    /// network-global events such as sends and drops, which are recorded
+    /// at the statistics hub rather than at a node).
+    #[must_use]
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            TraceEvent::ControlSent { .. } | TraceEvent::Drop { .. } => None,
+            TraceEvent::ControlReceived { at: n, .. }
+            | TraceEvent::ControlRetransmit { by: n, .. }
+            | TraceEvent::L2 { mh: n, .. }
+            | TraceEvent::BufferAdmit { ar: n, .. }
+            | TraceEvent::BufferEvict { ar: n, .. }
+            | TraceEvent::BufferFlush { ar: n, .. }
+            | TraceEvent::FaultFired { node: n, .. }
+            | TraceEvent::StateExpired { node: n, .. }
+            | TraceEvent::StateReclaimed { node: n, .. } => Some(n),
+        }
+    }
+}
+
+impl TraceInstant for TraceEvent {
+    fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::ControlSent { .. } => "ctrl-sent",
+            TraceEvent::ControlReceived { .. } => "ctrl-recv",
+            TraceEvent::ControlRetransmit { .. } => "ctrl-rtx",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::L2 { .. } => "l2",
+            TraceEvent::BufferAdmit { .. } => "buffer-admit",
+            TraceEvent::BufferEvict { .. } => "buffer-evict",
+            TraceEvent::BufferFlush { .. } => "buffer-flush",
+            TraceEvent::FaultFired { .. } => "fault",
+            TraceEvent::StateExpired { .. } => "state-expired",
+            TraceEvent::StateReclaimed { .. } => "state-reclaimed",
+        }
+    }
+
+    fn track(&self) -> u64 {
+        self.node().map_or(0, |n| n.index() as u64)
+    }
+
+    fn args_json(&self) -> String {
+        match *self {
+            TraceEvent::ControlSent {
+                kind,
+                bytes,
+                piggybacked,
+            } => format!("{{\"kind\":\"{kind}\",\"bytes\":{bytes},\"piggyback\":{piggybacked}}}"),
+            TraceEvent::ControlReceived { kind, at } => {
+                format!("{{\"kind\":\"{kind}\",\"at\":{}}}", at.index())
+            }
+            TraceEvent::ControlRetransmit { kind, by } => {
+                format!("{{\"kind\":\"{kind}\",\"by\":{}}}", by.index())
+            }
+            TraceEvent::Drop { flow, reason } => {
+                format!("{{\"flow\":{},\"reason\":\"{}\"}}", flow.0, reason.label())
+            }
+            TraceEvent::L2 { mh, event } => {
+                format!("{{\"mh\":{},\"event\":\"{event:?}\"}}", mh.index())
+            }
+            TraceEvent::BufferAdmit { ar, class, flow } => format!(
+                "{{\"ar\":{},\"class\":\"{class}\",\"flow\":{}}}",
+                ar.index(),
+                flow.0
+            ),
+            TraceEvent::BufferEvict { ar, class, flow } => format!(
+                "{{\"ar\":{},\"class\":\"{class}\",\"flow\":{}}}",
+                ar.index(),
+                flow.0
+            ),
+            TraceEvent::BufferFlush { ar, path, pkts } => format!(
+                "{{\"ar\":{},\"path\":\"{path}\",\"pkts\":{pkts}}}",
+                ar.index()
+            ),
+            TraceEvent::FaultFired { node, what } => {
+                format!("{{\"node\":{},\"what\":\"{what}\"}}", node.index())
+            }
+            TraceEvent::StateExpired { node, what } => {
+                format!("{{\"node\":{},\"what\":\"{what}\"}}", node.index())
+            }
+            TraceEvent::StateReclaimed { node, pkts } => {
+                format!("{{\"node\":{},\"pkts\":{pkts}}}", node.index())
+            }
+        }
+    }
+}
+
+/// A bounded, timestamped protocol event log — a thin facade over
+/// [`FlightRecorder`] that owns the network-layer event vocabulary.
 #[derive(Debug, Clone, Default)]
 pub struct TraceLog {
-    enabled: bool,
-    cap: usize,
-    events: Vec<(SimTime, TraceEvent)>,
-    truncated: u64,
+    rec: FlightRecorder<TraceEvent>,
 }
 
 impl TraceLog {
-    /// Switches tracing on, keeping at most `cap` events (further events
-    /// are counted but not stored).
+    /// Switches tracing on, keeping the most recent `cap` events (the
+    /// ring overwrites the oldest ones, counting what it loses).
     pub fn enable(&mut self, cap: usize) {
-        self.enabled = true;
-        self.cap = cap;
+        self.rec.enable(cap);
     }
 
     /// `true` while tracing is on.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        self.rec.is_enabled()
     }
 
     /// Records an event (no-op unless enabled).
     pub fn push(&mut self, now: SimTime, event: TraceEvent) {
-        if !self.enabled {
-            return;
-        }
-        if self.events.len() >= self.cap {
-            self.truncated += 1;
-            return;
-        }
-        self.events.push((now, event));
+        self.rec.record(now, event);
     }
 
-    /// The recorded events, in order.
-    #[must_use]
-    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
-        &self.events
+    /// The recorded events, oldest surviving first.
+    pub fn events(&self) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
+        self.rec.events()
     }
 
-    /// Events that arrived after the log filled up.
+    /// Events matching `pred`, oldest surviving first — e.g. only buffer
+    /// events, or only one router's events.
+    pub fn filtered<'a, F>(&'a self, pred: F) -> impl Iterator<Item = &'a (SimTime, TraceEvent)>
+    where
+        F: FnMut(&TraceEvent) -> bool + 'a,
+    {
+        self.rec.filtered(pred)
+    }
+
+    /// Number of events currently stored.
     #[must_use]
-    pub fn truncated(&self) -> u64 {
-        self.truncated
+    pub fn len(&self) -> usize {
+        self.rec.len()
+    }
+
+    /// `true` when nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rec.is_empty()
+    }
+
+    /// Events lost to ring wraparound.
+    #[must_use]
+    pub fn overwritten(&self) -> u64 {
+        self.rec.overwritten()
+    }
+
+    /// Borrow of the underlying recorder (for exporters).
+    #[must_use]
+    pub fn recorder(&self) -> &FlightRecorder<TraceEvent> {
+        &self.rec
     }
 
     /// Renders the log as one line per event.
@@ -102,7 +277,14 @@ impl TraceLog {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for (t, ev) in &self.events {
+        if self.rec.overwritten() > 0 {
+            let _ = writeln!(
+                out,
+                "… {} earlier events overwritten",
+                self.rec.overwritten()
+            );
+        }
+        for (t, ev) in self.rec.events() {
             match ev {
                 TraceEvent::ControlSent {
                     kind,
@@ -115,16 +297,37 @@ impl TraceLog {
                         if *piggybacked { " piggyback" } else { "" }
                     );
                 }
+                TraceEvent::ControlReceived { kind, at } => {
+                    let _ = writeln!(out, "{t}  recv {kind} @{at}");
+                }
+                TraceEvent::ControlRetransmit { kind, by } => {
+                    let _ = writeln!(out, "{t}  rtx {kind} by {by}");
+                }
                 TraceEvent::Drop { flow, reason } => {
                     let _ = writeln!(out, "{t}  drop {flow} {reason:?}");
                 }
                 TraceEvent::L2 { mh, event } => {
                     let _ = writeln!(out, "{t}  l2 {mh} {event:?}");
                 }
+                TraceEvent::BufferAdmit { ar, class, flow } => {
+                    let _ = writeln!(out, "{t}  buf+ {ar} {class} {flow}");
+                }
+                TraceEvent::BufferEvict { ar, class, flow } => {
+                    let _ = writeln!(out, "{t}  buf- {ar} {class} {flow}");
+                }
+                TraceEvent::BufferFlush { ar, path, pkts } => {
+                    let _ = writeln!(out, "{t}  flush {ar} {path} {pkts}pkt");
+                }
+                TraceEvent::FaultFired { node, what } => {
+                    let _ = writeln!(out, "{t}  fault {node} {what}");
+                }
+                TraceEvent::StateExpired { node, what } => {
+                    let _ = writeln!(out, "{t}  expire {node} {what}");
+                }
+                TraceEvent::StateReclaimed { node, pkts } => {
+                    let _ = writeln!(out, "{t}  reclaim {node} {pkts}pkt");
+                }
             }
-        }
-        if self.truncated > 0 {
-            let _ = writeln!(out, "… {} further events not stored", self.truncated);
         }
         out
     }
@@ -145,33 +348,92 @@ mod tests {
             },
         );
         assert!(!log.is_enabled());
-        assert!(log.events().is_empty());
-        assert_eq!(log.truncated(), 0);
+        assert!(log.is_empty());
+        assert_eq!(log.overwritten(), 0);
     }
 
     #[test]
-    fn cap_is_respected_and_counted() {
+    fn ring_keeps_the_most_recent_events() {
         let mut log = TraceLog::default();
         log.enable(2);
         for i in 0..5 {
             log.push(
                 SimTime::from_millis(i),
-                TraceEvent::ControlSent {
+                TraceEvent::ControlReceived {
                     kind: "RA",
-                    bytes: 80,
-                    piggybacked: false,
+                    at: NodeId::from_index(0),
                 },
             );
         }
-        assert_eq!(log.events().len(), 2);
-        assert_eq!(log.truncated(), 3);
-        assert!(log.render().contains("3 further events"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.overwritten(), 3);
+        // The survivors are the *latest* two pushes.
+        let times: Vec<u64> = log.events().map(|&(t, _)| t.as_nanos()).collect();
+        assert_eq!(times, vec![3_000_000, 4_000_000]);
+        assert!(log.render().contains("3 earlier events overwritten"));
+    }
+
+    #[test]
+    fn capacity_zero_counts_without_storing() {
+        let mut log = TraceLog::default();
+        log.enable(0);
+        log.push(
+            SimTime::ZERO,
+            TraceEvent::FaultFired {
+                node: NodeId::from_index(0),
+                what: "crash",
+            },
+        );
+        assert!(log.is_empty());
+        assert_eq!(log.overwritten(), 1);
+    }
+
+    #[test]
+    fn filtered_subscription_selects_by_event_kind() {
+        let mut log = TraceLog::default();
+        log.enable(16);
+        log.push(
+            SimTime::from_millis(1),
+            TraceEvent::BufferAdmit {
+                ar: NodeId::from_index(0),
+                class: ServiceClass::RealTime,
+                flow: FlowId(7),
+            },
+        );
+        log.push(
+            SimTime::from_millis(2),
+            TraceEvent::Drop {
+                flow: FlowId(7),
+                reason: DropReason::Policy,
+            },
+        );
+        log.push(
+            SimTime::from_millis(3),
+            TraceEvent::BufferEvict {
+                ar: NodeId::from_index(0),
+                class: ServiceClass::BestEffort,
+                flow: FlowId(7),
+            },
+        );
+        let buffer_events: Vec<&TraceEvent> = log
+            .filtered(|e| {
+                matches!(
+                    e,
+                    TraceEvent::BufferAdmit { .. } | TraceEvent::BufferEvict { .. }
+                )
+            })
+            .map(|(_, e)| e)
+            .collect();
+        assert_eq!(buffer_events.len(), 2);
+        assert!(matches!(buffer_events[0], TraceEvent::BufferAdmit { .. }));
+        assert!(matches!(buffer_events[1], TraceEvent::BufferEvict { .. }));
     }
 
     #[test]
     fn render_formats_each_kind() {
         let mut log = TraceLog::default();
-        log.enable(10);
+        log.enable(32);
+        let node = NodeId::from_index(0);
         log.push(
             SimTime::from_millis(1),
             TraceEvent::ControlSent {
@@ -187,8 +449,56 @@ mod tests {
                 reason: DropReason::BufferOverflow,
             },
         );
+        log.push(
+            SimTime::from_millis(3),
+            TraceEvent::BufferAdmit {
+                ar: node,
+                class: ServiceClass::RealTime,
+                flow: FlowId(3),
+            },
+        );
+        log.push(
+            SimTime::from_millis(4),
+            TraceEvent::BufferFlush {
+                ar: node,
+                path: "nar",
+                pkts: 9,
+            },
+        );
+        log.push(
+            SimTime::from_millis(5),
+            TraceEvent::StateReclaimed { node, pkts: 4 },
+        );
         let s = log.render();
         assert!(s.contains("ctrl HI 120B piggyback"));
         assert!(s.contains("drop flow3 BufferOverflow"));
+        assert!(s.contains("buf+ actor#0 real-time flow3"));
+        assert!(s.contains("flush actor#0 nar 9pkt"));
+        assert!(s.contains("reclaim actor#0 4pkt"));
+    }
+
+    #[test]
+    fn trace_events_export_as_instants() {
+        let ev = TraceEvent::BufferAdmit {
+            ar: NodeId::from_index(0),
+            class: ServiceClass::HighPriority,
+            flow: FlowId(2),
+        };
+        assert_eq!(ev.name(), "buffer-admit");
+        assert_eq!(ev.track(), 0);
+        assert_eq!(
+            ev.args_json(),
+            "{\"ar\":0,\"class\":\"high-priority\",\"flow\":2}"
+        );
+        let send = TraceEvent::ControlSent {
+            kind: "FBU",
+            bytes: 88,
+            piggybacked: false,
+        };
+        assert_eq!(send.node(), None);
+        assert_eq!(
+            send.args_json(),
+            "{\"kind\":\"FBU\",\"bytes\":88,\"piggyback\":false}"
+        );
     }
 }

@@ -227,6 +227,16 @@ impl HandoverOutcome {
             HandoverOutcome::Failed => 2,
         }
     }
+
+    /// Stable short label for spans, tables and CSV columns.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            HandoverOutcome::Predictive => "predictive",
+            HandoverOutcome::Reactive => "reactive",
+            HandoverOutcome::Failed => "failed",
+        }
+    }
 }
 
 /// Global statistics hub, one per simulation.
@@ -235,6 +245,10 @@ pub struct NetStats {
     /// Optional protocol event trace (off by default).
     #[serde(skip)]
     pub trace: crate::trace::TraceLog,
+    /// Optional handover span store (off by default): one span per
+    /// handover attempt, with the protocol phases as timestamped marks.
+    #[serde(skip)]
+    pub spans: fh_telemetry::SpanStore,
     drops: HashMap<DropReason, u64>,
     per_flow_drops: HashMap<FlowId, u64>,
     /// Data packets delivered to their final destination.
@@ -253,9 +267,10 @@ pub struct NetStats {
     per_flow_duplicated: HashMap<FlowId, u64>,
     /// Handover outcome tally, indexed by [`HandoverOutcome`].
     outcomes: [u64; 3],
-    /// Named counters mirrored from node-local components (sorted map so
-    /// iteration order — and any rendering of it — is deterministic).
-    counters: std::collections::BTreeMap<String, u64>,
+    /// Named metrics mirrored from node-local components. Iteration is
+    /// sorted by name, so any rendering of it is deterministic.
+    #[serde(skip)]
+    metrics: fh_telemetry::MetricsRegistry,
 }
 
 /// End-of-run packet-conservation snapshot for one flow.
@@ -444,20 +459,34 @@ impl NetStats {
     ///
     /// Node-local components mirror their failure counters here — e.g.
     /// `"map.intercept_failures"` — so runs can assert on shared stats
-    /// instead of reaching into node structs.
+    /// instead of reaching into node structs. Components on a hot path
+    /// should instead register a handle once via
+    /// [`NetStats::metrics_mut`] and bump through it.
     pub fn bump(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+        let id = self.metrics.counter(name);
+        self.metrics.add(id, delta);
     }
 
     /// Reads a named counter (zero if never bumped).
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.metrics.counter_value(name)
     }
 
     /// All named counters in sorted order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        self.metrics.counters()
+    }
+
+    /// The underlying metrics registry (counters, gauges, histograms).
+    #[must_use]
+    pub fn metrics(&self) -> &fh_telemetry::MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable registry access, for components that register handles.
+    pub fn metrics_mut(&mut self) -> &mut fh_telemetry::MetricsRegistry {
+        &mut self.metrics
     }
 }
 
@@ -585,6 +614,23 @@ pub fn record_drop<S: NetWorld>(ctx: &mut NetCtx<'_, S>, flow: FlowId, reason: D
 pub fn record_control<S: NetWorld>(ctx: &mut NetCtx<'_, S>, msg: &ControlMsg) {
     let now = ctx.now();
     ctx.shared.stats_mut().record_control(now, msg);
+}
+
+/// Records a structured trace event with the current simulation time.
+///
+/// The closure only runs while tracing is enabled, so instrumentation in
+/// hot paths (buffer admits, flush steps) costs one branch when off —
+/// no event construction, no string work.
+pub fn record_trace<S, F>(ctx: &mut NetCtx<'_, S>, make: F)
+where
+    S: NetWorld,
+    F: FnOnce() -> crate::trace::TraceEvent,
+{
+    let now = ctx.now();
+    let stats = ctx.shared.stats_mut();
+    if stats.trace.is_enabled() {
+        stats.trace.push(now, make());
+    }
 }
 
 #[cfg(test)]

@@ -900,10 +900,9 @@ pub struct StormSweepResult {
 /// The x-axis of the storm figure: hosts handing over in one window.
 pub const STORM_SIZES: [usize; 6] = [4, 8, 12, 16, 20, 24];
 
-/// One storm run: `n` hosts walking into the NAR cell with staggered
-/// starts, one 64 kb/s flow each (classes round-robin), soft-state
-/// lifetimes armed, and the full end-of-run audit battery.
-fn storm_point(n: usize, scheme: Scheme, seed: u64) -> StormScheme {
+/// The storm run's configuration, shared by the sweep and the timeline
+/// export so both observe the identical workload for a given seed.
+fn storm_config(n: usize, scheme: Scheme, seed: u64) -> HmipConfig {
     let mut protocol = ProtocolConfig::with_scheme(scheme);
     protocol.buffer_request = 12;
     // Soft state on: host routes expire after 2 s unless refreshed by the
@@ -912,7 +911,7 @@ fn storm_point(n: usize, scheme: Scheme, seed: u64) -> StormScheme {
     // must reclaim nothing the protocol still needs.
     protocol.host_route_lifetime = SimDuration::from_secs(2);
     protocol.dead_peer_timeout = SimDuration::from_secs(3);
-    let cfg = HmipConfig {
+    HmipConfig {
         protocol,
         n_mhs: n,
         buffer_capacity: 42,
@@ -920,8 +919,14 @@ fn storm_point(n: usize, scheme: Scheme, seed: u64) -> StormScheme {
         storm_stagger: SimDuration::from_millis(500),
         seed,
         ..HmipConfig::default()
-    };
-    let mut scenario = HmipScenario::build(cfg);
+    }
+}
+
+/// One storm run: `n` hosts walking into the NAR cell with staggered
+/// starts, one 64 kb/s flow each (classes round-robin), soft-state
+/// lifetimes armed, and the full end-of-run audit battery.
+fn storm_point(n: usize, scheme: Scheme, seed: u64) -> StormScheme {
+    let mut scenario = HmipScenario::build(storm_config(n, scheme, seed));
     let flows: Vec<(usize, FlowId)> = (0..n)
         .map(|i| (i % 3, scenario.add_audio_64k(i, FLOW_CLASSES[i % 3])))
         .collect();
@@ -989,6 +994,91 @@ pub fn storm_sweep(sizes: &[usize], seed: u64, threads: usize) -> StormSweepResu
         });
     }
     StormSweepResult { points, events }
+}
+
+// ---------------------------------------------------------------------
+// Storm timeline — the observability subsystem's reference export
+// ---------------------------------------------------------------------
+
+/// Storm sizes exported as timelines: a small cut of [`STORM_SIZES`] —
+/// the export is for *inspecting* handovers, not for the figure's x-axis.
+pub const TIMELINE_SIZES: [usize; 2] = [4, 8];
+
+/// Flight-recorder capacity for timeline runs: large enough that no
+/// storm-timeline point ever wraps, so the export is complete.
+const TIMELINE_RING: usize = 1 << 16;
+
+/// A merged Chrome-trace timeline plus run accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineResult {
+    /// The Chrome-trace ("trace event format") JSON array — loadable in
+    /// Perfetto / `chrome://tracing`. Byte-identical at any thread count.
+    pub chrome_json: String,
+    /// Total simulator events across all exported points.
+    pub events: u64,
+}
+
+/// One storm run with the full observability subsystem on: handover
+/// spans, protocol flight recorder, per-class buffer events. Returns the
+/// point's trace fragment under process id `pid`.
+fn storm_timeline_point(
+    n: usize,
+    scheme: Scheme,
+    seed: u64,
+    pid: u64,
+) -> (fh_telemetry::ChromeTrace, u64) {
+    let mut scenario = HmipScenario::build(storm_config(n, scheme, seed));
+    scenario.enable_telemetry(TIMELINE_RING);
+    for i in 0..n {
+        let _ = scenario.add_audio_64k(i, FLOW_CLASSES[i % 3]);
+    }
+    scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(13));
+    scenario.run_until(SimTime::from_secs(20));
+    let _ = scenario.finalize();
+    assert_eq!(
+        scenario.sim.shared.stats.trace.overwritten(),
+        0,
+        "timeline ring wrapped; raise TIMELINE_RING"
+    );
+    let mut trace = fh_telemetry::ChromeTrace::new();
+    scenario.chrome_trace_into(&mut trace, pid);
+    (trace, scenario.sim.events_processed())
+}
+
+/// Exports the handover-storm runs as one merged Chrome-trace timeline:
+/// each grid point (storm size × scheme) becomes a `pid` partition whose
+/// tracks are the simulation's actors, with handover spans, phase marks
+/// and per-class buffer events. Points fan across the worker pool and
+/// fragments merge in grid order, so the JSON is **byte-identical at any
+/// thread count** — CI `cmp`s these bytes across `--threads` values.
+/// Seeds derive exactly as in [`storm_sweep`], so a timeline can be laid
+/// next to the matching storm CSV row.
+#[must_use]
+pub fn storm_timeline(sizes: &[usize], seed: u64, threads: usize) -> TimelineResult {
+    let mut grid = Vec::with_capacity(sizes.len() * 2);
+    for (idx, &n) in sizes.iter().enumerate() {
+        for enhanced in [false, true] {
+            grid.push((idx, n, enhanced));
+        }
+    }
+    let runs = parallel_map(threads, &grid, |pid, &(idx, n, enhanced)| {
+        let scheme = if enhanced {
+            Scheme::Dual { classify: true }
+        } else {
+            Scheme::NarOnly
+        };
+        storm_timeline_point(n, scheme, derive_seed(seed, idx as u64), pid as u64)
+    });
+    let mut trace = fh_telemetry::ChromeTrace::new();
+    let mut events = 0;
+    for (fragment, e) in runs {
+        trace.append(fragment);
+        events += e;
+    }
+    TimelineResult {
+        chrome_json: trace.finish(),
+        events,
+    }
 }
 
 /// Control-plane accounting for one handover (§3.3 signaling argument).

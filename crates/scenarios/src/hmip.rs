@@ -551,6 +551,33 @@ impl HmipScenario {
         self.sim.run_until(t);
     }
 
+    /// Switches the observability subsystem on for this run: the flight
+    /// recorder rings `cap` protocol events and every handover attempt is
+    /// tracked as a span. Call before `run_until`; read the results back
+    /// with [`HmipScenario::chrome_trace_into`] or the stats' `trace` /
+    /// `spans` fields. Costs one branch per event when off (the default).
+    pub fn enable_telemetry(&mut self, cap: usize) {
+        self.sim.shared.stats.trace.enable(cap);
+        self.sim.shared.stats.spans.enable();
+    }
+
+    /// Exports this run's telemetry into a Chrome-trace builder under
+    /// process id `pid`: one `"X"` span per handover attempt (with its
+    /// phase marks) followed by one instant per flight-recorder event.
+    /// Spans still open render to the current sim time with outcome
+    /// `"open"`. Deterministic: spans in begin order, events in ring
+    /// order.
+    pub fn chrome_trace_into(&self, trace: &mut fh_telemetry::ChromeTrace, pid: u64) {
+        let stats = &self.sim.shared.stats;
+        let now = self.sim.now();
+        for span in stats.spans.spans() {
+            trace.add_span(pid, span, now);
+        }
+        for (t, event) in stats.trace.events() {
+            trace.add_instant(pid, *t, event);
+        }
+    }
+
     /// End-of-run bookkeeping: classifies every still-open handover
     /// attempt as [`HandoverOutcome::Failed`] and mirrors the routers'
     /// activity counters into the shared stats registry. Call once, after
@@ -569,6 +596,13 @@ impl HmipScenario {
                 .shared
                 .stats
                 .record_outcome(HandoverOutcome::Failed);
+        }
+        // Mirror the outcome bookkeeping onto the span timeline: an
+        // attempt still open at the horizon is a failed handover.
+        let now = self.sim.now();
+        let spans = &mut self.sim.shared.stats.spans;
+        for id in spans.open_spans() {
+            spans.end(id, now, HandoverOutcome::Failed.label());
         }
         let pm = self.par_agent().metrics;
         let nm = self.nar_agent().metrics;

@@ -57,6 +57,14 @@ impl ActorId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds an id from a raw slot index. Only meaningful for the
+    /// simulator whose [`Simulator::add_actor`] produced that index —
+    /// exists for tests and trace tooling that label events by index.
+    #[must_use]
+    pub fn from_index(index: usize) -> ActorId {
+        ActorId(index)
+    }
 }
 
 impl fmt::Display for ActorId {

@@ -191,6 +191,34 @@ impl Histogram {
             .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * self.width, c))
     }
 
+    /// Approximate 99.9th percentile (`None` when empty) — the tail
+    /// metric storm/chaos sweeps report alongside p99.
+    #[must_use]
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
+    /// Merges another histogram into this one for cross-shard
+    /// aggregation. Both histograms must share the same binning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms were built with different `lo`,
+    /// width, or bin count — merging mismatched binnings would silently
+    /// misattribute counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.width == other.width && self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different binning"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
     /// Approximate quantile `q` in `[0, 1]` (`None` when empty).
     ///
     /// Out-of-range mass is attributed to the range edges.
@@ -399,6 +427,72 @@ mod tests {
         let mut h = Histogram::new(0.0, 1.0, 4);
         h.add(-5.0);
         assert_eq!(h.quantile(0.5), Some(0.0), "underflow mass pins to lo");
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential() {
+        let mut all = Histogram::new(0.0, 50.0, 25);
+        let mut a = Histogram::new(0.0, 50.0, 25);
+        let mut b = Histogram::new(0.0, 50.0, 25);
+        for i in 0..200 {
+            let x = (i as f64 * 0.37) % 60.0 - 2.0; // spills both edges
+            all.add(x);
+            if i % 2 == 0 {
+                a.add(x);
+            } else {
+                b.add(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn histogram_merge_boundaries() {
+        // Empty into empty: still empty.
+        let mut e = Histogram::new(0.0, 1.0, 4);
+        e.merge(&Histogram::new(0.0, 1.0, 4));
+        assert_eq!(e.total(), 0);
+        assert_eq!(e.quantile(0.5), None);
+
+        // Single sample survives a merge with an empty peer.
+        let mut single = Histogram::new(0.0, 10.0, 10);
+        single.add(3.0);
+        single.merge(&Histogram::new(0.0, 10.0, 10));
+        assert_eq!(single.total(), 1);
+        assert_eq!(single.quantile(0.5), Some(4.0));
+
+        // All-equal samples: every quantile lands in the same bin.
+        let mut eq = Histogram::new(0.0, 10.0, 10);
+        let mut eq2 = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..50 {
+            eq.add(5.5);
+            eq2.add(5.5);
+        }
+        eq.merge(&eq2);
+        assert_eq!(eq.total(), 100);
+        assert_eq!(eq.quantile(0.01), eq.quantile(0.999));
+        assert_eq!(eq.p999(), Some(6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different binning")]
+    fn histogram_merge_rejects_mismatched_binning() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        a.merge(&Histogram::new(0.0, 10.0, 5));
+    }
+
+    #[test]
+    fn p999_tracks_the_tail() {
+        let mut h = Histogram::new(0.0, 1000.0, 1000);
+        for i in 0..1000 {
+            h.add(i as f64 + 0.5);
+        }
+        let Some(p999) = h.p999() else {
+            panic!("populated histogram must have a p99.9");
+        };
+        assert!(p999 >= 999.0, "p99.9 {p999}");
+        assert_eq!(Histogram::new(0.0, 1.0, 1).p999(), None);
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! Deterministic exporters: Chrome-trace JSON, JSONL event dumps and a
+//! shared CSV table writer.
+//!
+//! Every exporter here is a pure function of the recorded history: no
+//! wall clocks, no hash-map iteration order, no locale-dependent
+//! formatting. Given the same events, the output bytes are identical —
+//! which is what lets CI `cmp` timelines across `--threads` counts.
+
+use std::fmt::Write as _;
+
+use fh_sim::SimTime;
+
+use crate::span::Span;
+
+/// One typed CSV cell.
+///
+/// The two float variants exist because the bench CSVs mix styles: some
+/// columns print with Rust's shortest-roundtrip `Display` (`0.05`),
+/// others with fixed precision (`12.345`). Both must be reproducible
+/// byte-for-byte, so the cell carries its formatting.
+#[derive(Debug, Clone, Copy)]
+pub enum Cell<'a> {
+    /// A literal string.
+    Str(&'a str),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float via `Display` (shortest roundtrip, e.g. `0.05`).
+    F64(f64),
+    /// A float with fixed decimal places, e.g. `Fixed(1.5, 3)` → `1.500`.
+    Fixed(f64, usize),
+    /// An empty cell (e.g. "no sample" in a delay column).
+    Empty,
+}
+
+impl From<u64> for Cell<'_> {
+    fn from(v: u64) -> Self {
+        Cell::U64(v)
+    }
+}
+
+impl From<usize> for Cell<'_> {
+    fn from(v: usize) -> Self {
+        Cell::U64(v as u64)
+    }
+}
+
+impl<'a> From<&'a str> for Cell<'a> {
+    fn from(v: &'a str) -> Self {
+        Cell::Str(v)
+    }
+}
+
+impl From<f64> for Cell<'_> {
+    fn from(v: f64) -> Self {
+        Cell::F64(v)
+    }
+}
+
+/// The shared CSV writer used by every bench bin.
+///
+/// Centralizes the comma-joining, newline and column-count discipline
+/// that was previously copy-pasted per figure. Output is plain
+/// `name,name\nv,v\n` with a trailing newline per row and no quoting —
+/// the repo's CSV values never contain commas.
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    cols: usize,
+    out: String,
+}
+
+impl CsvTable {
+    /// Starts a table with the given header row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        assert!(!header.is_empty(), "CSV header needs at least one column");
+        let mut out = String::new();
+        out.push_str(&header.join(","));
+        out.push('\n');
+        CsvTable {
+            cols: header.len(),
+            out,
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's cell count differs from the header's column
+    /// count — a malformed table should fail loudly at write time, not
+    /// at plot time.
+    pub fn row(&mut self, cells: &[Cell<'_>]) {
+        assert_eq!(
+            cells.len(),
+            self.cols,
+            "CSV row has {} cells but the header declared {} columns",
+            cells.len(),
+            self.cols
+        );
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            match *cell {
+                Cell::Str(s) => self.out.push_str(s),
+                Cell::U64(v) => {
+                    let _ = write!(self.out, "{v}");
+                }
+                Cell::F64(v) => {
+                    let _ = write!(self.out, "{v}");
+                }
+                Cell::Fixed(v, places) => {
+                    let _ = write!(self.out, "{v:.places$}");
+                }
+                Cell::Empty => {}
+            }
+        }
+        self.out.push('\n');
+    }
+
+    /// Finishes the table and returns its bytes.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// An event that knows how to render itself on a timeline.
+///
+/// Implemented by each layer's event vocabulary (e.g. `fh_net`'s
+/// `TraceEvent`) so the exporters stay generic: `name` is the short
+/// label shown on the track, `track` groups events by actor, and
+/// `args_json` is a complete JSON object (`{...}`) of event details.
+pub trait TraceInstant {
+    /// Short label for the timeline (e.g. `"buffer-admit"`).
+    fn name(&self) -> &'static str;
+    /// Track (timeline row) the event belongs to — usually the actor id.
+    fn track(&self) -> u64;
+    /// Event details as a serialized JSON object, e.g. `{"class":"ef"}`.
+    fn args_json(&self) -> String;
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with fixed sub-µs precision — the Chrome trace `ts`
+/// unit. Formatting through `{:.3}` keeps the output deterministic and
+/// keeps full nanosecond resolution.
+fn micros(t: SimTime) -> String {
+    format!("{:.3}", t.as_nanos() as f64 / 1_000.0)
+}
+
+/// Builder for a Chrome-trace ("trace event format") JSON array,
+/// loadable in `chrome://tracing` and Perfetto.
+///
+/// Spans become `"ph":"X"` complete events; span marks and flight
+/// recorder events become `"ph":"i"` instants. `pid` partitions
+/// independent simulations (e.g. sweep points) and `tid` is the
+/// actor-level track within one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+impl ChromeTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Adds a span as a complete (`"ph":"X"`) event plus one instant
+    /// per mark. Open spans are closed at `fallback_end` and labeled
+    /// `"open"` so an aborted run still renders.
+    pub fn add_span(&mut self, pid: u64, span: &Span, fallback_end: SimTime) {
+        let end = span.end.unwrap_or(fallback_end);
+        let outcome = span.outcome.unwrap_or("open");
+        let dur_ns = end.saturating_since(span.start).as_nanos();
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"outcome\":\"{}\"}}}}",
+            escape_json(span.name),
+            micros(span.start),
+            dur_ns as f64 / 1_000.0,
+            pid,
+            span.track,
+            escape_json(outcome),
+        ));
+        for &(t, label) in &span.marks {
+            self.events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"mark\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\"tid\":{},\"s\":\"t\",\"args\":{{\"span\":\"{}\"}}}}",
+                escape_json(label),
+                micros(t),
+                pid,
+                span.track,
+                escape_json(span.name),
+            ));
+        }
+    }
+
+    /// Adds one flight-recorder event as an instant (`"ph":"i"`).
+    pub fn add_instant<E: TraceInstant>(&mut self, pid: u64, t: SimTime, event: &E) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\"tid\":{},\"s\":\"t\",\"args\":{}}}",
+            escape_json(event.name()),
+            micros(t),
+            pid,
+            event.track(),
+            event.args_json(),
+        ));
+    }
+
+    /// Appends another trace's events after this one's — the merge step
+    /// for sweep fragments. Appending fragments in grid order (never in
+    /// completion order) is what keeps the merged bytes independent of
+    /// the worker count.
+    pub fn append(&mut self, other: ChromeTrace) {
+        self.events.extend(other.events);
+    }
+
+    /// Number of events added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the trace as a JSON array of trace events.
+    #[must_use]
+    pub fn finish(self) -> String {
+        let mut out = String::from("[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(e);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// Dumps timestamped events as JSONL (one JSON object per line):
+/// `{"t_ns":..., "name":..., "track":..., "args":{...}}`.
+pub fn events_jsonl<'a, E, I>(events: I) -> String
+where
+    E: TraceInstant + 'a,
+    I: IntoIterator<Item = &'a (SimTime, E)>,
+{
+    let mut out = String::new();
+    for (t, e) in events {
+        let _ = writeln!(
+            out,
+            "{{\"t_ns\":{},\"name\":\"{}\",\"track\":{},\"args\":{}}}",
+            t.as_nanos(),
+            escape_json(e.name()),
+            e.track(),
+            e.args_json(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanStore;
+
+    struct Ping(u64);
+
+    impl TraceInstant for Ping {
+        fn name(&self) -> &'static str {
+            "ping"
+        }
+        fn track(&self) -> u64 {
+            self.0
+        }
+        fn args_json(&self) -> String {
+            format!("{{\"n\":{}}}", self.0)
+        }
+    }
+
+    #[test]
+    fn csv_table_formats_each_cell_kind() {
+        let mut t = CsvTable::new(&["a", "b", "c", "d", "e"]);
+        t.row(&[
+            Cell::Str("x"),
+            Cell::U64(7),
+            Cell::F64(0.05),
+            Cell::Fixed(1.5, 3),
+            Cell::Empty,
+        ]);
+        assert_eq!(t.finish(), "a,b,c,d,e\nx,7,0.05,1.500,\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "2 cells")]
+    fn csv_table_rejects_ragged_rows() {
+        let mut t = CsvTable::new(&["a", "b", "c"]);
+        t.row(&[Cell::U64(1), Cell::U64(2)]);
+    }
+
+    #[test]
+    fn chrome_trace_emits_spans_marks_and_instants() {
+        let mut spans = SpanStore::new();
+        spans.enable();
+        let id = spans.begin("handover", 3, SimTime::from_millis(1));
+        spans.annotate(id, SimTime::from_millis(2), "link-down");
+        spans.end(id, SimTime::from_millis(5), "predictive");
+
+        let mut trace = ChromeTrace::new();
+        trace.add_span(0, &spans.spans()[0], SimTime::from_millis(9));
+        trace.add_instant(0, SimTime::from_millis(4), &Ping(3));
+        let json = trace.finish();
+
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":4000.000"));
+        assert!(json.contains("\"ts\":1000.000"));
+        assert!(json.contains("\"outcome\":\"predictive\""));
+        assert!(json.contains("\"name\":\"link-down\""));
+        assert!(json.contains("\"args\":{\"n\":3}"));
+        // Exactly one trailing comma-less element: valid JSON array shape.
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 2);
+    }
+
+    #[test]
+    fn open_spans_render_with_fallback_end() {
+        let mut spans = SpanStore::new();
+        spans.enable();
+        spans.begin("handover", 1, SimTime::from_millis(10));
+        let mut trace = ChromeTrace::new();
+        trace.add_span(0, &spans.spans()[0], SimTime::from_millis(15));
+        let json = trace.finish();
+        assert!(json.contains("\"outcome\":\"open\""));
+        assert!(json.contains("\"dur\":5000.000"));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let events = vec![
+            (SimTime::from_millis(1), Ping(1)),
+            (SimTime::from_millis(2), Ping(2)),
+        ];
+        let out = events_jsonl(&events);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"t_ns\":1000000,\"name\":\"ping\",\"track\":1,\"args\":{\"n\":1}}"
+        );
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,236 @@
+//! Handover spans: multi-phase operations as first-class measurements.
+
+use fh_sim::{SimDuration, SimTime};
+
+/// Handle for a span created by [`SpanStore::begin`].
+///
+/// The sentinel [`SpanId::NONE`] is returned while the store is
+/// disabled; every [`SpanStore`] method silently ignores it, so
+/// instrumentation sites never need their own enabled check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    /// The "no span" sentinel handed out while the store is disabled.
+    pub const NONE: SpanId = SpanId(u32::MAX);
+
+    /// `true` for the disabled-store sentinel.
+    #[must_use]
+    pub fn is_none(self) -> bool {
+        self == SpanId::NONE
+    }
+}
+
+/// One recorded span: a named interval on a track, with timestamped
+/// phase marks and a terminal outcome.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Operation name (e.g. `"handover"`).
+    pub name: &'static str,
+    /// Track the span belongs to — one per actor, so concurrent
+    /// operations render as parallel rows in a timeline viewer.
+    pub track: u64,
+    /// When the operation began.
+    pub start: SimTime,
+    /// When the operation ended; `None` while still open.
+    pub end: Option<SimTime>,
+    /// Terminal annotation (e.g. `"predictive"`, `"reactive"`, `"failed"`).
+    pub outcome: Option<&'static str>,
+    /// Timestamped phase annotations, in recording order.
+    pub marks: Vec<(SimTime, &'static str)>,
+}
+
+impl Span {
+    /// The first mark with the given label, if any.
+    #[must_use]
+    pub fn mark(&self, label: &str) -> Option<SimTime> {
+        self.marks
+            .iter()
+            .find(|(_, l)| *l == label)
+            .map(|&(t, _)| t)
+    }
+
+    /// Elapsed time from the first `from` mark to the first `to` mark —
+    /// the per-phase latency primitive (e.g. `phase("link-down",
+    /// "link-up")` is the blackout window). `None` unless both marks
+    /// exist in that order.
+    #[must_use]
+    pub fn phase(&self, from: &str, to: &str) -> Option<SimDuration> {
+        let a = self.mark(from)?;
+        let b = self.mark(to)?;
+        if b < a {
+            return None;
+        }
+        Some(b.saturating_since(a))
+    }
+
+    /// Total span duration; `None` while open.
+    #[must_use]
+    pub fn duration(&self) -> Option<SimDuration> {
+        self.end.map(|e| e.saturating_since(self.start))
+    }
+}
+
+/// An append-only store of [`Span`]s.
+///
+/// Disabled by default: [`SpanStore::begin`] then returns
+/// [`SpanId::NONE`] and nothing is stored, so span instrumentation left
+/// in hot paths costs one branch per call.
+#[derive(Debug, Clone, Default)]
+pub struct SpanStore {
+    enabled: bool,
+    spans: Vec<Span>,
+}
+
+impl SpanStore {
+    /// Creates a disabled store.
+    #[must_use]
+    pub fn new() -> Self {
+        SpanStore {
+            enabled: false,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Switches span recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// `true` while recording.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span. Returns [`SpanId::NONE`] while disabled.
+    pub fn begin(&mut self, name: &'static str, track: u64, now: SimTime) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        let id = SpanId(u32::try_from(self.spans.len()).expect("span count fits u32"));
+        self.spans.push(Span {
+            name,
+            track,
+            start: now,
+            end: None,
+            outcome: None,
+            marks: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a timestamped phase mark. Marks after [`SpanStore::end`] are
+    /// allowed — a span's terminal outcome can precede trailing
+    /// measurements such as FNA→first-delivery.
+    pub fn annotate(&mut self, id: SpanId, now: SimTime, label: &'static str) {
+        if let Some(span) = self.get_mut(id) {
+            span.marks.push((now, label));
+        }
+    }
+
+    /// Closes a span with its terminal outcome. Later `end` calls on the
+    /// same span are ignored (first close wins).
+    pub fn end(&mut self, id: SpanId, now: SimTime, outcome: &'static str) {
+        if let Some(span) = self.get_mut(id) {
+            if span.end.is_none() {
+                span.end = Some(now);
+                span.outcome = Some(outcome);
+            }
+        }
+    }
+
+    /// `true` if the span exists and has not been closed.
+    #[must_use]
+    pub fn is_open(&self, id: SpanId) -> bool {
+        !id.is_none()
+            && self
+                .spans
+                .get(id.0 as usize)
+                .is_some_and(|s| s.end.is_none())
+    }
+
+    /// All recorded spans, in `begin` order.
+    #[must_use]
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Ids of spans that are still open, in `begin` order.
+    #[must_use]
+    pub fn open_spans(&self) -> Vec<SpanId> {
+        self.spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.end.is_none())
+            .map(|(i, _)| SpanId(i as u32))
+            .collect()
+    }
+
+    fn get_mut(&mut self, id: SpanId) -> Option<&mut Span> {
+        if id.is_none() {
+            return None;
+        }
+        self.spans.get_mut(id.0 as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_store_hands_out_none_and_ignores_it() {
+        let mut s = SpanStore::new();
+        let id = s.begin("handover", 7, SimTime::ZERO);
+        assert!(id.is_none());
+        s.annotate(id, SimTime::from_millis(1), "x");
+        s.end(id, SimTime::from_millis(2), "done");
+        assert!(s.spans().is_empty());
+    }
+
+    #[test]
+    fn phase_reads_latency_between_marks() {
+        let mut s = SpanStore::new();
+        s.enable();
+        let id = s.begin("handover", 1, SimTime::from_millis(100));
+        s.annotate(id, SimTime::from_millis(110), "link-down");
+        s.annotate(id, SimTime::from_millis(150), "link-up");
+        s.end(id, SimTime::from_millis(200), "predictive");
+        let span = &s.spans()[0];
+        assert_eq!(
+            span.phase("link-down", "link-up"),
+            Some(SimDuration::from_millis(40))
+        );
+        assert_eq!(span.duration(), Some(SimDuration::from_millis(100)));
+        assert_eq!(span.outcome, Some("predictive"));
+        assert_eq!(span.phase("link-up", "link-down"), None);
+        assert_eq!(span.phase("link-down", "missing"), None);
+    }
+
+    #[test]
+    fn marks_after_end_are_kept_and_first_end_wins() {
+        let mut s = SpanStore::new();
+        s.enable();
+        let id = s.begin("handover", 1, SimTime::ZERO);
+        s.end(id, SimTime::from_millis(50), "reactive");
+        s.annotate(id, SimTime::from_millis(60), "first-delivery");
+        s.end(id, SimTime::from_millis(70), "failed");
+        let span = &s.spans()[0];
+        assert_eq!(span.end, Some(SimTime::from_millis(50)));
+        assert_eq!(span.outcome, Some("reactive"));
+        assert_eq!(span.mark("first-delivery"), Some(SimTime::from_millis(60)));
+    }
+
+    #[test]
+    fn open_spans_tracks_unclosed_ids() {
+        let mut s = SpanStore::new();
+        s.enable();
+        let a = s.begin("handover", 1, SimTime::ZERO);
+        let b = s.begin("handover", 2, SimTime::ZERO);
+        s.end(a, SimTime::from_millis(1), "predictive");
+        assert!(!s.is_open(a));
+        assert!(s.is_open(b));
+        assert_eq!(s.open_spans(), vec![b]);
+    }
+}

@@ -28,9 +28,10 @@ fn main() {
     );
 
     let mut scenario = HmipScenario::build(config);
-    // Protocol tracing: the ns-2 trace-file analog (keep the first 64
-    // events — the whole handover fits comfortably).
-    scenario.sim.shared.stats.trace.enable(64);
+    // Protocol tracing: the ns-2 trace-file analog. The log is a ring
+    // that keeps the most recent events, so size it to hold the whole
+    // run and the handover choreography survives to the printout.
+    scenario.sim.shared.stats.trace.enable(4096);
     let flow = scenario.add_audio_64k(0, ServiceClass::RealTime);
     // Stop the source a little before the end so in-flight packets drain.
     scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(14));

@@ -225,7 +225,9 @@ fn no_buffer_scheme_loses_exactly_the_blackout_window() {
 #[test]
 fn protocol_trace_captures_the_fig_3_2_choreography() {
     let mut scenario = HmipScenario::build(HmipConfig::default());
-    scenario.sim.shared.stats.trace.enable(256);
+    // The trace ring keeps the *latest* events; size it so the whole run
+    // fits and the early Fig 3.2 choreography is never overwritten.
+    scenario.sim.shared.stats.trace.enable(4096);
     let _ = scenario.add_audio_64k(0, ServiceClass::HighPriority);
     scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(14));
     scenario.run_until(SimTime::from_secs(16));
@@ -244,8 +246,10 @@ fn protocol_trace_captures_the_fig_3_2_choreography() {
     }
     // Piggybacked options are flagged.
     assert!(rendered.contains("ctrl RtSolPr 68B piggyback"));
-    // Tracing is bounded and off by default elsewhere.
-    assert!(scenario.sim.shared.stats.trace.events().len() <= 256);
+    // Tracing is bounded: nothing wrapped at this capacity, and the ring
+    // never stores more than it was given.
+    assert!(scenario.sim.shared.stats.trace.len() <= 4096);
+    assert_eq!(scenario.sim.shared.stats.trace.overwritten(), 0);
 }
 
 #[test]
