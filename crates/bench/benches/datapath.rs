@@ -1,0 +1,217 @@
+//! Datapath hot-path microbenches: what one packet costs.
+//!
+//! Three questions, answered in `BENCH_datapath.json`:
+//!
+//! 1. Did the refactor slow the per-packet decision down? — the legacy
+//!    `policy::matrix` functions (the monolith's hot path) vs the
+//!    [`PolicyEngine`] the datapath now calls, over the identical
+//!    decision grid. Guard: enum dispatch within 1.05× of legacy.
+//! 2. What would `dyn` cost? — the same grid through
+//!    `Box<dyn BufferPolicy>`, pinning why the engine is an enum.
+//! 3. What does a packet cost end-to-end? — a full handover scenario
+//!    (per-event cost through classify → admit → park | forward | tunnel
+//!    with signaling around it), the number that must not regress vs the
+//!    pre-refactor baseline in `tests/golden/`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use fh_core::policy::{
+    nar_action, nar_overflow, par_action, Admit, AdmitCtx, AvailabilityCase, BufferPolicy,
+    EnhancedDualClass, KrishnamurthiSmooth, NarFifo, NoBufferPolicy, Overflow, ParAction,
+    PolicyEngine, Role,
+};
+use fh_core::{AdmissionLimit, ProtocolConfig, Scheme};
+use fh_net::ServiceClass;
+use fh_scenarios::{HmipConfig, HmipScenario, MovementPlan};
+use fh_sim::SimTime;
+
+const CASES: [AvailabilityCase; 4] = [
+    AvailabilityCase::BothAvailable,
+    AvailabilityCase::NarOnly,
+    AvailabilityCase::ParOnly,
+    AvailabilityCase::NoneAvailable,
+];
+
+const CLASSES: [ServiceClass; 4] = [
+    ServiceClass::Unspecified,
+    ServiceClass::RealTime,
+    ServiceClass::HighPriority,
+    ServiceClass::BestEffort,
+];
+
+/// Every (scheme, ctx) pair the decision layer can see: 5 × 4 × 4 × 2 × 2.
+fn grid() -> Vec<(Scheme, AdmitCtx)> {
+    let mut out = Vec::new();
+    for scheme in Scheme::ALL {
+        for case in CASES {
+            for class in CLASSES {
+                for nar_full in [false, true] {
+                    for par_granted in [false, true] {
+                        out.push((
+                            scheme,
+                            AdmitCtx {
+                                case,
+                                class,
+                                nar_full,
+                                par_granted,
+                                threshold_a: 10,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Fold verdicts into a checksum so nothing is optimized away. Both
+/// variants below produce the *same* `Admit`/`Overflow` values and run
+/// them through this same fold, so the timed difference is dispatch, not
+/// bookkeeping.
+fn fold(acc: u64, par: Admit, nar: Admit, ovf: Overflow) -> u64 {
+    let one = |admit: Admit| -> u64 {
+        match admit {
+            Admit::Park(AdmissionLimit::Grant) => 1,
+            Admit::Park(AdmissionLimit::Threshold(a)) => 19 + u64::from(a),
+            Admit::Park(AdmissionLimit::PoolOnly) => 2,
+            Admit::Forward => 3,
+            Admit::Tunnel { park_at_peer } => 4 + u64::from(park_at_peer),
+            Admit::Drop => 6,
+        }
+    };
+    let o = match ovf {
+        Overflow::DropFrontRealtime => 7,
+        Overflow::NotifyPeer => 11,
+        Overflow::SpillPeer => 13,
+        Overflow::TailDrop => 17,
+    };
+    acc.wrapping_add(one(par))
+        .wrapping_add(one(nar) << 3)
+        .wrapping_add(o << 6)
+}
+
+/// The admission-limit match the monolith's `redirect` ran inline after
+/// a `BufferLocal` verdict, folded straight to a checksum contribution
+/// (no translation into the new vocabulary — the legacy arm must pay
+/// only what the monolith paid).
+fn legacy_limit(scheme: Scheme, ctx: &AdmitCtx) -> u64 {
+    match (scheme.classifies(), ctx.class) {
+        (true, ServiceClass::BestEffort | ServiceClass::Unspecified) => {
+            19 + u64::from(ctx.threshold_a)
+        }
+        (true, _) => 1,
+        (false, _) => {
+            if ctx.par_granted {
+                1
+            } else {
+                2
+            }
+        }
+    }
+}
+
+fn bench_policy_dispatch(c: &mut Criterion) {
+    let grid = grid();
+    let decisions = grid.len() as u64 * 3; // PAR admit + NAR admit + overflow
+    let mut g = c.benchmark_group("policy_dispatch");
+    g.sample_size(2000);
+    g.throughput(Throughput::Elements(decisions));
+
+    // The monolith's hot path: matrix functions + the inline limit match,
+    // folded natively (discriminant casts — the cheapest possible sink).
+    g.bench_function("legacy_matrix", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(scheme, ctx) in &grid {
+                let par = par_action(scheme, ctx.case, ctx.class, ctx.nar_full);
+                let limit = if par == ParAction::BufferLocal {
+                    legacy_limit(scheme, &ctx)
+                } else {
+                    0
+                };
+                let nar = nar_action(scheme, ctx.case, ctx.class);
+                let ovf = nar_overflow(scheme, ctx.class);
+                acc = acc
+                    .wrapping_add(par as u64)
+                    .wrapping_add(limit << 8)
+                    .wrapping_add((nar as u64) << 3)
+                    .wrapping_add((ovf as u64) << 6);
+            }
+            black_box(acc)
+        })
+    });
+
+    // What the datapath actually runs: enum dispatch, engine derived per
+    // packet exactly as `Datapath::redirect` does.
+    g.bench_function("engine_enum", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(scheme, ctx) in &grid {
+                let engine = PolicyEngine::for_scheme(scheme);
+                let par = engine.admit(Role::Par, &ctx);
+                let nar = engine.admit(Role::Nar, &ctx);
+                let ovf = engine.overflow(Role::Nar, ctx.class);
+                acc = fold(acc, par, nar, ovf);
+            }
+            black_box(acc)
+        })
+    });
+
+    // The road not taken: vtable dispatch. Boxes are built outside the
+    // timed loop so this measures dispatch, not allocation.
+    let boxed: Vec<(Box<dyn BufferPolicy>, AdmitCtx)> = grid
+        .iter()
+        .map(|&(scheme, ctx)| {
+            let p: Box<dyn BufferPolicy> = match scheme {
+                Scheme::NoBuffer => Box::new(NoBufferPolicy),
+                Scheme::NarOnly => Box::new(NarFifo),
+                Scheme::ParOnly => Box::new(KrishnamurthiSmooth),
+                Scheme::Dual { classify } => Box::new(EnhancedDualClass { classify }),
+            };
+            (p, ctx)
+        })
+        .collect();
+    g.bench_function("dyn_box", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (policy, ctx) in &boxed {
+                let par = policy.admit(Role::Par, ctx);
+                let nar = policy.admit(Role::Nar, ctx);
+                let ovf = policy.overflow(Role::Nar, ctx.class);
+                acc = fold(acc, par, nar, ovf);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// End-to-end per-packet cost: one full dual-scheme handover, every data
+/// packet crossing the layered pipeline at both routers.
+fn bench_datapath_scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datapath_per_packet");
+    g.sample_size(10);
+    g.bench_function("one_handover", |b| {
+        b.iter(|| {
+            let cfg = HmipConfig {
+                protocol: ProtocolConfig::with_scheme(Scheme::PROPOSED),
+                n_mhs: 4,
+                movement: MovementPlan::OneWay,
+                seed: 2003,
+                ..HmipConfig::default()
+            };
+            let mut scenario = HmipScenario::build(cfg);
+            for i in 0..4 {
+                scenario.add_audio_64k(i, ServiceClass::RealTime);
+            }
+            scenario.run_until(SimTime::from_secs(8));
+            black_box(scenario.sim.events_processed())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(datapath, bench_policy_dispatch, bench_datapath_scenario);
+criterion_main!(datapath);

@@ -1,5 +1,4 @@
-//! The access-router agent: PAR and NAR roles of the enhanced fast
-//! handover protocol.
+//! The access-router agent: orchestrator of the layered PAR/NAR stack.
 //!
 //! One [`ArAgent`] runs on every access router and plays **both** roles,
 //! per handover session:
@@ -19,6 +18,17 @@
 //! A handover within the router's own cell set (the pure link-layer
 //! handoff of Fig 3.5) short-circuits the negotiation: the router grants
 //! from its own pool and answers PrRtAdv directly.
+//!
+//! The agent itself is only the event loop and wiring. The work lives in
+//! three layers:
+//!
+//! * [`crate::policy`] — pure per-packet decision tables (Table 3.3);
+//! * [`crate::datapath`] — the one `classify → admit → park | forward |
+//!   tunnel` pipeline every packet crosses, owning the buffer pool, host
+//!   routes and pinned tunnel links;
+//! * [`crate::signaling`] — the PAR/NAR/MH state machines (session
+//!   creation, negotiation, flush release), plus the soft-state
+//!   reclamation in [`crate::soft_state`].
 
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
@@ -26,253 +36,51 @@ use std::net::Ipv6Addr;
 use fh_sim::{EventKey, SimDuration, SimTime};
 
 use fh_net::{
-    msg::{AckStatus, AuthToken, BufferAck, BufferInit, BufferRequest},
-    send_from, transmit_on, ApId, ControlMsg, DropReason, LinkId, NetCtx, NetMsg, NodeFaultSpec,
-    NodeId, Packet, Payload, Prefix, ServiceClass, TimerKind,
+    send_from, ApId, ControlMsg, NetCtx, NetMsg, NodeFaultSpec, NodeId, Packet, Payload, Prefix,
+    TimerKind,
 };
 use fh_wireless::{send_downlink, RadioWorld};
 
-use crate::buffer::{AdmissionLimit, BufferPool};
-use crate::policy::{
-    nar_action, nar_overflow, par_action, AvailabilityCase, NarAction, NarOverflow, ParAction,
-};
+use crate::buffer::BufferPool;
+use crate::datapath::{reclaim_at_dead_node, Datapath, FlushTarget, RedirectView};
+use crate::metrics::ArMetrics;
 use crate::scheme::ProtocolConfig;
-
-/// Counters an access router keeps about its protocol activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ArMetrics {
-    /// Handover sessions served in the PAR role.
-    pub par_sessions: u64,
-    /// Handover sessions served in the NAR role.
-    pub nar_sessions: u64,
-    /// Pure link-layer (intra-router) handovers served.
-    pub intra_sessions: u64,
-    /// BufferFull notifications sent (NAR role).
-    pub buffer_full_sent: u64,
-    /// Buffer flushes performed (both roles).
-    pub flushes: u64,
-    /// Sessions whose reservation lifetime expired.
-    pub expired_sessions: u64,
-    /// FNAs rejected by the authentication check.
-    pub auth_rejections: u64,
-    /// Guard-buffering sessions served (standalone BI, §3.3 link-quality
-    /// buffering / smooth-handover draft).
-    pub guard_sessions: u64,
-    /// HI retransmissions performed (PAR role, hardened mode only).
-    pub retransmissions: u64,
-    /// HI exchanges that exhausted their retry budget and degraded the
-    /// session to PAR-only buffering.
-    pub hi_exhausted: u64,
-    /// Guard-buffering episodes reclaimed by lifetime expiry (the host
-    /// never sent the releasing BF).
-    pub guard_expired: u64,
-    /// Times this router crashed (volatile state lost).
-    pub crashes: u64,
-    /// Soft-state host routes reclaimed by the expiry sweep.
-    pub routes_expired: u64,
-    /// Handover sessions reclaimed because the peer router went silent
-    /// past the dead-peer timeout.
-    pub dead_peer_reclaims: u64,
-    /// Finalized handover sessions per Table 3.2 availability case
-    /// (`[both, nar-only, par-only, none]`).
-    pub case_counts: [u64; 4],
-}
-
-impl ArMetrics {
-    /// Adds these counters into the shared stats registry under `ar.*`
-    /// names (aggregating when called for several routers).
-    pub fn export(&self, stats: &mut fh_net::NetStats) {
-        stats.bump("ar.par_sessions", self.par_sessions);
-        stats.bump("ar.nar_sessions", self.nar_sessions);
-        stats.bump("ar.intra_sessions", self.intra_sessions);
-        stats.bump("ar.buffer_full_sent", self.buffer_full_sent);
-        stats.bump("ar.flushes", self.flushes);
-        stats.bump("ar.expired_sessions", self.expired_sessions);
-        stats.bump("ar.auth_rejections", self.auth_rejections);
-        stats.bump("ar.guard_sessions", self.guard_sessions);
-        stats.bump("ar.retransmissions", 0);
-        stats.bump("ar.hi_exhausted", 0);
-        stats.bump("ar.guard_expired", self.guard_expired);
-        stats.bump("ar.crashes", self.crashes);
-        stats.bump("ar.routes_expired", self.routes_expired);
-        stats.bump("ar.dead_peer_reclaims", self.dead_peer_reclaims);
-    }
-}
-
-/// Snapshot of an access router's live soft state, taken by the end-of-run
-/// resource-leak auditor. After a quiesce period longer than every
-/// reservation lifetime, all session- and buffer-related counts must be
-/// zero; the only state allowed to remain is host routes for hosts still
-/// attached (and, when soft-state routes are enabled, their refresh
-/// timers).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ArSoftState {
-    /// Live PAR-role handover sessions (includes guard episodes).
-    pub par_sessions: usize,
-    /// Live NAR-role handover sessions.
-    pub nar_sessions: usize,
-    /// Live buffer-pool sessions (reservations or open unreserved slots).
-    pub pool_sessions: usize,
-    /// Packets still queued in the buffer pool.
-    pub buffered_packets: usize,
-    /// Buffer slots still reserved (capacity minus unreserved).
-    pub reserved_slots: usize,
-    /// Keyed timers still registered (lifetime, flush, retransmission,
-    /// and host-route expiry tokens).
-    pub pending_timers: usize,
-    /// Paced flushes still in progress.
-    pub paced_flushes: usize,
-    /// HI retransmission exchanges still in flight.
-    pub pending_hi_rtx: usize,
-    /// Soft-state host routes with a live expiry token.
-    pub route_timers: usize,
-}
-
-impl ArSoftState {
-    /// `true` when nothing but (possibly) refreshed host routes remains:
-    /// every session, reservation, queued packet and flush is gone, and
-    /// the only registered timers are host-route expiry tokens.
-    #[must_use]
-    pub fn quiesced(&self) -> bool {
-        self.par_sessions == 0
-            && self.nar_sessions == 0
-            && self.pool_sessions == 0
-            && self.buffered_packets == 0
-            && self.reserved_slots == 0
-            && self.paced_flushes == 0
-            && self.pending_hi_rtx == 0
-            && self.pending_timers == self.route_timers
-    }
-}
-
-/// Accounts a packet arriving at a crashed node so conservation still
-/// balances: data (including the inner flow of a tunneled packet — the
-/// outer header copies it) is recorded as [`DropReason::Reclaimed`];
-/// signaling rides the unaudited control flow and is silently lost.
-fn reclaim_at_dead_node<S: RadioWorld>(ctx: &mut NetCtx<'_, S>, pkt: &Packet) {
-    match &pkt.payload {
-        Payload::Control(_) => {}
-        Payload::Data | Payload::Tcp(_) | Payload::Encap(_) => {
-            fh_net::record_drop(ctx, pkt.flow, DropReason::Reclaimed);
-        }
-    }
-}
-
-/// Index of an [`AvailabilityCase`] into [`ArMetrics::case_counts`].
-fn case_index(case: AvailabilityCase) -> usize {
-    match case {
-        AvailabilityCase::BothAvailable => 0,
-        AvailabilityCase::NarOnly => 1,
-        AvailabilityCase::ParOnly => 2,
-        AvailabilityCase::NoneAvailable => 3,
-    }
-}
-
-/// Where a paced flush sends its packets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FlushTarget {
-    /// Through the inter-router tunnel toward this NAR address.
-    Tunnel(Ipv6Addr),
-    /// Over the air to this host.
-    Radio(NodeId),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ParState {
-    /// HI sent, waiting for the NAR's HAck.
-    AwaitHAck,
-    /// PrRtAdv sent; waiting for the FBU.
-    Ready,
-    /// FBU received: redirection active.
-    Redirecting,
-    /// Buffer flushed; tunnel stays up for stragglers.
-    Released,
-}
-
-#[derive(Debug)]
-struct ParSession {
-    mh: NodeId,
-    ncoa: Option<Ipv6Addr>,
-    /// `None` for a pure link-layer (intra-router) handover.
-    nar_addr: Option<Ipv6Addr>,
-    /// The AP the host asked about (kept so the PrRtAdv can be rebuilt
-    /// idempotently on duplicate RtSolPr or after HI-retry exhaustion).
-    target_ap: ApId,
-    /// The NAR's grant from the HAck (zero before it arrives or after a
-    /// degraded finalization).
-    nar_granted: u32,
-    /// `true` if the host piggybacked a BI on its RtSolPr.
-    wants_buffer: bool,
-    state: ParState,
-    case: AvailabilityCase,
-    nar_full: bool,
-    lifetime_token: u64,
-    auth: Option<AuthToken>,
-}
-
-/// In-flight HI retransmission state (PAR role, hardened mode).
-#[derive(Debug)]
-struct HiRtx {
-    key: EventKey,
-    token: u64,
-    /// Transmissions made so far (the initial send counts).
-    sent: u32,
-    nar_addr: Ipv6Addr,
-    /// The exact HI to replay.
-    hi: ControlMsg,
-}
-
-#[derive(Debug)]
-struct NarSession {
-    mh_l2: NodeId,
-    par_addr: Ipv6Addr,
-    granted: u32,
-    /// `true` until the host attaches and the buffer is flushed.
-    buffering: bool,
-    full_notified: bool,
-    lifetime_token: u64,
-    auth: Option<AuthToken>,
-}
+use crate::signaling::nar::NarSession;
+use crate::signaling::par::{HiRtx, ParSession, ParState};
 
 /// The access-router protocol agent (PAR + NAR roles).
 #[derive(Debug)]
 pub struct ArAgent {
-    /// The node this agent runs on.
-    pub node: NodeId,
     /// The router's own address.
     pub addr: Ipv6Addr,
     /// The on-link prefix mobile hosts form care-of addresses from.
     pub prefix: Prefix,
-    /// Access points belonging to this router.
-    pub aps: Vec<ApId>,
     /// The MAP advertised in router advertisements.
     pub map_addr: Ipv6Addr,
     /// Protocol parameters.
     pub config: ProtocolConfig,
-    /// The handover buffer pool.
-    pub pool: BufferPool,
     /// Activity counters.
     pub metrics: ArMetrics,
     /// Scheduled crash / restart fault, if any (noop by default).
     pub node_fault: NodeFaultSpec,
+    /// The packet pipeline: pool, host routes, peer links, transmission.
+    pub(crate) dp: Datapath,
     /// `false` while crashed: every event except the restart timer is
     /// swallowed, and arriving data packets are reclaimed.
-    alive: bool,
-    ap_directory: HashMap<ApId, Ipv6Addr>,
-    peer_links: HashMap<Ipv6Addr, LinkId>,
-    neighbors: HashMap<Ipv6Addr, NodeId>,
+    pub(crate) alive: bool,
+    pub(crate) ap_directory: HashMap<ApId, Ipv6Addr>,
     /// Live expiry token and timer key per soft-state host route (empty
     /// while `host_route_lifetime` is `MAX`: routes are then hard state).
-    route_tokens: HashMap<Ipv6Addr, (u64, EventKey)>,
+    pub(crate) route_tokens: HashMap<Ipv6Addr, (u64, EventKey)>,
     /// Last time each peer router was heard from (dead-peer discovery).
-    peer_last_heard: HashMap<Ipv6Addr, SimTime>,
-    par_sessions: HashMap<Ipv6Addr, ParSession>,
-    nar_sessions: HashMap<Ipv6Addr, NarSession>,
-    hi_rtx: HashMap<Ipv6Addr, HiRtx>,
-    flushing: HashMap<Ipv6Addr, (FlushTarget, u64)>,
-    timer_sessions: HashMap<u64, Ipv6Addr>,
-    next_token: u64,
-    auth_seed: u64,
+    pub(crate) peer_last_heard: HashMap<Ipv6Addr, SimTime>,
+    pub(crate) par_sessions: HashMap<Ipv6Addr, ParSession>,
+    pub(crate) nar_sessions: HashMap<Ipv6Addr, NarSession>,
+    pub(crate) hi_rtx: HashMap<Ipv6Addr, HiRtx>,
+    pub(crate) flushing: HashMap<Ipv6Addr, (FlushTarget, u64)>,
+    pub(crate) timer_sessions: HashMap<u64, Ipv6Addr>,
+    pub(crate) next_token: u64,
+    pub(crate) auth_seed: u64,
 }
 
 impl ArAgent {
@@ -287,21 +95,16 @@ impl ArAgent {
         config: ProtocolConfig,
         pool_capacity: usize,
     ) -> Self {
-        assert!(prefix.contains(addr), "router address must be on-link");
         ArAgent {
-            node,
             addr,
             prefix,
-            aps,
             map_addr,
             config,
-            pool: BufferPool::new(pool_capacity),
             metrics: ArMetrics::default(),
             node_fault: NodeFaultSpec::default(),
+            dp: Datapath::new(node, addr, prefix, aps, pool_capacity),
             alive: true,
             ap_directory: HashMap::new(),
-            peer_links: HashMap::new(),
-            neighbors: HashMap::new(),
             route_tokens: HashMap::new(),
             peer_last_heard: HashMap::new(),
             par_sessions: HashMap::new(),
@@ -314,6 +117,35 @@ impl ArAgent {
         }
     }
 
+    /// The node this agent runs on.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.dp.node
+    }
+
+    /// Records the node this agent runs on (topology builders: the real
+    /// `NodeId` is only known once the actor is registered).
+    pub fn set_node(&mut self, node: NodeId) {
+        self.dp.node = node;
+    }
+
+    /// The handover buffer pool (owned by the datapath).
+    #[must_use]
+    pub fn pool(&self) -> &BufferPool {
+        &self.dp.pool
+    }
+
+    /// Access points belonging to this router.
+    #[must_use]
+    pub fn aps(&self) -> &[ApId] {
+        &self.dp.aps
+    }
+
+    /// Replaces this router's set of access points (topology builders).
+    pub fn set_aps(&mut self, aps: Vec<ApId>) {
+        self.dp.aps = aps;
+    }
+
     /// Teaches this router which address serves a (foreign) access point,
     /// so RtSolPr targets can be resolved to the right NAR.
     pub fn learn_ap(&mut self, ap: ApId, router_addr: Ipv6Addr) {
@@ -323,37 +155,14 @@ impl ArAgent {
     /// Pins traffic toward `peer` to a specific link — the FMIPv6
     /// bidirectional tunnel is a point-to-point interface between the two
     /// access routers, not subject to shortest-path routing.
-    pub fn learn_peer_link(&mut self, peer: Ipv6Addr, link: LinkId) {
-        self.peer_links.insert(peer, link);
-    }
-
-    /// Sends a packet toward another router, preferring a pinned peer link.
-    fn send_wired<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pkt: Packet) {
-        if let Some(&link) = self.peer_links.get(&pkt.dst) {
-            let node = self.node;
-            let _ = transmit_on(ctx, link, node, pkt);
-            return;
-        }
-        let node = self.node;
-        let _ = send_from(ctx, node, pkt);
-    }
-
-    /// Builds, accounts and sends a control message to another router.
-    fn send_control_wired<S: RadioWorld>(
-        &mut self,
-        ctx: &mut NetCtx<'_, S>,
-        dst: Ipv6Addr,
-        msg: ControlMsg,
-    ) {
-        fh_net::record_control(ctx, &msg);
-        let pkt = Packet::control(self.addr, dst, msg, ctx.now());
-        self.send_wired(ctx, pkt);
+    pub fn learn_peer_link(&mut self, peer: Ipv6Addr, link: fh_net::LinkId) {
+        self.dp.peer_links.insert(peer, link);
     }
 
     /// The registered on-link neighbor for `addr`, if any.
     #[must_use]
     pub fn neighbor(&self, addr: Ipv6Addr) -> Option<NodeId> {
-        self.neighbors.get(&addr).copied()
+        self.dp.neighbors.get(&addr).copied()
     }
 
     /// `false` while the router is crashed.
@@ -362,28 +171,13 @@ impl ArAgent {
         self.alive
     }
 
-    /// Snapshot of the router's live soft state for the leak auditor.
-    #[must_use]
-    pub fn soft_state(&self) -> ArSoftState {
-        ArSoftState {
-            par_sessions: self.par_sessions.len(),
-            nar_sessions: self.nar_sessions.len(),
-            pool_sessions: self.pool.live_sessions(),
-            buffered_packets: self.pool.used(),
-            reserved_slots: self.pool.capacity() - self.pool.unreserved(),
-            pending_timers: self.timer_sessions.len(),
-            paced_flushes: self.flushing.len(),
-            pending_hi_rtx: self.hi_rtx.len(),
-            route_timers: self.route_tokens.len(),
-        }
-    }
-
     /// All installed host routes, sorted by address (HashMap iteration
     /// order is nondeterministic). The leak auditor cross-checks each
     /// entry against the radio attachment table.
     #[must_use]
     pub fn neighbor_entries(&self) -> Vec<(Ipv6Addr, NodeId)> {
-        let mut v: Vec<(Ipv6Addr, NodeId)> = self.neighbors.iter().map(|(&a, &n)| (a, n)).collect();
+        let mut v: Vec<(Ipv6Addr, NodeId)> =
+            self.dp.neighbors.iter().map(|(&a, &n)| (a, n)).collect();
         v.sort();
         v
     }
@@ -398,38 +192,7 @@ impl ArAgent {
     /// `true` if `ap` belongs to this router.
     #[must_use]
     pub fn owns_ap(&self, ap: ApId) -> bool {
-        self.aps.contains(&ap)
-    }
-
-    fn fresh_token(&mut self, key: Ipv6Addr) -> u64 {
-        let token = self.next_token;
-        self.next_token += 1;
-        self.timer_sessions.insert(token, key);
-        token
-    }
-
-    /// Arms a session-lifetime expiry timer when `lifetime` is finite and
-    /// nonzero and returns its token. Returns 0 (a token no timer ever
-    /// fires with) otherwise, so infinite-lifetime sessions leave no
-    /// residue in the timer table.
-    fn arm_session_lifetime<S: RadioWorld>(
-        &mut self,
-        ctx: &mut NetCtx<'_, S>,
-        key: Ipv6Addr,
-        lifetime: SimDuration,
-    ) -> u64 {
-        if lifetime.is_zero() || lifetime == SimDuration::MAX {
-            return 0;
-        }
-        let token = self.fresh_token(key);
-        ctx.send_self(
-            lifetime,
-            NetMsg::Timer {
-                kind: TimerKind::BufferLifetime,
-                token,
-            },
-        );
-        token
+        self.dp.owns_ap(ap)
     }
 
     // ------------------------------------------------------------------
@@ -467,7 +230,7 @@ impl ArAgent {
             }
             NetMsg::Timer { kind, token } => self.on_timer(ctx, kind, token),
             NetMsg::LinkPacket { pkt, .. } => {
-                let node = self.node;
+                let node = self.dp.node;
                 if let Some(local) = send_from(ctx, node, pkt) {
                     self.handle_local(ctx, local);
                 }
@@ -495,187 +258,6 @@ impl ArAgent {
         }
     }
 
-    /// Scheduled crash: volatile state is lost. Queued packets are
-    /// accounted as [`DropReason::Reclaimed`]; every session, route,
-    /// reservation and pending-timer token is forgotten (outstanding
-    /// keyed timers then no-op when they fire).
-    fn crash<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
-        if !self.alive {
-            return;
-        }
-        self.alive = false;
-        self.metrics.crashes += 1;
-        let node = self.node;
-        fh_net::record_trace(ctx, || fh_net::TraceEvent::FaultFired {
-            node,
-            what: "crash",
-        });
-        let wiped = self.pool.wipe_all();
-        let pkts = wiped.len();
-        for pkt in wiped {
-            fh_net::record_drop(ctx, pkt.flow, DropReason::Reclaimed);
-        }
-        if pkts > 0 {
-            fh_net::record_trace(ctx, || fh_net::TraceEvent::StateReclaimed { node, pkts });
-        }
-        self.par_sessions.clear();
-        self.nar_sessions.clear();
-        self.neighbors.clear();
-        self.route_tokens.clear();
-        self.peer_last_heard.clear();
-        self.hi_rtx.clear();
-        self.flushing.clear();
-        self.timer_sessions.clear();
-        if let Some(down) = self.node_fault.restart_after {
-            ctx.send_self(
-                down,
-                NetMsg::Timer {
-                    kind: TimerKind::NodeRestart,
-                    token: 0,
-                },
-            );
-        }
-    }
-
-    /// Restart after a crash: the router comes back with empty tables and
-    /// re-enters the network through its own beacons, like a freshly
-    /// booted node. Attached hosts re-register via the RA path.
-    fn restart<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
-        if self.alive {
-            return;
-        }
-        self.alive = true;
-        let node = self.node;
-        fh_net::record_trace(ctx, || fh_net::TraceEvent::FaultFired {
-            node,
-            what: "restart",
-        });
-        let jitter = SimDuration::from_micros(ctx.rng.gen_range_u64(1000));
-        ctx.send_self(
-            jitter,
-            NetMsg::Timer {
-                kind: TimerKind::RouterAdvertisement,
-                token: 0,
-            },
-        );
-        self.arm_dead_peer_sweep(ctx);
-    }
-
-    /// Arms the periodic dead-peer sweep (only when the timeout is finite).
-    fn arm_dead_peer_sweep<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
-        let timeout = self.config.dead_peer_timeout;
-        if timeout.is_zero() || timeout == SimDuration::MAX {
-            return;
-        }
-        ctx.send_self(
-            timeout,
-            NetMsg::Timer {
-                kind: TimerKind::DeadPeerSweep,
-                token: 0,
-            },
-        );
-    }
-
-    /// Reclaims every inter-router handover session whose peer has been
-    /// silent longer than the dead-peer timeout, then re-arms the sweep.
-    fn dead_peer_sweep<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
-        let timeout = self.config.dead_peer_timeout;
-        if timeout.is_zero() || timeout == SimDuration::MAX {
-            return;
-        }
-        let now = ctx.now();
-        let silent = |heard: &HashMap<Ipv6Addr, SimTime>, peer: Ipv6Addr| {
-            heard.get(&peer).copied().unwrap_or(SimTime::ZERO) + timeout <= now
-        };
-        let mut stale: Vec<Ipv6Addr> = self
-            .par_sessions
-            .iter()
-            .filter(|(_, s)| {
-                s.nar_addr
-                    .is_some_and(|nar| silent(&self.peer_last_heard, nar))
-            })
-            .map(|(&k, _)| k)
-            .collect();
-        stale.sort();
-        for pcoa in stale {
-            self.par_sessions.remove(&pcoa);
-            let expired = self.pool.expire(pcoa);
-            let pkts = expired.len();
-            for pkt in expired {
-                fh_net::record_drop(ctx, pkt.flow, DropReason::Reclaimed);
-            }
-            let node = self.node;
-            fh_net::record_trace(ctx, || fh_net::TraceEvent::StateReclaimed { node, pkts });
-            self.metrics.dead_peer_reclaims += 1;
-        }
-        let mut stale: Vec<Ipv6Addr> = self
-            .nar_sessions
-            .iter()
-            .filter(|(_, s)| silent(&self.peer_last_heard, s.par_addr))
-            .map(|(&k, _)| k)
-            .collect();
-        stale.sort();
-        for pcoa in stale {
-            self.nar_sessions.remove(&pcoa);
-            let expired = self.pool.expire(pcoa);
-            let pkts = expired.len();
-            for pkt in expired {
-                fh_net::record_drop(ctx, pkt.flow, DropReason::Reclaimed);
-            }
-            let node = self.node;
-            fh_net::record_trace(ctx, || fh_net::TraceEvent::StateReclaimed { node, pkts });
-            self.metrics.dead_peer_reclaims += 1;
-        }
-        ctx.send_self(
-            timeout,
-            NetMsg::Timer {
-                kind: TimerKind::DeadPeerSweep,
-                token: 0,
-            },
-        );
-    }
-
-    /// Installs (or refreshes) a host route. While `host_route_lifetime`
-    /// is finite the route is soft state: each install arms a fresh expiry
-    /// token that supersedes the previous one, so only a route that stops
-    /// being refreshed is reclaimed. With the default `MAX` lifetime this
-    /// is a plain map insert — no token, no timer, no extra events.
-    fn install_route<S: RadioWorld>(
-        &mut self,
-        ctx: &mut NetCtx<'_, S>,
-        addr: Ipv6Addr,
-        mh: NodeId,
-    ) {
-        self.neighbors.insert(addr, mh);
-        let lifetime = self.config.host_route_lifetime;
-        if lifetime.is_zero() || lifetime == SimDuration::MAX {
-            return;
-        }
-        let token = self.fresh_token(addr);
-        let key = ctx.send_self_keyed(
-            lifetime,
-            NetMsg::Timer {
-                kind: TimerKind::HostRouteExpiry,
-                token,
-            },
-        );
-        // A refresh supersedes the previous expiry outright: cancel it and
-        // retire its token so superseded timers never pile up pending.
-        if let Some((old_token, old_key)) = self.route_tokens.insert(addr, (token, key)) {
-            let _ = ctx.cancel(old_key);
-            self.timer_sessions.remove(&old_token);
-        }
-    }
-
-    /// Drops a host route and its expiry timer, if armed.
-    fn drop_route<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, addr: Ipv6Addr) {
-        self.neighbors.remove(&addr);
-        if let Some((token, key)) = self.route_tokens.remove(&addr) {
-            let _ = ctx.cancel(key);
-            self.timer_sessions.remove(&token);
-        }
-    }
-
     fn on_timer<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, kind: TimerKind, token: u64) {
         match kind {
             TimerKind::RouterAdvertisement => {
@@ -692,13 +274,7 @@ impl ArAgent {
                 // One-shot: reclaim the token so long-running routers do
                 // not accumulate stale entries.
                 if let Some(pcoa) = self.timer_sessions.remove(&token) {
-                    if let Some(sess) = self.par_sessions.get_mut(&pcoa) {
-                        if sess.state == ParState::Ready {
-                            // Auto-start buffering: the host vanished without
-                            // managing to send its FBU (BI start-time field).
-                            sess.state = ParState::Redirecting;
-                        }
-                    }
+                    self.on_buffer_start(pcoa);
                 }
             }
             TimerKind::BufferLifetime => {
@@ -714,131 +290,9 @@ impl ArAgent {
             }
             TimerKind::NodeCrash => self.crash(ctx),
             TimerKind::NodeRestart => {} // only meaningful while dead
-            TimerKind::HostRouteExpiry => {
-                if let Some(addr) = self.timer_sessions.remove(&token) {
-                    // Only the latest token is live; a refresh supersedes
-                    // all earlier expiry timers for the same route.
-                    if self.route_tokens.get(&addr).map(|&(t, _)| t) == Some(token) {
-                        self.route_tokens.remove(&addr);
-                        self.neighbors.remove(&addr);
-                        self.metrics.routes_expired += 1;
-                        let node = self.node;
-                        fh_net::record_trace(ctx, || fh_net::TraceEvent::StateExpired {
-                            node,
-                            what: "host-route",
-                        });
-                    }
-                }
-            }
+            TimerKind::HostRouteExpiry => self.on_route_expiry(ctx, token),
             TimerKind::DeadPeerSweep => self.dead_peer_sweep(ctx),
             _ => {}
-        }
-    }
-
-    /// HI retransmission timer fired: the NAR's HAck never came.
-    fn on_rtx_hi<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr) {
-        let Some(mut rtx) = self.hi_rtx.remove(&pcoa) else {
-            return;
-        };
-        if !self.config.rtx.enabled {
-            return;
-        }
-        let still_waiting = self
-            .par_sessions
-            .get(&pcoa)
-            .is_some_and(|s| s.state == ParState::AwaitHAck);
-        if !still_waiting {
-            return;
-        }
-        let bo = self.config.rtx.backoff;
-        if bo.exhausted(rtx.sent) {
-            // The NAR is unreachable: finalize as a PAR-only session so
-            // the host can still anticipate using our buffer alone.
-            let par_granted = self.pool.granted(pcoa);
-            if let Some(sess) = self.par_sessions.get_mut(&pcoa) {
-                sess.state = ParState::Ready;
-                sess.nar_granted = 0;
-                sess.case = AvailabilityCase::from_grants(false, par_granted > 0);
-                self.metrics.case_counts[case_index(sess.case)] += 1;
-            }
-            self.metrics.hi_exhausted += 1;
-            ctx.shared.stats_mut().bump("ar.hi_exhausted", 1);
-            self.send_prrtadv_for(ctx, pcoa);
-            return;
-        }
-        let hi = rtx.hi.clone();
-        self.send_control_wired(ctx, rtx.nar_addr, hi);
-        self.metrics.retransmissions += 1;
-        ctx.shared.stats_mut().bump("ar.retransmissions", 1);
-        let node = self.node;
-        fh_net::record_trace(ctx, || fh_net::TraceEvent::ControlRetransmit {
-            kind: "HI",
-            by: node,
-        });
-        let token = self.fresh_token(pcoa);
-        rtx.token = token;
-        rtx.key = ctx.send_self_keyed(
-            bo.delay(rtx.sent),
-            NetMsg::Timer {
-                kind: TimerKind::RtxHi,
-                token,
-            },
-        );
-        rtx.sent += 1;
-        self.hi_rtx.insert(pcoa, rtx);
-    }
-
-    fn expire_session<S: RadioWorld>(
-        &mut self,
-        ctx: &mut NetCtx<'_, S>,
-        pcoa: Ipv6Addr,
-        token: u64,
-    ) {
-        let par_match = self
-            .par_sessions
-            .get(&pcoa)
-            .is_some_and(|s| s.lifetime_token == token);
-        if par_match {
-            let sess = self.par_sessions.remove(&pcoa).expect("matched above");
-            // A guard episode whose releasing BF never came: its packets
-            // were parked on the host's own request, so their release is a
-            // soft-state expiry (`Expired`), distinct from the reservation
-            // timeout of a real handover session.
-            let guard =
-                sess.target_ap == ApId(u32::MAX) && sess.nar_addr.is_none() && sess.wants_buffer;
-            let reason = if guard {
-                DropReason::Expired
-            } else {
-                DropReason::LifetimeExpired
-            };
-            for pkt in self.pool.expire(pcoa) {
-                fh_net::record_drop(ctx, pkt.flow, reason);
-            }
-            let node = self.node;
-            fh_net::record_trace(ctx, || fh_net::TraceEvent::StateExpired {
-                node,
-                what: if guard { "guard" } else { "reservation" },
-            });
-            if guard {
-                self.metrics.guard_expired += 1;
-            }
-            self.metrics.expired_sessions += 1;
-        }
-        let nar_match = self
-            .nar_sessions
-            .get(&pcoa)
-            .is_some_and(|s| s.lifetime_token == token);
-        if nar_match {
-            self.nar_sessions.remove(&pcoa);
-            for pkt in self.pool.expire(pcoa) {
-                fh_net::record_drop(ctx, pkt.flow, DropReason::LifetimeExpired);
-            }
-            let node = self.node;
-            fh_net::record_trace(ctx, || fh_net::TraceEvent::StateExpired {
-                node,
-                what: "reservation",
-            });
-            self.metrics.expired_sessions += 1;
         }
     }
 
@@ -849,7 +303,7 @@ impl ArAgent {
             map: Some(self.map_addr),
             buffering: self.config.scheme.buffers(),
         };
-        for &ap in &self.aps.clone() {
+        for &ap in &self.dp.aps.clone() {
             let mhs = ctx.shared.radio().attached_mhs(ap);
             for mh in mhs {
                 fh_net::record_control(ctx, &ra);
@@ -884,7 +338,7 @@ impl ArAgent {
         src: Ipv6Addr,
         msg: ControlMsg,
     ) {
-        let node = self.node;
+        let node = self.dp.node;
         fh_net::record_trace(ctx, || fh_net::TraceEvent::ControlReceived {
             kind: msg.kind_name(),
             at: node,
@@ -935,330 +389,6 @@ impl ArAgent {
         }
     }
 
-    /// Handover initiation, PAR side (Fig 3.3).
-    fn on_rtsolpr<S: RadioWorld>(
-        &mut self,
-        ctx: &mut NetCtx<'_, S>,
-        mh: NodeId,
-        pcoa: Ipv6Addr,
-        target_ap: ApId,
-        bi: Option<BufferInit>,
-    ) {
-        // Cancel request: zero start time and lifetime (§3.2.2.1).
-        if bi.as_ref().is_some_and(BufferInit::is_cancel) {
-            if self.par_sessions.remove(&pcoa).is_some() {
-                self.pool.release(pcoa);
-            }
-            return;
-        }
-        if self.config.rtx.enabled {
-            // Idempotency under retransmission: a duplicate RtSolPr must
-            // not re-reserve or restart the negotiation.
-            match self.par_sessions.get(&pcoa).map(|s| s.state) {
-                Some(ParState::AwaitHAck) => return, // HI retry loop owns it
-                Some(ParState::Ready) => {
-                    // The PrRtAdv was lost on the air: answer again.
-                    self.send_prrtadv_for(ctx, pcoa);
-                    return;
-                }
-                _ => {}
-            }
-        }
-        let lifetime = bi
-            .as_ref()
-            .map_or(self.config.reservation_lifetime, |b| b.lifetime);
-        let wants_buffer = bi.is_some();
-        // Split the request between the two routers: the proposed scheme
-        // uses *both* buffer spaces (§3.1.2 "maximize buffer utilization"),
-        // so each router is asked for half; the baselines put everything on
-        // their single router.
-        let requested = bi.as_ref().map_or(0, |b| b.size);
-        let scheme = self.config.scheme;
-        let (par_request, nar_request) = match (scheme.uses_par_buffer(), scheme.uses_nar_buffer())
-        {
-            (true, true) => (requested.div_ceil(2), requested / 2),
-            (true, false) => (requested, 0),
-            (false, true) => (0, requested),
-            (false, false) => (0, 0),
-        };
-        // Reserve locally first so the availability case is known in full
-        // once the HAck returns.
-        let par_granted = if wants_buffer && par_request > 0 {
-            self.pool.grant(pcoa, par_request)
-        } else {
-            self.pool.open_unreserved(pcoa);
-            0
-        };
-        let auth = self.config.auth_required.then(|| {
-            self.auth_seed = self.auth_seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
-            AuthToken(self.auth_seed)
-        });
-        let lifetime_token = self.arm_session_lifetime(ctx, pcoa, lifetime);
-
-        if self.owns_ap(target_ap) {
-            // Pure link-layer handoff (Fig 3.5): there is no NAR to share
-            // with, so the whole request lands in our own pool.
-            let par_granted = if wants_buffer && self.config.scheme.buffers() {
-                self.pool.grant(pcoa, requested)
-            } else {
-                par_granted
-            };
-            self.metrics.intra_sessions += 1;
-            self.par_sessions.insert(
-                pcoa,
-                ParSession {
-                    mh,
-                    ncoa: Some(pcoa),
-                    nar_addr: None,
-                    target_ap,
-                    nar_granted: 0,
-                    wants_buffer,
-                    state: ParState::Ready,
-                    case: AvailabilityCase::from_grants(false, par_granted > 0),
-                    nar_full: false,
-                    lifetime_token,
-                    auth,
-                },
-            );
-            self.schedule_buffer_start(ctx, pcoa, bi.as_ref());
-            let reply = ControlMsg::PrRtAdv {
-                target_ap,
-                nar_prefix: self.prefix,
-                nar_addr: self.addr,
-                ba: wants_buffer.then_some(BufferAck {
-                    nar_granted: 0,
-                    par_granted,
-                }),
-                auth,
-            };
-            self.send_to_mh(ctx, mh, pcoa, reply);
-            return;
-        }
-
-        let Some(&nar_addr) = self.ap_directory.get(&target_ap) else {
-            // Unknown target AP: nothing we can do but ignore (the host
-            // will hand off without anticipation).
-            return;
-        };
-        self.metrics.par_sessions += 1;
-        self.par_sessions.insert(
-            pcoa,
-            ParSession {
-                mh,
-                ncoa: None,
-                nar_addr: Some(nar_addr),
-                target_ap,
-                nar_granted: 0,
-                wants_buffer,
-                state: ParState::AwaitHAck,
-                case: AvailabilityCase::from_grants(false, par_granted > 0),
-                nar_full: false,
-                lifetime_token,
-                auth,
-            },
-        );
-        self.schedule_buffer_start(ctx, pcoa, bi.as_ref());
-        let br = (wants_buffer && nar_request > 0).then_some(BufferRequest {
-            size: nar_request,
-            lifetime,
-        });
-        let per_class = self.config.precise_negotiation.then(|| {
-            // Even split between real-time, high-priority and best effort.
-            [nar_request / 3, nar_request.div_ceil(3), nar_request / 3]
-        });
-        let hi = ControlMsg::HandoverInitiate {
-            pcoa,
-            mh_l2: mh,
-            ncoa: None,
-            br,
-            per_class,
-            auth,
-        };
-        if self.config.rtx.enabled {
-            let token = self.fresh_token(pcoa);
-            let key = ctx.send_self_keyed(
-                self.config.rtx.backoff.delay(0),
-                NetMsg::Timer {
-                    kind: TimerKind::RtxHi,
-                    token,
-                },
-            );
-            self.hi_rtx.insert(
-                pcoa,
-                HiRtx {
-                    key,
-                    token,
-                    sent: 1,
-                    nar_addr,
-                    hi: hi.clone(),
-                },
-            );
-        }
-        self.send_control_wired(ctx, nar_addr, hi);
-    }
-
-    /// Standalone BI: open (or cancel) a guard-buffering session keyed by
-    /// the host's current address. The session looks like an intra-router
-    /// handover already in the redirecting state, so the Table 3.3 policy
-    /// applies with the PAR-only availability case.
-    fn on_guard_buffer_init<S: RadioWorld>(
-        &mut self,
-        ctx: &mut NetCtx<'_, S>,
-        mh: NodeId,
-        addr: Ipv6Addr,
-        bi: BufferInit,
-    ) {
-        if bi.is_cancel() {
-            if self.par_sessions.remove(&addr).is_some() {
-                for pkt in self.pool.release(addr) {
-                    // Cancelled with packets queued: deliver what we have.
-                    self.radio_deliver(ctx, mh, pkt);
-                }
-            }
-            return;
-        }
-        let granted = self.pool.grant(addr, bi.size);
-        self.metrics.guard_sessions += 1;
-        // A guard episode must never pin its reservation forever: a BI
-        // with no (or an infinite) lifetime falls back to the router's own
-        // reservation lifetime, so an episode whose releasing BF is lost
-        // is still reclaimed by the expiry sweep.
-        let lifetime = if bi.lifetime.is_zero() || bi.lifetime == SimDuration::MAX {
-            self.config.reservation_lifetime
-        } else {
-            bi.lifetime
-        };
-        let lifetime_token = self.arm_session_lifetime(ctx, addr, lifetime);
-        let case = AvailabilityCase::from_grants(false, granted > 0);
-        self.metrics.case_counts[case_index(case)] += 1;
-        self.par_sessions.insert(
-            addr,
-            ParSession {
-                mh,
-                ncoa: Some(addr),
-                nar_addr: None,
-                target_ap: ApId(u32::MAX),
-                nar_granted: 0,
-                wants_buffer: true,
-                state: ParState::Redirecting,
-                case,
-                nar_full: false,
-                lifetime_token,
-                auth: None,
-            },
-        );
-        let ba = ControlMsg::BufferAck(BufferAck {
-            nar_granted: 0,
-            par_granted: granted,
-        });
-        self.send_to_mh(ctx, mh, addr, ba);
-    }
-
-    fn schedule_buffer_start<S: RadioWorld>(
-        &mut self,
-        ctx: &mut NetCtx<'_, S>,
-        pcoa: Ipv6Addr,
-        bi: Option<&BufferInit>,
-    ) {
-        if let Some(bi) = bi {
-            if !bi.start_time.is_zero() {
-                let token = self.fresh_token(pcoa);
-                ctx.send_self(
-                    bi.start_time,
-                    NetMsg::Timer {
-                        kind: TimerKind::BufferStart,
-                        token,
-                    },
-                );
-            }
-        }
-    }
-
-    /// FBU: start redirecting (packet redirection phase, §3.2.2.2).
-    fn on_fbu<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr, ncoa: Ipv6Addr) {
-        let (mh, nar_addr, status) = match self.par_sessions.get_mut(&pcoa) {
-            Some(sess) => {
-                sess.ncoa = Some(ncoa);
-                if matches!(sess.state, ParState::AwaitHAck | ParState::Ready) {
-                    sess.state = ParState::Redirecting;
-                }
-                (sess.mh, sess.nar_addr, AckStatus::Accepted)
-            }
-            None => {
-                // FBU without prior RtSolPr (no anticipation): redirect
-                // unbuffered to the router owning the NCoA's subnet — we
-                // know nothing better. A session with no grants anywhere.
-                let mh = self.neighbors.get(&pcoa).copied();
-                let Some(mh) = mh else {
-                    return;
-                };
-                self.pool.open_unreserved(pcoa);
-                let lifetime_token =
-                    self.arm_session_lifetime(ctx, pcoa, self.config.reservation_lifetime);
-                self.par_sessions.insert(
-                    pcoa,
-                    ParSession {
-                        mh,
-                        ncoa: Some(ncoa),
-                        nar_addr: None,
-                        target_ap: ApId(u32::MAX),
-                        nar_granted: 0,
-                        wants_buffer: false,
-                        state: ParState::Redirecting,
-                        case: AvailabilityCase::NoneAvailable,
-                        nar_full: false,
-                        lifetime_token,
-                        auth: None,
-                    },
-                );
-                (mh, None, AckStatus::Accepted)
-            }
-        };
-        // FBAck to the host on the old link (usually already gone) …
-        let fback = ControlMsg::FastBindingAck { pcoa, status };
-        self.send_to_mh(ctx, mh, pcoa, fback.clone());
-        // … and to the NAR.
-        if let Some(nar) = nar_addr {
-            self.send_control_wired(ctx, nar, fback);
-        }
-    }
-
-    /// FNA (+BF): the host arrived on our link (buffer release, §3.2.2.3).
-    fn on_fna<S: RadioWorld>(
-        &mut self,
-        ctx: &mut NetCtx<'_, S>,
-        from: NodeId,
-        ncoa: Ipv6Addr,
-        pcoa: Ipv6Addr,
-        bf: bool,
-        auth: Option<AuthToken>,
-    ) {
-        if let Some(sess) = self.nar_sessions.get(&pcoa) {
-            if self.config.auth_required && sess.auth != auth {
-                self.metrics.auth_rejections += 1;
-                return;
-            }
-        } else if self.config.auth_required && pcoa != ncoa {
-            // An inter-router arrival we never agreed to.
-            self.metrics.auth_rejections += 1;
-            return;
-        }
-        // Install neighbor entries: the new address, and the previous one
-        // (the host keeps receiving tunneled PCoA traffic until the MAP
-        // binding update completes).
-        self.install_route(ctx, ncoa, from);
-        self.install_route(ctx, pcoa, from);
-        if let Some(sess) = self.nar_sessions.get_mut(&pcoa) {
-            sess.buffering = false;
-            let par_addr = sess.par_addr;
-            if bf {
-                self.flush_nar(ctx, pcoa, from);
-                let bf_msg = ControlMsg::BufferForward { pcoa };
-                self.send_control_wired(ctx, par_addr, bf_msg);
-            }
-        }
-    }
-
     // ------------------------------------------------------------------
     // Wired-side handling
     // ------------------------------------------------------------------
@@ -1287,7 +417,7 @@ impl ArAgent {
     ) {
         // Any signaling from a peer router proves it is alive.
         self.peer_last_heard.insert(src, ctx.now());
-        let node = self.node;
+        let node = self.dp.node;
         fh_net::record_trace(ctx, || fh_net::TraceEvent::ControlReceived {
             kind: msg.kind_name(),
             at: node,
@@ -1323,407 +453,51 @@ impl ArAgent {
         }
     }
 
-    /// HI, NAR side: grant space, install the host route, acknowledge.
-    #[allow(clippy::too_many_arguments)] // mirrors the HI wire format
-    fn on_hi<S: RadioWorld>(
+    // ------------------------------------------------------------------
+    // Datapath orchestration
+    // ------------------------------------------------------------------
+
+    /// Delivers on-link (radio) or forwards into the wired network.
+    ///
+    /// Order matters: an active PAR-role redirection wins (the host left)
+    /// and enters the datapath's redirect stage with a snapshot of the
+    /// session; everything else is the datapath's plain delivery — FMIPv6
+    /// host routes (the NAR serves the PCoA even though the address is
+    /// topologically foreign), then prefix delivery, then forwarding.
+    pub(crate) fn deliver_or_forward<S: RadioWorld>(
         &mut self,
         ctx: &mut NetCtx<'_, S>,
-        par_addr: Ipv6Addr,
-        pcoa: Ipv6Addr,
-        mh_l2: NodeId,
-        br: Option<BufferRequest>,
-        per_class: Option<[u32; 3]>,
-        auth: Option<AuthToken>,
+        pkt: Packet,
     ) {
-        if self.config.rtx.enabled {
-            if let Some(sess) = self.nar_sessions.get(&pcoa) {
-                // Duplicate HI (our HAck was lost): keep the existing
-                // session — re-inserting would restart buffering after the
-                // host already attached — and just acknowledge again.
-                let hack = ControlMsg::HandoverAck {
-                    pcoa,
-                    status: AckStatus::Accepted,
-                    ba: br.is_some().then_some(BufferAck {
-                        nar_granted: sess.granted,
-                        par_granted: 0,
-                    }),
+        if let Some(sess) = self.par_sessions.get(&pkt.dst) {
+            if matches!(sess.state, ParState::Redirecting | ParState::Released) {
+                let view = RedirectView {
+                    mh: sess.mh,
+                    peer: sess.nar_addr,
+                    case: sess.case,
+                    nar_full: sess.nar_full,
+                    released: sess.state == ParState::Released,
                 };
-                self.send_control_wired(ctx, par_addr, hack);
+                let pcoa = pkt.dst;
+                self.dp.redirect(ctx, &self.config, pcoa, view, pkt);
                 return;
             }
         }
-        let requested = br.as_ref().map_or(0, |b| b.size);
-        let granted = if requested > 0 && self.config.scheme.uses_nar_buffer() {
-            match (self.config.precise_negotiation, per_class) {
-                (true, Some(pc)) => {
-                    // Precise extension (future work §5): per-class shares,
-                    // granted partially in priority order and enforced at
-                    // admission time.
-                    self.pool.grant_per_class(pcoa, pc).iter().sum()
-                }
-                (true, None) => {
-                    // Precise mode against a legacy peer: grant what fits.
-                    let fit = requested.min(self.pool.unreserved() as u32);
-                    if fit > 0 {
-                        self.pool.grant(pcoa, fit)
-                    } else {
-                        self.pool.open_unreserved(pcoa);
-                        0
-                    }
-                }
-                (false, _) => self.pool.grant(pcoa, requested),
-            }
-        } else {
-            self.pool.open_unreserved(pcoa);
-            0
-        };
-        self.metrics.nar_sessions += 1;
-        let lifetime = br
-            .as_ref()
-            .map_or(self.config.reservation_lifetime, |b| b.lifetime);
-        let lifetime_token = self.arm_session_lifetime(ctx, pcoa, lifetime);
-        // Host route: deliveries for the PCoA now go over our radio.
-        self.install_route(ctx, pcoa, mh_l2);
-        self.nar_sessions.insert(
-            pcoa,
-            NarSession {
-                mh_l2,
-                par_addr,
-                granted,
-                buffering: true,
-                full_notified: false,
-                lifetime_token,
-                auth,
-            },
-        );
-        let hack = ControlMsg::HandoverAck {
-            pcoa,
-            status: AckStatus::Accepted,
-            ba: br.is_some().then_some(BufferAck {
-                nar_granted: granted,
-                par_granted: 0,
-            }),
-        };
-        self.send_control_wired(ctx, par_addr, hack);
-    }
-
-    /// HAck, PAR side: finish the negotiation and tell the host.
-    fn on_hack<S: RadioWorld>(
-        &mut self,
-        ctx: &mut NetCtx<'_, S>,
-        pcoa: Ipv6Addr,
-        status: AckStatus,
-        ba: Option<BufferAck>,
-    ) {
-        let Some(sess) = self.par_sessions.get_mut(&pcoa) else {
-            return;
-        };
-        if self.config.rtx.enabled {
-            if sess.state != ParState::AwaitHAck {
-                // Duplicate HAck (or one racing a degraded finalization):
-                // the PrRtAdv already went out.
-                return;
-            }
-            if let Some(rtx) = self.hi_rtx.remove(&pcoa) {
-                let _ = ctx.cancel(rtx.key);
-                self.timer_sessions.remove(&rtx.token);
-            }
-        }
-        let nar_granted = ba.map_or(0, |b| b.nar_granted);
-        let par_granted = self.pool.granted(pcoa);
-        sess.case =
-            AvailabilityCase::from_grants(status.is_accepted() && nar_granted > 0, par_granted > 0);
-        sess.nar_granted = nar_granted;
-        self.metrics.case_counts[case_index(sess.case)] += 1;
-        if sess.state == ParState::AwaitHAck {
-            sess.state = ParState::Ready;
-        }
-        self.send_prrtadv_for(ctx, pcoa);
-    }
-
-    /// (Re)builds and sends the PrRtAdv for a finalized PAR session — used
-    /// by the HAck path, duplicate-RtSolPr answers and HI-exhaustion
-    /// degradation, all of which must advertise the same result.
-    fn send_prrtadv_for<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr) {
-        let Some(sess) = self.par_sessions.get(&pcoa) else {
-            return;
-        };
-        let mh = sess.mh;
-        let auth = sess.auth;
-        let wants_buffer = sess.wants_buffer;
-        let nar_granted = sess.nar_granted;
-        let nar_addr = sess.nar_addr.unwrap_or(self.addr);
-        let target_ap = if sess.target_ap == ApId(u32::MAX) {
-            self.ap_directory
-                .iter()
-                .find(|&(_, &a)| a == nar_addr)
-                .map(|(&ap, _)| ap)
-                .unwrap_or(ApId(u32::MAX))
-        } else {
-            sess.target_ap
-        };
-        let par_granted = self.pool.granted(pcoa);
-        let adv = ControlMsg::PrRtAdv {
-            target_ap,
-            nar_prefix: self.peer_prefix(nar_addr),
-            nar_addr,
-            ba: wants_buffer.then_some(BufferAck {
-                nar_granted,
-                par_granted,
-            }),
-            auth,
-        };
-        self.send_to_mh(ctx, mh, pcoa, adv);
-    }
-
-    /// The advertised prefix of a peer router. Real FMIPv6 carries this in
-    /// the HAck/PrRtAdv exchange; we derive it from the peer's address.
-    fn peer_prefix(&self, router_addr: Ipv6Addr) -> Prefix {
-        Prefix::new(router_addr, self.prefix.len())
-    }
-
-    /// A packet tunneled to us for a handover host (NAR role).
-    fn on_tunneled<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, inner: Packet) {
-        let pcoa = inner.dst;
-        let class = inner.effective_class();
-        let scheme = self.config.scheme;
-        let Some(sess) = self.nar_sessions.get(&pcoa) else {
-            // No session (stragglers after release, or no-anticipation):
-            // plain delivery attempt.
-            self.deliver_or_forward(ctx, inner);
-            return;
-        };
-        let mh = sess.mh_l2;
-        let par_addr = sess.par_addr;
-        let granted = sess.granted;
-        if !sess.buffering {
-            self.deliver_or_forward(ctx, inner);
-            return;
-        }
-        let case = AvailabilityCase::from_grants(granted > 0, false);
-        match nar_action(scheme, case, class) {
-            NarAction::Deliver => {
-                self.radio_deliver(ctx, mh, inner);
-            }
-            NarAction::Buffer => {
-                let overflow = nar_overflow(scheme, class);
-                let ar = self.node;
-                let flow = inner.flow;
-                match overflow {
-                    NarOverflow::DropOldestRealtime => {
-                        match self.pool.buffer_realtime_dropfront(pcoa, inner) {
-                            Ok(None) => {
-                                fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferAdmit {
-                                    ar,
-                                    class,
-                                    flow,
-                                });
-                            }
-                            Ok(Some(evicted)) => {
-                                let evicted_flow = evicted.flow;
-                                let evicted_class = evicted.effective_class();
-                                fh_net::record_drop(ctx, evicted.flow, DropReason::BufferOverflow);
-                                fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferEvict {
-                                    ar,
-                                    class: evicted_class,
-                                    flow: evicted_flow,
-                                });
-                                fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferAdmit {
-                                    ar,
-                                    class,
-                                    flow,
-                                });
-                            }
-                            Err(rejected) => {
-                                fh_net::record_drop(ctx, rejected.flow, DropReason::BufferOverflow);
-                            }
-                        }
-                    }
-                    NarOverflow::NotifyPar => {
-                        match self.pool.try_buffer(pcoa, inner, AdmissionLimit::Grant) {
-                            Ok(()) => {
-                                fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferAdmit {
-                                    ar,
-                                    class,
-                                    flow,
-                                });
-                            }
-                            Err(rejected) => {
-                                let already = self
-                                    .nar_sessions
-                                    .get(&pcoa)
-                                    .is_some_and(|s| s.full_notified);
-                                if !already {
-                                    // Case 1.b: tell the PAR to buffer the rest,
-                                    // and send the packet that did not fit back
-                                    // through the reverse tunnel so the PAR can
-                                    // buffer it too (the notification travels
-                                    // the same link and arrives first).
-                                    if let Some(s) = self.nar_sessions.get_mut(&pcoa) {
-                                        s.full_notified = true;
-                                    }
-                                    self.metrics.buffer_full_sent += 1;
-                                    let addr = self.addr;
-                                    self.send_control_wired(
-                                        ctx,
-                                        par_addr,
-                                        ControlMsg::BufferFull { pcoa },
-                                    );
-                                    let back = rejected.encapsulate(addr, par_addr);
-                                    self.send_wired(ctx, back);
-                                } else {
-                                    // Already spilling: last-ditch delivery
-                                    // attempt (bounces are not allowed to loop).
-                                    self.radio_deliver(ctx, mh, rejected);
-                                }
-                            }
-                        }
-                    }
-                    NarOverflow::TailDrop => {
-                        match self.pool.try_buffer(pcoa, inner, AdmissionLimit::Grant) {
-                            Ok(()) => {
-                                fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferAdmit {
-                                    ar,
-                                    class,
-                                    flow,
-                                });
-                            }
-                            Err(rejected) => {
-                                fh_net::record_drop(ctx, rejected.flow, DropReason::BufferOverflow);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Redirection of a packet addressed to a departing host (PAR role).
-    fn redirect<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr, pkt: Packet) {
-        let Some(sess) = self.par_sessions.get(&pcoa) else {
-            return;
-        };
-        let class = pkt.effective_class();
-        let scheme = self.config.scheme;
-        let action = if sess.state == ParState::Released {
-            // After the flush the tunnel stays up for stragglers.
-            match sess.nar_addr {
-                Some(_) => ParAction::TunnelUnbuffered,
-                None => ParAction::TunnelUnbuffered, // intra: deliver below
-            }
-        } else {
-            par_action(scheme, sess.case, class, sess.nar_full)
-        };
-        let mh = sess.mh;
-        let nar_addr = sess.nar_addr;
-        match action {
-            ParAction::TunnelBuffer | ParAction::TunnelUnbuffered => match nar_addr {
-                Some(nar) => {
-                    let outer = pkt.encapsulate(self.addr, nar);
-                    self.send_wired(ctx, outer);
-                }
-                None => {
-                    // Intra-router handoff: nowhere to tunnel; attempt radio
-                    // delivery (lost while the host is detached).
-                    self.radio_deliver(ctx, mh, pkt);
-                }
-            },
-            ParAction::BufferLocal => {
-                let limit = match (scheme.classifies(), class) {
-                    (true, ServiceClass::BestEffort | ServiceClass::Unspecified) => {
-                        AdmissionLimit::Threshold(self.config.threshold_a)
-                    }
-                    (true, _) => AdmissionLimit::Grant,
-                    // Class-blind schemes use the session grant when present,
-                    // otherwise whatever the pool will take.
-                    (false, _) => {
-                        if self.pool.granted(pcoa) > 0 {
-                            AdmissionLimit::Grant
-                        } else {
-                            AdmissionLimit::PoolOnly
-                        }
-                    }
-                };
-                let ar = self.node;
-                let flow = pkt.flow;
-                match self.pool.try_buffer(pcoa, pkt, limit) {
-                    Ok(()) => {
-                        fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferAdmit {
-                            ar,
-                            class,
-                            flow,
-                        });
-                    }
-                    Err(rejected) => match (class, nar_addr) {
-                        // Rejected high-priority: tunnel unbuffered rather
-                        // than drop — the drop-rate promise matters most.
-                        (ServiceClass::HighPriority, Some(nar)) => {
-                            let outer = rejected.encapsulate(self.addr, nar);
-                            self.send_wired(ctx, outer);
-                        }
-                        _ => {
-                            fh_net::record_drop(ctx, rejected.flow, DropReason::BufferOverflow);
-                        }
-                    },
-                }
-            }
-            ParAction::Drop => {
-                fh_net::record_drop(ctx, pkt.flow, DropReason::Policy);
-            }
-        }
-    }
-
-    /// Flushes the PAR buffer (BF received): tunnel everything to the NAR,
-    /// or straight over the air for an intra-router handoff.
-    fn flush_par<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr) {
-        let Some(sess) = self.par_sessions.get_mut(&pcoa) else {
-            return;
-        };
-        let nar_addr = sess.nar_addr;
-        let mh = sess.mh;
-        sess.state = ParState::Released;
-        if nar_addr.is_some() {
-            // The host now lives behind the NAR; drop the stale neighbor
-            // entry (kept for intra-router handoffs, where it stays valid).
-            self.drop_route(ctx, pcoa);
-        }
-        self.metrics.flushes += 1;
-        let ar = self.node;
-        let pkts = self.pool.session_len(pcoa);
-        let path = if nar_addr.is_some() { "par" } else { "local" };
-        fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferFlush { ar, path, pkts });
-        let target = match nar_addr {
-            Some(nar) => FlushTarget::Tunnel(nar),
-            None => FlushTarget::Radio(mh),
-        };
-        self.start_flush(ctx, pcoa, target);
-    }
-
-    /// Flushes the NAR buffer over the air (FNA+BF received).
-    fn flush_nar<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr, mh: NodeId) {
-        self.metrics.flushes += 1;
-        let ar = self.node;
-        let pkts = self.pool.session_len(pcoa);
-        fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferFlush {
-            ar,
-            path: "nar",
-            pkts,
-        });
-        self.start_flush(ctx, pcoa, FlushTarget::Radio(mh));
+        self.dp.deliver(ctx, pkt);
     }
 
     /// Dispatches a flush: everything at once with zero spacing, or one
     /// packet per [`ProtocolConfig::flush_spacing`] tick to model the
     /// router's per-packet forwarding cost (§4.2.3).
-    fn start_flush<S: RadioWorld>(
+    pub(crate) fn start_flush<S: RadioWorld>(
         &mut self,
         ctx: &mut NetCtx<'_, S>,
         pcoa: Ipv6Addr,
         target: FlushTarget,
     ) {
         if self.config.flush_spacing.is_zero() {
-            for pkt in self.pool.drain(pcoa) {
-                self.flush_one(ctx, target, pkt);
+            for pkt in self.dp.pool.drain(pcoa) {
+                self.dp.flush_one(ctx, target, pkt);
             }
             return;
         }
@@ -1751,12 +525,12 @@ impl ArAgent {
             self.timer_sessions.remove(&token);
             return; // superseded by a newer flush
         }
-        let Some(first) = self.pool.pop_front(pcoa) else {
+        let Some(first) = self.dp.pool.pop_front(pcoa) else {
             self.flushing.remove(&pcoa);
             self.timer_sessions.remove(&token);
             return;
         };
-        self.flush_one(ctx, target, first);
+        self.dp.flush_one(ctx, target, first);
         ctx.send_self(
             self.config.flush_spacing,
             NetMsg::Timer {
@@ -1766,66 +540,7 @@ impl ArAgent {
         );
     }
 
-    fn flush_one<S: RadioWorld>(
-        &mut self,
-        ctx: &mut NetCtx<'_, S>,
-        target: FlushTarget,
-        pkt: Packet,
-    ) {
-        match target {
-            FlushTarget::Tunnel(nar) => {
-                let outer = pkt.encapsulate(self.addr, nar);
-                self.send_wired(ctx, outer);
-            }
-            FlushTarget::Radio(mh) => self.radio_deliver(ctx, mh, pkt),
-        }
-    }
-
-    /// Delivers on-link (radio) or forwards into the wired network.
-    ///
-    /// Order matters: an active PAR-role redirection wins (the host left),
-    /// then FMIPv6 host routes (the NAR serves the PCoA even though the
-    /// address is topologically foreign), then plain prefix delivery, then
-    /// wired forwarding.
-    fn deliver_or_forward<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pkt: Packet) {
-        let redirecting = self
-            .par_sessions
-            .get(&pkt.dst)
-            .is_some_and(|s| matches!(s.state, ParState::Redirecting | ParState::Released));
-        if redirecting {
-            self.redirect(ctx, pkt.dst, pkt);
-            return;
-        }
-        if let Some(&mh) = self.neighbors.get(&pkt.dst) {
-            self.radio_deliver(ctx, mh, pkt);
-            return;
-        }
-        if self.prefix.contains(pkt.dst) {
-            // On-link address with no neighbor entry: undeliverable.
-            fh_net::record_drop(ctx, pkt.flow, DropReason::Unroutable);
-            return;
-        }
-        let node = self.node;
-        if let Some(local) = send_from(ctx, node, pkt) {
-            // Routing bounced it back to us without matching our prefix:
-            // nothing sensible to do.
-            fh_net::record_drop(ctx, local.flow, DropReason::Unroutable);
-        }
-    }
-
-    fn radio_deliver<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, mh: NodeId, pkt: Packet) {
-        // Pick the AP the host is actually attached to, if it is one of
-        // ours; otherwise use our first AP (the attempt will be counted as
-        // a radio drop).
-        let attached = ctx.shared.radio().attachment(mh);
-        let ap = match attached {
-            Some(ap) if self.owns_ap(ap) => ap,
-            _ => self.aps[0],
-        };
-        send_downlink(ctx, ap, mh, pkt);
-    }
-
-    fn send_to_mh<S: RadioWorld>(
+    pub(crate) fn send_to_mh<S: RadioWorld>(
         &mut self,
         ctx: &mut NetCtx<'_, S>,
         mh: NodeId,
@@ -1834,6 +549,6 @@ impl ArAgent {
     ) {
         fh_net::record_control(ctx, &msg);
         let pkt = Packet::control(self.addr, dst, msg, ctx.now());
-        self.radio_deliver(ctx, mh, pkt);
+        self.dp.radio_deliver(ctx, mh, pkt);
     }
 }

@@ -22,17 +22,7 @@ use std::net::Ipv6Addr;
 use fh_net::{Packet, ServiceClass};
 use serde::{Deserialize, Serialize};
 
-/// Session-level admission rule for [`BufferPool::try_buffer`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AdmissionLimit {
-    /// Admit while the session holds fewer packets than its grant.
-    Grant,
-    /// Admit while the pool's free space exceeds the threshold `a`
-    /// (best-effort spill-over).
-    Threshold(u32),
-    /// Admit while the pool has any free space (class-blind schemes).
-    PoolOnly,
-}
+use crate::policy::AdmissionLimit;
 
 /// Counters the pool maintains across its lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]

@@ -10,13 +10,15 @@
 //!   draft, no-buffer FH) and the thesis' tunables (buffer request size,
 //!   BI start-time/lifetime, the best-effort threshold `a`, optional
 //!   handover authentication, optional precise per-class negotiation).
-//! * [`policy`] — Tables 3.2 and 3.3 as pure, exhaustively tested
-//!   functions.
+//! * [`policy`] — the pluggable buffer-policy layer: the [`policy::BufferPolicy`]
+//!   trait, one implementation per scheme family, and Tables 3.2 / 3.3 as
+//!   pure, exhaustively tested functions.
 //! * [`BufferPool`] — the per-router handover buffer: all-or-nothing
 //!   grants, two-level admission, real-time drop-front, lifetimes.
-//! * [`ArAgent`] — the access router (PAR + NAR roles): negotiation,
-//!   redirection, BufferFull spill-back, tunnel management, flushes,
-//!   pure-L2 handoff support.
+//! * [`ArAgent`] — the access router (PAR + NAR roles), an orchestrator
+//!   over three layers: `policy` (per-packet decisions) ← `datapath` (the
+//!   one `classify → admit → park | forward | tunnel` pipeline) ←
+//!   `signaling` (the PAR/NAR/MH state machines).
 //! * [`MhAgent`] — the mobile host: trigger handling, RtSolPr+BI → FBU →
 //!   FNA+BF choreography, MAP binding updates.
 //!
@@ -42,11 +44,16 @@
 
 mod ar;
 mod buffer;
-mod mh;
+mod datapath;
+mod metrics;
 pub mod policy;
 mod scheme;
+mod signaling;
+mod soft_state;
 
-pub use ar::{ArAgent, ArMetrics, ArSoftState};
-pub use buffer::{AdmissionLimit, BufferPool, BufferStats};
-pub use mh::{HandoffPhase, MhAgent};
+pub use ar::ArAgent;
+pub use buffer::{BufferPool, BufferStats};
+pub use metrics::{ArMetrics, ArSoftState};
+pub use policy::AdmissionLimit;
 pub use scheme::{ProtocolConfig, RetransmitConfig, Scheme};
+pub use signaling::mh::{HandoffPhase, MhAgent};

@@ -1,0 +1,249 @@
+//! The buffer-policy layer: *what* to do with a packet, never *how*.
+//!
+//! This is the bottom layer of the refactored access-router stack
+//! (policy ← datapath ← signaling). A policy is a pure decision table
+//! behind the [`BufferPolicy`] trait: given a packet's class and the
+//! negotiated buffer availability, it answers
+//!
+//! * [`BufferPolicy::admit`] — park, forward, tunnel or drop;
+//! * [`BufferPolicy::overflow`] — what to do when the pool rejects a
+//!   packet the policy wanted parked;
+//! * [`BufferPolicy::on_grant`] — how a host's buffer request is split
+//!   between the previous and the new access router;
+//! * [`BufferPolicy::on_flush`] — in which order a parked session drains.
+//!
+//! Three schemes implement the trait today — [`NarFifo`] (original
+//! FMIPv6), [`KrishnamurthiSmooth`] (smooth-handover draft) and
+//! [`EnhancedDualClass`] (the thesis' Table 3.3 matrix, with and without
+//! classification) — plus the no-op [`NoBufferPolicy`] baseline. The
+//! datapath selects one via [`PolicyEngine::for_scheme`], an enum whose
+//! match dispatch compiles away (no vtable on the per-packet hot path).
+//!
+//! Adding a scheme is one file: implement [`BufferPolicy`], add a
+//! [`PolicyEngine`] variant, and map it from a [`Scheme`]. Nothing here
+//! may import signaling, datapath or simulator types — the layering test
+//! (`tests/layering.rs`) keeps this module free of actor concerns, so a
+//! policy stays a table you can read against the thesis.
+//!
+//! The legacy pure functions ([`par_action`], [`nar_action`],
+//! [`nar_overflow`] in [`matrix`]) remain the normative transcription of
+//! Table 3.3; the golden-matrix test pins the trait implementations
+//! against them, exhaustively.
+
+#![deny(missing_docs)]
+
+pub mod matrix;
+
+mod enhanced;
+mod krishnamurthi;
+mod nar_fifo;
+mod no_buffer;
+
+pub use enhanced::EnhancedDualClass;
+pub use krishnamurthi::KrishnamurthiSmooth;
+pub use matrix::{
+    nar_action, nar_overflow, par_action, AvailabilityCase, NarAction, NarOverflow, ParAction,
+};
+pub use nar_fifo::NarFifo;
+pub use no_buffer::NoBufferPolicy;
+
+use fh_net::ServiceClass;
+
+use crate::scheme::Scheme;
+
+/// Session-level admission rule for `BufferPool::try_buffer` — the
+/// vocabulary a policy uses to bound how much a session may park.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionLimit {
+    /// Admit while the session holds fewer packets than its grant.
+    Grant,
+    /// Admit while the pool's free space exceeds the threshold `a`
+    /// (best-effort spill-over).
+    Threshold(u32),
+    /// Admit while the pool has any free space (class-blind schemes).
+    PoolOnly,
+}
+
+/// Which end of the handover the decision is made at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The previous access router, redirecting departing traffic.
+    Par,
+    /// The new access router, receiving tunneled traffic.
+    Nar,
+}
+
+/// Everything a policy may consult when admitting one packet.
+///
+/// Deliberately plain data: the datapath snapshots these from live
+/// session state so policies never touch signaling or pool internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmitCtx {
+    /// Which routers granted buffer space (Table 3.2).
+    pub case: AvailabilityCase,
+    /// The packet's effective service class (Table 3.1).
+    pub class: ServiceClass,
+    /// `true` once the peer NAR reported BufferFull for this session.
+    pub nar_full: bool,
+    /// `true` if this router holds a non-zero grant for the session.
+    pub par_granted: bool,
+    /// The administrator constant `a` (best-effort spill threshold).
+    pub threshold_a: u32,
+}
+
+/// A policy's verdict for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Park the packet in the local pool under the given admission limit.
+    Park(AdmissionLimit),
+    /// Forward toward the host immediately (radio delivery attempt —
+    /// lost while the host is detached).
+    Forward,
+    /// Tunnel to the peer router. `park_at_peer` records what the peer
+    /// is *expected* to do (Table 3.3's tunnel-and-buffer vs plain
+    /// tunnel); the peer still runs its own [`BufferPolicy::admit`].
+    Tunnel {
+        /// `true` if the peer is expected to buffer the packet.
+        park_at_peer: bool,
+    },
+    /// Drop by policy (Table 3.3 case 4, best effort).
+    Drop,
+}
+
+/// What to do when the pool rejects a packet the policy wanted parked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overflow {
+    /// Evict the oldest buffered real-time packet and admit the new one
+    /// (fresh media samples outrank stale ones — case 1.a / 2.a).
+    DropFrontRealtime,
+    /// Tell the peer router to take over (BufferFull) and bounce the
+    /// overflowing packet back through the tunnel — case 1.b.
+    NotifyPeer,
+    /// Tunnel the overflowing packet to the peer unbuffered instead of
+    /// dropping it (the PAR-side reaction for high-priority traffic).
+    SpillPeer,
+    /// Plain tail drop.
+    TailDrop,
+}
+
+/// How a host's buffer request is split across the two routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSplit {
+    /// Slots requested from the previous access router's pool.
+    pub par: u32,
+    /// Slots requested from the new access router (rides HI+BR).
+    pub nar: u32,
+}
+
+/// In which order a parked session drains when its flush is released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushOrder {
+    /// First-in first-out — arrival order, what every current scheme
+    /// uses. The hook exists so a future policy (e.g. SafetyNet-style
+    /// selective delivery) can reorder or filter without touching the
+    /// datapath.
+    Fifo,
+}
+
+/// One buffering scheme's complete decision surface.
+///
+/// Implementations must be pure: same inputs, same verdicts. The
+/// datapath is the only caller on the hot path and executes the returned
+/// actions; policies never send, park or drop anything themselves.
+pub trait BufferPolicy {
+    /// Decide what happens to one packet at `role`.
+    fn admit(&self, role: Role, ctx: &AdmitCtx) -> Admit;
+
+    /// The reaction when the pool rejects a packet this policy parked.
+    fn overflow(&self, role: Role, class: ServiceClass) -> Overflow;
+
+    /// Split a host's buffer request between the two routers.
+    fn on_grant(&self, requested: u32) -> RequestSplit;
+
+    /// The drain order for a released session's parked packets.
+    fn on_flush(&self) -> FlushOrder {
+        FlushOrder::Fifo
+    }
+}
+
+/// The PAR-side overflow reaction shared by every scheme: a rejected
+/// high-priority packet is spilled to the peer unbuffered (the drop-rate
+/// promise matters most), anything else tail-drops.
+pub(crate) fn par_spill(class: ServiceClass) -> Overflow {
+    match class.effective() {
+        ServiceClass::HighPriority => Overflow::SpillPeer,
+        _ => Overflow::TailDrop,
+    }
+}
+
+/// Zero-cost dispatcher over the built-in policies.
+///
+/// An enum rather than `dyn BufferPolicy` so the per-packet hot path is
+/// a jump table the optimizer can inline through (the `datapath` bench
+/// pins the enum-vs-`dyn` gap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyEngine {
+    /// Fast handover without buffering (`FH`).
+    NoBuffer(NoBufferPolicy),
+    /// Original FMIPv6 NAR-only buffering (`NAR`).
+    NarFifo(NarFifo),
+    /// Smooth-handover PAR-only buffering (`PAR`).
+    Krishnamurthi(KrishnamurthiSmooth),
+    /// The thesis' dual-router scheme (`DUAL` / `DUAL+class`).
+    Enhanced(EnhancedDualClass),
+}
+
+impl PolicyEngine {
+    /// The policy implementing a [`Scheme`].
+    #[must_use]
+    pub fn for_scheme(scheme: Scheme) -> Self {
+        match scheme {
+            Scheme::NoBuffer => PolicyEngine::NoBuffer(NoBufferPolicy),
+            Scheme::NarOnly => PolicyEngine::NarFifo(NarFifo),
+            Scheme::ParOnly => PolicyEngine::Krishnamurthi(KrishnamurthiSmooth),
+            Scheme::Dual { classify } => PolicyEngine::Enhanced(EnhancedDualClass { classify }),
+        }
+    }
+}
+
+impl BufferPolicy for PolicyEngine {
+    #[inline]
+    fn admit(&self, role: Role, ctx: &AdmitCtx) -> Admit {
+        match self {
+            PolicyEngine::NoBuffer(p) => p.admit(role, ctx),
+            PolicyEngine::NarFifo(p) => p.admit(role, ctx),
+            PolicyEngine::Krishnamurthi(p) => p.admit(role, ctx),
+            PolicyEngine::Enhanced(p) => p.admit(role, ctx),
+        }
+    }
+
+    #[inline]
+    fn overflow(&self, role: Role, class: ServiceClass) -> Overflow {
+        match self {
+            PolicyEngine::NoBuffer(p) => p.overflow(role, class),
+            PolicyEngine::NarFifo(p) => p.overflow(role, class),
+            PolicyEngine::Krishnamurthi(p) => p.overflow(role, class),
+            PolicyEngine::Enhanced(p) => p.overflow(role, class),
+        }
+    }
+
+    #[inline]
+    fn on_grant(&self, requested: u32) -> RequestSplit {
+        match self {
+            PolicyEngine::NoBuffer(p) => p.on_grant(requested),
+            PolicyEngine::NarFifo(p) => p.on_grant(requested),
+            PolicyEngine::Krishnamurthi(p) => p.on_grant(requested),
+            PolicyEngine::Enhanced(p) => p.on_grant(requested),
+        }
+    }
+
+    #[inline]
+    fn on_flush(&self) -> FlushOrder {
+        match self {
+            PolicyEngine::NoBuffer(p) => p.on_flush(),
+            PolicyEngine::NarFifo(p) => p.on_flush(),
+            PolicyEngine::Krishnamurthi(p) => p.on_flush(),
+            PolicyEngine::Enhanced(p) => p.on_flush(),
+        }
+    }
+}

@@ -35,6 +35,19 @@ impl Scheme {
     /// The thesis' proposal with classification enabled.
     pub const PROPOSED: Scheme = Scheme::Dual { classify: true };
 
+    /// Every scheme, in the Fig 4.2 legend order (`NAR`, `PAR`, `DUAL`,
+    /// `FH`) with the class-aware proposal after its class-blind
+    /// variant. The single source of truth: figure series, CSV headers,
+    /// CLI listings and exhaustive tests all derive from this array
+    /// instead of repeating the list.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::NarOnly,
+        Scheme::ParOnly,
+        Scheme::Dual { classify: false },
+        Scheme::Dual { classify: true },
+        Scheme::NoBuffer,
+    ];
+
     /// `true` if the mobile host should request buffering at the NAR.
     #[must_use]
     pub fn uses_nar_buffer(self) -> bool {
@@ -75,6 +88,39 @@ impl Scheme {
 impl std::fmt::Display for Scheme {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// Error returned when a string names no [`Scheme`] label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError(String);
+
+impl std::fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown scheme \"{}\" (expected one of: ", self.0)?;
+        for (i, s) in Scheme::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(s.label())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+impl std::str::FromStr for Scheme {
+    type Err = ParseSchemeError;
+
+    /// Parses a figure-legend label (`FH`, `NAR`, `PAR`, `DUAL`,
+    /// `DUAL+class`), case-insensitively — the exact round trip of
+    /// [`Scheme::label`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scheme::ALL
+            .into_iter()
+            .find(|scheme| scheme.label().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseSchemeError(s.to_owned()))
     }
 }
 
@@ -243,6 +289,24 @@ mod tests {
         assert_eq!(Scheme::ParOnly.label(), "PAR");
         assert_eq!(Scheme::Dual { classify: false }.to_string(), "DUAL");
         assert_eq!(Scheme::PROPOSED.to_string(), "DUAL+class");
+    }
+
+    #[test]
+    fn all_is_exhaustive_and_labels_round_trip() {
+        // Every variant appears exactly once …
+        assert_eq!(Scheme::ALL.len(), 5);
+        for (i, a) in Scheme::ALL.iter().enumerate() {
+            for b in &Scheme::ALL[i + 1..] {
+                assert_ne!(a, b, "duplicate entry in Scheme::ALL");
+            }
+        }
+        // … and label → parse is the identity, case-insensitively.
+        for scheme in Scheme::ALL {
+            assert_eq!(scheme.label().parse::<Scheme>(), Ok(scheme));
+            assert_eq!(scheme.label().to_lowercase().parse::<Scheme>(), Ok(scheme));
+        }
+        let err = "bogus".parse::<Scheme>().unwrap_err();
+        assert!(err.to_string().contains("DUAL+class"), "{err}");
     }
 
     #[test]

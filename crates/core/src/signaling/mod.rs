@@ -1,0 +1,24 @@
+//! The signaling layer: FMIPv6 + BI/BA/BF state machines.
+//!
+//! Top layer of the access-router stack (policy ← datapath ←
+//! **signaling**). Each protocol role is its own module with a typed
+//! state machine:
+//!
+//! * [`par`] — the previous access router: RtSolPr+BI intake, the HI+BR /
+//!   HAck+BA negotiation (with optional retransmission hardening),
+//!   PrRtAdv, FBU-triggered redirection and the BF-triggered flush.
+//! * [`nar`] — the new access router: HI admission and grants, tunnel
+//!   ingress during the black-out, BufferFull spill-back, FNA+BF arrival
+//!   and the over-the-air flush.
+//! * [`mh`] — the mobile host: trigger handling, the RtSolPr+BI → FBU →
+//!   FNA+BF choreography and MAP binding updates.
+//!
+//! The role modules own session state and drive transitions through
+//! typed events ([`par::ParEvent`], [`nar::NarEvent`]); every packet they
+//! touch is handed to the [`crate::datapath`] pipeline, and every
+//! per-packet decision comes from the [`crate::policy`] layer. Signaling
+//! never parks, drops or transmits a packet itself.
+
+pub(crate) mod mh;
+pub(crate) mod nar;
+pub(crate) mod par;

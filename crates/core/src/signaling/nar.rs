@@ -1,0 +1,227 @@
+//! NAR-role signaling: the new access router's state machine.
+//!
+//! Covers HI admission (grants, host-route install, HAck), tunnel
+//! ingress during the black-out (delegated to the datapath pipeline,
+//! which reports back BufferFull spill-back), and the FNA+BF arrival
+//! that releases the buffer over the air.
+
+use std::net::Ipv6Addr;
+
+use fh_net::{
+    msg::{AckStatus, AuthToken, BufferAck, BufferRequest},
+    ControlMsg, NetCtx, NodeId, Packet,
+};
+use fh_wireless::RadioWorld;
+
+use crate::ar::ArAgent;
+use crate::datapath::{FlushTarget, TunnelVerdict, TunnelView};
+
+/// A typed transition event for the NAR session lifecycle. The machine
+/// is two booleans rather than an enum — `buffering` (until the host
+/// attaches) and `full_notified` (once BufferFull has been sent) — but
+/// every mutation still routes through [`NarSession::on`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NarEvent {
+    /// The host attached (FNA): stop parking, deliver directly.
+    HostAttached,
+    /// The datapath sent BufferFull: the session is spilling to the PAR.
+    SpillStarted,
+}
+
+/// NAR-role per-handover session state.
+#[derive(Debug)]
+pub(crate) struct NarSession {
+    pub(crate) mh_l2: NodeId,
+    pub(crate) par_addr: Ipv6Addr,
+    pub(crate) granted: u32,
+    /// `true` until the host attaches and the buffer is flushed.
+    pub(crate) buffering: bool,
+    pub(crate) full_notified: bool,
+    pub(crate) lifetime_token: u64,
+    pub(crate) auth: Option<AuthToken>,
+}
+
+impl NarSession {
+    /// Applies a lifecycle event. Events are monotonic (neither flag is
+    /// ever cleared), so duplicates are naturally idempotent.
+    pub(crate) fn on(&mut self, event: NarEvent) {
+        match event {
+            NarEvent::HostAttached => self.buffering = false,
+            NarEvent::SpillStarted => self.full_notified = true,
+        }
+    }
+}
+
+impl ArAgent {
+    /// HI, NAR side: grant space, install the host route, acknowledge.
+    #[allow(clippy::too_many_arguments)] // mirrors the HI wire format
+    pub(crate) fn on_hi<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        par_addr: Ipv6Addr,
+        pcoa: Ipv6Addr,
+        mh_l2: NodeId,
+        br: Option<BufferRequest>,
+        per_class: Option<[u32; 3]>,
+        auth: Option<AuthToken>,
+    ) {
+        if self.config.rtx.enabled {
+            if let Some(sess) = self.nar_sessions.get(&pcoa) {
+                // Duplicate HI (our HAck was lost): keep the existing
+                // session — re-inserting would restart buffering after the
+                // host already attached — and just acknowledge again.
+                let hack = ControlMsg::HandoverAck {
+                    pcoa,
+                    status: AckStatus::Accepted,
+                    ba: br.is_some().then_some(BufferAck {
+                        nar_granted: sess.granted,
+                        par_granted: 0,
+                    }),
+                };
+                self.dp.send_control_wired(ctx, par_addr, hack);
+                return;
+            }
+        }
+        let requested = br.as_ref().map_or(0, |b| b.size);
+        let granted = if requested > 0 && self.config.scheme.uses_nar_buffer() {
+            match (self.config.precise_negotiation, per_class) {
+                (true, Some(pc)) => {
+                    // Precise extension (future work §5): per-class shares,
+                    // granted partially in priority order and enforced at
+                    // admission time.
+                    self.dp.pool.grant_per_class(pcoa, pc).iter().sum()
+                }
+                (true, None) => {
+                    // Precise mode against a legacy peer: grant what fits.
+                    let fit = requested.min(self.dp.pool.unreserved() as u32);
+                    if fit > 0 {
+                        self.dp.pool.grant(pcoa, fit)
+                    } else {
+                        self.dp.pool.open_unreserved(pcoa);
+                        0
+                    }
+                }
+                (false, _) => self.dp.pool.grant(pcoa, requested),
+            }
+        } else {
+            self.dp.pool.open_unreserved(pcoa);
+            0
+        };
+        self.metrics.nar_sessions += 1;
+        let lifetime = br
+            .as_ref()
+            .map_or(self.config.reservation_lifetime, |b| b.lifetime);
+        let lifetime_token = self.arm_session_lifetime(ctx, pcoa, lifetime);
+        // Host route: deliveries for the PCoA now go over our radio.
+        self.install_route(ctx, pcoa, mh_l2);
+        self.nar_sessions.insert(
+            pcoa,
+            NarSession {
+                mh_l2,
+                par_addr,
+                granted,
+                buffering: true,
+                full_notified: false,
+                lifetime_token,
+                auth,
+            },
+        );
+        let hack = ControlMsg::HandoverAck {
+            pcoa,
+            status: AckStatus::Accepted,
+            ba: br.is_some().then_some(BufferAck {
+                nar_granted: granted,
+                par_granted: 0,
+            }),
+        };
+        self.dp.send_control_wired(ctx, par_addr, hack);
+    }
+
+    /// FNA (+BF): the host arrived on our link (buffer release, §3.2.2.3).
+    pub(crate) fn on_fna<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        from: NodeId,
+        ncoa: Ipv6Addr,
+        pcoa: Ipv6Addr,
+        bf: bool,
+        auth: Option<AuthToken>,
+    ) {
+        if let Some(sess) = self.nar_sessions.get(&pcoa) {
+            if self.config.auth_required && sess.auth != auth {
+                self.metrics.auth_rejections += 1;
+                return;
+            }
+        } else if self.config.auth_required && pcoa != ncoa {
+            // An inter-router arrival we never agreed to.
+            self.metrics.auth_rejections += 1;
+            return;
+        }
+        // Install neighbor entries: the new address, and the previous one
+        // (the host keeps receiving tunneled PCoA traffic until the MAP
+        // binding update completes).
+        self.install_route(ctx, ncoa, from);
+        self.install_route(ctx, pcoa, from);
+        if let Some(sess) = self.nar_sessions.get_mut(&pcoa) {
+            sess.on(NarEvent::HostAttached);
+            let par_addr = sess.par_addr;
+            if bf {
+                self.flush_nar(ctx, pcoa, from);
+                let bf_msg = ControlMsg::BufferForward { pcoa };
+                self.dp.send_control_wired(ctx, par_addr, bf_msg);
+            }
+        }
+    }
+
+    /// A packet tunneled to us for a handover host (NAR role): snapshot
+    /// the session into a [`TunnelView`] and run the datapath pipeline.
+    pub(crate) fn on_tunneled<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, inner: Packet) {
+        let pcoa = inner.dst;
+        let Some(sess) = self.nar_sessions.get(&pcoa) else {
+            // No session (stragglers after release, or no-anticipation):
+            // plain delivery attempt.
+            self.deliver_or_forward(ctx, inner);
+            return;
+        };
+        let view = TunnelView {
+            mh: sess.mh_l2,
+            peer: sess.par_addr,
+            granted: sess.granted,
+            already_spilling: sess.full_notified,
+        };
+        if !sess.buffering {
+            self.deliver_or_forward(ctx, inner);
+            return;
+        }
+        match self
+            .dp
+            .ingress_tunneled(ctx, &self.config, pcoa, view, inner)
+        {
+            TunnelVerdict::Done => {}
+            TunnelVerdict::PeerNotified => {
+                if let Some(sess) = self.nar_sessions.get_mut(&pcoa) {
+                    sess.on(NarEvent::SpillStarted);
+                }
+                self.metrics.buffer_full_sent += 1;
+            }
+        }
+    }
+
+    /// Flushes the NAR buffer over the air (FNA+BF received).
+    pub(crate) fn flush_nar<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        pcoa: Ipv6Addr,
+        mh: NodeId,
+    ) {
+        self.metrics.flushes += 1;
+        let ar = self.dp.node;
+        let pkts = self.dp.pool.session_len(pcoa);
+        fh_net::record_trace(ctx, || fh_net::TraceEvent::BufferFlush {
+            ar,
+            path: "nar",
+            pkts,
+        });
+        self.start_flush(ctx, pcoa, FlushTarget::Radio(mh));
+    }
+}

@@ -249,7 +249,7 @@ fn cancel_request_releases_the_reservation() {
         },
     );
     rig.sim.run_until(SimTime::from_millis(200));
-    assert_eq!(rig.par_agent().pool.granted(rig.pcoa), 5, "half at PAR");
+    assert_eq!(rig.par_agent().pool().granted(rig.pcoa), 5, "half at PAR");
     rig.uplink_from_mh(
         rig.par,
         ControlMsg::RtSolPr {
@@ -258,8 +258,12 @@ fn cancel_request_releases_the_reservation() {
         },
     );
     rig.sim.run_until(SimTime::from_millis(300));
-    assert_eq!(rig.par_agent().pool.granted(rig.pcoa), 0, "cancel frees it");
-    assert!(!rig.par_agent().pool.has_session(rig.pcoa));
+    assert_eq!(
+        rig.par_agent().pool().granted(rig.pcoa),
+        0,
+        "cancel frees it"
+    );
+    assert!(!rig.par_agent().pool().has_session(rig.pcoa));
 }
 
 #[test]
@@ -309,7 +313,7 @@ fn start_time_auto_buffers_without_fbu() {
     );
     rig.sim.run_until(SimTime::from_millis(800));
     // The packet must be parked in a buffer, not lost.
-    let buffered = rig.par_agent().pool.used() + rig.nar_agent().pool.used();
+    let buffered = rig.par_agent().pool().used() + rig.nar_agent().pool().used();
     assert_eq!(buffered, 1, "auto-start must be buffering by now");
     assert_eq!(rig.sim.shared.stats.total_drops(), 0);
 }
@@ -398,8 +402,8 @@ fn no_buffer_scheme_solicits_without_bi() {
     );
     rig.sim.run_until(SimTime::from_secs(5));
     assert_eq!(rig.mh_agent().handoffs, 1, "handover still works");
-    assert_eq!(rig.nar_agent().pool.stats.admitted, 0, "nothing buffered");
-    assert_eq!(rig.par_agent().pool.stats.admitted, 0);
+    assert_eq!(rig.nar_agent().pool().stats.admitted, 0, "nothing buffered");
+    assert_eq!(rig.par_agent().pool().stats.admitted, 0);
     assert_eq!(rig.sim.shared.stats.piggybacked, 0, "no buffer options");
 }
 
@@ -445,9 +449,9 @@ fn precise_negotiation_grants_partially() {
     assert_eq!(rig.mh_agent().handoffs, 1);
     let nar = rig.nar_agent();
     assert!(
-        nar.pool.stats.admitted > 0,
+        nar.pool().stats.admitted > 0,
         "partial grant must have buffered something: {:?}",
-        nar.pool.stats
+        nar.pool().stats
     );
 }
 
@@ -462,7 +466,7 @@ fn oversized_binary_request_degenerates_to_no_grant() {
     assert_eq!(rig.mh_agent().handoffs, 1, "handover completes regardless");
     // All-or-nothing negotiation granted nothing: every black-out packet
     // was forwarded unbuffered and died at the radio.
-    assert_eq!(rig.nar_agent().pool.stats.admitted, 0);
+    assert_eq!(rig.nar_agent().pool().stats.admitted, 0);
     assert!(
         rig.sim
             .shared
@@ -529,7 +533,7 @@ fn guard_buffering_parks_and_flushes_on_demand() {
         );
     }
     rig.sim.run_until(SimTime::from_millis(300));
-    assert_eq!(rig.par_agent().pool.used(), 5, "packets parked");
+    assert_eq!(rig.par_agent().pool().used(), 5, "packets parked");
     assert!(rig
         .sim
         .actor::<MhHost>(rig.mh)
@@ -539,7 +543,7 @@ fn guard_buffering_parks_and_flushes_on_demand() {
     // Release: everything arrives.
     rig.uplink_from_mh(rig.par, ControlMsg::BufferForward { pcoa });
     rig.sim.run_until(SimTime::from_millis(400));
-    assert_eq!(rig.par_agent().pool.used(), 0);
+    assert_eq!(rig.par_agent().pool().used(), 0);
     assert_eq!(
         rig.sim.actor::<MhHost>(rig.mh).expect("mh").delivered.len(),
         5,
@@ -585,12 +589,12 @@ fn guard_buffering_cancel_delivers_what_was_parked() {
         },
     );
     rig.sim.run_until(SimTime::from_millis(200));
-    assert_eq!(rig.par_agent().pool.used(), 1);
+    assert_eq!(rig.par_agent().pool().used(), 1);
     // Cancel with the zero BI.
     rig.uplink_from_mh(rig.par, ControlMsg::BufferInit(BufferInit::cancel()));
     rig.sim.run_until(SimTime::from_millis(300));
-    assert_eq!(rig.par_agent().pool.used(), 0);
-    assert!(!rig.par_agent().pool.has_session(pcoa));
+    assert_eq!(rig.par_agent().pool().used(), 0);
+    assert!(!rig.par_agent().pool().has_session(pcoa));
     assert_eq!(
         rig.sim.actor::<MhHost>(rig.mh).expect("mh").delivered.len(),
         1,
@@ -646,8 +650,8 @@ fn zero_capacity_case4_follows_table_3_3() {
     assert_eq!(rig.mh_agent().handoffs, 1, "handover must still complete");
     assert_eq!(rig.par_agent().metrics.case_counts, [0, 0, 0, 1]);
     // Nothing was admitted to either buffer…
-    assert_eq!(rig.par_agent().pool.stats.admitted, 0);
-    assert_eq!(rig.nar_agent().pool.stats.admitted, 0);
+    assert_eq!(rig.par_agent().pool().stats.admitted, 0);
+    assert_eq!(rig.nar_agent().pool().stats.admitted, 0);
     let stats = &rig.sim.shared.stats;
     // …best effort died at the PAR's policy decision, nowhere else…
     assert_eq!(stats.drops(fh_net::DropReason::Policy), 12);
@@ -706,7 +710,7 @@ fn paced_flush_increases_tail_delay() {
         inject_blackout_traffic(&mut rig, 8);
         let mut t = SimTime::from_millis(1_405);
         rig.sim.run_until(t);
-        while (rig.nar_agent().pool.used() > 0 || rig.par_agent().pool.used() > 0)
+        while (rig.nar_agent().pool().used() > 0 || rig.par_agent().pool().used() > 0)
             && t < SimTime::from_secs(4)
         {
             t += SimDuration::from_millis(1);
@@ -824,7 +828,7 @@ fn guarded_radio_pause_is_lossless() {
         .collect();
     assert_eq!(got.len(), 50, "the 400 ms pause must lose nothing: {got:?}");
     assert_eq!(rig.par_agent().metrics.guard_sessions, 1);
-    assert_eq!(rig.par_agent().pool.used(), 0, "buffer fully drained");
+    assert_eq!(rig.par_agent().pool().used(), 0, "buffer fully drained");
 }
 
 #[test]
@@ -875,7 +879,7 @@ fn unreleased_guard_episode_expires_and_reclaims() {
     }
     rig.sim.run_until(SimTime::from_secs(1));
     assert_eq!(
-        rig.par_agent().pool.used(),
+        rig.par_agent().pool().used(),
         8,
         "traffic parked by the guard"
     );
@@ -883,8 +887,8 @@ fn unreleased_guard_episode_expires_and_reclaims() {
     rig.sim.run_until(SimTime::from_secs(4));
     let par_agent = rig.par_agent();
     assert_eq!(par_agent.metrics.guard_expired, 1);
-    assert_eq!(par_agent.pool.used(), 0, "reservation reclaimed");
-    assert!(!par_agent.pool.has_session(pcoa));
+    assert_eq!(par_agent.pool().used(), 0, "reservation reclaimed");
+    assert!(!par_agent.pool().has_session(pcoa));
     let stats = &rig.sim.shared.stats;
     assert_eq!(stats.drops(fh_net::DropReason::Expired), 8);
     stats.assert_conservation();

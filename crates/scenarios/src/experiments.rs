@@ -88,12 +88,12 @@ pub fn buffer_utilization(
     params: BufferUtilizationParams,
     threads: usize,
 ) -> BufferUtilizationResult {
-    let schemes = [
-        Scheme::NarOnly,
-        Scheme::ParOnly,
-        Scheme::Dual { classify: false },
-        Scheme::NoBuffer,
-    ];
+    // Fig 4.2 plots the class-blind schemes; `Scheme::ALL` already carries
+    // the legend order, so the series just drops the class-aware variant.
+    let schemes: Vec<Scheme> = Scheme::ALL
+        .into_iter()
+        .filter(|s| !s.classifies())
+        .collect();
     let mut grid = Vec::with_capacity(schemes.len() * params.max_mhs);
     for &scheme in &schemes {
         for n in 1..=params.max_mhs {

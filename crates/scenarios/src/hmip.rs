@@ -237,15 +237,15 @@ impl HmipScenario {
         );
         {
             let par_agent = &mut sim.actor_mut::<ArNode>(par_node).expect("par").agent;
-            par_agent.node = par_node;
-            par_agent.aps = vec![par_ap];
+            par_agent.set_node(par_node);
+            par_agent.set_aps(vec![par_ap]);
             par_agent.learn_ap(nar_ap, nar_addr);
             par_agent.node_fault = cfg.par_fault;
         }
         {
             let nar_agent = &mut sim.actor_mut::<ArNode>(nar_node).expect("nar").agent;
-            nar_agent.node = nar_node;
-            nar_agent.aps = vec![nar_ap];
+            nar_agent.set_node(nar_node);
+            nar_agent.set_aps(vec![nar_ap]);
             nar_agent.learn_ap(par_ap, par_addr);
             nar_agent.node_fault = cfg.nar_fault;
         }

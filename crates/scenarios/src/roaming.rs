@@ -174,14 +174,14 @@ impl RoamingScenario {
             .add_ap(ar2, Position::new(212.0, 0.0), 112.0);
         {
             let a = &mut sim.actor_mut::<ArNode>(ar1).expect("ar1").agent;
-            a.node = ar1;
-            a.aps = vec![ap0];
+            a.set_node(ar1);
+            a.set_aps(vec![ap0]);
             a.learn_ap(ap1, ar2_addr);
         }
         {
             let a = &mut sim.actor_mut::<ArNode>(ar2).expect("ar2").agent;
-            a.node = ar2;
-            a.aps = vec![ap1];
+            a.set_node(ar2);
+            a.set_aps(vec![ap1]);
             a.learn_ap(ap0, ar1_addr);
         }
 

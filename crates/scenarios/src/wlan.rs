@@ -110,8 +110,8 @@ impl WlanScenario {
         let ap1 = sim.shared.radio.add_ap(ar, Position::new(100.0, 0.0), 70.0);
         {
             let agent = &mut sim.actor_mut::<ArNode>(ar).expect("ar").agent;
-            agent.node = ar;
-            agent.aps = vec![ap0, ap1];
+            agent.set_node(ar);
+            agent.set_aps(vec![ap0, ap1]);
         }
 
         // The mobile host walks from cell 0 into cell 1.

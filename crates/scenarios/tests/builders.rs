@@ -122,8 +122,8 @@ fn scheme_capacity_is_respected_by_builders() {
             buffer_capacity: capacity,
             ..HmipConfig::default()
         });
-        assert_eq!(s.par_agent().pool.capacity(), capacity);
-        assert_eq!(s.nar_agent().pool.capacity(), capacity);
+        assert_eq!(s.par_agent().pool().capacity(), capacity);
+        assert_eq!(s.nar_agent().pool().capacity(), capacity);
     }
 }
 

@@ -48,11 +48,15 @@ fn main() {
     let nar = scenario.nar_agent();
     println!(
         "\nPAR: sessions={} flushes={} buffered-stats={:?}",
-        par.metrics.par_sessions, par.metrics.flushes, par.pool.stats
+        par.metrics.par_sessions,
+        par.metrics.flushes,
+        par.pool().stats
     );
     println!(
         "NAR: sessions={} flushes={} buffered-stats={:?}",
-        nar.metrics.nar_sessions, nar.metrics.flushes, nar.pool.stats
+        nar.metrics.nar_sessions,
+        nar.metrics.flushes,
+        nar.pool().stats
     );
     println!(
         "MAP: tunneled={} bindings={}",

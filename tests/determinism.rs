@@ -143,11 +143,11 @@ fn invariants_hold_across_a_seed_sweep() {
             );
             assert_eq!(s.flow_sink(f).duplicates(), 0, "seed {seed}: no dups");
         }
-        assert_eq!(s.par_agent().pool.used(), 0, "seed {seed}: PAR drained");
-        assert_eq!(s.nar_agent().pool.used(), 0, "seed {seed}: NAR drained");
+        assert_eq!(s.par_agent().pool().used(), 0, "seed {seed}: PAR drained");
+        assert_eq!(s.nar_agent().pool().used(), 0, "seed {seed}: NAR drained");
         assert_eq!(
-            s.par_agent().pool.unreserved(),
-            s.par_agent().pool.capacity(),
+            s.par_agent().pool().unreserved(),
+            s.par_agent().pool().capacity(),
             "seed {seed}: reservations reclaimed"
         );
     }

@@ -64,10 +64,10 @@ fn lost_hack_leaves_no_stranded_buffer_space() {
     // The NAR granted space when it processed the HI; the host never
     // completed the anticipated handover, so that session must have been
     // reclaimed by its lifetime.
-    assert_eq!(s.nar_agent().pool.used(), 0, "no stranded packets");
+    assert_eq!(s.nar_agent().pool().used(), 0, "no stranded packets");
     assert_eq!(
-        s.nar_agent().pool.unreserved(),
-        s.nar_agent().pool.capacity(),
+        s.nar_agent().pool().unreserved(),
+        s.nar_agent().pool().capacity(),
         "no stranded reservations"
     );
     assert_eq!(s.mh_agent(0).handoffs, 1, "host still recovered");
@@ -99,10 +99,10 @@ fn lost_bf_relay_expires_the_par_buffer_instead_of_leaking() {
             > 0,
         "stranded PAR packets must be reclaimed via the lifetime"
     );
-    assert_eq!(s.par_agent().pool.used(), 0);
+    assert_eq!(s.par_agent().pool().used(), 0);
     assert_eq!(
-        s.par_agent().pool.unreserved(),
-        s.par_agent().pool.capacity()
+        s.par_agent().pool().unreserved(),
+        s.par_agent().pool().capacity()
     );
 }
 

@@ -129,14 +129,15 @@ fn handover_is_lossless_when_buffers_suffice() {
 fn buffers_fill_during_blackout_and_drain_completely() {
     let scenario = one_way();
     let nar = scenario.nar_agent();
-    assert!(nar.pool.stats.admitted > 0, "the NAR must have buffered");
+    assert!(nar.pool().stats.admitted > 0, "the NAR must have buffered");
     assert_eq!(
-        nar.pool.stats.admitted, nar.pool.stats.flushed,
+        nar.pool().stats.admitted,
+        nar.pool().stats.flushed,
         "everything admitted must be flushed: {:?}",
-        nar.pool.stats
+        nar.pool().stats
     );
-    assert_eq!(nar.pool.used(), 0, "no packet may linger");
-    assert_eq!(scenario.par_agent().pool.used(), 0);
+    assert_eq!(nar.pool().used(), 0, "no packet may linger");
+    assert_eq!(scenario.par_agent().pool().used(), 0);
     assert_eq!(nar.metrics.flushes, 1);
 }
 
@@ -276,6 +277,6 @@ fn crossing_hosts_exercise_both_roles_simultaneously() {
         assert_eq!(agent.metrics.nar_sessions, 1);
     }
     // And everything drained.
-    assert_eq!(scenario.par_agent().pool.used(), 0);
-    assert_eq!(scenario.nar_agent().pool.used(), 0);
+    assert_eq!(scenario.par_agent().pool().used(), 0);
+    assert_eq!(scenario.nar_agent().pool().used(), 0);
 }

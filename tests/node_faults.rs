@@ -139,8 +139,8 @@ fn mh_power_loss_mid_handover_frees_the_orphaned_buffer() {
         "orphaned buffers must expire: {:?}",
         stats.drops_by_reason()
     );
-    assert_eq!(s.nar_agent().pool.used(), 0, "no packet may stay parked");
-    assert_eq!(s.par_agent().pool.used(), 0);
+    assert_eq!(s.nar_agent().pool().used(), 0, "no packet may stay parked");
+    assert_eq!(s.par_agent().pool().used(), 0);
     assert!(s.flow_losses(f) > 0, "a dead host stops receiving");
 
     let _failed = s.finalize();
