@@ -159,6 +159,45 @@ fn bench_policy_dispatch(c: &mut Criterion) {
         })
     });
 
+    // What the datapath runs after the batch refactor: one
+    // `classify_batch` per (role, session snapshot), then a table lookup
+    // per packet. Same verdicts, same fold — the timed difference is the
+    // amortized dispatch. The snapshot loop mirrors the grid with the
+    // class dimension innermost, so the checksum matches `engine_enum`
+    // (the fold is commutative).
+    g.bench_function("engine_batch", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for scheme in Scheme::ALL {
+                for case in CASES {
+                    for nar_full in [false, true] {
+                        for par_granted in [false, true] {
+                            let base = AdmitCtx {
+                                case,
+                                class: ServiceClass::Unspecified,
+                                nar_full,
+                                par_granted,
+                                threshold_a: 10,
+                            };
+                            let engine = PolicyEngine::for_scheme(scheme);
+                            let par_v = engine.classify_batch(Role::Par, &base);
+                            let nar_v = engine.classify_batch(Role::Nar, &base);
+                            for class in CLASSES {
+                                acc = fold(
+                                    acc,
+                                    par_v.admit(class),
+                                    nar_v.admit(class),
+                                    nar_v.overflow(class),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+
     // The road not taken: vtable dispatch. Boxes are built outside the
     // timed loop so this measures dispatch, not allocation.
     let boxed: Vec<(Box<dyn BufferPolicy>, AdmitCtx)> = grid

@@ -496,9 +496,8 @@ impl ArAgent {
         target: FlushTarget,
     ) {
         if self.config.flush_spacing.is_zero() {
-            for pkt in self.dp.pool.drain(pcoa) {
-                self.dp.flush_one(ctx, target, pkt);
-            }
+            let pkts = self.dp.pool.drain(pcoa);
+            self.dp.flush_batch(ctx, target, pkts);
             return;
         }
         let token = self.fresh_token(pcoa);

@@ -15,11 +15,22 @@
 //! Real-time overflow uses drop-front within the session
 //! ([`BufferPool::buffer_realtime_dropfront`]): the oldest real-time packet
 //! is evicted so the freshest samples survive.
+//!
+//! # Storage layout
+//!
+//! Parked packets live in a struct-of-arrays [`PacketPool`] shared by every
+//! session of the router; each session queue is a `VecDeque` of 8-byte
+//! generation-checked [`PacketHandle`]s. Admission accounting and the
+//! drop-front eviction scan read only the pool's dense hot rows
+//! ([`fh_net::PacketSlot`]); a packet's addresses and payload are touched
+//! exactly twice — on admit and on the flush/expire/wipe that takes it back
+//! out — and reassembly is field-for-field exact, so the layout is
+//! invisible to behavior.
 
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv6Addr;
 
-use fh_net::{Packet, ServiceClass};
+use fh_net::{Packet, PacketHandle, PacketPool, ServiceClass};
 use serde::{Deserialize, Serialize};
 
 use crate::policy::AdmissionLimit;
@@ -57,15 +68,16 @@ struct SessionBuffer {
     class_grants: Option<[u32; 3]>,
     /// Packets currently queued, per class (`[RT, HP, BE]`).
     class_counts: [u32; 3],
-    queue: VecDeque<Packet>,
+    /// FIFO of handles into the router-wide packet arena.
+    queue: VecDeque<PacketHandle>,
 }
 
 impl SessionBuffer {
-    fn note_admit(&mut self, pkt: &Packet) {
-        self.class_counts[class_index(pkt.class)] += 1;
+    fn note_admit(&mut self, class: ServiceClass) {
+        self.class_counts[class_index(class)] += 1;
     }
-    fn note_remove(&mut self, pkt: &Packet) {
-        self.class_counts[class_index(pkt.class)] -= 1;
+    fn note_remove(&mut self, class: ServiceClass) {
+        self.class_counts[class_index(class)] -= 1;
     }
     /// `true` if the session-level rule admits one more packet of `class`.
     fn class_has_room(&self, class: ServiceClass) -> bool {
@@ -86,6 +98,9 @@ pub struct BufferPool {
     used: usize,
     granted_total: usize,
     sessions: HashMap<Ipv6Addr, SessionBuffer>,
+    /// Struct-of-arrays storage for every parked packet, shared by all
+    /// sessions; session queues hold handles into it.
+    arena: PacketPool,
     /// Lifetime counters.
     pub stats: BufferStats,
 }
@@ -99,6 +114,7 @@ impl BufferPool {
             used: 0,
             granted_total: 0,
             sessions: HashMap::new(),
+            arena: PacketPool::new(),
             stats: BufferStats::default(),
         }
     }
@@ -229,8 +245,9 @@ impl BufferPool {
             self.stats.rejected += 1;
             return Err(pkt);
         }
-        session.note_admit(&pkt);
-        session.queue.push_back(pkt);
+        session.note_admit(pkt.class);
+        let handle = self.arena.insert(pkt);
+        session.queue.push_back(handle);
         self.used += 1;
         self.stats.admitted += 1;
         Ok(())
@@ -258,16 +275,21 @@ impl BufferPool {
                 let Some(session) = self.sessions.get_mut(&key) else {
                     return Err(pkt);
                 };
-                let oldest_rt = session
-                    .queue
-                    .iter()
-                    .position(|p| p.effective_class() == ServiceClass::RealTime);
+                // Drop-front scan over the dense hot rows only; payloads
+                // and addresses stay untouched in the cold columns.
+                let oldest_rt = session.queue.iter().position(|&h| {
+                    self.arena
+                        .slot(h)
+                        .is_some_and(|s| s.effective_class() == ServiceClass::RealTime)
+                });
                 match oldest_rt {
                     Some(idx) => {
-                        let evicted = session.queue.remove(idx).expect("index in range");
-                        session.note_remove(&evicted);
-                        session.note_admit(&pkt);
-                        session.queue.push_back(pkt);
+                        let evicted_h = session.queue.remove(idx).expect("index in range");
+                        let evicted = self.arena.remove(evicted_h).expect("live handle");
+                        session.note_remove(evicted.class);
+                        session.note_admit(pkt.class);
+                        let handle = self.arena.insert(pkt);
+                        session.queue.push_back(handle);
                         // Rejection was counted inside try_buffer; the packet
                         // did get admitted after all, so reclassify it.
                         self.stats.rejected -= 1;
@@ -285,8 +307,9 @@ impl BufferPool {
     /// step of a paced flush). Counts as flushed.
     pub fn pop_front(&mut self, key: Ipv6Addr) -> Option<Packet> {
         let session = self.sessions.get_mut(&key)?;
-        let pkt = session.queue.pop_front()?;
-        session.note_remove(&pkt);
+        let handle = session.queue.pop_front()?;
+        let pkt = self.arena.remove(handle).expect("live handle");
+        session.note_remove(pkt.class);
         self.used -= 1;
         self.stats.flushed += 1;
         Some(pkt)
@@ -298,7 +321,11 @@ impl BufferPool {
         let Some(session) = self.sessions.get_mut(&key) else {
             return Vec::new();
         };
-        let pkts: Vec<Packet> = session.queue.drain(..).collect();
+        let pkts: Vec<Packet> = session
+            .queue
+            .drain(..)
+            .map(|h| self.arena.remove(h).expect("live handle"))
+            .collect();
         session.class_counts = [0; 3];
         self.used -= pkts.len();
         self.stats.flushed += pkts.len() as u64;
@@ -321,7 +348,11 @@ impl BufferPool {
         let Some(session) = self.sessions.remove(&key) else {
             return Vec::new();
         };
-        let pkts: Vec<Packet> = session.queue.into_iter().collect();
+        let pkts: Vec<Packet> = session
+            .queue
+            .into_iter()
+            .map(|h| self.arena.remove(h).expect("live handle"))
+            .collect();
         self.used -= pkts.len();
         self.granted_total -= session.granted as usize;
         self.stats.expired += pkts.len() as u64;
@@ -344,7 +375,12 @@ impl BufferPool {
         keys.sort();
         for k in keys {
             let session = self.sessions.remove(&k).expect("key just listed");
-            pkts.extend(session.queue);
+            pkts.extend(
+                session
+                    .queue
+                    .into_iter()
+                    .map(|h| self.arena.remove(h).expect("live handle")),
+            );
         }
         self.used = 0;
         self.granted_total = 0;

@@ -176,6 +176,68 @@ pub(crate) fn par_spill(class: ServiceClass) -> Overflow {
     }
 }
 
+/// A policy's verdicts for every service class under one `(role,
+/// session)` snapshot — the unit of work for batch classification.
+///
+/// Everything in an [`AdmitCtx`] except the packet class is session
+/// state, constant across one flush: the availability case, the peer's
+/// BufferFull flag, the local grant, and the spill threshold. So instead
+/// of dispatching the [`PolicyEngine`] once per packet, a flush asks the
+/// engine once per *batch* ([`PolicyEngine::classify_batch`]) and then
+/// routes each packet through this table with a branch-free index on its
+/// effective class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassVerdicts {
+    admit: [Admit; 3],
+    overflow: [Overflow; 3],
+}
+
+impl ClassVerdicts {
+    /// The three effective classes, in index order (`Unspecified`
+    /// collapses onto `BestEffort` before lookup).
+    const CLASSES: [ServiceClass; 3] = [
+        ServiceClass::RealTime,
+        ServiceClass::HighPriority,
+        ServiceClass::BestEffort,
+    ];
+
+    #[inline]
+    fn index(class: ServiceClass) -> usize {
+        match class.effective() {
+            ServiceClass::RealTime => 0,
+            ServiceClass::HighPriority => 1,
+            _ => 2,
+        }
+    }
+
+    /// The admission verdict for a packet of `class`.
+    #[must_use]
+    #[inline]
+    pub fn admit(&self, class: ServiceClass) -> Admit {
+        self.admit[Self::index(class)]
+    }
+
+    /// The overflow reaction for a packet of `class`.
+    #[must_use]
+    #[inline]
+    pub fn overflow(&self, class: ServiceClass) -> Overflow {
+        self.overflow[Self::index(class)]
+    }
+}
+
+/// Evaluates one concrete policy for every class. Generic so each
+/// [`PolicyEngine`] arm monomorphizes with the policy's `admit` /
+/// `overflow` inlined — one outer dispatch, straight-line table fill.
+fn classify_with<P: BufferPolicy>(policy: &P, role: Role, ctx: &AdmitCtx) -> ClassVerdicts {
+    let mut admit = [Admit::Drop; 3];
+    let mut overflow = [Overflow::TailDrop; 3];
+    for (i, class) in ClassVerdicts::CLASSES.into_iter().enumerate() {
+        admit[i] = policy.admit(role, &AdmitCtx { class, ..*ctx });
+        overflow[i] = policy.overflow(role, class);
+    }
+    ClassVerdicts { admit, overflow }
+}
+
 /// Zero-cost dispatcher over the built-in policies.
 ///
 /// An enum rather than `dyn BufferPolicy` so the per-packet hot path is
@@ -202,6 +264,24 @@ impl PolicyEngine {
             Scheme::NarOnly => PolicyEngine::NarFifo(NarFifo),
             Scheme::ParOnly => PolicyEngine::Krishnamurthi(KrishnamurthiSmooth),
             Scheme::Dual { classify } => PolicyEngine::Enhanced(EnhancedDualClass { classify }),
+        }
+    }
+
+    /// Precomputes the verdicts for every class in one dispatch.
+    ///
+    /// `ctx.class` is ignored — the returned [`ClassVerdicts`] covers all
+    /// classes; the other `AdmitCtx` fields must hold for the whole
+    /// batch. Equivalent, class by class, to calling
+    /// [`BufferPolicy::admit`] / [`BufferPolicy::overflow`] per packet
+    /// (pinned by the `classify_batch_matches_per_packet_dispatch` test).
+    #[must_use]
+    #[inline]
+    pub fn classify_batch(&self, role: Role, ctx: &AdmitCtx) -> ClassVerdicts {
+        match self {
+            PolicyEngine::NoBuffer(p) => classify_with(p, role, ctx),
+            PolicyEngine::NarFifo(p) => classify_with(p, role, ctx),
+            PolicyEngine::Krishnamurthi(p) => classify_with(p, role, ctx),
+            PolicyEngine::Enhanced(p) => classify_with(p, role, ctx),
         }
     }
 }
@@ -244,6 +324,65 @@ impl BufferPolicy for PolicyEngine {
             PolicyEngine::NarFifo(p) => p.on_flush(),
             PolicyEngine::Krishnamurthi(p) => p.on_flush(),
             PolicyEngine::Enhanced(p) => p.on_flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Batch classification must be a pure cache of the per-packet
+    /// dispatch: for every scheme, role, availability case, session-flag
+    /// combination and class (including `Unspecified`), the table lookup
+    /// equals a fresh `admit` / `overflow` call.
+    #[test]
+    fn classify_batch_matches_per_packet_dispatch() {
+        let engines = [
+            PolicyEngine::for_scheme(Scheme::NoBuffer),
+            PolicyEngine::for_scheme(Scheme::NarOnly),
+            PolicyEngine::for_scheme(Scheme::ParOnly),
+            PolicyEngine::for_scheme(Scheme::Dual { classify: false }),
+            PolicyEngine::for_scheme(Scheme::Dual { classify: true }),
+        ];
+        let cases = [
+            AvailabilityCase::BothAvailable,
+            AvailabilityCase::NarOnly,
+            AvailabilityCase::ParOnly,
+            AvailabilityCase::NoneAvailable,
+        ];
+        for engine in engines {
+            for role in [Role::Par, Role::Nar] {
+                for case in cases {
+                    for nar_full in [false, true] {
+                        for par_granted in [false, true] {
+                            for threshold_a in [0, 4] {
+                                let base = AdmitCtx {
+                                    case,
+                                    class: ServiceClass::Unspecified,
+                                    nar_full,
+                                    par_granted,
+                                    threshold_a,
+                                };
+                                let verdicts = engine.classify_batch(role, &base);
+                                for class in ServiceClass::ALL {
+                                    let ctx = AdmitCtx { class, ..base };
+                                    assert_eq!(
+                                        verdicts.admit(class),
+                                        engine.admit(role, &ctx),
+                                        "admit mismatch: {engine:?} {role:?} {ctx:?}"
+                                    );
+                                    assert_eq!(
+                                        verdicts.overflow(class),
+                                        engine.overflow(role, class),
+                                        "overflow mismatch: {engine:?} {role:?} {class:?}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 }

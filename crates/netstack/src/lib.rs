@@ -63,6 +63,7 @@ pub mod fault;
 mod link;
 pub mod msg;
 mod packet;
+mod pool;
 mod topology;
 pub mod trace;
 mod world;
@@ -73,6 +74,7 @@ pub use fault::{FaultSpec, FaultState, FaultVerdict, GilbertElliott, NodeFaultSp
 pub use link::{Link, LinkError, LinkId, LinkSpec};
 pub use msg::{ApId, ControlMsg};
 pub use packet::{ConnId, FlowId, Packet, Payload, TcpFlags, TcpSegment};
+pub use pool::{PacketHandle, PacketPool, PacketSlot};
 pub use topology::{NodeId, RouteDecision, Topology};
 pub use trace::{TraceEvent, TraceLog};
 pub use world::{

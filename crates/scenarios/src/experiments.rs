@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use fh_core::{HandoffPhase, ProtocolConfig, RetransmitConfig, Scheme};
 use fh_net::{DropReason, FaultSpec, FlowId, ServiceClass};
-use fh_sim::{derive_seed, SimDuration, SimTime};
+use fh_sim::{derive_seed, QueueKind, SimDuration, SimTime};
 
 use crate::hmip::{HmipConfig, HmipScenario, MovementPlan};
 use crate::sweep::parallel_map;
@@ -38,7 +38,7 @@ pub const FLOW_CLASSES: [ServiceClass; 3] = [
 // ---------------------------------------------------------------------
 
 /// One scheme's drop counts versus the number of simultaneous handoffs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchemeSeries {
     /// Figure legend (`NAR`, `PAR`, `DUAL`, `FH`).
     pub label: String,
@@ -88,6 +88,20 @@ pub fn buffer_utilization(
     params: BufferUtilizationParams,
     threads: usize,
 ) -> BufferUtilizationResult {
+    buffer_utilization_with_queue(params, threads, QueueKind::Heap)
+}
+
+/// [`buffer_utilization`] with an explicit event-queue backend.
+///
+/// The backends are bit-identical in pop order, so the returned series
+/// must not depend on `queue` — the `hotpath` gauge runs both and
+/// asserts exactly that while timing them.
+#[must_use]
+pub fn buffer_utilization_with_queue(
+    params: BufferUtilizationParams,
+    threads: usize,
+    queue: QueueKind,
+) -> BufferUtilizationResult {
     // Fig 4.2 plots the class-blind schemes; `Scheme::ALL` already carries
     // the legend order, so the series just drops the class-aware variant.
     let schemes: Vec<Scheme> = Scheme::ALL
@@ -109,6 +123,7 @@ pub fn buffer_utilization(
             buffer_capacity: params.buffer_capacity,
             movement: MovementPlan::OneWay,
             seed: derive_seed(params.seed, (n - 1) as u64),
+            queue,
             ..HmipConfig::default()
         };
         let mut scenario = HmipScenario::build(cfg);

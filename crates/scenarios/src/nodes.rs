@@ -41,6 +41,10 @@ pub struct CnNode {
     pub bindings: BindingCache,
     /// This node's own address (needed to answer binding updates).
     pub addr: Option<std::net::Ipv6Addr>,
+    /// Reusable buffer for segments the TCP sender releases — the 500 ms
+    /// tick and every ACK run through here, so the capacity is allocated
+    /// once per connection lifetime instead of once per event.
+    tcp_out: Vec<Packet>,
 }
 
 impl CnNode {
@@ -57,7 +61,18 @@ impl CnNode {
             tcp_tick: SimDuration::from_millis(500),
             bindings: BindingCache::new(),
             addr: None,
+            tcp_out: Vec::new(),
         }
+    }
+
+    /// Transmits everything the TCP sender queued in `tcp_out`, leaving
+    /// the buffer empty but with its capacity intact.
+    fn transmit_tcp_out(&mut self, ctx: &mut NetCtx<'_, World>) {
+        let mut pkts = std::mem::take(&mut self.tcp_out);
+        for p in pkts.drain(..) {
+            self.transmit(ctx, p);
+        }
+        self.tcp_out = pkts;
     }
 
     fn transmit(&mut self, ctx: &mut NetCtx<'_, World>, mut pkt: Packet) {
@@ -124,10 +139,8 @@ impl Actor<NetMsg, World> for CnNode {
                 // TCP connection establishment.
                 if let Some(tcp) = self.tcp.as_mut() {
                     let now = ctx.now();
-                    let pkts = tcp.on_start(now);
-                    for p in pkts {
-                        self.transmit(ctx, p);
-                    }
+                    tcp.on_start_into(now, &mut self.tcp_out);
+                    self.transmit_tcp_out(ctx);
                     start_timer(ctx, self.tcp_tick, TimerKind::TcpTick, 0);
                 }
             }
@@ -137,10 +150,8 @@ impl Actor<NetMsg, World> for CnNode {
             } => {
                 if let Some(tcp) = self.tcp.as_mut() {
                     let now = ctx.now();
-                    let pkts = tcp.on_tick(now);
-                    for p in pkts {
-                        self.transmit(ctx, p);
-                    }
+                    tcp.on_tick_into(now, &mut self.tcp_out);
+                    self.transmit_tcp_out(ctx);
                     start_timer(ctx, self.tcp_tick, TimerKind::TcpTick, 0);
                 }
             }
@@ -152,10 +163,8 @@ impl Actor<NetMsg, World> for CnNode {
                             let seg = *seg;
                             if let Some(tcp) = self.tcp.as_mut() {
                                 let now = ctx.now();
-                                let out = tcp.on_ack(now, &seg);
-                                for p in out {
-                                    self.transmit(ctx, p);
-                                }
+                                tcp.on_ack_into(now, &seg, &mut self.tcp_out);
+                                self.transmit_tcp_out(ctx);
                             }
                         }
                         Payload::Control(msg) => {

@@ -1,0 +1,345 @@
+//! Calendar-queue backend for the pending-event set.
+//!
+//! A calendar queue (Brown 1988) hashes events into time-sliced buckets —
+//! bucket `b` holds events whose *virtual bucket index* `vb = time / width`
+//! satisfies `vb % nbuckets == b` — so push and pop are O(1) amortized when
+//! the calendar is sized to the live population. This module implements the
+//! backend behind [`EventQueue`](crate::EventQueue) when it is built with
+//! [`QueueKind::Calendar`](crate::QueueKind); the public API, keyed lazy
+//! cancellation, and generation stamps are shared with the binary-heap
+//! backend, and the pop order is **bit-identical** to the heap: strictly
+//! ascending `(time, seq)`, i.e. earliest time first, FIFO within a
+//! timestamp.
+//!
+//! # How ordering stays exact
+//!
+//! Unlike textbook calendar queues that only approximate ordering within a
+//! bucket, `pop` here returns the exact `(time, seq)` minimum:
+//!
+//! * Buckets are scanned in virtual-index order starting at the cursor (the
+//!   virtual index of the last delivered event). Every live entry has
+//!   `vb >= cursor`, so the first virtual bucket containing a live entry of
+//!   its own "year" holds the global minimum time — entries in later buckets
+//!   are at least one full bucket-width later.
+//! * Within that bucket the scan selects the smallest `(time, seq)` pair, so
+//!   simultaneous events are delivered in scheduling order.
+//!
+//! Entries more than one full calendar "year" (`nbuckets * width`) past the
+//! cursor are staged in an `overflow` list and folded in when the bucketed
+//! window drains; a rebuild re-sizes the calendar (bucket count from the
+//! live population, bucket width from the event-time gaps near the head) so
+//! far-future timers cannot force a sparse, slow scan. Cancelled entries are
+//! purged lazily as the scan passes over them, exactly like the heap backend
+//! purges stale markers as they surface.
+
+use crate::queue::{Entry, Slot};
+
+/// Smallest bucket count the calendar will shrink to.
+const MIN_BUCKETS: usize = 16;
+/// Largest bucket count a rebuild will grow to.
+const MAX_BUCKETS: usize = 1 << 20;
+/// Number of head events sampled when estimating the bucket width.
+const WIDTH_SAMPLE: usize = 256;
+
+/// Returns `true` if `entry` no longer owns its payload slot (the event was
+/// cancelled, already delivered, or the slot was recycled by a later push).
+fn is_stale<E>(entry: &Entry, slots: &[Slot<E>]) -> bool {
+    let slot = &slots[entry.slot as usize];
+    slot.seq != entry.seq || slot.event.is_none()
+}
+
+/// Inserts `entry` keeping the bucket sorted by *descending* `(time, seq)`,
+/// so the bucket's minimum — the next candidate to deliver — is always at
+/// the tail where it pops in O(1). Bursts of near-simultaneous events share
+/// a bucket; without the order each pop would rescan the whole burst.
+fn insert_sorted(bucket: &mut Vec<Entry>, entry: Entry) {
+    let p = bucket.partition_point(|e| (e.time, e.seq) > (entry.time, entry.seq));
+    bucket.insert(p, entry);
+}
+
+/// The bucketed event store. Payloads live in the [`EventQueue`]'s slot
+/// arena; the calendar only shuffles 24-byte [`Entry`] records.
+///
+/// [`EventQueue`]: crate::EventQueue
+#[derive(Debug, Clone)]
+pub(crate) struct Calendar {
+    /// Power-of-two array of year-sliced buckets.
+    buckets: Vec<Vec<Entry>>,
+    /// Entries scheduled beyond the current calendar year, folded in when
+    /// the bucketed window drains.
+    overflow: Vec<Entry>,
+    /// Nanoseconds spanned by one bucket; always at least 1.
+    width: u64,
+    /// Virtual bucket index the next scan starts from. Every live entry has
+    /// a virtual index `>= cursor_vb` (pop order is nondecreasing, and a
+    /// rare past-time push moves the cursor back).
+    cursor_vb: u64,
+    /// Entries currently held in `buckets`, including stale ones.
+    stored: usize,
+    /// Smallest virtual bucket index of any entry in `overflow`
+    /// (`u64::MAX` when none). The scan must never advance past this
+    /// watermark without folding the overflow back in, or a staged entry
+    /// could be delivered late.
+    overflow_min_vb: u64,
+    /// Cached location of the minimum live entry found by the last scan:
+    /// `(physical bucket, index, seq)`. The seq stamp revalidates the slot
+    /// before reuse; pushes of earlier events and cancels of the cached
+    /// entry invalidate it.
+    peeked: Option<(usize, usize, u64)>,
+}
+
+impl Calendar {
+    pub(crate) fn new() -> Self {
+        Calendar {
+            buckets: vec![Vec::new(); MIN_BUCKETS],
+            overflow: Vec::new(),
+            // ~1 ms start; the first rebuild re-derives it from real gaps.
+            width: 1 << 20,
+            cursor_vb: 0,
+            stored: 0,
+            overflow_min_vb: u64::MAX,
+            peeked: None,
+        }
+    }
+
+    /// One past the last virtual index that maps into `buckets`.
+    fn horizon(&self) -> u64 {
+        self.cursor_vb.saturating_add(self.buckets.len() as u64)
+    }
+
+    fn vb_of(&self, entry: &Entry) -> u64 {
+        entry.time.as_nanos() / self.width
+    }
+
+    pub(crate) fn push<E>(&mut self, entry: Entry, slots: &[Slot<E>]) {
+        if self.stored + self.overflow.len() >= 2 * self.buckets.len()
+            && self.buckets.len() < MAX_BUCKETS
+        {
+            self.rebuild(slots);
+        }
+        let vb = self.vb_of(&entry);
+        if vb < self.cursor_vb {
+            // Past-time push: move the scan start back so it is not missed.
+            self.cursor_vb = vb;
+        }
+        if let Some((b, i, _)) = self.peeked {
+            let cached = self.buckets[b][i];
+            if (entry.time, entry.seq) < (cached.time, cached.seq) {
+                self.peeked = None;
+            }
+        }
+        if vb < self.horizon() {
+            let n = self.buckets.len() as u64;
+            insert_sorted(&mut self.buckets[(vb % n) as usize], entry);
+            self.stored += 1;
+        } else {
+            self.overflow.push(entry);
+            self.overflow_min_vb = self.overflow_min_vb.min(vb);
+        }
+    }
+
+    /// Invalidates the peek cache if the cancelled push owned it. The entry
+    /// itself stays behind as a stale marker, purged when a scan passes it.
+    pub(crate) fn on_cancel(&mut self, seq: u64) {
+        if let Some((_, _, cached_seq)) = self.peeked {
+            if cached_seq == seq {
+                self.peeked = None;
+            }
+        }
+    }
+
+    /// Returns the minimum live entry without removing it.
+    pub(crate) fn peek<E>(&mut self, slots: &[Slot<E>]) -> Option<Entry> {
+        if let Some((b, i, seq)) = self.peeked {
+            if let Some(e) = self.buckets[b].get(i) {
+                if e.seq == seq {
+                    return Some(*e);
+                }
+            }
+            self.peeked = None;
+        }
+        let (b, i) = self.scan(slots)?;
+        let entry = self.buckets[b][i];
+        self.peeked = Some((b, i, entry.seq));
+        Some(entry)
+    }
+
+    /// Removes and returns the minimum live entry.
+    pub(crate) fn pop_min<E>(&mut self, slots: &[Slot<E>]) -> Option<Entry> {
+        let (b, i) = match self.peeked.take() {
+            Some((b, i, seq)) if self.buckets[b].get(i).is_some_and(|e| e.seq == seq) => (b, i),
+            _ => self.scan(slots)?,
+        };
+        let entry = self.buckets[b].swap_remove(i);
+        self.stored -= 1;
+        if (self.stored + self.overflow.len()) * 8 < self.buckets.len()
+            && self.buckets.len() > MIN_BUCKETS
+        {
+            self.rebuild(slots);
+        }
+        Some(entry)
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.buckets.clear();
+        self.buckets.resize(MIN_BUCKETS, Vec::new());
+        self.overflow.clear();
+        self.width = 1 << 20;
+        self.cursor_vb = 0;
+        self.stored = 0;
+        self.overflow_min_vb = u64::MAX;
+        self.peeked = None;
+    }
+
+    /// Moves every overflow entry whose virtual index now falls inside the
+    /// bucketed window into its bucket, recomputing the watermark. Cheaper
+    /// than a rebuild (no sort, no re-sizing) and guaranteed to migrate at
+    /// least one entry whenever the watermark lies inside the window.
+    fn fold_overflow(&mut self) {
+        let horizon = self.horizon();
+        let n = self.buckets.len() as u64;
+        self.overflow_min_vb = u64::MAX;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let vb = self.vb_of(&self.overflow[i]);
+            if vb < horizon {
+                let entry = self.overflow.swap_remove(i);
+                insert_sorted(&mut self.buckets[(vb % n) as usize], entry);
+                self.stored += 1;
+            } else {
+                self.overflow_min_vb = self.overflow_min_vb.min(vb);
+                i += 1;
+            }
+        }
+    }
+
+    /// Finds the `(bucket, index)` of the minimum live entry, purging stale
+    /// entries the scan passes over. Advances `cursor_vb` to the found
+    /// entry's virtual index.
+    fn scan<E>(&mut self, slots: &[Slot<E>]) -> Option<(usize, usize)> {
+        self.peeked = None;
+        loop {
+            let n = self.buckets.len() as u64;
+            let mut hit_watermark = false;
+            let mut checked = 0u64;
+            while checked < n {
+                let Some(vb) = self.cursor_vb.checked_add(checked) else {
+                    break; // virtual index space exhausted; rebuild below
+                };
+                if vb >= self.overflow_min_vb {
+                    hit_watermark = true;
+                    break; // an overflow entry is due this year; fold it in
+                }
+                checked += 1;
+                let bucket = &mut self.buckets[(vb % n) as usize];
+                // Descending (time, seq) order puts the bucket's minimum at
+                // the tail, and the tail's year is the smallest year in the
+                // bucket. Pop stale tails of this year lazily; a live tail
+                // of this year is the global minimum, and a tail of a later
+                // year means nothing is due at `vb`.
+                while let Some(e) = bucket.last() {
+                    if e.time.as_nanos() / self.width != vb {
+                        break;
+                    }
+                    if is_stale(e, slots) {
+                        bucket.pop();
+                        self.stored -= 1;
+                        continue;
+                    }
+                    self.cursor_vb = vb;
+                    return Some(((vb % n) as usize, bucket.len() - 1));
+                }
+            }
+            if hit_watermark {
+                // An overflow entry is due inside the window. Fold the
+                // overflow in place of a full rebuild: the watermark entry
+                // has `vb < horizon`, so at least one entry migrates into a
+                // bucket at `vb >= cursor_vb` and the next pass finds it
+                // (or a live entry before it).
+                self.fold_overflow();
+                continue;
+            }
+            if self.stored == 0 && !self.overflow.is_empty() {
+                // The bucketed window drained and the next event lies
+                // beyond it — the common "simulated time jumps to the next
+                // timer" case. Jump the cursor straight to the overflow
+                // watermark instead of rebuilding: no sort, no realloc,
+                // O(|overflow|), and the watermark entry lands inside the
+                // new window so the next pass terminates.
+                self.cursor_vb = self.overflow_min_vb;
+                self.fold_overflow();
+                continue;
+            }
+            // Window exhausted: either truly empty, or stale entries from
+            // other years still occupy buckets. A rebuild re-centers the
+            // calendar on the live population; if nothing survives the
+            // stale purge the queue is empty.
+            if !self.rebuild(slots) {
+                return None;
+            }
+        }
+    }
+
+    /// Re-sizes and re-fills the calendar from every held entry, dropping
+    /// stale ones. Returns `false` if no live entries remain.
+    ///
+    /// The bucket count tracks the live population (one entry per bucket on
+    /// average) and the bucket width is estimated from the time gaps among
+    /// the earliest [`WIDTH_SAMPLE`] events — a deliberately *small* width:
+    /// clustered-head workloads stay dense (fast scans) while far-future
+    /// stragglers wait in `overflow` instead of stretching the buckets.
+    fn rebuild<E>(&mut self, slots: &[Slot<E>]) -> bool {
+        self.peeked = None;
+        let mut all: Vec<Entry> = Vec::with_capacity(self.stored + self.overflow.len());
+        for bucket in &mut self.buckets {
+            all.append(bucket);
+        }
+        all.append(&mut self.overflow);
+        all.retain(|e| !is_stale(e, slots));
+        self.stored = 0;
+        if all.is_empty() {
+            return false;
+        }
+
+        let n = all.len();
+        let nbuckets = n.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        // One descending sort serves both the width estimate and the
+        // refill: distributing a descending sequence leaves every bucket
+        // in the descending order `insert_sorted` maintains.
+        all.sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+        let min_t = all[n - 1].time.as_nanos();
+        let k = n.min(WIDTH_SAMPLE);
+        let head_span = all[n - k].time.as_nanos() - min_t;
+        // A tie-burst at the head gives a zero span; fall back to the
+        // population-wide average gap so one burst cannot collapse the
+        // width to a nanosecond and strand every later event in overflow.
+        let est = if head_span > 0 {
+            head_span / k as u64
+        } else {
+            (all[0].time.as_nanos() - min_t) / n as u64
+        };
+        self.width = est.max(1);
+
+        if self.buckets.len() == nbuckets {
+            for bucket in &mut self.buckets {
+                bucket.clear();
+            }
+        } else {
+            self.buckets = vec![Vec::new(); nbuckets];
+        }
+        self.cursor_vb = min_t / self.width;
+        self.overflow_min_vb = u64::MAX;
+        let horizon = self.horizon();
+        for entry in all {
+            let vb = self.vb_of(&entry);
+            if vb < horizon {
+                self.buckets[(vb % nbuckets as u64) as usize].push(entry);
+                self.stored += 1;
+            } else {
+                self.overflow.push(entry);
+                self.overflow_min_vb = self.overflow_min_vb.min(vb);
+            }
+        }
+        true
+    }
+}

@@ -46,6 +46,7 @@
 
 mod actor;
 mod backoff;
+mod calendar;
 mod queue;
 mod rng;
 pub mod stats;
@@ -53,6 +54,6 @@ mod time;
 
 pub use actor::{Actor, ActorId, AsAny, Ctx, Simulator};
 pub use backoff::Backoff;
-pub use queue::{EventKey, EventQueue};
+pub use queue::{EventKey, EventQueue, QueueKind};
 pub use rng::{derive_seed, Rng64};
 pub use time::{SimDuration, SimTime};

@@ -7,14 +7,18 @@
 //!
 //! # Design
 //!
-//! The heap itself stores only small `Copy` entries — `(time, seq, slot)`,
-//! 24 bytes — while event payloads live in a slot arena beside it. Sift
-//! operations therefore move fixed-size records instead of whole events,
-//! and [`EventQueue::cancel`] is O(1): it takes the payload out of its slot
-//! and leaves the heap entry behind as a *stale* marker. `pop` (and
-//! `peek_time`) purge stale markers as they surface. The `seq` stamp doubles
-//! as a generation counter, so a recycled slot can never satisfy an old
-//! [`EventKey`].
+//! The ordering structure stores only small `Copy` entries — `(time, seq,
+//! slot)`, 24 bytes — while event payloads live in a slot arena beside it.
+//! Sift operations therefore move fixed-size records instead of whole
+//! events, and [`EventQueue::cancel`] is O(1): it takes the payload out of
+//! its slot and leaves the ordering entry behind as a *stale* marker. `pop`
+//! (and `peek_time`) purge stale markers as they surface. The `seq` stamp
+//! doubles as a generation counter, so a recycled slot can never satisfy an
+//! old [`EventKey`].
+//!
+//! Two interchangeable backends implement the ordering ([`QueueKind`]): the
+//! default binary heap, and a calendar queue (the `calendar` module) with
+//! O(1) amortized push/pop. Delivery order is bit-identical between them.
 //!
 //! # Examples
 //!
@@ -35,7 +39,25 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::calendar::Calendar;
 use crate::time::SimTime;
+
+/// Selects the ordering structure backing an [`EventQueue`].
+///
+/// Both backends share the slot arena, keyed cancellation, generation
+/// stamps, and the exact `(time, seq)` delivery order — a simulation pops
+/// the same events in the same order under either kind, so the choice is
+/// purely a performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueKind {
+    /// Binary heap of 24-byte entries: O(log n) push/pop, the conservative
+    /// default.
+    #[default]
+    Heap,
+    /// Calendar queue (time-sliced buckets): O(1) amortized push/pop when
+    /// sized to the live population. See the `calendar` module docs.
+    Calendar,
+}
 
 /// A single-use handle to a scheduled event, returned by
 /// [`EventQueue::push`] and redeemed by [`EventQueue::cancel`].
@@ -52,26 +74,34 @@ pub struct EventKey {
 /// An event queue ordered by time, then by insertion order.
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry>,
+    backend: Backend,
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
     seq: u64,
     live: usize,
 }
 
+/// The ordering structure holding `(time, seq, slot)` records; payloads stay
+/// in the slot arena either way.
+#[derive(Debug, Clone)]
+enum Backend {
+    Heap(BinaryHeap<Entry>),
+    Calendar(Calendar),
+}
+
 /// Payload storage for one scheduled event. `seq` identifies the push that
 /// currently owns the slot; a mismatching heap entry or key is stale.
 #[derive(Debug, Clone)]
-struct Slot<E> {
-    seq: u64,
-    event: Option<E>,
+pub(crate) struct Slot<E> {
+    pub(crate) seq: u64,
+    pub(crate) event: Option<E>,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Entry {
-    time: SimTime,
-    seq: u64,
-    slot: u32,
+pub(crate) struct Entry {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) slot: u32,
 }
 
 // Min-heap by (time, seq): invert the comparison.
@@ -93,15 +123,34 @@ impl PartialEq for Entry {
 impl Eq for Entry {}
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue backed by the binary heap.
     #[must_use]
     pub fn new() -> Self {
+        EventQueue::with_kind(QueueKind::Heap)
+    }
+
+    /// Creates an empty queue backed by the requested structure.
+    #[must_use]
+    pub fn with_kind(kind: QueueKind) -> Self {
+        let backend = match kind {
+            QueueKind::Heap => Backend::Heap(BinaryHeap::new()),
+            QueueKind::Calendar => Backend::Calendar(Calendar::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             slots: Vec::new(),
             free: Vec::new(),
             seq: 0,
             live: 0,
+        }
+    }
+
+    /// Which backend this queue was built with.
+    #[must_use]
+    pub fn kind(&self) -> QueueKind {
+        match self.backend {
+            Backend::Heap(_) => QueueKind::Heap,
+            Backend::Calendar(_) => QueueKind::Calendar,
         }
     }
 
@@ -131,15 +180,20 @@ impl<E> EventQueue<E> {
             }
         };
         self.live += 1;
-        self.heap.push(Entry { time, seq, slot });
+        let entry = Entry { time, seq, slot };
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(entry),
+            Backend::Calendar(cal) => cal.push(entry, &self.slots),
+        }
         EventKey { slot, seq }
     }
 
     /// Cancels a scheduled event in O(1), returning its payload.
     ///
     /// Returns `None` if the event already fired, was already cancelled, or
-    /// the key belongs to another queue generation. The heap entry is left
-    /// in place as a stale marker and purged when it reaches the top.
+    /// the key belongs to another queue generation. The backend entry is
+    /// left in place as a stale marker and purged when a pop or peek scan
+    /// passes over it.
     pub fn cancel(&mut self, key: EventKey) -> Option<E> {
         let slot = self.slots.get_mut(key.slot as usize)?;
         if slot.seq != key.seq {
@@ -148,43 +202,55 @@ impl<E> EventQueue<E> {
         let event = slot.event.take()?;
         self.free.push(key.slot);
         self.live -= 1;
+        if let Backend::Calendar(cal) = &mut self.backend {
+            cal.on_cancel(key.seq);
+        }
         Some(event)
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     ///
-    /// Stale heap entries left behind by [`cancel`](Self::cancel) are purged
-    /// as they surface, so amortized cost stays O(log n) per scheduled event.
+    /// Stale entries left behind by [`cancel`](Self::cancel) are purged as
+    /// they surface, so amortized cost stays O(log n) per scheduled event on
+    /// the heap backend and O(1) on the calendar.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            let slot = &mut self.slots[entry.slot as usize];
-            if slot.seq != entry.seq {
-                continue; // slot recycled by a later push
-            }
-            let Some(event) = slot.event.take() else {
-                continue; // cancelled, slot not yet recycled
-            };
-            self.free.push(entry.slot);
-            self.live -= 1;
-            return Some((entry.time, event));
-        }
-        None
+        let entry = match &mut self.backend {
+            Backend::Heap(heap) => loop {
+                let entry = heap.pop()?;
+                let slot = &self.slots[entry.slot as usize];
+                if slot.seq == entry.seq && slot.event.is_some() {
+                    break entry;
+                }
+                // Stale: recycled by a later push, or cancelled.
+            },
+            Backend::Calendar(cal) => cal.pop_min(&self.slots)?,
+        };
+        let slot = &mut self.slots[entry.slot as usize];
+        let event = slot.event.take().expect("backend returned a live entry");
+        self.free.push(entry.slot);
+        self.live -= 1;
+        Some((entry.time, event))
     }
 
     /// The timestamp of the earliest pending event, if any.
     ///
-    /// Takes `&mut self` because stale cancelled entries at the top of the
-    /// heap are purged before reading the time.
+    /// Takes `&mut self` because stale cancelled entries encountered on the
+    /// way to the front are purged before reading the time.
     #[must_use]
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            let slot = &self.slots[entry.slot as usize];
-            if slot.seq == entry.seq && slot.event.is_some() {
-                return Some(entry.time);
+        match &mut self.backend {
+            Backend::Heap(heap) => {
+                while let Some(entry) = heap.peek() {
+                    let slot = &self.slots[entry.slot as usize];
+                    if slot.seq == entry.seq && slot.event.is_some() {
+                        return Some(entry.time);
+                    }
+                    heap.pop();
+                }
+                None
             }
-            self.heap.pop();
+            Backend::Calendar(cal) => cal.peek(&self.slots).map(|e| e.time),
         }
-        None
     }
 
     /// Number of pending (non-cancelled) events.
@@ -201,7 +267,10 @@ impl<E> EventQueue<E> {
 
     /// Removes all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.clear(),
+            Backend::Calendar(cal) => cal.clear(),
+        }
         self.slots.clear();
         self.free.clear();
         self.live = 0;
@@ -369,5 +438,170 @@ mod tests {
         // The hot path sifts `Entry` records; keep them at 24 bytes even for
         // large event payloads.
         assert_eq!(std::mem::size_of::<super::Entry>(), 24);
+    }
+
+    // ---- calendar backend -------------------------------------------------
+
+    /// Every single-queue behavior above, replayed on the calendar backend.
+    fn calendar() -> EventQueue<i32> {
+        EventQueue::with_kind(QueueKind::Calendar)
+    }
+
+    #[test]
+    fn calendar_pops_in_time_order_with_fifo_ties() {
+        let mut q = calendar();
+        q.push(SimTime::from_millis(30), 3);
+        q.push(SimTime::from_millis(10), 1);
+        q.push(SimTime::from_millis(20), 2);
+        let t = SimTime::from_secs(1);
+        for i in 100..200 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let mut expected = vec![1, 2, 3];
+        expected.extend(100..200);
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn calendar_cancel_and_key_semantics() {
+        let mut q = calendar();
+        let stale = q.push(SimTime::from_millis(1), 1);
+        assert_eq!(q.cancel(stale), Some(1));
+        let fresh = q.push(SimTime::from_millis(2), 2);
+        assert_eq!(q.cancel(stale), None); // no aliasing of recycled slots
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.cancel(fresh), Some(2));
+        let popped = q.push(SimTime::from_millis(3), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(3), 3)));
+        assert_eq!(q.cancel(popped), None); // dead after pop
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn calendar_peek_skips_cancelled_head() {
+        let mut q = calendar();
+        let early = q.push(SimTime::from_millis(1), 1);
+        q.push(SimTime::from_millis(5), 5);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        assert_eq!(q.cancel(early), Some(1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+        // A later push that precedes the cached head must displace it.
+        q.push(SimTime::from_millis(2), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(2), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(5), 5)));
+    }
+
+    #[test]
+    fn calendar_bucket_rollover_across_years() {
+        // Spread events over many multiples of the initial bucket window so
+        // pops must cross year boundaries and fold in overflow entries.
+        let mut q = calendar();
+        let mut expected = Vec::new();
+        for i in 0..500i32 {
+            // ~97 ms apart with a 16-bucket, ~1 ms-wide initial calendar:
+            // every event lives in a different "year".
+            q.push(SimTime::from_micros(i as u64 * 97_000), i);
+            expected.push(i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn calendar_far_future_timer_waits_in_overflow() {
+        let mut q = calendar();
+        let doom = q.push(SimTime::from_nanos(u64::MAX), -1);
+        let sentinel = q.push(SimTime::from_nanos(u64::MAX - 1), -2);
+        for i in 0..200 {
+            q.push(SimTime::from_micros(i as u64 * 13), i);
+        }
+        // Near events all pop first, in order.
+        for i in 0..200 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+        // The far-future timer is still cancellable...
+        assert_eq!(q.cancel(sentinel), Some(-2));
+        // ...and the survivor surfaces at the end of time.
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(u64::MAX), -1)));
+        assert!(q.pop().is_none());
+        assert_eq!(q.cancel(doom), None);
+    }
+
+    #[test]
+    fn calendar_interleaved_push_pop_after_rollover() {
+        let mut q = calendar();
+        let mut clock = 0u64;
+        let mut popped = 0;
+        for round in 0..50u64 {
+            // March time forward aggressively so the cursor rolls over.
+            for i in 0..20u64 {
+                q.push(
+                    SimTime::from_micros(clock + 1 + i * 1700),
+                    (round * 20 + i) as i32,
+                );
+            }
+            for _ in 0..15 {
+                let (t, _) = q.pop().unwrap();
+                assert!(t.as_nanos() >= clock * 1000);
+                clock = t.as_nanos() / 1000;
+                popped += 1;
+            }
+        }
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 50 * 20);
+    }
+
+    #[test]
+    fn calendar_matches_heap_under_random_churn() {
+        use crate::rng::Rng64;
+        let mut rng = Rng64::seed_from(0x0420_1337);
+        let mut heap: EventQueue<u64> = EventQueue::new();
+        let mut cal: EventQueue<u64> = EventQueue::with_kind(QueueKind::Calendar);
+        let mut keys: Vec<(EventKey, EventKey)> = Vec::new();
+        let mut clock = 0u64;
+        for i in 0..30_000u64 {
+            match rng.gen_range_u64(10) {
+                // 60% push with a mix of near, far, and tied timestamps
+                0..=5 => {
+                    let t = match rng.gen_range_u64(20) {
+                        0 => clock,                                // tie with "now"
+                        1 => clock + 500_000_000,                  // half a second out
+                        _ => clock + rng.gen_range_u64(3_000_000), // normal lookahead
+                    };
+                    let hk = heap.push(SimTime::from_nanos(t), i);
+                    let ck = cal.push(SimTime::from_nanos(t), i);
+                    keys.push((hk, ck));
+                }
+                // 20% pop from both; results must match exactly
+                6..=7 => {
+                    assert_eq!(heap.peek_time(), cal.peek_time());
+                    let h = heap.pop();
+                    assert_eq!(h, cal.pop());
+                    if let Some((t, _)) = h {
+                        clock = t.as_nanos();
+                    }
+                }
+                // 20% cancel the same pending key on both sides
+                _ => {
+                    if !keys.is_empty() {
+                        let idx = rng.gen_range_u64(keys.len() as u64) as usize;
+                        let (hk, ck) = keys.swap_remove(idx);
+                        assert_eq!(heap.cancel(hk), cal.cancel(ck));
+                        assert_eq!(heap.len(), cal.len());
+                    }
+                }
+            }
+        }
+        loop {
+            let h = heap.pop();
+            assert_eq!(h, cal.pop());
+            if h.is_none() {
+                break;
+            }
+        }
     }
 }

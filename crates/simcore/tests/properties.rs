@@ -1,8 +1,38 @@
 //! Property tests for the simulation kernel.
 
 use fh_sim::stats::{TimeSeries, Welford};
-use fh_sim::{EventQueue, Rng64, SimDuration, SimTime};
+use fh_sim::{EventQueue, QueueKind, Rng64, SimDuration, SimTime};
 use proptest::prelude::*;
+
+/// One step of a randomized schedule/cancel/pop interleaving, applied in
+/// lockstep to a heap-backed and a calendar-backed queue.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    /// Schedule at `clock + jitter` (index selects tie/near/far behavior).
+    Push(u64),
+    /// Pop from both queues; results must be identical.
+    Pop,
+    /// Cancel the pending key at `index % pending.len()` on both sides.
+    Cancel(usize),
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    // Arms are repeated to weight the mix (the vendored prop_oneof! is
+    // unweighted): mostly near pushes and pops, with ties, far-future
+    // timers, and cancels sprinkled in.
+    prop_oneof![
+        (0u64..5_000_000).prop_map(QueueOp::Push),
+        (0u64..5_000_000).prop_map(QueueOp::Push),
+        (0u64..5_000_000).prop_map(QueueOp::Push),
+        Just(QueueOp::Push(0)), // exact tie with now
+        (1_000_000_000u64..3_000_000_000).prop_map(QueueOp::Push), // far future
+        Just(QueueOp::Pop),
+        Just(QueueOp::Pop),
+        Just(QueueOp::Pop),
+        any::<usize>().prop_map(QueueOp::Cancel),
+        any::<usize>().prop_map(QueueOp::Cancel),
+    ]
+}
 
 proptest! {
     /// Events pop in nondecreasing time order, FIFO within a timestamp.
@@ -105,6 +135,47 @@ proptest! {
         prop_assert_eq!((t + d) - d, t);
         prop_assert_eq!((t + d) - t, d);
         prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+    }
+
+    /// The calendar backend is observationally identical to the heap: pops,
+    /// peeks, cancels, and lengths agree over any schedule/cancel/pop
+    /// interleaving, including same-instant ties and far-future timers.
+    #[test]
+    fn calendar_queue_matches_heap(ops in prop::collection::vec(queue_op(), 1..400)) {
+        let mut heap: EventQueue<u64> = EventQueue::with_kind(QueueKind::Heap);
+        let mut cal: EventQueue<u64> = EventQueue::with_kind(QueueKind::Calendar);
+        let mut pending = Vec::new();
+        let mut clock = 0u64;
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                QueueOp::Push(jitter) => {
+                    let t = SimTime::from_nanos(clock + jitter);
+                    pending.push((heap.push(t, i as u64), cal.push(t, i as u64)));
+                }
+                QueueOp::Pop => {
+                    prop_assert_eq!(heap.peek_time(), cal.peek_time());
+                    let got = heap.pop();
+                    prop_assert_eq!(got, cal.pop());
+                    if let Some((t, _)) = got {
+                        clock = t.as_nanos();
+                    }
+                }
+                QueueOp::Cancel(raw) => {
+                    if !pending.is_empty() {
+                        let (hk, ck) = pending.swap_remove(raw % pending.len());
+                        prop_assert_eq!(heap.cancel(hk), cal.cancel(ck));
+                    }
+                }
+            }
+            prop_assert_eq!(heap.len(), cal.len());
+        }
+        loop {
+            let got = heap.pop();
+            prop_assert_eq!(got, cal.pop());
+            if got.is_none() {
+                break;
+            }
+        }
     }
 
     /// Forked RNG children never mirror the parent stream.

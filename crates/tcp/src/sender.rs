@@ -187,24 +187,43 @@ impl TcpSender {
 
     /// Opens the connection: returns the initial window of segments.
     pub fn on_start(&mut self, now: SimTime) -> Vec<Packet> {
-        self.fill_window(now)
+        let mut out = Vec::new();
+        self.on_start_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free [`TcpSender::on_start`]: appends released segments
+    /// to `out` (the caller's reusable scratch buffer).
+    pub fn on_start_into(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        self.fill_window_into(now, out);
     }
 
     /// Advances the coarse clock by one tick; may return a timeout
     /// retransmission. Call every [`TcpConfig::tick`].
     pub fn on_tick(&mut self, now: SimTime) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.on_tick_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free [`TcpSender::on_tick`]: appends to `out`.
+    ///
+    /// The 500 ms tick fires for every connection for the whole run and
+    /// almost always releases nothing — this variant makes the idle tick
+    /// a pure decrement, with no `Vec` round-trip to throw away.
+    pub fn on_tick_into(&mut self, now: SimTime, out: &mut Vec<Packet>) {
         self.tick_count += 1;
         let Some(cd) = self.countdown else {
-            return Vec::new();
+            return;
         };
         if self.next_seq <= self.snd_una {
             // Nothing outstanding: a stale timer, disarm instead of firing.
             self.countdown = None;
-            return Vec::new();
+            return;
         }
         if cd > 1 {
             self.countdown = Some(cd - 1);
-            return Vec::new();
+            return;
         }
         // Retransmission timeout.
         self.trace.timeouts.push(now);
@@ -220,13 +239,20 @@ impl TcpSender {
         // Go-back-N, as BSD: everything after the hole will be resent as
         // the window reopens in slow start.
         self.next_seq = self.snd_una + u64::from(self.config.mss);
-        vec![pkt]
+        out.push(pkt);
     }
 
     /// Processes an acknowledgement; returns any segments released.
     pub fn on_ack(&mut self, now: SimTime, seg: &TcpSegment) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.on_ack_into(now, seg, &mut out);
+        out
+    }
+
+    /// Allocation-free [`TcpSender::on_ack`]: appends to `out`.
+    pub fn on_ack_into(&mut self, now: SimTime, seg: &TcpSegment, out: &mut Vec<Packet>) {
         if seg.conn != self.conn || !seg.flags.ack {
-            return Vec::new();
+            return;
         }
         let mss = u64::from(self.config.mss);
         if seg.ack > self.snd_una {
@@ -255,9 +281,9 @@ impl TcpSender {
                     let pkt = self.make_segment(now, self.snd_una);
                     self.cwnd = (self.cwnd - (seg.ack as f64 / mss as f64)).max(1.0);
                     self.arm_or_disarm();
-                    let mut out = vec![pkt];
-                    out.extend(self.fill_window(now));
-                    return out;
+                    out.push(pkt);
+                    self.fill_window_into(now, out);
+                    return;
                 }
             } else if self.cwnd < self.ssthresh {
                 self.cwnd += 1.0; // slow start
@@ -266,13 +292,14 @@ impl TcpSender {
             }
             self.dupacks = 0;
             self.arm_or_disarm();
-            self.fill_window(now)
+            self.fill_window_into(now, out);
         } else if seg.ack == self.snd_una && self.next_seq > self.snd_una {
             // Duplicate ack.
             self.dupacks += 1;
             if self.in_fast_recovery {
                 self.cwnd += 1.0;
-                return self.fill_window(now);
+                self.fill_window_into(now, out);
+                return;
             }
             if self.dupacks == 3 {
                 // Fast retransmit + fast recovery.
@@ -283,11 +310,9 @@ impl TcpSender {
                 self.recover = self.next_seq;
                 self.in_fast_recovery = true;
                 self.arm_timer();
-                return vec![self.make_segment(now, self.snd_una)];
+                let pkt = self.make_segment(now, self.snd_una);
+                out.push(pkt);
             }
-            Vec::new()
-        } else {
-            Vec::new()
         }
     }
 
@@ -328,8 +353,8 @@ impl TcpSender {
         (w as u64) * u64::from(self.config.mss)
     }
 
-    fn fill_window(&mut self, now: SimTime) -> Vec<Packet> {
-        let mut out = Vec::new();
+    fn fill_window_into(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        let before = out.len();
         let mss = u64::from(self.config.mss);
         loop {
             if self.next_seq >= self.snd_una + self.window_bytes() {
@@ -347,10 +372,9 @@ impl TcpSender {
             self.next_seq += mss;
             out.push(pkt);
         }
-        if !out.is_empty() && self.countdown.is_none() {
+        if out.len() > before && self.countdown.is_none() {
             self.arm_timer();
         }
-        out
     }
 
     fn make_segment(&mut self, now: SimTime, seq: u64) -> Packet {

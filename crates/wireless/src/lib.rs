@@ -26,5 +26,8 @@ mod signal;
 
 pub use l2::{MhRadio, RadioConfig};
 pub use position::{Mobility, Position};
-pub use radio::{send_downlink, send_uplink, AccessPoint, RadioEnv, RadioWorld, WirelessSpec};
+pub use radio::{
+    send_downlink, send_downlink_batch, send_uplink, AccessPoint, RadioEnv, RadioWorld,
+    WirelessSpec,
+};
 pub use signal::SignalModel;
