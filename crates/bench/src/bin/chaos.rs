@@ -1,15 +1,21 @@
-//! `chaos` — run the chaos sweep for an explicit seed and print it as CSV.
+//! `chaos` — run the chaos corpus plan for an explicit seed and print it
+//! as CSV.
 //!
 //! ```sh
 //! cargo run -p fh-bench --release --bin chaos -- --seed 2003 --threads 4
 //! ```
 //!
-//! The CI chaos-determinism job runs this at several seeds and `cmp`s the
-//! bytes across `--threads` values: the fault streams, retransmission
-//! schedules and handover outcomes must not depend on the worker count.
+//! A thin wrapper over `plans/chaos.toml` (compiled in): the plan engine
+//! runs the sweep and the bytes printed are its rendered artifact,
+//! identical to the pre-plan implementation. The CI chaos-determinism
+//! job runs this at several seeds and `cmp`s the bytes across
+//! `--threads` values: the fault streams, retransmission schedules and
+//! handover outcomes must not depend on the worker count. An
+//! expectation violation (conservation, artifact lock) prints the
+//! structured failure report and exits nonzero.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    fh_bench::cli::run_seeded(fh_bench::csv::chaos_csv_with_seed)
+    fh_bench::cli::run_seeded_plan(include_str!("../../plans/chaos.toml"), "plans/chaos.toml")
 }

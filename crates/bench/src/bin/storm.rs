@@ -1,18 +1,21 @@
-//! `storm` — run the handover-storm sweep for an explicit seed and print
-//! it as CSV.
+//! `storm` — run the handover-storm corpus plan for an explicit seed and
+//! print it as CSV.
 //!
 //! ```sh
 //! cargo run -p fh-bench --release --bin storm -- --seed 2003 --threads 4
 //! ```
 //!
-//! Every point runs with soft-state lifetimes armed and passes the
-//! packet-conservation and resource-leak audits (a leak panics the run).
-//! The CI storm-leak-audit job runs this at several seeds and `cmp`s the
-//! bytes across `--threads` values: storm outcomes and reclamation counts
-//! must not depend on the worker count.
+//! A thin wrapper over `plans/storm.toml` (compiled in): the plan engine
+//! runs the sweep and the bytes printed are its rendered artifact,
+//! identical to the pre-plan implementation. Every point runs with
+//! soft-state lifetimes armed; the plan's expectations demand packet
+//! conservation and a clean resource-leak report, and a violation prints
+//! the structured failure report and exits nonzero. The CI
+//! storm-leak-audit job runs this at several seeds and `cmp`s the bytes
+//! across `--threads` values.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    fh_bench::cli::run_seeded(fh_bench::csv::storm_csv_with_seed)
+    fh_bench::cli::run_seeded_plan(include_str!("../../plans/storm.toml"), "plans/storm.toml")
 }

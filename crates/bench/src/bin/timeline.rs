@@ -4,16 +4,21 @@
 //! cargo run -p fh-bench --release --bin timeline -- --seed 2003 --threads 4 > storm.json
 //! ```
 //!
-//! The output is a trace-event-format JSON array, loadable in Perfetto or
+//! A thin wrapper over `plans/timeline.toml` (compiled in). The output
+//! is a trace-event-format JSON array, loadable in Perfetto or
 //! `chrome://tracing`: one `pid` per storm point (size × scheme), one
 //! track per simulated actor, handover attempts as spans with per-phase
-//! marks, and buffer/signaling/fault activity as instants. The CI
-//! trace-determinism job runs this at one seed and `cmp`s the bytes
-//! across `--threads` values: the exported timeline must not depend on
-//! the worker count.
+//! marks, and buffer/signaling/fault activity as instants. The plan's
+//! expectations demand an intact flight recorder (no ring wrap) and a
+//! clean run; a violation prints the structured failure report and exits
+//! nonzero. The CI trace-determinism job runs this at one seed and
+//! `cmp`s the bytes across `--threads` values.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    fh_bench::cli::run_seeded(fh_bench::csv::timeline_json_with_seed)
+    fh_bench::cli::run_seeded_plan(
+        include_str!("../../plans/timeline.toml"),
+        "plans/timeline.toml",
+    )
 }

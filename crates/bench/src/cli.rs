@@ -67,6 +67,29 @@ pub fn run_seeded(render: impl Fn(u64, usize) -> String) -> ExitCode {
     }
 }
 
+/// The whole main loop of a corpus-plan bin: parse `--seed`/`--threads`,
+/// run the compiled-in plan, print its artifact verbatim. An expectation
+/// violation prints the structured failure report on stderr and exits
+/// nonzero.
+pub fn run_seeded_plan(toml: &str, file: &str) -> ExitCode {
+    match parse_seeded_args(env::args().skip(1)) {
+        Ok(args) => match crate::planio::run_corpus_plan(toml, file, args.seed, args.threads) {
+            Ok(artifact) => {
+                print!("{artifact}");
+                ExitCode::SUCCESS
+            }
+            Err(report) => {
+                eprint!("{report}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,7 @@
 
 use fh_core::Scheme;
 use fh_scenarios::experiments::{self, BufferUtilizationParams, FIG_4_6_RATES};
+use fh_scenarios::plan;
 use fh_sim::SimDuration;
 use fh_telemetry::{Cell, CsvTable};
 
@@ -129,39 +130,14 @@ pub fn chaos_csv(threads: usize) -> String {
 }
 
 /// Chaos sweep as CSV for an explicit seed — the CI chaos-determinism
-/// job compares these bytes across thread counts, per seed.
+/// job compares these bytes across thread counts, per seed. Rendering is
+/// the plan engine's: this *is* [`plan::reference_chaos`] run under
+/// `seed`.
 #[must_use]
 pub fn chaos_csv_with_seed(seed: u64, threads: usize) -> String {
-    let r = experiments::chaos_sweep(&experiments::CHAOS_LOSS_PROBS, seed, threads);
-    let mut table = CsvTable::new(&[
-        "loss",
-        "predictive",
-        "reactive",
-        "failed",
-        "recovery_ms",
-        "f1_drops",
-        "f2_drops",
-        "f3_drops",
-        "fault_drops",
-        "retransmissions",
-        "degradations",
-    ]);
-    for p in &r.points {
-        table.row(&[
-            p.loss.into(),
-            p.predictive.into(),
-            p.reactive.into(),
-            p.failed.into(),
-            Cell::Fixed(p.recovery_ms, 3),
-            p.class_drops[0].into(),
-            p.class_drops[1].into(),
-            p.class_drops[2].into(),
-            p.fault_drops.into(),
-            p.retransmissions.into(),
-            p.degradations.into(),
-        ]);
-    }
-    table.finish()
+    plan::run_plan(&plan::reference_chaos().with_seed(seed), threads)
+        .expect_clean()
+        .artifact
 }
 
 /// Storm sweep as CSV: one row per storm size, both schemes side by side.
@@ -176,48 +152,18 @@ pub fn storm_csv(threads: usize) -> String {
 /// otherwise), so these bytes double as the audit's green light.
 #[must_use]
 pub fn storm_csv_with_seed(seed: u64, threads: usize) -> String {
-    let r = experiments::storm_sweep(&experiments::STORM_SIZES, seed, threads);
-    let mut table = CsvTable::new(&[
-        "mhs",
-        "scheme",
-        "f1_drops",
-        "f2_drops",
-        "f3_drops",
-        "f1_p99_ms",
-        "f2_p99_ms",
-        "f3_p99_ms",
-        "expired",
-        "reclaimed",
-        "failed",
-        "routes_expired",
-    ]);
-    for p in &r.points {
-        for s in [&p.fmipv6, &p.enhanced] {
-            let scheme = s.label.to_lowercase();
-            table.row(&[
-                p.n_mhs.into(),
-                scheme.as_str().into(),
-                s.class_drops[0].into(),
-                s.class_drops[1].into(),
-                s.class_drops[2].into(),
-                Cell::Fixed(s.class_p99_ms[0], 3),
-                Cell::Fixed(s.class_p99_ms[1], 3),
-                Cell::Fixed(s.class_p99_ms[2], 3),
-                s.expired.into(),
-                s.reclaimed.into(),
-                s.failed.into(),
-                s.routes_expired.into(),
-            ]);
-        }
-    }
-    table.finish()
+    plan::run_plan(&plan::reference_storm().with_seed(seed), threads)
+        .expect_clean()
+        .artifact
 }
 
 /// The storm timeline as Chrome-trace JSON for an explicit seed — the CI
 /// trace-determinism job compares these bytes across thread counts.
 #[must_use]
 pub fn timeline_json_with_seed(seed: u64, threads: usize) -> String {
-    experiments::storm_timeline(&experiments::TIMELINE_SIZES, seed, threads).chrome_json
+    plan::run_plan(&plan::reference_timeline().with_seed(seed), threads)
+        .expect_clean()
+        .artifact
 }
 
 /// Resolves a CSV writer by figure id, fanning sweep points across

@@ -18,6 +18,7 @@
 
 pub mod cli;
 pub mod csv;
+pub mod planio;
 
 use std::fmt::Write as _;
 

@@ -55,5 +55,7 @@ pub use ar::ArAgent;
 pub use buffer::{BufferPool, BufferStats};
 pub use metrics::{ArMetrics, ArSoftState};
 pub use policy::AdmissionLimit;
-pub use scheme::{ProtocolConfig, RetransmitConfig, Scheme};
+pub use scheme::{
+    ParseRetransmitError, ParseSchemeError, ProtocolConfig, RetransmitConfig, Scheme,
+};
 pub use signaling::mh::{HandoffPhase, MhAgent};

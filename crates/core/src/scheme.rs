@@ -197,6 +197,39 @@ impl RetransmitConfig {
     }
 }
 
+/// Error returned when a string names no [`RetransmitConfig`] preset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRetransmitError(String);
+
+impl std::fmt::Display for ParseRetransmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown retransmit policy \"{}\" (expected \"off\" or \"hardened\")",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseRetransmitError {}
+
+impl std::str::FromStr for RetransmitConfig {
+    type Err = ParseRetransmitError;
+
+    /// Parses the two named presets scenario plans use: `off` (the
+    /// draft-faithful single-shot signaling) and `hardened`
+    /// ([`RetransmitConfig::hardened`]), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("off") {
+            Ok(RetransmitConfig::default())
+        } else if s.eq_ignore_ascii_case("hardened") {
+            Ok(RetransmitConfig::hardened())
+        } else {
+            Err(ParseRetransmitError(s.to_owned()))
+        }
+    }
+}
+
 impl Default for RetransmitConfig {
     fn default() -> Self {
         RetransmitConfig {
@@ -318,6 +351,20 @@ mod tests {
         assert!(hard.enabled);
         assert!(hard.backoff.max_retries > 0);
         assert!(hard.backoff.initial >= SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn retransmit_presets_parse_by_name() {
+        assert_eq!(
+            "off".parse::<RetransmitConfig>(),
+            Ok(RetransmitConfig::default())
+        );
+        assert_eq!(
+            "HARDENED".parse::<RetransmitConfig>(),
+            Ok(RetransmitConfig::hardened())
+        );
+        let err = "sometimes".parse::<RetransmitConfig>().unwrap_err();
+        assert!(err.to_string().contains("hardened"), "{err}");
     }
 
     #[test]

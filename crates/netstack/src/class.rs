@@ -114,15 +114,56 @@ impl ServiceClass {
     }
 }
 
-impl std::fmt::Display for ServiceClass {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+impl ServiceClass {
+    /// The lowercase name used by [`std::fmt::Display`] and parsed back by
+    /// [`std::str::FromStr`] — the vocabulary scenario plans use.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
             ServiceClass::Unspecified => "unspecified",
             ServiceClass::RealTime => "real-time",
             ServiceClass::HighPriority => "high-priority",
             ServiceClass::BestEffort => "best-effort",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when a string names no [`ServiceClass`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseClassError(String);
+
+impl std::fmt::Display for ParseClassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown service class \"{}\" (expected one of: ", self.0)?;
+        for (i, c) in ServiceClass::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(c.name())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for ParseClassError {}
+
+impl std::str::FromStr for ServiceClass {
+    type Err = ParseClassError;
+
+    /// Parses the Table 3.1 name (`real-time`, `high-priority`,
+    /// `best-effort`, `unspecified`), case-insensitively — the exact
+    /// round trip of [`ServiceClass::name`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ServiceClass::ALL
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseClassError(s.to_owned()))
     }
 }
 
@@ -176,5 +217,18 @@ mod tests {
     fn display_is_lowercase() {
         assert_eq!(ServiceClass::RealTime.to_string(), "real-time");
         assert_eq!(ServiceClass::HighPriority.to_string(), "high-priority");
+    }
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for class in ServiceClass::ALL {
+            assert_eq!(class.name().parse::<ServiceClass>(), Ok(class));
+            assert_eq!(
+                class.name().to_uppercase().parse::<ServiceClass>(),
+                Ok(class)
+            );
+        }
+        let err = "bulk".parse::<ServiceClass>().unwrap_err();
+        assert!(err.to_string().contains("best-effort"), "{err}");
     }
 }

@@ -136,6 +136,40 @@ impl FaultSpec {
         self
     }
 
+    /// Validates every field of a spec assembled from untrusted data
+    /// (e.g. a TOML scenario plan), returning the spec on success — the
+    /// non-panicking counterpart of the builder asserts. The error names
+    /// the offending field and value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the field whose value is out of range.
+    pub fn validated(self) -> Result<Self, String> {
+        let prob = |name: &str, p: f64| {
+            if (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(format!("{name} must be a probability in [0, 1], got {p}"))
+            }
+        };
+        prob("loss", self.loss)?;
+        prob("duplicate", self.duplicate)?;
+        if let Some(ge) = self.burst {
+            prob("burst.p_good_to_bad", ge.p_good_to_bad)?;
+            prob("burst.p_bad_to_good", ge.p_bad_to_good)?;
+            prob("burst.loss_good", ge.loss_good)?;
+            prob("burst.loss_bad", ge.loss_bad)?;
+        }
+        for (start, end) in self.outages.iter().flatten() {
+            if start >= end {
+                return Err(format!(
+                    "outage window must be non-empty, got [{start:?}, {end:?})"
+                ));
+            }
+        }
+        Ok(self)
+    }
+
     /// `true` if this spec injects no faults at all.
     #[must_use]
     pub fn is_noop(&self) -> bool {
@@ -450,6 +484,41 @@ mod tests {
     #[should_panic(expected = "loss must be in")]
     fn out_of_range_loss_panics() {
         let _ = FaultSpec::with_loss(1.5);
+    }
+
+    #[test]
+    fn validated_accepts_good_specs_and_names_bad_fields() {
+        let good = FaultSpec::with_loss(0.2)
+            .duplicate(0.1)
+            .jitter(SimDuration::from_micros(100));
+        assert_eq!(good.validated(), Ok(good));
+
+        let bad = FaultSpec {
+            loss: 1.5,
+            ..FaultSpec::default()
+        };
+        assert!(bad.validated().unwrap_err().contains("loss"));
+
+        let bad = FaultSpec {
+            duplicate: -0.1,
+            ..FaultSpec::default()
+        };
+        assert!(bad.validated().unwrap_err().contains("duplicate"));
+
+        let bad = FaultSpec {
+            burst: Some(GilbertElliott {
+                p_good_to_bad: 2.0,
+                p_bad_to_good: 0.5,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            }),
+            ..FaultSpec::default()
+        };
+        assert!(bad.validated().unwrap_err().contains("p_good_to_bad"));
+
+        let mut bad = FaultSpec::default();
+        bad.outages[0] = Some((SimTime::from_secs(2), SimTime::from_secs(2)));
+        assert!(bad.validated().unwrap_err().contains("outage"));
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub mod trace;
 mod world;
 
 pub use addr::{doc_subnet, Prefix};
-pub use class::{PerHopBehavior, ServiceClass};
+pub use class::{ParseClassError, PerHopBehavior, ServiceClass};
 pub use fault::{FaultSpec, FaultState, FaultVerdict, GilbertElliott, NodeFaultSpec};
 pub use link::{Link, LinkError, LinkId, LinkSpec};
 pub use msg::{ApId, ControlMsg};

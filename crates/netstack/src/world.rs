@@ -420,6 +420,21 @@ impl NetStats {
         flows
     }
 
+    /// The flows whose conservation equation does not balance, with their
+    /// audits — the non-panicking form of
+    /// [`NetStats::assert_conservation`], used by expectation engines that
+    /// want to report violations instead of aborting. Empty means every
+    /// audited flow conserved. Call only after queues and buffers have
+    /// drained (traffic stopped, reservations expired).
+    #[must_use]
+    pub fn conservation_violations(&self) -> Vec<(FlowId, FlowAudit)> {
+        self.audited_flows()
+            .into_iter()
+            .map(|flow| (flow, self.flow_audit(flow)))
+            .filter(|(_, audit)| !audit.conserved())
+            .collect()
+    }
+
     /// Asserts `sent + duplicated == delivered + Σ drops` for every flow
     /// with recorded sends. Call only after queues and buffers have
     /// drained (traffic stopped, reservations expired).
@@ -429,12 +444,8 @@ impl NetStats {
     /// Panics with the offending flow's [`FlowAudit`] if conservation is
     /// violated.
     pub fn assert_conservation(&self) {
-        for flow in self.audited_flows() {
-            let audit = self.flow_audit(flow);
-            assert!(
-                audit.conserved(),
-                "packet conservation violated on {flow:?}: {audit:?}"
-            );
+        if let Some((flow, audit)) = self.conservation_violations().first() {
+            panic!("packet conservation violated on {flow:?}: {audit:?}");
         }
     }
 

@@ -18,8 +18,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use fh_core::{HandoffPhase, ProtocolConfig, RetransmitConfig, Scheme};
-use fh_net::{DropReason, FaultSpec, FlowId, ServiceClass};
+use fh_core::{ProtocolConfig, Scheme};
+use fh_net::{FlowId, ServiceClass};
 use fh_sim::{derive_seed, QueueKind, SimDuration, SimTime};
 
 use crate::hmip::{HmipConfig, HmipScenario, MovementPlan};
@@ -787,81 +787,34 @@ pub const CHAOS_LOSS_PROBS: [f64; 6] = [0.0, 0.025, 0.05, 0.10, 0.15, 0.20];
 /// (predictive / reactive / failed) and must pass the end-of-run
 /// packet-conservation audit — a wedged scenario panics here rather than
 /// producing a quietly wrong figure.
+///
+/// A thin adapter over [`crate::plan::reference_chaos`]: the sweep *is*
+/// that plan with `loss_probs` as its axis, run through
+/// [`crate::plan::run_plan`].
 #[must_use]
 pub fn chaos_sweep(loss_probs: &[f64], seed: u64, threads: usize) -> ChaosSweepResult {
-    let runs = parallel_map(threads, loss_probs, |idx, &p| {
-        let mut protocol = ProtocolConfig::proposed();
-        protocol.buffer_request = 40;
-        protocol.rtx = RetransmitConfig::hardened();
-        let cfg = HmipConfig {
-            protocol,
-            n_mhs: 1,
-            buffer_capacity: 40,
-            movement: MovementPlan::PingPong,
-            seed: derive_seed(seed, idx as u64),
-            ar_link_fault: FaultSpec::with_loss(p),
-            wireless_fault: FaultSpec::with_loss(p),
-            ..HmipConfig::default()
-        };
-        let mut scenario = HmipScenario::build(cfg);
-        let flows: Vec<FlowId> = FLOW_CLASSES
-            .iter()
-            .map(|&class| scenario.add_audio_128k(0, class))
-            .collect();
-        // Traffic stops well before the horizon so queues and handover
-        // buffers drain — the conservation audit needs a settled network.
-        scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(30));
-        scenario.run_until(SimTime::from_secs(45));
-
-        // Service-restoration latency: each LinkDown paired with the next
-        // MAP BindingComplete (predictive and reactive paths both end
-        // there; attempts with no completion are the `failed` count).
-        let log = &scenario.mh_agent(0).log;
-        let mut gaps_ms = Vec::new();
-        for (i, &(down, phase)) in log.iter().enumerate() {
-            if phase != HandoffPhase::LinkDown {
-                continue;
-            }
-            if let Some(&(done, _)) = log[i + 1..]
-                .iter()
-                .find(|(_, q)| *q == HandoffPhase::BindingComplete)
-            {
-                gaps_ms.push((done.as_secs_f64() - down.as_secs_f64()) * 1e3);
-            }
-        }
-        let recovery_ms = if gaps_ms.is_empty() {
-            0.0
-        } else {
-            gaps_ms.iter().sum::<f64>() / gaps_ms.len() as f64
-        };
-
-        let class_drops = [
-            scenario.flow_losses(flows[0]),
-            scenario.flow_losses(flows[1]),
-            scenario.flow_losses(flows[2]),
-        ];
-        let failed = scenario.finalize();
-        scenario.assert_conservation();
-        let outcomes = scenario.outcomes();
-        let stats = &scenario.sim.shared.stats;
-        ChaosPoint {
-            loss: p,
-            predictive: outcomes[0].1,
-            reactive: outcomes[1].1,
-            failed,
-            recovery_ms,
-            class_drops,
-            fault_drops: stats.drops(DropReason::FaultInjected),
-            retransmissions: stats.counter("mh.retransmissions")
-                + stats.counter("ar.retransmissions"),
-            degradations: stats.counter("mh.degradations") + stats.counter("ar.hi_exhausted"),
-            events: scenario.sim.events_processed(),
-        }
-    });
-    let events = runs.iter().map(|pt| pt.events).sum();
+    let mut plan = crate::plan::reference_chaos().with_seed(seed);
+    plan.axis = crate::plan::Axis::Loss(loss_probs.to_vec());
+    let outcome = crate::plan::run_plan(&plan, threads).expect_clean();
+    let points = outcome
+        .points
+        .iter()
+        .map(|p| ChaosPoint {
+            loss: p.loss.unwrap_or(0.0),
+            predictive: p.predictive,
+            reactive: p.reactive,
+            failed: p.failed,
+            recovery_ms: p.recovery_ms,
+            class_drops: p.class_drops,
+            fault_drops: p.fault_drops,
+            retransmissions: p.retransmissions,
+            degradations: p.degradations,
+            events: p.events,
+        })
+        .collect();
     ChaosSweepResult {
-        points: runs,
-        events,
+        points,
+        events: outcome.events,
     }
 }
 
@@ -915,64 +868,6 @@ pub struct StormSweepResult {
 /// The x-axis of the storm figure: hosts handing over in one window.
 pub const STORM_SIZES: [usize; 6] = [4, 8, 12, 16, 20, 24];
 
-/// The storm run's configuration, shared by the sweep and the timeline
-/// export so both observe the identical workload for a given seed.
-fn storm_config(n: usize, scheme: Scheme, seed: u64) -> HmipConfig {
-    let mut protocol = ProtocolConfig::with_scheme(scheme);
-    protocol.buffer_request = 12;
-    // Soft state on: host routes expire after 2 s unless refreshed by the
-    // periodic router advertisements, and sessions whose peer router has
-    // been silent for 3 s are swept. In a healthy storm both mechanisms
-    // must reclaim nothing the protocol still needs.
-    protocol.host_route_lifetime = SimDuration::from_secs(2);
-    protocol.dead_peer_timeout = SimDuration::from_secs(3);
-    HmipConfig {
-        protocol,
-        n_mhs: n,
-        buffer_capacity: 42,
-        movement: MovementPlan::OneWay,
-        storm_stagger: SimDuration::from_millis(500),
-        seed,
-        ..HmipConfig::default()
-    }
-}
-
-/// One storm run: `n` hosts walking into the NAR cell with staggered
-/// starts, one 64 kb/s flow each (classes round-robin), soft-state
-/// lifetimes armed, and the full end-of-run audit battery.
-fn storm_point(n: usize, scheme: Scheme, seed: u64) -> StormScheme {
-    let mut scenario = HmipScenario::build(storm_config(n, scheme, seed));
-    let flows: Vec<(usize, FlowId)> = (0..n)
-        .map(|i| (i % 3, scenario.add_audio_64k(i, FLOW_CLASSES[i % 3])))
-        .collect();
-    // Traffic stops well before the horizon so buffers, reservations and
-    // keyed timers drain — the leak audit needs a quiesced network.
-    scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(13));
-    scenario.run_until(SimTime::from_secs(20));
-    let mut class_drops = [0u64; 3];
-    let mut class_p99_ms = [0f64; 3];
-    for &(k, f) in &flows {
-        class_drops[k] += scenario.flow_losses(f);
-        let report =
-            fh_traffic::FlowReport::from_sink(scenario.flow_sink(f), scenario.flow_sent(f));
-        class_p99_ms[k] = class_p99_ms[k].max(report.p99_delay.as_millis_f64());
-    }
-    let failed = scenario.finalize();
-    scenario.assert_conservation();
-    scenario.assert_no_leaks();
-    let stats = &scenario.sim.shared.stats;
-    StormScheme {
-        label: scheme.label().to_owned(),
-        class_drops,
-        class_p99_ms,
-        expired: stats.drops(DropReason::Expired),
-        reclaimed: stats.drops(DropReason::Reclaimed),
-        failed,
-        routes_expired: stats.counter("ar.routes_expired"),
-        events: scenario.sim.events_processed(),
-    }
-}
-
 /// Handover storm: `n` hosts hand over within a staggered window against
 /// routers provisioned for far fewer, for original FMIPv6 (NAR-only)
 /// versus the enhanced classified dual buffering — Fig 4.2 at scale, with
@@ -980,35 +875,38 @@ fn storm_point(n: usize, scheme: Scheme, seed: u64) -> StormScheme {
 /// runs with soft-state lifetimes armed and must pass both the
 /// packet-conservation audit and the resource-leak audit; both schemes at
 /// the same storm size share a seed so they face an identical workload.
+///
+/// A thin adapter over [`crate::plan::reference_storm`]: the sweep *is*
+/// that plan with `sizes` as its axis, run through
+/// [`crate::plan::run_plan`].
 #[must_use]
 pub fn storm_sweep(sizes: &[usize], seed: u64, threads: usize) -> StormSweepResult {
-    let mut grid = Vec::with_capacity(sizes.len() * 2);
-    for (idx, &n) in sizes.iter().enumerate() {
-        for enhanced in [false, true] {
-            grid.push((idx, n, enhanced));
-        }
-    }
-    let runs = parallel_map(threads, &grid, |_, &(idx, n, enhanced)| {
-        let scheme = if enhanced {
-            Scheme::Dual { classify: true }
-        } else {
-            Scheme::NarOnly
-        };
-        storm_point(n, scheme, derive_seed(seed, idx as u64))
-    });
-    let mut points = Vec::with_capacity(sizes.len());
-    let mut events = 0;
-    for (i, &n) in sizes.iter().enumerate() {
-        let fmipv6 = runs[2 * i].clone();
-        let enhanced = runs[2 * i + 1].clone();
-        events += fmipv6.events + enhanced.events;
-        points.push(StormPoint {
+    let mut plan = crate::plan::reference_storm().with_seed(seed);
+    plan.axis = crate::plan::Axis::Hosts(sizes.to_vec());
+    let outcome = crate::plan::run_plan(&plan, threads).expect_clean();
+    let as_scheme = |p: &crate::plan::PointRun| StormScheme {
+        label: p.scheme.label().to_owned(),
+        class_drops: p.class_drops,
+        class_p99_ms: p.class_p99_ms,
+        expired: p.expired,
+        reclaimed: p.reclaimed,
+        failed: p.failed,
+        routes_expired: p.routes_expired,
+        events: p.events,
+    };
+    let points = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| StormPoint {
             n_mhs: n,
-            fmipv6,
-            enhanced,
-        });
+            fmipv6: as_scheme(&outcome.points[2 * i]),
+            enhanced: as_scheme(&outcome.points[2 * i + 1]),
+        })
+        .collect();
+    StormSweepResult {
+        points,
+        events: outcome.events,
     }
-    StormSweepResult { points, events }
 }
 
 // ---------------------------------------------------------------------
@@ -1018,10 +916,6 @@ pub fn storm_sweep(sizes: &[usize], seed: u64, threads: usize) -> StormSweepResu
 /// Storm sizes exported as timelines: a small cut of [`STORM_SIZES`] —
 /// the export is for *inspecting* handovers, not for the figure's x-axis.
 pub const TIMELINE_SIZES: [usize; 2] = [4, 8];
-
-/// Flight-recorder capacity for timeline runs: large enough that no
-/// storm-timeline point ever wraps, so the export is complete.
-const TIMELINE_RING: usize = 1 << 16;
 
 /// A merged Chrome-trace timeline plus run accounting.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -1033,33 +927,6 @@ pub struct TimelineResult {
     pub events: u64,
 }
 
-/// One storm run with the full observability subsystem on: handover
-/// spans, protocol flight recorder, per-class buffer events. Returns the
-/// point's trace fragment under process id `pid`.
-fn storm_timeline_point(
-    n: usize,
-    scheme: Scheme,
-    seed: u64,
-    pid: u64,
-) -> (fh_telemetry::ChromeTrace, u64) {
-    let mut scenario = HmipScenario::build(storm_config(n, scheme, seed));
-    scenario.enable_telemetry(TIMELINE_RING);
-    for i in 0..n {
-        let _ = scenario.add_audio_64k(i, FLOW_CLASSES[i % 3]);
-    }
-    scenario.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(13));
-    scenario.run_until(SimTime::from_secs(20));
-    let _ = scenario.finalize();
-    assert_eq!(
-        scenario.sim.shared.stats.trace.overwritten(),
-        0,
-        "timeline ring wrapped; raise TIMELINE_RING"
-    );
-    let mut trace = fh_telemetry::ChromeTrace::new();
-    scenario.chrome_trace_into(&mut trace, pid);
-    (trace, scenario.sim.events_processed())
-}
-
 /// Exports the handover-storm runs as one merged Chrome-trace timeline:
 /// each grid point (storm size × scheme) becomes a `pid` partition whose
 /// tracks are the simulation's actors, with handover spans, phase marks
@@ -1068,31 +935,17 @@ fn storm_timeline_point(
 /// thread count** — CI `cmp`s these bytes across `--threads` values.
 /// Seeds derive exactly as in [`storm_sweep`], so a timeline can be laid
 /// next to the matching storm CSV row.
+///
+/// A thin adapter over [`crate::plan::reference_timeline`] run through
+/// [`crate::plan::run_plan`].
 #[must_use]
 pub fn storm_timeline(sizes: &[usize], seed: u64, threads: usize) -> TimelineResult {
-    let mut grid = Vec::with_capacity(sizes.len() * 2);
-    for (idx, &n) in sizes.iter().enumerate() {
-        for enhanced in [false, true] {
-            grid.push((idx, n, enhanced));
-        }
-    }
-    let runs = parallel_map(threads, &grid, |pid, &(idx, n, enhanced)| {
-        let scheme = if enhanced {
-            Scheme::Dual { classify: true }
-        } else {
-            Scheme::NarOnly
-        };
-        storm_timeline_point(n, scheme, derive_seed(seed, idx as u64), pid as u64)
-    });
-    let mut trace = fh_telemetry::ChromeTrace::new();
-    let mut events = 0;
-    for (fragment, e) in runs {
-        trace.append(fragment);
-        events += e;
-    }
+    let mut plan = crate::plan::reference_timeline().with_seed(seed);
+    plan.axis = crate::plan::Axis::Hosts(sizes.to_vec());
+    let outcome = crate::plan::run_plan(&plan, threads).expect_clean();
     TimelineResult {
-        chrome_json: trace.finish(),
-        events,
+        chrome_json: outcome.artifact,
+        events: outcome.events,
     }
 }
 

@@ -12,6 +12,10 @@
 //! * [`experiments`] — one runner per evaluation figure (4.2 through 4.14)
 //!   plus ablations (threshold `a` sweep, black-out sweep, signaling
 //!   accounting).
+//! * [`plan`] — declarative scenario plans: a TOML file describing
+//!   topology, workloads, faults, the sweep axis and post-quiesce
+//!   [`expectations`], run through the same deterministic grid engine
+//!   the experiments use, plus a seeded plan fuzzer.
 //!
 //! ## Quickstart
 //!
@@ -30,11 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod expectations;
 pub mod experiments;
 mod hmip;
 mod nodes;
+pub mod plan;
 mod roaming;
 pub mod sweep;
+mod toml;
 mod wlan;
 mod world;
 

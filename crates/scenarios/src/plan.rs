@@ -1,0 +1,1972 @@
+//! Declarative scenario plans: one TOML file describes a whole run.
+//!
+//! A [`ScenarioPlan`] bundles everything the repro/chaos/storm/timeline
+//! drivers used to hard-code — topology, protocol tunables, workloads,
+//! fault and storm specs, the sweep axis, the RNG seed — together with an
+//! [`Expectations`] block evaluated after quiesce. Plans load from a
+//! small TOML subset (see [`ScenarioPlan::from_toml`]), run through the
+//! same [`crate::sweep::parallel_map`] grid engine as the hand-written
+//! experiments, and render the established artifacts (chaos CSV, storm
+//! CSV, Chrome-trace JSON) byte-for-byte.
+//!
+//! The three legacy drivers are themselves plans now:
+//! [`reference_chaos`], [`reference_storm`] and [`reference_timeline`]
+//! encode their exact configurations, and
+//! [`crate::experiments::chaos_sweep`] /
+//! [`crate::experiments::storm_sweep`] /
+//! [`crate::experiments::storm_timeline`] are thin adapters over
+//! [`run_plan`]. The corpus TOML files in `crates/bench/plans/` parse to
+//! these constructors exactly (a test asserts it), so the CSV bytes CI
+//! locked in `tests/golden/` cannot drift.
+//!
+//! [`fuzz_plan`] derives random-but-valid plans from a seed for the
+//! `plan --fuzz` smoke battery: every fuzzed plan must conserve packets,
+//! keep its flight recorder intact, terminate, and produce identical
+//! artifacts at any thread count.
+
+use std::str::FromStr;
+
+use fh_core::{ProtocolConfig, RetransmitConfig, Scheme};
+use fh_net::{DropReason, FaultSpec, FlowId, GilbertElliott, NodeFaultSpec, ServiceClass};
+use fh_sim::{derive_seed, Rng64, SimDuration, SimTime};
+use fh_telemetry::{Cell, ChromeTrace, CsvTable, FailureReport};
+
+use crate::expectations::{Expectations, PointAudit};
+use crate::experiments::FLOW_CLASSES;
+use crate::hmip::{HmipConfig, HmipScenario, MovementPlan};
+use crate::sweep::parallel_map;
+
+pub use crate::toml::PlanError;
+
+/// Flight-recorder capacity used when a timeline plan does not set one:
+/// large enough that no storm-timeline point ever wraps.
+pub const DEFAULT_TIMELINE_RING: usize = 1 << 16;
+
+/// Which artifact a plan renders from its grid results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportKind {
+    /// The chaos-sweep CSV (`loss,predictive,…,degradations`).
+    Chaos,
+    /// The storm-sweep CSV (`mhs,scheme,…,routes_expired`).
+    Storm,
+    /// The merged Chrome-trace JSON timeline.
+    Timeline,
+    /// The generic per-point CSV (every recorded metric, one row per
+    /// grid point) — the default for ad-hoc and fuzzed plans.
+    Points,
+}
+
+impl ReportKind {
+    /// The name used by the `[plan] report` key.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ReportKind::Chaos => "chaos",
+            ReportKind::Storm => "storm",
+            ReportKind::Timeline => "timeline",
+            ReportKind::Points => "points",
+        }
+    }
+}
+
+/// The Fig 4.1 topology knobs a plan can turn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologySpec {
+    /// Number of mobile hosts (overridden per point by a `hosts` axis).
+    pub hosts: usize,
+    /// Handover buffer capacity per access router, in packets.
+    pub buffer_capacity: usize,
+    /// Host movement pattern.
+    pub movement: MovementPlan,
+    /// PAR↔NAR wired link propagation delay.
+    pub ar_link_delay: SimDuration,
+    /// L2 black-out duration.
+    pub l2_blackout: SimDuration,
+    /// Host speed in m/s.
+    pub speed: f64,
+    /// Handover-storm stagger between hosts' walks.
+    pub stagger: SimDuration,
+}
+
+impl Default for TopologySpec {
+    fn default() -> Self {
+        let base = HmipConfig::default();
+        TopologySpec {
+            hosts: base.n_mhs,
+            buffer_capacity: base.buffer_capacity,
+            movement: base.movement,
+            ar_link_delay: base.ar_link_delay,
+            l2_blackout: base.l2_handoff_delay,
+            speed: base.speed,
+            stagger: base.storm_stagger,
+        }
+    }
+}
+
+/// The sweep axis: what varies across grid points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Axis {
+    /// A single point per scheme, at the topology's host count.
+    None,
+    /// Injected loss probability on the AR link and both air interfaces
+    /// (the chaos x-axis).
+    Loss(Vec<f64>),
+    /// Number of simultaneously-moving hosts (the storm x-axis).
+    Hosts(Vec<usize>),
+}
+
+/// Which hosts a workload attaches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostSelector {
+    /// One flow per host in the run.
+    All,
+    /// A single flow, to the given host index.
+    One(usize),
+}
+
+/// How a workload assigns service classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassPlan {
+    /// Every flow carries this class.
+    Fixed(ServiceClass),
+    /// Host `i` gets `FLOW_CLASSES[i % 3]` (the storm convention).
+    RoundRobin,
+}
+
+/// One CBR workload: who receives it, its class, its shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Receiving host(s).
+    pub hosts: HostSelector,
+    /// Class assignment.
+    pub class: ClassPlan,
+    /// Packet size in bytes.
+    pub packet_bytes: u32,
+    /// Inter-packet interval.
+    pub interval: SimDuration,
+}
+
+/// Every fault a plan can inject, all no-op by default.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Impairments on the PAR↔NAR wire (both directions).
+    pub ar_link: FaultSpec,
+    /// Impairments on both air interfaces.
+    pub wireless: FaultSpec,
+    /// Scheduled crash/restart on the PAR.
+    pub par: NodeFaultSpec,
+    /// Scheduled crash/restart on the NAR.
+    pub nar: NodeFaultSpec,
+    /// Scheduled power loss on mobile host 0.
+    pub mh: NodeFaultSpec,
+}
+
+impl FaultPlan {
+    /// `true` when no fault of any kind is configured.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.ar_link.is_noop()
+            && self.wireless.is_noop()
+            && self.par.is_noop()
+            && self.nar.is_noop()
+            && self.mh.is_noop()
+    }
+}
+
+/// The run schedule: traffic window, horizon, telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// When CBR sources start generating.
+    pub traffic_start: SimTime,
+    /// When CBR sources stop (well before the horizon, so the network
+    /// quiesces and the post-run audits are meaningful).
+    pub traffic_stop: SimTime,
+    /// When the simulation ends.
+    pub horizon: SimTime,
+    /// Flight-recorder ring capacity; zero leaves telemetry off.
+    pub telemetry_ring: usize,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            traffic_start: SimTime::from_millis(500),
+            traffic_stop: SimTime::from_secs(13),
+            horizon: SimTime::from_secs(20),
+            telemetry_ring: 0,
+        }
+    }
+}
+
+/// A complete declarative scenario: everything the plan driver needs to
+/// run a grid, render its artifact, and judge the outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPlan {
+    /// The plan's name (reports and corpus listings).
+    pub name: String,
+    /// Base RNG seed; each axis point derives its own stream.
+    pub seed: u64,
+    /// Which artifact to render.
+    pub report: ReportKind,
+    /// Topology knobs.
+    pub topology: TopologySpec,
+    /// Protocol tunables (the scheme field is overridden per grid point
+    /// by `schemes`).
+    pub protocol: ProtocolConfig,
+    /// The schemes to run at every axis point, in artifact row order.
+    pub schemes: Vec<Scheme>,
+    /// The sweep axis.
+    pub axis: Axis,
+    /// The CBR workloads, added in order.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Fault injection.
+    pub faults: FaultPlan,
+    /// Run schedule.
+    pub run: RunSpec,
+    /// Post-quiesce invariants.
+    pub expectations: Expectations,
+}
+
+impl ScenarioPlan {
+    /// Rebases the plan onto a different seed. A byte-hash lock pinned
+    /// for the original seed cannot hold under another one, so it is
+    /// cleared when the seed actually changes.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        if seed != self.seed {
+            self.seed = seed;
+            self.expectations.artifact_fnv1a = None;
+        }
+        self
+    }
+
+    /// The smallest host count any grid point runs with — workload host
+    /// indices must stay below this.
+    #[must_use]
+    pub fn min_hosts(&self) -> usize {
+        match &self.axis {
+            Axis::Hosts(ns) => ns.iter().copied().min().unwrap_or(self.topology.hosts),
+            _ => self.topology.hosts,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference plans — the legacy drivers, as data
+// ---------------------------------------------------------------------
+
+/// The chaos sweep as a plan: hardened signaling, a ping-pong host under
+/// three classified 128 kb/s flows, loss injected on every control-plane
+/// path. Exactly [`crate::experiments::chaos_sweep`]'s configuration.
+#[must_use]
+pub fn reference_chaos() -> ScenarioPlan {
+    let mut protocol = ProtocolConfig::proposed();
+    protocol.buffer_request = 40;
+    protocol.rtx = RetransmitConfig::hardened();
+    ScenarioPlan {
+        name: "chaos".to_owned(),
+        seed: 2003,
+        report: ReportKind::Chaos,
+        topology: TopologySpec {
+            hosts: 1,
+            buffer_capacity: 40,
+            movement: MovementPlan::PingPong,
+            ..TopologySpec::default()
+        },
+        protocol,
+        schemes: vec![Scheme::PROPOSED],
+        axis: Axis::Loss(crate::experiments::CHAOS_LOSS_PROBS.to_vec()),
+        workloads: FLOW_CLASSES
+            .iter()
+            .map(|&class| WorkloadSpec {
+                hosts: HostSelector::One(0),
+                class: ClassPlan::Fixed(class),
+                packet_bytes: 160,
+                interval: SimDuration::from_millis(10),
+            })
+            .collect(),
+        faults: FaultPlan::default(),
+        run: RunSpec {
+            traffic_start: SimTime::from_millis(500),
+            traffic_stop: SimTime::from_secs(30),
+            horizon: SimTime::from_secs(45),
+            telemetry_ring: 0,
+        },
+        expectations: Expectations::default(),
+    }
+}
+
+/// The handover storm as a plan: staggered one-way walks, one 64 kb/s
+/// flow per host with round-robin classes, soft-state lifetimes armed,
+/// original FMIPv6 against the enhanced scheme. Exactly
+/// [`crate::experiments::storm_sweep`]'s configuration.
+#[must_use]
+pub fn reference_storm() -> ScenarioPlan {
+    let mut protocol = ProtocolConfig::with_scheme(Scheme::NarOnly);
+    protocol.buffer_request = 12;
+    protocol.host_route_lifetime = SimDuration::from_secs(2);
+    protocol.dead_peer_timeout = SimDuration::from_secs(3);
+    ScenarioPlan {
+        name: "storm".to_owned(),
+        seed: 2003,
+        report: ReportKind::Storm,
+        topology: TopologySpec {
+            hosts: 4,
+            buffer_capacity: 42,
+            movement: MovementPlan::OneWay,
+            stagger: SimDuration::from_millis(500),
+            ..TopologySpec::default()
+        },
+        protocol,
+        schemes: vec![Scheme::NarOnly, Scheme::Dual { classify: true }],
+        axis: Axis::Hosts(crate::experiments::STORM_SIZES.to_vec()),
+        workloads: vec![WorkloadSpec {
+            hosts: HostSelector::All,
+            class: ClassPlan::RoundRobin,
+            packet_bytes: 160,
+            interval: SimDuration::from_millis(20),
+        }],
+        faults: FaultPlan::default(),
+        run: RunSpec::default(),
+        expectations: Expectations {
+            no_leaks: true,
+            ..Expectations::default()
+        },
+    }
+}
+
+/// The storm timeline as a plan: the storm run at two sizes with the
+/// full observability subsystem on, rendered as Chrome-trace JSON.
+/// Exactly [`crate::experiments::storm_timeline`]'s configuration.
+#[must_use]
+pub fn reference_timeline() -> ScenarioPlan {
+    let mut plan = reference_storm();
+    plan.name = "timeline".to_owned();
+    plan.report = ReportKind::Timeline;
+    plan.axis = Axis::Hosts(crate::experiments::TIMELINE_SIZES.to_vec());
+    plan.run.telemetry_ring = DEFAULT_TIMELINE_RING;
+    plan
+}
+
+// ---------------------------------------------------------------------
+// The grid engine
+// ---------------------------------------------------------------------
+
+/// One grid point, fully resolved: axis value, scheme and seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct GridPoint {
+    loss: Option<f64>,
+    hosts: usize,
+    scheme: Scheme,
+    seed: u64,
+}
+
+fn build_grid(plan: &ScenarioPlan) -> Vec<GridPoint> {
+    let axis_points: Vec<(Option<f64>, usize)> = match &plan.axis {
+        Axis::None => vec![(None, plan.topology.hosts)],
+        Axis::Loss(ps) => ps.iter().map(|&p| (Some(p), plan.topology.hosts)).collect(),
+        Axis::Hosts(ns) => ns.iter().map(|&n| (None, n)).collect(),
+    };
+    let mut grid = Vec::with_capacity(axis_points.len() * plan.schemes.len());
+    for (axis_idx, &(loss, hosts)) in axis_points.iter().enumerate() {
+        // Every scheme at the same axis point shares a seed, so the
+        // schemes face an identical workload — the curves stay
+        // comparable, exactly as in the hand-written sweeps.
+        let seed = derive_seed(plan.seed, axis_idx as u64);
+        for &scheme in &plan.schemes {
+            grid.push(GridPoint {
+                loss,
+                hosts,
+                scheme,
+                seed,
+            });
+        }
+    }
+    grid
+}
+
+/// Everything one grid point measured, plus its audit for the
+/// expectations engine.
+#[derive(Debug, Clone)]
+pub struct PointRun {
+    /// Injected loss at this point (`Loss` axis only).
+    pub loss: Option<f64>,
+    /// Host count at this point.
+    pub hosts: usize,
+    /// Scheme this point ran.
+    pub scheme: Scheme,
+    /// Handovers that completed the predictive exchange.
+    pub predictive: u64,
+    /// Handovers that fell back to the reactive path.
+    pub reactive: u64,
+    /// Handover attempts still unresolved at the horizon.
+    pub failed: u64,
+    /// Mean LinkDown → MAP-binding-restored latency, in milliseconds.
+    pub recovery_ms: f64,
+    /// Per-class data drops (F1–F3), all reasons combined.
+    pub class_drops: [u64; 3],
+    /// Worst per-flow p99 end-to-end delay per class, in milliseconds.
+    pub class_p99_ms: [f64; 3],
+    /// Packets the fault layer discarded.
+    pub fault_drops: u64,
+    /// Control retransmissions spent.
+    pub retransmissions: u64,
+    /// Degradation-ladder steps taken.
+    pub degradations: u64,
+    /// Packets released by soft-state lifetime expiry.
+    pub expired: u64,
+    /// Packets reclaimed from dead or abandoned state.
+    pub reclaimed: u64,
+    /// Host routes the lifetime sweep expired unrefreshed.
+    pub routes_expired: u64,
+    /// Simulator events processed by this point.
+    pub events: u64,
+    /// The audit the expectations engine judges.
+    pub audit: PointAudit,
+}
+
+/// A finished plan run: the rendered artifact, the per-point metrics,
+/// and the expectation report (empty means the plan passed).
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// The rendered artifact (CSV or Chrome-trace JSON).
+    pub artifact: String,
+    /// Per-point metrics, in grid order.
+    pub points: Vec<PointRun>,
+    /// Total simulator events across all points.
+    pub events: u64,
+    /// Every expectation violation, in evaluation order.
+    pub report: FailureReport,
+}
+
+impl PlanOutcome {
+    /// Returns the outcome unchanged when every expectation held.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the structured report when any expectation was
+    /// violated — the legacy sweeps' panic-on-violation contract.
+    #[must_use]
+    pub fn expect_clean(self) -> Self {
+        assert!(
+            self.report.is_empty(),
+            "scenario plan expectations violated:\n{}",
+            self.report.to_json()
+        );
+        self
+    }
+}
+
+fn run_point(plan: &ScenarioPlan, gp: &GridPoint, pid: u64) -> (PointRun, Option<ChromeTrace>) {
+    let mut protocol = plan.protocol;
+    protocol.scheme = gp.scheme;
+    let mut ar_link_fault = plan.faults.ar_link;
+    let mut wireless_fault = plan.faults.wireless;
+    if let Some(p) = gp.loss {
+        ar_link_fault.loss = p;
+        wireless_fault.loss = p;
+    }
+    let cfg = HmipConfig {
+        protocol,
+        n_mhs: gp.hosts,
+        buffer_capacity: plan.topology.buffer_capacity,
+        ar_link_delay: plan.topology.ar_link_delay,
+        l2_handoff_delay: plan.topology.l2_blackout,
+        movement: plan.topology.movement,
+        speed: plan.topology.speed,
+        seed: gp.seed,
+        ar_link_fault,
+        wireless_fault,
+        par_fault: plan.faults.par,
+        nar_fault: plan.faults.nar,
+        mh_fault: plan.faults.mh,
+        storm_stagger: plan.topology.stagger,
+        ..HmipConfig::default()
+    };
+    let mut scenario = HmipScenario::build(cfg);
+    if plan.run.telemetry_ring > 0 {
+        scenario.enable_telemetry(plan.run.telemetry_ring);
+    }
+    let mut flows: Vec<(usize, FlowId)> = Vec::new();
+    for w in &plan.workloads {
+        let hosts: Vec<usize> = match w.hosts {
+            HostSelector::All => (0..gp.hosts).collect(),
+            HostSelector::One(i) => vec![i],
+        };
+        for h in hosts {
+            let class = match w.class {
+                ClassPlan::Fixed(c) => c,
+                ClassPlan::RoundRobin => FLOW_CLASSES[h % 3],
+            };
+            let k = FLOW_CLASSES
+                .iter()
+                .position(|&c| c == class.effective())
+                .unwrap_or(2);
+            let flow = scenario.add_cbr_flow(h, class, w.packet_bytes, w.interval);
+            flows.push((k, flow));
+        }
+    }
+    scenario.set_traffic_window(plan.run.traffic_start, plan.run.traffic_stop);
+    scenario.run_until(plan.run.horizon);
+
+    // Flow metrics, read before finalize exactly as the legacy sweeps do.
+    let mut class_drops = [0u64; 3];
+    let mut class_p99_ms = [0f64; 3];
+    for &(k, f) in &flows {
+        class_drops[k] += scenario.flow_losses(f);
+        let report =
+            fh_traffic::FlowReport::from_sink(scenario.flow_sink(f), scenario.flow_sent(f));
+        class_p99_ms[k] = class_p99_ms[k].max(report.p99_delay.as_millis_f64());
+    }
+
+    // Service-restoration latency: each LinkDown paired with the next
+    // MAP BindingComplete on host 0's timeline.
+    let recovery_ms = if gp.hosts > 0 {
+        let log = &scenario.mh_agent(0).log;
+        let mut gaps_ms = Vec::new();
+        for (i, &(down, phase)) in log.iter().enumerate() {
+            if phase != fh_core::HandoffPhase::LinkDown {
+                continue;
+            }
+            if let Some(&(done, _)) = log[i + 1..]
+                .iter()
+                .find(|(_, q)| *q == fh_core::HandoffPhase::BindingComplete)
+            {
+                gaps_ms.push((done.as_secs_f64() - down.as_secs_f64()) * 1e3);
+            }
+        }
+        if gaps_ms.is_empty() {
+            0.0
+        } else {
+            gaps_ms.iter().sum::<f64>() / gaps_ms.len() as f64
+        }
+    } else {
+        0.0
+    };
+
+    let failed = scenario.finalize();
+    let leak = scenario.leak_report();
+    let outcomes = scenario.outcomes();
+    let trace = if plan.report == ReportKind::Timeline {
+        let mut fragment = ChromeTrace::new();
+        scenario.chrome_trace_into(&mut fragment, pid);
+        Some(fragment)
+    } else {
+        None
+    };
+    let stats = &scenario.sim.shared.stats;
+    let audit = PointAudit {
+        conservation_violations: stats
+            .conservation_violations()
+            .into_iter()
+            .map(|(flow, a)| format!("{flow:?}: {a:?}"))
+            .collect(),
+        leak_clean: leak.is_clean(),
+        leak_detail: format!("{leak:?}"),
+        recorder_overwritten: stats.trace.overwritten(),
+        telemetry_enabled: plan.run.telemetry_ring > 0,
+        predictive: outcomes[0].1,
+        reactive: outcomes[1].1,
+        failed,
+        class_drops,
+        class_p99_ms,
+    };
+    let point = PointRun {
+        loss: gp.loss,
+        hosts: gp.hosts,
+        scheme: gp.scheme,
+        predictive: outcomes[0].1,
+        reactive: outcomes[1].1,
+        failed,
+        recovery_ms,
+        class_drops,
+        class_p99_ms,
+        fault_drops: stats.drops(DropReason::FaultInjected),
+        retransmissions: stats.counter("mh.retransmissions") + stats.counter("ar.retransmissions"),
+        degradations: stats.counter("mh.degradations") + stats.counter("ar.hi_exhausted"),
+        expired: stats.drops(DropReason::Expired),
+        reclaimed: stats.drops(DropReason::Reclaimed),
+        routes_expired: stats.counter("ar.routes_expired"),
+        events: scenario.sim.events_processed(),
+        audit,
+    };
+    (point, trace)
+}
+
+/// Runs a plan's whole grid across `threads` workers and evaluates its
+/// expectations. Deterministic: the artifact and the report are
+/// byte-identical at any thread count.
+#[must_use]
+pub fn run_plan(plan: &ScenarioPlan, threads: usize) -> PlanOutcome {
+    let grid = build_grid(plan);
+    let runs = parallel_map(threads, &grid, |pid, gp| run_point(plan, gp, pid as u64));
+    let mut report = FailureReport::new(plan.name.clone());
+    // Thread count is deliberately NOT part of the context: the same
+    // violations must render the same bytes at any worker count.
+    report.context("seed", plan.seed.to_string());
+    let mut points = Vec::with_capacity(runs.len());
+    let mut traces = Vec::new();
+    let mut events = 0u64;
+    for (i, (point, trace)) in runs.into_iter().enumerate() {
+        let subject = match point.loss {
+            Some(p) => format!("point[{i}] loss={p} scheme={}", point.scheme.label()),
+            None => format!(
+                "point[{i}] hosts={} scheme={}",
+                point.hosts,
+                point.scheme.label()
+            ),
+        };
+        report
+            .entries
+            .extend(plan.expectations.check_point(&subject, &point.audit));
+        events += point.events;
+        if let Some(t) = trace {
+            traces.push(t);
+        }
+        points.push(point);
+    }
+    let artifact = render_artifact(plan, &points, traces);
+    if let Some(entry) = plan.expectations.check_artifact(&artifact) {
+        report.entries.push(entry);
+    }
+    PlanOutcome {
+        artifact,
+        points,
+        events,
+        report,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Artifact renderers
+// ---------------------------------------------------------------------
+
+fn render_artifact(plan: &ScenarioPlan, points: &[PointRun], traces: Vec<ChromeTrace>) -> String {
+    match plan.report {
+        ReportKind::Chaos => render_chaos(points),
+        ReportKind::Storm => render_storm(points),
+        ReportKind::Timeline => {
+            // Fragments merge in grid order, so the JSON is byte-identical
+            // at any thread count.
+            let mut trace = ChromeTrace::new();
+            for fragment in traces {
+                trace.append(fragment);
+            }
+            trace.finish()
+        }
+        ReportKind::Points => render_points(plan, points),
+    }
+}
+
+fn render_chaos(points: &[PointRun]) -> String {
+    let mut table = CsvTable::new(&[
+        "loss",
+        "predictive",
+        "reactive",
+        "failed",
+        "recovery_ms",
+        "f1_drops",
+        "f2_drops",
+        "f3_drops",
+        "fault_drops",
+        "retransmissions",
+        "degradations",
+    ]);
+    for p in points {
+        table.row(&[
+            p.loss.unwrap_or(0.0).into(),
+            p.predictive.into(),
+            p.reactive.into(),
+            p.failed.into(),
+            Cell::Fixed(p.recovery_ms, 3),
+            p.class_drops[0].into(),
+            p.class_drops[1].into(),
+            p.class_drops[2].into(),
+            p.fault_drops.into(),
+            p.retransmissions.into(),
+            p.degradations.into(),
+        ]);
+    }
+    table.finish()
+}
+
+fn render_storm(points: &[PointRun]) -> String {
+    let mut table = CsvTable::new(&[
+        "mhs",
+        "scheme",
+        "f1_drops",
+        "f2_drops",
+        "f3_drops",
+        "f1_p99_ms",
+        "f2_p99_ms",
+        "f3_p99_ms",
+        "expired",
+        "reclaimed",
+        "failed",
+        "routes_expired",
+    ]);
+    for p in points {
+        let scheme = p.scheme.label().to_lowercase();
+        table.row(&[
+            p.hosts.into(),
+            scheme.as_str().into(),
+            p.class_drops[0].into(),
+            p.class_drops[1].into(),
+            p.class_drops[2].into(),
+            Cell::Fixed(p.class_p99_ms[0], 3),
+            Cell::Fixed(p.class_p99_ms[1], 3),
+            Cell::Fixed(p.class_p99_ms[2], 3),
+            p.expired.into(),
+            p.reclaimed.into(),
+            p.failed.into(),
+            p.routes_expired.into(),
+        ]);
+    }
+    table.finish()
+}
+
+fn render_points(plan: &ScenarioPlan, points: &[PointRun]) -> String {
+    let mut table = CsvTable::new(&[
+        "x",
+        "scheme",
+        "predictive",
+        "reactive",
+        "failed",
+        "recovery_ms",
+        "f1_drops",
+        "f2_drops",
+        "f3_drops",
+        "f1_p99_ms",
+        "f2_p99_ms",
+        "f3_p99_ms",
+        "fault_drops",
+        "retransmissions",
+        "degradations",
+        "expired",
+        "reclaimed",
+        "routes_expired",
+    ]);
+    for p in points {
+        let x: Cell<'_> = match plan.axis {
+            Axis::Loss(_) => p.loss.unwrap_or(0.0).into(),
+            _ => p.hosts.into(),
+        };
+        let scheme = p.scheme.label().to_lowercase();
+        table.row(&[
+            x,
+            scheme.as_str().into(),
+            p.predictive.into(),
+            p.reactive.into(),
+            p.failed.into(),
+            Cell::Fixed(p.recovery_ms, 3),
+            p.class_drops[0].into(),
+            p.class_drops[1].into(),
+            p.class_drops[2].into(),
+            Cell::Fixed(p.class_p99_ms[0], 3),
+            Cell::Fixed(p.class_p99_ms[1], 3),
+            Cell::Fixed(p.class_p99_ms[2], 3),
+            p.fault_drops.into(),
+            p.retransmissions.into(),
+            p.degradations.into(),
+            p.expired.into(),
+            p.reclaimed.into(),
+            p.routes_expired.into(),
+        ]);
+    }
+    table.finish()
+}
+
+// ---------------------------------------------------------------------
+// TOML loading
+// ---------------------------------------------------------------------
+
+use crate::toml::{Entry, Value};
+
+const KNOWN_TABLES: [&str; 10] = [
+    "plan",
+    "topology",
+    "protocol",
+    "matrix",
+    "faults",
+    "faults.par",
+    "faults.nar",
+    "faults.mh",
+    "run",
+    "expectations",
+];
+
+struct Ctx<'a> {
+    file: &'a str,
+    table: &'a str,
+}
+
+impl Ctx<'_> {
+    fn err(&self, field: &str, message: impl Into<String>) -> PlanError {
+        PlanError::at_field(self.file, self.table, field, message)
+    }
+
+    fn type_err(&self, e: &Entry, expected: &str) -> PlanError {
+        self.err(
+            &e.key,
+            format!("expected {expected}, got {}", e.value.type_name()),
+        )
+    }
+
+    fn str<'v>(&self, e: &'v Entry) -> Result<&'v str, PlanError> {
+        match &e.value {
+            Value::Str(s) => Ok(s),
+            _ => Err(self.type_err(e, "a string")),
+        }
+    }
+
+    fn bool(&self, e: &Entry) -> Result<bool, PlanError> {
+        match e.value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(self.type_err(e, "a boolean")),
+        }
+    }
+
+    fn int(&self, e: &Entry) -> Result<i64, PlanError> {
+        match e.value {
+            Value::Int(i) => Ok(i),
+            _ => Err(self.type_err(e, "an integer")),
+        }
+    }
+
+    fn usize(&self, e: &Entry) -> Result<usize, PlanError> {
+        let i = self.int(e)?;
+        usize::try_from(i).map_err(|_| self.err(&e.key, format!("must be non-negative, got {i}")))
+    }
+
+    fn u32(&self, e: &Entry) -> Result<u32, PlanError> {
+        let i = self.int(e)?;
+        u32::try_from(i).map_err(|_| self.err(&e.key, format!("out of range, got {i}")))
+    }
+
+    fn u64(&self, e: &Entry) -> Result<u64, PlanError> {
+        let i = self.int(e)?;
+        u64::try_from(i).map_err(|_| self.err(&e.key, format!("must be non-negative, got {i}")))
+    }
+
+    fn f64(&self, e: &Entry) -> Result<f64, PlanError> {
+        match e.value {
+            Value::Float(f) => Ok(f),
+            Value::Int(i) => Ok(i as f64),
+            _ => Err(self.type_err(e, "a number")),
+        }
+    }
+
+    fn prob(&self, e: &Entry) -> Result<f64, PlanError> {
+        let p = self.f64(e)?;
+        if (0.0..=1.0).contains(&p) {
+            Ok(p)
+        } else {
+            Err(self.err(&e.key, format!("must be a probability in [0, 1], got {p}")))
+        }
+    }
+
+    /// A duration given in milliseconds (integer or float, non-negative).
+    fn ms(&self, e: &Entry) -> Result<SimDuration, PlanError> {
+        let ms = self.f64(e)?;
+        if ms < 0.0 || !ms.is_finite() {
+            return Err(self.err(&e.key, format!("must be a non-negative duration, got {ms}")));
+        }
+        Ok(SimDuration::from_nanos((ms * 1e6).round() as u64))
+    }
+
+    /// A duration given in microseconds.
+    fn us(&self, e: &Entry) -> Result<SimDuration, PlanError> {
+        let us = self.f64(e)?;
+        if us < 0.0 || !us.is_finite() {
+            return Err(self.err(&e.key, format!("must be a non-negative duration, got {us}")));
+        }
+        Ok(SimDuration::from_nanos((us * 1e3).round() as u64))
+    }
+
+    fn floats(&self, e: &Entry) -> Result<Vec<f64>, PlanError> {
+        let Value::Array(items) = &e.value else {
+            return Err(self.type_err(e, "an array of numbers"));
+        };
+        items
+            .iter()
+            .map(|v| match v {
+                Value::Float(f) => Ok(*f),
+                Value::Int(i) => Ok(*i as f64),
+                other => Err(self.err(
+                    &e.key,
+                    format!("expected numbers, found a {}", other.type_name()),
+                )),
+            })
+            .collect()
+    }
+
+    fn unknown_key(&self, e: &Entry, valid: &[&str]) -> PlanError {
+        self.err(
+            &e.key,
+            format!("unknown key (valid keys: {})", valid.join(", ")),
+        )
+    }
+}
+
+fn check_tables(doc: &crate::toml::Doc, file: &str) -> Result<(), PlanError> {
+    if let Some(first) = doc.root.entries.first() {
+        return Err(PlanError::at_line(
+            file,
+            first.line,
+            format!(
+                "key `{}` outside any table (every key belongs to a [table])",
+                first.key
+            ),
+        ));
+    }
+    for (name, table) in &doc.tables {
+        if name == "workload" {
+            return Err(PlanError::at_line(
+                file,
+                table.line,
+                "workloads are an array of tables: write `[[workload]]`, not `[workload]`",
+            ));
+        }
+        if !KNOWN_TABLES.contains(&name.as_str()) {
+            return Err(PlanError::at_line(
+                file,
+                table.line,
+                format!(
+                    "unknown table `[{name}]` (valid tables: {}, plus [[workload]])",
+                    KNOWN_TABLES.join(", ")
+                ),
+            ));
+        }
+    }
+    for (name, table) in &doc.arrays {
+        if name != "workload" {
+            return Err(PlanError::at_line(
+                file,
+                table.line,
+                format!("unknown array of tables `[[{name}]]` (only [[workload]] is supported)"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+impl ScenarioPlan {
+    /// Loads a plan from its TOML source. `file` is the display name
+    /// used in error messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] naming the file, table and field for any
+    /// syntax error, unknown table/key, type mismatch, out-of-range
+    /// value or cross-field inconsistency. Never panics on malformed
+    /// input.
+    pub fn from_toml(input: &str, file: &str) -> Result<Self, PlanError> {
+        let doc = crate::toml::parse(input, file)?;
+        check_tables(&doc, file)?;
+
+        // [plan]
+        let mut name = None;
+        let mut seed = 2003u64;
+        let mut report = ReportKind::Points;
+        if let Some(t) = doc.table("plan") {
+            let c = Ctx {
+                file,
+                table: "plan",
+            };
+            for e in &t.entries {
+                match e.key.as_str() {
+                    "name" => name = Some(c.str(e)?.to_owned()),
+                    "seed" => seed = c.u64(e)?,
+                    "report" => {
+                        let s = c.str(e)?;
+                        report = match s {
+                            "chaos" => ReportKind::Chaos,
+                            "storm" => ReportKind::Storm,
+                            "timeline" => ReportKind::Timeline,
+                            "points" => ReportKind::Points,
+                            other => {
+                                return Err(c.err(
+                                    "report",
+                                    format!(
+                                        "unknown report `{other}` (expected chaos, storm, \
+                                         timeline or points)"
+                                    ),
+                                ))
+                            }
+                        };
+                    }
+                    _ => return Err(c.unknown_key(e, &["name", "seed", "report"])),
+                }
+            }
+        }
+        let name = name
+            .ok_or_else(|| PlanError::at_field(file, "plan", "name", "required key is missing"))?;
+
+        // [topology]
+        let mut topology = TopologySpec::default();
+        if let Some(t) = doc.table("topology") {
+            let c = Ctx {
+                file,
+                table: "topology",
+            };
+            for e in &t.entries {
+                match e.key.as_str() {
+                    "hosts" => {
+                        topology.hosts = c.usize(e)?;
+                        if topology.hosts == 0 {
+                            return Err(c.err("hosts", "must be at least 1"));
+                        }
+                    }
+                    "buffer_capacity" => topology.buffer_capacity = c.usize(e)?,
+                    "movement" => {
+                        let s = c.str(e)?;
+                        topology.movement = match s {
+                            "one-way" => MovementPlan::OneWay,
+                            "ping-pong" => MovementPlan::PingPong,
+                            "parked" => MovementPlan::Parked,
+                            "crossing" => MovementPlan::Crossing,
+                            other => {
+                                return Err(c.err(
+                                    "movement",
+                                    format!(
+                                        "unknown movement `{other}` (expected one-way, \
+                                         ping-pong, parked or crossing)"
+                                    ),
+                                ))
+                            }
+                        };
+                    }
+                    "ar_link_delay_ms" => topology.ar_link_delay = c.ms(e)?,
+                    "l2_blackout_ms" => topology.l2_blackout = c.ms(e)?,
+                    "speed_mps" => {
+                        topology.speed = c.f64(e)?;
+                        if topology.speed <= 0.0 || !topology.speed.is_finite() {
+                            return Err(c.err("speed_mps", "must be positive"));
+                        }
+                    }
+                    "stagger_ms" => topology.stagger = c.ms(e)?,
+                    _ => {
+                        return Err(c.unknown_key(
+                            e,
+                            &[
+                                "hosts",
+                                "buffer_capacity",
+                                "movement",
+                                "ar_link_delay_ms",
+                                "l2_blackout_ms",
+                                "speed_mps",
+                                "stagger_ms",
+                            ],
+                        ))
+                    }
+                }
+            }
+        }
+
+        // [protocol]
+        let mut protocol = ProtocolConfig::default();
+        if let Some(t) = doc.table("protocol") {
+            let c = Ctx {
+                file,
+                table: "protocol",
+            };
+            for e in &t.entries {
+                match e.key.as_str() {
+                    "scheme" => {
+                        protocol.scheme = Scheme::from_str(c.str(e)?)
+                            .map_err(|err| c.err("scheme", err.to_string()))?;
+                    }
+                    "buffer_request" => protocol.buffer_request = c.u32(e)?,
+                    "threshold_a" => protocol.threshold_a = c.u32(e)?,
+                    "flush_spacing_us" => protocol.flush_spacing = c.us(e)?,
+                    "retransmit" => {
+                        protocol.rtx = RetransmitConfig::from_str(c.str(e)?)
+                            .map_err(|err| c.err("retransmit", err.to_string()))?;
+                    }
+                    "host_route_lifetime_ms" => protocol.host_route_lifetime = c.ms(e)?,
+                    "dead_peer_timeout_ms" => protocol.dead_peer_timeout = c.ms(e)?,
+                    _ => {
+                        return Err(c.unknown_key(
+                            e,
+                            &[
+                                "scheme",
+                                "buffer_request",
+                                "threshold_a",
+                                "flush_spacing_us",
+                                "retransmit",
+                                "host_route_lifetime_ms",
+                                "dead_peer_timeout_ms",
+                            ],
+                        ))
+                    }
+                }
+            }
+        }
+
+        // [matrix]
+        let mut axis = Axis::None;
+        let mut schemes = vec![protocol.scheme];
+        if let Some(t) = doc.table("matrix") {
+            let c = Ctx {
+                file,
+                table: "matrix",
+            };
+            let mut axis_name: Option<String> = None;
+            let mut values: Option<&Entry> = None;
+            for e in &t.entries {
+                match e.key.as_str() {
+                    "axis" => axis_name = Some(c.str(e)?.to_owned()),
+                    "values" => values = Some(e),
+                    "schemes" => {
+                        let Value::Array(items) = &e.value else {
+                            return Err(c.type_err(e, "an array of scheme names"));
+                        };
+                        if items.is_empty() {
+                            return Err(c.err("schemes", "must not be empty"));
+                        }
+                        let mut parsed = Vec::with_capacity(items.len());
+                        for v in items {
+                            let Value::Str(s) = v else {
+                                return Err(c.err(
+                                    "schemes",
+                                    format!("expected strings, found a {}", v.type_name()),
+                                ));
+                            };
+                            let scheme = Scheme::from_str(s)
+                                .map_err(|err| c.err("schemes", err.to_string()))?;
+                            if parsed.contains(&scheme) {
+                                return Err(c.err(
+                                    "schemes",
+                                    format!("scheme `{}` listed twice", scheme.label()),
+                                ));
+                            }
+                            parsed.push(scheme);
+                        }
+                        schemes = parsed;
+                    }
+                    _ => return Err(c.unknown_key(e, &["axis", "values", "schemes"])),
+                }
+            }
+            match (axis_name.as_deref(), values) {
+                (None, None) => {}
+                (None, Some(_)) => {
+                    return Err(c.err("values", "`values` needs an `axis` (loss or hosts)"))
+                }
+                (Some(_), None) => return Err(c.err("axis", "an axis needs `values` to sweep")),
+                (Some("loss"), Some(e)) => {
+                    let probs = c.floats(e)?;
+                    if probs.is_empty() {
+                        return Err(c.err("values", "must not be empty"));
+                    }
+                    for &p in &probs {
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(c.err(
+                                "values",
+                                format!("loss must be a probability in [0, 1], got {p}"),
+                            ));
+                        }
+                    }
+                    axis = Axis::Loss(probs);
+                }
+                (Some("hosts"), Some(e)) => {
+                    let Value::Array(items) = &e.value else {
+                        return Err(c.type_err(e, "an array of host counts"));
+                    };
+                    if items.is_empty() {
+                        return Err(c.err("values", "must not be empty"));
+                    }
+                    let mut ns = Vec::with_capacity(items.len());
+                    for v in items {
+                        let Value::Int(i) = v else {
+                            return Err(c.err(
+                                "values",
+                                format!("expected integers, found a {}", v.type_name()),
+                            ));
+                        };
+                        if *i < 1 {
+                            return Err(c.err(
+                                "values",
+                                format!("host counts must be at least 1, got {i}"),
+                            ));
+                        }
+                        ns.push(*i as usize);
+                    }
+                    axis = Axis::Hosts(ns);
+                }
+                (Some(other), Some(_)) => {
+                    return Err(c.err(
+                        "axis",
+                        format!("unknown axis `{other}` (expected loss or hosts)"),
+                    ))
+                }
+            }
+        }
+
+        // [faults] and its node sub-tables.
+        let mut faults = FaultPlan::default();
+        if let Some(t) = doc.table("faults") {
+            let c = Ctx {
+                file,
+                table: "faults",
+            };
+            for e in &t.entries {
+                match e.key.as_str() {
+                    "ar_link_loss" => faults.ar_link.loss = c.prob(e)?,
+                    "ar_link_jitter_us" => faults.ar_link.jitter = c.us(e)?,
+                    "wireless_loss" => faults.wireless.loss = c.prob(e)?,
+                    "wireless_jitter_us" => faults.wireless.jitter = c.us(e)?,
+                    "wireless_duplicate" => faults.wireless.duplicate = c.prob(e)?,
+                    "wireless_burst" => {
+                        let ps = c.floats(e)?;
+                        let [g2b, b2g, lg, lb] = ps.as_slice() else {
+                            return Err(c.err(
+                                "wireless_burst",
+                                format!(
+                                    "expected 4 probabilities [p_good_to_bad, p_bad_to_good, \
+                                     loss_good, loss_bad], got {}",
+                                    ps.len()
+                                ),
+                            ));
+                        };
+                        faults.wireless.burst = Some(GilbertElliott {
+                            p_good_to_bad: *g2b,
+                            p_bad_to_good: *b2g,
+                            loss_good: *lg,
+                            loss_bad: *lb,
+                        });
+                    }
+                    _ => {
+                        return Err(c.unknown_key(
+                            e,
+                            &[
+                                "ar_link_loss",
+                                "ar_link_jitter_us",
+                                "wireless_loss",
+                                "wireless_jitter_us",
+                                "wireless_duplicate",
+                                "wireless_burst",
+                            ],
+                        ))
+                    }
+                }
+            }
+            faults.ar_link = faults
+                .ar_link
+                .validated()
+                .map_err(|m| PlanError::at_field(file, "faults", "ar_link", m))?;
+            faults.wireless = faults
+                .wireless
+                .validated()
+                .map_err(|m| PlanError::at_field(file, "faults", "wireless", m))?;
+        }
+        for (table_name, router) in [
+            ("faults.par", true),
+            ("faults.nar", true),
+            ("faults.mh", false),
+        ] {
+            let Some(t) = doc.table(table_name) else {
+                continue;
+            };
+            let c = Ctx {
+                file,
+                table: table_name,
+            };
+            let mut spec = NodeFaultSpec::default();
+            for e in &t.entries {
+                match (e.key.as_str(), router) {
+                    ("crash_at_ms", true) => {
+                        spec.crash_at = Some(SimTime::ZERO + c.ms(e)?);
+                    }
+                    ("restart_after_ms", true) => spec.restart_after = Some(c.ms(e)?),
+                    ("power_off_at_ms", false) => {
+                        spec.power_off_at = Some(SimTime::ZERO + c.ms(e)?);
+                    }
+                    _ => {
+                        let valid: &[&str] = if router {
+                            &["crash_at_ms", "restart_after_ms"]
+                        } else {
+                            &["power_off_at_ms"]
+                        };
+                        return Err(c.unknown_key(e, valid));
+                    }
+                }
+            }
+            if spec.restart_after.is_some() && spec.crash_at.is_none() {
+                return Err(c.err("restart_after_ms", "`restart_after_ms` needs `crash_at_ms`"));
+            }
+            match table_name {
+                "faults.par" => faults.par = spec,
+                "faults.nar" => faults.nar = spec,
+                _ => faults.mh = spec,
+            }
+        }
+
+        // [[workload]]
+        let mut workloads = Vec::new();
+        for t in doc.array_of("workload") {
+            let c = Ctx {
+                file,
+                table: "workload",
+            };
+            let mut hosts = HostSelector::All;
+            let mut class = ClassPlan::Fixed(ServiceClass::Unspecified);
+            let mut packet_bytes = 160u32;
+            let mut interval_ms: Option<&Entry> = None;
+            let mut kbps: Option<&Entry> = None;
+            for e in &t.entries {
+                match e.key.as_str() {
+                    "host" => {
+                        hosts = match &e.value {
+                            Value::Str(s) if s == "all" => HostSelector::All,
+                            Value::Int(i) if *i >= 0 => HostSelector::One(*i as usize),
+                            Value::Int(i) => {
+                                return Err(c.err("host", format!("must be non-negative, got {i}")))
+                            }
+                            _ => {
+                                return Err(c.err(
+                                    "host",
+                                    format!(
+                                        "expected a host index or \"all\", got a {}",
+                                        e.value.type_name()
+                                    ),
+                                ))
+                            }
+                        };
+                    }
+                    "class" => {
+                        let s = c.str(e)?;
+                        class = if s.eq_ignore_ascii_case("round-robin") {
+                            ClassPlan::RoundRobin
+                        } else {
+                            ClassPlan::Fixed(
+                                ServiceClass::from_str(s)
+                                    .map_err(|err| c.err("class", err.to_string()))?,
+                            )
+                        };
+                    }
+                    "packet_bytes" => {
+                        packet_bytes = c.u32(e)?;
+                        if packet_bytes == 0 {
+                            return Err(c.err("packet_bytes", "must be at least 1"));
+                        }
+                    }
+                    "interval_ms" => interval_ms = Some(e),
+                    "kbps" => kbps = Some(e),
+                    _ => {
+                        return Err(c.unknown_key(
+                            e,
+                            &["host", "class", "packet_bytes", "interval_ms", "kbps"],
+                        ))
+                    }
+                }
+            }
+            let interval = match (interval_ms, kbps) {
+                (Some(e), None) => {
+                    let d = c.ms(e)?;
+                    if d == SimDuration::ZERO {
+                        return Err(c.err("interval_ms", "must be positive"));
+                    }
+                    d
+                }
+                (None, Some(e)) => {
+                    let rate = c.f64(e)?;
+                    if rate <= 0.0 || !rate.is_finite() {
+                        return Err(c.err("kbps", "must be positive"));
+                    }
+                    SimDuration::from_secs_f64(f64::from(packet_bytes) * 8.0 / (rate * 1000.0))
+                }
+                (Some(_), Some(_)) => {
+                    return Err(c.err("kbps", "give either `interval_ms` or `kbps`, not both"))
+                }
+                (None, None) => {
+                    return Err(c.err("interval_ms", "a workload needs `interval_ms` or `kbps`"))
+                }
+            };
+            workloads.push(WorkloadSpec {
+                hosts,
+                class,
+                packet_bytes,
+                interval,
+            });
+        }
+
+        // [run]
+        let mut run = RunSpec::default();
+        if report == ReportKind::Timeline {
+            run.telemetry_ring = DEFAULT_TIMELINE_RING;
+        }
+        if let Some(t) = doc.table("run") {
+            let c = Ctx { file, table: "run" };
+            for e in &t.entries {
+                match e.key.as_str() {
+                    "traffic_start_ms" => run.traffic_start = SimTime::ZERO + c.ms(e)?,
+                    "traffic_stop_ms" => run.traffic_stop = SimTime::ZERO + c.ms(e)?,
+                    "horizon_ms" => run.horizon = SimTime::ZERO + c.ms(e)?,
+                    "telemetry_ring" => run.telemetry_ring = c.usize(e)?,
+                    _ => {
+                        return Err(c.unknown_key(
+                            e,
+                            &[
+                                "traffic_start_ms",
+                                "traffic_stop_ms",
+                                "horizon_ms",
+                                "telemetry_ring",
+                            ],
+                        ))
+                    }
+                }
+            }
+        }
+        if run.traffic_start >= run.traffic_stop {
+            return Err(PlanError::at_field(
+                file,
+                "run",
+                "traffic_stop_ms",
+                format!(
+                    "traffic window is empty: start {:?} >= stop {:?}",
+                    run.traffic_start, run.traffic_stop
+                ),
+            ));
+        }
+        if run.traffic_stop > run.horizon {
+            return Err(PlanError::at_field(
+                file,
+                "run",
+                "horizon_ms",
+                format!(
+                    "horizon {:?} ends before traffic stops at {:?}",
+                    run.horizon, run.traffic_stop
+                ),
+            ));
+        }
+
+        // [expectations]
+        let mut expectations = Expectations::default();
+        if let Some(t) = doc.table("expectations") {
+            let c = Ctx {
+                file,
+                table: "expectations",
+            };
+            for e in &t.entries {
+                match e.key.as_str() {
+                    "conservation" => expectations.conservation = c.bool(e)?,
+                    "no_leaks" => expectations.no_leaks = c.bool(e)?,
+                    "recorder_clean" => expectations.recorder_clean = c.bool(e)?,
+                    "max_failed_ratio" => {
+                        expectations.max_failed_ratio = Some(c.prob(e)?);
+                    }
+                    "class_drop_max" => {
+                        let Value::Array(items) = &e.value else {
+                            return Err(c.type_err(e, "an array of 3 integers"));
+                        };
+                        let mut bounds = [0u64; 3];
+                        if items.len() != 3 {
+                            return Err(c.err(
+                                "class_drop_max",
+                                format!("expected 3 per-class bounds, got {}", items.len()),
+                            ));
+                        }
+                        for (k, v) in items.iter().enumerate() {
+                            let Value::Int(i) = v else {
+                                return Err(c.err(
+                                    "class_drop_max",
+                                    format!("expected integers, found a {}", v.type_name()),
+                                ));
+                            };
+                            bounds[k] = u64::try_from(*i).map_err(|_| {
+                                c.err("class_drop_max", format!("must be non-negative, got {i}"))
+                            })?;
+                        }
+                        expectations.class_drop_max = Some(bounds);
+                    }
+                    "class_p99_max_ms" => {
+                        let ps = c.floats(e)?;
+                        let [a, b, d] = ps.as_slice() else {
+                            return Err(c.err(
+                                "class_p99_max_ms",
+                                format!("expected 3 per-class bounds, got {}", ps.len()),
+                            ));
+                        };
+                        expectations.class_p99_max_ms = Some([*a, *b, *d]);
+                    }
+                    "artifact_fnv1a" => {
+                        let s = c.str(e)?;
+                        let Some(hex) = s.strip_prefix("0x") else {
+                            return Err(c.err(
+                                "artifact_fnv1a",
+                                format!("expected a 0x-prefixed hex hash, got `{s}`"),
+                            ));
+                        };
+                        let hash = u64::from_str_radix(hex, 16).map_err(|_| {
+                            c.err("artifact_fnv1a", format!("not a 64-bit hex hash: `{s}`"))
+                        })?;
+                        expectations.artifact_fnv1a = Some(hash);
+                    }
+                    _ => {
+                        return Err(c.unknown_key(
+                            e,
+                            &[
+                                "conservation",
+                                "no_leaks",
+                                "recorder_clean",
+                                "max_failed_ratio",
+                                "class_drop_max",
+                                "class_p99_max_ms",
+                                "artifact_fnv1a",
+                            ],
+                        ))
+                    }
+                }
+            }
+        }
+
+        let plan = ScenarioPlan {
+            name,
+            seed,
+            report,
+            topology,
+            protocol,
+            schemes,
+            axis,
+            workloads,
+            faults,
+            run,
+            expectations,
+        };
+
+        // Cross-validation: every explicit workload host must exist at
+        // every grid point.
+        let min_hosts = plan.min_hosts();
+        for w in &plan.workloads {
+            if let HostSelector::One(i) = w.hosts {
+                if i >= min_hosts {
+                    return Err(PlanError::at_field(
+                        file,
+                        "workload",
+                        "host",
+                        format!(
+                            "host index {i} out of range: the smallest grid point runs \
+                             {min_hosts} host(s)"
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The seeded plan fuzzer
+// ---------------------------------------------------------------------
+
+/// Derives the `index`-th random-but-valid plan from `base_seed`.
+///
+/// Fuzzed plans explore the full configuration surface — every movement
+/// pattern and scheme, storms, faults (loss, bursts, duplication,
+/// jitter, router crash/restart, host power loss), telemetry on and off
+/// — while always demanding the universal battery: packet conservation
+/// and an intact flight recorder. Leak-freedom is additionally demanded
+/// when the plan is fault-free and actually quiesces (no ping-pong
+/// host, no crash).
+#[must_use]
+pub fn fuzz_plan(base_seed: u64, index: u64) -> ScenarioPlan {
+    let mut rng = Rng64::seed_from(derive_seed(base_seed, index));
+    let hosts = 1 + rng.gen_range_u64(6) as usize;
+    let movement = [
+        MovementPlan::OneWay,
+        MovementPlan::PingPong,
+        MovementPlan::Parked,
+        MovementPlan::Crossing,
+    ][rng.gen_range_u64(4) as usize];
+
+    let mut schemes = vec![Scheme::ALL[rng.gen_range_u64(5) as usize]];
+    if rng.gen_bool(0.4) {
+        let second = Scheme::ALL[rng.gen_range_u64(5) as usize];
+        if !schemes.contains(&second) {
+            schemes.push(second);
+        }
+    }
+
+    let axis = if rng.gen_bool(0.3) {
+        let a = 1 + rng.gen_range_u64(4) as usize;
+        let b = a + 1 + rng.gen_range_u64(4) as usize;
+        Axis::Hosts(vec![a, b])
+    } else {
+        Axis::None
+    };
+
+    let mut protocol = ProtocolConfig::with_scheme(schemes[0]);
+    protocol.buffer_request = 4 + rng.gen_range_u64(37) as u32;
+    protocol.threshold_a = rng.gen_range_u64(16) as u32;
+    if rng.gen_bool(0.5) {
+        protocol.rtx = RetransmitConfig::hardened();
+    }
+    // Soft state always armed: fuzzing hunts for lifetimes reclaiming
+    // state the protocol still needs.
+    protocol.host_route_lifetime = SimDuration::from_secs(2);
+    protocol.dead_peer_timeout = SimDuration::from_secs(3);
+
+    let topology = TopologySpec {
+        hosts,
+        buffer_capacity: 8 + rng.gen_range_u64(57) as usize,
+        movement,
+        l2_blackout: SimDuration::from_millis(60 + rng.gen_range_u64(341)),
+        speed: 5.0 + rng.next_f64() * 15.0,
+        stagger: if movement == MovementPlan::OneWay && rng.gen_bool(0.5) {
+            SimDuration::from_millis(100 + rng.gen_range_u64(401))
+        } else {
+            SimDuration::ZERO
+        },
+        ..TopologySpec::default()
+    };
+
+    let mut faults = FaultPlan::default();
+    if rng.gen_bool(0.4) {
+        faults.wireless.loss = rng.next_f64() * 0.15;
+    }
+    if rng.gen_bool(0.3) {
+        faults.ar_link.loss = rng.next_f64() * 0.15;
+    }
+    if rng.gen_bool(0.2) {
+        faults.wireless.duplicate = rng.next_f64() * 0.1;
+    }
+    if rng.gen_bool(0.2) {
+        faults.wireless.jitter = SimDuration::from_micros(rng.gen_range_u64(2001));
+    }
+    if rng.gen_bool(0.15) {
+        faults.par = NodeFaultSpec::crash_restart(
+            SimTime::from_millis(3000 + rng.gen_range_u64(3001)),
+            SimDuration::from_millis(500 + rng.gen_range_u64(1001)),
+        );
+    }
+    if rng.gen_bool(0.1) {
+        faults.mh = NodeFaultSpec::power_off(SimTime::from_millis(3000 + rng.gen_range_u64(3001)));
+    }
+
+    let min_hosts = match &axis {
+        Axis::Hosts(ns) => ns.iter().copied().min().unwrap_or(hosts),
+        _ => hosts,
+    };
+    let n_workloads = 1 + rng.gen_range_u64(3);
+    let mut workloads = Vec::with_capacity(n_workloads as usize);
+    for _ in 0..n_workloads {
+        let selector = if rng.gen_bool(0.5) {
+            HostSelector::All
+        } else {
+            HostSelector::One(rng.gen_range_u64(min_hosts as u64) as usize)
+        };
+        let class = if rng.gen_bool(0.3) {
+            ClassPlan::RoundRobin
+        } else {
+            ClassPlan::Fixed(ServiceClass::ALL[rng.gen_range_u64(4) as usize])
+        };
+        workloads.push(WorkloadSpec {
+            hosts: selector,
+            class,
+            packet_bytes: 160,
+            interval: SimDuration::from_millis(10 + rng.gen_range_u64(31)),
+        });
+    }
+
+    let stop_ms = 4000 + rng.gen_range_u64(6001);
+    let run = RunSpec {
+        traffic_start: SimTime::from_millis(500),
+        traffic_stop: SimTime::from_millis(stop_ms),
+        horizon: SimTime::from_millis(stop_ms + 10_000),
+        telemetry_ring: if rng.gen_bool(0.25) {
+            DEFAULT_TIMELINE_RING
+        } else {
+            0
+        },
+    };
+
+    // Leak-freedom needs a run that actually quiesces: no host still
+    // shuttling at the horizon and no fault tearing state down under
+    // the audit.
+    let quiesces = movement != MovementPlan::PingPong && faults.is_noop();
+    ScenarioPlan {
+        name: format!("fuzz-{index:04}"),
+        seed: derive_seed(base_seed, index),
+        report: ReportKind::Points,
+        topology,
+        protocol,
+        schemes,
+        axis,
+        workloads,
+        faults,
+        run,
+        expectations: Expectations {
+            no_leaks: quiesces,
+            ..Expectations::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fh_telemetry::report::fnv1a64;
+
+    const MINIMAL: &str = r#"
+[plan]
+name = "minimal"
+seed = 7
+
+[topology]
+hosts = 1
+movement = "parked"
+
+[[workload]]
+host = 0
+class = "high-priority"
+interval_ms = 20
+
+[run]
+traffic_start_ms = 500
+traffic_stop_ms = 1500
+horizon_ms = 3000
+"#;
+
+    #[test]
+    fn minimal_plan_parses_runs_and_passes() {
+        let plan = ScenarioPlan::from_toml(MINIMAL, "minimal.toml").expect("parses");
+        assert_eq!(plan.name, "minimal");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.report, ReportKind::Points);
+        assert_eq!(plan.topology.movement, MovementPlan::Parked);
+        let outcome = run_plan(&plan, 1);
+        assert!(outcome.report.is_empty(), "{}", outcome.report.to_json());
+        assert!(outcome.artifact.starts_with("x,scheme,"));
+        assert_eq!(outcome.points.len(), 1);
+    }
+
+    #[test]
+    fn plans_are_thread_count_invariant() {
+        let mut plan = ScenarioPlan::from_toml(MINIMAL, "minimal.toml").expect("parses");
+        plan.axis = Axis::Hosts(vec![1, 2, 3]);
+        let seq = run_plan(&plan, 1);
+        let par = run_plan(&plan, 4);
+        assert_eq!(seq.artifact, par.artifact);
+        assert_eq!(seq.report.to_json(), par.report.to_json());
+        assert_eq!(seq.events, par.events);
+    }
+
+    #[test]
+    fn violated_bound_produces_a_structured_report() {
+        let mut plan = ScenarioPlan::from_toml(MINIMAL, "minimal.toml").expect("parses");
+        // A parked host never hands over, so demanding at least 95%
+        // predictive completions cannot hold… but with zero attempts the
+        // ratio check is skipped; bound the p99 instead, impossibly low.
+        plan.expectations.class_p99_max_ms = Some([0.0; 3]);
+        let outcome = run_plan(&plan, 1);
+        assert!(!outcome.report.is_empty());
+        let json = outcome.report.to_json();
+        assert!(json.contains("class_p99_max_ms"), "{json}");
+        assert!(json.contains("high-priority"), "{json}");
+    }
+
+    #[test]
+    fn artifact_lock_round_trips_and_with_seed_clears_it() {
+        let plan = ScenarioPlan::from_toml(MINIMAL, "minimal.toml").expect("parses");
+        let artifact = run_plan(&plan, 1).artifact;
+        let mut locked = plan.clone();
+        locked.expectations.artifact_fnv1a = Some(fnv1a64(artifact.as_bytes()));
+        assert!(run_plan(&locked, 1).report.is_empty());
+        // A wrong lock is a violation…
+        locked.expectations.artifact_fnv1a = Some(1);
+        let outcome = run_plan(&locked, 1);
+        assert_eq!(outcome.report.entries.len(), 1);
+        assert_eq!(outcome.report.entries[0].check, "artifact_fnv1a");
+        // …and rebasing the seed clears the stale lock.
+        locked.expectations.artifact_fnv1a = Some(1);
+        let rebased = locked.clone().with_seed(99);
+        assert_eq!(rebased.expectations.artifact_fnv1a, None);
+        // Same seed keeps the lock.
+        let kept = locked.clone().with_seed(locked.seed);
+        assert_eq!(kept.expectations.artifact_fnv1a, Some(1));
+    }
+
+    #[test]
+    fn grid_shares_seeds_across_schemes_at_one_axis_point() {
+        let mut plan = reference_storm();
+        plan.axis = Axis::Hosts(vec![4, 8]);
+        let grid = build_grid(&plan);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0].seed, grid[1].seed, "schemes share the point seed");
+        assert_ne!(grid[0].seed, grid[2].seed, "axis points differ");
+        assert_eq!(grid[0].scheme, Scheme::NarOnly);
+        assert_eq!(grid[1].scheme, Scheme::Dual { classify: true });
+        assert_eq!(grid[2].hosts, 8);
+    }
+
+    #[test]
+    fn missing_plan_name_is_a_pointed_error() {
+        let err = ScenarioPlan::from_toml("[plan]\nseed = 1\n", "p.toml").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "p.toml: [plan].name: required key is missing"
+        );
+    }
+
+    #[test]
+    fn unknown_table_and_key_are_pointed_errors() {
+        let err =
+            ScenarioPlan::from_toml("[plan]\nname = \"x\"\n[wat]\nk = 1\n", "p.toml").unwrap_err();
+        assert!(err.message.contains("unknown table `[wat]`"), "{err}");
+
+        let err = ScenarioPlan::from_toml("[plan]\nname = \"x\"\nwat = 1\n", "p.toml").unwrap_err();
+        assert_eq!(err.location, "[plan].wat");
+        assert!(err.message.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn type_mismatches_name_the_field() {
+        let err = ScenarioPlan::from_toml(
+            "[plan]\nname = \"x\"\n[topology]\nhosts = \"many\"\n",
+            "p.toml",
+        )
+        .unwrap_err();
+        assert_eq!(err.location, "[topology].hosts");
+        assert!(
+            err.message.contains("expected an integer, got string"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_loss_is_rejected() {
+        let err = ScenarioPlan::from_toml(
+            "[plan]\nname = \"x\"\n[faults]\nwireless_loss = 1.5\n",
+            "p.toml",
+        )
+        .unwrap_err();
+        assert_eq!(err.location, "[faults].wireless_loss");
+        assert!(err.message.contains("probability"), "{err}");
+    }
+
+    #[test]
+    fn bad_scheme_and_class_names_are_pointed_errors() {
+        let err = ScenarioPlan::from_toml(
+            "[plan]\nname = \"x\"\n[protocol]\nscheme = \"TRIPLE\"\n",
+            "p.toml",
+        )
+        .unwrap_err();
+        assert_eq!(err.location, "[protocol].scheme");
+        assert!(err.message.contains("DUAL+class"), "{err}");
+
+        let err = ScenarioPlan::from_toml(
+            "[plan]\nname = \"x\"\n[[workload]]\nclass = \"bulk\"\ninterval_ms = 20\n",
+            "p.toml",
+        )
+        .unwrap_err();
+        assert_eq!(err.location, "[workload].class");
+        assert!(err.message.contains("best-effort"), "{err}");
+    }
+
+    #[test]
+    fn singular_workload_table_is_redirected_to_the_array_form() {
+        let err = ScenarioPlan::from_toml(
+            "[plan]\nname = \"x\"\n[workload]\ninterval_ms = 20\n",
+            "p.toml",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("[[workload]]"), "{err}");
+    }
+
+    #[test]
+    fn empty_traffic_window_and_short_horizon_are_rejected() {
+        let base = "[plan]\nname = \"x\"\n[run]\n";
+        let err = ScenarioPlan::from_toml(
+            &format!("{base}traffic_start_ms = 500\ntraffic_stop_ms = 500\n"),
+            "p.toml",
+        )
+        .unwrap_err();
+        assert_eq!(err.location, "[run].traffic_stop_ms");
+
+        let err = ScenarioPlan::from_toml(
+            &format!("{base}traffic_stop_ms = 5000\nhorizon_ms = 4000\n"),
+            "p.toml",
+        )
+        .unwrap_err();
+        assert_eq!(err.location, "[run].horizon_ms");
+    }
+
+    #[test]
+    fn workload_host_must_exist_at_the_smallest_grid_point() {
+        let err = ScenarioPlan::from_toml(
+            "[plan]\nname = \"x\"\n[topology]\nhosts = 4\n[matrix]\naxis = \"hosts\"\n\
+             values = [2, 8]\n[[workload]]\nhost = 3\ninterval_ms = 20\n",
+            "p.toml",
+        )
+        .unwrap_err();
+        assert_eq!(err.location, "[workload].host");
+        assert!(err.message.contains("2 host(s)"), "{err}");
+    }
+
+    #[test]
+    fn restart_without_crash_is_rejected() {
+        let err = ScenarioPlan::from_toml(
+            "[plan]\nname = \"x\"\n[faults.par]\nrestart_after_ms = 1000\n",
+            "p.toml",
+        )
+        .unwrap_err();
+        assert_eq!(err.location, "[faults.par].restart_after_ms");
+    }
+
+    #[test]
+    fn interval_and_kbps_are_mutually_exclusive_and_one_is_required() {
+        let err = ScenarioPlan::from_toml(
+            "[plan]\nname = \"x\"\n[[workload]]\ninterval_ms = 20\nkbps = 64\n",
+            "p.toml",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not both"), "{err}");
+
+        let err =
+            ScenarioPlan::from_toml("[plan]\nname = \"x\"\n[[workload]]\nhost = 0\n", "p.toml")
+                .unwrap_err();
+        assert!(err.message.contains("`interval_ms` or `kbps`"), "{err}");
+    }
+
+    #[test]
+    fn kbps_matches_the_rate_sweep_arithmetic() {
+        let plan =
+            ScenarioPlan::from_toml("[plan]\nname = \"x\"\n[[workload]]\nkbps = 64\n", "p.toml")
+                .expect("parses");
+        // 160 B at 64 kb/s = 160*8/64000 s = 20 ms, the thesis audio flow.
+        assert_eq!(plan.workloads[0].interval, SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn fuzz_plans_are_deterministic_and_structurally_valid() {
+        for i in 0..50 {
+            let a = fuzz_plan(7, i);
+            let b = fuzz_plan(7, i);
+            assert_eq!(a, b, "fuzz plan {i} must be reproducible");
+            assert!(!a.schemes.is_empty());
+            assert!(a.min_hosts() >= 1);
+            assert!(a.run.traffic_start < a.run.traffic_stop);
+            assert!(a.run.traffic_stop <= a.run.horizon);
+            for w in &a.workloads {
+                if let HostSelector::One(h) = w.hosts {
+                    assert!(h < a.min_hosts(), "plan {i} workload host out of range");
+                }
+                assert!(w.interval > SimDuration::ZERO);
+            }
+            assert!(a.faults.ar_link.validated().is_ok());
+            assert!(a.faults.wireless.validated().is_ok());
+            if a.expectations.no_leaks {
+                assert!(a.faults.is_noop());
+                assert_ne!(a.topology.movement, MovementPlan::PingPong);
+            }
+        }
+        assert_ne!(
+            fuzz_plan(7, 0),
+            fuzz_plan(7, 1),
+            "indices explore the space"
+        );
+        assert_ne!(fuzz_plan(7, 0), fuzz_plan(8, 0), "seeds explore the space");
+    }
+}

@@ -63,9 +63,11 @@
 pub mod export;
 mod recorder;
 mod registry;
+pub mod report;
 mod span;
 
 pub use export::{Cell, ChromeTrace, CsvTable, TraceInstant};
 pub use recorder::FlightRecorder;
 pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+pub use report::{FailureReport, ReportEntry};
 pub use span::{Span, SpanId, SpanStore};

@@ -1,0 +1,217 @@
+//! Structured failure reports for expectation engines.
+//!
+//! A [`FailureReport`] collects the violations a post-run evaluation
+//! found — one [`ReportEntry`] per failed check, each naming the subject
+//! (a plan, a grid point, an artifact), the check that failed and a
+//! human-readable detail — plus free-form context pairs (plan name, seed,
+//! thread count). The JSON rendering is deterministic: entries appear in
+//! insertion order and strings are escaped exactly as in
+//! [`crate::export`], so CI can `cmp` reports the same way it compares
+//! artifacts.
+//!
+//! The FNV-1a helper lives here too: expectation engines lock CSV
+//! artifacts by 64-bit content hash, and the report prints the observed
+//! hash so a lock can be re-pinned from the failure output alone.
+//!
+//! # Examples
+//!
+//! ```
+//! use fh_telemetry::report::FailureReport;
+//!
+//! let mut report = FailureReport::new("storm.toml");
+//! report.context("seed", "2003");
+//! report.violation("point mhs=8 scheme=NAR", "max_failed_ratio", "0.50 > 0.05");
+//! assert!(!report.is_empty());
+//! assert!(report.to_json().contains("max_failed_ratio"));
+//! ```
+
+use std::fmt::Write as _;
+
+/// One failed check: who, what, why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportEntry {
+    /// What was being checked (a grid point, an artifact, the whole plan).
+    pub subject: String,
+    /// The check that failed (e.g. `conservation`, `class_p99_max_ms`).
+    pub check: String,
+    /// Human-readable detail: observed vs expected.
+    pub detail: String,
+}
+
+/// A structured collection of expectation violations for one evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureReport {
+    /// What was evaluated (plan name or file).
+    pub name: String,
+    /// Free-form context pairs (seed, threads, …), in insertion order.
+    pub context: Vec<(String, String)>,
+    /// The violations, in evaluation order.
+    pub entries: Vec<ReportEntry>,
+}
+
+impl FailureReport {
+    /// Starts an empty report for the named evaluation.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        FailureReport {
+            name: name.into(),
+            context: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Attaches a context pair (e.g. `seed` → `2003`).
+    pub fn context(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.context.push((key.into(), value.into()));
+    }
+
+    /// Records one failed check.
+    pub fn violation(
+        &mut self,
+        subject: impl Into<String>,
+        check: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        self.entries.push(ReportEntry {
+            subject: subject.into(),
+            check: check.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// `true` when no violation has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the report as deterministic, pretty-printed JSON. Entries
+    /// and context pairs appear in insertion order; given the same
+    /// violations the bytes are identical.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"name\": \"{}\",", escape(&self.name));
+        out.push_str("  \"context\": {");
+        for (i, (k, v)) in self.context.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": \"{}\"", escape(k), escape(v));
+        }
+        if !self.context.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        let _ = writeln!(out, "  \"violations\": {},", self.entries.len());
+        out.push_str("  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"subject\": \"{}\", \"check\": \"{}\", \"detail\": \"{}\"}}",
+                escape(&e.subject),
+                escape(&e.check),
+                escape(&e.detail)
+            );
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// 64-bit FNV-1a hash of a byte string — the artifact content lock used
+/// by scenario-plan expectations. Stable across platforms and releases
+/// (it is a fixed algorithm, not `DefaultHasher`), cheap enough to run on
+/// every artifact, and printed as `0x…` hex by [`fnv1a64_hex`].
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// [`fnv1a64`] formatted the way plans and reports spell hashes:
+/// lowercase hex with an `0x` prefix, zero-padded to 16 digits.
+#[must_use]
+pub fn fnv1a64_hex(bytes: &[u8]) -> String {
+    format!("{:#018x}", fnv1a64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_renders_and_is_empty() {
+        let mut report = FailureReport::new("plan");
+        assert!(report.is_empty());
+        let json = report.to_json();
+        assert!(json.contains("\"violations\": 0"));
+        assert!(json.contains("\"entries\": []"));
+        report.violation("p", "c", "d");
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn json_is_deterministic_and_ordered() {
+        let build = || {
+            let mut r = FailureReport::new("storm.toml");
+            r.context("seed", "2003");
+            r.context("threads", "4");
+            r.violation("point 0", "conservation", "flow 1: sent 10, accounted 9");
+            r.violation("artifact", "artifact_fnv1a", "0x01 != 0x02");
+            r
+        };
+        let a = build().to_json();
+        assert_eq!(a, build().to_json());
+        let conservation = a.find("conservation").expect("first entry");
+        let artifact = a.find("artifact_fnv1a").expect("second entry");
+        assert!(conservation < artifact, "entries must keep insertion order");
+        assert!(a.find("\"seed\"").expect("seed") < a.find("\"threads\"").expect("threads"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let mut r = FailureReport::new("a\"b");
+        r.violation("s", "c", "line1\nline2");
+        let json = r.to_json();
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("line1\\nline2"));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+        assert_eq!(fnv1a64_hex(b""), "0xcbf29ce484222325");
+    }
+}
