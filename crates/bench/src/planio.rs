@@ -18,7 +18,7 @@ use fh_scenarios::plan::{fuzz_plan, run_plan, PlanOutcome, ScenarioPlan};
 use fh_telemetry::report::fnv1a64_hex;
 
 /// The compiled-in plan corpus: `(display path, TOML source)`.
-pub const CORPUS: [(&str, &str); 12] = [
+pub const CORPUS: [(&str, &str); 13] = [
     ("plans/chaos.toml", include_str!("../plans/chaos.toml")),
     ("plans/storm.toml", include_str!("../plans/storm.toml")),
     (
@@ -60,6 +60,10 @@ pub const CORPUS: [(&str, &str); 12] = [
     (
         "plans/softstate_pingpong.toml",
         include_str!("../plans/softstate_pingpong.toml"),
+    ),
+    (
+        "plans/flashcrowd.toml",
+        include_str!("../plans/flashcrowd.toml"),
     ),
 ];
 

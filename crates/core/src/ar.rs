@@ -36,16 +36,17 @@ use std::net::Ipv6Addr;
 use fh_sim::{EventKey, SimDuration, SimTime};
 
 use fh_net::{
-    send_from, ApId, ControlMsg, NetCtx, NetMsg, NodeFaultSpec, NodeId, Packet, Payload, Prefix,
-    TimerKind,
+    send_from, ApId, ControlMsg, DropReason, NetCtx, NetMsg, NodeFaultSpec, NodeId, Packet,
+    Payload, Prefix, ServiceClass, TimerKind,
 };
 use fh_wireless::{send_downlink, RadioWorld};
 
 use crate::buffer::BufferPool;
 use crate::datapath::{reclaim_at_dead_node, Datapath, FlushTarget, RedirectView};
 use crate::metrics::ArMetrics;
+use crate::policy::{BufferPolicy, PolicyEngine, ShedRung};
 use crate::scheme::ProtocolConfig;
-use crate::signaling::nar::NarSession;
+use crate::signaling::nar::{NarEvent, NarSession};
 use crate::signaling::par::{HiRtx, ParSession, ParState};
 
 /// The access-router protocol agent (PAR + NAR roles).
@@ -95,6 +96,8 @@ impl ArAgent {
         config: ProtocolConfig,
         pool_capacity: usize,
     ) -> Self {
+        let mut dp = Datapath::new(node, addr, prefix, aps, pool_capacity);
+        dp.pool.set_byte_budget(config.pressure.byte_budget);
         ArAgent {
             addr,
             prefix,
@@ -102,7 +105,7 @@ impl ArAgent {
             config,
             metrics: ArMetrics::default(),
             node_fault: NodeFaultSpec::default(),
-            dp: Datapath::new(node, addr, prefix, aps, pool_capacity),
+            dp,
             alive: true,
             ap_directory: HashMap::new(),
             route_tokens: HashMap::new(),
@@ -292,6 +295,7 @@ impl ArAgent {
             TimerKind::NodeRestart => {} // only meaningful while dead
             TimerKind::HostRouteExpiry => self.on_route_expiry(ctx, token),
             TimerKind::DeadPeerSweep => self.dead_peer_sweep(ctx),
+            TimerKind::HandoverWatchdog => self.on_watchdog(ctx, token),
             _ => {}
         }
     }
@@ -480,6 +484,9 @@ impl ArAgent {
                 };
                 let pcoa = pkt.dst;
                 self.dp.redirect(ctx, &self.config, pcoa, view, pkt);
+                // The redirect may have parked bytes: run the shed ladder
+                // if the pool crossed the high watermark.
+                self.relieve_pressure(ctx);
                 return;
             }
         }
@@ -537,6 +544,103 @@ impl ArAgent {
                 token,
             },
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Overload survival: the deterministic shed ladder
+    // ------------------------------------------------------------------
+
+    /// Walks the active policy's shed ladder while the pool sits above its
+    /// high watermark, shedding down to the low watermark. Rungs engage
+    /// strictly in declared order — a rung is only entered once every
+    /// earlier one is exhausted — and [`ArMetrics::shed_order_violations`]
+    /// audits that invariant at runtime. Every shed is a recorded
+    /// [`fh_net::TraceEvent::PressureShed`] plus a
+    /// [`DropReason::PressureShed`] so conservation still balances. No-op
+    /// while the `[pressure]` knobs are off.
+    pub(crate) fn relieve_pressure<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>) {
+        let pressure = self.config.pressure;
+        if !pressure.engaged() || self.dp.pool.bytes_used() <= pressure.high_bytes() {
+            return;
+        }
+        let low = pressure.low_bytes();
+        let ladder = PolicyEngine::for_scheme(self.config.scheme).shed_ladder();
+        let node = self.dp.node;
+        for (idx, rung) in ladder.into_iter().enumerate() {
+            loop {
+                if self.dp.pool.bytes_used() <= low {
+                    return;
+                }
+                let class = match rung {
+                    ShedRung::BestEffort => ServiceClass::BestEffort,
+                    ShedRung::DropFrontRealtime => ServiceClass::RealTime,
+                    ShedRung::ForceFlushOldest => {
+                        // Last resort: force the oldest wedged session down
+                        // the flush ladder. A session already mid-flush is
+                        // draining paced — give it the chance to finish
+                        // before escalating further.
+                        let Some(victim) = self.dp.pool.oldest_buffering_session() else {
+                            return;
+                        };
+                        if self.flushing.contains_key(&victim) {
+                            return;
+                        }
+                        self.audit_shed_order(&ladder, idx);
+                        self.force_flush(ctx, victim);
+                        continue;
+                    }
+                };
+                let Some((_, pkt)) = self.dp.pool.shed_class_front(class) else {
+                    break; // rung exhausted: escalate to the next one
+                };
+                self.audit_shed_order(&ladder, idx);
+                self.metrics.pressure_sheds += 1;
+                fh_net::record_drop(ctx, pkt.flow, DropReason::PressureShed);
+                let (rung_label, shed_class, flow) = (rung.label(), pkt.class, pkt.flow);
+                fh_net::record_trace(ctx, || fh_net::TraceEvent::PressureShed {
+                    ar: node,
+                    rung: rung_label,
+                    class: shed_class,
+                    flow,
+                });
+            }
+        }
+    }
+
+    /// Runtime audit of the ladder invariant: shedding at rung `idx` while
+    /// an earlier class rung still has packets parked is out of order.
+    fn audit_shed_order(&mut self, ladder: &[ShedRung], idx: usize) {
+        for earlier in &ladder[..idx] {
+            let class = match earlier {
+                ShedRung::BestEffort => ServiceClass::BestEffort,
+                ShedRung::DropFrontRealtime => ServiceClass::RealTime,
+                ShedRung::ForceFlushOldest => continue,
+            };
+            if self.dp.pool.has_class_parked(class) {
+                self.metrics.shed_order_violations += 1;
+            }
+        }
+    }
+
+    /// Force-resolves a wedged session down the existing flush ladder: a
+    /// PAR-role session flushes predictively (tunnel) or reactively
+    /// (radio), a NAR-role session releases over the air as if the host
+    /// had just attached, and a key with no live session is expired
+    /// outright so its packets are re-accounted either way.
+    fn force_flush<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, pcoa: Ipv6Addr) {
+        if self.par_sessions.contains_key(&pcoa) {
+            self.flush_par(ctx, pcoa);
+            return;
+        }
+        if let Some(sess) = self.nar_sessions.get_mut(&pcoa) {
+            sess.on(NarEvent::HostAttached);
+            let mh = sess.mh_l2;
+            self.flush_nar(ctx, pcoa, mh);
+            return;
+        }
+        for pkt in self.dp.pool.expire(pcoa) {
+            fh_net::record_drop(ctx, pkt.flow, DropReason::Expired);
+        }
     }
 
     pub(crate) fn send_to_mh<S: RadioWorld>(

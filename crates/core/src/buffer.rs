@@ -50,6 +50,8 @@ pub struct BufferStats {
     pub expired: u64,
     /// Packets discarded by a node fault (router crash wiped the pool).
     pub reclaimed: u64,
+    /// Packets sacrificed by the overload shed ladder (byte pressure).
+    pub shed: u64,
 }
 
 /// Index of an effective class into per-class arrays: `[RT, HP, BE]`.
@@ -77,7 +79,8 @@ impl SessionBuffer {
         self.class_counts[class_index(class)] += 1;
     }
     fn note_remove(&mut self, class: ServiceClass) {
-        self.class_counts[class_index(class)] -= 1;
+        let k = class_index(class);
+        self.class_counts[k] = self.class_counts[k].saturating_sub(1);
     }
     /// `true` if the session-level rule admits one more packet of `class`.
     fn class_has_room(&self, class: ServiceClass) -> bool {
@@ -97,6 +100,13 @@ pub struct BufferPool {
     capacity: usize,
     used: usize,
     granted_total: usize,
+    /// Byte budget across all parked packets; `usize::MAX` disables byte
+    /// accounting at admission (the packet cap still applies).
+    byte_budget: usize,
+    /// Bytes currently parked across all sessions.
+    bytes_used: usize,
+    /// High-water mark of `bytes_used` over the pool's lifetime.
+    peak_bytes: usize,
     sessions: HashMap<Ipv6Addr, SessionBuffer>,
     /// Struct-of-arrays storage for every parked packet, shared by all
     /// sessions; session queues hold handles into it.
@@ -106,17 +116,62 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
-    /// Creates a pool holding at most `capacity` packets.
+    /// Creates a pool holding at most `capacity` packets, with byte
+    /// accounting off (no byte budget).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         BufferPool {
             capacity,
             used: 0,
             granted_total: 0,
+            byte_budget: usize::MAX,
+            bytes_used: 0,
+            peak_bytes: 0,
             sessions: HashMap::new(),
             arena: PacketPool::new(),
             stats: BufferStats::default(),
         }
+    }
+
+    /// Arms (or disarms, with `usize::MAX`) the pool's byte budget. Every
+    /// admission path then also requires `bytes_used + pkt.size` to stay
+    /// within the budget, so grants and spill-over are judged in bytes as
+    /// well as packets. Zero is treated as "off" (the knob's default in
+    /// configs), not as an always-full pool.
+    pub fn set_byte_budget(&mut self, budget: usize) {
+        self.byte_budget = if budget == 0 { usize::MAX } else { budget };
+    }
+
+    /// The armed byte budget (`usize::MAX` when byte accounting is off).
+    #[must_use]
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
+    /// Bytes currently parked across all sessions.
+    #[must_use]
+    pub fn bytes_used(&self) -> usize {
+        self.bytes_used
+    }
+
+    /// The lifetime high-water mark of [`BufferPool::bytes_used`].
+    #[must_use]
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// `true` if one more packet of `size` bytes fits the byte budget.
+    fn has_byte_room(&self, size: u32) -> bool {
+        self.byte_budget.saturating_sub(self.bytes_used) >= size as usize
+    }
+
+    fn note_bytes_in(&mut self, size: u32) {
+        self.bytes_used += size as usize;
+        self.peak_bytes = self.peak_bytes.max(self.bytes_used);
+    }
+
+    fn note_bytes_out(&mut self, size: u32) {
+        self.bytes_used = self.bytes_used.saturating_sub(size as usize);
     }
 
     /// Total capacity in packets.
@@ -134,7 +189,7 @@ impl BufferPool {
     /// Capacity not currently occupied by queued packets.
     #[must_use]
     pub fn free_space(&self) -> usize {
-        self.capacity - self.used
+        self.capacity.saturating_sub(self.used)
     }
 
     /// Capacity not yet promised to any session.
@@ -153,7 +208,7 @@ impl BufferPool {
     /// Re-granting an existing session replaces its reservation.
     pub fn grant(&mut self, key: Ipv6Addr, requested: u32) -> u32 {
         if let Some(old) = self.sessions.get(&key) {
-            self.granted_total -= old.granted as usize;
+            self.granted_total = self.granted_total.saturating_sub(old.granted as usize);
         }
         let granted = if requested as usize <= self.unreserved() {
             requested
@@ -175,7 +230,7 @@ impl BufferPool {
     /// Returns the granted shares, `[RT, HP, BE]`.
     pub fn grant_per_class(&mut self, key: Ipv6Addr, requested: [u32; 3]) -> [u32; 3] {
         if let Some(old) = self.sessions.get(&key) {
-            self.granted_total -= old.granted as usize;
+            self.granted_total = self.granted_total.saturating_sub(old.granted as usize);
         }
         let mut granted = [0u32; 3];
         let mut unreserved = self.capacity.saturating_sub(self.granted_total) as u32;
@@ -231,11 +286,13 @@ impl BufferPool {
         limit: AdmissionLimit,
     ) -> Result<(), Packet> {
         let free = self.free_space();
+        let byte_ok = self.has_byte_room(pkt.size);
         let Some(session) = self.sessions.get_mut(&key) else {
             self.stats.rejected += 1;
             return Err(pkt);
         };
         let ok = free > 0
+            && byte_ok
             && match limit {
                 AdmissionLimit::Grant => session.class_has_room(pkt.class),
                 AdmissionLimit::Threshold(a) => free > a as usize,
@@ -246,9 +303,11 @@ impl BufferPool {
             return Err(pkt);
         }
         session.note_admit(pkt.class);
+        let size = pkt.size;
         let handle = self.arena.insert(pkt);
         session.queue.push_back(handle);
         self.used += 1;
+        self.note_bytes_in(size);
         self.stats.admitted += 1;
         Ok(())
     }
@@ -284,15 +343,27 @@ impl BufferPool {
                 });
                 match oldest_rt {
                     Some(idx) => {
+                        // The swap must still fit the byte budget once the
+                        // victim's bytes are given back.
+                        let victim_size = self.arena.slot(session.queue[idx]).map_or(0, |s| s.size);
+                        let room = self
+                            .byte_budget
+                            .saturating_sub(self.bytes_used.saturating_sub(victim_size as usize));
+                        if room < pkt.size as usize {
+                            return Err(pkt);
+                        }
                         let evicted_h = session.queue.remove(idx).expect("index in range");
                         let evicted = self.arena.remove(evicted_h).expect("live handle");
                         session.note_remove(evicted.class);
                         session.note_admit(pkt.class);
+                        let size = pkt.size;
                         let handle = self.arena.insert(pkt);
                         session.queue.push_back(handle);
+                        self.note_bytes_out(evicted.size);
+                        self.note_bytes_in(size);
                         // Rejection was counted inside try_buffer; the packet
                         // did get admitted after all, so reclassify it.
-                        self.stats.rejected -= 1;
+                        self.stats.rejected = self.stats.rejected.saturating_sub(1);
                         self.stats.admitted += 1;
                         self.stats.evicted_realtime += 1;
                         Ok(Some(evicted))
@@ -310,7 +381,8 @@ impl BufferPool {
         let handle = session.queue.pop_front()?;
         let pkt = self.arena.remove(handle).expect("live handle");
         session.note_remove(pkt.class);
-        self.used -= 1;
+        self.used = self.used.saturating_sub(1);
+        self.note_bytes_out(pkt.size);
         self.stats.flushed += 1;
         Some(pkt)
     }
@@ -327,7 +399,9 @@ impl BufferPool {
             .map(|h| self.arena.remove(h).expect("live handle"))
             .collect();
         session.class_counts = [0; 3];
-        self.used -= pkts.len();
+        self.used = self.used.saturating_sub(pkts.len());
+        let bytes: usize = pkts.iter().map(|p| p.size as usize).sum();
+        self.bytes_used = self.bytes_used.saturating_sub(bytes);
         self.stats.flushed += pkts.len() as u64;
         pkts
     }
@@ -336,7 +410,7 @@ impl BufferPool {
     pub fn release(&mut self, key: Ipv6Addr) -> Vec<Packet> {
         let pkts = self.drain(key);
         if let Some(session) = self.sessions.remove(&key) {
-            self.granted_total -= session.granted as usize;
+            self.granted_total = self.granted_total.saturating_sub(session.granted as usize);
         }
         pkts
     }
@@ -353,8 +427,10 @@ impl BufferPool {
             .into_iter()
             .map(|h| self.arena.remove(h).expect("live handle"))
             .collect();
-        self.used -= pkts.len();
-        self.granted_total -= session.granted as usize;
+        self.used = self.used.saturating_sub(pkts.len());
+        let bytes: usize = pkts.iter().map(|p| p.size as usize).sum();
+        self.bytes_used = self.bytes_used.saturating_sub(bytes);
+        self.granted_total = self.granted_total.saturating_sub(session.granted as usize);
         self.stats.expired += pkts.len() as u64;
         pkts
     }
@@ -384,8 +460,93 @@ impl BufferPool {
         }
         self.used = 0;
         self.granted_total = 0;
+        self.bytes_used = 0;
         self.stats.reclaimed += pkts.len() as u64;
         pkts
+    }
+
+    /// One rung of the shed ladder: removes the oldest parked packet whose
+    /// effective class is `class`, searching every session. "Oldest" is by
+    /// creation time with the session key as the deterministic tie-break,
+    /// so sheds replay identically at any thread count. Counts into
+    /// `stats.shed`; the caller records the drop and the trace event.
+    ///
+    /// Returns the shed packet and the session it was parked under.
+    pub fn shed_class_front(&mut self, class: ServiceClass) -> Option<(Ipv6Addr, Packet)> {
+        let want = class.effective();
+        let mut best: Option<(fh_sim::SimTime, Ipv6Addr, usize)> = None;
+        for (&k, session) in &self.sessions {
+            // Front-to-back first match is the session's oldest of `class`
+            // (queues are FIFO).
+            let Some(idx) = session.queue.iter().position(|&h| {
+                self.arena
+                    .slot(h)
+                    .is_some_and(|s| s.effective_class() == want)
+            }) else {
+                continue;
+            };
+            let created = self
+                .arena
+                .slot(session.queue[idx])
+                .expect("live handle")
+                .created;
+            let better = match best {
+                None => true,
+                Some((t, bk, _)) => created < t || (created == t && k < bk),
+            };
+            if better {
+                best = Some((created, k, idx));
+            }
+        }
+        let (_, k, idx) = best?;
+        let session = self.sessions.get_mut(&k).expect("key just found");
+        let handle = session.queue.remove(idx).expect("index in range");
+        let pkt = self.arena.remove(handle).expect("live handle");
+        session.note_remove(pkt.class);
+        self.used = self.used.saturating_sub(1);
+        self.note_bytes_out(pkt.size);
+        self.stats.shed += 1;
+        Some((k, pkt))
+    }
+
+    /// The buffering session whose front-of-queue packet has waited the
+    /// longest (ties broken by key) — the shed ladder's force-flush target.
+    #[must_use]
+    pub fn oldest_buffering_session(&self) -> Option<Ipv6Addr> {
+        let mut best: Option<(fh_sim::SimTime, Ipv6Addr)> = None;
+        for (&k, session) in &self.sessions {
+            let Some(&front) = session.queue.front() else {
+                continue;
+            };
+            let created = self.arena.slot(front).expect("live handle").created;
+            let better = match best {
+                None => true,
+                Some((t, bk)) => created < t || (created == t && k < bk),
+            };
+            if better {
+                best = Some((created, k));
+            }
+        }
+        best.map(|(_, k)| k)
+    }
+
+    /// `true` if any session still parks a packet whose effective class is
+    /// `class` — the runtime shed-order audit asks this before a
+    /// later-rung shed to prove every earlier rung really was exhausted.
+    #[must_use]
+    pub fn has_class_parked(&self, class: ServiceClass) -> bool {
+        let k = class_index(class);
+        self.sessions.values().any(|s| s.class_counts[k] > 0)
+    }
+
+    /// Sessions still holding parked packets — post-quiesce this must be
+    /// zero ("no wedged state survives quiesce").
+    #[must_use]
+    pub fn wedged_sessions(&self) -> usize {
+        self.sessions
+            .values()
+            .filter(|s| !s.queue.is_empty())
+            .count()
     }
 }
 
@@ -407,6 +568,30 @@ mod tests {
             key(200),
             class,
             160,
+            SimTime::ZERO,
+        )
+    }
+
+    fn pkt_at(class: ServiceClass, seq: u64, ms: u64) -> Packet {
+        Packet::data(
+            FlowId(1),
+            seq,
+            key(100),
+            key(200),
+            class,
+            160,
+            SimTime::from_millis(ms),
+        )
+    }
+
+    fn sized(class: ServiceClass, seq: u64, size: u32) -> Packet {
+        Packet::data(
+            FlowId(1),
+            seq,
+            key(100),
+            key(200),
+            class,
+            size,
             SimTime::ZERO,
         )
     }
@@ -679,6 +864,10 @@ mod tests {
                     pool.grant(k, 2);
                 }
             }
+            if step % 37 == 0 {
+                // Exercise the shed ladder's pool primitive under churn.
+                let _ = pool.shed_class_front(ServiceClass::BestEffort);
+            }
             assert!(pool.used() <= pool.capacity(), "capacity violated");
         }
         let queued: u64 = keys.iter().map(|&k| pool.session_len(k) as u64).sum();
@@ -688,10 +877,272 @@ mod tests {
                 + pool.stats.expired
                 + pool.stats.evicted_realtime
                 + pool.stats.reclaimed
+                + pool.stats.shed
                 + queued,
             "conservation violated: {:?}",
             pool.stats
         );
+    }
+
+    /// Same conservation equation, but with a tight byte budget forcing the
+    /// pressure paths (byte rejections, sheds, swaps) on every few steps.
+    #[test]
+    fn conservation_holds_under_byte_pressure() {
+        use fh_sim::Rng64;
+        let mut rng = Rng64::seed_from(7);
+        let mut pool = BufferPool::new(16);
+        // Room for ~6 of the 160-byte test packets: far below the packet cap.
+        pool.set_byte_budget(1_000);
+        let keys: Vec<Ipv6Addr> = (0..4).map(key).collect();
+        for &k in &keys {
+            pool.grant(k, 4);
+        }
+        let classes = [
+            ServiceClass::RealTime,
+            ServiceClass::HighPriority,
+            ServiceClass::BestEffort,
+        ];
+        for step in 0..10_000 {
+            let k = keys[rng.gen_range_u64(4) as usize];
+            match rng.gen_range_u64(12) {
+                0..=6 => {
+                    let class = classes[rng.gen_range_u64(3) as usize];
+                    if class == ServiceClass::RealTime {
+                        let _ = pool.buffer_realtime_dropfront(k, pkt(class, step));
+                    } else {
+                        let _ = pool.try_buffer(k, pkt(class, step), AdmissionLimit::Grant);
+                    }
+                }
+                7 => {
+                    let _ = pool.drain(k);
+                }
+                8 => {
+                    let _ = pool.shed_class_front(ServiceClass::BestEffort);
+                }
+                9 => {
+                    let _ = pool.shed_class_front(ServiceClass::RealTime);
+                }
+                10 => {
+                    let _ = pool.expire(k);
+                    pool.grant(k, 4);
+                }
+                _ => {
+                    if step % 1_003 == 0 {
+                        let _ = pool.wipe_all();
+                        for &k in &keys {
+                            pool.grant(k, 4);
+                        }
+                    }
+                }
+            }
+            assert!(pool.bytes_used() <= 1_000, "byte budget violated");
+        }
+        let queued: u64 = keys.iter().map(|&k| pool.session_len(k) as u64).sum();
+        assert_eq!(
+            pool.stats.admitted,
+            pool.stats.flushed
+                + pool.stats.expired
+                + pool.stats.evicted_realtime
+                + pool.stats.reclaimed
+                + pool.stats.shed
+                + queued,
+            "conservation violated: {:?}",
+            pool.stats
+        );
+        // Everything still drains cleanly: zero residue in the arena.
+        for &k in &keys {
+            let _ = pool.release(k);
+        }
+        assert_eq!(pool.used(), 0);
+        assert_eq!(pool.bytes_used(), 0);
+    }
+
+    #[test]
+    fn byte_budget_gates_admission() {
+        let mut pool = BufferPool::new(10);
+        pool.set_byte_budget(400); // two 160-byte packets fit, three do not
+        pool.grant(key(1), 10);
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::BestEffort, 0),
+                AdmissionLimit::Grant
+            )
+            .is_ok());
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::BestEffort, 1),
+                AdmissionLimit::Grant
+            )
+            .is_ok());
+        assert_eq!(pool.bytes_used(), 320);
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::BestEffort, 2),
+                AdmissionLimit::Grant
+            )
+            .is_err());
+        assert_eq!(pool.stats.rejected, 1);
+        // Flushing gives the bytes back.
+        let _ = pool.pop_front(key(1));
+        assert_eq!(pool.bytes_used(), 160);
+        assert!(pool
+            .try_buffer(
+                key(1),
+                pkt(ServiceClass::BestEffort, 3),
+                AdmissionLimit::Grant
+            )
+            .is_ok());
+        assert_eq!(pool.peak_bytes(), 320);
+    }
+
+    #[test]
+    fn zero_byte_budget_means_accounting_off() {
+        let mut pool = BufferPool::new(4);
+        pool.set_byte_budget(0);
+        assert_eq!(pool.byte_budget(), usize::MAX);
+        pool.open_unreserved(key(1));
+        assert!(pool
+            .try_buffer(
+                key(1),
+                sized(ServiceClass::BestEffort, 0, u32::MAX),
+                AdmissionLimit::PoolOnly
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn dropfront_swap_respects_byte_budget() {
+        let mut pool = BufferPool::new(10);
+        pool.set_byte_budget(320);
+        pool.grant(key(1), 1);
+        assert!(pool
+            .buffer_realtime_dropfront(key(1), sized(ServiceClass::RealTime, 0, 160))
+            .unwrap()
+            .is_none());
+        // A 400-byte replacement doesn't fit even after evicting the
+        // 160-byte victim.
+        assert!(pool
+            .buffer_realtime_dropfront(key(1), sized(ServiceClass::RealTime, 1, 400))
+            .is_err());
+        assert_eq!(pool.session_len(key(1)), 1);
+        assert_eq!(pool.bytes_used(), 160);
+        // A 300-byte one does.
+        let evicted = pool
+            .buffer_realtime_dropfront(key(1), sized(ServiceClass::RealTime, 2, 300))
+            .unwrap()
+            .expect("eviction");
+        assert_eq!(evicted.seq, 0);
+        assert_eq!(pool.bytes_used(), 300);
+    }
+
+    #[test]
+    fn shed_takes_the_oldest_of_the_class_across_sessions() {
+        let mut pool = BufferPool::new(10);
+        pool.grant(key(1), 4);
+        pool.grant(key(2), 4);
+        pool.try_buffer(
+            key(1),
+            pkt_at(ServiceClass::HighPriority, 0, 0),
+            AdmissionLimit::Grant,
+        )
+        .unwrap();
+        pool.try_buffer(
+            key(1),
+            pkt_at(ServiceClass::BestEffort, 1, 2),
+            AdmissionLimit::Grant,
+        )
+        .unwrap();
+        pool.try_buffer(
+            key(2),
+            pkt_at(ServiceClass::BestEffort, 2, 1),
+            AdmissionLimit::Grant,
+        )
+        .unwrap();
+        // Oldest BE lives under key(2) even though key(1) sorts first.
+        let (k, shed) = pool.shed_class_front(ServiceClass::BestEffort).unwrap();
+        assert_eq!((k, shed.seq), (key(2), 2));
+        let (k, shed) = pool.shed_class_front(ServiceClass::BestEffort).unwrap();
+        assert_eq!((k, shed.seq), (key(1), 1));
+        // Only the HP packet remains; the BE rung is exhausted.
+        assert!(pool.shed_class_front(ServiceClass::BestEffort).is_none());
+        assert!(pool.shed_class_front(ServiceClass::RealTime).is_none());
+        assert_eq!(pool.stats.shed, 2);
+        assert_eq!(pool.used(), 1);
+        assert_eq!(pool.bytes_used(), 160);
+    }
+
+    #[test]
+    fn shed_ties_break_on_the_lower_session_key() {
+        let mut pool = BufferPool::new(10);
+        pool.grant(key(5), 2);
+        pool.grant(key(3), 2);
+        pool.try_buffer(
+            key(5),
+            pkt_at(ServiceClass::BestEffort, 0, 7),
+            AdmissionLimit::Grant,
+        )
+        .unwrap();
+        pool.try_buffer(
+            key(3),
+            pkt_at(ServiceClass::BestEffort, 1, 7),
+            AdmissionLimit::Grant,
+        )
+        .unwrap();
+        let (k, _) = pool.shed_class_front(ServiceClass::BestEffort).unwrap();
+        assert_eq!(k, key(3));
+    }
+
+    #[test]
+    fn oldest_buffering_session_follows_front_packets() {
+        let mut pool = BufferPool::new(10);
+        assert!(pool.oldest_buffering_session().is_none());
+        pool.grant(key(1), 4);
+        pool.grant(key(2), 4);
+        pool.open_unreserved(key(3)); // empty queue: never a candidate
+        pool.try_buffer(
+            key(1),
+            pkt_at(ServiceClass::BestEffort, 0, 5),
+            AdmissionLimit::Grant,
+        )
+        .unwrap();
+        pool.try_buffer(
+            key(2),
+            pkt_at(ServiceClass::BestEffort, 1, 3),
+            AdmissionLimit::Grant,
+        )
+        .unwrap();
+        assert_eq!(pool.oldest_buffering_session(), Some(key(2)));
+        let _ = pool.drain(key(2));
+        assert_eq!(pool.oldest_buffering_session(), Some(key(1)));
+    }
+
+    #[test]
+    fn grant_larger_than_capacity_is_zero_and_safe() {
+        let mut pool = BufferPool::new(5);
+        assert_eq!(pool.grant(key(1), 50), 0);
+        assert_eq!(pool.unreserved(), 5);
+        // Re-granting up then down never corrupts the reserved total.
+        assert_eq!(pool.grant(key(1), 5), 5);
+        assert_eq!(pool.grant(key(1), 50), 0);
+        assert_eq!(pool.unreserved(), 5);
+        assert_eq!(pool.grant_per_class(key(1), [50, 50, 50])[1], 5);
+        assert_eq!(pool.unreserved(), 0);
+    }
+
+    #[test]
+    fn release_of_unknown_key_is_a_no_op() {
+        let mut pool = BufferPool::new(5);
+        assert!(pool.release(key(9)).is_empty());
+        assert!(pool.expire(key(9)).is_empty());
+        assert_eq!(pool.unreserved(), 5);
+        pool.grant(key(1), 3);
+        pool.release(key(1));
+        // Double release must not double-free the reservation.
+        pool.release(key(1));
+        assert_eq!(pool.unreserved(), 5);
     }
 
     #[test]

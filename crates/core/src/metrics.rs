@@ -37,6 +37,14 @@ pub struct ArMetrics {
     /// Handover sessions reclaimed because the peer router went silent
     /// past the dead-peer timeout.
     pub dead_peer_reclaims: u64,
+    /// Packets sacrificed by the overload shed ladder (byte pressure).
+    pub pressure_sheds: u64,
+    /// Wedged sessions force-resolved by the handover watchdog.
+    pub watchdog_fired: u64,
+    /// Sheds that ran while an earlier ladder rung still had packets
+    /// parked. The relief loop only escalates once a rung is exhausted,
+    /// so this is a runtime self-check that must stay zero.
+    pub shed_order_violations: u64,
     /// Finalized handover sessions per Table 3.2 availability case
     /// (`[both, nar-only, par-only, none]`).
     pub case_counts: [u64; 4],
@@ -60,6 +68,9 @@ impl ArMetrics {
         stats.bump("ar.crashes", self.crashes);
         stats.bump("ar.routes_expired", self.routes_expired);
         stats.bump("ar.dead_peer_reclaims", self.dead_peer_reclaims);
+        stats.bump("ar.pressure_sheds", self.pressure_sheds);
+        stats.bump("ar.watchdog_fired", self.watchdog_fired);
+        stats.bump("ar.shed_order_violations", self.shed_order_violations);
     }
 }
 

@@ -5,7 +5,7 @@ use fh_net::ServiceClass;
 
 use super::{
     par_spill, AdmissionLimit, Admit, AdmitCtx, AvailabilityCase, BufferPolicy, Overflow,
-    RequestSplit, Role,
+    RequestSplit, Role, ShedRung,
 };
 
 /// The proposed scheme: both routers' buffers cooperate, split half and
@@ -126,5 +126,15 @@ impl BufferPolicy for EnhancedDualClass {
             par: requested.div_ceil(2),
             nar: requested / 2,
         }
+    }
+
+    fn shed_ladder(&self) -> [ShedRung; 3] {
+        // Mirrors the Table 3.3 priorities: best effort is sacrificial,
+        // real time tolerates drop-front, flushes are the last resort.
+        [
+            ShedRung::BestEffort,
+            ShedRung::DropFrontRealtime,
+            ShedRung::ForceFlushOldest,
+        ]
     }
 }

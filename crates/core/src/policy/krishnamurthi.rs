@@ -5,6 +5,7 @@ use fh_net::ServiceClass;
 
 use super::{
     par_spill, AdmissionLimit, Admit, AdmitCtx, BufferPolicy, Overflow, RequestSplit, Role,
+    ShedRung,
 };
 
 /// PAR-only buffering (Krishnamurthi et al.'s smooth-handover draft):
@@ -45,5 +46,13 @@ impl BufferPolicy for KrishnamurthiSmooth {
             par: requested,
             nar: 0,
         }
+    }
+
+    fn shed_ladder(&self) -> [ShedRung; 3] {
+        [
+            ShedRung::BestEffort,
+            ShedRung::DropFrontRealtime,
+            ShedRung::ForceFlushOldest,
+        ]
     }
 }

@@ -135,6 +135,43 @@ pub struct RequestSplit {
     pub nar: u32,
 }
 
+/// One rung of the overload shed ladder — what the router sacrifices
+/// next once parked bytes cross the high watermark.
+///
+/// The ladder is *policy-declared* ([`BufferPolicy::shed_ladder`]) so
+/// overload degrades in a chosen order, not an accidental one, and the
+/// `shed_order_respected` expectation can audit it after the fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedRung {
+    /// Shed the oldest parked best-effort packet anywhere in the pool.
+    BestEffort,
+    /// Drop-front the oldest parked real-time packet (fresh media samples
+    /// outrank stale ones, the same logic as `Overflow::DropFrontRealtime`).
+    DropFrontRealtime,
+    /// Force an early reactive flush of the oldest buffering session —
+    /// its packets are delivered down the reactive path rather than shed.
+    ForceFlushOldest,
+}
+
+impl ShedRung {
+    /// Every rung, in the canonical ladder order.
+    pub const ALL: [ShedRung; 3] = [
+        ShedRung::BestEffort,
+        ShedRung::DropFrontRealtime,
+        ShedRung::ForceFlushOldest,
+    ];
+
+    /// The label traces and metrics use for this rung.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedRung::BestEffort => "best-effort",
+            ShedRung::DropFrontRealtime => "drop-front",
+            ShedRung::ForceFlushOldest => "force-flush",
+        }
+    }
+}
+
 /// In which order a parked session drains when its flush is released.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlushOrder {
@@ -163,6 +200,13 @@ pub trait BufferPolicy {
     /// The drain order for a released session's parked packets.
     fn on_flush(&self) -> FlushOrder {
         FlushOrder::Fifo
+    }
+
+    /// The declared shed ladder: under sustained byte pressure the
+    /// datapath tries these rungs strictly in order, moving to the next
+    /// only when the current one has nothing left to give.
+    fn shed_ladder(&self) -> [ShedRung; 3] {
+        ShedRung::ALL
     }
 }
 
@@ -326,6 +370,16 @@ impl BufferPolicy for PolicyEngine {
             PolicyEngine::Enhanced(p) => p.on_flush(),
         }
     }
+
+    #[inline]
+    fn shed_ladder(&self) -> [ShedRung; 3] {
+        match self {
+            PolicyEngine::NoBuffer(p) => p.shed_ladder(),
+            PolicyEngine::NarFifo(p) => p.shed_ladder(),
+            PolicyEngine::Krishnamurthi(p) => p.shed_ladder(),
+            PolicyEngine::Enhanced(p) => p.shed_ladder(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -351,6 +405,17 @@ mod tests {
             AvailabilityCase::ParOnly,
             AvailabilityCase::NoneAvailable,
         ];
+        // Every scheme declares a complete ladder: each rung exactly once.
+        for engine in engines {
+            let ladder = engine.shed_ladder();
+            for rung in ShedRung::ALL {
+                assert_eq!(
+                    ladder.iter().filter(|&&r| r == rung).count(),
+                    1,
+                    "{engine:?} ladder {ladder:?} misdeclares {rung:?}"
+                );
+            }
+        }
         for engine in engines {
             for role in [Role::Par, Role::Nar] {
                 for case in cases {

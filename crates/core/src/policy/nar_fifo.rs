@@ -5,6 +5,7 @@ use fh_net::ServiceClass;
 
 use super::{
     par_spill, AdmissionLimit, Admit, AdmitCtx, BufferPolicy, Overflow, RequestSplit, Role,
+    ShedRung,
 };
 
 /// NAR-only FIFO buffering (RFC 4068's anticipated handover): the PAR
@@ -42,5 +43,15 @@ impl BufferPolicy for NarFifo {
             par: 0,
             nar: requested,
         }
+    }
+
+    fn shed_ladder(&self) -> [ShedRung; 3] {
+        // Class-blind, but the canonical order still applies: whatever is
+        // cheapest to lose goes first.
+        [
+            ShedRung::BestEffort,
+            ShedRung::DropFrontRealtime,
+            ShedRung::ForceFlushOldest,
+        ]
     }
 }

@@ -2,7 +2,7 @@
 
 use fh_net::ServiceClass;
 
-use super::{par_spill, Admit, AdmitCtx, BufferPolicy, Overflow, RequestSplit, Role};
+use super::{par_spill, Admit, AdmitCtx, BufferPolicy, Overflow, RequestSplit, Role, ShedRung};
 
 /// Fast handover without any buffering (`FH`): every redirected packet
 /// is tunneled straight through and delivery is attempted immediately —
@@ -29,5 +29,15 @@ impl BufferPolicy for NoBufferPolicy {
 
     fn on_grant(&self, _requested: u32) -> RequestSplit {
         RequestSplit { par: 0, nar: 0 }
+    }
+
+    fn shed_ladder(&self) -> [ShedRung; 3] {
+        // Nothing is ever parked, so the ladder never runs; declared
+        // anyway so the audit can treat every scheme uniformly.
+        [
+            ShedRung::BestEffort,
+            ShedRung::DropFrontRealtime,
+            ShedRung::ForceFlushOldest,
+        ]
     }
 }

@@ -168,6 +168,67 @@ pub struct ProtocolConfig {
     /// buffered packets released as `DropReason::Reclaimed`).
     /// `SimDuration::MAX` (the default) disables the sweep.
     pub dead_peer_timeout: SimDuration,
+    /// Overload-control knobs: byte budget, shed watermarks and the
+    /// handover watchdog. Everything off by default so the faithful
+    /// figures and golden artifacts are untouched.
+    pub pressure: PressureConfig,
+}
+
+/// Overload-control parameters for the access routers' buffer pools.
+///
+/// The packet-count capacity of the pool is how the thesis counts (§3.1.1);
+/// this layer adds the dimension real routers die on — memory. With a
+/// finite [`PressureConfig::byte_budget`], admission is additionally judged
+/// in bytes, and crossing the high watermark engages the shed ladder, which
+/// sacrifices parked packets (`DropReason::PressureShed`) in the policy's
+/// declared rung order until usage falls back to the low watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PressureConfig {
+    /// Byte budget for each router's buffer pool. 0 (the default)
+    /// disables byte accounting entirely.
+    pub byte_budget: usize,
+    /// Shed-ladder trigger, as a percentage of the byte budget.
+    pub high_watermark_pct: u8,
+    /// Shed-ladder release point: shedding stops once parked bytes fall
+    /// to this percentage of the budget.
+    pub low_watermark_pct: u8,
+    /// Deadline for each buffering handover session: a session that
+    /// neither flushes nor expires in time is force-resolved by the
+    /// watchdog. `SimDuration::MAX` (the default) disables it.
+    pub watchdog_deadline: SimDuration,
+}
+
+impl PressureConfig {
+    /// `true` if byte accounting (and with it the shed ladder) is armed.
+    #[must_use]
+    pub fn engaged(&self) -> bool {
+        self.byte_budget > 0
+    }
+
+    /// Parked bytes at which the shed ladder engages.
+    #[must_use]
+    pub fn high_bytes(&self) -> usize {
+        self.byte_budget / 100 * u8::min(self.high_watermark_pct, 100) as usize
+            + self.byte_budget % 100 * u8::min(self.high_watermark_pct, 100) as usize / 100
+    }
+
+    /// Parked bytes down to which the shed ladder drains.
+    #[must_use]
+    pub fn low_bytes(&self) -> usize {
+        self.byte_budget / 100 * u8::min(self.low_watermark_pct, 100) as usize
+            + self.byte_budget % 100 * u8::min(self.low_watermark_pct, 100) as usize / 100
+    }
+}
+
+impl Default for PressureConfig {
+    fn default() -> Self {
+        PressureConfig {
+            byte_budget: 0,
+            high_watermark_pct: 90,
+            low_watermark_pct: 70,
+            watchdog_deadline: SimDuration::MAX,
+        }
+    }
 }
 
 /// Retransmission policy for the handover signaling exchanges.
@@ -282,6 +343,7 @@ impl Default for ProtocolConfig {
             rtx: RetransmitConfig::default(),
             host_route_lifetime: SimDuration::MAX,
             dead_peer_timeout: SimDuration::MAX,
+            pressure: PressureConfig::default(),
         }
     }
 }
@@ -374,6 +436,40 @@ mod tests {
         let c = ProtocolConfig::default();
         assert_eq!(c.host_route_lifetime, SimDuration::MAX);
         assert_eq!(c.dead_peer_timeout, SimDuration::MAX);
+        // Overload control is an opt-in too.
+        assert!(!c.pressure.engaged());
+        assert_eq!(c.pressure.byte_budget, 0);
+        assert_eq!(c.pressure.watchdog_deadline, SimDuration::MAX);
+    }
+
+    #[test]
+    fn watermarks_scale_with_the_byte_budget() {
+        let p = PressureConfig {
+            byte_budget: 10_000,
+            high_watermark_pct: 90,
+            low_watermark_pct: 70,
+            ..PressureConfig::default()
+        };
+        assert_eq!(p.high_bytes(), 9_000);
+        assert_eq!(p.low_bytes(), 7_000);
+        assert!(p.engaged());
+        // Percentages are clamped and odd budgets stay exact-ish without
+        // overflowing.
+        let odd = PressureConfig {
+            byte_budget: 333,
+            high_watermark_pct: 200,
+            low_watermark_pct: 100,
+            ..PressureConfig::default()
+        };
+        assert_eq!(odd.high_bytes(), odd.low_bytes());
+        assert_eq!(odd.high_bytes(), 333);
+        let huge = PressureConfig {
+            byte_budget: usize::MAX,
+            high_watermark_pct: 90,
+            low_watermark_pct: 70,
+            ..PressureConfig::default()
+        };
+        assert!(huge.high_bytes() > huge.low_bytes());
     }
 
     #[test]

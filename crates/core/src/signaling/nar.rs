@@ -38,6 +38,9 @@ pub(crate) struct NarSession {
     pub(crate) buffering: bool,
     pub(crate) full_notified: bool,
     pub(crate) lifetime_token: u64,
+    /// Token of the handover watchdog armed at creation (0 = not armed).
+    /// A session still buffering when it fires is released over the air.
+    pub(crate) watchdog_token: u64,
     pub(crate) auth: Option<AuthToken>,
 }
 
@@ -112,6 +115,7 @@ impl ArAgent {
             .as_ref()
             .map_or(self.config.reservation_lifetime, |b| b.lifetime);
         let lifetime_token = self.arm_session_lifetime(ctx, pcoa, lifetime);
+        let watchdog_token = self.arm_watchdog(ctx, pcoa);
         // Host route: deliveries for the PCoA now go over our radio.
         self.install_route(ctx, pcoa, mh_l2);
         self.nar_sessions.insert(
@@ -123,6 +127,7 @@ impl ArAgent {
                 buffering: true,
                 full_notified: false,
                 lifetime_token,
+                watchdog_token,
                 auth,
             },
         );
@@ -205,6 +210,9 @@ impl ArAgent {
                 self.metrics.buffer_full_sent += 1;
             }
         }
+        // Tunnel ingress may have parked bytes: run the shed ladder if the
+        // pool crossed the high watermark.
+        self.relieve_pressure(ctx);
     }
 
     /// Flushes the NAR buffer over the air (FNA+BF received).

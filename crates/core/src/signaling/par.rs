@@ -86,6 +86,9 @@ pub(crate) struct ParSession {
     pub(crate) case: AvailabilityCase,
     pub(crate) nar_full: bool,
     pub(crate) lifetime_token: u64,
+    /// Token of the handover watchdog armed at creation (0 = not armed).
+    /// A session still unresolved when it fires is force-flushed.
+    pub(crate) watchdog_token: u64,
     pub(crate) auth: Option<AuthToken>,
 }
 
@@ -155,6 +158,7 @@ impl ArAgent {
             AuthToken(self.auth_seed)
         });
         let lifetime_token = self.arm_session_lifetime(ctx, pcoa, lifetime);
+        let watchdog_token = self.arm_watchdog(ctx, pcoa);
 
         if self.owns_ap(target_ap) {
             // Pure link-layer handoff (Fig 3.5): there is no NAR to share
@@ -178,6 +182,7 @@ impl ArAgent {
                     case: AvailabilityCase::from_grants(false, par_granted > 0),
                     nar_full: false,
                     lifetime_token,
+                    watchdog_token,
                     auth,
                 },
             );
@@ -215,6 +220,7 @@ impl ArAgent {
                 case: AvailabilityCase::from_grants(false, par_granted > 0),
                 nar_full: false,
                 lifetime_token,
+                watchdog_token,
                 auth,
             },
         );
@@ -290,6 +296,7 @@ impl ArAgent {
             bi.lifetime
         };
         let lifetime_token = self.arm_session_lifetime(ctx, addr, lifetime);
+        let watchdog_token = self.arm_watchdog(ctx, addr);
         let case = AvailabilityCase::from_grants(false, granted > 0);
         self.metrics.case_counts[case_index(case)] += 1;
         self.par_sessions.insert(
@@ -305,6 +312,7 @@ impl ArAgent {
                 case,
                 nar_full: false,
                 lifetime_token,
+                watchdog_token,
                 auth: None,
             },
         );
@@ -420,6 +428,7 @@ impl ArAgent {
                 self.dp.pool.open_unreserved(pcoa);
                 let lifetime_token =
                     self.arm_session_lifetime(ctx, pcoa, self.config.reservation_lifetime);
+                let watchdog_token = self.arm_watchdog(ctx, pcoa);
                 self.par_sessions.insert(
                     pcoa,
                     ParSession {
@@ -433,6 +442,7 @@ impl ArAgent {
                         case: AvailabilityCase::NoneAvailable,
                         nar_full: false,
                         lifetime_token,
+                        watchdog_token,
                         auth: None,
                     },
                 );

@@ -13,6 +13,8 @@ use fh_wireless::RadioWorld;
 
 use crate::ar::ArAgent;
 use crate::metrics::ArSoftState;
+use crate::signaling::nar::NarEvent;
+use crate::signaling::par::ParState;
 
 impl ArAgent {
     /// Snapshot of the router's live soft state for the leak auditor.
@@ -23,7 +25,11 @@ impl ArAgent {
             nar_sessions: self.nar_sessions.len(),
             pool_sessions: self.dp.pool.live_sessions(),
             buffered_packets: self.dp.pool.used(),
-            reserved_slots: self.dp.pool.capacity() - self.dp.pool.unreserved(),
+            reserved_slots: self
+                .dp
+                .pool
+                .capacity()
+                .saturating_sub(self.dp.pool.unreserved()),
             pending_timers: self.timer_sessions.len(),
             paced_flushes: self.flushing.len(),
             pending_hi_rtx: self.hi_rtx.len(),
@@ -60,6 +66,71 @@ impl ArAgent {
             },
         );
         token
+    }
+
+    /// Arms the handover watchdog for a freshly created session and
+    /// returns its token — a hard deadline by which the session must have
+    /// flushed or expired. Returns 0 (a token no timer ever fires with)
+    /// while the deadline is zero or infinite, so the default
+    /// configuration leaves no residue in the timer table.
+    pub(crate) fn arm_watchdog<S: RadioWorld>(
+        &mut self,
+        ctx: &mut NetCtx<'_, S>,
+        key: Ipv6Addr,
+    ) -> u64 {
+        let deadline = self.config.pressure.watchdog_deadline;
+        if deadline.is_zero() || deadline == SimDuration::MAX {
+            return 0;
+        }
+        let token = self.fresh_token(key);
+        ctx.send_self(
+            deadline,
+            NetMsg::Timer {
+                kind: TimerKind::HandoverWatchdog,
+                token,
+            },
+        );
+        token
+    }
+
+    /// The handover watchdog fired: a session that neither flushed nor
+    /// expired by its deadline is force-resolved down the existing
+    /// predictive → reactive → failed ladder. A wedged PAR session takes
+    /// the normal flush path (tunnel when the NAR is known, radio
+    /// otherwise); a wedged NAR session releases over the air as if the
+    /// host had attached — losses on the way are accounted like any
+    /// other, so conservation still balances and no wedged state survives
+    /// quiesce. Sessions that already resolved no-op (token check).
+    pub(crate) fn on_watchdog<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, token: u64) {
+        let Some(pcoa) = self.timer_sessions.remove(&token) else {
+            return;
+        };
+        let par_wedged = self
+            .par_sessions
+            .get(&pcoa)
+            .is_some_and(|s| s.watchdog_token == token && s.state != ParState::Released);
+        if par_wedged {
+            let node = self.dp.node;
+            let pkts = self.dp.pool.session_len(pcoa);
+            self.metrics.watchdog_fired += 1;
+            fh_net::record_trace(ctx, || fh_net::TraceEvent::WatchdogFired { node, pkts });
+            self.flush_par(ctx, pcoa);
+            return;
+        }
+        let nar_wedged = self
+            .nar_sessions
+            .get(&pcoa)
+            .is_some_and(|s| s.watchdog_token == token && s.buffering);
+        if nar_wedged {
+            let sess = self.nar_sessions.get_mut(&pcoa).expect("matched above");
+            sess.on(NarEvent::HostAttached);
+            let mh = sess.mh_l2;
+            let node = self.dp.node;
+            let pkts = self.dp.pool.session_len(pcoa);
+            self.metrics.watchdog_fired += 1;
+            fh_net::record_trace(ctx, || fh_net::TraceEvent::WatchdogFired { node, pkts });
+            self.flush_nar(ctx, pcoa, mh);
+        }
     }
 
     /// Scheduled crash: volatile state is lost. Queued packets are

@@ -269,4 +269,63 @@ mod tests {
         assert_eq!(std::mem::size_of::<PacketHandle>(), 8);
         assert_eq!(std::mem::size_of::<Option<PacketHandle>>(), 12);
     }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Handle ABA safety under arbitrary insert/remove interleavings:
+        /// a handle dies the moment its packet is removed and never
+        /// resolves again, no matter how often its slot is recycled —
+        /// including recycling that walks the generation counter across
+        /// the u32::MAX -> 0 wrap. (Aliasing after a full 2^32-bump cycle
+        /// of one slot is outside the contract; the pre-seeded slot-0
+        /// handle below is exactly that alias, so it is not tracked.)
+        #[test]
+        fn stale_handles_stay_dead_under_arbitrary_reuse(
+            ops in prop::collection::vec((any::<bool>(), any::<usize>()), 1..200),
+            wrap_start in 0u32..4,
+        ) {
+            let mut pool = PacketPool::new();
+            // Park slot 0's generation counter just below the wrap point
+            // so recycling it during the run crosses u32::MAX.
+            let h0 = pool.insert(sample(0));
+            prop_assert!(pool.remove(h0).is_some());
+            pool.gens[0] = u32::MAX - wrap_start;
+            let mut live: Vec<(PacketHandle, u64)> = Vec::new();
+            let mut dead: Vec<PacketHandle> = Vec::new();
+            let mut next_seq = 1u64;
+            for (is_insert, pick) in ops {
+                if is_insert || live.is_empty() {
+                    let h = pool.insert(sample(next_seq));
+                    prop_assert!(pool.contains(h));
+                    live.push((h, next_seq));
+                    next_seq += 1;
+                } else {
+                    let (h, seq) = live.swap_remove(pick % live.len());
+                    let pkt = pool.remove(h);
+                    prop_assert_eq!(pkt.map(|p| p.seq), Some(seq));
+                    dead.push(h);
+                }
+                prop_assert_eq!(pool.len(), live.len());
+                for &(h, seq) in &live {
+                    prop_assert_eq!(pool.slot(h).map(|s| s.seq), Some(seq));
+                }
+                for &h in &dead {
+                    prop_assert!(!pool.contains(h), "stale handle revived after recycle");
+                    prop_assert!(pool.slot(h).is_none());
+                }
+            }
+            // remove() on a dead handle is a no-op that cannot disturb
+            // the live population…
+            for h in dead {
+                prop_assert!(pool.remove(h).is_none());
+            }
+            prop_assert_eq!(pool.len(), live.len());
+            // …and every live handle still reassembles its own packet.
+            for (h, seq) in live {
+                prop_assert_eq!(pool.remove(h).map(|p| p.seq), Some(seq));
+            }
+            prop_assert!(pool.is_empty());
+        }
+    }
 }

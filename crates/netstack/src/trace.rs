@@ -119,6 +119,26 @@ pub enum TraceEvent {
         /// Packets released by the reclaim.
         pkts: usize,
     },
+    /// The overload-control layer shed a parked packet to relieve byte
+    /// pressure.
+    PressureShed {
+        /// The shedding access router.
+        ar: NodeId,
+        /// Shed-ladder rung that fired (`"best-effort"`, `"drop-front"`,
+        /// `"force-flush"`).
+        rung: &'static str,
+        /// Service class of the shed packet.
+        class: ServiceClass,
+        /// The shed packet's flow.
+        flow: FlowId,
+    },
+    /// The handover watchdog force-resolved a wedged buffering session.
+    WatchdogFired {
+        /// The router whose session was wedged.
+        node: NodeId,
+        /// Packets re-accounted by the forced resolution.
+        pkts: usize,
+    },
 }
 
 impl TraceEvent {
@@ -137,7 +157,9 @@ impl TraceEvent {
             | TraceEvent::BufferFlush { ar: n, .. }
             | TraceEvent::FaultFired { node: n, .. }
             | TraceEvent::StateExpired { node: n, .. }
-            | TraceEvent::StateReclaimed { node: n, .. } => Some(n),
+            | TraceEvent::StateReclaimed { node: n, .. }
+            | TraceEvent::PressureShed { ar: n, .. }
+            | TraceEvent::WatchdogFired { node: n, .. } => Some(n),
         }
     }
 }
@@ -156,6 +178,8 @@ impl TraceInstant for TraceEvent {
             TraceEvent::FaultFired { .. } => "fault",
             TraceEvent::StateExpired { .. } => "state-expired",
             TraceEvent::StateReclaimed { .. } => "state-reclaimed",
+            TraceEvent::PressureShed { .. } => "pressure-shed",
+            TraceEvent::WatchdogFired { .. } => "watchdog",
         }
     }
 
@@ -203,6 +227,19 @@ impl TraceInstant for TraceEvent {
                 format!("{{\"node\":{},\"what\":\"{what}\"}}", node.index())
             }
             TraceEvent::StateReclaimed { node, pkts } => {
+                format!("{{\"node\":{},\"pkts\":{pkts}}}", node.index())
+            }
+            TraceEvent::PressureShed {
+                ar,
+                rung,
+                class,
+                flow,
+            } => format!(
+                "{{\"ar\":{},\"rung\":\"{rung}\",\"class\":\"{class}\",\"flow\":{}}}",
+                ar.index(),
+                flow.0
+            ),
+            TraceEvent::WatchdogFired { node, pkts } => {
                 format!("{{\"node\":{},\"pkts\":{pkts}}}", node.index())
             }
         }
@@ -326,6 +363,17 @@ impl TraceLog {
                 }
                 TraceEvent::StateReclaimed { node, pkts } => {
                     let _ = writeln!(out, "{t}  reclaim {node} {pkts}pkt");
+                }
+                TraceEvent::PressureShed {
+                    ar,
+                    rung,
+                    class,
+                    flow,
+                } => {
+                    let _ = writeln!(out, "{t}  shed {ar} {rung} {class} {flow}");
+                }
+                TraceEvent::WatchdogFired { node, pkts } => {
+                    let _ = writeln!(out, "{t}  watchdog {node} {pkts}pkt");
                 }
             }
         }
@@ -469,12 +517,27 @@ mod tests {
             SimTime::from_millis(5),
             TraceEvent::StateReclaimed { node, pkts: 4 },
         );
+        log.push(
+            SimTime::from_millis(6),
+            TraceEvent::PressureShed {
+                ar: node,
+                rung: "best-effort",
+                class: ServiceClass::BestEffort,
+                flow: FlowId(3),
+            },
+        );
+        log.push(
+            SimTime::from_millis(7),
+            TraceEvent::WatchdogFired { node, pkts: 2 },
+        );
         let s = log.render();
         assert!(s.contains("ctrl HI 120B piggyback"));
         assert!(s.contains("drop flow3 BufferOverflow"));
         assert!(s.contains("buf+ actor#0 real-time flow3"));
         assert!(s.contains("flush actor#0 nar 9pkt"));
         assert!(s.contains("reclaim actor#0 4pkt"));
+        assert!(s.contains("shed actor#0 best-effort best-effort flow3"));
+        assert!(s.contains("watchdog actor#0 2pkt"));
     }
 
     #[test]
@@ -500,5 +563,23 @@ mod tests {
             send.args_json(),
             "{\"kind\":\"FBU\",\"bytes\":88,\"piggyback\":false}"
         );
+        let shed = TraceEvent::PressureShed {
+            ar: NodeId::from_index(1),
+            rung: "drop-front",
+            class: ServiceClass::RealTime,
+            flow: FlowId(5),
+        };
+        assert_eq!(shed.name(), "pressure-shed");
+        assert_eq!(shed.track(), 1);
+        assert_eq!(
+            shed.args_json(),
+            "{\"ar\":1,\"rung\":\"drop-front\",\"class\":\"real-time\",\"flow\":5}"
+        );
+        let wd = TraceEvent::WatchdogFired {
+            node: NodeId::from_index(2),
+            pkts: 3,
+        };
+        assert_eq!(wd.name(), "watchdog");
+        assert_eq!(wd.args_json(), "{\"node\":2,\"pkts\":3}");
     }
 }

@@ -96,6 +96,9 @@ pub enum TimerKind {
     /// Soft-state sweep: periodic dead-peer scan over handover sessions
     /// whose remote router has gone silent.
     DeadPeerSweep,
+    /// Handover watchdog: a buffering session's deadline elapsed without
+    /// a flush or an expiry — force-resolve it.
+    HandoverWatchdog,
 }
 
 /// Every event a network node actor can receive.
@@ -161,13 +164,17 @@ pub enum DropReason {
     /// A node fault reclaimed the packet: it was buffered at a router
     /// that crashed, or arrived at a node that is down.
     Reclaimed,
+    /// The overload-control layer shed the packet to relieve memory
+    /// pressure (byte budget high-watermark crossed). Distinct from
+    /// overflow rejection: the packet *was* admitted, then sacrificed.
+    PressureShed,
 }
 
 impl DropReason {
     /// Every drop reason, in declaration order. Audit and CSV code
     /// iterates this instead of pattern-matching with a `_` arm, so a new
     /// variant cannot be silently uncounted.
-    pub const ALL: [DropReason; 10] = [
+    pub const ALL: [DropReason; 11] = [
         DropReason::QueueOverflow,
         DropReason::RadioDetached,
         DropReason::BufferOverflow,
@@ -178,6 +185,7 @@ impl DropReason {
         DropReason::FaultInjected,
         DropReason::Expired,
         DropReason::Reclaimed,
+        DropReason::PressureShed,
     ];
 
     /// Stable short label for tables and CSV columns. Exhaustive on
@@ -195,6 +203,7 @@ impl DropReason {
             DropReason::FaultInjected => "fault_injected",
             DropReason::Expired => "expired",
             DropReason::Reclaimed => "reclaimed",
+            DropReason::PressureShed => "pressure_shed",
         }
     }
 }

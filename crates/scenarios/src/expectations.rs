@@ -44,6 +44,12 @@ pub struct PointAudit {
     pub class_drops: [u64; 3],
     /// Worst per-flow p99 end-to-end delay per class, in milliseconds.
     pub class_p99_ms: [f64; 3],
+    /// Lifetime high-water mark of bytes parked at either router.
+    pub peak_bytes_parked: usize,
+    /// Sessions still holding parked packets after quiesce.
+    pub wedged_sessions: usize,
+    /// Sheds the ladder audit flagged as out of declared order.
+    pub shed_order_violations: u64,
 }
 
 /// The invariants a plan's runs must satisfy, evaluated per grid point
@@ -64,6 +70,15 @@ pub struct Expectations {
     pub class_drop_max: Option<[u64; 3]>,
     /// Per-class ceilings on the worst p99 delay, in milliseconds.
     pub class_p99_max_ms: Option<[f64; 3]>,
+    /// Ceiling on the byte high-water mark of either router's pool — the
+    /// overload plans prove the byte budget actually bounds memory.
+    pub max_bytes_parked: Option<usize>,
+    /// Require zero sessions still holding parked packets post-quiesce
+    /// (the watchdog's contract: no wedged state survives).
+    pub zero_wedged_sessions: bool,
+    /// Require the shed-order audit to have flagged nothing: every shed
+    /// happened with all earlier ladder rungs exhausted.
+    pub shed_order_respected: bool,
     /// FNV-1a content lock on the rendered artifact. Cleared
     /// automatically when the plan runs under a different seed than the
     /// one the lock was pinned for.
@@ -79,6 +94,9 @@ impl Default for Expectations {
             max_failed_ratio: None,
             class_drop_max: None,
             class_p99_max_ms: None,
+            max_bytes_parked: None,
+            zero_wedged_sessions: false,
+            shed_order_respected: false,
             artifact_fnv1a: None,
         }
     }
@@ -155,6 +173,35 @@ impl Expectations {
                 }
             }
         }
+        if let Some(max) = self.max_bytes_parked {
+            if audit.peak_bytes_parked > max {
+                fail(
+                    "max_bytes_parked",
+                    format!(
+                        "peak {} bytes parked > {} allowed",
+                        audit.peak_bytes_parked, max
+                    ),
+                );
+            }
+        }
+        if self.zero_wedged_sessions && audit.wedged_sessions > 0 {
+            fail(
+                "zero_wedged_sessions",
+                format!(
+                    "{} sessions still hold parked packets after quiesce",
+                    audit.wedged_sessions
+                ),
+            );
+        }
+        if self.shed_order_respected && audit.shed_order_violations > 0 {
+            fail(
+                "shed_order_respected",
+                format!(
+                    "{} sheds ran with an earlier ladder rung unexhausted",
+                    audit.shed_order_violations
+                ),
+            );
+        }
         entries
     }
 
@@ -204,6 +251,9 @@ mod tests {
             max_failed_ratio: Some(0.05),
             class_drop_max: Some([10, 0, 100]),
             class_p99_max_ms: Some([50.0, 50.0, 50.0]),
+            max_bytes_parked: Some(4_000),
+            zero_wedged_sessions: true,
+            shed_order_respected: true,
             ..Expectations::default()
         };
         let audit = PointAudit {
@@ -217,6 +267,9 @@ mod tests {
             failed: 5,
             class_drops: [0, 4, 0],
             class_p99_ms: [10.0, 80.0, 0.0],
+            peak_bytes_parked: 4_160,
+            wedged_sessions: 2,
+            shed_order_violations: 1,
         };
         let entries = exp.check_point("point[2]", &audit);
         let checks: Vec<&str> = entries.iter().map(|e| e.check.as_str()).collect();
@@ -228,10 +281,14 @@ mod tests {
                 "recorder_clean",
                 "max_failed_ratio",
                 "class_drop_max",
-                "class_p99_max_ms"
+                "class_p99_max_ms",
+                "max_bytes_parked",
+                "zero_wedged_sessions",
+                "shed_order_respected"
             ]
         );
         assert!(entries[4].detail.contains("high-priority"), "{entries:?}");
+        assert!(entries[6].detail.contains("4160"), "{entries:?}");
         assert!(entries.iter().all(|e| e.subject == "point[2]"));
     }
 

@@ -671,6 +671,25 @@ impl HmipScenario {
         }
     }
 
+    /// The larger of the two routers' lifetime byte high-water marks —
+    /// flash-crowd plans bound this with the `max_bytes_parked`
+    /// expectation.
+    #[must_use]
+    pub fn peak_bytes_parked(&self) -> usize {
+        self.par_agent()
+            .pool()
+            .peak_bytes()
+            .max(self.nar_agent().pool().peak_bytes())
+    }
+
+    /// Sessions still holding parked packets across both routers. After
+    /// quiesce this must be zero — the handover watchdog exists precisely
+    /// so no wedged session survives.
+    #[must_use]
+    pub fn wedged_sessions(&self) -> usize {
+        self.par_agent().pool().wedged_sessions() + self.nar_agent().pool().wedged_sessions()
+    }
+
     /// Panics unless [`HmipScenario::leak_report`] is clean: no live
     /// sessions, reservations, buffered packets, paced flushes or pending
     /// non-route timers on either router, no host route pointing at a

@@ -570,6 +570,9 @@ fn run_point(plan: &ScenarioPlan, gp: &GridPoint, pid: u64) -> (PointRun, Option
         failed,
         class_drops,
         class_p99_ms,
+        peak_bytes_parked: scenario.peak_bytes_parked(),
+        wedged_sessions: scenario.wedged_sessions(),
+        shed_order_violations: stats.counter("ar.shed_order_violations"),
     };
     let point = PointRun {
         loss: gp.loss,
@@ -782,10 +785,11 @@ fn render_points(plan: &ScenarioPlan, points: &[PointRun]) -> String {
 
 use crate::toml::{Entry, Value};
 
-const KNOWN_TABLES: [&str; 10] = [
+const KNOWN_TABLES: [&str; 11] = [
     "plan",
     "topology",
     "protocol",
+    "pressure",
     "matrix",
     "faults",
     "faults.par",
@@ -1101,6 +1105,60 @@ impl ScenarioPlan {
                         ))
                     }
                 }
+            }
+        }
+
+        // [pressure] — the overload-survival knobs, everything off by
+        // default (zero budget disarms byte accounting, zero deadline
+        // disarms the watchdog).
+        if let Some(t) = doc.table("pressure") {
+            let c = Ctx {
+                file,
+                table: "pressure",
+            };
+            for e in &t.entries {
+                match e.key.as_str() {
+                    "byte_budget" => protocol.pressure.byte_budget = c.usize(e)?,
+                    "high_watermark_pct" | "low_watermark_pct" => {
+                        let i = c.int(e)?;
+                        if !(1..=100).contains(&i) {
+                            return Err(c.err(
+                                &e.key,
+                                format!("must be a percentage in [1, 100], got {i}"),
+                            ));
+                        }
+                        if e.key == "high_watermark_pct" {
+                            protocol.pressure.high_watermark_pct = i as u8;
+                        } else {
+                            protocol.pressure.low_watermark_pct = i as u8;
+                        }
+                    }
+                    "watchdog_deadline_ms" => {
+                        let d = c.ms(e)?;
+                        protocol.pressure.watchdog_deadline =
+                            if d.is_zero() { SimDuration::MAX } else { d };
+                    }
+                    _ => {
+                        return Err(c.unknown_key(
+                            e,
+                            &[
+                                "byte_budget",
+                                "high_watermark_pct",
+                                "low_watermark_pct",
+                                "watchdog_deadline_ms",
+                            ],
+                        ))
+                    }
+                }
+            }
+            if protocol.pressure.low_watermark_pct > protocol.pressure.high_watermark_pct {
+                return Err(c.err(
+                    "low_watermark_pct",
+                    format!(
+                        "low watermark {}% above high watermark {}%",
+                        protocol.pressure.low_watermark_pct, protocol.pressure.high_watermark_pct
+                    ),
+                ));
             }
         }
 
@@ -1490,6 +1548,11 @@ impl ScenarioPlan {
                         };
                         expectations.class_p99_max_ms = Some([*a, *b, *d]);
                     }
+                    "max_bytes_parked" => {
+                        expectations.max_bytes_parked = Some(c.usize(e)?);
+                    }
+                    "zero_wedged_sessions" => expectations.zero_wedged_sessions = c.bool(e)?,
+                    "shed_order_respected" => expectations.shed_order_respected = c.bool(e)?,
                     "artifact_fnv1a" => {
                         let s = c.str(e)?;
                         let Some(hex) = s.strip_prefix("0x") else {
@@ -1513,6 +1576,9 @@ impl ScenarioPlan {
                                 "max_failed_ratio",
                                 "class_drop_max",
                                 "class_p99_max_ms",
+                                "max_bytes_parked",
+                                "zero_wedged_sessions",
+                                "shed_order_respected",
                                 "artifact_fnv1a",
                             ],
                         ))
@@ -1565,9 +1631,10 @@ impl ScenarioPlan {
 ///
 /// Fuzzed plans explore the full configuration surface — every movement
 /// pattern and scheme, storms, faults (loss, bursts, duplication,
-/// jitter, router crash/restart, host power loss), telemetry on and off
-/// — while always demanding the universal battery: packet conservation
-/// and an intact flight recorder. Leak-freedom is additionally demanded
+/// jitter, router crash/restart, host power loss), telemetry on and off,
+/// overload pressure (finite byte budgets, shed watermarks, the handover
+/// watchdog) — while always demanding the universal battery: packet
+/// conservation and an intact flight recorder. Leak-freedom is additionally demanded
 /// when the plan is fault-free and actually quiesces (no ping-pong
 /// host, no crash).
 #[must_use]
@@ -1681,6 +1748,22 @@ pub fn fuzz_plan(base_seed: u64, index: u64) -> ScenarioPlan {
             0
         },
     };
+
+    // Overload pressure, drawn after every legacy knob so earlier fuzz
+    // indices keep their exact historical shapes. A finite byte budget
+    // exercises byte-accounted admission and the shed ladder; a finite
+    // watchdog deadline exercises forced resolution of wedged sessions.
+    if rng.gen_bool(0.3) {
+        protocol.pressure.byte_budget = 2_000 + rng.gen_range_u64(30_001) as usize;
+        protocol.pressure.high_watermark_pct = (75 + rng.gen_range_u64(21)) as u8;
+        protocol.pressure.low_watermark_pct = (40 + rng.gen_range_u64(31)) as u8;
+    }
+    if rng.gen_bool(0.25) {
+        // Well inside the 10 s post-traffic quiesce window, so a fired
+        // watchdog's state is always reclaimed before the audit.
+        protocol.pressure.watchdog_deadline =
+            SimDuration::from_millis(1_500 + rng.gen_range_u64(3_001));
+    }
 
     // Leak-freedom needs a run that actually quiesces: no host still
     // shuttling at the horizon and no fault tearing state down under
@@ -1906,6 +1989,45 @@ horizon_ms = 3000
     }
 
     #[test]
+    fn pressure_table_parses_and_validates() {
+        let plan = ScenarioPlan::from_toml(
+            "[plan]\nname = \"x\"\n[pressure]\nbyte_budget = 8000\nhigh_watermark_pct = 85\n\
+             low_watermark_pct = 60\nwatchdog_deadline_ms = 1500\n",
+            "p.toml",
+        )
+        .expect("parses");
+        assert_eq!(plan.protocol.pressure.byte_budget, 8000);
+        assert!(plan.protocol.pressure.engaged());
+        assert_eq!(
+            plan.protocol.pressure.watchdog_deadline,
+            SimDuration::from_millis(1500)
+        );
+        // An explicit zero deadline means "watchdog off", like the default.
+        let plan = ScenarioPlan::from_toml(
+            "[plan]\nname = \"x\"\n[pressure]\nwatchdog_deadline_ms = 0\n",
+            "p.toml",
+        )
+        .expect("parses");
+        assert_eq!(plan.protocol.pressure.watchdog_deadline, SimDuration::MAX);
+
+        let err = ScenarioPlan::from_toml(
+            "[plan]\nname = \"x\"\n[pressure]\nhigh_watermark_pct = 50\n\
+             low_watermark_pct = 70\n",
+            "p.toml",
+        )
+        .unwrap_err();
+        assert_eq!(err.location, "[pressure].low_watermark_pct");
+        assert!(err.message.contains("above high watermark"), "{err}");
+
+        let err = ScenarioPlan::from_toml(
+            "[plan]\nname = \"x\"\n[pressure]\nhigh_watermark_pct = 120\n",
+            "p.toml",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("[1, 100]"), "{err}");
+    }
+
+    #[test]
     fn restart_without_crash_is_rejected() {
         let err = ScenarioPlan::from_toml(
             "[plan]\nname = \"x\"\n[faults.par]\nrestart_after_ms = 1000\n",
@@ -1957,6 +2079,10 @@ horizon_ms = 3000
             }
             assert!(a.faults.ar_link.validated().is_ok());
             assert!(a.faults.wireless.validated().is_ok());
+            assert!(
+                a.protocol.pressure.low_watermark_pct <= a.protocol.pressure.high_watermark_pct,
+                "plan {i} drew an inverted watermark pair"
+            );
             if a.expectations.no_leaks {
                 assert!(a.faults.is_noop());
                 assert_ne!(a.topology.movement, MovementPlan::PingPong);

@@ -1,7 +1,7 @@
 //! Builder invariants for the composed scenarios.
 
 use fh_core::{ProtocolConfig, Scheme};
-use fh_net::{RouteDecision, ServiceClass};
+use fh_net::{DropReason, RouteDecision, ServiceClass};
 use fh_scenarios::{
     geometry, HmipConfig, HmipScenario, MovementPlan, RoamingConfig, RoamingScenario, WlanConfig,
     WlanScenario,
@@ -154,6 +154,67 @@ fn custom_blackout_and_link_delay_are_applied() {
     assert_eq!(
         s.sim.shared.topo.link(fh_net::LinkId(3)).spec.delay,
         SimDuration::from_millis(17)
+    );
+}
+
+/// Overload survival, end to end: a byte budget far below the offered
+/// load must engage the shed ladder, a blackout longer than the watchdog
+/// deadline must force-resolve every session, and afterwards nothing is
+/// wedged, the budget was never exceeded, and conservation still
+/// balances with the sheds in the ledger.
+#[test]
+fn overload_sheds_deterministically_and_watchdog_unwedges_sessions() {
+    let mut protocol = ProtocolConfig::with_scheme(Scheme::Dual { classify: true });
+    protocol.buffer_request = 12;
+    protocol.pressure.byte_budget = 2_000;
+    protocol.pressure.watchdog_deadline = SimDuration::from_millis(800);
+    let mut s = HmipScenario::build(HmipConfig {
+        protocol,
+        n_mhs: 8,
+        buffer_capacity: 42,
+        l2_handoff_delay: SimDuration::from_millis(1_500),
+        movement: MovementPlan::OneWay,
+        ..HmipConfig::default()
+    });
+    let classes = [
+        ServiceClass::RealTime,
+        ServiceClass::HighPriority,
+        ServiceClass::BestEffort,
+    ];
+    for h in 0..8 {
+        let _ = s.add_cbr_flow(h, classes[h % 3], 160, SimDuration::from_millis(10));
+    }
+    s.set_traffic_window(SimTime::from_millis(500), SimTime::from_secs(13));
+    s.run_until(SimTime::from_secs(20));
+    let _ = s.finalize();
+    assert!(
+        s.peak_bytes_parked() <= 2_000,
+        "the byte budget is a hard ceiling, peaked at {}",
+        s.peak_bytes_parked()
+    );
+    assert_eq!(s.wedged_sessions(), 0, "no wedged state survives quiesce");
+    let stats = &s.sim.shared.stats;
+    assert!(
+        stats.counter("ar.pressure_sheds") > 0,
+        "an 8-host blackout against a 2 kB budget must shed"
+    );
+    assert!(
+        stats.drops(DropReason::PressureShed) > 0,
+        "sheds must be ledgered under their own drop reason"
+    );
+    assert!(
+        stats.counter("ar.watchdog_fired") > 0,
+        "sessions outliving the 800 ms deadline must be force-resolved"
+    );
+    assert_eq!(
+        stats.counter("ar.shed_order_violations"),
+        0,
+        "every shed must run with the earlier ladder rungs exhausted"
+    );
+    assert!(
+        stats.conservation_violations().is_empty(),
+        "conservation must balance with PressureShed counted: {:?}",
+        stats.conservation_violations()
     );
 }
 
