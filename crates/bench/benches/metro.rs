@@ -1,0 +1,109 @@
+//! Microbenchmarks of the sharded epoch executor: pure epoch-barrier
+//! overhead and boundary-mailbox drain throughput. These isolate the
+//! costs the metro scaling bin pays on top of shard work — the numbers
+//! that bound how small a useful epoch (boundary latency) can be.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fh_sim::shard::{run_epochs, Outbox, ShardState};
+use fh_sim::{SimDuration, SimTime};
+
+/// A shard that never finishes and never sends: every epoch is pure
+/// barrier overhead (`next_event_time` stays beyond the horizon so the
+/// early-exit path never triggers).
+struct IdleShard;
+
+impl ShardState for IdleShard {
+    type Msg = ();
+
+    fn accept(&mut self, _arrival: SimTime, _msg: ()) {}
+
+    fn advance(&mut self, _horizon: SimTime, _outbox: &mut Outbox<()>) {}
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        Some(SimTime::MAX)
+    }
+}
+
+/// A shard that floods its peers: `fanout` messages per epoch, each
+/// arriving exactly at the barrier — the drain-dominated regime.
+struct ChattyShard {
+    idx: usize,
+    n: usize,
+    fanout: u64,
+    received: u64,
+}
+
+impl ShardState for ChattyShard {
+    type Msg = u64;
+
+    fn accept(&mut self, _arrival: SimTime, msg: u64) {
+        self.received = self.received.wrapping_add(msg);
+    }
+
+    fn advance(&mut self, horizon: SimTime, outbox: &mut Outbox<u64>) {
+        for i in 0..self.fanout {
+            let dst = (self.idx + 1 + (i as usize % (self.n - 1))) % self.n;
+            outbox.send(dst, horizon, i);
+        }
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        Some(SimTime::MAX)
+    }
+}
+
+fn bench_epoch_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metro_epoch_barrier");
+    let epochs = 1_000u64;
+    let lookahead = SimDuration::from_millis(1);
+    let horizon = SimTime::ZERO + lookahead * epochs;
+    for shards in [2usize, 8] {
+        g.throughput(Throughput::Elements(epochs));
+        g.bench_with_input(
+            BenchmarkId::new("empty_epochs", shards),
+            &shards,
+            |b, &n| {
+                b.iter(|| {
+                    let mut s: Vec<IdleShard> = (0..n).map(|_| IdleShard).collect();
+                    let report = run_epochs(&mut s, lookahead, horizon, 1);
+                    assert_eq!(report.epochs, epochs);
+                    black_box(report.epochs)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_mailbox_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metro_mailbox_drain");
+    let epochs = 50u64;
+    let lookahead = SimDuration::from_millis(1);
+    let horizon = SimTime::ZERO + lookahead * epochs;
+    let n = 4usize;
+    for fanout in [100u64, 1_000] {
+        let messages = fanout * n as u64 * epochs;
+        g.throughput(Throughput::Elements(messages));
+        g.bench_with_input(BenchmarkId::new("drain", fanout), &fanout, |b, &f| {
+            b.iter(|| {
+                let mut s: Vec<ChattyShard> = (0..n)
+                    .map(|idx| ChattyShard {
+                        idx,
+                        n,
+                        fanout: f,
+                        received: 0,
+                    })
+                    .collect();
+                let report = run_epochs(&mut s, lookahead, horizon, 1);
+                assert_eq!(report.messages, messages);
+                black_box(report.messages)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_epoch_barrier, bench_mailbox_drain);
+criterion_main!(benches);

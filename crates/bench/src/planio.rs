@@ -18,7 +18,7 @@ use fh_scenarios::plan::{fuzz_plan, run_plan, PlanOutcome, ScenarioPlan};
 use fh_telemetry::report::fnv1a64_hex;
 
 /// The compiled-in plan corpus: `(display path, TOML source)`.
-pub const CORPUS: [(&str, &str); 13] = [
+pub const CORPUS: [(&str, &str); 14] = [
     ("plans/chaos.toml", include_str!("../plans/chaos.toml")),
     ("plans/storm.toml", include_str!("../plans/storm.toml")),
     (
@@ -65,6 +65,7 @@ pub const CORPUS: [(&str, &str); 13] = [
         "plans/flashcrowd.toml",
         include_str!("../plans/flashcrowd.toml"),
     ),
+    ("plans/metro.toml", include_str!("../plans/metro.toml")),
 ];
 
 /// Loads one plan from TOML, rebases it onto `seed`, runs it, and judges

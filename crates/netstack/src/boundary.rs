@@ -1,0 +1,286 @@
+//! Fixed-latency links between MAP domains — the lookahead contract of
+//! the sharded metro kernel.
+//!
+//! When a simulation is partitioned by MAP domain, the only way traffic
+//! crosses a partition is a [`BoundaryLink`]: an abstracted inter-MAP
+//! transport (the operator core network between two MAP routers) with a
+//! **fixed, strictly positive latency**. That latency is not just a
+//! model parameter — its minimum over all boundary links is the
+//! conservative lookahead the epoch executor
+//! ([`fh_sim::shard::run_epochs`]) uses to advance domains in parallel:
+//! a message sent during epoch `[kL, (k+1)L)` cannot arrive before
+//! `kL + L`, so every domain can burn through the epoch without peeking
+//! at its peers.
+//!
+//! The link itself is deliberately simple (no queueing, no loss): core
+//! inter-MAP paths are orders of magnitude fatter than the access links
+//! the paper studies, so the interesting contention stays inside the
+//! domains. What the link does own is *accounting* — packets and bytes
+//! forwarded per direction — so the metro report can show cross-domain
+//! traffic volume per boundary.
+
+use fh_sim::{SimDuration, SimTime};
+
+/// Index of a MAP domain in a metro deployment. Dense, assigned in
+/// topology declaration order, and used as the shard index by the epoch
+/// executor and as the salt index for per-domain RNG lineages
+/// ([`fh_sim::derive_domain_seed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub u32);
+
+impl DomainId {
+    /// The domain index as a usize (shard index).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for DomainId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A fixed-latency inter-domain transport between two MAP domains.
+///
+/// Direction-agnostic: one link serves both `a → b` and `b → a`, with
+/// per-direction counters. Latency is immutable after construction —
+/// the epoch schedule is derived from it, so a mid-run change would
+/// invalidate the lookahead proof.
+#[derive(Debug, Clone)]
+pub struct BoundaryLink {
+    a: DomainId,
+    b: DomainId,
+    latency: SimDuration,
+    /// Packets forwarded in the `a → b` / `b → a` direction.
+    forwarded: [u64; 2],
+    /// Bytes forwarded in the `a → b` / `b → a` direction.
+    bytes: [u64; 2],
+}
+
+impl BoundaryLink {
+    /// Creates a boundary link between `a` and `b` with the given
+    /// one-way latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero (zero lookahead admits no
+    /// conservative parallel schedule) or if `a == b` (a domain needs
+    /// no boundary to reach itself).
+    #[must_use]
+    pub fn new(a: DomainId, b: DomainId, latency: SimDuration) -> Self {
+        assert!(
+            !latency.is_zero(),
+            "boundary link {a}-{b} must have latency > 0 (it is the lookahead)"
+        );
+        assert_ne!(a, b, "boundary link endpoints must differ");
+        BoundaryLink {
+            a,
+            b,
+            latency,
+            forwarded: [0; 2],
+            bytes: [0; 2],
+        }
+    }
+
+    /// The two endpoint domains, in construction order.
+    #[must_use]
+    pub fn endpoints(&self) -> (DomainId, DomainId) {
+        (self.a, self.b)
+    }
+
+    /// The fixed one-way latency.
+    #[must_use]
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// `true` if this link connects `from` to some other domain.
+    #[must_use]
+    pub fn serves(&self, from: DomainId) -> bool {
+        self.a == from || self.b == from
+    }
+
+    /// The far end as seen from `from`, or `None` if `from` is not an
+    /// endpoint.
+    #[must_use]
+    pub fn peer(&self, from: DomainId) -> Option<DomainId> {
+        if self.a == from {
+            Some(self.b)
+        } else if self.b == from {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Accounts one packet of `size` bytes crossing from `from`,
+    /// returning its arrival time at the peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of this link.
+    pub fn forward(&mut self, from: DomainId, now: SimTime, size: u32) -> SimTime {
+        let dir = if self.a == from {
+            0
+        } else {
+            assert_eq!(
+                self.b, from,
+                "domain {from} is not on link {}-{}",
+                self.a, self.b
+            );
+            1
+        };
+        self.forwarded[dir] += 1;
+        self.bytes[dir] += u64::from(size);
+        now + self.latency
+    }
+
+    /// Total packets forwarded, both directions.
+    #[must_use]
+    pub fn packets_forwarded(&self) -> u64 {
+        self.forwarded[0] + self.forwarded[1]
+    }
+
+    /// Total bytes forwarded, both directions.
+    #[must_use]
+    pub fn bytes_forwarded(&self) -> u64 {
+        self.bytes[0] + self.bytes[1]
+    }
+}
+
+/// The boundary fabric of a metro deployment: every inter-domain link,
+/// plus the derived conservative lookahead.
+///
+/// In the common full-mesh case (every MAP pair connected through the
+/// operator core at uniform latency) use [`BoundaryFabric::full_mesh`];
+/// irregular topologies can [`BoundaryFabric::add`] links one at a time.
+#[derive(Debug, Clone, Default)]
+pub struct BoundaryFabric {
+    links: Vec<BoundaryLink>,
+}
+
+impl BoundaryFabric {
+    /// An empty fabric (single-domain deployments have no boundaries).
+    #[must_use]
+    pub fn new() -> Self {
+        BoundaryFabric::default()
+    }
+
+    /// A full mesh over `domains` domains at uniform `latency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains > 1` and `latency` is zero.
+    #[must_use]
+    pub fn full_mesh(domains: u32, latency: SimDuration) -> Self {
+        let mut fabric = BoundaryFabric::new();
+        for a in 0..domains {
+            for b in (a + 1)..domains {
+                fabric.add(BoundaryLink::new(DomainId(a), DomainId(b), latency));
+            }
+        }
+        fabric
+    }
+
+    /// Adds a link to the fabric.
+    pub fn add(&mut self, link: BoundaryLink) {
+        self.links.push(link);
+    }
+
+    /// All links, in insertion order.
+    #[must_use]
+    pub fn links(&self) -> &[BoundaryLink] {
+        &self.links
+    }
+
+    /// Mutable access to the links (for forwarding accounting).
+    pub fn links_mut(&mut self) -> &mut [BoundaryLink] {
+        &mut self.links
+    }
+
+    /// The conservative lookahead: the minimum latency over all links,
+    /// or `None` for an empty fabric (single domain — no lookahead
+    /// needed, the epoch executor bypasses the barrier entirely).
+    #[must_use]
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.links.iter().map(BoundaryLink::latency).min()
+    }
+
+    /// Finds the link connecting `from` and `to`, if any.
+    #[must_use]
+    pub fn link_between(&mut self, from: DomainId, to: DomainId) -> Option<&mut BoundaryLink> {
+        self.links.iter_mut().find(|l| l.peer(from) == Some(to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_accounts_per_direction_and_returns_arrival() {
+        let mut link = BoundaryLink::new(DomainId(0), DomainId(1), SimDuration::from_millis(8));
+        let t = link.forward(DomainId(0), SimTime::from_millis(100), 1_500);
+        assert_eq!(t, SimTime::from_millis(108));
+        let t = link.forward(DomainId(1), SimTime::from_millis(200), 200);
+        assert_eq!(t, SimTime::from_millis(208));
+        assert_eq!(link.packets_forwarded(), 2);
+        assert_eq!(link.bytes_forwarded(), 1_700);
+    }
+
+    #[test]
+    fn peer_resolution() {
+        let link = BoundaryLink::new(DomainId(2), DomainId(5), SimDuration::from_millis(1));
+        assert_eq!(link.peer(DomainId(2)), Some(DomainId(5)));
+        assert_eq!(link.peer(DomainId(5)), Some(DomainId(2)));
+        assert_eq!(link.peer(DomainId(3)), None);
+        assert!(link.serves(DomainId(2)));
+        assert!(!link.serves(DomainId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "latency > 0")]
+    fn zero_latency_is_rejected() {
+        let _ = BoundaryLink::new(DomainId(0), DomainId(1), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn self_link_is_rejected() {
+        let _ = BoundaryLink::new(DomainId(3), DomainId(3), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn full_mesh_link_count_and_lookahead() {
+        let fabric = BoundaryFabric::full_mesh(4, SimDuration::from_millis(6));
+        assert_eq!(fabric.links().len(), 6); // C(4,2)
+        assert_eq!(fabric.lookahead(), Some(SimDuration::from_millis(6)));
+        assert!(BoundaryFabric::new().lookahead().is_none());
+        assert_eq!(
+            BoundaryFabric::full_mesh(1, SimDuration::ZERO)
+                .links()
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn lookahead_is_the_minimum_latency() {
+        let mut fabric = BoundaryFabric::new();
+        fabric.add(BoundaryLink::new(
+            DomainId(0),
+            DomainId(1),
+            SimDuration::from_millis(12),
+        ));
+        fabric.add(BoundaryLink::new(
+            DomainId(1),
+            DomainId(2),
+            SimDuration::from_millis(5),
+        ));
+        assert_eq!(fabric.lookahead(), Some(SimDuration::from_millis(5)));
+        assert!(fabric.link_between(DomainId(0), DomainId(1)).is_some());
+        assert!(fabric.link_between(DomainId(0), DomainId(2)).is_none());
+    }
+}

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+pub mod boundary;
 mod class;
 pub mod fault;
 mod link;
@@ -69,6 +70,7 @@ pub mod trace;
 mod world;
 
 pub use addr::{doc_subnet, Prefix};
+pub use boundary::{BoundaryFabric, BoundaryLink, DomainId};
 pub use class::{ParseClassError, PerHopBehavior, ServiceClass};
 pub use fault::{FaultSpec, FaultState, FaultVerdict, GilbertElliott, NodeFaultSpec};
 pub use link::{Link, LinkError, LinkId, LinkSpec};

@@ -37,6 +37,7 @@
 pub mod expectations;
 pub mod experiments;
 mod hmip;
+pub mod metro;
 mod nodes;
 pub mod plan;
 mod roaming;

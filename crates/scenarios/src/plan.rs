@@ -54,6 +54,9 @@ pub enum ReportKind {
     /// The generic per-point CSV (every recorded metric, one row per
     /// grid point) — the default for ad-hoc and fuzzed plans.
     Points,
+    /// The metro-scale CSV from the sharded multi-domain kernel
+    /// (`hosts,scheme,domains,…,epochs,messages`).
+    Metro,
 }
 
 impl ReportKind {
@@ -65,6 +68,38 @@ impl ReportKind {
             ReportKind::Storm => "storm",
             ReportKind::Timeline => "timeline",
             ReportKind::Points => "points",
+            ReportKind::Metro => "metro",
+        }
+    }
+}
+
+/// The `[topology.domains]` block: how a metro plan partitions the
+/// world into MAP domains. The default (one domain) leaves every
+/// non-metro plan untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainsSpec {
+    /// Number of MAP domains (shards). 1 means the classic single-queue
+    /// kernel.
+    pub count: u32,
+    /// One-way latency of every inter-MAP boundary link — the
+    /// conservative lookahead. Must be positive when `count > 1`.
+    pub boundary_latency: SimDuration,
+    /// Access routers per domain.
+    pub ars_per_domain: u32,
+    /// Fraction of hosts whose correspondent lives in another domain.
+    pub remote_fraction: f64,
+    /// Mean exponential dwell time between handovers.
+    pub mean_residence: SimDuration,
+}
+
+impl Default for DomainsSpec {
+    fn default() -> Self {
+        DomainsSpec {
+            count: 1,
+            boundary_latency: SimDuration::from_millis(8),
+            ars_per_domain: 4,
+            remote_fraction: 0.2,
+            mean_residence: SimDuration::from_secs(4),
         }
     }
 }
@@ -86,6 +121,9 @@ pub struct TopologySpec {
     pub speed: f64,
     /// Handover-storm stagger between hosts' walks.
     pub stagger: SimDuration,
+    /// Multi-domain partitioning (`[topology.domains]`); defaults to a
+    /// single domain, which every non-metro plan uses.
+    pub domains: DomainsSpec,
 }
 
 impl Default for TopologySpec {
@@ -99,6 +137,7 @@ impl Default for TopologySpec {
             l2_blackout: base.l2_handoff_delay,
             speed: base.speed,
             stagger: base.storm_stagger,
+            domains: DomainsSpec::default(),
         }
     }
 }
@@ -423,6 +462,8 @@ pub struct PointRun {
     pub events: u64,
     /// The audit the expectations engine judges.
     pub audit: PointAudit,
+    /// Metro-kernel extras (`report = "metro"` points only).
+    pub metro: Option<crate::metro::MetroPoint>,
 }
 
 /// A finished plan run: the rendered artifact, the per-point metrics,
@@ -592,6 +633,7 @@ fn run_point(plan: &ScenarioPlan, gp: &GridPoint, pid: u64) -> (PointRun, Option
         routes_expired: stats.counter("ar.routes_expired"),
         events: scenario.sim.events_processed(),
         audit,
+        metro: None,
     };
     (point, trace)
 }
@@ -602,7 +644,21 @@ fn run_point(plan: &ScenarioPlan, gp: &GridPoint, pid: u64) -> (PointRun, Option
 #[must_use]
 pub fn run_plan(plan: &ScenarioPlan, threads: usize) -> PlanOutcome {
     let grid = build_grid(plan);
-    let runs = parallel_map(threads, &grid, |pid, gp| run_point(plan, gp, pid as u64));
+    let runs: Vec<(PointRun, Option<ChromeTrace>)> = if plan.report == ReportKind::Metro {
+        // Metro points parallelize *inside* the run (one worker per
+        // domain shard), so the grid itself stays sequential — nesting
+        // parallel_map around the epoch executor would oversubscribe.
+        grid.iter()
+            .map(|gp| {
+                (
+                    crate::metro::run_metro_point(plan, gp.hosts, gp.scheme, gp.seed, threads),
+                    None,
+                )
+            })
+            .collect()
+    } else {
+        parallel_map(threads, &grid, |pid, gp| run_point(plan, gp, pid as u64))
+    };
     let mut report = FailureReport::new(plan.name.clone());
     // Thread count is deliberately NOT part of the context: the same
     // violations must render the same bytes at any worker count.
@@ -658,6 +714,7 @@ fn render_artifact(plan: &ScenarioPlan, points: &[PointRun], traces: Vec<ChromeT
             trace.finish()
         }
         ReportKind::Points => render_points(plan, points),
+        ReportKind::Metro => crate::metro::render_metro(points),
     }
 }
 
@@ -785,9 +842,10 @@ fn render_points(plan: &ScenarioPlan, points: &[PointRun]) -> String {
 
 use crate::toml::{Entry, Value};
 
-const KNOWN_TABLES: [&str; 11] = [
+const KNOWN_TABLES: [&str; 12] = [
     "plan",
     "topology",
+    "topology.domains",
     "protocol",
     "pressure",
     "matrix",
@@ -989,12 +1047,13 @@ impl ScenarioPlan {
                             "storm" => ReportKind::Storm,
                             "timeline" => ReportKind::Timeline,
                             "points" => ReportKind::Points,
+                            "metro" => ReportKind::Metro,
                             other => {
                                 return Err(c.err(
                                     "report",
                                     format!(
                                         "unknown report `{other}` (expected chaos, storm, \
-                                         timeline or points)"
+                                         timeline, points or metro)"
                                     ),
                                 ))
                             }
@@ -1065,6 +1124,70 @@ impl ScenarioPlan {
                         ))
                     }
                 }
+            }
+        }
+
+        // [topology.domains] — the metro-kernel partitioning.
+        if let Some(t) = doc.table("topology.domains") {
+            let c = Ctx {
+                file,
+                table: "topology.domains",
+            };
+            let d = &mut topology.domains;
+            for e in &t.entries {
+                match e.key.as_str() {
+                    "count" => {
+                        d.count = c.u32(e)?;
+                        if d.count == 0 {
+                            return Err(c.err("count", "must be at least 1"));
+                        }
+                    }
+                    "boundary_latency_ms" => d.boundary_latency = c.ms(e)?,
+                    "ars_per_domain" => {
+                        d.ars_per_domain = c.u32(e)?;
+                        if d.ars_per_domain == 0 {
+                            return Err(c.err("ars_per_domain", "must be at least 1"));
+                        }
+                    }
+                    "remote_fraction" => d.remote_fraction = c.prob(e)?,
+                    "mean_residence_ms" => {
+                        d.mean_residence = c.ms(e)?;
+                        if d.mean_residence.is_zero() {
+                            return Err(c.err("mean_residence_ms", "must be positive"));
+                        }
+                    }
+                    _ => {
+                        return Err(c.unknown_key(
+                            e,
+                            &[
+                                "count",
+                                "boundary_latency_ms",
+                                "ars_per_domain",
+                                "remote_fraction",
+                                "mean_residence_ms",
+                            ],
+                        ))
+                    }
+                }
+            }
+            // The boundary latency IS the conservative lookahead: a
+            // zero-latency boundary would let a cross-domain packet
+            // arrive inside the epoch that sent it.
+            if d.count > 1 && d.boundary_latency.is_zero() {
+                return Err(c.err(
+                    "boundary_latency_ms",
+                    "lookahead must be > 0 when domains > 1",
+                ));
+            }
+            if d.count > 1 && report != ReportKind::Metro {
+                return Err(c.err(
+                    "count",
+                    format!(
+                        "multi-domain topologies run on the metro kernel: \
+                         set report = \"metro\" (this plan says `{}`)",
+                        report.name()
+                    ),
+                ));
             }
         }
 
@@ -1619,6 +1742,65 @@ impl ScenarioPlan {
                 }
             }
         }
+
+        // Cross-validation: the metro kernel models handovers and
+        // buffering natively, so a metro plan's surface is narrower than
+        // the actor fabric's.
+        if plan.report == ReportKind::Metro {
+            if matches!(plan.axis, Axis::Loss(_)) {
+                return Err(PlanError::at_field(
+                    file,
+                    "matrix",
+                    "axis",
+                    "metro plans sweep hosts, not loss (the metro kernel has no fault layer)",
+                ));
+            }
+            if !plan.faults.is_noop() {
+                return Err(PlanError::at_field(
+                    file,
+                    "",
+                    "[faults]",
+                    "metro plans do not support fault injection; remove the [faults] tables",
+                ));
+            }
+            if plan.run.telemetry_ring > 0 {
+                return Err(PlanError::at_field(
+                    file,
+                    "run",
+                    "telemetry_ring",
+                    "metro runs have no flight recorder; leave telemetry_ring at 0",
+                ));
+            }
+            if plan.workloads.len() != 1 {
+                return Err(PlanError::at_field(
+                    file,
+                    "",
+                    "[[workload]]",
+                    format!(
+                        "metro plans take exactly one [[workload]] (found {})",
+                        plan.workloads.len()
+                    ),
+                ));
+            }
+            let w = &plan.workloads[0];
+            if w.hosts != HostSelector::All {
+                return Err(PlanError::at_field(
+                    file,
+                    "workload",
+                    "host",
+                    "metro workloads drive every host: write host = \"all\"",
+                ));
+            }
+            if w.class != ClassPlan::RoundRobin {
+                return Err(PlanError::at_field(
+                    file,
+                    "workload",
+                    "class",
+                    "the metro kernel assigns classes round-robin by host: \
+                     write class = \"round-robin\"",
+                ));
+            }
+        }
         Ok(plan)
     }
 }
@@ -2094,5 +2276,126 @@ horizon_ms = 3000
             "indices explore the space"
         );
         assert_ne!(fuzz_plan(7, 0), fuzz_plan(8, 0), "seeds explore the space");
+    }
+
+    const METRO: &str = r#"
+[plan]
+name = "metro-test"
+seed = 11
+report = "metro"
+
+[topology]
+hosts = 90
+l2_blackout_ms = 120
+
+[topology.domains]
+count = 3
+boundary_latency_ms = 8
+ars_per_domain = 4
+remote_fraction = 0.2
+mean_residence_ms = 1500
+
+[protocol]
+scheme = "DUAL+class"
+buffer_request = 16
+flush_spacing_us = 200
+
+[[workload]]
+host = "all"
+class = "round-robin"
+packet_bytes = 160
+interval_ms = 40
+
+[run]
+traffic_start_ms = 200
+traffic_stop_ms = 1500
+horizon_ms = 2500
+"#;
+
+    #[test]
+    fn metro_plan_parses_with_its_domain_table() {
+        let plan = ScenarioPlan::from_toml(METRO, "metro.toml").expect("parses");
+        assert_eq!(plan.report, ReportKind::Metro);
+        let d = plan.topology.domains;
+        assert_eq!(d.count, 3);
+        assert_eq!(d.boundary_latency, SimDuration::from_millis(8));
+        assert_eq!(d.ars_per_domain, 4);
+        assert!((d.remote_fraction - 0.2).abs() < 1e-12);
+        assert_eq!(d.mean_residence, SimDuration::from_millis(1500));
+    }
+
+    #[test]
+    fn metro_plans_are_thread_count_invariant_end_to_end() {
+        let plan = ScenarioPlan::from_toml(METRO, "metro.toml").expect("parses");
+        let seq = run_plan(&plan, 1);
+        let par = run_plan(&plan, 4);
+        assert!(seq.report.is_empty(), "{}", seq.report.to_json());
+        assert_eq!(seq.artifact, par.artifact);
+        assert_eq!(seq.events, par.events);
+        assert!(seq.artifact.starts_with("hosts,scheme,domains,"));
+        let m = seq.points[0].metro.expect("metro extras present");
+        assert_eq!(m.domains, 3);
+        assert!(m.boundary_packets > 0, "remote hosts must cross boundaries");
+    }
+
+    #[test]
+    fn zero_lookahead_with_domains_is_a_pointed_error() {
+        let toml = METRO.replace("boundary_latency_ms = 8", "boundary_latency_ms = 0");
+        let err = ScenarioPlan::from_toml(&toml, "metro.toml").unwrap_err();
+        assert_eq!(err.location, "[topology.domains].boundary_latency_ms");
+        assert_eq!(err.message, "lookahead must be > 0 when domains > 1");
+    }
+
+    #[test]
+    fn multi_domain_without_metro_report_is_rejected() {
+        let toml = METRO.replace("report = \"metro\"", "report = \"points\"");
+        let err = ScenarioPlan::from_toml(&toml, "metro.toml").unwrap_err();
+        assert_eq!(err.location, "[topology.domains].count");
+        assert!(err.message.contains("set report = \"metro\""), "{err}");
+    }
+
+    #[test]
+    fn metro_surface_restrictions_are_pointed_errors() {
+        let err = ScenarioPlan::from_toml(
+            &format!("{METRO}\n[faults]\nar_link_loss = 0.1\n"),
+            "metro.toml",
+        )
+        .unwrap_err();
+        assert_eq!(err.location, "[faults]");
+        assert!(err.message.contains("fault injection"), "{err}");
+
+        let toml = METRO.replace("host = \"all\"", "host = 0");
+        let err = ScenarioPlan::from_toml(&toml, "metro.toml").unwrap_err();
+        assert_eq!(err.location, "[workload].host");
+        assert!(err.message.contains("host = \"all\""), "{err}");
+
+        let toml = METRO.replace("class = \"round-robin\"", "class = \"real-time\"");
+        let err = ScenarioPlan::from_toml(&toml, "metro.toml").unwrap_err();
+        assert_eq!(err.location, "[workload].class");
+
+        let err = ScenarioPlan::from_toml(&format!("{METRO}telemetry_ring = 64\n"), "metro.toml")
+            .unwrap_err();
+        assert_eq!(err.location, "[run].telemetry_ring");
+
+        let err = ScenarioPlan::from_toml(
+            &format!("{METRO}\n[matrix]\naxis = \"loss\"\nvalues = [0.0, 0.1]\n"),
+            "metro.toml",
+        )
+        .unwrap_err();
+        assert_eq!(err.location, "[matrix].axis");
+    }
+
+    #[test]
+    fn single_domain_table_stays_on_the_fabric_kernel() {
+        // A [topology.domains] table with count = 1 is legal on any
+        // report kind — it only describes the (degenerate) partitioning.
+        let toml = "[plan]\nname = \"x\"\n[topology]\nhosts = 1\nmovement = \"parked\"\n\
+                    [topology.domains]\ncount = 1\n\
+                    [[workload]]\nhost = 0\ninterval_ms = 20\n";
+        let plan = ScenarioPlan::from_toml(toml, "p.toml").expect("parses");
+        assert_eq!(plan.report, ReportKind::Points);
+        assert_eq!(plan.topology.domains.count, 1);
+        let outcome = run_plan(&plan, 1);
+        assert!(outcome.points[0].metro.is_none());
     }
 }

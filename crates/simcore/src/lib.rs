@@ -49,11 +49,13 @@ mod backoff;
 mod calendar;
 mod queue;
 mod rng;
+pub mod shard;
 pub mod stats;
 mod time;
 
 pub use actor::{Actor, ActorId, AsAny, Ctx, Simulator};
 pub use backoff::Backoff;
 pub use queue::{EventKey, EventQueue, QueueKind};
-pub use rng::{derive_seed, Rng64};
+pub use rng::{derive_domain_seed, derive_seed, Rng64, DOMAIN_SALT};
+pub use shard::{run_epochs, EpochReport, Outbox, ShardState};
 pub use time::{SimDuration, SimTime};
