@@ -19,7 +19,7 @@ use std::hint::black_box;
 use fh_core::policy::{
     nar_action, nar_overflow, par_action, Admit, AdmitCtx, AvailabilityCase, BufferPolicy,
     EnhancedDualClass, KrishnamurthiSmooth, NarFifo, NoBufferPolicy, Overflow, ParAction,
-    PolicyEngine, Role,
+    PolicyEngine, Role, SafetyNetBicast,
 };
 use fh_core::{AdmissionLimit, ProtocolConfig, Scheme};
 use fh_net::ServiceClass;
@@ -40,7 +40,7 @@ const CLASSES: [ServiceClass; 4] = [
     ServiceClass::BestEffort,
 ];
 
-/// Every (scheme, ctx) pair the decision layer can see: 5 × 4 × 4 × 2 × 2.
+/// Every (scheme, ctx) pair the decision layer can see: 6 × 4 × 4 × 2 × 2.
 fn grid() -> Vec<(Scheme, AdmitCtx)> {
     let mut out = Vec::new();
     for scheme in Scheme::ALL {
@@ -79,6 +79,7 @@ fn fold(acc: u64, par: Admit, nar: Admit, ovf: Overflow) -> u64 {
             Admit::Forward => 3,
             Admit::Tunnel { park_at_peer } => 4 + u64::from(park_at_peer),
             Admit::Drop => 6,
+            Admit::Multicast => 18,
         }
     };
     let o = match ovf {
@@ -208,6 +209,7 @@ fn bench_policy_dispatch(c: &mut Criterion) {
                 Scheme::NarOnly => Box::new(NarFifo),
                 Scheme::ParOnly => Box::new(KrishnamurthiSmooth),
                 Scheme::Dual { classify } => Box::new(EnhancedDualClass { classify }),
+                Scheme::SafetyNet => Box::new(SafetyNetBicast),
             };
             (p, ctx)
         })

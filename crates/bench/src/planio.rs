@@ -18,7 +18,7 @@ use fh_scenarios::plan::{fuzz_plan, run_plan, PlanOutcome, ScenarioPlan};
 use fh_telemetry::report::fnv1a64_hex;
 
 /// The compiled-in plan corpus: `(display path, TOML source)`.
-pub const CORPUS: [(&str, &str); 14] = [
+pub const CORPUS: [(&str, &str); 15] = [
     ("plans/chaos.toml", include_str!("../plans/chaos.toml")),
     ("plans/storm.toml", include_str!("../plans/storm.toml")),
     (
@@ -66,6 +66,10 @@ pub const CORPUS: [(&str, &str); 14] = [
         include_str!("../plans/flashcrowd.toml"),
     ),
     ("plans/metro.toml", include_str!("../plans/metro.toml")),
+    (
+        "plans/vertical.toml",
+        include_str!("../plans/vertical.toml"),
+    ),
 ];
 
 /// Loads one plan from TOML, rebases it onto `seed`, runs it, and judges

@@ -300,6 +300,24 @@ impl Datapath {
                 }
             },
             Admit::Forward => self.radio_deliver(ctx, view.mh, pkt),
+            Admit::Multicast => {
+                // SafetyNet bicast: the original copy rides the old link
+                // exactly as if no handover were happening; an insurance
+                // copy is tunneled to the NAR's buffer. The copy enters
+                // the ledger as `duplicated` — never as a fresh send — so
+                // `sent + duplicated == delivered + dropped` still holds
+                // once the host suppresses the losing copy.
+                match view.peer {
+                    Some(nar) => {
+                        ctx.shared.stats_mut().record_duplicate(pkt.flow);
+                        let outer = pkt.clone().encapsulate(self.addr, nar);
+                        self.radio_deliver(ctx, view.mh, pkt);
+                        self.send_wired(ctx, outer);
+                    }
+                    // Intra-router handoff: no peer to insure with.
+                    None => self.radio_deliver(ctx, view.mh, pkt),
+                }
+            }
             Admit::Park(limit) => {
                 let ar = self.node;
                 let flow = pkt.flow;
@@ -361,7 +379,7 @@ impl Datapath {
             // Everything else degenerates to an immediate delivery attempt
             // (lost during the black-out): NAR policies never tunnel onward
             // or policy-drop.
-            Admit::Forward | Admit::Tunnel { .. } | Admit::Drop => {
+            Admit::Forward | Admit::Tunnel { .. } | Admit::Multicast | Admit::Drop => {
                 self.radio_deliver(ctx, view.mh, pkt);
                 return TunnelVerdict::Done;
             }

@@ -76,6 +76,10 @@ pub enum ParAction {
     TunnelUnbuffered,
     /// Drop at the PAR (Table 3.3 case 4, best effort).
     Drop,
+    /// SafetyNet bicast (not a Table 3.3 row): deliver on the old link
+    /// *and* tunnel an insurance copy to the NAR's buffer; the duplicate
+    /// is ledgered as `duplicated` and the host suppresses the loser.
+    Bicast,
 }
 
 /// What the NAR does with a tunneled packet while the host is detached.
@@ -125,6 +129,15 @@ pub fn par_action(
         Scheme::ParOnly => {
             if case.par() {
                 ParAction::BufferLocal
+            } else {
+                ParAction::TunnelUnbuffered
+            }
+        }
+        Scheme::SafetyNet => {
+            // Outside Table 3.3: class-blind bicast while the NAR can
+            // park the insurance copy, plain tunnel once it cannot.
+            if case.nar() && !nar_full {
+                ParAction::Bicast
             } else {
                 ParAction::TunnelUnbuffered
             }
@@ -190,7 +203,7 @@ pub fn nar_action(scheme: Scheme, case: AvailabilityCase, class: ServiceClass) -
     }
     match scheme {
         Scheme::NoBuffer | Scheme::ParOnly => NarAction::Deliver,
-        Scheme::NarOnly | Scheme::Dual { classify: false } => NarAction::Buffer,
+        Scheme::NarOnly | Scheme::SafetyNet | Scheme::Dual { classify: false } => NarAction::Buffer,
         Scheme::Dual { classify: true } => match class.effective() {
             ServiceClass::RealTime | ServiceClass::HighPriority => NarAction::Buffer,
             _ => NarAction::Deliver,

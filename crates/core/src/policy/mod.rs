@@ -12,10 +12,12 @@
 //!   between the previous and the new access router;
 //! * [`BufferPolicy::on_flush`] — in which order a parked session drains.
 //!
-//! Three schemes implement the trait today — [`NarFifo`] (original
-//! FMIPv6), [`KrishnamurthiSmooth`] (smooth-handover draft) and
+//! Four schemes implement the trait today — [`NarFifo`] (original
+//! FMIPv6), [`KrishnamurthiSmooth`] (smooth-handover draft),
 //! [`EnhancedDualClass`] (the thesis' Table 3.3 matrix, with and without
-//! classification) — plus the no-op [`NoBufferPolicy`] baseline. The
+//! classification) and [`SafetyNetBicast`] (vertical-handover bicast with
+//! host-side duplicate suppression) — plus the no-op [`NoBufferPolicy`]
+//! baseline. The
 //! datapath selects one via [`PolicyEngine::for_scheme`], an enum whose
 //! match dispatch compiles away (no vtable on the per-packet hot path).
 //!
@@ -38,6 +40,7 @@ mod enhanced;
 mod krishnamurthi;
 mod nar_fifo;
 mod no_buffer;
+mod safetynet;
 
 pub use enhanced::EnhancedDualClass;
 pub use krishnamurthi::KrishnamurthiSmooth;
@@ -46,6 +49,7 @@ pub use matrix::{
 };
 pub use nar_fifo::NarFifo;
 pub use no_buffer::NoBufferPolicy;
+pub use safetynet::SafetyNetBicast;
 
 use fh_net::ServiceClass;
 
@@ -106,6 +110,12 @@ pub enum Admit {
         /// `true` if the peer is expected to buffer the packet.
         park_at_peer: bool,
     },
+    /// Bicast (SafetyNet): attempt delivery toward the host on the local
+    /// link *and* tunnel a duplicate to the peer router, which is
+    /// expected to park it. The duplicate must be accounted as
+    /// `duplicated` in the conservation ledger — never as fresh `sent` —
+    /// and the host suppresses whichever copy arrives second.
+    Multicast,
     /// Drop by policy (Table 3.3 case 4, best effort).
     Drop,
 }
@@ -297,6 +307,8 @@ pub enum PolicyEngine {
     Krishnamurthi(KrishnamurthiSmooth),
     /// The thesis' dual-router scheme (`DUAL` / `DUAL+class`).
     Enhanced(EnhancedDualClass),
+    /// SafetyNet bicast for vertical handovers (`SAFETY`).
+    SafetyNet(SafetyNetBicast),
 }
 
 impl PolicyEngine {
@@ -308,6 +320,7 @@ impl PolicyEngine {
             Scheme::NarOnly => PolicyEngine::NarFifo(NarFifo),
             Scheme::ParOnly => PolicyEngine::Krishnamurthi(KrishnamurthiSmooth),
             Scheme::Dual { classify } => PolicyEngine::Enhanced(EnhancedDualClass { classify }),
+            Scheme::SafetyNet => PolicyEngine::SafetyNet(SafetyNetBicast),
         }
     }
 
@@ -326,6 +339,7 @@ impl PolicyEngine {
             PolicyEngine::NarFifo(p) => classify_with(p, role, ctx),
             PolicyEngine::Krishnamurthi(p) => classify_with(p, role, ctx),
             PolicyEngine::Enhanced(p) => classify_with(p, role, ctx),
+            PolicyEngine::SafetyNet(p) => classify_with(p, role, ctx),
         }
     }
 }
@@ -338,6 +352,7 @@ impl BufferPolicy for PolicyEngine {
             PolicyEngine::NarFifo(p) => p.admit(role, ctx),
             PolicyEngine::Krishnamurthi(p) => p.admit(role, ctx),
             PolicyEngine::Enhanced(p) => p.admit(role, ctx),
+            PolicyEngine::SafetyNet(p) => p.admit(role, ctx),
         }
     }
 
@@ -348,6 +363,7 @@ impl BufferPolicy for PolicyEngine {
             PolicyEngine::NarFifo(p) => p.overflow(role, class),
             PolicyEngine::Krishnamurthi(p) => p.overflow(role, class),
             PolicyEngine::Enhanced(p) => p.overflow(role, class),
+            PolicyEngine::SafetyNet(p) => p.overflow(role, class),
         }
     }
 
@@ -358,6 +374,7 @@ impl BufferPolicy for PolicyEngine {
             PolicyEngine::NarFifo(p) => p.on_grant(requested),
             PolicyEngine::Krishnamurthi(p) => p.on_grant(requested),
             PolicyEngine::Enhanced(p) => p.on_grant(requested),
+            PolicyEngine::SafetyNet(p) => p.on_grant(requested),
         }
     }
 
@@ -368,6 +385,7 @@ impl BufferPolicy for PolicyEngine {
             PolicyEngine::NarFifo(p) => p.on_flush(),
             PolicyEngine::Krishnamurthi(p) => p.on_flush(),
             PolicyEngine::Enhanced(p) => p.on_flush(),
+            PolicyEngine::SafetyNet(p) => p.on_flush(),
         }
     }
 
@@ -378,6 +396,7 @@ impl BufferPolicy for PolicyEngine {
             PolicyEngine::NarFifo(p) => p.shed_ladder(),
             PolicyEngine::Krishnamurthi(p) => p.shed_ladder(),
             PolicyEngine::Enhanced(p) => p.shed_ladder(),
+            PolicyEngine::SafetyNet(p) => p.shed_ladder(),
         }
     }
 }
@@ -392,13 +411,7 @@ mod tests {
     /// equals a fresh `admit` / `overflow` call.
     #[test]
     fn classify_batch_matches_per_packet_dispatch() {
-        let engines = [
-            PolicyEngine::for_scheme(Scheme::NoBuffer),
-            PolicyEngine::for_scheme(Scheme::NarOnly),
-            PolicyEngine::for_scheme(Scheme::ParOnly),
-            PolicyEngine::for_scheme(Scheme::Dual { classify: false }),
-            PolicyEngine::for_scheme(Scheme::Dual { classify: true }),
-        ];
+        let engines = Scheme::ALL.map(PolicyEngine::for_scheme);
         let cases = [
             AvailabilityCase::BothAvailable,
             AvailabilityCase::NarOnly,

@@ -10,6 +10,13 @@
 //! | [`Scheme::NarOnly`]  | NAR  | the original FMIPv6: buffer at the new access router only |
 //! | [`Scheme::ParOnly`]  | PAR  | the smooth-handover draft: buffer at the previous router only |
 //! | [`Scheme::Dual`]     | DUAL | the proposed scheme; `classify` switches Table 3.3 on/off |
+//! | [`Scheme::SafetyNet`] | SAFETY | multicast to old + new router, selective delivery at the winner |
+//!
+//! `SAFETY` is not a thesis baseline: it reproduces the SafetyNet flavour
+//! of vertical-handover buffering (Petander et al.), added alongside the
+//! heterogeneous-radio layer. The PAR bicasts every redirected packet —
+//! one copy attempted on the old link, one tunneled to the NAR's buffer —
+//! and the mobile host suppresses whichever copy arrives second.
 
 use fh_sim::{Backoff, SimDuration};
 use serde::{Deserialize, Serialize};
@@ -29,6 +36,13 @@ pub enum Scheme {
         /// `false` treats every packet the same (Figs 4.4 / 4.8).
         classify: bool,
     },
+    /// SafetyNet-style bicast: the PAR duplicates every redirected packet
+    /// (deliver on the old link *and* park a copy at the NAR) and the
+    /// mobile host drops whichever copy loses the race. Zero-loss across
+    /// a make-before-break vertical handover, at the price of duplicate
+    /// airtime; the conservation ledger accounts the second copy as
+    /// `duplicated`, not `sent`.
+    SafetyNet,
 }
 
 impl Scheme {
@@ -37,21 +51,34 @@ impl Scheme {
 
     /// Every scheme, in the Fig 4.2 legend order (`NAR`, `PAR`, `DUAL`,
     /// `FH`) with the class-aware proposal after its class-blind
-    /// variant. The single source of truth: figure series, CSV headers,
+    /// variant and the SafetyNet bicast appended after the thesis
+    /// baselines. The single source of truth: figure series, CSV headers,
     /// CLI listings and exhaustive tests all derive from this array
     /// instead of repeating the list.
-    pub const ALL: [Scheme; 5] = [
+    pub const ALL: [Scheme; 6] = [
         Scheme::NarOnly,
         Scheme::ParOnly,
         Scheme::Dual { classify: false },
         Scheme::Dual { classify: true },
         Scheme::NoBuffer,
+        Scheme::SafetyNet,
     ];
 
     /// `true` if the mobile host should request buffering at the NAR.
+    /// SafetyNet parks its duplicate copies there, so it counts.
     #[must_use]
     pub fn uses_nar_buffer(self) -> bool {
-        matches!(self, Scheme::NarOnly | Scheme::Dual { .. })
+        matches!(
+            self,
+            Scheme::NarOnly | Scheme::Dual { .. } | Scheme::SafetyNet
+        )
+    }
+
+    /// `true` if the mobile host deduplicates deliveries by `(flow, seq)`
+    /// — only SafetyNet, whose bicast intentionally races two copies.
+    #[must_use]
+    pub fn bicasts(self) -> bool {
+        matches!(self, Scheme::SafetyNet)
     }
 
     /// `true` if the mobile host should request buffering at the PAR.
@@ -81,6 +108,7 @@ impl Scheme {
             Scheme::ParOnly => "PAR",
             Scheme::Dual { classify: false } => "DUAL",
             Scheme::Dual { classify: true } => "DUAL+class",
+            Scheme::SafetyNet => "SAFETY",
         }
     }
 }
@@ -114,8 +142,8 @@ impl std::str::FromStr for Scheme {
     type Err = ParseSchemeError;
 
     /// Parses a figure-legend label (`FH`, `NAR`, `PAR`, `DUAL`,
-    /// `DUAL+class`), case-insensitively — the exact round trip of
-    /// [`Scheme::label`].
+    /// `DUAL+class`, `SAFETY`), case-insensitively — the exact round
+    /// trip of [`Scheme::label`].
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         Scheme::ALL
             .into_iter()
@@ -366,6 +394,16 @@ mod tests {
 
         assert!(Scheme::PROPOSED.uses_nar_buffer());
         assert!(Scheme::PROPOSED.uses_par_buffer());
+
+        // SafetyNet parks only at the NAR (the PAR bicasts, never parks),
+        // and is the only scheme whose host deduplicates.
+        assert!(Scheme::SafetyNet.uses_nar_buffer());
+        assert!(!Scheme::SafetyNet.uses_par_buffer());
+        assert!(Scheme::SafetyNet.buffers());
+        assert!(Scheme::SafetyNet.bicasts());
+        for scheme in Scheme::ALL {
+            assert_eq!(scheme.bicasts(), scheme == Scheme::SafetyNet);
+        }
     }
 
     #[test]
@@ -375,6 +413,7 @@ mod tests {
         assert!(!Scheme::NarOnly.classifies());
         assert!(!Scheme::ParOnly.classifies());
         assert!(!Scheme::NoBuffer.classifies());
+        assert!(!Scheme::SafetyNet.classifies());
     }
 
     #[test]
@@ -384,12 +423,13 @@ mod tests {
         assert_eq!(Scheme::ParOnly.label(), "PAR");
         assert_eq!(Scheme::Dual { classify: false }.to_string(), "DUAL");
         assert_eq!(Scheme::PROPOSED.to_string(), "DUAL+class");
+        assert_eq!(Scheme::SafetyNet.label(), "SAFETY");
     }
 
     #[test]
     fn all_is_exhaustive_and_labels_round_trip() {
         // Every variant appears exactly once …
-        assert_eq!(Scheme::ALL.len(), 5);
+        assert_eq!(Scheme::ALL.len(), 6);
         for (i, a) in Scheme::ALL.iter().enumerate() {
             for b in &Scheme::ALL[i + 1..] {
                 assert_ne!(a, b, "duplicate entry in Scheme::ALL");

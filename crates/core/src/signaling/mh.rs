@@ -17,6 +17,7 @@
 //! The agent is a component: the owning actor forwards events to
 //! [`MhAgent::handle`] and receives application-bound packets back.
 
+use std::collections::HashSet;
 use std::net::Ipv6Addr;
 
 use fh_sim::{EventKey, SimDuration, SimTime};
@@ -24,8 +25,8 @@ use fh_sim::{EventKey, SimDuration, SimTime};
 use fh_mip::MipClient;
 use fh_net::{
     msg::{AuthToken, BufferInit},
-    ApId, ControlMsg, DropReason, HandoverOutcome, L2Event, NetCtx, NetMsg, NodeFaultSpec, NodeId,
-    Packet, Payload, Prefix, TimerKind,
+    ApId, ControlMsg, DropReason, FlowId, HandoverOutcome, L2Event, NetCtx, NetMsg, NodeFaultSpec,
+    NodeId, Packet, Payload, Prefix, TimerKind,
 };
 use fh_wireless::{send_uplink, MhRadio, RadioWorld};
 
@@ -177,6 +178,11 @@ pub struct MhAgent {
     /// Set at FNA time so the next delivered data packet stamps the
     /// `first-delivery` mark on the span (FNA→first-delivery latency).
     await_first_delivery: bool,
+    /// `(flow, seq)` pairs already delivered to the application —
+    /// SafetyNet's selective delivery: the winning copy of a bicast is
+    /// passed up, the loser is suppressed as a `Policy` drop. Populated
+    /// only when the scheme bicasts; always empty otherwise.
+    delivered_seqs: HashSet<(FlowId, u64)>,
 }
 
 impl MhAgent {
@@ -213,6 +219,7 @@ impl MhAgent {
             log: Vec::new(),
             span: fh_telemetry::SpanId::NONE,
             await_first_delivery: false,
+            delivered_seqs: HashSet::new(),
         }
     }
 
@@ -583,6 +590,21 @@ impl MhAgent {
                 None
             }
             _ => {
+                // SafetyNet selective delivery: under a bicasting scheme
+                // the same datagram can arrive twice — once on the old
+                // link, once flushed from the NAR's insurance buffer. The
+                // first copy wins; the loser is recorded as a policy drop
+                // so `sent + duplicated == delivered + dropped` balances.
+                // Only plain datagrams are deduplicated here: TCP reuses
+                // the byte sequence on retransmission and handles its own
+                // duplicates.
+                if self.config.scheme.bicasts()
+                    && matches!(pkt.payload, Payload::Data)
+                    && !self.delivered_seqs.insert((pkt.flow, pkt.seq))
+                {
+                    fh_net::record_drop(ctx, pkt.flow, DropReason::Policy);
+                    return None;
+                }
                 if self.await_first_delivery {
                     // First data packet after the FNA: the tail latency of
                     // the handover (FNA→first-delivery) is now measurable.
@@ -888,6 +910,16 @@ impl MhAgent {
                 self.adopt_map_if_new(ctx, map);
             }
             _ => {
+                // While deliberately dual-attached (make-before-break) the
+                // other cell's beacons still reach us on the second
+                // interface; they are not evidence of an unanticipated
+                // move, and reacting to them would flap the address
+                // between the two networks once per advertisement. Only
+                // the serving network defines the address until the aux
+                // link retires.
+                if ctx.shared.radio().aux_attachment(self.node).is_some() {
+                    return;
+                }
                 // New network discovered after an unanticipated move:
                 // configure, register, redirect, and update the MAP.
                 let old = self.mip.lcoa();

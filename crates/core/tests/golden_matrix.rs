@@ -98,7 +98,8 @@ fn par_admission_reproduces_legacy_matrix() {
                     },
                     ParAction::TunnelUnbuffered,
                 )
-                | (Admit::Drop, ParAction::Drop) => {}
+                | (Admit::Drop, ParAction::Drop)
+                | (Admit::Multicast, ParAction::Bicast) => {}
                 (Admit::Park(limit), ParAction::BufferLocal) => {
                     let want_limit =
                         legacy_par_limit(scheme, ctx.class, ctx.par_granted, ctx.threshold_a);

@@ -262,7 +262,11 @@ impl Domain {
     fn buffer_cap(&self) -> usize {
         match self.cfg.scheme {
             Scheme::NoBuffer => 0,
-            Scheme::NarOnly | Scheme::ParOnly => self.cfg.buffer_request as usize,
+            // SafetyNet parks its insurance copies at the NAR only, so
+            // its cap matches the single-router schemes.
+            Scheme::NarOnly | Scheme::ParOnly | Scheme::SafetyNet => {
+                self.cfg.buffer_request as usize
+            }
             // The proposed scheme aggregates both routers' reservations.
             Scheme::Dual { .. } => 2 * self.cfg.buffer_request as usize,
         }

@@ -102,12 +102,16 @@ pub fn buffer_utilization_with_queue(
     threads: usize,
     queue: QueueKind,
 ) -> BufferUtilizationResult {
-    // Fig 4.2 plots the class-blind schemes; `Scheme::ALL` already carries
-    // the legend order, so the series just drops the class-aware variant.
-    let schemes: Vec<Scheme> = Scheme::ALL
-        .into_iter()
-        .filter(|s| !s.classifies())
-        .collect();
+    // Fig 4.2 plots exactly the thesis' class-blind schemes, pinned
+    // explicitly: deriving the series from `Scheme::ALL` would silently
+    // grow the golden figure whenever a non-thesis scheme (e.g. SAFETY)
+    // is added to the registry.
+    let schemes: Vec<Scheme> = vec![
+        Scheme::NarOnly,
+        Scheme::ParOnly,
+        Scheme::Dual { classify: false },
+        Scheme::NoBuffer,
+    ];
     let mut grid = Vec::with_capacity(schemes.len() * params.max_mhs);
     for &scheme in &schemes {
         for n in 1..=params.max_mhs {

@@ -27,7 +27,9 @@ use fh_net::{
     ServiceClass,
 };
 use fh_traffic::{CbrSource, UdpSink};
-use fh_wireless::{MhRadio, Mobility, Position, RadioConfig, WirelessSpec};
+use fh_wireless::{
+    MhRadio, Mobility, Position, RadioConfig, RadioTechnology, TriggerMode, WirelessSpec,
+};
 
 use crate::nodes::{ArNode, CnNode, MapNode, MhNode};
 use crate::world::World;
@@ -92,6 +94,38 @@ pub struct HmipConfig {
     /// order; the calendar trades a small bookkeeping overhead for O(1)
     /// scheduling on large event populations (the `hotpath` bench).
     pub queue: QueueKind,
+    /// Vertical-handover overlay: when `Some`, the NAR's AP becomes a
+    /// wide-area cellular sector (own channel spec and coverage radius)
+    /// instead of the second WLAN cell, so the walk crosses technologies.
+    /// `None` (the default) keeps the thesis' WLAN→WLAN topology.
+    pub cellular: Option<CellularConfig>,
+    /// Radio interfaces per host: 1 (the default, single card — handover
+    /// goes through a black-out) or 2 (multi-homed; cross-technology
+    /// handovers run make-before-break on the second interface).
+    pub interfaces: u8,
+    /// L2 trigger source: [`TriggerMode::Legacy`] geometry/hysteresis
+    /// (the default) or [`TriggerMode::Mih`] 802.21-style link events.
+    pub trigger: TriggerMode,
+}
+
+/// Wide-area overlay cell for vertical-handover scenarios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellularConfig {
+    /// Channel parameters of the cellular sector (defaults to the
+    /// [`RadioTechnology::Cellular`] spec: 2 Mb/s, 40 ms).
+    pub spec: WirelessSpec,
+    /// Coverage radius in meters (defaults to 1500 m, blanketing the
+    /// whole walk so the wide-area link is always available).
+    pub radius: f64,
+}
+
+impl Default for CellularConfig {
+    fn default() -> Self {
+        CellularConfig {
+            spec: RadioTechnology::Cellular.default_spec(),
+            radius: RadioTechnology::Cellular.default_radius_m(),
+        }
+    }
 }
 
 impl Default for HmipConfig {
@@ -116,6 +150,9 @@ impl Default for HmipConfig {
             mh_fault: NodeFaultSpec::default(),
             storm_stagger: SimDuration::ZERO,
             queue: QueueKind::Heap,
+            cellular: None,
+            interfaces: 1,
+            trigger: TriggerMode::Legacy,
         }
     }
 }
@@ -237,11 +274,22 @@ impl HmipScenario {
             sim.shared
                 .radio
                 .add_ap(par_node, Position::new(0.0, 0.0), geometry::COVERAGE_RADIUS);
-        let nar_ap = sim.shared.radio.add_ap(
-            nar_node,
-            Position::new(geometry::AP_SEPARATION, 0.0),
-            geometry::COVERAGE_RADIUS,
-        );
+        let nar_ap = match cfg.cellular {
+            Some(cell) => {
+                sim.shared.radio.set_cellular_spec(cell.spec);
+                sim.shared.radio.add_ap_tech(
+                    nar_node,
+                    Position::new(geometry::AP_SEPARATION, 0.0),
+                    cell.radius,
+                    RadioTechnology::Cellular,
+                )
+            }
+            None => sim.shared.radio.add_ap(
+                nar_node,
+                Position::new(geometry::AP_SEPARATION, 0.0),
+                geometry::COVERAGE_RADIUS,
+            ),
+        };
         {
             let par_agent = &mut sim.actor_mut::<ArNode>(par_node).expect("par").agent;
             par_agent.set_node(par_node);
@@ -307,6 +355,8 @@ impl HmipScenario {
                     mobility.clone(),
                     RadioConfig {
                         l2_handoff_delay: cfg.l2_handoff_delay,
+                        trigger: cfg.trigger,
+                        multi_iface: cfg.interfaces > 1,
                         ..RadioConfig::default()
                     },
                 ),
@@ -322,6 +372,8 @@ impl HmipScenario {
                     mobility,
                     RadioConfig {
                         l2_handoff_delay: cfg.l2_handoff_delay,
+                        trigger: cfg.trigger,
+                        multi_iface: cfg.interfaces > 1,
                         ..RadioConfig::default()
                     },
                 );

@@ -46,7 +46,7 @@ mod toml;
 mod wlan;
 mod world;
 
-pub use hmip::{geometry, HmipConfig, HmipScenario, LeakReport, MovementPlan};
+pub use hmip::{geometry, CellularConfig, HmipConfig, HmipScenario, LeakReport, MovementPlan};
 pub use nodes::{ArNode, CnNode, MapNode, MhNode};
 pub use roaming::{RoamingConfig, RoamingScenario};
 pub use wlan::{WlanConfig, WlanScenario};

@@ -33,8 +33,9 @@ use fh_telemetry::{Cell, ChromeTrace, CsvTable, FailureReport};
 
 use crate::expectations::{Expectations, PointAudit};
 use crate::experiments::FLOW_CLASSES;
-use crate::hmip::{HmipConfig, HmipScenario, MovementPlan};
+use crate::hmip::{CellularConfig, HmipConfig, HmipScenario, MovementPlan};
 use crate::sweep::parallel_map;
+use fh_wireless::TriggerMode;
 
 pub use crate::toml::PlanError;
 
@@ -124,6 +125,16 @@ pub struct TopologySpec {
     /// Multi-domain partitioning (`[topology.domains]`); defaults to a
     /// single domain, which every non-metro plan uses.
     pub domains: DomainsSpec,
+    /// Vertical-handover overlay (`[topology.cellular]`): when present,
+    /// the NAR side of the walk is a wide-area cellular sector instead of
+    /// the second WLAN cell. `None` keeps the thesis topology.
+    pub cellular: Option<CellularConfig>,
+    /// Radio interfaces per host (`interfaces` key): 1 single-card, 2
+    /// multi-homed (cross-technology handovers run make-before-break).
+    pub interfaces: u8,
+    /// L2 trigger source (`trigger` key): `"legacy"` geometry/hysteresis
+    /// or `"mih"` 802.21-style link events.
+    pub trigger: TriggerMode,
 }
 
 impl Default for TopologySpec {
@@ -138,6 +149,9 @@ impl Default for TopologySpec {
             speed: base.speed,
             stagger: base.storm_stagger,
             domains: DomainsSpec::default(),
+            cellular: base.cellular,
+            interfaces: base.interfaces,
+            trigger: base.trigger,
         }
     }
 }
@@ -522,6 +536,9 @@ fn run_point(plan: &ScenarioPlan, gp: &GridPoint, pid: u64) -> (PointRun, Option
         nar_fault: plan.faults.nar,
         mh_fault: plan.faults.mh,
         storm_stagger: plan.topology.stagger,
+        cellular: plan.topology.cellular,
+        interfaces: plan.topology.interfaces,
+        trigger: plan.topology.trigger,
         ..HmipConfig::default()
     };
     let mut scenario = HmipScenario::build(cfg);
@@ -842,10 +859,11 @@ fn render_points(plan: &ScenarioPlan, points: &[PointRun]) -> String {
 
 use crate::toml::{Entry, Value};
 
-const KNOWN_TABLES: [&str; 12] = [
+const KNOWN_TABLES: [&str; 13] = [
     "plan",
     "topology",
     "topology.domains",
+    "topology.cellular",
     "protocol",
     "pressure",
     "matrix",
@@ -1109,6 +1127,28 @@ impl ScenarioPlan {
                         }
                     }
                     "stagger_ms" => topology.stagger = c.ms(e)?,
+                    "interfaces" => {
+                        let n = c.usize(e)?;
+                        if !(1..=2).contains(&n) {
+                            return Err(
+                                c.err("interfaces", "must be 1 (single card) or 2 (multi-homed)")
+                            );
+                        }
+                        topology.interfaces = n as u8;
+                    }
+                    "trigger" => {
+                        let s = c.str(e)?;
+                        topology.trigger = match s {
+                            "legacy" => TriggerMode::Legacy,
+                            "mih" => TriggerMode::Mih,
+                            other => {
+                                return Err(c.err(
+                                    "trigger",
+                                    format!("unknown trigger `{other}` (expected legacy or mih)"),
+                                ))
+                            }
+                        };
+                    }
                     _ => {
                         return Err(c.unknown_key(
                             e,
@@ -1120,6 +1160,8 @@ impl ScenarioPlan {
                                 "l2_blackout_ms",
                                 "speed_mps",
                                 "stagger_ms",
+                                "interfaces",
+                                "trigger",
                             ],
                         ))
                     }
@@ -1189,6 +1231,42 @@ impl ScenarioPlan {
                     ),
                 ));
             }
+        }
+
+        // [topology.cellular] — the vertical-handover overlay. The table's
+        // presence (even empty) turns the NAR cell into a wide-area sector.
+        if let Some(t) = doc.table("topology.cellular") {
+            let c = Ctx {
+                file,
+                table: "topology.cellular",
+            };
+            let mut cell = CellularConfig::default();
+            for e in &t.entries {
+                match e.key.as_str() {
+                    "bandwidth_bps" => {
+                        cell.spec.bandwidth_bps = c.u64(e)?;
+                        if cell.spec.bandwidth_bps == 0 {
+                            return Err(c.err("bandwidth_bps", "must be positive"));
+                        }
+                    }
+                    "delay_ms" => cell.spec.delay = c.ms(e)?,
+                    "radius_m" => {
+                        cell.radius = c.f64(e)?;
+                        if cell.radius <= 0.0 || !cell.radius.is_finite() {
+                            return Err(c.err("radius_m", "must be positive"));
+                        }
+                    }
+                    _ => return Err(c.unknown_key(e, &["bandwidth_bps", "delay_ms", "radius_m"])),
+                }
+            }
+            if topology.domains.count > 1 {
+                return Err(c.err(
+                    "radius_m",
+                    "the cellular overlay runs on the Fig 4.1 kernel; \
+                     it cannot combine with [topology.domains]",
+                ));
+            }
+            topology.cellular = Some(cell);
         }
 
         // [protocol]
@@ -1830,9 +1908,9 @@ pub fn fuzz_plan(base_seed: u64, index: u64) -> ScenarioPlan {
         MovementPlan::Crossing,
     ][rng.gen_range_u64(4) as usize];
 
-    let mut schemes = vec![Scheme::ALL[rng.gen_range_u64(5) as usize]];
+    let mut schemes = vec![Scheme::ALL[rng.gen_range_u64(6) as usize]];
     if rng.gen_bool(0.4) {
-        let second = Scheme::ALL[rng.gen_range_u64(5) as usize];
+        let second = Scheme::ALL[rng.gen_range_u64(6) as usize];
         if !schemes.contains(&second) {
             schemes.push(second);
         }

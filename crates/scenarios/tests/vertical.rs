@@ -1,0 +1,140 @@
+//! Vertical (WLAN → cellular) handover: every scheme completes the
+//! cross-technology walk end-to-end, and the SafetyNet bicast's second
+//! copy is accounted as `duplicated` in the conservation ledger — never
+//! as an inflated `sent`.
+
+use fh_core::{ProtocolConfig, Scheme};
+use fh_net::{DropReason, HandoverOutcome, ServiceClass};
+use fh_scenarios::{CellularConfig, HmipConfig, HmipScenario, MovementPlan};
+use fh_sim::{SimDuration, SimTime};
+use fh_wireless::TriggerMode;
+
+/// The corpus `vertical.toml` shape: multi-homed host, MIH triggers, a
+/// blanket cellular sector behind the NAR, one real-time flow.
+fn vertical_cfg(scheme: Scheme) -> HmipConfig {
+    let mut protocol = ProtocolConfig::proposed();
+    protocol.scheme = scheme;
+    protocol.buffer_request = 40;
+    // Soft-state host routes, the scheme-ladder convention: a
+    // non-buffering scheme never sends the BF that drops the PAR's
+    // route explicitly, so the departed host's entry must age out for
+    // the leak audit to come back clean.
+    protocol.host_route_lifetime = SimDuration::from_secs(2);
+    protocol.dead_peer_timeout = SimDuration::from_secs(3);
+    HmipConfig {
+        protocol,
+        buffer_capacity: 40,
+        movement: MovementPlan::OneWay,
+        cellular: Some(CellularConfig::default()),
+        interfaces: 2,
+        trigger: TriggerMode::Mih,
+        ..HmipConfig::default()
+    }
+}
+
+/// Runs one vertical walk; returns the scenario (finalized) and the flow.
+fn run_vertical(scheme: Scheme) -> (HmipScenario, fh_net::FlowId) {
+    let mut s = HmipScenario::build(vertical_cfg(scheme));
+    let f = s.add_cbr_flow(
+        0,
+        ServiceClass::RealTime,
+        1000,
+        SimDuration::from_millis(20),
+    );
+    s.set_traffic_window(
+        SimTime::ZERO + SimDuration::from_millis(100),
+        SimTime::ZERO + SimDuration::from_millis(12_000),
+    );
+    s.run_until(SimTime::ZERO + SimDuration::from_millis(25_000));
+    let failed = s.finalize();
+    assert_eq!(failed, 0, "{scheme:?}: unresolved handover at horizon");
+    (s, f)
+}
+
+#[test]
+fn every_scheme_completes_the_vertical_handover() {
+    for scheme in Scheme::ALL {
+        let (s, _f) = run_vertical(scheme);
+        s.assert_conservation();
+        let outcomes = s.outcomes();
+        let count = |o: HandoverOutcome| {
+            outcomes
+                .iter()
+                .find(|(k, _)| *k == o)
+                .map_or(0, |&(_, n)| n)
+        };
+        // Make-before-break plus the MIH LinkGoingDown cue: the single
+        // WLAN→cellular move resolves predictively, with no reactive
+        // recovery and no failure, under every scheme.
+        assert_eq!(
+            count(HandoverOutcome::Predictive),
+            1,
+            "{scheme:?}: {outcomes:?}"
+        );
+        assert_eq!(count(HandoverOutcome::Reactive), 0, "{scheme:?}");
+        assert_eq!(count(HandoverOutcome::Failed), 0, "{scheme:?}");
+        assert_eq!(s.unresolved_handovers(), 0, "{scheme:?}");
+        let leaks = s.leak_report();
+        assert!(leaks.is_clean(), "{scheme:?}: {leaks:?}");
+        assert_eq!(s.wedged_sessions(), 0, "{scheme:?}");
+    }
+}
+
+#[test]
+fn safetynet_accounts_bicast_copies_as_duplicated_not_sent() {
+    let (nar, f_nar) = run_vertical(Scheme::NarOnly);
+    let (safety, f_safety) = run_vertical(Scheme::SafetyNet);
+    let base = nar.sim.shared.stats.flow_audit(f_nar);
+    let bicast = safety.sim.shared.stats.flow_audit(f_safety);
+
+    // Both runs face the identical CBR schedule: the bicast must not
+    // inflate the send count — the second copy rides the `duplicated`
+    // column of the conservation equation instead.
+    assert_eq!(bicast.sent, base.sent, "bicast inflated `sent`");
+    assert_eq!(base.duplicated, 0, "NAR-only must not duplicate");
+    assert!(bicast.duplicated > 0, "SafetyNet never bicast: {bicast:?}");
+
+    // Whichever copy loses the race is suppressed at the host as a
+    // policy drop, so `sent + duplicated == delivered + dropped` holds
+    // with zero user-visible loss.
+    assert_eq!(bicast.delivered, bicast.sent, "vertical MBB loses packets");
+    let suppressed = safety.sim.shared.stats.drops(DropReason::Policy);
+    assert!(
+        suppressed > 0 && suppressed <= bicast.duplicated,
+        "suppression out of range: {suppressed} of {:?}",
+        bicast
+    );
+    safety.assert_conservation();
+}
+
+#[test]
+fn single_interface_schemes_do_not_duplicate() {
+    // The legacy WLAN→WLAN walk under SafetyNet still bicasts (both
+    // routers are WLAN; the policy is technology-agnostic), but no
+    // scheme other than SafetyNet ever records a duplicate.
+    for scheme in Scheme::ALL {
+        if scheme.bicasts() {
+            continue;
+        }
+        let mut protocol = ProtocolConfig::proposed();
+        protocol.scheme = scheme;
+        let mut s = HmipScenario::build(HmipConfig {
+            protocol,
+            ..HmipConfig::default()
+        });
+        let f = s.add_cbr_flow(
+            0,
+            ServiceClass::RealTime,
+            1000,
+            SimDuration::from_millis(20),
+        );
+        s.set_traffic_window(
+            SimTime::ZERO + SimDuration::from_millis(100),
+            SimTime::ZERO + SimDuration::from_millis(12_000),
+        );
+        s.run_until(SimTime::ZERO + SimDuration::from_millis(25_000));
+        s.finalize();
+        let audit = s.sim.shared.stats.flow_audit(f);
+        assert_eq!(audit.duplicated, 0, "{scheme:?} recorded a duplicate");
+    }
+}

@@ -33,8 +33,23 @@ fn emit_l2<S: RadioWorld>(ctx: &mut NetCtx<'_, S>, mh: NodeId, event: L2Event) {
     ctx.send_at(mh, now, NetMsg::L2(event));
 }
 
+use crate::mih::MihEngine;
 use crate::position::{Mobility, Position};
 use crate::radio::RadioWorld;
+
+/// How the radio decides to raise an L2 source trigger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TriggerMode {
+    /// The legacy rules: geometric signal-degrading, or raw RSSI
+    /// hysteresis when [`RadioConfig::signal`] is set.
+    #[default]
+    Legacy,
+    /// 802.21 Media Independent Handover: a [`MihEngine`] derives
+    /// `LinkGoingDown` from the serving signal, which maps onto the
+    /// existing source-trigger path. Technology-agnostic and storm-free
+    /// by construction.
+    Mih,
+}
 
 /// Configuration for a mobile host's radio process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,12 +57,21 @@ pub struct RadioConfig {
     /// How often the radio samples position/signal.
     pub sample_every: SimDuration,
     /// Length of the L2 black-out between detach and attach (200 ms in the
-    /// thesis' simulations).
+    /// thesis' simulations). For make-before-break this is the network
+    /// entry time of the second radio instead — the serving link keeps
+    /// receiving throughout.
     pub l2_handoff_delay: SimDuration,
     /// When set, triggers use received signal strength with hysteresis
     /// (the way real stations decide) instead of the geometric
     /// signal-degrading rule. Association limits stay geometric.
     pub signal: Option<crate::SignalModel>,
+    /// Source-trigger derivation (legacy rules by default).
+    pub trigger: TriggerMode,
+    /// MIH tuning, used when `trigger` is [`TriggerMode::Mih`].
+    pub mih: crate::MihConfig,
+    /// The host carries a second wide-area radio: cross-technology
+    /// handoffs run make-before-break (no L2 black-out).
+    pub multi_iface: bool,
 }
 
 impl Default for RadioConfig {
@@ -56,6 +80,9 @@ impl Default for RadioConfig {
             sample_every: SimDuration::from_millis(50),
             l2_handoff_delay: SimDuration::from_millis(200),
             signal: None,
+            trigger: TriggerMode::Legacy,
+            mih: crate::MihConfig::default(),
+            multi_iface: false,
         }
     }
 }
@@ -68,6 +95,9 @@ enum RadioState {
     Attached { ap: ApId, triggered: bool },
     /// In the L2 black-out, will associate with `target`.
     BlackOut { target: ApId },
+    /// Make-before-break: still served by `old` while the second radio
+    /// performs network entry toward `target`.
+    Bringing { old: ApId, target: ApId },
     /// Detached with no target; scanning for coverage.
     Searching,
 }
@@ -81,6 +111,8 @@ pub struct MhRadio {
     state: RadioState,
     handoff_seq: u64,
     prev_dist: Option<f64>,
+    /// MIH event derivation for the serving link (present in MIH mode).
+    mih: Option<MihEngine>,
     /// Completed handoffs (LinkUp count after the initial attach).
     pub handoffs_completed: u64,
 }
@@ -89,6 +121,8 @@ impl MhRadio {
     /// Creates a radio for mobile host `mh` following `mobility`.
     #[must_use]
     pub fn new(mh: NodeId, mobility: Mobility, config: RadioConfig) -> Self {
+        let mih = (config.trigger == TriggerMode::Mih)
+            .then(|| MihEngine::new(config.mih, config.signal.unwrap_or_default()));
         MhRadio {
             mh,
             mobility,
@@ -96,6 +130,7 @@ impl MhRadio {
             state: RadioState::Off,
             handoff_seq: 0,
             prev_dist: None,
+            mih,
             handoffs_completed: 0,
         }
     }
@@ -106,19 +141,24 @@ impl MhRadio {
         self.mobility.position_at(t)
     }
 
-    /// The AP the radio is currently associated with.
+    /// The AP the radio's serving interface is currently associated with.
     #[must_use]
     pub fn current_ap(&self) -> Option<ApId> {
         match self.state {
             RadioState::Attached { ap, .. } => Some(ap),
+            RadioState::Bringing { old, .. } => Some(old),
             _ => None,
         }
     }
 
-    /// `true` while associated.
+    /// `true` while associated (including make-before-break, where the old
+    /// link keeps serving).
     #[must_use]
     pub fn is_attached(&self) -> bool {
-        matches!(self.state, RadioState::Attached { .. })
+        matches!(
+            self.state,
+            RadioState::Attached { .. } | RadioState::Bringing { .. }
+        )
     }
 
     /// Brings the radio up: associates with the nearest covering AP (if
@@ -132,6 +172,9 @@ impl MhRadio {
                 ap,
                 triggered: false,
             };
+            if let Some(m) = self.mih.as_mut() {
+                let _ = m.on_attach();
+            }
             emit_l2(ctx, self.mh, L2Event::LinkUp { ap });
         } else {
             self.state = RadioState::Searching;
@@ -145,9 +188,18 @@ impl MhRadio {
         );
     }
 
-    /// Starts a handoff toward `target`: detaches (emitting `LinkDown`) and
-    /// schedules the attach after the configured black-out. No-op if a
-    /// handoff is already in progress or the radio is already on `target`.
+    /// Starts a handoff toward `target`.
+    ///
+    /// Same-technology (or single-radio) handoffs detach first — emitting
+    /// `LinkDown` and entering the L2 black-out — and attach after
+    /// `l2_handoff_delay`. A multi-homed host switching technologies runs
+    /// **make-before-break** instead: the second radio associates with
+    /// `target` immediately and performs network entry for
+    /// `l2_handoff_delay` while the serving link keeps receiving; no
+    /// `LinkDown` is emitted and no black-out occurs.
+    ///
+    /// No-op if a handoff is already in progress or the radio is already
+    /// on `target`.
     pub fn begin_handoff<S: RadioWorld>(&mut self, ctx: &mut NetCtx<'_, S>, target: ApId) {
         let RadioState::Attached { ap, .. } = self.state else {
             return;
@@ -155,9 +207,26 @@ impl MhRadio {
         if ap == target {
             return;
         }
+        let cross_tech = ctx.shared.radio().ap(target).tech != ctx.shared.radio().ap(ap).tech;
+        if self.config.multi_iface && cross_tech {
+            ctx.shared.radio_mut().attach_aux(self.mh, target);
+            self.state = RadioState::Bringing { old: ap, target };
+            self.handoff_seq += 1;
+            ctx.send_self(
+                self.config.l2_handoff_delay,
+                NetMsg::Timer {
+                    kind: TimerKind::Attach,
+                    token: self.handoff_seq,
+                },
+            );
+            return;
+        }
         ctx.shared.radio_mut().detach(self.mh);
         self.state = RadioState::BlackOut { target };
         self.handoff_seq += 1;
+        if let Some(m) = self.mih.as_mut() {
+            let _ = m.on_detach();
+        }
         emit_l2(ctx, self.mh, L2Event::LinkDown { ap });
         ctx.send_self(
             self.config.l2_handoff_delay,
@@ -179,6 +248,9 @@ impl MhRadio {
         ctx.shared.radio_mut().detach(self.mh);
         self.state = RadioState::BlackOut { target: ap };
         self.handoff_seq += 1;
+        if let Some(m) = self.mih.as_mut() {
+            let _ = m.on_detach();
+        }
         emit_l2(ctx, self.mh, L2Event::LinkDown { ap });
         ctx.send_self(
             duration,
@@ -213,15 +285,37 @@ impl MhRadio {
                 if token != self.handoff_seq {
                     return true; // stale attach from a superseded handoff
                 }
-                if let RadioState::BlackOut { target } = self.state {
-                    ctx.shared.radio_mut().attach(self.mh, target);
-                    self.state = RadioState::Attached {
-                        ap: target,
-                        triggered: false,
-                    };
-                    self.prev_dist = None;
-                    self.handoffs_completed += 1;
-                    emit_l2(ctx, self.mh, L2Event::LinkUp { ap: target });
+                match self.state {
+                    RadioState::BlackOut { target } => {
+                        ctx.shared.radio_mut().attach(self.mh, target);
+                        self.state = RadioState::Attached {
+                            ap: target,
+                            triggered: false,
+                        };
+                        self.prev_dist = None;
+                        self.handoffs_completed += 1;
+                        if let Some(m) = self.mih.as_mut() {
+                            let _ = m.on_attach();
+                        }
+                        emit_l2(ctx, self.mh, L2Event::LinkUp { ap: target });
+                    }
+                    RadioState::Bringing { target, .. } => {
+                        // Network entry finished: the second radio becomes
+                        // the serving interface; the old link stays
+                        // associated so in-flight frames still arrive.
+                        ctx.shared.radio_mut().promote_aux(self.mh);
+                        self.state = RadioState::Attached {
+                            ap: target,
+                            triggered: false,
+                        };
+                        self.prev_dist = None;
+                        self.handoffs_completed += 1;
+                        if let Some(m) = self.mih.as_mut() {
+                            let _ = m.on_attach();
+                        }
+                        emit_l2(ctx, self.mh, L2Event::LinkUp { ap: target });
+                    }
+                    _ => {}
                 }
                 true
             }
@@ -233,7 +327,7 @@ impl MhRadio {
         let now = ctx.now();
         let pos = self.position_at(now);
         match self.state {
-            RadioState::Off | RadioState::BlackOut { .. } => {}
+            RadioState::Off | RadioState::BlackOut { .. } | RadioState::Bringing { .. } => {}
             RadioState::Searching => {
                 // Scan: associate with the best covering AP after a full
                 // black-out (scan + associate, no anticipation possible).
@@ -250,6 +344,15 @@ impl MhRadio {
                 }
             }
             RadioState::Attached { ap, triggered } => {
+                // Retire the old make-before-break link once the host
+                // leaves its coverage: the last moment frames multicast on
+                // the old path can still arrive.
+                if let Some(old_ap) = ctx.shared.radio().aux_attachment(self.mh) {
+                    if !ctx.shared.radio().ap(old_ap).covers(pos) {
+                        ctx.shared.radio_mut().detach_aux(self.mh);
+                        emit_l2(ctx, self.mh, L2Event::LinkDown { ap: old_ap });
+                    }
+                }
                 let ap_info = *ctx.shared.radio().ap(ap);
                 let dist = ap_info.pos.distance(pos);
                 let degrading = self.prev_dist.is_some_and(|prev| dist > prev + 1e-9);
@@ -257,6 +360,9 @@ impl MhRadio {
                 if !ap_info.covers(pos) {
                     // Walked out of coverage before the protocol reacted.
                     ctx.shared.radio_mut().detach(self.mh);
+                    if let Some(m) = self.mih.as_mut() {
+                        let _ = m.on_detach();
+                    }
                     emit_l2(ctx, self.mh, L2Event::LinkDown { ap });
                     let next = ctx
                         .shared
@@ -279,7 +385,30 @@ impl MhRadio {
                     }
                     return;
                 }
-                let trigger_candidate = if let Some(model) = self.config.signal {
+                let trigger_candidate = if let Some(m) = self.mih.as_mut() {
+                    // MIH mode: the 802.21 LinkGoingDown event — derived
+                    // from the serving signal, independent of the target's
+                    // technology — is the predictive cue. Map it onto the
+                    // existing source-trigger path, aiming at the best
+                    // covering alternative. The model is re-budgeted to the
+                    // serving cell's size so each medium judges its own
+                    // link: a blanket cellular sector is healthy at
+                    // distances that would end a WLAN association.
+                    let serving = m.signal().scaled_to_range(ap_info.radius).rssi_at(dist);
+                    let _ = m.on_sample(serving);
+                    if m.going_down() {
+                        // Latched LinkGoingDown: trigger as soon as any
+                        // alternative AP covers the host (it may appear
+                        // later than the event itself).
+                        ctx.shared
+                            .radio()
+                            .aps_covering(pos)
+                            .into_iter()
+                            .find(|&c| c != ap)
+                    } else {
+                        None
+                    }
+                } else if let Some(model) = self.config.signal {
                     // Signal mode: a neighbor must beat the serving AP by
                     // the hysteresis margin.
                     let serving = model.rssi_at(dist);
@@ -583,6 +712,139 @@ mod tests {
         );
         // But it still fires inside the coverage (x ≤ 132 → t ≤ 4.45 s).
         assert!(signal <= SimTime::from_millis(4_450), "at {signal}");
+    }
+
+    #[test]
+    fn make_before_break_skips_the_blackout() {
+        // AP0 is the thesis WLAN cell; AP1 is a wide-area cellular sector
+        // covering the whole walk. A multi-homed host switching
+        // technologies must come up on the new link *before* the old one
+        // goes down — no black-out window at all.
+        let mut sim = Simulator::new(
+            World {
+                topo: Topology::new(),
+                stats: NetStats::new(),
+                radio: RadioEnv::new(WirelessSpec::default_80211b()),
+            },
+            5,
+        );
+        let ar1 = sim.add_actor(Box::new(Nop));
+        let ar2 = sim.add_actor(Box::new(Nop));
+        sim.shared.radio.add_ap(ar1, Position::new(0.0, 0.0), 112.0);
+        sim.shared.radio.add_ap_tech(
+            ar2,
+            Position::new(212.0, 0.0),
+            1_500.0,
+            crate::RadioTechnology::Cellular,
+        );
+        let mh = sim.add_actor(Box::new(Mh {
+            radio: None,
+            events: vec![],
+            switch_on_trigger: true,
+        }));
+        let config = RadioConfig {
+            multi_iface: true,
+            ..RadioConfig::default()
+        };
+        let radio = MhRadio::new(mh, walk(), config);
+        sim.actor_mut::<Mh>(mh).unwrap().radio = Some(radio);
+        sim.schedule(SimTime::ZERO, mh, NetMsg::Start);
+        sim.run_until(SimTime::from_secs(15));
+        let m = sim.actor::<Mh>(mh).unwrap();
+        let up_new = m
+            .events
+            .iter()
+            .find(|(_, e)| matches!(e, L2Event::LinkUp { ap } if *ap == ApId(1)))
+            .expect("LinkUp on the cellular link");
+        let down_old = m
+            .events
+            .iter()
+            .find(|(_, e)| matches!(e, L2Event::LinkDown { ap } if *ap == ApId(0)))
+            .expect("LinkDown on the old WLAN link");
+        assert!(
+            up_new.0 < down_old.0,
+            "make-before-break: new link up ({}) before old link down ({})",
+            up_new.0,
+            down_old.0
+        );
+        // The old link is retired only at WLAN coverage loss (x = 112 m).
+        assert!(down_old.0 >= SimTime::from_millis(11_200));
+        assert_eq!(sim.shared.radio.attachment(mh), Some(ApId(1)));
+        assert_eq!(sim.shared.radio.aux_attachment(mh), None);
+        assert_eq!(m.radio.as_ref().unwrap().handoffs_completed, 1);
+    }
+
+    #[test]
+    fn mih_trigger_precedes_link_down() {
+        // MIH mode with discs sized to the signal model's usable range:
+        // the LinkGoingDown-derived source trigger must fire while the
+        // serving link is still up, before any LinkDown.
+        let model = crate::SignalModel::default();
+        let radius = model.usable_range_m();
+        let mut sim = Simulator::new(
+            World {
+                topo: Topology::new(),
+                stats: NetStats::new(),
+                radio: RadioEnv::new(WirelessSpec::default_80211b()),
+            },
+            5,
+        );
+        let ar1 = sim.add_actor(Box::new(Nop));
+        let ar2 = sim.add_actor(Box::new(Nop));
+        sim.shared
+            .radio
+            .add_ap(ar1, Position::new(0.0, 0.0), radius);
+        sim.shared
+            .radio
+            .add_ap(ar2, Position::new(212.0, 0.0), radius);
+        let mh = sim.add_actor(Box::new(Mh {
+            radio: None,
+            events: vec![],
+            switch_on_trigger: false,
+        }));
+        let config = RadioConfig {
+            trigger: TriggerMode::Mih,
+            signal: Some(model),
+            ..RadioConfig::default()
+        };
+        let radio = MhRadio::new(mh, walk(), config);
+        sim.actor_mut::<Mh>(mh).unwrap().radio = Some(radio);
+        sim.schedule(SimTime::ZERO, mh, NetMsg::Start);
+        sim.run_until(SimTime::from_secs(20));
+        let m = sim.actor::<Mh>(mh).unwrap();
+        let trig = m
+            .events
+            .iter()
+            .find(|(_, e)| matches!(e, L2Event::SourceTrigger { .. }))
+            .expect("MIH-derived trigger expected");
+        let down = m
+            .events
+            .iter()
+            .find(|(_, e)| matches!(e, L2Event::LinkDown { .. }))
+            .expect("link down at coverage loss");
+        assert!(
+            trig.0 < down.0,
+            "LinkGoingDown trigger ({}) must precede LinkDown ({})",
+            trig.0,
+            down.0
+        );
+        match trig.1 {
+            L2Event::SourceTrigger { current, next } => {
+                assert_eq!(current, ApId(0));
+                assert_eq!(next, ApId(1));
+            }
+            _ => unreachable!(),
+        }
+        // Exactly one trigger: the latch plus the `triggered` flag keep
+        // the storm away even though the degraded condition persists for
+        // seconds.
+        assert_eq!(
+            m.events
+                .iter()
+                .filter(|(_, e)| matches!(e, L2Event::SourceTrigger { .. }))
+                .count(),
+            1
+        );
     }
 
     #[test]

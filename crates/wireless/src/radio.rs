@@ -23,6 +23,7 @@ use fh_net::{
 };
 
 use crate::position::Position;
+use crate::tech::RadioTechnology;
 
 /// Static parameters of the shared wireless channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,7 +61,8 @@ impl Default for WirelessSpec {
     }
 }
 
-/// One WLAN access point, co-located with an access router node.
+/// One access point (WLAN cell or cellular sector), co-located with an
+/// access router node.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AccessPoint {
     /// Link-layer identifier.
@@ -71,6 +73,8 @@ pub struct AccessPoint {
     pub pos: Position,
     /// Coverage radius in meters (112 m in the thesis topology).
     pub radius: f64,
+    /// The link-layer technology behind this AP (WLAN by default).
+    pub tech: RadioTechnology,
 }
 
 impl AccessPoint {
@@ -82,15 +86,38 @@ impl AccessPoint {
 }
 
 /// The shared radio world: APs, attachments and per-AP channel state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RadioEnv {
     aps: Vec<AccessPoint>,
     spec: WirelessSpec,
+    /// Channel parameters of every [`RadioTechnology::Cellular`] AP (the
+    /// WLAN spec stays per-environment in `spec`, preserving every legacy
+    /// custom-bandwidth scenario byte-for-byte).
+    cellular_spec: WirelessSpec,
     attachments: HashMap<NodeId, ApId>,
+    /// Secondary-interface attachments of multi-homed hosts (the wide-area
+    /// radio during make-before-break). Legacy single-interface hosts
+    /// never appear here.
+    aux: HashMap<NodeId, ApId>,
     busy_until: Vec<SimTime>,
     faults: Vec<Option<Box<FaultState>>>,
     /// Frames lost to detached receivers, per mobile host.
     pub airtime_frames: u64,
+}
+
+impl Default for RadioEnv {
+    fn default() -> Self {
+        RadioEnv {
+            aps: Vec::new(),
+            spec: WirelessSpec::default(),
+            cellular_spec: RadioTechnology::Cellular.default_spec(),
+            attachments: HashMap::new(),
+            aux: HashMap::new(),
+            busy_until: Vec::new(),
+            faults: Vec::new(),
+            airtime_frames: 0,
+        }
+    }
 }
 
 impl RadioEnv {
@@ -103,14 +130,45 @@ impl RadioEnv {
         }
     }
 
-    /// The channel parameters.
+    /// The WLAN channel parameters.
     #[must_use]
     pub fn spec(&self) -> WirelessSpec {
         self.spec
     }
 
-    /// Registers an access point and returns its id.
+    /// The cellular channel parameters.
+    #[must_use]
+    pub fn cellular_spec(&self) -> WirelessSpec {
+        self.cellular_spec
+    }
+
+    /// Overrides the channel parameters shared by all cellular APs.
+    pub fn set_cellular_spec(&mut self, spec: WirelessSpec) {
+        self.cellular_spec = spec;
+    }
+
+    /// The channel parameters governing `ap`'s air interface.
+    #[must_use]
+    pub fn spec_of(&self, ap: ApId) -> WirelessSpec {
+        match self.aps[ap.0 as usize].tech {
+            RadioTechnology::Wlan => self.spec,
+            RadioTechnology::Cellular => self.cellular_spec,
+        }
+    }
+
+    /// Registers a WLAN access point and returns its id.
     pub fn add_ap(&mut self, router: NodeId, pos: Position, radius: f64) -> ApId {
+        self.add_ap_tech(router, pos, radius, RadioTechnology::Wlan)
+    }
+
+    /// Registers an access point of an explicit technology.
+    pub fn add_ap_tech(
+        &mut self,
+        router: NodeId,
+        pos: Position,
+        radius: f64,
+        tech: RadioTechnology,
+    ) -> ApId {
         assert!(radius > 0.0, "coverage radius must be positive");
         let id = ApId(self.aps.len() as u32);
         self.aps.push(AccessPoint {
@@ -118,6 +176,7 @@ impl RadioEnv {
             router,
             pos,
             radius,
+            tech,
         });
         self.busy_until.push(SimTime::ZERO);
         self.faults.push(None);
@@ -201,25 +260,70 @@ impl RadioEnv {
         v.into_iter().map(|ap| ap.id).collect()
     }
 
-    /// Associates `mh` with `ap`, replacing any previous association (a
-    /// card can talk to only one AP at a time).
+    /// Associates `mh`'s serving interface with `ap`, replacing any
+    /// previous serving association (one card talks to one AP at a time).
     pub fn attach(&mut self, mh: NodeId, ap: ApId) {
         assert!((ap.0 as usize) < self.aps.len(), "unknown AP");
         self.attachments.insert(mh, ap);
     }
 
-    /// Drops `mh`'s association. Returns the AP it was attached to.
+    /// Drops `mh`'s serving association. Returns the AP it was attached to.
     pub fn detach(&mut self, mh: NodeId) -> Option<ApId> {
         self.attachments.remove(&mh)
     }
 
-    /// The AP `mh` is currently associated with.
+    /// The AP `mh`'s serving interface is currently associated with.
     #[must_use]
     pub fn attachment(&self, mh: NodeId) -> Option<ApId> {
         self.attachments.get(&mh).copied()
     }
 
-    /// Mobile hosts currently associated with `ap`, in unspecified order.
+    /// Associates `mh`'s secondary (wide-area) interface with `ap` — the
+    /// make-before-break step of a multi-homed host: the new radio comes
+    /// up while the serving one keeps receiving.
+    pub fn attach_aux(&mut self, mh: NodeId, ap: ApId) {
+        assert!((ap.0 as usize) < self.aps.len(), "unknown AP");
+        self.aux.insert(mh, ap);
+    }
+
+    /// Drops `mh`'s secondary association. Returns the AP it was on.
+    pub fn detach_aux(&mut self, mh: NodeId) -> Option<ApId> {
+        self.aux.remove(&mh)
+    }
+
+    /// Drops every association of `mh` at once (power-off / crash).
+    pub fn detach_all(&mut self, mh: NodeId) {
+        self.attachments.remove(&mh);
+        self.aux.remove(&mh);
+    }
+
+    /// The AP `mh`'s secondary interface is associated with, if any.
+    #[must_use]
+    pub fn aux_attachment(&self, mh: NodeId) -> Option<ApId> {
+        self.aux.get(&mh).copied()
+    }
+
+    /// Completes make-before-break: the secondary interface becomes the
+    /// serving one, and the old serving attachment (if any) moves to the
+    /// secondary slot so in-flight frames on the old link still arrive.
+    /// Returns the new serving AP. No-op without a secondary association.
+    pub fn promote_aux(&mut self, mh: NodeId) -> Option<ApId> {
+        let new_serving = self.aux.remove(&mh)?;
+        if let Some(old) = self.attachments.insert(mh, new_serving) {
+            self.aux.insert(mh, old);
+        }
+        Some(new_serving)
+    }
+
+    /// `true` if any of `mh`'s interfaces is associated with `ap` — the
+    /// downlink gate. For single-interface hosts this is exactly
+    /// `attachment(mh) == Some(ap)`.
+    #[must_use]
+    pub fn is_attached(&self, mh: NodeId, ap: ApId) -> bool {
+        self.attachments.get(&mh) == Some(&ap) || self.aux.get(&mh) == Some(&ap)
+    }
+
+    /// Mobile hosts with any interface associated with `ap`, sorted.
     #[must_use]
     pub fn attached_mhs(&self, ap: ApId) -> Vec<NodeId> {
         let mut v: Vec<NodeId> = self
@@ -228,19 +332,27 @@ impl RadioEnv {
             .filter(|&(_, &a)| a == ap)
             .map(|(&mh, _)| mh)
             .collect();
+        v.extend(
+            self.aux
+                .iter()
+                .filter(|&(_, &a)| a == ap)
+                .map(|(&mh, _)| mh),
+        );
         v.sort(); // deterministic order
+        v.dedup();
         v
     }
 
     /// Reserves airtime for one frame of `bytes` on `ap`'s channel and
     /// returns the arrival instant at the receiver.
     fn reserve_airtime(&mut self, now: SimTime, ap: ApId, bytes: u32) -> SimTime {
-        let tx = self.spec.tx_time(bytes);
+        let spec = self.spec_of(ap);
+        let tx = spec.tx_time(bytes);
         let idx = ap.0 as usize;
         let start = self.busy_until[idx].max(now);
         self.busy_until[idx] = start + tx;
         self.airtime_frames += 1;
-        self.busy_until[idx] + self.spec.delay
+        self.busy_until[idx] + spec.delay
     }
 
     /// When `ap`'s channel next becomes idle.
@@ -269,7 +381,7 @@ pub fn send_downlink<S: RadioWorld>(
     mh: NodeId,
     pkt: Packet,
 ) -> bool {
-    if ctx.shared.radio().attachment(mh) != Some(ap) {
+    if !ctx.shared.radio().is_attached(mh, ap) {
         fh_net::record_drop(ctx, pkt.flow, DropReason::RadioDetached);
         return false;
     }
@@ -330,7 +442,7 @@ pub fn send_downlink_batch<S: RadioWorld>(
     if pkts.is_empty() {
         return 0;
     }
-    if ctx.shared.radio().attachment(mh) != Some(ap) {
+    if !ctx.shared.radio().is_attached(mh, ap) {
         for pkt in &pkts {
             fh_net::record_drop(ctx, pkt.flow, DropReason::RadioDetached);
         }
@@ -749,6 +861,111 @@ mod tests {
         sim.run();
         assert!(sim.actor::<Sink>(mh).unwrap().got.is_empty());
         assert_eq!(sim.shared.stats.drops(DropReason::RadioDetached), 5);
+    }
+
+    #[test]
+    fn cellular_aps_use_the_cellular_spec() {
+        let mut sim = world();
+        let ar1 = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let ar2 = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let env = sim.shared.radio_mut();
+        let wlan = env.add_ap(ar1, Position::new(0.0, 0.0), 112.0);
+        let cell = env.add_ap_tech(
+            ar2,
+            Position::new(0.0, 0.0),
+            1_500.0,
+            crate::RadioTechnology::Cellular,
+        );
+        assert_eq!(env.ap(wlan).tech, crate::RadioTechnology::Wlan);
+        assert_eq!(env.ap(cell).tech, crate::RadioTechnology::Cellular);
+        // The WLAN AP keeps the environment's (custom 8 Mb/s) spec; the
+        // cellular AP uses the technology default until overridden.
+        assert_eq!(env.spec_of(wlan), env.spec());
+        assert_eq!(
+            env.spec_of(cell),
+            crate::RadioTechnology::Cellular.default_spec()
+        );
+        let custom = WirelessSpec {
+            bandwidth_bps: 384_000,
+            delay: SimDuration::from_millis(60),
+        };
+        env.set_cellular_spec(custom);
+        assert_eq!(env.spec_of(cell), custom);
+        assert_eq!(env.spec_of(wlan), env.spec(), "WLAN spec untouched");
+    }
+
+    #[test]
+    fn cellular_downlink_pays_the_cellular_latency() {
+        let mut sim = world();
+        let ar = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let mh = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let ap = sim.shared.radio.add_ap_tech(
+            ar,
+            Position::default(),
+            1_500.0,
+            crate::RadioTechnology::Cellular,
+        );
+        sim.shared.radio.set_cellular_spec(WirelessSpec {
+            bandwidth_bps: 2_000_000,
+            delay: SimDuration::from_millis(40),
+        });
+        sim.shared.radio.attach(mh, ap);
+
+        struct Driver {
+            ap: ApId,
+            mh: NodeId,
+        }
+        impl Actor<NetMsg, World> for Driver {
+            fn handle(&mut self, ctx: &mut NetCtx<'_, World>, msg: NetMsg) {
+                if let NetMsg::Start = msg {
+                    send_downlink(ctx, self.ap, self.mh, pkt(0));
+                }
+            }
+        }
+        let d = sim.add_actor(Box::new(Driver { ap, mh }));
+        sim.schedule(SimTime::ZERO, d, NetMsg::Start);
+        sim.run();
+        let got = &sim.actor::<Sink>(mh).unwrap().got;
+        // 1000 B at 2 Mb/s = 4 ms serialization + 40 ms access delay.
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, SimTime::from_millis(44));
+    }
+
+    #[test]
+    fn aux_attachment_gates_downlink_on_either_interface() {
+        let mut sim = world();
+        let ar1 = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let ar2 = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let mh = sim.add_actor(Box::new(Sink { got: vec![] }));
+        let env = &mut sim.shared.radio;
+        let wlan = env.add_ap(ar1, Position::new(0.0, 0.0), 112.0);
+        let cell = env.add_ap_tech(
+            ar2,
+            Position::new(0.0, 0.0),
+            1_500.0,
+            crate::RadioTechnology::Cellular,
+        );
+        env.attach(mh, wlan);
+        env.attach_aux(mh, cell);
+        assert!(env.is_attached(mh, wlan));
+        assert!(env.is_attached(mh, cell));
+        assert_eq!(env.attachment(mh), Some(wlan), "serving stays WLAN");
+        assert_eq!(env.aux_attachment(mh), Some(cell));
+        assert_eq!(env.attached_mhs(cell), vec![mh]);
+
+        // Promote: cellular becomes serving, WLAN stays as secondary.
+        assert_eq!(env.promote_aux(mh), Some(cell));
+        assert_eq!(env.attachment(mh), Some(cell));
+        assert_eq!(env.aux_attachment(mh), Some(wlan));
+        assert!(env.is_attached(mh, wlan), "old link still receives");
+
+        // Old WLAN coverage lost: only the cellular association remains.
+        assert_eq!(env.detach_aux(mh), Some(wlan));
+        assert!(!env.is_attached(mh, wlan));
+        assert!(env.is_attached(mh, cell));
+        env.detach_all(mh);
+        assert!(!env.is_attached(mh, cell));
+        assert_eq!(env.promote_aux(mh), None, "nothing to promote");
     }
 
     #[test]

@@ -98,6 +98,22 @@ impl SignalModel {
                 / (10.0 * self.path_loss_exponent),
         )
     }
+
+    /// The same propagation environment re-budgeted so the usable range
+    /// equals `range_m`: only the transmit power changes (exponent,
+    /// sensitivity and hysteresis stay put). A wide-area sector has a link
+    /// budget matched to its cell size; judging its signal with a WLAN
+    /// budget would report a healthy 1500 m cell as permanently
+    /// going-down. Media-independent triggers scale the model to the
+    /// serving link's coverage before sampling.
+    #[must_use]
+    pub fn scaled_to_range(&self, range_m: f64) -> SignalModel {
+        SignalModel {
+            tx_power_dbm: self.sensitivity_dbm
+                + 10.0 * self.path_loss_exponent * range_m.max(1.0).log10(),
+            ..*self
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +163,25 @@ mod tests {
         // ping-pong is impossible by construction.
         let mid = m.rssi_at(106.0);
         assert!(!m.should_switch(mid, mid));
+    }
+
+    #[test]
+    fn scaled_model_ranges_track_the_target() {
+        let m = SignalModel::default();
+        for range in [50.0, 112.0, 1_500.0] {
+            let s = m.scaled_to_range(range);
+            assert!((s.usable_range_m() - range).abs() < 1e-6, "range {range}");
+            assert_eq!(s.sensitivity_dbm, m.sensitivity_dbm);
+            assert_eq!(s.path_loss_exponent, m.path_loss_exponent);
+            // The going-down margin maps to the same *fraction* of the
+            // cell at every scale: media-independent trigger lead time.
+            let frac = s.trigger_range_m(8.0) / range;
+            let base = m.trigger_range_m(8.0) / m.usable_range_m();
+            assert!((frac - base).abs() < 1e-9);
+        }
+        // Scaling to the model's own range is the identity.
+        let id = m.scaled_to_range(m.usable_range_m());
+        assert!((id.tx_power_dbm - m.tx_power_dbm).abs() < 1e-9);
     }
 
     #[test]
